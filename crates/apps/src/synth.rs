@@ -1,0 +1,349 @@
+//! Synthetic workload generation.
+//!
+//! The dissertation's inputs are gated (clinical ultrasound frames, PIV
+//! lab camera pairs, CT projections); these generators produce data with
+//! the same geometry and — because every kernel here is data-oblivious
+//! dense arithmetic — the same performance behaviour, while adding a
+//! ground-truth oracle (known embedding offset / displacement / phantom).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row-major single-channel float image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    pub w: usize,
+    pub h: usize,
+    pub data: Vec<f32>,
+}
+
+impl Image {
+    pub fn new(w: usize, h: usize) -> Image {
+        Image { w, h, data: vec![0.0; w * h] }
+    }
+
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.w + x]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.w + x] = v;
+    }
+
+    /// Mean of all pixels.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+/// Smoothly textured random image (speckle-like, like ultrasound tissue).
+pub fn textured_image(w: usize, h: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = Image::new(w, h);
+    // Low-frequency components + speckle noise.
+    let fx = rng.gen_range(0.02..0.08);
+    let fy = rng.gen_range(0.02..0.08);
+    let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+    for y in 0..h {
+        for x in 0..w {
+            let base = ((x as f32 * fx + phase).sin() + (y as f32 * fy).cos()) * 0.25 + 0.5;
+            let noise: f32 = rng.gen_range(-0.2..0.2);
+            img.set(x, y, (base + noise).clamp(0.0, 1.0));
+        }
+    }
+    img
+}
+
+/// A template-matching scenario: a frame containing the template embedded
+/// at a known offset (plus noise), the template itself, and the truth.
+pub struct MatchScenario {
+    pub frame: Image,
+    pub template: Image,
+    /// True (x, y) position of the template inside the frame.
+    pub truth: (usize, usize),
+}
+
+/// Build a frame of `frame_w × frame_h` with a `tw × th` template embedded
+/// at a deterministic pseudo-random offset within `[0, shift_w) × [0, shift_h)`.
+pub fn match_scenario(
+    frame_w: usize,
+    frame_h: usize,
+    tw: usize,
+    th: usize,
+    shift_w: usize,
+    shift_h: usize,
+    seed: u64,
+) -> MatchScenario {
+    assert!(tw + shift_w <= frame_w + 1 && th + shift_h <= frame_h + 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a11);
+    let mut frame = textured_image(frame_w, frame_h, seed);
+    let template = textured_image(tw, th, seed.wrapping_mul(31) + 7);
+    let ox = rng.gen_range(0..shift_w);
+    let oy = rng.gen_range(0..shift_h);
+    // Blend the template into the frame at (ox, oy) with mild noise.
+    for y in 0..th {
+        for x in 0..tw {
+            let n: f32 = rng.gen_range(-0.05..0.05);
+            frame.set(ox + x, oy + y, (template.at(x, y) + n).clamp(0.0, 1.0));
+        }
+    }
+    MatchScenario { frame, template, truth: (ox, oy) }
+}
+
+/// A PIV scenario: two particle images where the second is the first
+/// displaced by a known uniform flow, plus noise.
+pub struct PivScenario {
+    pub a: Image,
+    pub b: Image,
+    /// The true displacement (dx, dy) applied to every particle.
+    pub flow: (i32, i32),
+}
+
+/// Random particle field with `count` Gaussian particles.
+fn particle_image(w: usize, h: usize, count: usize, rng: &mut StdRng) -> Vec<(f32, f32, f32)> {
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..w as f32),
+                rng.gen_range(0.0..h as f32),
+                rng.gen_range(0.6..1.0),
+            )
+        })
+        .collect()
+}
+
+fn render_particles(w: usize, h: usize, parts: &[(f32, f32, f32)], dx: f32, dy: f32) -> Image {
+    let mut img = Image::new(w, h);
+    let sigma2 = 1.6f32;
+    for &(px, py, amp) in parts {
+        let (cx, cy) = (px + dx, py + dy);
+        let x0 = (cx - 4.0).max(0.0) as usize;
+        let x1 = ((cx + 4.0) as usize).min(w.saturating_sub(1));
+        let y0 = (cy - 4.0).max(0.0) as usize;
+        let y1 = ((cy + 4.0) as usize).min(h.saturating_sub(1));
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let d2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                let v = amp * (-d2 / (2.0 * sigma2)).exp();
+                let cur = img.at(x, y);
+                img.set(x, y, (cur + v).min(1.0));
+            }
+        }
+    }
+    img
+}
+
+/// Build a particle-image pair with a known uniform displacement.
+pub fn piv_scenario(w: usize, h: usize, flow: (i32, i32), seed: u64) -> PivScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234_5678_9abc_def0);
+    let density = (w * h) / 48; // particles per image
+    let parts = particle_image(w, h, density, &mut rng);
+    let a = render_particles(w, h, &parts, 0.0, 0.0);
+    let b = render_particles(w, h, &parts, flow.0 as f32, flow.1 as f32);
+    PivScenario { a, b, flow }
+}
+
+/// A 3D phantom made of ellipsoids (Shepp-Logan flavoured), its forward
+/// projections, and geometry for cone-beam reconstruction.
+pub struct CtScenario {
+    /// Cubic volume, `n³`, row-major (x fastest, then y, then z).
+    pub volume: Vec<f32>,
+    pub n: usize,
+    /// `num_proj` projections, each `det_u × det_v` row-major.
+    pub projections: Vec<f32>,
+    pub num_proj: usize,
+    pub det_u: usize,
+    pub det_v: usize,
+    pub geo: ConeGeometry,
+}
+
+/// Circular cone-beam geometry with a flat detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConeGeometry {
+    /// Source-to-isocenter distance (in voxel units).
+    pub sid: f32,
+    /// Source-to-detector distance.
+    pub sdd: f32,
+    /// Detector pixel pitch.
+    pub du: f32,
+    pub dv: f32,
+}
+
+/// One ellipsoid: center, semi-axes, density.
+struct Ellipsoid {
+    c: [f32; 3],
+    r: [f32; 3],
+    rho: f32,
+}
+
+fn phantom_ellipsoids(n: usize) -> Vec<Ellipsoid> {
+    let s = n as f32 / 2.0;
+    vec![
+        Ellipsoid { c: [0.0, 0.0, 0.0], r: [0.85 * s, 0.9 * s, 0.8 * s], rho: 1.0 },
+        Ellipsoid { c: [0.0, 0.0, 0.0], r: [0.8 * s, 0.85 * s, 0.75 * s], rho: -0.8 },
+        Ellipsoid { c: [0.25 * s, 0.1 * s, 0.0], r: [0.15 * s, 0.2 * s, 0.25 * s], rho: 0.6 },
+        Ellipsoid { c: [-0.3 * s, -0.2 * s, 0.1 * s], r: [0.2 * s, 0.12 * s, 0.2 * s], rho: 0.4 },
+        Ellipsoid { c: [0.0, 0.35 * s, -0.2 * s], r: [0.1 * s, 0.1 * s, 0.1 * s], rho: 0.8 },
+    ]
+}
+
+/// Evaluate the phantom density at a point (voxel coordinates centred on
+/// the volume).
+fn phantom_at(es: &[Ellipsoid], x: f32, y: f32, z: f32) -> f32 {
+    let mut v = 0.0;
+    for e in es {
+        let dx = (x - e.c[0]) / e.r[0];
+        let dy = (y - e.c[1]) / e.r[1];
+        let dz = (z - e.c[2]) / e.r[2];
+        if dx * dx + dy * dy + dz * dz <= 1.0 {
+            v += e.rho;
+        }
+    }
+    v
+}
+
+/// Generate the phantom volume and cone-beam projections by ray casting.
+pub fn ct_scenario(n: usize, num_proj: usize, det_u: usize, det_v: usize) -> CtScenario {
+    let es = phantom_ellipsoids(n);
+    let half = n as f32 / 2.0;
+    let mut volume = vec![0.0f32; n * n * n];
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                volume[(z * n + y) * n + x] =
+                    phantom_at(&es, x as f32 - half, y as f32 - half, z as f32 - half);
+            }
+        }
+    }
+    let geo = ConeGeometry { sid: 3.0 * n as f32, sdd: 4.5 * n as f32, du: 1.0, dv: 1.0 };
+    // Forward projection: march each detector ray through the volume.
+    let mut projections = vec![0.0f32; num_proj * det_u * det_v];
+    for p in 0..num_proj {
+        let theta = p as f32 * std::f32::consts::PI * 2.0 / num_proj as f32;
+        let (sin_t, cos_t) = theta.sin_cos();
+        // Source position.
+        let sx = -geo.sid * sin_t;
+        let sy = geo.sid * cos_t;
+        for v in 0..det_v {
+            for u in 0..det_u {
+                // Detector pixel position in world coordinates (detector
+                // plane passes through the axis opposite the source).
+                let lu = (u as f32 - det_u as f32 / 2.0) * geo.du;
+                let lv = (v as f32 - det_v as f32 / 2.0) * geo.dv;
+                let ddist = geo.sdd - geo.sid;
+                let dxw = lu * cos_t + ddist * sin_t;
+                let dyw = lu * sin_t - ddist * cos_t;
+                let dzw = lv;
+                // Ray from source to detector pixel, sampled through the
+                // volume bounding sphere.
+                let dirx = dxw - sx;
+                let diry = dyw - sy;
+                let dirz = dzw - 0.0;
+                let len = (dirx * dirx + diry * diry + dirz * dirz).sqrt();
+                let steps = n * 2;
+                let mut acc = 0.0;
+                for s in 0..steps {
+                    let t = (geo.sid - half * 1.5) / len
+                        + (s as f32 / steps as f32) * (3.0 * half / len);
+                    let px = sx + dirx * t;
+                    let py = sy + diry * t;
+                    let pz = 0.0 + dirz * t;
+                    if px.abs() < half && py.abs() < half && pz.abs() < half {
+                        acc += phantom_at(&es, px, py, pz);
+                    }
+                }
+                projections[(p * det_v + v) * det_u + u] = acc * (3.0 * half / steps as f32);
+            }
+        }
+    }
+    CtScenario { volume, n, projections, num_proj, det_u, det_v, geo }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textured_image_is_deterministic_and_bounded() {
+        let a = textured_image(64, 48, 7);
+        let b = textured_image(64, 48, 7);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|v| (0.0..=1.0).contains(v)));
+        let c = textured_image(64, 48, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn match_scenario_embeds_template_at_truth() {
+        let s = match_scenario(128, 96, 32, 24, 16, 16, 3);
+        let (ox, oy) = s.truth;
+        assert!(ox < 16 && oy < 16);
+        // The embedded region correlates strongly with the template.
+        let mut diff = 0.0f32;
+        for y in 0..24 {
+            for x in 0..32 {
+                diff += (s.frame.at(ox + x, oy + y) - s.template.at(x, y)).abs();
+            }
+        }
+        let avg = diff / (32.0 * 24.0);
+        assert!(avg < 0.06, "embedding too noisy: {avg}");
+    }
+
+    #[test]
+    fn piv_scenario_pair_is_shifted() {
+        let s = piv_scenario(96, 96, (4, 2), 11);
+        // SSD at the true shift should beat SSD at zero shift for a
+        // central window.
+        let win = 32usize;
+        let (x0, y0) = (32, 32);
+        let ssd = |dx: i32, dy: i32| -> f32 {
+            let mut acc = 0.0;
+            for y in 0..win {
+                for x in 0..win {
+                    let a = s.a.at(x0 + x, y0 + y);
+                    let b = s.b.at(
+                        (x0 as i32 + x as i32 + dx) as usize,
+                        (y0 as i32 + y as i32 + dy) as usize,
+                    );
+                    acc += (a - b) * (a - b);
+                }
+            }
+            acc
+        };
+        assert!(ssd(4, 2) < ssd(0, 0) * 0.5);
+    }
+
+    #[test]
+    fn ct_scenario_is_deterministic_and_projection_symmetric() {
+        let a = ct_scenario(12, 4, 16, 16);
+        let b = ct_scenario(12, 4, 16, 16);
+        assert_eq!(a.volume, b.volume);
+        assert_eq!(a.projections, b.projections);
+        // The phantom is centred; opposite views (0 and π) see mirrored
+        // but equal total attenuation.
+        let view = |p: usize| -> f32 {
+            a.projections[p * 16 * 16..(p + 1) * 16 * 16].iter().sum()
+        };
+        let (v0, v2) = (view(0), view(2));
+        assert!(
+            (v0 - v2).abs() / v0.max(1e-6) < 0.25,
+            "opposite views differ too much: {v0} vs {v2}"
+        );
+    }
+
+    #[test]
+    fn ct_scenario_round_trips_phantom_shape() {
+        let s = ct_scenario(16, 8, 24, 24);
+        assert_eq!(s.volume.len(), 16 * 16 * 16);
+        assert_eq!(s.projections.len(), 8 * 24 * 24);
+        // Center voxel is inside the skull: positive density.
+        let c = s.volume[(8 * 16 + 8) * 16 + 8];
+        assert!(c > 0.0);
+        // Projections carry signal.
+        assert!(s.projections.iter().any(|v| *v > 0.0));
+        // Corner voxel is air.
+        assert_eq!(s.volume[0], 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the toolchain itself (real wall-clock,
+//! as opposed to the simulated-GPU tables): run-time compilation cost
+//! (the §4.3 trade-off), cache-hit cost, and simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ks_core::{Compiler, Defines};
+use ks_sim::{launch, DeviceConfig, DeviceState, KArg, LaunchDims, LaunchOptions};
+
+const MATHTEST: &str = r#"
+#ifndef LOOP_COUNT
+#define LOOP_COUNT loopCount
+#endif
+__global__ void mathTest(int* in, int* out, int argA, int argB, int loopCount) {
+    int acc = 0;
+    const unsigned int stride = argA * argB;
+    const unsigned int offset = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int i = 0; i < LOOP_COUNT; i++) {
+        acc += *(in + offset + i * stride);
+    }
+    *(out + offset) = acc;
+}
+"#;
+
+/// Run-time compilation overhead: full pipeline (preprocess → parse →
+/// check → unroll/fold/scalarize → lower → optimize → regalloc).
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.bench_function("mathTest_re", |b| {
+        b.iter_batched(
+            || Compiler::new(DeviceConfig::tesla_c1060()),
+            |compiler| compiler.compile(MATHTEST, &Defines::new()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mathTest_sk_unroll64", |b| {
+        b.iter_batched(
+            || Compiler::new(DeviceConfig::tesla_c1060()),
+            |compiler| {
+                compiler.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 64)).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("piv_kernel_sk", |b| {
+        b.iter_batched(
+            || Compiler::new(DeviceConfig::tesla_c2070()),
+            |compiler| {
+                compiler
+                    .compile(
+                        ks_apps::piv::KERNELS,
+                        Defines::new()
+                            .def("RB", 4)
+                            .def("THREADS", 128)
+                            .def("MASK_W", 32)
+                            .def("MASK_H", 32)
+                            .def("OFFS_W", 17),
+                    )
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Cache hit: "speed similar to loading a dynamically linked shared
+    // object" (§4.3).
+    let warm = Compiler::new(DeviceConfig::tesla_c1060());
+    warm.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8)).unwrap();
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| warm.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8)).unwrap())
+    });
+    g.finish();
+}
+
+/// Simulator throughput: functional + timed execution of a 64-block
+/// vector-add launch.
+fn bench_simulator(c: &mut Criterion) {
+    let compiler = Compiler::new(DeviceConfig::tesla_c1060());
+    let src = r#"
+        __global__ void vadd(float* a, float* b, float* o, int n) {
+            int i = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+            if (i < n) { o[i] = a[i] + b[i]; }
+        }
+    "#;
+    let bin = compiler.compile(src, &Defines::new()).unwrap();
+    let n = 64 * 128;
+    let mut st = DeviceState::new(DeviceConfig::tesla_c1060(), 16 << 20);
+    let pa = st.global.alloc((n * 4) as u64).unwrap();
+    let pb = st.global.alloc((n * 4) as u64).unwrap();
+    let po = st.global.alloc((n * 4) as u64).unwrap();
+    let args =
+        [KArg::Ptr(pa), KArg::Ptr(pb), KArg::Ptr(po), KArg::I32(n as i32)];
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("vadd_64_blocks_functional", |b| {
+        b.iter(|| {
+            launch(
+                &mut st,
+                &bin.module,
+                "vadd",
+                LaunchDims::linear(64, 128),
+                &args,
+                LaunchOptions { functional: true, timing_sample_blocks: 4, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("vadd_sampled_timing_only", |b| {
+        b.iter(|| {
+            launch(
+                &mut st,
+                &bin.module,
+                "vadd",
+                LaunchDims::linear(64, 128),
+                &args,
+                LaunchOptions { functional: false, timing_sample_blocks: 4, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// GPU-PF pipeline overhead: a refresh with nothing dirty, and one
+/// iteration of a two-copy + one-kernel pipeline.
+fn bench_gpu_pf(c: &mut Criterion) {
+    use gpu_pf::{Arg, MacroBinding, Pipeline};
+    use std::sync::Arc;
+    let src = r#"
+        #ifndef F
+        #define F f
+        #endif
+        __global__ void scale(float* i, float* o, int f, int n) {
+            int x = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+            if (x < n) { o[x] = i[x] * (float)F; }
+        }
+    "#;
+    let compiler = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+    let mut p = Pipeline::new(compiler, 16 << 20);
+    let f = p.int_param("F", 3);
+    let ext = p.extent_param("b", [1024, 1, 1], 4);
+    let hin = p.host_memory(ext);
+    let hout = p.host_memory(ext);
+    let din = p.global_memory(ext);
+    let dout = p.global_memory(ext);
+    let m = p.module(src, vec![("F", MacroBinding::Param(f))]);
+    let k = p.kernel(m, "scale");
+    let every = p.schedule_param("e", 1, 0);
+    let grid = p.triplet_param("g", [8, 1, 1]);
+    let blk = p.triplet_param("bk", [128, 1, 1]);
+    let np = p.int_param("n", 1024);
+    p.copy("h2d", hin, din, every);
+    p.exec("scale", k, grid, blk, None, vec![Arg::Mem(din), Arg::Mem(dout), Arg::Param(f), Arg::Param(np)], every);
+    p.copy("d2h", dout, hout, every);
+    p.refresh().unwrap();
+    p.set_host_f32(hin, &vec![1.0f32; 1024]);
+
+    let mut g = c.benchmark_group("gpu_pf");
+    g.bench_function("noop_refresh", |b| b.iter(|| p.refresh().unwrap()));
+    g.bench_function("pipeline_iteration", |b| b.iter(|| p.run(1).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulator, bench_gpu_pf);
+criterion_main!(benches);

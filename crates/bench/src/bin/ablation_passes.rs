@@ -1,0 +1,115 @@
+//! Ablation study: which compile-time optimization buys what?
+//!
+//! The dissertation's thesis is that specialization matters because it
+//! *enables* a set of static-value optimizations (§2.4). This harness
+//! isolates each one on the specialized PIV kernel (V2 data set) and the
+//! backprojection kernel by disabling passes individually and re-running
+//! the simulator:
+//!
+//! * no loop unrolling  (HIR `unroll_limit = 0`)
+//! * no scalarization   (HIR `scalarize_cap = 0` — register blocking
+//!   falls back to local memory even though RB is compile-time)
+//! * no strength reduction
+//! * no CSE
+//! * no IR optimization at all (-O0 backend)
+
+use ks_apps::piv::{PivImpl, PivKernel, PivProblem};
+use ks_apps::{synth, Variant};
+use ks_bench::*;
+use ks_codegen::CodegenOptions;
+use ks_core::Compiler;
+use ks_opt::OptConfig;
+use ks_sim::DeviceConfig;
+
+struct Config {
+    name: &'static str,
+    codegen: CodegenOptions,
+    opt: OptConfig,
+}
+
+fn configs() -> Vec<Config> {
+    let cg = CodegenOptions::default;
+    vec![
+        Config { name: "full", codegen: cg(), opt: OptConfig::default() },
+        Config {
+            name: "no-unroll",
+            codegen: CodegenOptions { unroll_limit: 0, ..cg() },
+            opt: OptConfig::default(),
+        },
+        Config {
+            name: "no-scalarize",
+            codegen: CodegenOptions { scalarize_cap: 0, ..cg() },
+            opt: OptConfig::default(),
+        },
+        Config {
+            name: "no-strength",
+            codegen: cg(),
+            opt: OptConfig { strength: false, ..OptConfig::default() },
+        },
+        Config {
+            name: "no-cse",
+            codegen: cg(),
+            opt: OptConfig { cse: false, ..OptConfig::default() },
+        },
+        Config {
+            name: "no-addrfold",
+            codegen: cg(),
+            opt: OptConfig { addrfold: false, ..OptConfig::default() },
+        },
+        Config {
+            name: "-O0 backend",
+            codegen: cg(),
+            opt: OptConfig::none(),
+        },
+        Config {
+            name: "no-hir-opts",
+            codegen: CodegenOptions { optimize: false, ..cg() },
+            opt: OptConfig::default(),
+        },
+    ]
+}
+
+fn main() {
+    let prob = if quick() {
+        PivProblem::standard(256, 32, 50, 8)
+    } else {
+        PivProblem::standard(512, 32, 50, 8)
+    };
+    let imp = PivImpl { rb: 4, threads: 128 };
+    let scen = synth::piv_scenario(prob.img_w, prob.img_h, (3, 1), 42);
+
+    let mut table = Table::new(
+        "ablation_passes",
+        "Ablation: specialized PIV kernel (V2 set, RB=4, 128 thr) with passes disabled",
+        &["Device", "Config", "ms", "vs full", "Regs", "Local B", "Dyn insts"],
+    );
+    for dev in [DeviceConfig::tesla_c1060(), DeviceConfig::tesla_c2070()] {
+        let mut full_ms = None;
+        for c in configs() {
+            let compiler = Compiler::with_passes(dev.clone(), c.codegen.clone(), c.opt);
+            let out = ks_apps::piv::run_gpu(
+                &compiler,
+                Variant::Sk,
+                PivKernel::Basic,
+                &prob,
+                &imp,
+                &scen,
+                false,
+            )
+            .expect(c.name);
+            let ms = out.run.sim_ms;
+            let base = *full_ms.get_or_insert(ms);
+            let rep = &out.run.reports[0];
+            table.row(vec![
+                dev.name.clone(),
+                c.name.to_string(),
+                fmt_ms(ms),
+                format!("{:+.1}%", (ms / base - 1.0) * 100.0),
+                fmt(out.run.regs_per_thread()),
+                fmt(rep.local_bytes_per_thread),
+                fmt(rep.stats.dyn_insts),
+            ]);
+        }
+    }
+    table.finish();
+}

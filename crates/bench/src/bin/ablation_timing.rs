@@ -1,0 +1,69 @@
+//! Timing-model ablation: the default hybrid model (per-warp scoreboard +
+//! analytic SM assembly) versus the event-driven SM scheduler, across the
+//! PIV FPGA benchmark set. The models are independent implementations;
+//! their agreement on RE/SK ordering and rough magnitudes is a validation
+//! check on both.
+
+use ks_apps::piv::{PivImpl, PivKernel};
+use ks_apps::{synth, Variant};
+use ks_bench::*;
+use ks_core::Compiler;
+use ks_sim::DeviceConfig;
+
+fn main() {
+    let mut table = Table::new(
+        "ablation_timing",
+        "Timing-model ablation: hybrid vs event-driven SM scheduler (PIV)",
+        &["Device", "Set", "Variant", "Hybrid ms", "Event ms", "ratio"],
+    );
+    let imp = PivImpl { rb: 4, threads: 128 };
+    for dev in [DeviceConfig::tesla_c1060(), DeviceConfig::tesla_c2070()] {
+        let compiler = Compiler::new(dev.clone());
+        for (name, prob) in piv_fpga_sets().into_iter().take(if quick() { 1 } else { 3 }) {
+            let scen = synth::piv_scenario(prob.img_w, prob.img_h, (2, 1), 9);
+            for variant in [Variant::Re, Variant::Sk] {
+                let mut times = Vec::new();
+                for event in [false, true] {
+                    let mut out = ks_apps::piv::run_gpu(
+                        &compiler,
+                        variant,
+                        PivKernel::Basic,
+                        &prob,
+                        &imp,
+                        &scen,
+                        false,
+                    )
+                    .unwrap();
+                    if event {
+                        // Re-run the launch through the event scheduler by
+                        // flipping the option at the sim level.
+                        out = ks_apps::piv::run_gpu_with(
+                            &compiler,
+                            variant,
+                            PivKernel::Basic,
+                            &prob,
+                            &imp,
+                            &scen,
+                            ks_sim::LaunchOptions {
+                                functional: false,
+                                timing_sample_blocks: 6,
+                                event_timing: true,
+                            },
+                        )
+                        .unwrap();
+                    }
+                    times.push(out.run.sim_ms);
+                }
+                table.row(vec![
+                    dev.name.clone(),
+                    name.to_string(),
+                    variant.to_string(),
+                    fmt_ms(times[0]),
+                    fmt_ms(times[1]),
+                    format!("{:.2}", times[1] / times[0]),
+                ]);
+            }
+        }
+    }
+    table.finish();
+}

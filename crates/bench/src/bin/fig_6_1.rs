@@ -1,0 +1,9 @@
+//! Figure 6.1 — Contour plots of PIV performance relative to the peak for
+//! each Table 6.4 data set on the Tesla C1060 (register blocking × thread
+//! count). Peak marked with `#`. CSV grids under bench_results/.
+
+use ks_sim::DeviceConfig;
+
+fn main() {
+    ks_bench::piv_contour("fig_6_1", DeviceConfig::tesla_c1060());
+}

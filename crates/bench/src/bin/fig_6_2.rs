@@ -1,0 +1,7 @@
+//! Figure 6.2 — Same contours as Figure 6.1, on the Tesla C2070.
+
+use ks_sim::DeviceConfig;
+
+fn main() {
+    ks_bench::piv_contour("fig_6_2", DeviceConfig::tesla_c2070());
+}

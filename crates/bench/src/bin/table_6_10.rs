@@ -1,0 +1,40 @@
+//! Table 6.10 — Template matching: multi-threaded CPU vs the best
+//! performing CUDA configuration on two GPUs. CPU times are wall-clock
+//! (per frame); GPU times are simulated kernel time (per frame).
+
+use ks_apps::template_match::cpu_ncc;
+use ks_apps::{synth, Variant};
+use ks_bench::*;
+
+fn main() {
+    let mut table = Table::new(
+        "table_6_10",
+        "Table 6.10: Template matching — CPU vs best CUDA configuration",
+        &["Data set", "corr2/frame", "CPU ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070"],
+    );
+    let mut sweeps: Vec<MatchSweep> = devices().into_iter().map(MatchSweep::new).collect();
+    for (name, prob) in match_patients() {
+        let scen = synth::match_scenario(
+            prob.frame_w, prob.frame_h, prob.templ_w, prob.templ_h, prob.shift_w, prob.shift_h, 1,
+        );
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cpu_ms = time_ms(2, || {
+            let _ = cpu_ncc(&prob, &scen.frame, &scen.template, threads);
+        });
+        let mut gpu_ms = Vec::new();
+        for sweep in &mut sweeps {
+            let (_, best) = sweep.best(Variant::Sk, &prob);
+            gpu_ms.push(best.sim_ms);
+        }
+        table.row(vec![
+            name.to_string(),
+            fmt(prob.num_offsets()),
+            fmt_ms(cpu_ms),
+            fmt_ms(gpu_ms[0]),
+            fmt_ms(gpu_ms[1]),
+            format!("{:.1}x", cpu_ms / gpu_ms[0]),
+            format!("{:.1}x", cpu_ms / gpu_ms[1]),
+        ]);
+    }
+    table.finish();
+}

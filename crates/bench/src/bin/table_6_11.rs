@@ -1,0 +1,34 @@
+//! Table 6.11 — PIV: FPGA reference (analytic model) vs the best
+//! performing CUDA configuration on two GPUs.
+
+use ks_apps::piv::{fpga_model_ms, PivKernel};
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    let mut table = Table::new(
+        "table_6_11",
+        "Table 6.11: PIV — FPGA vs best CUDA configuration",
+        &["Set", "Masks", "Offsets", "FPGA ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070"],
+    );
+    let mut sweeps: Vec<PivSweep> = devices().into_iter().map(PivSweep::new).collect();
+    for (name, prob) in piv_fpga_sets() {
+        let fpga = fpga_model_ms(&prob);
+        let mut gpu = Vec::new();
+        for sweep in &mut sweeps {
+            let (_, best) = sweep.best(Variant::Sk, PivKernel::Basic, &prob);
+            gpu.push(best.sim_ms);
+        }
+        table.row(vec![
+            name.to_string(),
+            fmt(prob.num_masks()),
+            fmt(prob.num_offsets()),
+            fmt_ms(fpga),
+            fmt_ms(gpu[0]),
+            fmt_ms(gpu[1]),
+            format!("{:.1}x", fpga / gpu[0]),
+            format!("{:.1}x", fpga / gpu[1]),
+        ]);
+    }
+    table.finish();
+}

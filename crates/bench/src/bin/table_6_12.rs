@@ -1,0 +1,50 @@
+//! Table 6.12 — Cone-beam backprojection: OpenMP-style CPU (4 threads)
+//! vs the best performing configuration on both GPUs.
+
+use ks_apps::backproj::*;
+use ks_apps::{synth, Variant};
+use ks_bench::*;
+use ks_core::Compiler;
+
+fn main() {
+    let quick = quick();
+    let (n, np, det) = if quick { (32, 16, 48) } else { (64, 32, 96) };
+    let prob = BackprojProblem { n, num_proj: np, det_u: det, det_v: det };
+    eprintln!("[gen] forward projecting {n}^3 phantom, {np} views...");
+    let scen = synth::ct_scenario(n, np, det, det);
+
+    let mut table = Table::new(
+        "table_6_12",
+        "Table 6.12: Backprojection — 4-thread CPU vs best GPU configuration",
+        &["Volume", "Projections", "CPU ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070"],
+    );
+    let cpu_ms = time_ms(2, || {
+        let _ = cpu_backproject(&prob, &scen, 4);
+    });
+    let mut gpu = Vec::new();
+    for dev in devices() {
+        let compiler = Compiler::new(dev);
+        let mut best = f64::INFINITY;
+        for ppl in [4u32, 8, 16] {
+            for zb in [1u32, 2, 4] {
+                if !(np as u32).is_multiple_of(ppl) {
+                    continue;
+                }
+                let imp = BackprojImpl { block_x: 16, block_y: 8, ppl, zb };
+                let out = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, false).unwrap();
+                best = best.min(out.run.sim_ms);
+            }
+        }
+        gpu.push(best);
+    }
+    table.row(vec![
+        format!("{n}^3"),
+        fmt(np),
+        fmt_ms(cpu_ms),
+        fmt_ms(gpu[0]),
+        fmt_ms(gpu[1]),
+        format!("{:.1}x", cpu_ms / gpu[0]),
+        format!("{:.1}x", cpu_ms / gpu[1]),
+    ]);
+    table.finish();
+}

@@ -1,0 +1,39 @@
+//! Table 6.13 — Template matching partial sums: performance and optimal
+//! configuration characteristics for the tiled summation kernel,
+//! run-time evaluated (RE) vs specialized (SK).
+
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    let mut table = Table::new(
+        "table_6_13",
+        "Table 6.13: Template matching — RE vs SK, optimal configurations",
+        &[
+            "Device", "Data set", "RE ms", "RE tile", "RE thr", "RE regs",
+            "SK ms", "SK tile", "SK thr", "SK regs", "Speedup",
+        ],
+    );
+    for dev in devices() {
+        let dev_name = dev.name.clone();
+        let mut sweep = MatchSweep::new(dev);
+        for (name, prob) in match_patients() {
+            let (re_imp, re) = sweep.best(Variant::Re, &prob);
+            let (sk_imp, sk) = sweep.best(Variant::Sk, &prob);
+            table.row(vec![
+                dev_name.clone(),
+                name.to_string(),
+                fmt_ms(re.sim_ms),
+                format!("{}x{}", re_imp.tile_w, re_imp.tile_h),
+                fmt(re_imp.threads),
+                fmt(re.regs),
+                fmt_ms(sk.sim_ms),
+                format!("{}x{}", sk_imp.tile_w, sk_imp.tile_h),
+                fmt(sk_imp.threads),
+                fmt(sk.regs),
+                format!("{:.2}x", re.sim_ms / sk.sim_ms),
+            ]);
+        }
+    }
+    table.finish();
+}

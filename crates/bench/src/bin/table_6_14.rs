@@ -1,0 +1,37 @@
+//! Table 6.14 — PIV GPU performance comparisons for several kernel
+//! variants across the FPGA benchmark set: run-time evaluated, specialized,
+//! and specialized + warp-specialized reduction.
+
+use ks_apps::piv::PivKernel;
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    let mut table = Table::new(
+        "table_6_14",
+        "Table 6.14: PIV kernel variants across the FPGA benchmark set",
+        &["Device", "Set", "RE ms", "SK ms", "SK+warp ms", "SK+tex ms", "SK/RE", "warp/SK", "tex/SK"],
+    );
+    for dev in devices() {
+        let dev_name = dev.name.clone();
+        let mut sweep = PivSweep::new(dev);
+        for (name, prob) in piv_fpga_sets() {
+            let (_, re) = sweep.best(Variant::Re, PivKernel::Basic, &prob);
+            let (_, sk) = sweep.best(Variant::Sk, PivKernel::Basic, &prob);
+            let (_, ws) = sweep.best(Variant::Sk, PivKernel::WarpSpec, &prob);
+            let (_, tx) = sweep.best(Variant::Sk, PivKernel::Textured, &prob);
+            table.row(vec![
+                dev_name.clone(),
+                name.to_string(),
+                fmt_ms(re.sim_ms),
+                fmt_ms(sk.sim_ms),
+                fmt_ms(ws.sim_ms),
+                fmt_ms(tx.sim_ms),
+                format!("{:.2}x", re.sim_ms / sk.sim_ms),
+                format!("{:.2}x", sk.sim_ms / ws.sim_ms),
+                format!("{:.2}x", sk.sim_ms / tx.sim_ms),
+            ]);
+        }
+    }
+    table.finish();
+}

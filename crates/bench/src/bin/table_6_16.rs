@@ -1,0 +1,18 @@
+//! Table 6.16 — PIV performance versus interrogation-window (mask) size
+//! (the Table 6.4 problem set), with optimal register blocking and thread
+//! counts.
+
+use ks_apps::piv::PivKernel;
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    ks_bench::piv_sweep_table(
+        "table_6_16",
+        "Table 6.16: PIV vs mask size — optimal register blocking & threads",
+        "Mask",
+        &piv_mask_sets(),
+        PivKernel::Basic,
+        Variant::Sk,
+    );
+}

@@ -1,0 +1,17 @@
+//! Table 6.17 — PIV performance versus the number of search offsets
+//! (the Table 6.5 problem set).
+
+use ks_apps::piv::PivKernel;
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    ks_bench::piv_sweep_table(
+        "table_6_17",
+        "Table 6.17: PIV vs search offsets — optimal register blocking & threads",
+        "Search",
+        &piv_search_sets(),
+        PivKernel::Basic,
+        Variant::Sk,
+    );
+}

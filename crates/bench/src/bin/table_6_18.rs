@@ -1,0 +1,17 @@
+//! Table 6.18 — PIV performance versus interrogation-window overlap
+//! (the Table 6.6 problem set).
+
+use ks_apps::piv::PivKernel;
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    ks_bench::piv_sweep_table(
+        "table_6_18",
+        "Table 6.18: PIV vs window overlap — optimal register blocking & threads",
+        "Overlap",
+        &piv_overlap_sets(),
+        PivKernel::Basic,
+        Variant::Sk,
+    );
+}

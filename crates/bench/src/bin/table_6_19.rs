@@ -1,0 +1,68 @@
+//! Table 6.19 — Performance comparisons for the backprojection kernels:
+//! RE vs SK across (projections-per-launch × z-blocking) configurations.
+
+use ks_apps::backproj::*;
+use ks_apps::{synth, Variant};
+use ks_bench::*;
+use ks_core::Compiler;
+
+fn main() {
+    let quick = quick();
+    let (n, np, det) = if quick { (32, 16, 48) } else { (64, 32, 96) };
+    let prob = BackprojProblem { n, num_proj: np, det_u: det, det_v: det };
+    eprintln!("[gen] forward projecting {n}^3 phantom, {np} views...");
+    let scen = synth::ct_scenario(n, np, det, det);
+    let mut table = Table::new(
+        "table_6_19",
+        "Table 6.19: Backprojection kernel comparisons (RE vs SK)",
+        &["Device", "Block", "PPL", "ZB", "RE ms", "RE regs", "SK ms", "SK regs", "Speedup"],
+    );
+    for dev in devices() {
+        let dev_name = dev.name.clone();
+        let compiler = Compiler::new(dev);
+        let mut best: Option<(f64, f64)> = None; // (best RE, best SK)
+        for (bx, by) in [(8u32, 8u32), (16, 8), (16, 16)] {
+            for ppl in [8u32, 16] {
+                if !(np as u32).is_multiple_of(ppl) {
+                    continue;
+                }
+                for zb in [1u32, 2, 4] {
+                    let imp = BackprojImpl { block_x: bx, block_y: by, ppl, zb };
+                    let re =
+                        run_gpu(&compiler, Variant::Re, &prob, &imp, &scen, false).unwrap();
+                    let sk =
+                        run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, false).unwrap();
+                    best = Some(match best {
+                        None => (re.run.sim_ms, sk.run.sim_ms),
+                        Some((br, bs)) => (br.min(re.run.sim_ms), bs.min(sk.run.sim_ms)),
+                    });
+                    table.row(vec![
+                        dev_name.clone(),
+                        format!("{bx}x{by}"),
+                        fmt(ppl),
+                        fmt(zb),
+                        fmt_ms(re.run.sim_ms),
+                        fmt(re.run.regs_per_thread()),
+                        fmt_ms(sk.run.sim_ms),
+                        fmt(sk.run.regs_per_thread()),
+                        format!("{:.2}x", re.run.sim_ms / sk.run.sim_ms),
+                    ]);
+                }
+            }
+        }
+        if let Some((br, bs)) = best {
+            table.row(vec![
+                dev_name.clone(),
+                "best".into(),
+                "-".into(),
+                "-".into(),
+                fmt_ms(br),
+                "-".into(),
+                fmt_ms(bs),
+                "-".into(),
+                format!("{:.2}x", br / bs),
+            ]);
+        }
+    }
+    table.finish();
+}

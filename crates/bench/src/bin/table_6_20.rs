@@ -1,0 +1,46 @@
+//! Table 6.20 — Occupancy and execution data for the Tesla C1060 on the
+//! PIV V2 data set: per kernel variant and configuration, registers per
+//! thread, shared memory, blocks per SM, active warps, occupancy, time.
+
+use ks_apps::piv::{PivImpl, PivKernel};
+use ks_apps::Variant;
+use ks_bench::*;
+use ks_sim::DeviceConfig;
+
+fn main() {
+    let (_, prob) = piv_fpga_sets().remove(1.min(piv_fpga_sets().len() - 1));
+    let mut sweep = PivSweep::new(DeviceConfig::tesla_c1060());
+    let mut table = Table::new(
+        "table_6_20",
+        "Table 6.20: Occupancy & execution data, Tesla C1060, PIV V2 set",
+        &[
+            "Variant", "RB", "Threads", "Regs", "Shared B", "Local B", "Blk/SM",
+            "Warps", "Occupancy", "ms",
+        ],
+    );
+    for (variant, kernel, tag) in [
+        (Variant::Re, PivKernel::Basic, "RE"),
+        (Variant::Sk, PivKernel::Basic, "SK"),
+        (Variant::Sk, PivKernel::WarpSpec, "SK+warp"),
+    ] {
+        for rb in [2u32, 4, 8] {
+            for threads in [64u32, 128, 256] {
+                let imp = PivImpl { rb, threads };
+                let s = sweep.eval(variant, kernel, &prob, &imp);
+                table.row(vec![
+                    tag.to_string(),
+                    fmt(rb),
+                    fmt(threads),
+                    fmt(s.regs),
+                    fmt(s.shared_bytes),
+                    fmt(s.local_bytes),
+                    fmt(s.blocks_per_sm),
+                    fmt(s.active_warps),
+                    format!("{:.2}", s.occupancy),
+                    fmt_ms(s.sim_ms),
+                ]);
+            }
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,46 @@
+//! Table 6.21 — Percentage of peak performance for the template matching
+//! application with various *fixed* main tile sizes and thread counts:
+//! how much performance a one-size-fits-all configuration leaves behind,
+//! per data set (the motivation for adjustable implementation parameters).
+
+use ks_apps::template_match::MatchImpl;
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    for dev in devices() {
+        let dev_name = dev.name.clone();
+        let mut sweep = MatchSweep::new(dev);
+        let patients = match_patients();
+        // Peak per data set.
+        let peaks: Vec<f64> = patients
+            .iter()
+            .map(|(_, p)| sweep.best(Variant::Sk, p).1.sim_ms)
+            .collect();
+        let mut headers: Vec<String> = vec!["Tile".into(), "Threads".into()];
+        headers.extend(patients.iter().map(|(n, _)| n.to_string()));
+        headers.push("Min %".into());
+        let tag = dev_name.replace(' ', "_").to_lowercase();
+        let mut table = Table::new(
+            &format!("table_6_21_{tag}"),
+            &format!("Table 6.21: % of peak with fixed configs — {dev_name}"),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for (tw, th) in match_tile_options() {
+            for t in thread_options() {
+                let imp = MatchImpl { tile_w: tw, tile_h: th, threads: t };
+                let mut row = vec![format!("{tw}x{th}"), fmt(t)];
+                let mut min_pct = f64::INFINITY;
+                for ((_, p), peak) in patients.iter().zip(&peaks) {
+                    let s = sweep.eval(Variant::Sk, p, &imp);
+                    let pct = peak / s.sim_ms * 100.0;
+                    min_pct = min_pct.min(pct);
+                    row.push(format!("{pct:.0}%"));
+                }
+                row.push(format!("{min_pct:.0}%"));
+                table.row(row);
+            }
+        }
+        table.finish();
+    }
+}

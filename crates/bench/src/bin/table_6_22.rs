@@ -1,0 +1,44 @@
+//! Table 6.22 — Percentage of peak performance for the PIV application
+//! with various *fixed* data register counts and thread counts, across
+//! the mask-size data sets (Table 6.4).
+
+use ks_apps::piv::{PivImpl, PivKernel};
+use ks_apps::Variant;
+use ks_bench::*;
+
+fn main() {
+    for dev in devices() {
+        let dev_name = dev.name.clone();
+        let mut sweep = PivSweep::new(dev);
+        let sets = piv_mask_sets();
+        let peaks: Vec<f64> = sets
+            .iter()
+            .map(|(_, p)| sweep.best(Variant::Sk, PivKernel::Basic, p).1.sim_ms)
+            .collect();
+        let mut headers: Vec<String> = vec!["RB".into(), "Threads".into()];
+        headers.extend(sets.iter().map(|(n, _)| n.clone()));
+        headers.push("Min %".into());
+        let tag = dev_name.replace(' ', "_").to_lowercase();
+        let mut table = Table::new(
+            &format!("table_6_22_{tag}"),
+            &format!("Table 6.22: PIV % of peak with fixed configs — {dev_name}"),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for rb in piv_rb_options() {
+            for t in piv_thread_options() {
+                let imp = PivImpl { rb, threads: t };
+                let mut row = vec![fmt(rb), fmt(t)];
+                let mut min_pct = f64::INFINITY;
+                for ((_, p), peak) in sets.iter().zip(&peaks) {
+                    let s = sweep.eval(Variant::Sk, PivKernel::Basic, p, &imp);
+                    let pct = peak / s.sim_ms * 100.0;
+                    min_pct = min_pct.min(pct);
+                    row.push(format!("{pct:.0}%"));
+                }
+                row.push(format!("{min_pct:.0}%"));
+                table.row(row);
+            }
+        }
+        table.finish();
+    }
+}

@@ -1,0 +1,109 @@
+//! Tables 6.1–6.9 — the problem and implementation parameterizations of
+//! §6.1.2, printed from the same definitions the benchmark binaries use
+//! (so the parameter tables and the measurements can never drift apart).
+
+use ks_bench::*;
+
+fn main() {
+    // Table 6.1: template matching implementation parameters.
+    let mut t = Table::new(
+        "table_6_1",
+        "Table 6.1: template matching GPU implementation parameters benchmarked",
+        &["Parameter", "Values"],
+    );
+    let tiles: Vec<String> =
+        match_tile_options().iter().map(|(w, h)| format!("{w}x{h}")).collect();
+    t.row(vec!["main tile (WxH)".into(), tiles.join(", ")]);
+    let thr: Vec<String> = thread_options().iter().map(|v| v.to_string()).collect();
+    t.row(vec!["threads per block".into(), thr.join(", ")]);
+    t.finish();
+
+    // Tables 6.2/6.3: the FPGA comparison set, in both the paper's
+    // vocabularies (window/image dims; mask/offset counts).
+    let mut t = Table::new(
+        "table_6_2",
+        "Table 6.2: PIV problem set — interrogation window and image dimensions",
+        &["Set", "Image", "Window", "Step", "Search"],
+    );
+    for (name, p) in piv_fpga_sets() {
+        t.row(vec![
+            name.to_string(),
+            format!("{}x{}", p.img_w, p.img_h),
+            format!("{}x{}", p.mask_w, p.mask_h),
+            format!("{}x{}", p.step_x, p.step_y),
+            format!("{}x{}", p.offs_w, p.offs_h),
+        ]);
+    }
+    t.finish();
+
+    let mut t = Table::new(
+        "table_6_3",
+        "Table 6.3: PIV problem set — mask and offset counts",
+        &["Set", "Masks", "Offsets", "Mask-pixel x offset ops"],
+    );
+    for (name, p) in piv_fpga_sets() {
+        let ops = p.num_masks() * p.num_offsets() * p.mask_w * p.mask_h;
+        t.row(vec![
+            name.to_string(),
+            fmt(p.num_masks()),
+            fmt(p.num_offsets()),
+            fmt(ops),
+        ]);
+    }
+    t.finish();
+
+    // Tables 6.4–6.6: the mask-size / search / overlap sweeps.
+    for (name, title, sets) in [
+        ("table_6_4", "Table 6.4: PIV mask-size sweep", piv_mask_sets()),
+        ("table_6_5", "Table 6.5: PIV search-offset sweep", piv_search_sets()),
+        ("table_6_6", "Table 6.6: PIV overlap sweep", piv_overlap_sets()),
+    ] {
+        let mut t = Table::new(name, title, &["Point", "Image", "Mask", "Step", "Offsets", "Masks"]);
+        for (pname, p) in sets {
+            t.row(vec![
+                pname,
+                format!("{}x{}", p.img_w, p.img_h),
+                format!("{}x{}", p.mask_w, p.mask_h),
+                format!("{}x{}", p.step_x, p.step_y),
+                fmt(p.num_offsets()),
+                fmt(p.num_masks()),
+            ]);
+        }
+        t.finish();
+    }
+
+    // Table 6.7: PIV implementation parameters.
+    let mut t = Table::new(
+        "table_6_7",
+        "Table 6.7: PIV GPU implementation parameters benchmarked",
+        &["Parameter", "Values"],
+    );
+    let rbs: Vec<String> = piv_rb_options().iter().map(|v| v.to_string()).collect();
+    t.row(vec!["data registers (RB)".into(), rbs.join(", ")]);
+    let thr: Vec<String> = piv_thread_options().iter().map(|v| v.to_string()).collect();
+    t.row(vec!["threads per block".into(), thr.join(", ")]);
+    t.row(vec!["kernel variants".into(), "basic, warp-specialized".into()]);
+    t.finish();
+
+    // Tables 6.8/6.9: backprojection problem & implementation parameters.
+    let quick = quick();
+    let (n, np, det) = if quick { (32, 16, 48) } else { (64, 32, 96) };
+    let mut t = Table::new(
+        "table_6_8",
+        "Table 6.8: cone beam backprojection problem parameters benchmarked",
+        &["Parameter", "Values"],
+    );
+    t.row(vec!["volume".into(), format!("{n}^3 voxels")]);
+    t.row(vec!["projections".into(), format!("{np} views of {det}x{det}")]);
+    t.finish();
+
+    let mut t = Table::new(
+        "table_6_9",
+        "Table 6.9: cone beam backprojection implementation parameters benchmarked",
+        &["Parameter", "Values"],
+    );
+    t.row(vec!["projections per launch (PPL)".into(), "4, 8, 16".into()]);
+    t.row(vec!["z register blocking (ZB)".into(), "1, 2, 4".into()]);
+    t.row(vec!["thread block".into(), "16x8".into()]);
+    t.finish();
+}

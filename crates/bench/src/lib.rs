@@ -1,0 +1,628 @@
+//! # ks-bench — the evaluation harness
+//!
+//! One binary per table and figure of the dissertation's Chapter 6 (see
+//! DESIGN.md's per-experiment index). Shared here: the problem sets
+//! (Tables 6.1–6.9), configuration sweep drivers with memoization, table
+//! formatting, and CSV output under `bench_results/`.
+//!
+//! Every binary accepts `--quick` (or env `KS_BENCH_QUICK=1`) to shrink
+//! problem sizes for smoke testing.
+
+use ks_apps::piv::{PivImpl, PivKernel, PivProblem};
+use ks_apps::template_match::{MatchImpl, MatchProblem};
+use ks_apps::{synth, Variant};
+use ks_core::Compiler;
+use ks_sim::DeviceConfig;
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::io::Write;
+
+/// True if the run should use reduced problem sizes.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("KS_BENCH_QUICK").is_ok()
+}
+
+/// The two simulated devices of the dissertation's testbed.
+pub fn devices() -> Vec<DeviceConfig> {
+    DeviceConfig::presets()
+}
+
+// ---------------------------------------------------------------- tables
+
+/// An aligned ASCII table that also lands in `bench_results/<name>.csv`.
+pub struct Table {
+    name: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print the table and write the CSV. Returns the CSV path.
+    pub fn finish(&self) -> std::path::PathBuf {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n=== {} ===", self.title);
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("| {} |", padded.join(" | "));
+        };
+        line(&self.headers);
+        println!(
+            "|{}|",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            line(r);
+        }
+        // CSV
+        let dir_owned =
+            std::env::var("KS_BENCH_DIR").unwrap_or_else(|_| "bench_results".to_string());
+        let dir = std::path::Path::new(&dir_owned);
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path).expect("write csv");
+        let esc = |s: &str| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            f,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(f, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        println!("[csv] {}", path.display());
+        path
+    }
+}
+
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+pub fn fmt<T: Display>(v: T) -> String {
+    v.to_string()
+}
+
+/// Wall-clock a closure (best of `reps`), in milliseconds.
+pub fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+// ------------------------------------------------- problem sets (Ch. 6)
+
+/// Template-matching patients (Table 5.1), optionally shrunk.
+pub fn match_patients() -> Vec<(&'static str, MatchProblem)> {
+    let mut p = ks_apps::template_match::patients();
+    if quick() {
+        p.truncate(2);
+        for (_, prob) in &mut p {
+            prob.frames = 4;
+        }
+    }
+    p
+}
+
+/// The PIV "FPGA benchmark set" (Tables 6.2/6.3): window/image dims and
+/// the resulting mask/offset counts.
+pub fn piv_fpga_sets() -> Vec<(&'static str, PivProblem)> {
+    let mut v = vec![
+        ("V1", PivProblem::standard(256, 16, 50, 4)),
+        ("V2", PivProblem::standard(512, 32, 50, 8)),
+        ("V3", PivProblem::standard(512, 64, 50, 8)),
+        ("V4", PivProblem::standard(1024, 32, 75, 12)),
+        ("V5", PivProblem::standard(1024, 64, 50, 16)),
+    ];
+    if quick() {
+        v.truncate(2);
+    }
+    v
+}
+
+/// Mask-size sweep (Table 6.4).
+pub fn piv_mask_sets() -> Vec<(String, PivProblem)> {
+    let sizes: &[usize] = if quick() { &[16, 32] } else { &[16, 24, 32, 48, 64] };
+    sizes
+        .iter()
+        .map(|&m| (format!("{m}x{m}"), PivProblem::standard(512, m, 50, 8)))
+        .collect()
+}
+
+/// Search-offset sweep (Table 6.5).
+pub fn piv_search_sets() -> Vec<(String, PivProblem)> {
+    let radii: &[usize] = if quick() { &[4, 8] } else { &[2, 4, 6, 8, 12] };
+    radii
+        .iter()
+        .map(|&r| {
+            (format!("{0}x{0}", 2 * r + 1), PivProblem::standard(512, 32, 50, r))
+        })
+        .collect()
+}
+
+/// Overlap sweep (Table 6.6).
+pub fn piv_overlap_sets() -> Vec<(String, PivProblem)> {
+    let overlaps: &[usize] = if quick() { &[0, 50] } else { &[0, 25, 50, 75] };
+    overlaps
+        .iter()
+        .map(|&o| (format!("{o}%"), PivProblem::standard(512, 32, o, 8)))
+        .collect()
+}
+
+/// Implementation parameter grids (Tables 6.1 / 6.7).
+pub fn match_tile_options() -> Vec<(u32, u32)> {
+    if quick() {
+        vec![(8, 8), (16, 16)]
+    } else {
+        vec![(8, 8), (8, 16), (16, 8), (16, 16), (16, 32), (32, 16)]
+    }
+}
+
+pub fn thread_options() -> Vec<u32> {
+    if quick() {
+        vec![64, 128]
+    } else {
+        vec![64, 128, 256]
+    }
+}
+
+pub fn piv_rb_options() -> Vec<u32> {
+    if quick() {
+        vec![2, 4]
+    } else {
+        vec![1, 2, 4, 6, 8]
+    }
+}
+
+pub fn piv_thread_options() -> Vec<u32> {
+    if quick() {
+        vec![64, 128]
+    } else {
+        vec![32, 64, 128, 256]
+    }
+}
+
+// ---------------------------------------------------------- sweep engine
+
+/// Measurement of one (problem, configuration) point.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub sim_ms: f64,
+    pub regs: u32,
+    pub occupancy: f64,
+    pub active_warps: u32,
+    pub blocks_per_sm: u32,
+    pub local_bytes: u32,
+    pub shared_bytes: u32,
+}
+
+impl Sample {
+    /// Marker for configurations the device cannot launch at all.
+    pub fn infeasible() -> Sample {
+        Sample {
+            sim_ms: f64::INFINITY,
+            regs: 0,
+            occupancy: 0.0,
+            active_warps: 0,
+            blocks_per_sm: 0,
+            local_bytes: 0,
+            shared_bytes: 0,
+        }
+    }
+
+    pub fn is_infeasible(&self) -> bool {
+        self.sim_ms.is_infinite()
+    }
+}
+
+/// Launch options used across all sweeps: timing-only, tiny sample.
+fn sweep_functional() -> bool {
+    false
+}
+
+/// Cache key for a match scenario: frame and template geometry.
+type ScenKey = (usize, usize, usize, usize, usize, usize);
+
+/// Cache key for a measured configuration point.
+type PointKey<P> = (String, P, (u32, u32, u32));
+
+/// Memoizing evaluator for template matching configurations.
+pub struct MatchSweep {
+    pub compiler: Compiler,
+    scen_cache: BTreeMap<ScenKey, synth::MatchScenario>,
+    cache: BTreeMap<PointKey<MatchProblem>, Sample>,
+    variant_tag: String,
+}
+
+impl MatchSweep {
+    pub fn new(dev: DeviceConfig) -> MatchSweep {
+        MatchSweep {
+            compiler: Compiler::new(dev),
+            scen_cache: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            variant_tag: String::new(),
+        }
+    }
+
+    fn scenario(&mut self, p: &MatchProblem) -> &synth::MatchScenario {
+        let key: ScenKey = (p.frame_w, p.frame_h, p.templ_w, p.templ_h, p.shift_w, p.shift_h);
+        self.scen_cache.entry(key).or_insert_with(|| {
+            synth::match_scenario(p.frame_w, p.frame_h, p.templ_w, p.templ_h, p.shift_w, p.shift_h, 1234)
+        })
+    }
+
+    /// Simulated time (ms) for one frame at this configuration.
+    pub fn eval(&mut self, variant: Variant, prob: &MatchProblem, imp: &MatchImpl) -> Sample {
+        self.variant_tag = variant.to_string();
+        let key = (
+            format!("{variant}"),
+            *prob,
+            (imp.tile_w, imp.tile_h, imp.threads),
+        );
+        if let Some(s) = self.cache.get(&key) {
+            return s.clone();
+        }
+        // Scenario borrow dance: clone the needed data.
+        let scen = self.scenario(prob).clone_lite();
+        let s = match ks_apps::template_match::run_gpu(
+            &self.compiler,
+            variant,
+            prob,
+            imp,
+            &scen,
+            sweep_functional(),
+        ) {
+            Ok(out) => {
+                let rep = &out.run.reports[0];
+                Sample {
+                    sim_ms: out.run.sim_ms,
+                    regs: out.run.regs_per_thread(),
+                    occupancy: rep.occupancy.occupancy,
+                    active_warps: rep.occupancy.active_warps,
+                    blocks_per_sm: rep.occupancy.blocks_per_sm,
+                    local_bytes: rep.local_bytes_per_thread,
+                    shared_bytes: rep.shared_per_block,
+                }
+            }
+            // Configurations that exceed device limits are legal sweep
+            // points with infinite cost (exactly what happens on real
+            // hardware: the launch fails).
+            Err(e) if e.to_string().contains("infeasible") => Sample::infeasible(),
+            Err(e) => panic!("template sweep: {e}"),
+        };
+        self.cache.insert(key, s.clone());
+        s
+    }
+
+    /// Best configuration over the sweep grid.
+    pub fn best(
+        &mut self,
+        variant: Variant,
+        prob: &MatchProblem,
+    ) -> (MatchImpl, Sample) {
+        let mut best: Option<(MatchImpl, Sample)> = None;
+        for (tw, th) in match_tile_options() {
+            for t in thread_options() {
+                let imp = MatchImpl { tile_w: tw, tile_h: th, threads: t };
+                let s = self.eval(variant, prob, &imp);
+                if best.as_ref().is_none_or(|(_, b)| s.sim_ms < b.sim_ms) {
+                    best = Some((imp, s));
+                }
+            }
+        }
+        best.unwrap()
+    }
+}
+
+/// Cheap clone for scenarios inside the sweep cache.
+trait CloneLite {
+    fn clone_lite(&self) -> Self;
+}
+
+impl CloneLite for synth::MatchScenario {
+    fn clone_lite(&self) -> Self {
+        synth::MatchScenario {
+            frame: self.frame.clone(),
+            template: self.template.clone(),
+            truth: self.truth,
+        }
+    }
+}
+
+/// Memoizing evaluator for PIV configurations.
+pub struct PivSweep {
+    pub compiler: Compiler,
+    scen_cache: BTreeMap<(usize, usize), synth::PivScenario>,
+    cache: BTreeMap<PointKey<PivProblem>, Sample>,
+}
+
+impl PivSweep {
+    pub fn new(dev: DeviceConfig) -> PivSweep {
+        PivSweep { compiler: Compiler::new(dev), scen_cache: BTreeMap::new(), cache: BTreeMap::new() }
+    }
+
+    fn scenario(&mut self, p: &PivProblem) -> synth::PivScenario {
+        let key = (p.img_w, p.img_h);
+        let s = self.scen_cache.entry(key).or_insert_with(|| {
+            synth::piv_scenario(p.img_w, p.img_h, (3, 1), 77)
+        });
+        synth::PivScenario { a: s.a.clone(), b: s.b.clone(), flow: s.flow }
+    }
+
+    pub fn eval(
+        &mut self,
+        variant: Variant,
+        kernel: PivKernel,
+        prob: &PivProblem,
+        imp: &PivImpl,
+    ) -> Sample {
+        let key = (format!("{variant}/{:?}", kernel), *prob, (imp.rb, imp.threads, 0));
+        if let Some(s) = self.cache.get(&key) {
+            return s.clone();
+        }
+        let scen = self.scenario(prob);
+        let s = match ks_apps::piv::run_gpu(
+            &self.compiler,
+            variant,
+            kernel,
+            prob,
+            imp,
+            &scen,
+            sweep_functional(),
+        ) {
+            Ok(out) => {
+                let rep = &out.run.reports[0];
+                Sample {
+                    sim_ms: out.run.sim_ms,
+                    regs: out.run.regs_per_thread(),
+                    occupancy: rep.occupancy.occupancy,
+                    active_warps: rep.occupancy.active_warps,
+                    blocks_per_sm: rep.occupancy.blocks_per_sm,
+                    local_bytes: rep.local_bytes_per_thread,
+                    shared_bytes: rep.shared_per_block,
+                }
+            }
+            Err(e) if e.to_string().contains("infeasible") => Sample::infeasible(),
+            Err(e) => panic!("piv sweep: {e}"),
+        };
+        self.cache.insert(key, s.clone());
+        s
+    }
+
+    pub fn best(
+        &mut self,
+        variant: Variant,
+        kernel: PivKernel,
+        prob: &PivProblem,
+    ) -> (PivImpl, Sample) {
+        let mut best: Option<(PivImpl, Sample)> = None;
+        for rb in piv_rb_options() {
+            for t in piv_thread_options() {
+                let imp = PivImpl { rb, threads: t };
+                let s = self.eval(variant, kernel, prob, &imp);
+                if best.as_ref().is_none_or(|(_, b)| s.sim_ms < b.sim_ms) {
+                    best = Some((imp, s));
+                }
+            }
+        }
+        best.unwrap()
+    }
+}
+
+/// Standard "performance + optimal configuration" table used by Tables
+/// 6.15–6.18: for each problem set, the best (RB, threads) on each device.
+pub fn piv_sweep_table(
+    name: &str,
+    title: &str,
+    set_label: &str,
+    sets: &[(String, PivProblem)],
+    kernel: PivKernel,
+    variant: Variant,
+) {
+    let mut headers = vec![set_label.to_string(), "Masks".into(), "Offsets".into()];
+    for d in devices() {
+        headers.push(format!("{} ms", d.name));
+        headers.push("RB".into());
+        headers.push("Thr".into());
+        headers.push("Regs".into());
+        headers.push("Occ".into());
+    }
+    let mut table =
+        Table::new(name, title, &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut sweeps: Vec<PivSweep> = devices().into_iter().map(PivSweep::new).collect();
+    for (set_name, prob) in sets {
+        let mut row = vec![set_name.clone(), fmt(prob.num_masks()), fmt(prob.num_offsets())];
+        for sweep in &mut sweeps {
+            let (imp, s) = sweep.best(variant, kernel, prob);
+            row.push(fmt_ms(s.sim_ms));
+            row.push(fmt(imp.rb));
+            row.push(fmt(imp.threads));
+            row.push(fmt(s.regs));
+            row.push(format!("{:.2}", s.occupancy));
+        }
+        table.row(row);
+    }
+    table.finish();
+}
+
+/// The Figure 6.1/6.2 driver: per Table 6.4 data set, a (RB × threads)
+/// grid of performance relative to the peak, printed as an ASCII contour
+/// and written as CSV.
+pub fn piv_contour(name: &str, dev: DeviceConfig) {
+    let dev_name = dev.name.clone();
+    let mut sweep = PivSweep::new(dev);
+    let rbs = piv_rb_options();
+    let threads = piv_thread_options();
+    println!("=== {name}: PIV performance relative to peak — {dev_name} ===");
+    for (set_name, prob) in piv_mask_sets() {
+        // Measure the grid.
+        let mut times = vec![vec![0.0f64; rbs.len()]; threads.len()];
+        let mut best = f64::INFINITY;
+        for (i, &t) in threads.iter().enumerate() {
+            for (j, &rb) in rbs.iter().enumerate() {
+                let s = sweep.eval(
+                    Variant::Sk,
+                    PivKernel::Basic,
+                    &prob,
+                    &PivImpl { rb, threads: t },
+                );
+                times[i][j] = s.sim_ms;
+                best = best.min(s.sim_ms);
+            }
+        }
+        let rel: Vec<Vec<f64>> =
+            times.iter().map(|row| row.iter().map(|t| best / t).collect()).collect();
+        println!("
+--- data set {set_name} (peak {} ms) ---", fmt_ms(best));
+        print!("{}", ascii_contour(&threads, &rbs, &rel, "threads", "rb"));
+        // CSV grid.
+        let mut table = Table::new(
+            &format!("{name}_{}", set_name.replace(['x', '%'], "_")),
+            &format!("{name} data set {set_name} ({dev_name})"),
+            &std::iter::once("threads\\rb".to_string())
+                .chain(rbs.iter().map(|r| r.to_string()))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
+        );
+        for (i, &t) in threads.iter().enumerate() {
+            let mut row = vec![t.to_string()];
+            row.extend(rel[i].iter().map(|v| format!("{v:.3}")));
+            table.row(row);
+        }
+        table.finish();
+    }
+}
+
+/// Render a (threads × rb) relative-performance grid as an ASCII contour
+/// (used by the Figure 6.1/6.2 binaries). `grid[i][j]` is performance
+/// relative to peak in [0, 1]; the peak cell is marked `#`.
+pub fn ascii_contour(
+    rows: &[u32],
+    cols: &[u32],
+    grid: &[Vec<f64>],
+    row_label: &str,
+    col_label: &str,
+) -> String {
+    let mut out = String::new();
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '%', '@'];
+    let peak = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(i, r)| r.iter().enumerate().map(move |(j, v)| (i, j, *v)))
+        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .map(|(i, j, _)| (i, j))
+        .unwrap_or((0, 0));
+    out.push_str(&format!("{row_label} \\ {col_label}:"));
+    for c in cols {
+        out.push_str(&format!("{c:>6}"));
+    }
+    out.push('\n');
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!("{r:>16}"));
+        for (j, v) in grid[i].iter().enumerate() {
+            if (i, j) == peak {
+                out.push_str("     #");
+            } else {
+                let idx = ((v * (shades.len() - 1) as f64).round() as usize)
+                    .min(shades.len() - 1);
+                out.push_str(&format!("     {}", shades[idx]));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_and_writes_csv() {
+        let dir = std::env::temp_dir().join("ks-bench-test");
+        std::env::set_var("KS_BENCH_DIR", &dir);
+        let mut t = Table::new("unit_test_table", "A test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.finish();
+        std::env::remove_var("KS_BENCH_DIR");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn contour_marks_peak() {
+        let grid = vec![vec![0.2, 0.5], vec![0.9, 1.0]];
+        let s = ascii_contour(&[32, 64], &[1, 2], &grid, "threads", "rb");
+        assert!(s.contains('#'));
+        assert_eq!(s.matches('#').count(), 1);
+    }
+
+    #[test]
+    fn infeasible_sample_marker() {
+        let s = Sample::infeasible();
+        assert!(s.is_infeasible());
+        assert!(s.sim_ms > 1e300);
+        let ok = Sample {
+            sim_ms: 1.0,
+            regs: 8,
+            occupancy: 0.5,
+            active_warps: 16,
+            blocks_per_sm: 4,
+            local_bytes: 0,
+            shared_bytes: 0,
+        };
+        assert!(!ok.is_infeasible());
+    }
+
+    #[test]
+    fn problem_sets_are_wellformed() {
+        for (_, p) in piv_fpga_sets() {
+            assert!(p.num_masks() > 0, "{p:?}");
+            assert!(p.num_offsets() > 0);
+        }
+        for (_, p) in match_patients() {
+            assert!(p.num_offsets() > 0);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # ks-codegen — HIR → IR lowering with specialization-driven transforms
+//!
+//! This crate implements the compile-time optimizations the dissertation
+//! identifies as the payoff of kernel specialization (§2.4, §4): they all
+//! *require fixed values at compile time*, which is exactly what the
+//! preprocessor's `-D` defines provide.
+//!
+//! * [`consteval`] — constant folding & propagation over the typed HIR,
+//!   including static *guard elimination* (`if` with a constant condition).
+//! * [`unroll`] — full unrolling of counted loops whose bounds folded to
+//!   constants. Run-time-evaluated loops stay rolled and pay the loop
+//!   setup/iteration/branch overhead in the simulator.
+//! * [`scalarize`] — promotion of per-thread local arrays to scalar
+//!   registers when (after unrolling) every index is a constant. This is
+//!   *register blocking*: NVIDIA GPUs cannot indirectly address registers,
+//!   so a dynamically indexed array must live in slow local memory.
+//! * [`lower`] — lowering to the PTX-like `ks-ir`.
+
+pub mod consteval;
+pub mod lower;
+pub mod scalarize;
+pub mod unroll;
+
+use ks_lang::hir::Program;
+
+/// Codegen options.
+#[derive(Debug, Clone)]
+pub struct CodegenOptions {
+    /// Maximum trip count for full loop unrolling.
+    pub unroll_limit: u32,
+    /// Maximum element count for local-array scalarization.
+    pub scalarize_cap: u32,
+    /// Apply HIR-level optimizations at all (`false` ⇒ a "-O0" build used
+    /// for differential testing).
+    pub optimize: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions { unroll_limit: 2048, scalarize_cap: 256, optimize: true }
+    }
+}
+
+/// Run the HIR pipeline (fold → unroll → fold → scalarize → fold) and lower
+/// to an IR module.
+pub fn compile(program: &Program, opts: &CodegenOptions) -> Result<ks_ir::Module, String> {
+    let mut prog = program.clone();
+    if opts.optimize {
+        for k in &mut prog.kernels {
+            consteval::fold_func(k);
+            unroll::unroll_func(k, opts.unroll_limit);
+            consteval::fold_func(k);
+            scalarize::scalarize_func(k, opts.scalarize_cap);
+            consteval::fold_func(k);
+        }
+    }
+    lower::lower_program(&prog)
+}

@@ -1,0 +1,563 @@
+//! Full loop unrolling for counted loops with compile-time-constant bounds.
+//!
+//! This is the headline specialization optimization: a `for` loop whose
+//! init/bound/step folded to literals (because `LOOP_COUNT` et al. were
+//! `-D`-defined) is replaced by straight-line copies of its body with the
+//! induction variable substituted — producing control-flow-free PTX like
+//! Appendix D. Loops with run-time bounds stay rolled and pay setup,
+//! iteration, condition, and branch overhead.
+
+use crate::consteval::{const_int, fold_stmts};
+use ks_lang::hir::*;
+
+/// Attempt to unroll every eligible loop in the kernel, to fixpoint
+/// (substituting an outer induction variable can make an inner loop's
+/// bounds constant).
+pub fn unroll_func(f: &mut HFunc, limit: u32) {
+    let locals: Vec<HTy> = f.locals.iter().map(|l| l.ty).collect();
+    // Fold first so implicit conversions around literals (e.g. the `2` in
+    // `s = s / 2` cast to unsigned) don't hide constant steps/bounds.
+    f.body = fold_stmts(&f.body);
+    let mut iterations = 0;
+    loop {
+        let (body, changed) = unroll_stmts(&f.body, limit, &locals);
+        f.body = fold_stmts(&body);
+        iterations += 1;
+        if !changed || iterations > 64 {
+            break;
+        }
+    }
+}
+
+fn unroll_stmts(stmts: &[HStmt], limit: u32, locals: &[HTy]) -> (Vec<HStmt>, bool) {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut changed = false;
+    for s in stmts {
+        match s {
+            HStmt::For { init, cond, step, body, unroll } => {
+                if let Some(plan) = plan_unroll(init, cond.as_ref(), step, body, limit, *unroll) {
+                    changed = true;
+                    emit_unrolled(&plan, body, locals, &mut out);
+                } else {
+                    let (b, c) = unroll_stmts(body, limit, locals);
+                    changed |= c;
+                    out.push(HStmt::For {
+                        init: init.clone(),
+                        cond: cond.clone(),
+                        step: step.clone(),
+                        body: b,
+                        unroll: *unroll,
+                    });
+                }
+            }
+            HStmt::If { cond, then_s, else_s } => {
+                let (t, c1) = unroll_stmts(then_s, limit, locals);
+                let (e, c2) = unroll_stmts(else_s, limit, locals);
+                changed |= c1 | c2;
+                out.push(HStmt::If { cond: cond.clone(), then_s: t, else_s: e });
+            }
+            HStmt::While { cond, body } => {
+                let (b, c) = unroll_stmts(body, limit, locals);
+                changed |= c;
+                out.push(HStmt::While { cond: cond.clone(), body: b });
+            }
+            HStmt::DoWhile { body, cond } => {
+                let (b, c) = unroll_stmts(body, limit, locals);
+                changed |= c;
+                out.push(HStmt::DoWhile { body: b, cond: cond.clone() });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    (out, changed)
+}
+
+struct UnrollPlan {
+    var: LocalId,
+    var_ty: HTy,
+    /// The literal value of the induction variable at each iteration.
+    values: Vec<i64>,
+}
+
+/// Decide whether a loop can be fully unrolled. Requirements:
+/// * init is exactly `var = <const>`,
+/// * cond is `var <cmp> <const>` (or reversed),
+/// * step is exactly `var = var + <const>` / `var - <const>`,
+/// * the body does not reassign `var`, and has no `break`/`continue`
+///   at this nesting level, no `return`,
+/// * the trip count is positive and ≤ `limit` (a `#pragma unroll` lifts
+///   the limit).
+fn plan_unroll(
+    init: &[HStmt],
+    cond: Option<&HExpr>,
+    step: &[HStmt],
+    body: &[HStmt],
+    limit: u32,
+    pragma: Option<Option<u32>>,
+) -> Option<UnrollPlan> {
+    let [HStmt::Assign { place: Place::Local(var), value: init_v }] = init else {
+        return None;
+    };
+    let var = *var;
+    let start = const_int(init_v)?;
+    let cond = cond?;
+    let HExpr::Cmp(cmp, cmp_ty, lhs, rhs) = cond else {
+        return None;
+    };
+    // Normalize to `var <cmp> bound`.
+    let (cmp, bound) = match (lhs.as_ref(), rhs.as_ref()) {
+        (HExpr::Local(v, _), b) if *v == var => (*cmp, const_int(b)?),
+        (b, HExpr::Local(v, _)) if *v == var => (swap_cmp(*cmp), const_int(b)?),
+        _ => return None,
+    };
+    let [HStmt::Assign { place: Place::Local(sv), value: step_v }] = step else {
+        return None;
+    };
+    if *sv != var {
+        return None;
+    }
+    // Arithmetic (i += c) and geometric (s /= 2, s >>= 1, s *= 2) steps —
+    // the latter cover reduction-tree loops (§2.2).
+    #[derive(Clone, Copy)]
+    enum StepFn {
+        Add(i64),
+        Mul(i64),
+        Div(i64),
+        Shr(i64),
+        Shl(i64),
+    }
+    let step_fn = match step_v {
+        HExpr::Binary(op, _, a, b) => match (op, a.as_ref(), b.as_ref()) {
+            (HBinOp::Add, HExpr::Local(v, _), d) if *v == var => StepFn::Add(const_int(d)?),
+            (HBinOp::Add, d, HExpr::Local(v, _)) if *v == var => StepFn::Add(const_int(d)?),
+            (HBinOp::Sub, HExpr::Local(v, _), d) if *v == var => StepFn::Add(-const_int(d)?),
+            (HBinOp::Mul, HExpr::Local(v, _), d) if *v == var => StepFn::Mul(const_int(d)?),
+            (HBinOp::Mul, d, HExpr::Local(v, _)) if *v == var => StepFn::Mul(const_int(d)?),
+            (HBinOp::Div, HExpr::Local(v, _), d) if *v == var => StepFn::Div(const_int(d)?),
+            (HBinOp::Shr, HExpr::Local(v, _), d) if *v == var => StepFn::Shr(const_int(d)?),
+            (HBinOp::Shl, HExpr::Local(v, _), d) if *v == var => StepFn::Shl(const_int(d)?),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    match step_fn {
+        StepFn::Add(0) | StepFn::Mul(1) | StepFn::Shr(0) | StepFn::Shl(0) => return None,
+        StepFn::Mul(0) | StepFn::Div(0) => return None,
+        StepFn::Div(1) => return None,
+        _ => {}
+    }
+    if !body_allows_unroll(body, var) {
+        return None;
+    }
+    // Simulate the loop counter.
+    let unsigned = *cmp_ty == HTy::UInt;
+    let effective_limit = if pragma.is_some() { limit.max(65536) } else { limit };
+    let mut values = Vec::new();
+    let mut v = start;
+    loop {
+        let cont = eval_cmp(cmp, v, bound, unsigned);
+        if !cont {
+            break;
+        }
+        values.push(v);
+        if values.len() as u32 > effective_limit {
+            return None;
+        }
+        let next = if unsigned {
+            let u = v as u32;
+            let r = match step_fn {
+                StepFn::Add(d) => u.wrapping_add(d as u32),
+                StepFn::Mul(d) => u.wrapping_mul(d as u32),
+                StepFn::Div(d) => u / d as u32,
+                StepFn::Shr(d) => u.wrapping_shr(d as u32 & 31),
+                StepFn::Shl(d) => u.wrapping_shl(d as u32 & 31),
+            };
+            r as i64
+        } else {
+            let i = v as i32;
+            let r = match step_fn {
+                StepFn::Add(d) => i.wrapping_add(d as i32),
+                StepFn::Mul(d) => i.wrapping_mul(d as i32),
+                StepFn::Div(d) => i.wrapping_div(d as i32),
+                StepFn::Shr(d) => i.wrapping_shr(d as u32 & 31),
+                StepFn::Shl(d) => i.wrapping_shl(d as u32 & 31),
+            };
+            r as i64
+        };
+        if next == v {
+            // Degenerate step (e.g. 0 / 2): cannot make progress.
+            return None;
+        }
+        v = next;
+    }
+    let var_ty = HTy::Int; // the final-value assignment type; refined below
+    Some(UnrollPlan { var, var_ty, values })
+}
+
+fn swap_cmp(c: HCmp) -> HCmp {
+    match c {
+        HCmp::Lt => HCmp::Gt,
+        HCmp::Le => HCmp::Ge,
+        HCmp::Gt => HCmp::Lt,
+        HCmp::Ge => HCmp::Le,
+        other => other,
+    }
+}
+
+fn eval_cmp(c: HCmp, a: i64, b: i64, unsigned: bool) -> bool {
+    if unsigned {
+        let (a, b) = (a as u32, b as u32);
+        match c {
+            HCmp::Eq => a == b,
+            HCmp::Ne => a != b,
+            HCmp::Lt => a < b,
+            HCmp::Le => a <= b,
+            HCmp::Gt => a > b,
+            HCmp::Ge => a >= b,
+        }
+    } else {
+        let (a, b) = (a as i32, b as i32);
+        match c {
+            HCmp::Eq => a == b,
+            HCmp::Ne => a != b,
+            HCmp::Lt => a < b,
+            HCmp::Le => a <= b,
+            HCmp::Gt => a > b,
+            HCmp::Ge => a >= b,
+        }
+    }
+}
+
+/// The body may not reassign the induction variable, and may not contain
+/// `break`/`continue` belonging to this loop, nor `return`.
+fn body_allows_unroll(body: &[HStmt], var: LocalId) -> bool {
+    fn check(stmts: &[HStmt], var: LocalId, top_level_loop: bool) -> bool {
+        for s in stmts {
+            match s {
+                HStmt::Assign { place, .. } => {
+                    if matches!(place, Place::Local(v) | Place::LocalElem(v, _) if *v == var) {
+                        return false;
+                    }
+                }
+                HStmt::Break | HStmt::Continue => {
+                    if top_level_loop {
+                        return false;
+                    }
+                }
+                HStmt::Return => return false,
+                HStmt::If { then_s, else_s, .. } => {
+                    if !check(then_s, var, top_level_loop) || !check(else_s, var, top_level_loop)
+                    {
+                        return false;
+                    }
+                }
+                // Inner loops own their breaks/continues.
+                HStmt::For { init, step, body, .. } => {
+                    if !check(init, var, top_level_loop)
+                        || !check(step, var, false)
+                        || !check(body, var, false)
+                    {
+                        return false;
+                    }
+                }
+                HStmt::While { body, .. } | HStmt::DoWhile { body, .. } => {
+                    if !check(body, var, false) {
+                        return false;
+                    }
+                }
+                HStmt::Sync => {}
+            }
+        }
+        true
+    }
+    check(body, var, true)
+}
+
+fn emit_unrolled(plan: &UnrollPlan, body: &[HStmt], locals: &[HTy], out: &mut Vec<HStmt>) {
+    let ty = locals.get(plan.var.0 as usize).copied().unwrap_or(plan.var_ty);
+    for &v in &plan.values {
+        let mut copy = body.to_vec();
+        subst_stmts(&mut copy, plan.var, v, ty);
+        out.extend(copy);
+    }
+}
+
+fn subst_stmts(stmts: &mut [HStmt], var: LocalId, value: i64, ty: HTy) {
+    for s in stmts {
+        match s {
+            HStmt::Assign { place, value: v } => {
+                subst_place(place, var, value, ty);
+                subst_expr(v, var, value, ty);
+            }
+            HStmt::If { cond, then_s, else_s } => {
+                subst_expr(cond, var, value, ty);
+                subst_stmts(then_s, var, value, ty);
+                subst_stmts(else_s, var, value, ty);
+            }
+            HStmt::For { init, cond, step, body, .. } => {
+                subst_stmts(init, var, value, ty);
+                if let Some(c) = cond {
+                    subst_expr(c, var, value, ty);
+                }
+                subst_stmts(step, var, value, ty);
+                subst_stmts(body, var, value, ty);
+            }
+            HStmt::While { cond, body } => {
+                subst_expr(cond, var, value, ty);
+                subst_stmts(body, var, value, ty);
+            }
+            HStmt::DoWhile { body, cond } => {
+                subst_stmts(body, var, value, ty);
+                subst_expr(cond, var, value, ty);
+            }
+            HStmt::Break | HStmt::Continue | HStmt::Return | HStmt::Sync => {}
+        }
+    }
+}
+
+fn subst_place(p: &mut Place, var: LocalId, value: i64, ty: HTy) {
+    match p {
+        Place::Local(_) => {}
+        Place::LocalElem(_, idx) | Place::SharedElem(_, idx) => {
+            subst_expr(idx, var, value, ty)
+        }
+        Place::Deref { ptr, .. } => subst_expr(ptr, var, value, ty),
+    }
+}
+
+fn subst_expr(e: &mut HExpr, var: LocalId, value: i64, ty: HTy) {
+    match e {
+        HExpr::Local(v, _) if *v == var => {
+            *e = HExpr::IntLit { value, ty };
+        }
+        HExpr::IntLit { .. }
+        | HExpr::FloatLit(_)
+        | HExpr::Local(..)
+        | HExpr::Param(..)
+        | HExpr::Builtin(..) => {}
+        HExpr::Unary(_, _, a) | HExpr::LogNot(a) => subst_expr(a, var, value, ty),
+        HExpr::Binary(_, _, a, b)
+        | HExpr::Cmp(_, _, a, b)
+        | HExpr::LogAnd(a, b)
+        | HExpr::LogOr(a, b) => {
+            subst_expr(a, var, value, ty);
+            subst_expr(b, var, value, ty);
+        }
+        HExpr::Cond(c, a, b, _) => {
+            subst_expr(c, var, value, ty);
+            subst_expr(a, var, value, ty);
+            subst_expr(b, var, value, ty);
+        }
+        HExpr::Load(p, _) => subst_place(p, var, value, ty),
+        HExpr::ConstElem(_, idx, _) | HExpr::TexFetch(_, idx, _) => {
+            subst_expr(idx, var, value, ty)
+        }
+        HExpr::Call(_, args, _) => {
+            for a in args {
+                subst_expr(a, var, value, ty);
+            }
+        }
+        HExpr::Cast { val, .. } => subst_expr(val, var, value, ty),
+        HExpr::PtrAdd { ptr, offset, .. } => {
+            subst_expr(ptr, var, value, ty);
+            subst_expr(offset, var, value, ty);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_lang::frontend;
+
+    fn kernel(src: &str, defs: &[(&str, &str)]) -> HFunc {
+        let defs: Vec<(String, String)> =
+            defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        frontend(src, &defs).unwrap().kernels.into_iter().next().unwrap()
+    }
+
+    fn count_loops(stmts: &[HStmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                HStmt::For { body, .. } | HStmt::While { body, .. } | HStmt::DoWhile { body, .. } => {
+                    1 + count_loops(body)
+                }
+                HStmt::If { then_s, else_s, .. } => count_loops(then_s) + count_loops(else_s),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn count_assigns(stmts: &[HStmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                HStmt::Assign { .. } => 1,
+                HStmt::For { body, init, step, .. } => {
+                    count_assigns(body) + count_assigns(init) + count_assigns(step)
+                }
+                HStmt::If { then_s, else_s, .. } => count_assigns(then_s) + count_assigns(else_s),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn specialized_loop_fully_unrolls() {
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (int i = 0; i < LOOP_COUNT; i++) { acc += i; }
+                out[threadIdx.x] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[("LOOP_COUNT", "5")]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 0);
+        // acc init + 5 accumulations + the store-index assigns: at least 6
+        assert!(count_assigns(&f.body) >= 6);
+    }
+
+    #[test]
+    fn runtime_loop_stays_rolled() {
+        let src = r#"
+            __global__ void k(int* out, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc += i; }
+                out[threadIdx.x] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 1);
+    }
+
+    #[test]
+    fn nested_loops_unroll_inside_out() {
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (int i = 0; i < 3; i++) {
+                    for (int j = 0; j < 4; j++) { acc += i * j; }
+                }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 0);
+    }
+
+    #[test]
+    fn trip_limit_respected() {
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (int i = 0; i < 100; i++) { acc += i; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 10);
+        assert_eq!(count_loops(&f.body), 1, "loop over the limit must stay rolled");
+    }
+
+    #[test]
+    fn pragma_unroll_lifts_the_limit() {
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                #pragma unroll
+                for (int i = 0; i < 100; i++) { acc += i; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 10); // limit below the trip count
+        assert_eq!(count_loops(&f.body), 0, "#pragma unroll must force it");
+    }
+
+    #[test]
+    fn break_prevents_unrolling() {
+        let src = r#"
+            __global__ void k(int* out, int n) {
+                int acc = 0;
+                for (int i = 0; i < 8; i++) { if (i == n) { break; } acc += i; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 1);
+    }
+
+    #[test]
+    fn downward_counting_loop() {
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (int i = 8; i > 0; i = i - 2) { acc += i; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 0);
+        // 8+6+4+2 = 20 iterations worth of adds present.
+    }
+
+    #[test]
+    fn unsigned_reduction_tree_loop_unrolls() {
+        // for (s = N/2; s > 0; s >>= 1)-style loops (reduction trees, §2.2)
+        // unroll with geometric induction: 8, 4, 2, 1 → 4 iterations.
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (unsigned int s = 8u; s > 0u; s = s >> 1) { acc += 1; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 0);
+        // Also the division form.
+        let src2 = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (unsigned int s = 64u; s > 0u; s = s / 2) { acc += (int)s; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f2 = kernel(src2, &[]);
+        unroll_func(&mut f2, 2048);
+        assert_eq!(count_loops(&f2.body), 0);
+        // A runtime-bounded geometric loop stays rolled.
+        let src3 = r#"
+            __global__ void k(int* out, int n) {
+                int acc = 0;
+                for (unsigned int s = (unsigned int)n; s > 0u; s = s / 2) { acc += 1; }
+                out[0] = acc;
+            }
+        "#;
+        let mut f3 = kernel(src3, &[]);
+        unroll_func(&mut f3, 2048);
+        assert_eq!(count_loops(&f3.body), 1);
+    }
+
+    #[test]
+    fn inner_loop_with_outer_dependent_bound_unrolls_after_outer() {
+        let src = r#"
+            __global__ void k(int* out) {
+                int acc = 0;
+                for (int i = 0; i < 3; i++) {
+                    for (int j = 0; j < i + 1; j++) { acc += j; }
+                }
+                out[0] = acc;
+            }
+        "#;
+        let mut f = kernel(src, &[]);
+        unroll_func(&mut f, 2048);
+        assert_eq!(count_loops(&f.body), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Appendix-G-style log output: refresh reports, pipeline iterations, and
+//! per-operation timing lines.
+
+use parking_lot::Mutex;
+use std::io::Write;
+
+/// A line-oriented logger; disabled by default (zero cost).
+pub struct Logger {
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Logger {
+    pub fn disabled() -> Logger {
+        Logger { sink: None }
+    }
+
+    pub fn new(w: Box<dyn Write + Send>) -> Logger {
+        Logger { sink: Some(Mutex::new(w)) }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    pub fn line(&self, s: &str) {
+        if let Some(sink) = &self.sink {
+            let mut w = sink.lock();
+            let _ = writeln!(w, "[gpu-pf] {s}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_logger_is_silent() {
+        let l = Logger::disabled();
+        assert!(!l.enabled());
+        l.line("nothing happens");
+    }
+
+    #[test]
+    fn enabled_logger_writes_lines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct W(Arc<Mutex<Vec<u8>>>);
+        impl Write for W {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let l = Logger::new(Box::new(W(buf.clone())));
+        l.line("hello");
+        assert_eq!(String::from_utf8(buf.lock().clone()).unwrap(), "[gpu-pf] hello\n");
+    }
+}

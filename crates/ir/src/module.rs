@@ -1,0 +1,205 @@
+//! Modules, functions, basic blocks — the container types of the IR.
+
+use crate::inst::{Inst, Terminator, VReg};
+use crate::types::Ty;
+
+/// Identifier of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BB{}", self.0)
+    }
+}
+
+/// A straight-line run of instructions ending in a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    pub id: BlockId,
+    pub insts: Vec<Inst>,
+    pub term: Terminator,
+}
+
+/// A kernel parameter: name, type, and its byte offset in param space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelParam {
+    pub name: String,
+    pub ty: Ty,
+    pub offset: u32,
+}
+
+/// A `__shared__` array declaration with its resolved byte size and offset
+/// within the block's shared-memory window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedDecl {
+    pub name: String,
+    pub offset: u32,
+    pub size_bytes: u32,
+}
+
+/// A module-level `__constant__` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    pub name: String,
+    pub offset: u32,
+    pub size_bytes: u32,
+}
+
+/// A compiled kernel function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<KernelParam>,
+    /// Blocks indexed by `BlockId.0`. Entry block is index 0.
+    pub blocks: Vec<BasicBlock>,
+    /// Type of each virtual register, indexed by `VReg.0`.
+    pub vreg_types: Vec<Ty>,
+    /// Static shared-memory declarations (offsets pre-assigned).
+    pub shared: Vec<SharedDecl>,
+    /// Per-thread local (spill) memory in bytes.
+    pub local_bytes: u32,
+}
+
+impl Function {
+    /// Allocate a fresh virtual register of the given type.
+    pub fn new_vreg(&mut self, ty: Ty) -> VReg {
+        let r = VReg(self.vreg_types.len() as u32);
+        self.vreg_types.push(ty);
+        r
+    }
+
+    /// Total bytes of parameter space used by this kernel's arguments.
+    pub fn param_bytes(&self) -> u32 {
+        self.params.last().map(|p| p.offset + p.ty.size_bytes()).unwrap_or(0)
+    }
+
+    /// Total static shared memory required per block, in bytes.
+    pub fn shared_bytes(&self) -> u32 {
+        self.shared.iter().map(|s| s.size_bytes).sum()
+    }
+
+    /// Number of virtual registers.
+    pub fn num_vregs(&self) -> usize {
+        self.vreg_types.len()
+    }
+
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Total static instruction count across all blocks (terminators count
+    /// as one instruction each, matching how PTX listings read).
+    pub fn static_inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&KernelParam> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// A compiled module: the unit the specialization engine produces and the
+/// simulator loads (the analogue of a CUDA module / `.cubin`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    pub functions: Vec<Function>,
+    /// Module-level constant memory declarations (offsets pre-assigned).
+    pub consts: Vec<ConstDecl>,
+    /// Texture-reference names; `Inst::Tex.tex` indexes this table. The
+    /// host binds each reference to a device address before launching.
+    pub textures: Vec<String>,
+}
+
+impl Module {
+    /// Total constant-memory bytes declared by the module. The CUDA limit
+    /// is 64 KB across all loaded kernels (§2.4); the simulator enforces it.
+    pub fn const_bytes(&self) -> u32 {
+        self.consts.iter().map(|c| c.size_bytes).sum()
+    }
+
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    pub fn const_decl(&self, name: &str) -> Option<&ConstDecl> {
+        self.consts.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a texture reference by name.
+    pub fn texture_index(&self, name: &str) -> Option<u32> {
+        self.textures.iter().position(|t| t == name).map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Operand;
+    use crate::types::Space;
+
+    fn empty_fn() -> Function {
+        Function {
+            name: "k".into(),
+            params: vec![],
+            blocks: vec![BasicBlock { id: BlockId(0), insts: vec![], term: Terminator::Ret }],
+            vreg_types: vec![],
+            shared: vec![],
+            local_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn vreg_allocation_tracks_types() {
+        let mut f = empty_fn();
+        let a = f.new_vreg(Ty::S32);
+        let b = f.new_vreg(Ty::F32);
+        assert_eq!(a, VReg(0));
+        assert_eq!(b, VReg(1));
+        assert_eq!(f.vreg_types[0], Ty::S32);
+        assert_eq!(f.vreg_types[1], Ty::F32);
+        assert_eq!(f.num_vregs(), 2);
+    }
+
+    #[test]
+    fn param_bytes_accounts_for_offsets() {
+        let mut f = empty_fn();
+        f.params = vec![
+            KernelParam { name: "in".into(), ty: Ty::Ptr(Space::Global), offset: 0 },
+            KernelParam { name: "n".into(), ty: Ty::S32, offset: 8 },
+        ];
+        assert_eq!(f.param_bytes(), 12);
+        assert!(f.param("n").is_some());
+        assert!(f.param("missing").is_none());
+    }
+
+    #[test]
+    fn shared_and_const_totals() {
+        let mut f = empty_fn();
+        f.shared.push(SharedDecl { name: "tile".into(), offset: 0, size_bytes: 1024 });
+        f.shared.push(SharedDecl { name: "buf".into(), offset: 1024, size_bytes: 512 });
+        assert_eq!(f.shared_bytes(), 1536);
+
+        let m = Module {
+            functions: vec![f],
+            consts: vec![ConstDecl { name: "filt".into(), offset: 0, size_bytes: 128 }],
+            textures: vec![],
+        };
+        assert_eq!(m.const_bytes(), 128);
+        assert!(m.function("k").is_some());
+        assert!(m.const_decl("filt").is_some());
+    }
+
+    #[test]
+    fn static_inst_count_includes_terminators() {
+        let mut f = empty_fn();
+        let r = f.new_vreg(Ty::S32);
+        f.blocks[0].insts.push(Inst::Mov { ty: Ty::S32, dst: r, src: Operand::ImmI(1) });
+        assert_eq!(f.static_inst_count(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Scalar types and memory state spaces.
+
+use std::fmt;
+
+/// Scalar value types carried by instructions and virtual registers.
+///
+/// Pointers are 64-bit byte addresses tagged with the state space they point
+/// into; the simulator uses the tag to route memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit signed integer (`.s32`).
+    S32,
+    /// 32-bit unsigned integer (`.u32`).
+    U32,
+    /// 32-bit IEEE-754 float (`.f32`).
+    F32,
+    /// 1-bit predicate register (`.pred`).
+    Pred,
+    /// 64-bit pointer into a state space (`.u64` address).
+    Ptr(Space),
+}
+
+impl Ty {
+    /// Size of a value of this type in bytes when stored to memory.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Ty::S32 | Ty::U32 | Ty::F32 => 4,
+            Ty::Pred => 1,
+            Ty::Ptr(_) => 8,
+        }
+    }
+
+    /// True for the two 32-bit integer types.
+    pub fn is_integer(self) -> bool {
+        matches!(self, Ty::S32 | Ty::U32)
+    }
+
+    /// True if the type is a pointer.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::S32 => write!(f, "s32"),
+            Ty::U32 => write!(f, "u32"),
+            Ty::F32 => write!(f, "f32"),
+            Ty::Pred => write!(f, "pred"),
+            Ty::Ptr(s) => write!(f, "ptr.{s}"),
+        }
+    }
+}
+
+/// Memory state spaces, mirroring PTX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Device global memory: large, high latency, transaction-coalesced.
+    Global,
+    /// Per-block scratchpad (`__shared__`): banked, low latency.
+    Shared,
+    /// Module-level read-only memory (`__constant__`): broadcast-cached.
+    Const,
+    /// Per-thread spill space for non-scalarized local arrays. High latency:
+    /// existing NVIDIA GPUs cannot indirectly address registers (§2.4), so
+    /// dynamically indexed locals live here.
+    Local,
+    /// Kernel parameter space; run-time-evaluated kernels must load their
+    /// scalar arguments from here before use (§2.4).
+    Param,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Space::Global => "global",
+            Space::Shared => "shared",
+            Space::Const => "const",
+            Space::Local => "local",
+            Space::Param => "param",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Ty::S32.size_bytes(), 4);
+        assert_eq!(Ty::U32.size_bytes(), 4);
+        assert_eq!(Ty::F32.size_bytes(), 4);
+        assert_eq!(Ty::Ptr(Space::Global).size_bytes(), 8);
+        assert_eq!(Ty::Pred.size_bytes(), 1);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ty::S32.is_integer());
+        assert!(Ty::U32.is_integer());
+        assert!(!Ty::F32.is_integer());
+        assert!(Ty::Ptr(Space::Shared).is_ptr());
+        assert!(!Ty::S32.is_ptr());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::F32.to_string(), "f32");
+        assert_eq!(Ty::Ptr(Space::Global).to_string(), "ptr.global");
+        assert_eq!(Space::Param.to_string(), "param");
+    }
+}

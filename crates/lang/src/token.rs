@@ -1,0 +1,174 @@
+//! Tokens and the shared front-end error type.
+
+use std::fmt;
+
+/// Punctuators and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Question,
+    Colon,
+    Hash,
+}
+
+impl Punct {
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Not => "!",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Question => "?",
+            Colon => ":",
+            Hash => "#",
+        }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// Integer literal; `unsigned` reflects a `u`/`U` suffix or a value
+    /// that only fits unsigned.
+    Int { value: i64, unsigned: bool },
+    Float(f32),
+    Punct(Punct),
+}
+
+impl Tok {
+    pub fn ident(s: &str) -> Tok {
+        Tok::Ident(s.to_string())
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => f.write_str(s),
+            Tok::Int { value, unsigned } => {
+                write!(f, "{value}{}", if *unsigned { "u" } else { "" })
+            }
+            Tok::Float(v) => write!(f, "{v}f"),
+            Tok::Punct(p) => f.write_str(p.as_str()),
+        }
+    }
+}
+
+/// A token with source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+    /// True if this token is the first on its (physical) line — used by the
+    /// preprocessor to recognize directives.
+    pub line_start: bool,
+}
+
+/// Front-end error: lexing, preprocessing, parsing, or semantic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    pub stage: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl LangError {
+    pub fn new(stage: &'static str, line: u32, col: u32, message: impl Into<String>) -> Self {
+        LangError { stage, line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}:{}: {}", self.stage, self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,392 @@
+//! IR constant folding + propagation + copy propagation.
+//!
+//! Strategy: virtual registers produced by the lowering are almost all
+//! single-definition temporaries, so a cheap global analysis suffices —
+//! compute def counts, then for every single-def register whose definition
+//! is `mov reg, imm` (or an all-immediate computation) replace its uses
+//! with the immediate. Copy propagation handles single-def `mov a, b`
+//! where `b` is also single-def.
+
+use ks_ir::{BinOp, CmpOp, Function, Inst, Operand, Ty, UnOp, VReg};
+use std::collections::HashMap;
+
+/// Count definitions of every vreg.
+fn def_counts(f: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; f.num_vregs()];
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Some(d) = i.def() {
+                counts[d.0 as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+fn eval_bin(op: BinOp, ty: Ty, a: i64, b: i64) -> Option<i64> {
+    if ty == Ty::U32 {
+        let (x, y) = (a as u32, b as u32);
+        let r: u32 = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Mul24 => (x & 0xFF_FFFF).wrapping_mul(y & 0xFF_FFFF),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y & 31),
+            BinOp::Shr => x.wrapping_shr(y & 31),
+        };
+        Some(r as i64)
+    } else if ty == Ty::S32 {
+        let (x, y) = (a as i32, b as i32);
+        let r: i32 = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Mul24 => ((x & 0xFF_FFFF) as i64).wrapping_mul((y & 0xFF_FFFF) as i64) as i32,
+            BinOp::Div => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32 & 31),
+            BinOp::Shr => x.wrapping_shr(y as u32 & 31),
+        };
+        Some(r as i64)
+    } else if matches!(ty, Ty::Ptr(_)) {
+        // 64-bit pointer arithmetic.
+        Some(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            _ => return None,
+        })
+    } else {
+        None
+    }
+}
+
+fn eval_bin_f(op: BinOp, a: f32, b: f32) -> Option<f32> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => return None,
+    })
+}
+
+/// One round of folding; returns the number of instructions rewritten.
+pub fn run(f: &mut Function) -> usize {
+    let counts = def_counts(f);
+    // Known constants: single-def registers whose def produced an immediate.
+    let mut known: HashMap<VReg, Operand> = HashMap::new();
+    // Copies: single-def `mov a, b` with single-def b.
+    let mut copies: HashMap<VReg, VReg> = HashMap::new();
+
+    for b in &f.blocks {
+        for i in &b.insts {
+            let Some(d) = i.def() else { continue };
+            if counts[d.0 as usize] != 1 {
+                continue;
+            }
+            match i {
+                Inst::Mov { src: Operand::ImmI(v), .. } => {
+                    known.insert(d, Operand::ImmI(*v));
+                }
+                Inst::Mov { src: Operand::ImmF(v), .. } => {
+                    known.insert(d, Operand::ImmF(*v));
+                }
+                Inst::Mov { src: Operand::Reg(s), .. }
+                    if counts[s.0 as usize] == 1 => {
+                        copies.insert(d, *s);
+                    }
+                Inst::Bin { op, ty, a: Operand::ImmI(x), b: Operand::ImmI(y), .. } => {
+                    if let Some(v) = eval_bin(*op, *ty, *x, *y) {
+                        known.insert(d, Operand::ImmI(v));
+                    }
+                }
+                Inst::Bin { op, ty: Ty::F32, a: Operand::ImmF(x), b: Operand::ImmF(y), .. } => {
+                    if let Some(v) = eval_bin_f(*op, *x, *y) {
+                        known.insert(d, Operand::ImmF(v));
+                    }
+                }
+                Inst::Setp { cmp, ty, a: Operand::ImmI(x), b: Operand::ImmI(y), .. } => {
+                    let r = if *ty == Ty::U32 {
+                        cmp_int(*cmp, (*x as u32) as i64, (*y as u32) as i64)
+                    } else {
+                        cmp_int(*cmp, (*x as i32) as i64, (*y as i32) as i64)
+                    };
+                    // Predicates have no immediates; record as ImmI for
+                    // terminator simplification only.
+                    known.insert(d, Operand::ImmI(i64::from(r)));
+                }
+                _ => {}
+            }
+        }
+    }
+    // Resolve copy chains into `known` or a final register.
+    let resolve = |mut r: VReg| -> Operand {
+        let mut hops = 0;
+        while let Some(&s) = copies.get(&r) {
+            r = s;
+            hops += 1;
+            if hops > 64 {
+                break;
+            }
+        }
+        known.get(&r).copied().unwrap_or(Operand::Reg(r))
+    };
+
+    let mut changed = 0;
+    let pred_types: Vec<Ty> = f.vreg_types.clone();
+    for b in &mut f.blocks {
+        for i in &mut b.insts {
+            // Skip rewriting uses of predicates with ImmI (predicates have
+            // no immediate form); resolve() may return one for setp dsts.
+            let before = i.clone();
+            i.map_uses(&mut |r| {
+                if pred_types[r.0 as usize] == Ty::Pred {
+                    return Operand::Reg(r);
+                }
+                resolve(r)
+            });
+            if *i != before {
+                changed += 1;
+            }
+        }
+        // Simplify conditional branches on known predicates.
+        if let ks_ir::Terminator::CondBr { pred, negate, then_t, else_t } = b.term {
+            if let Some(Operand::ImmI(v)) = known.get(&pred) {
+                let taken = (*v != 0) ^ negate;
+                b.term = ks_ir::Terminator::Br { target: if taken { then_t } else { else_t } };
+                changed += 1;
+            }
+        }
+    }
+
+    // Simplify instructions whose operands are now immediates (fold binop →
+    // mov), and algebraic identities.
+    for b in &mut f.blocks {
+        for i in &mut b.insts {
+            let replacement = match &*i {
+                Inst::Bin { op, ty, dst, a: Operand::ImmI(x), b: Operand::ImmI(y) } => {
+                    eval_bin(*op, *ty, *x, *y)
+                        .map(|v| Inst::Mov { ty: *ty, dst: *dst, src: Operand::ImmI(v) })
+                }
+                Inst::Bin { op, ty: Ty::F32, dst, a: Operand::ImmF(x), b: Operand::ImmF(y) } => {
+                    eval_bin_f(*op, *x, *y)
+                        .map(|v| Inst::Mov { ty: Ty::F32, dst: *dst, src: Operand::ImmF(v) })
+                }
+                // x + 0, x * 1, x - 0, x << 0, x >> 0 → mov
+                Inst::Bin { op: BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr, ty, dst, a, b: Operand::ImmI(0) } => {
+                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *a })
+                }
+                Inst::Bin { op: BinOp::Add, ty, dst, a: Operand::ImmI(0), b } => {
+                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *b })
+                }
+                Inst::Bin { op: BinOp::Mul, ty, dst, a, b: Operand::ImmI(1) } => {
+                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *a })
+                }
+                Inst::Bin { op: BinOp::Mul, ty, dst, a: Operand::ImmI(1), b } => {
+                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *b })
+                }
+                Inst::Un { op: UnOp::Neg, ty, dst, a: Operand::ImmI(x) } => Some(Inst::Mov {
+                    ty: *ty,
+                    dst: *dst,
+                    src: Operand::ImmI(((*x as i32).wrapping_neg()) as i64),
+                }),
+                Inst::Un { op: UnOp::Neg, ty: Ty::F32, dst, a: Operand::ImmF(x) } => {
+                    Some(Inst::Mov { ty: Ty::F32, dst: *dst, src: Operand::ImmF(-x) })
+                }
+                Inst::Un { op, ty: Ty::F32, dst, a: Operand::ImmF(x) } => {
+                    let v = match op {
+                        UnOp::Abs => Some(x.abs()),
+                        UnOp::Sqrt => Some(x.sqrt()),
+                        UnOp::Rsqrt => Some(1.0 / x.sqrt()),
+                        UnOp::Floor => Some(x.floor()),
+                        _ => None,
+                    };
+                    v.map(|v| Inst::Mov { ty: Ty::F32, dst: *dst, src: Operand::ImmF(v) })
+                }
+                Inst::Cvt { dst_ty, src_ty, dst, src: Operand::ImmI(x) } => {
+                    cvt_imm(*dst_ty, *src_ty, Operand::ImmI(*x))
+                        .map(|v| Inst::Mov { ty: *dst_ty, dst: *dst, src: v })
+                }
+                Inst::Cvt { dst_ty, src_ty, dst, src: Operand::ImmF(x) } => {
+                    cvt_imm(*dst_ty, *src_ty, Operand::ImmF(*x))
+                        .map(|v| Inst::Mov { ty: *dst_ty, dst: *dst, src: v })
+                }
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                if *i != r {
+                    *i = r;
+                    changed += 1;
+                }
+            }
+        }
+    }
+    changed
+}
+
+
+fn cmp_int(c: CmpOp, a: i64, b: i64) -> bool {
+    match c {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cvt_imm(dst_ty: Ty, src_ty: Ty, src: Operand) -> Option<Operand> {
+    Some(match (dst_ty, src_ty, src) {
+        (Ty::F32, Ty::S32, Operand::ImmI(v)) => Operand::ImmF(v as i32 as f32),
+        (Ty::F32, Ty::U32, Operand::ImmI(v)) => Operand::ImmF(v as u32 as f32),
+        (Ty::S32, Ty::F32, Operand::ImmF(v)) => Operand::ImmI(v as i32 as i64),
+        (Ty::U32, Ty::F32, Operand::ImmF(v)) => Operand::ImmI(v as u32 as i64),
+        (Ty::Ptr(_), Ty::S32 | Ty::U32, Operand::ImmI(v)) => Operand::ImmI(v),
+        (Ty::S32 | Ty::U32, Ty::Ptr(_), Operand::ImmI(v)) => Operand::ImmI(v as u32 as i64),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_ir::*;
+
+    fn one_block(f: &mut Function, insts: Vec<Inst>) {
+        f.blocks.push(BasicBlock { id: BlockId(0), insts, term: Terminator::Ret });
+    }
+
+    fn mk() -> Function {
+        Function {
+            name: "t".into(),
+            params: vec![],
+            blocks: vec![],
+            vreg_types: vec![],
+            shared: vec![],
+            local_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn propagates_immediate_through_mov() {
+        let mut f = mk();
+        let a = f.new_vreg(Ty::S32);
+        let b = f.new_vreg(Ty::S32);
+        one_block(
+            &mut f,
+            vec![
+                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(21) },
+                Inst::Bin { op: BinOp::Mul, ty: Ty::S32, dst: b, a: a.into(), b: Operand::ImmI(2) },
+            ],
+        );
+        while run(&mut f) > 0 {}
+        // b's def must now be a mov of 42.
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Mov { dst, src: Operand::ImmI(42), .. } if *dst == b)));
+    }
+
+    #[test]
+    fn known_predicate_kills_branch() {
+        let mut f = mk();
+        let p = f.new_vreg(Ty::Pred);
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts: vec![Inst::Setp {
+                cmp: CmpOp::Lt,
+                ty: Ty::S32,
+                dst: p,
+                a: Operand::ImmI(1),
+                b: Operand::ImmI(2),
+            }],
+            term: Terminator::CondBr { pred: p, negate: false, then_t: BlockId(1), else_t: BlockId(2) },
+        });
+        f.blocks.push(BasicBlock { id: BlockId(1), insts: vec![], term: Terminator::Ret });
+        f.blocks.push(BasicBlock { id: BlockId(2), insts: vec![], term: Terminator::Ret });
+        run(&mut f);
+        assert_eq!(f.blocks[0].term, Terminator::Br { target: BlockId(1) });
+    }
+
+    #[test]
+    fn multi_def_registers_not_propagated() {
+        let mut f = mk();
+        let a = f.new_vreg(Ty::S32);
+        let b = f.new_vreg(Ty::S32);
+        one_block(
+            &mut f,
+            vec![
+                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(1) },
+                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(2) },
+                Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: b, a: a.into(), b: a.into() },
+            ],
+        );
+        run(&mut f);
+        // The add must still reference the register, not a folded constant.
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { a: Operand::Reg(_), .. })));
+    }
+
+    #[test]
+    fn unsigned_vs_signed_division() {
+        assert_eq!(eval_bin(BinOp::Div, Ty::S32, -7, 2), Some(-3));
+        assert_eq!(eval_bin(BinOp::Div, Ty::U32, (-7i32) as i64, 2), Some(2147483644));
+        assert_eq!(eval_bin(BinOp::Div, Ty::S32, 1, 0), None);
+    }
+
+    #[test]
+    fn float_and_cvt_folding() {
+        let mut f = mk();
+        let a = f.new_vreg(Ty::F32);
+        let b = f.new_vreg(Ty::S32);
+        one_block(
+            &mut f,
+            vec![
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::F32,
+                    dst: a,
+                    a: Operand::ImmF(2.5),
+                    b: Operand::ImmF(4.0),
+                },
+                Inst::Cvt { dst_ty: Ty::S32, src_ty: Ty::F32, dst: b, src: Operand::ImmF(3.7) },
+            ],
+        );
+        run(&mut f);
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Mov { src: Operand::ImmF(v), .. } if *v == 10.0)));
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Mov { src: Operand::ImmI(3), .. })));
+    }
+}

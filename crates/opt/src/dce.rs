@@ -1,0 +1,113 @@
+//! Dead-code elimination. Removes instructions whose results are never
+//! used and which have no side effects; iterates so chains die completely.
+//! In a fully specialized kernel this is the pass that deletes the
+//! parameter-space loads and special-register reads that constant
+//! propagation made redundant.
+
+use ks_ir::Function;
+
+/// Remove dead instructions; returns how many were removed in total.
+pub fn run(f: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let mut used = vec![false; f.num_vregs()];
+        for b in &f.blocks {
+            for i in &b.insts {
+                i.for_each_use(|r| used[r.0 as usize] = true);
+            }
+            if let Some(p) = b.term.use_reg() {
+                used[p.0 as usize] = true;
+            }
+        }
+        let mut removed = 0;
+        for b in &mut f.blocks {
+            b.insts.retain(|i| {
+                if i.has_side_effect() {
+                    return true;
+                }
+                match i.def() {
+                    Some(d) if !used[d.0 as usize] => {
+                        removed += 1;
+                        false
+                    }
+                    _ => true,
+                }
+            });
+        }
+        removed_total += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+    removed_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_ir::*;
+
+    #[test]
+    fn removes_dead_chain_but_keeps_stores_and_barriers() {
+        let mut f = Function {
+            name: "t".into(),
+            params: vec![],
+            blocks: vec![],
+            vreg_types: vec![],
+            shared: vec![],
+            local_bytes: 0,
+        };
+        let a = f.new_vreg(Ty::S32);
+        let b = f.new_vreg(Ty::S32);
+        let live = f.new_vreg(Ty::F32);
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts: vec![
+                // dead chain: a -> b -> nothing
+                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(1) },
+                Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: b, a: a.into(), b: Operand::ImmI(1) },
+                // live value feeding a store
+                Inst::Mov { ty: Ty::F32, dst: live, src: Operand::ImmF(2.0) },
+                Inst::Bar,
+                Inst::St {
+                    space: Space::Global,
+                    ty: Ty::F32,
+                    addr: Address::abs(0),
+                    src: live.into(),
+                },
+            ],
+            term: Terminator::Ret,
+        });
+        let removed = run(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.blocks[0].insts.len(), 3);
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Bar)));
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(i, Inst::St { .. })));
+    }
+
+    #[test]
+    fn keeps_branch_predicate() {
+        let mut f = Function {
+            name: "t".into(),
+            params: vec![],
+            blocks: vec![],
+            vreg_types: vec![],
+            shared: vec![],
+            local_bytes: 0,
+        };
+        let p = f.new_vreg(Ty::Pred);
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts: vec![Inst::Setp {
+                cmp: CmpOp::Lt,
+                ty: Ty::S32,
+                dst: p,
+                a: Operand::ImmI(0),
+                b: Operand::ImmI(1),
+            }],
+            term: Terminator::CondBr { pred: p, negate: false, then_t: BlockId(1), else_t: BlockId(1) },
+        });
+        f.blocks.push(BasicBlock { id: BlockId(1), insts: vec![], term: Terminator::Ret });
+        assert_eq!(run(&mut f), 0);
+    }
+}

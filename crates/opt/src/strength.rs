@@ -1,0 +1,188 @@
+//! Strength reduction: power-of-two multiply/divide/modulo → shifts and
+//! masks. The dissertation calls this out explicitly: "the compiler must
+//! know when scalars are powers of two to strength reduce division or
+//! modulus (two relatively expensive operations on NVIDIA GPUs) to bit-wise
+//! operations" (§2.4). That knowledge exists only when the operand was
+//! specialized to a constant.
+
+use ks_ir::{BinOp, Function, Inst, Operand, Ty};
+
+fn pow2_exp(v: i64) -> Option<i64> {
+    if v > 0 && (v & (v - 1)) == 0 {
+        Some(v.trailing_zeros() as i64)
+    } else {
+        None
+    }
+}
+
+/// One pass over the function; returns the number of reductions applied.
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in &mut f.blocks {
+        for i in &mut b.insts {
+            let new = match &*i {
+                // x * 2^k → x << k (valid for s32/u32 low-32 result).
+                Inst::Bin { op: BinOp::Mul, ty: ty @ (Ty::S32 | Ty::U32), dst, a, b: Operand::ImmI(v) } => {
+                    pow2_exp(*v).map(|k| Inst::Bin {
+                        op: BinOp::Shl,
+                        ty: *ty,
+                        dst: *dst,
+                        a: *a,
+                        b: Operand::ImmI(k),
+                    })
+                }
+                Inst::Bin { op: BinOp::Mul, ty: ty @ (Ty::S32 | Ty::U32), dst, a: Operand::ImmI(v), b } => {
+                    pow2_exp(*v).map(|k| Inst::Bin {
+                        op: BinOp::Shl,
+                        ty: *ty,
+                        dst: *dst,
+                        a: *b,
+                        b: Operand::ImmI(k),
+                    })
+                }
+                // Unsigned x / 2^k → x >> k.
+                Inst::Bin { op: BinOp::Div, ty: Ty::U32, dst, a, b: Operand::ImmI(v) } => {
+                    pow2_exp(*v).map(|k| Inst::Bin {
+                        op: BinOp::Shr,
+                        ty: Ty::U32,
+                        dst: *dst,
+                        a: *a,
+                        b: Operand::ImmI(k),
+                    })
+                }
+                // Unsigned x % 2^k → x & (2^k - 1).
+                Inst::Bin { op: BinOp::Rem, ty: Ty::U32, dst, a, b: Operand::ImmI(v) } => {
+                    pow2_exp(*v).map(|_| Inst::Bin {
+                        op: BinOp::And,
+                        ty: Ty::U32,
+                        dst: *dst,
+                        a: *a,
+                        b: Operand::ImmI(*v - 1),
+                    })
+                }
+                _ => None,
+            };
+            if let Some(n) = new {
+                *i = n;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_ir::*;
+
+    fn func_with(insts: Vec<Inst>, tys: Vec<Ty>) -> Function {
+        Function {
+            name: "t".into(),
+            params: vec![],
+            blocks: vec![BasicBlock { id: BlockId(0), insts, term: Terminator::Ret }],
+            vreg_types: tys,
+            shared: vec![],
+            local_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn mul_pow2_becomes_shift() {
+        let mut f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::S32,
+                dst: VReg(0),
+                a: Operand::Reg(VReg(1)),
+                b: Operand::ImmI(128),
+            }],
+            vec![Ty::S32, Ty::S32],
+        );
+        assert_eq!(run(&mut f), 1);
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: BinOp::Shl, b: Operand::ImmI(7), .. }
+        ));
+    }
+
+    #[test]
+    fn unsigned_div_and_rem() {
+        let mut f = func_with(
+            vec![
+                Inst::Bin {
+                    op: BinOp::Div,
+                    ty: Ty::U32,
+                    dst: VReg(0),
+                    a: Operand::Reg(VReg(1)),
+                    b: Operand::ImmI(32),
+                },
+                Inst::Bin {
+                    op: BinOp::Rem,
+                    ty: Ty::U32,
+                    dst: VReg(0),
+                    a: Operand::Reg(VReg(1)),
+                    b: Operand::ImmI(32),
+                },
+            ],
+            vec![Ty::U32, Ty::U32],
+        );
+        assert_eq!(run(&mut f), 2);
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: BinOp::Shr, b: Operand::ImmI(5), .. }
+        ));
+        assert!(matches!(
+            f.blocks[0].insts[1],
+            Inst::Bin { op: BinOp::And, b: Operand::ImmI(31), .. }
+        ));
+    }
+
+    #[test]
+    fn signed_div_not_reduced() {
+        // -7 / 2 == -3 but -7 >> 1 == -4: must not reduce signed division.
+        let mut f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Div,
+                ty: Ty::S32,
+                dst: VReg(0),
+                a: Operand::Reg(VReg(1)),
+                b: Operand::ImmI(2),
+            }],
+            vec![Ty::S32, Ty::S32],
+        );
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn non_pow2_not_reduced() {
+        let mut f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::U32,
+                dst: VReg(0),
+                a: Operand::Reg(VReg(1)),
+                b: Operand::ImmI(48),
+            }],
+            vec![Ty::U32, Ty::U32],
+        );
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn dynamic_operand_not_reduced() {
+        // The whole point: without specialization the divisor is a register
+        // and the expensive div stays.
+        let mut f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Div,
+                ty: Ty::U32,
+                dst: VReg(0),
+                a: Operand::Reg(VReg(1)),
+                b: Operand::Reg(VReg(2)),
+            }],
+            vec![Ty::U32, Ty::U32, Ty::U32],
+        );
+        assert_eq!(run(&mut f), 0);
+    }
+}

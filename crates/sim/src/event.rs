@@ -1,0 +1,149 @@
+//! Event-driven SM scheduler — the higher-fidelity timing mode.
+//!
+//! Where the default (hybrid) model times each warp in isolation and
+//! assembles SM time analytically, this mode co-schedules every warp of an
+//! SM's *resident block set* at instruction granularity: a greedy
+//! event loop always advances the warp with the earliest clock, issue
+//! ports (one per warp scheduler) serialize concurrent issue, and
+//! barriers synchronize per block. Latency hiding across warps and blocks
+//! therefore emerges from the schedule instead of from a max() formula.
+
+use crate::device::DeviceConfig;
+use crate::interp::{warp_step, BlockCtx, BlockState, ExecStats, GlobalView, SimError, StepOutcome, Warp};
+use ks_ir::cfg::{ipdoms, Cfg};
+use ks_ir::{BlockId, Function};
+
+/// Result of simulating one SM round.
+#[derive(Debug, Clone)]
+pub struct SmRound {
+    /// Cycles until the last resident warp retires.
+    pub cycles: u64,
+    /// Aggregated stats over the resident set.
+    pub stats: ExecStats,
+}
+
+struct ResidentBlock {
+    warps: Vec<Warp>,
+    shared: Vec<u8>,
+    bstate: BlockState,
+    block_idx: (u32, u32, u32),
+}
+
+/// Execute a resident set of blocks on one SM, event-driven.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sm_round(
+    dev: &DeviceConfig,
+    func: &Function,
+    global: GlobalView,
+    const_mem: &[u8],
+    params: &[u8],
+    block_dim: (u32, u32, u32),
+    grid_dim: (u32, u32, u32),
+    block_indices: &[(u32, u32, u32)],
+    dynamic_shared: u32,
+    tex_bindings: &[u64],
+) -> Result<SmRound, SimError> {
+    let cfg = Cfg::build(func);
+    let pdom: Vec<Option<BlockId>> = ipdoms(func, &cfg);
+    let threads = block_dim.0 * block_dim.1 * block_dim.2;
+    let warp_count = threads.div_ceil(32);
+    let nv = func.num_vregs();
+    let shared_bytes = (func.shared_bytes() + dynamic_shared) as usize;
+
+    let mut blocks: Vec<ResidentBlock> = block_indices
+        .iter()
+        .map(|&bi| ResidentBlock {
+            warps: (0..warp_count)
+                .map(|w| {
+                    let base = w * 32;
+                    Warp::new(base, (threads - base).min(32), nv, func.local_bytes, true)
+                })
+                .collect(),
+            shared: vec![0u8; shared_bytes],
+            bstate: BlockState::new(),
+            block_idx: bi,
+        })
+        .collect();
+
+    // One issue port per warp scheduler.
+    let mut ports = vec![0u64; dev.schedulers_per_sm as usize];
+
+    loop {
+        // Find the runnable warp with the smallest clock.
+        let mut pick: Option<(usize, usize, u64)> = None;
+        for (bi, b) in blocks.iter().enumerate() {
+            for (wi, w) in b.warps.iter().enumerate() {
+                if !w.done && !w.at_barrier
+                    && pick.is_none_or(|(_, _, c)| w.clock < c) {
+                        pick = Some((bi, wi, w.clock));
+                    }
+            }
+        }
+        let Some((bi, wi, _)) = pick else {
+            // No runnable warp: either everything is done, or some blocks
+            // wait at barriers.
+            let mut any_released = false;
+            for b in blocks.iter_mut() {
+                let alive = b.warps.iter().filter(|w| !w.done).count();
+                let waiting = b.warps.iter().filter(|w| w.at_barrier).count();
+                if alive > 0 && waiting == alive {
+                    const BARRIER_COST: u64 = 40;
+                    let release =
+                        b.warps.iter().filter(|w| w.at_barrier).map(|w| w.clock).max().unwrap();
+                    for w in b.warps.iter_mut().filter(|w| w.at_barrier) {
+                        w.at_barrier = false;
+                        w.clock = w.clock.max(release) + BARRIER_COST;
+                    }
+                    any_released = true;
+                }
+            }
+            if any_released {
+                continue;
+            }
+            break; // all done
+        };
+
+        // Issue-port contention: the warp cannot issue before some port is
+        // free.
+        let port_i = ports
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .unwrap();
+        {
+            let b = &mut blocks[bi];
+            let w = &mut b.warps[wi];
+            w.clock = w.clock.max(ports[port_i]);
+            let ctx = BlockCtx {
+                dev,
+                func,
+                global,
+                const_mem,
+                params,
+                block_dim,
+                grid_dim,
+                block_idx: b.block_idx,
+                dynamic_shared,
+                timing: true,
+                trace: false,
+                tex_bindings,
+            };
+            match warp_step(&ctx, w, &pdom, &mut b.shared, &mut b.bstate)? {
+                StepOutcome::Continue | StepOutcome::Barrier | StepOutcome::Done => (),
+            };
+            let (t_issue, issue) = w.last_issue;
+            ports[port_i] = ports[port_i].max(t_issue) + issue.max(1);
+        }
+    }
+
+    let mut stats = ExecStats::default();
+    let mut cycles = 0u64;
+    for b in &blocks {
+        for w in &b.warps {
+            stats.accumulate(&w.stats);
+            cycles = cycles.max(w.clock);
+        }
+    }
+    Ok(SmRound { cycles, stats })
+}

@@ -1,0 +1,1144 @@
+//! Functional SIMT interpreter with integrated scoreboard timing.
+//!
+//! Warps execute in lockstep using the classic post-dominator
+//! reconvergence stack (the same mechanism real NVIDIA hardware and
+//! GPGPU-Sim use): a divergent branch pushes per-path frames whose masks
+//! partition the warp; a frame pops when it reaches its reconvergence
+//! block (the branch's immediate post-dominator).
+//!
+//! Timing is collected per warp with a register scoreboard: each virtual
+//! register carries a ready-time, so independent instructions issue
+//! back-to-back (ILP — this is what makes register blocking pay off) while
+//! dependent chains stall for the producer's latency.
+
+// Lockstep lane loops index fixed 32-wide arrays by lane id on purpose;
+// iterator adapters would obscure the SIMT structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::device::DeviceConfig;
+use crate::mem::{bank_conflict_degree, coalesce_transactions, GLOBAL_BASE};
+use ks_ir::cfg::{ipdoms, Cfg};
+use ks_ir::{Address, BinOp, BlockId, CmpOp, Function, Inst, Operand, Space, SpecialReg, Terminator, Ty, UnOp};
+
+/// A simulation trap (the analogue of a CUDA launch error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimError(pub String);
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation trap: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Unsafe shared view of global memory, allowing data-race-free thread
+/// blocks to execute in parallel (mirroring real GPU semantics: racy
+/// kernels are undefined behaviour there too).
+#[derive(Clone, Copy)]
+pub struct GlobalView {
+    base: *mut u8,
+    len: usize,
+}
+
+unsafe impl Send for GlobalView {}
+unsafe impl Sync for GlobalView {}
+
+impl GlobalView {
+    /// Create from an exclusive borrow; the borrow guarantees no host-side
+    /// aliasing while kernels run.
+    pub fn new(data: &mut [u8]) -> GlobalView {
+        GlobalView { base: data.as_mut_ptr(), len: data.len() }
+    }
+
+    #[inline]
+    fn check(&self, addr: u64) -> Result<usize, SimError> {
+        if addr < GLOBAL_BASE {
+            return Err(SimError(format!("global access below heap at {addr:#x}")));
+        }
+        let off = (addr - GLOBAL_BASE) as usize;
+        if off + 4 > self.len {
+            return Err(SimError(format!("global access out of bounds at {addr:#x}")));
+        }
+        if !addr.is_multiple_of(4) {
+            return Err(SimError(format!("misaligned global access at {addr:#x}")));
+        }
+        Ok(off)
+    }
+
+    #[inline]
+    fn read_u32(&self, addr: u64) -> Result<u32, SimError> {
+        let off = self.check(addr)?;
+        // SAFETY: bounds checked above; concurrent access requires the
+        // kernel itself to be data-race-free (GPU contract).
+        unsafe {
+            let p = self.base.add(off) as *const u32;
+            Ok(p.read_unaligned())
+        }
+    }
+
+    #[inline]
+    fn write_u32(&self, addr: u64, v: u32) -> Result<(), SimError> {
+        let off = self.check(addr)?;
+        unsafe {
+            let p = self.base.add(off) as *mut u32;
+            p.write_unaligned(v);
+        }
+        Ok(())
+    }
+}
+
+/// Dynamic-instruction statistics for a block (or aggregated launch).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    pub dyn_insts: u64,
+    pub alu: u64,
+    pub mul: u64,
+    pub div_sqrt: u64,
+    pub global_loads: u64,
+    pub global_stores: u64,
+    pub global_transactions: u64,
+    pub global_bytes: u64,
+    pub shared_accesses: u64,
+    pub bank_conflict_extra: u64,
+    pub local_accesses: u64,
+    pub const_loads: u64,
+    pub param_loads: u64,
+    pub branches: u64,
+    pub divergent_branches: u64,
+    pub barriers: u64,
+    /// Scheduler-busy cycles summed over warps.
+    pub issue_cycles: u64,
+    /// Critical-path cycles: max over warps of the scoreboard clock.
+    pub isolated_cycles: u64,
+}
+
+impl ExecStats {
+    pub fn accumulate(&mut self, o: &ExecStats) {
+        self.dyn_insts += o.dyn_insts;
+        self.alu += o.alu;
+        self.mul += o.mul;
+        self.div_sqrt += o.div_sqrt;
+        self.global_loads += o.global_loads;
+        self.global_stores += o.global_stores;
+        self.global_transactions += o.global_transactions;
+        self.global_bytes += o.global_bytes;
+        self.shared_accesses += o.shared_accesses;
+        self.bank_conflict_extra += o.bank_conflict_extra;
+        self.local_accesses += o.local_accesses;
+        self.const_loads += o.const_loads;
+        self.param_loads += o.param_loads;
+        self.branches += o.branches;
+        self.divergent_branches += o.divergent_branches;
+        self.barriers += o.barriers;
+        self.issue_cycles += o.issue_cycles;
+        self.isolated_cycles = self.isolated_cycles.max(o.isolated_cycles);
+    }
+}
+
+/// A reconvergence-stack frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    block: BlockId,
+    inst: usize,
+    reconv: Option<BlockId>,
+    mask: u32,
+}
+
+/// Why a warp stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WarpStop {
+    Done,
+    Barrier,
+}
+
+/// Outcome of a single-instruction step (event-driven scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    Continue,
+    Barrier,
+    Done,
+}
+
+pub(crate) struct Warp {
+    /// First linear thread id covered by this warp.
+    base_tid: u32,
+    regs: Vec<u64>,
+    stack: Vec<Frame>,
+    pub(crate) done: bool,
+    pub(crate) at_barrier: bool,
+    pub(crate) clock: u64,
+    reg_ready: Vec<u64>,
+    /// Earliest time a load from each space can observe prior stores
+    /// (store-to-load forwarding; conservative, all-addresses-alias).
+    /// Indexed by [global, shared, local].
+    store_ready: [u64; 3],
+    pub(crate) stats: ExecStats,
+    local: Vec<u8>,
+    /// (issue time, issue cycles) of the most recent instruction — used by
+    /// the event scheduler's issue-port model.
+    pub(crate) last_issue: (u64, u64),
+}
+
+impl Warp {
+    pub(crate) fn new(base_tid: u32, lanes: u32, nv: usize, local_bytes: u32, timing: bool) -> Warp {
+        let full_mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        Warp {
+            base_tid,
+            regs: vec![0u64; nv * 32],
+            stack: vec![Frame { block: BlockId(0), inst: 0, reconv: None, mask: full_mask }],
+            done: false,
+            at_barrier: false,
+            clock: 0,
+            reg_ready: vec![0u64; if timing { nv } else { 0 }],
+            store_ready: [0; 3],
+            stats: ExecStats::default(),
+            local: vec![0u8; (local_bytes as usize) * 32],
+            last_issue: (0, 0),
+        }
+    }
+}
+
+/// Everything needed to run one thread block.
+pub struct BlockCtx<'a> {
+    pub dev: &'a DeviceConfig,
+    pub func: &'a Function,
+    pub global: GlobalView,
+    pub const_mem: &'a [u8],
+    pub params: &'a [u8],
+    /// Device base address bound to each module texture reference
+    /// (indexed by `Inst::Tex.tex`).
+    pub tex_bindings: &'a [u64],
+    pub block_dim: (u32, u32, u32),
+    pub grid_dim: (u32, u32, u32),
+    pub block_idx: (u32, u32, u32),
+    pub dynamic_shared: u32,
+    /// Collect scoreboard timing (slightly slower).
+    pub timing: bool,
+    /// Print a per-instruction issue trace for warp 0 (debugging).
+    pub trace: bool,
+}
+
+fn sext32(v: u32) -> u64 {
+    v as i32 as i64 as u64
+}
+
+/// Execute one thread block to completion. Returns aggregated stats.
+pub fn run_block(ctx: &BlockCtx<'_>) -> Result<ExecStats, SimError> {
+    let f = ctx.func;
+    let cfg = Cfg::build(f);
+    let pdom = ipdoms(f, &cfg);
+    run_block_with(ctx, &cfg, &pdom)
+}
+
+
+/// Execute one block with precomputed CFG analyses (hot path for launches).
+pub struct BlockState {
+    seen_lines: std::collections::HashSet<u64>,
+}
+
+impl BlockState {
+    pub fn new() -> BlockState {
+        BlockState { seen_lines: std::collections::HashSet::new() }
+    }
+}
+
+impl Default for BlockState {
+    fn default() -> Self {
+        BlockState::new()
+    }
+}
+
+/// Execute one block with precomputed CFG analyses (hot path for launches).
+pub fn run_block_with(
+    ctx: &BlockCtx<'_>,
+    _cfg: &Cfg,
+    pdom: &[Option<BlockId>],
+) -> Result<ExecStats, SimError> {
+    let f = ctx.func;
+    let (bx, by, bz) = ctx.block_dim;
+    let threads = bx * by * bz;
+    if threads == 0 {
+        return Err(SimError("empty thread block".into()));
+    }
+    if threads > ctx.dev.max_threads_per_block {
+        return Err(SimError(format!(
+            "block of {threads} threads exceeds device limit {}",
+            ctx.dev.max_threads_per_block
+        )));
+    }
+    let nv = f.num_vregs();
+    let shared_bytes = f.shared_bytes() + ctx.dynamic_shared;
+    let mut shared = vec![0u8; shared_bytes as usize];
+
+    let mut bstate = BlockState::new();
+    let warp_count = threads.div_ceil(32);
+    let mut warps: Vec<Warp> = (0..warp_count)
+        .map(|w| {
+            let base_tid = w * 32;
+            let lanes = (threads - base_tid).min(32);
+            Warp::new(base_tid, lanes, nv, f.local_bytes, ctx.timing)
+        })
+        .collect();
+
+    // Round-robin warps between barriers.
+    loop {
+        let mut all_done = true;
+        let mut any_progress = false;
+        for w in warps.iter_mut() {
+            if w.done || w.at_barrier {
+                all_done &= w.done;
+                continue;
+            }
+            all_done = false;
+            any_progress = true;
+            match exec_warp(ctx, w, pdom, &mut shared, &mut bstate)? {
+                WarpStop::Done => w.done = true,
+                WarpStop::Barrier => w.at_barrier = true,
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !any_progress {
+            // Everyone alive is at a barrier: release it. Beyond syncing
+            // the clocks, a barrier costs a drain/notify latency on real
+            // hardware (~tens of cycles).
+            const BARRIER_COST: u64 = 40;
+            let release_clock =
+                warps.iter().filter(|w| w.at_barrier).map(|w| w.clock).max().unwrap_or(0);
+            let mut any = false;
+            for w in warps.iter_mut() {
+                if w.at_barrier {
+                    w.at_barrier = false;
+                    w.clock = w.clock.max(release_clock) + if ctx.timing { BARRIER_COST } else { 0 };
+                    any = true;
+                }
+            }
+            if !any {
+                return Err(SimError("scheduler deadlock (barrier mismatch)".into()));
+            }
+        }
+    }
+
+    let mut total = ExecStats::default();
+    for w in &warps {
+        total.accumulate(&w.stats);
+    }
+    Ok(total)
+}
+
+/// Execute a warp until it finishes or reaches a barrier.
+fn exec_warp(
+    ctx: &BlockCtx<'_>,
+    w: &mut Warp,
+    pdom: &[Option<BlockId>],
+    shared: &mut [u8],
+    bstate: &mut BlockState,
+) -> Result<WarpStop, SimError> {
+    let mut steps: u64 = 0;
+    const STEP_LIMIT: u64 = 2_000_000_000;
+    loop {
+        steps += 1;
+        if steps > STEP_LIMIT {
+            return Err(SimError("kernel exceeded dynamic instruction limit".into()));
+        }
+        match warp_step(ctx, w, pdom, shared, bstate)? {
+            StepOutcome::Continue => {}
+            StepOutcome::Barrier => return Ok(WarpStop::Barrier),
+            StepOutcome::Done => return Ok(WarpStop::Done),
+        }
+    }
+}
+
+/// Execute at most one instruction (or one terminator / reconvergence pop)
+/// of a warp. The event scheduler interleaves warps at this granularity.
+pub(crate) fn warp_step(
+    ctx: &BlockCtx<'_>,
+    w: &mut Warp,
+    pdom: &[Option<BlockId>],
+    shared: &mut [u8],
+    bstate: &mut BlockState,
+) -> Result<StepOutcome, SimError> {
+    let f = ctx.func;
+    // Pop any frames already sitting at their reconvergence point, then
+    // execute exactly one instruction or terminator.
+    loop {
+        let Some(frame) = w.stack.last() else {
+            w.done = true;
+            return Ok(StepOutcome::Done);
+        };
+        // Pop frames that reached their reconvergence point.
+        if frame.inst == 0 && Some(frame.block) == frame.reconv {
+            w.stack.pop();
+            continue;
+        }
+        let (block, inst_idx, mask) = (frame.block, frame.inst, frame.mask);
+        let bb = f.block(block);
+        if inst_idx < bb.insts.len() {
+            let inst = &bb.insts[inst_idx];
+            w.stack.last_mut().unwrap().inst += 1;
+            if let Inst::Bar = inst {
+                w.stats.barriers += 1;
+                w.stats.dyn_insts += 1;
+                if ctx.timing {
+                    // Pipeline bubble while the warp parks at the barrier.
+                    w.clock += 8;
+                    w.stats.issue_cycles += 8;
+                }
+                if w.stack.len() > 1 {
+                    return Err(SimError("__syncthreads() in divergent control flow".into()));
+                }
+                w.at_barrier = true;
+                return Ok(StepOutcome::Barrier);
+            }
+            exec_inst(ctx, w, inst, mask, shared, bstate)?;
+            return Ok(StepOutcome::Continue);
+        }
+        // Terminator.
+        w.stack.last_mut().unwrap().inst = usize::MAX; // consumed; reset on branch
+        match &bb.term {
+            Terminator::Ret => {
+                if w.stack.len() > 1 {
+                    return Err(SimError("divergent return (should reconverge first)".into()));
+                }
+                if ctx.timing {
+                    w.stats.isolated_cycles = w.clock;
+                }
+                w.done = true;
+                return Ok(StepOutcome::Done);
+            }
+            Terminator::Br { target } => {
+                w.stats.branches += 1;
+                w.stats.dyn_insts += 1;
+                if ctx.timing {
+                    w.last_issue = (w.clock, 1);
+                    w.clock += 1;
+                }
+                let fr = w.stack.last_mut().unwrap();
+                fr.block = *target;
+                fr.inst = 0;
+                return Ok(StepOutcome::Continue);
+            }
+            Terminator::CondBr { pred, negate, then_t, else_t } => {
+                w.stats.branches += 1;
+                w.stats.dyn_insts += 1;
+                if ctx.timing {
+                    let ready = w.reg_ready[pred.0 as usize];
+                    let t = w.clock.max(ready);
+                    w.last_issue = (t, 1);
+                    w.clock = t + 1;
+                }
+                let mut taken = 0u32;
+                for lane in 0..32 {
+                    if mask & (1 << lane) != 0 {
+                        let v = w.regs[pred.0 as usize * 32 + lane] != 0;
+                        if v ^ negate {
+                            taken |= 1 << lane;
+                        }
+                    }
+                }
+                let not_taken = mask & !taken;
+                let fr = w.stack.last_mut().unwrap();
+                if not_taken == 0 {
+                    fr.block = *then_t;
+                    fr.inst = 0;
+                } else if taken == 0 {
+                    fr.block = *else_t;
+                    fr.inst = 0;
+                } else {
+                    // Divergence: current frame becomes the reconvergence
+                    // continuation; push else then then (then runs first).
+                    w.stats.divergent_branches += 1;
+                    let reconv = pdom[block.0 as usize];
+                    let Some(r) = reconv else {
+                        return Err(SimError(format!(
+                            "divergent branch in {} without a reconvergence point",
+                            block
+                        )));
+                    };
+                    fr.block = r;
+                    fr.inst = 0;
+                    let parent_reconv = fr.reconv;
+                    // If the reconvergence point of the parent equals r the
+                    // parent frame will pop right after.
+                    let _ = parent_reconv;
+                    w.stack.push(Frame { block: *else_t, inst: 0, reconv: Some(r), mask: not_taken });
+                    w.stack.push(Frame { block: *then_t, inst: 0, reconv: Some(r), mask: taken });
+                }
+                return Ok(StepOutcome::Continue);
+            }
+        }
+    }
+}
+
+#[inline]
+fn operand_bits(w: &Warp, o: &Operand, lane: usize) -> u64 {
+    match o {
+        Operand::Reg(r) => w.regs[r.0 as usize * 32 + lane],
+        Operand::ImmI(v) => *v as u64,
+        Operand::ImmF(v) => v.to_bits() as u64,
+    }
+}
+
+#[inline]
+fn src_ready(w: &Warp, o: &Operand) -> u64 {
+    match o {
+        Operand::Reg(r) => w.reg_ready[r.0 as usize],
+        _ => 0,
+    }
+}
+
+fn exec_inst(
+    ctx: &BlockCtx<'_>,
+    w: &mut Warp,
+    inst: &Inst,
+    mask: u32,
+    shared: &mut [u8],
+    bstate: &mut BlockState,
+) -> Result<(), SimError> {
+    w.stats.dyn_insts += 1;
+    // ---- timing: issue + dependencies ----
+    let mut issue_extra: u64 = 0; // bank-conflict replays
+    let mut latency_extra: u64 = 0; // uncoalesced serialization
+    let pre_clock = w.clock;
+    if ctx.timing {
+        let mut ready = w.clock;
+        inst.for_each_use(|r| {
+            ready = ready.max(w.reg_ready[r.0 as usize]);
+        });
+        // Store-to-load forwarding: a load cannot complete before earlier
+        // stores to the same space are visible. This is what makes
+        // run-time-evaluated register blocking (accumulators spilled to
+        // local memory) pay the full memory round-trip per update.
+        if let Inst::Ld { space, .. } = inst {
+            let idx = match space {
+                Space::Global => Some(0),
+                Space::Shared => Some(1),
+                Space::Local => Some(2),
+                _ => None,
+            };
+            if let Some(i) = idx {
+                ready = ready.max(w.store_ready[i]);
+            }
+        }
+        w.clock = ready;
+    }
+
+    // ---- functional execution ----
+    match inst {
+        Inst::Mov { dst, src, .. } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    w.regs[dst.0 as usize * 32 + lane] = operand_bits(w, src, lane);
+                }
+            }
+            w.stats.alu += 1;
+        }
+        Inst::Special { dst, reg } => {
+            let (bxd, byd, _bzd) = ctx.block_dim;
+            let (gx, gy, gz) = ctx.grid_dim;
+            let (cx, cy, cz) = ctx.block_idx;
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let tid = w.base_tid + lane as u32;
+                    let tx = tid % bxd;
+                    let ty = (tid / bxd) % byd;
+                    let tz = tid / (bxd * byd);
+                    let v = match reg {
+                        SpecialReg::TidX => tx,
+                        SpecialReg::TidY => ty,
+                        SpecialReg::TidZ => tz,
+                        SpecialReg::CtaIdX => cx,
+                        SpecialReg::CtaIdY => cy,
+                        SpecialReg::CtaIdZ => cz,
+                        SpecialReg::NtidX => bxd,
+                        SpecialReg::NtidY => byd,
+                        SpecialReg::NtidZ => ctx.block_dim.2,
+                        SpecialReg::NctaIdX => gx,
+                        SpecialReg::NctaIdY => gy,
+                        SpecialReg::NctaIdZ => gz,
+                    };
+                    w.regs[dst.0 as usize * 32 + lane] = v as u64;
+                }
+            }
+            w.stats.alu += 1;
+        }
+        Inst::Bin { op, ty, dst, a, b } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let x = operand_bits(w, a, lane);
+                    let y = operand_bits(w, b, lane);
+                    let r = eval_bin(*op, *ty, x, y)?;
+                    w.regs[dst.0 as usize * 32 + lane] = r;
+                }
+            }
+            match (op, ty) {
+                (BinOp::Div | BinOp::Rem, _) => w.stats.div_sqrt += 1,
+                (BinOp::Mul | BinOp::Mul24, _) => w.stats.mul += 1,
+                _ => w.stats.alu += 1,
+            }
+        }
+        Inst::Un { op, ty, dst, a } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let x = operand_bits(w, a, lane);
+                    let r = eval_un(*op, *ty, x);
+                    w.regs[dst.0 as usize * 32 + lane] = r;
+                }
+            }
+            match op {
+                UnOp::Sqrt | UnOp::Rsqrt => w.stats.div_sqrt += 1,
+                _ => w.stats.alu += 1,
+            }
+        }
+        Inst::Mad { ty, dst, a, b, c } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let x = operand_bits(w, a, lane);
+                    let y = operand_bits(w, b, lane);
+                    let z = operand_bits(w, c, lane);
+                    let xy = eval_bin(BinOp::Mul, *ty, x, y)?;
+                    let r = eval_bin(BinOp::Add, *ty, xy, z)?;
+                    w.regs[dst.0 as usize * 32 + lane] = r;
+                }
+            }
+            w.stats.mul += 1;
+        }
+        Inst::Setp { cmp, ty, dst, a, b } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let x = operand_bits(w, a, lane);
+                    let y = operand_bits(w, b, lane);
+                    let r = eval_cmp(*cmp, *ty, x, y);
+                    w.regs[dst.0 as usize * 32 + lane] = u64::from(r);
+                }
+            }
+            w.stats.alu += 1;
+        }
+        Inst::Selp { dst, a, b, pred, .. } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let p = w.regs[pred.0 as usize * 32 + lane] != 0;
+                    let v = if p { operand_bits(w, a, lane) } else { operand_bits(w, b, lane) };
+                    w.regs[dst.0 as usize * 32 + lane] = v;
+                }
+            }
+            w.stats.alu += 1;
+        }
+        Inst::Cvt { dst_ty, src_ty, dst, src } => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let x = operand_bits(w, src, lane);
+                    w.regs[dst.0 as usize * 32 + lane] = eval_cvt(*dst_ty, *src_ty, x);
+                }
+            }
+            w.stats.alu += 1;
+        }
+        Inst::Ld { space, ty, dst, addr } => {
+            let addrs = lane_addresses(w, addr, mask);
+            match space {
+                Space::Global => {
+                    let t = coalesce_transactions(ctx.dev, &addrs, mask) as u64;
+                    w.stats.global_loads += 1;
+                    w.stats.global_transactions += t;
+                    // DRAM bandwidth is charged once per line per block;
+                    // re-reads hit the read cache (texture / L1).
+                    let mut fresh = 0u64;
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let line = addrs[lane] / ctx.dev.mem_segment;
+                            if bstate.seen_lines.insert(line) {
+                                fresh += 1;
+                            }
+                        }
+                    }
+                    w.stats.global_bytes += fresh * ctx.dev.mem_segment;
+                    latency_extra = t.saturating_sub(1) * 24;
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let v = ctx.global.read_u32(addrs[lane])?;
+                            w.regs[dst.0 as usize * 32 + lane] = load_extend(*ty, v);
+                        }
+                    }
+                }
+                Space::Shared => {
+                    let d = bank_conflict_degree(ctx.dev, &addrs, mask) as u64;
+                    w.stats.shared_accesses += 1;
+                    w.stats.bank_conflict_extra += d - 1;
+                    issue_extra = d - 1;
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let v = read_buf(shared, addrs[lane], "shared")?;
+                            w.regs[dst.0 as usize * 32 + lane] = load_extend(*ty, v);
+                        }
+                    }
+                }
+                Space::Local => {
+                    w.stats.local_accesses += 1;
+                    let lb = ctx.func.local_bytes as u64;
+                    charge_local_traffic(ctx, w, bstate, &addrs, mask, lb);
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let a = addrs[lane] + lane as u64 * lb;
+                            let v = read_buf(&w.local, a, "local")?;
+                            w.regs[dst.0 as usize * 32 + lane] = load_extend(*ty, v);
+                        }
+                    }
+                }
+                Space::Const => {
+                    w.stats.const_loads += 1;
+                    // The constant cache broadcasts one address per cycle:
+                    // lanes reading distinct addresses serialize.
+                    let mut distinct: Vec<u64> = Vec::with_capacity(4);
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let a = addrs[lane];
+                            if !distinct.contains(&a) {
+                                distinct.push(a);
+                            }
+                            let v = read_buf(ctx.const_mem, a, "const")?;
+                            w.regs[dst.0 as usize * 32 + lane] = load_extend(*ty, v);
+                        }
+                    }
+                    issue_extra = (distinct.len() as u64).saturating_sub(1);
+                }
+                Space::Param => {
+                    w.stats.param_loads += 1;
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let a = addrs[lane];
+                            let v: u64 = if *ty == Ty::Ptr(Space::Global)
+                                || matches!(ty, Ty::Ptr(_))
+                            {
+                                read_buf64(ctx.params, a)?
+                            } else {
+                                load_extend(*ty, read_buf(ctx.params, a, "param")?)
+                            };
+                            w.regs[dst.0 as usize * 32 + lane] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Inst::St { space, ty, addr, src } => {
+            let addrs = lane_addresses(w, addr, mask);
+            match space {
+                Space::Global => {
+                    let t = coalesce_transactions(ctx.dev, &addrs, mask) as u64;
+                    w.stats.global_stores += 1;
+                    w.stats.global_transactions += t;
+                    w.stats.global_bytes += t * ctx.dev.mem_segment;
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let v = store_bits(*ty, operand_bits(w, src, lane));
+                            ctx.global.write_u32(addrs[lane], v)?;
+                        }
+                    }
+                }
+                Space::Shared => {
+                    let d = bank_conflict_degree(ctx.dev, &addrs, mask) as u64;
+                    w.stats.shared_accesses += 1;
+                    w.stats.bank_conflict_extra += d - 1;
+                    issue_extra = d - 1;
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let v = store_bits(*ty, operand_bits(w, src, lane));
+                            write_buf(shared, addrs[lane], v, "shared")?;
+                        }
+                    }
+                }
+                Space::Local => {
+                    w.stats.local_accesses += 1;
+                    let lb = ctx.func.local_bytes as u64;
+                    charge_local_traffic(ctx, w, bstate, &addrs, mask, lb);
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            let a = addrs[lane] + lane as u64 * lb;
+                            let v = store_bits(*ty, operand_bits(w, src, lane));
+                            write_buf(&mut w.local, a, v, "local")?;
+                        }
+                    }
+                }
+                Space::Const | Space::Param => {
+                    return Err(SimError("store to read-only space".into()));
+                }
+            }
+        }
+        Inst::Tex { ty, dst, tex, idx } => {
+            let base = *ctx
+                .tex_bindings
+                .get(*tex as usize)
+                .ok_or_else(|| SimError(format!("texture {tex} not bound")))?;
+            if base == 0 {
+                return Err(SimError(format!("texture {tex} not bound")));
+            }
+            // Element addresses per lane; fetches run through the texture
+            // cache (the per-block reuse set) like any cached global read.
+            let mut addrs = [0u64; 32];
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let i = operand_bits(w, idx, lane) as u32 as i32;
+                    if i < 0 {
+                        return Err(SimError("negative texture index".into()));
+                    }
+                    addrs[lane] = base + i as u64 * 4;
+                }
+            }
+            let t = coalesce_transactions(ctx.dev, &addrs, mask) as u64;
+            w.stats.global_loads += 1;
+            w.stats.global_transactions += t;
+            let mut fresh = 0u64;
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let line = addrs[lane] / ctx.dev.mem_segment;
+                    if bstate.seen_lines.insert(line) {
+                        fresh += 1;
+                    }
+                }
+            }
+            w.stats.global_bytes += fresh * ctx.dev.mem_segment;
+            latency_extra = t.saturating_sub(1) * 24;
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let v = ctx.global.read_u32(addrs[lane])?;
+                    w.regs[dst.0 as usize * 32 + lane] = load_extend(*ty, v);
+                }
+            }
+        }
+        Inst::Bar => unreachable!("handled by the warp loop"),
+    }
+
+    // ---- timing: charge issue + set destination ready time ----
+    if ctx.timing {
+        let issue = ctx.dev.issue_cycles(inst) * (1 + issue_extra);
+        let t_issue = w.clock;
+        w.last_issue = (t_issue, issue);
+        if ctx.trace && w.base_tid == 0 {
+            eprintln!(
+                "[trace] t={:6} stall={:5} {}",
+                t_issue,
+                t_issue.saturating_sub(pre_clock),
+                ks_ir::printer::print_inst(inst)
+            );
+        }
+        w.clock = t_issue + issue;
+        w.stats.issue_cycles += issue;
+        if let Some(d) = inst.def() {
+            let lat = ctx.dev.dep_latency(inst) + latency_extra;
+            w.reg_ready[d.0 as usize] = t_issue + lat;
+        }
+        if let Inst::St { space, ty, addr, src } = inst {
+            // A later load sees this store once it completes; forward
+            // latency mirrors a load from the same space.
+            let probe = Inst::Ld { space: *space, ty: *ty, dst: ks_ir::VReg(0), addr: *addr };
+            let lat = ctx.dev.dep_latency(&probe);
+            let idx = match space {
+                Space::Global => Some(0),
+                Space::Shared => Some(1),
+                Space::Local => Some(2),
+                _ => None,
+            };
+            if let Some(i) = idx {
+                w.store_ready[i] = w.store_ready[i].max(t_issue + lat);
+            }
+            let _ = src;
+        }
+        // Stores must have source operands ready (already folded into
+        // w.clock by the dependency max at entry).
+        let _ = src_ready;
+        w.stats.isolated_cycles = w.stats.isolated_cycles.max(w.clock);
+    }
+    Ok(())
+}
+
+/// Local memory lives in DRAM. A warp access to the same local offset is
+/// hardware-interleaved into one or two segments' worth of traffic. On
+/// CC 1.x there is no cache in front of it; Fermi's L1 absorbs re-touches
+/// (modeled with the per-block reuse set, namespaced away from global
+/// lines).
+fn charge_local_traffic(
+    ctx: &BlockCtx<'_>,
+    w: &mut Warp,
+    bstate: &mut BlockState,
+    addrs: &[u64; 32],
+    mask: u32,
+    lane_stride: u64,
+) {
+    const LOCAL_NS: u64 = 1 << 60;
+    let lanes = mask.count_ones() as u64;
+    if lanes == 0 {
+        return;
+    }
+    // Interleaved layout: a full-warp access to one 4-byte slot moves
+    // lanes*4 bytes of DRAM traffic.
+    let bytes = lanes * 4;
+    let segs = bytes.div_ceil(ctx.dev.mem_segment).max(1);
+    if ctx.dev.cc_major >= 2 {
+        // L1-cached: first touch per (warp, offset-line) only.
+        let line = LOCAL_NS
+            + (w.base_tid as u64) * (1 << 40)
+            + (addrs.iter().max().copied().unwrap_or(0) + lane_stride) / ctx.dev.mem_segment;
+        if bstate.seen_lines.insert(line) {
+            w.stats.global_bytes += segs * ctx.dev.mem_segment;
+            w.stats.global_transactions += segs;
+        }
+    } else {
+        w.stats.global_bytes += segs * ctx.dev.mem_segment;
+        w.stats.global_transactions += segs;
+    }
+}
+
+#[inline]
+fn lane_addresses(w: &Warp, addr: &Address, mask: u32) -> [u64; 32] {
+    let mut out = [0u64; 32];
+    match addr.base {
+        None => {
+            for v in out.iter_mut() {
+                *v = addr.offset as u64;
+            }
+        }
+        Some(base) => {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    out[lane] = w.regs[base.0 as usize * 32 + lane]
+                        .wrapping_add(addr.offset as u64);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn read_buf(buf: &[u8], addr: u64, space: &'static str) -> Result<u32, SimError> {
+    let a = addr as usize;
+    if a + 4 > buf.len() || !addr.is_multiple_of(4) {
+        return Err(SimError(format!("bad {space} access at {addr:#x} (len {})", buf.len())));
+    }
+    Ok(u32::from_le_bytes(buf[a..a + 4].try_into().unwrap()))
+}
+
+#[inline]
+fn read_buf64(buf: &[u8], addr: u64) -> Result<u64, SimError> {
+    let a = addr as usize;
+    if a + 8 > buf.len() {
+        return Err(SimError(format!("bad param access at {addr:#x}")));
+    }
+    Ok(u64::from_le_bytes(buf[a..a + 8].try_into().unwrap()))
+}
+
+#[inline]
+fn write_buf(buf: &mut [u8], addr: u64, v: u32, space: &'static str) -> Result<(), SimError> {
+    let a = addr as usize;
+    if a + 4 > buf.len() || !addr.is_multiple_of(4) {
+        return Err(SimError(format!("bad {space} access at {addr:#x} (len {})", buf.len())));
+    }
+    buf[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+/// Zero/sign-extend a loaded 32-bit value into the 64-bit register slot.
+#[inline]
+fn load_extend(ty: Ty, v: u32) -> u64 {
+    match ty {
+        Ty::S32 => sext32(v),
+        _ => v as u64,
+    }
+}
+
+/// Truncate a register value to its stored 32-bit form.
+#[inline]
+fn store_bits(_ty: Ty, v: u64) -> u32 {
+    v as u32
+}
+
+fn eval_bin(op: BinOp, ty: Ty, x: u64, y: u64) -> Result<u64, SimError> {
+    Ok(match ty {
+        Ty::F32 => {
+            let a = f32::from_bits(x as u32);
+            let b = f32::from_bits(y as u32);
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                _ => return Err(SimError(format!("float op {op:?} unsupported"))),
+            };
+            r.to_bits() as u64
+        }
+        Ty::U32 => {
+            let (a, b) = (x as u32, y as u32);
+            let r = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Mul24 => (a & 0xFF_FFFF).wrapping_mul(b & 0xFF_FFFF),
+                BinOp::Div => a.checked_div(b).ok_or(SimError("division by zero".into()))?,
+                BinOp::Rem => a.checked_rem(b).ok_or(SimError("remainder by zero".into()))?,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b & 31),
+                BinOp::Shr => a.wrapping_shr(b & 31),
+            };
+            r as u64
+        }
+        Ty::S32 => {
+            let (a, b) = (x as u32 as i32, y as u32 as i32);
+            let r: i32 = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Mul24 => {
+                    (((a as u32) & 0xFF_FFFF).wrapping_mul((b as u32) & 0xFF_FFFF)) as i32
+                }
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(SimError("division by zero".into()));
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return Err(SimError("remainder by zero".into()));
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+                BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+            };
+            sext32(r as u32)
+        }
+        Ty::Ptr(_) => match op {
+            BinOp::Add => x.wrapping_add(sext_operand(y)),
+            BinOp::Sub => x.wrapping_sub(sext_operand(y)),
+            _ => return Err(SimError(format!("pointer op {op:?} unsupported"))),
+        },
+        Ty::Pred => {
+            let (a, b) = (x != 0, y != 0);
+            let r = match op {
+                BinOp::And => a && b,
+                BinOp::Or => a || b,
+                BinOp::Xor => a ^ b,
+                _ => return Err(SimError("arithmetic on predicate".into())),
+            };
+            u64::from(r)
+        }
+    })
+}
+
+/// A 32-bit register value added to a pointer is sign-extended; a full
+/// 64-bit immediate passes through.
+#[inline]
+fn sext_operand(v: u64) -> u64 {
+    if v <= u32::MAX as u64 {
+        sext32(v as u32)
+    } else {
+        v
+    }
+}
+
+fn eval_un(op: UnOp, ty: Ty, x: u64) -> u64 {
+    match ty {
+        Ty::F32 => {
+            let a = f32::from_bits(x as u32);
+            let r = match op {
+                UnOp::Neg => -a,
+                UnOp::Abs => a.abs(),
+                UnOp::Sqrt => a.sqrt(),
+                UnOp::Rsqrt => 1.0 / a.sqrt(),
+                UnOp::Floor => a.floor(),
+                UnOp::Not => f32::from_bits(!(x as u32)),
+            };
+            r.to_bits() as u64
+        }
+        Ty::Pred => match op {
+            UnOp::Not => u64::from(x == 0),
+            _ => 0,
+        },
+        _ => {
+            let a = x as u32 as i32;
+            let r: i32 = match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => !a,
+                UnOp::Abs => a.wrapping_abs(),
+                UnOp::Sqrt | UnOp::Rsqrt | UnOp::Floor => a,
+            };
+            if ty == Ty::S32 {
+                sext32(r as u32)
+            } else {
+                (r as u32) as u64
+            }
+        }
+    }
+}
+
+fn eval_cmp(cmp: CmpOp, ty: Ty, x: u64, y: u64) -> bool {
+    match ty {
+        Ty::F32 => {
+            let (a, b) = (f32::from_bits(x as u32), f32::from_bits(y as u32));
+            match cmp {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+        Ty::U32 => {
+            let (a, b) = (x as u32, y as u32);
+            match cmp {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+        Ty::Ptr(_) => match cmp {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        },
+        _ => {
+            let (a, b) = (x as u32 as i32, y as u32 as i32);
+            match cmp {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+    }
+}
+
+fn eval_cvt(dst: Ty, src: Ty, x: u64) -> u64 {
+    match (src, dst) {
+        (Ty::S32, Ty::F32) => ((x as u32 as i32) as f32).to_bits() as u64,
+        (Ty::U32, Ty::F32) => ((x as u32) as f32).to_bits() as u64,
+        (Ty::F32, Ty::S32) => sext32((f32::from_bits(x as u32) as i32) as u32),
+        (Ty::F32, Ty::U32) => (f32::from_bits(x as u32) as u32) as u64,
+        (Ty::S32, Ty::Ptr(_)) => sext32(x as u32),
+        (Ty::U32, Ty::Ptr(_)) => (x as u32) as u64,
+        (Ty::Ptr(_), Ty::S32) => sext32(x as u32),
+        (Ty::Ptr(_), Ty::U32) => (x as u32) as u64,
+        _ => x,
+    }
+}

@@ -1,0 +1,366 @@
+//! Kernel launch orchestration: grid iteration, parameter marshalling,
+//! functional execution of every block (rayon-parallel, mirroring block
+//! independence on real GPUs), block-sampled timing collection, and the
+//! SM-level throughput model that turns per-warp scoreboard data into a
+//! simulated kernel time.
+
+use crate::device::DeviceConfig;
+use crate::interp::{run_block_with, BlockCtx, ExecStats, GlobalView, SimError};
+use crate::occupancy::{occupancy, Limiter, Occupancy};
+use crate::regalloc::{allocate, RegAlloc};
+use ks_ir::cfg::{ipdoms, Cfg};
+use ks_ir::{Function, Module, Space, Ty};
+use rayon::prelude::*;
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KArg {
+    I32(i32),
+    U32(u32),
+    F32(f32),
+    /// Device pointer (from `GlobalMem::alloc`).
+    Ptr(u64),
+}
+
+/// Grid/block geometry for a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    pub grid: (u32, u32, u32),
+    pub block: (u32, u32, u32),
+    /// Dynamically allocated shared memory per block, in bytes.
+    pub dynamic_shared: u32,
+}
+
+impl LaunchDims {
+    pub fn linear(grid: u32, block: u32) -> LaunchDims {
+        LaunchDims { grid: (grid, 1, 1), block: (block, 1, 1), dynamic_shared: 0 }
+    }
+
+    pub fn grid_blocks(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64 * self.grid.2 as u64
+    }
+
+    pub fn block_threads(&self) -> u32 {
+        self.block.0 * self.block.1 * self.block.2
+    }
+}
+
+/// How a launch executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchOptions {
+    /// Functionally execute *every* block (writes all outputs). When
+    /// false, only the timing sample runs — use for perf sweeps whose
+    /// outputs are not inspected.
+    pub functional: bool,
+    /// Number of blocks to interpret with scoreboard timing (spread over
+    /// the grid; block-homogeneous kernels need only a few).
+    pub timing_sample_blocks: u32,
+    /// Use the event-driven SM scheduler (`ks_sim::event`) for the round
+    /// time instead of the analytic assembly — higher fidelity, slower.
+    pub event_timing: bool,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> Self {
+        LaunchOptions { functional: true, timing_sample_blocks: 8, event_timing: false }
+    }
+}
+
+/// Everything the simulator reports about one launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    pub kernel: String,
+    pub device: String,
+    /// Simulated execution time in milliseconds.
+    pub time_ms: f64,
+    pub cycles: u64,
+    pub occupancy: Occupancy,
+    pub regs_per_thread: u32,
+    pub pred_regs: u32,
+    pub shared_per_block: u32,
+    pub local_bytes_per_thread: u32,
+    pub static_insts: usize,
+    /// Aggregated (scaled-to-full-grid) execution statistics.
+    pub stats: ExecStats,
+    /// What bounded the SM round time.
+    pub bound: Bound,
+}
+
+/// The binding resource in the SM timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    Compute,
+    Memory,
+    Latency,
+}
+
+/// The device-side mutable state a launch runs against.
+pub struct DeviceState {
+    pub dev: DeviceConfig,
+    pub global: crate::mem::GlobalMem,
+    pub const_mem: Vec<u8>,
+    /// Texture-reference bindings by name (`cudaBindTexture`).
+    pub tex_bindings: std::collections::HashMap<String, u64>,
+}
+
+impl DeviceState {
+    /// A device with the given heap size.
+    pub fn new(dev: DeviceConfig, heap_bytes: u64) -> DeviceState {
+        let const_bytes = dev.const_bytes as usize;
+        DeviceState {
+            dev,
+            global: crate::mem::GlobalMem::new(heap_bytes),
+            const_mem: vec![0; const_bytes],
+            tex_bindings: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Bind a texture reference to a device address (`cudaBindTexture`).
+    pub fn bind_texture(&mut self, name: &str, addr: u64) {
+        self.tex_bindings.insert(name.to_string(), addr);
+    }
+
+    /// Write into a module's constant symbol.
+    pub fn set_const(&mut self, m: &Module, name: &str, data: &[u8]) -> Result<(), SimError> {
+        let c = m
+            .const_decl(name)
+            .ok_or_else(|| SimError(format!("no __constant__ named {name}")))?;
+        if data.len() as u32 > c.size_bytes {
+            return Err(SimError(format!(
+                "constant {name} holds {} bytes, got {}",
+                c.size_bytes,
+                data.len()
+            )));
+        }
+        let off = c.offset as usize;
+        self.const_mem[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// Serialize launch arguments into the kernel's param space layout.
+fn marshal_params(f: &Function, args: &[KArg]) -> Result<Vec<u8>, SimError> {
+    if args.len() != f.params.len() {
+        return Err(SimError(format!(
+            "kernel {} expects {} arguments, got {}",
+            f.name,
+            f.params.len(),
+            args.len()
+        )));
+    }
+    let mut buf = vec![0u8; f.param_bytes() as usize];
+    for (p, a) in f.params.iter().zip(args) {
+        let off = p.offset as usize;
+        match (p.ty, a) {
+            (Ty::S32, KArg::I32(v)) => buf[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+            (Ty::U32, KArg::U32(v)) => buf[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+            (Ty::S32, KArg::U32(v)) => buf[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+            (Ty::U32, KArg::I32(v)) => buf[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+            (Ty::F32, KArg::F32(v)) => buf[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+            (Ty::Ptr(Space::Global), KArg::Ptr(v)) => {
+                buf[off..off + 8].copy_from_slice(&v.to_le_bytes())
+            }
+            (ty, a) => {
+                return Err(SimError(format!(
+                    "argument {} type mismatch: param is {ty}, arg is {a:?}",
+                    p.name
+                )))
+            }
+        }
+    }
+    Ok(buf)
+}
+
+fn block_index(linear: u64, grid: (u32, u32, u32)) -> (u32, u32, u32) {
+    let gx = grid.0 as u64;
+    let gy = grid.1 as u64;
+    ((linear % gx) as u32, ((linear / gx) % gy) as u32, (linear / (gx * gy)) as u32)
+}
+
+/// Launch a kernel on the simulated device.
+pub fn launch(
+    state: &mut DeviceState,
+    module: &Module,
+    kernel: &str,
+    dims: LaunchDims,
+    args: &[KArg],
+    opts: LaunchOptions,
+) -> Result<LaunchReport, SimError> {
+    let f = module
+        .function(kernel)
+        .ok_or_else(|| SimError(format!("kernel {kernel} not found in module")))?;
+    let params = marshal_params(f, args)?;
+    let ra: RegAlloc = allocate(f);
+    let shared_per_block = f.shared_bytes() + dims.dynamic_shared;
+    let occ = occupancy(
+        &state.dev,
+        dims.block_threads(),
+        ra.gpr_count.max(2), // architectural baseline registers
+        shared_per_block,
+    );
+    if occ.limiter == Limiter::Infeasible {
+        return Err(SimError(format!(
+            "launch infeasible on {}: {} threads, {} regs/thread, {} B shared",
+            state.dev.name,
+            dims.block_threads(),
+            ra.gpr_count,
+            shared_per_block
+        )));
+    }
+    let nblocks = dims.grid_blocks();
+    if nblocks == 0 {
+        return Err(SimError("empty grid".into()));
+    }
+
+    let cfg = Cfg::build(f);
+    let pdom = ipdoms(f, &cfg);
+    let dev = state.dev.clone();
+    let const_mem = state.const_mem.clone();
+    // Resolve texture bindings in module order (0 = unbound → trap on use).
+    let tex_bindings: Vec<u64> = module
+        .textures
+        .iter()
+        .map(|name| state.tex_bindings.get(name).copied().unwrap_or(0))
+        .collect();
+    let view = GlobalView::new(state.global.raw_mut());
+
+    // --- timing sample ---
+    let sample_n = (opts.timing_sample_blocks as u64).min(nblocks).max(1);
+    let stride = nblocks / sample_n;
+    let sample_ids: Vec<u64> = (0..sample_n).map(|i| i * stride).collect();
+    let mut sample_stats = ExecStats::default();
+    let mut per_block_samples: Vec<ExecStats> = Vec::with_capacity(sample_ids.len());
+    for &b in &sample_ids {
+        let ctx = BlockCtx {
+            dev: &dev,
+            func: f,
+            global: view,
+            const_mem: &const_mem,
+            params: &params,
+            block_dim: dims.block,
+            grid_dim: dims.grid,
+            block_idx: block_index(b, dims.grid),
+            dynamic_shared: dims.dynamic_shared,
+            timing: true,
+            trace: std::env::var("KS_SIM_TRACE").is_ok(),
+            tex_bindings: &tex_bindings,
+        };
+        let s = run_block_with(&ctx, &cfg, &pdom)?;
+        per_block_samples.push(s);
+        sample_stats.accumulate(&s);
+    }
+
+    // --- functional execution of the remaining blocks (parallel) ---
+    if opts.functional {
+        let rest: Vec<u64> = (0..nblocks).filter(|b| !sample_ids.contains(b)).collect();
+        rest.par_iter().try_for_each(|&b| {
+            let ctx = BlockCtx {
+                dev: &dev,
+                func: f,
+                global: view,
+                const_mem: &const_mem,
+                params: &params,
+                block_dim: dims.block,
+                grid_dim: dims.grid,
+                block_idx: block_index(b, dims.grid),
+                dynamic_shared: dims.dynamic_shared,
+                timing: false,
+                trace: false,
+                tex_bindings: &tex_bindings,
+            };
+            run_block_with(&ctx, &cfg, &pdom).map(|_| ())
+        })?;
+    }
+
+    // --- SM-level timing model ---
+    // Average per-block figures from the sample.
+    let n = per_block_samples.len() as f64;
+    let avg_issue = sample_stats.issue_cycles as f64 / n;
+    let avg_bytes = sample_stats.global_bytes as f64 / n;
+    let avg_isolated =
+        per_block_samples.iter().map(|s| s.isolated_cycles).max().unwrap_or(0) as f64;
+
+    // Device-level throughput terms (issue bandwidth and DRAM bandwidth
+    // integrate smoothly over the whole grid), plus a latency term: each
+    // wave of resident blocks cannot finish faster than one block's
+    // critical path, and waves are serialized.
+    let concurrent = (occ.blocks_per_sm as f64 * dev.sm_count as f64).max(1.0);
+    let waves = (nblocks as f64 / concurrent).ceil().max(1.0);
+    let compute_cycles =
+        avg_issue * nblocks as f64 / (dev.sm_count as f64 * dev.schedulers_per_sm as f64);
+    let mem_cycles =
+        avg_bytes * nblocks as f64 / (dev.bytes_per_cycle_per_sm() * dev.sm_count as f64);
+    let latency_cycles = avg_isolated * waves;
+    let (total_cycles, bound);
+    if opts.event_timing {
+        // Event-driven round: co-schedule one SM's resident block set.
+        let resident = (occ.blocks_per_sm as u64).min(nblocks) as usize;
+        let indices: Vec<(u32, u32, u32)> = (0..resident)
+            .map(|i| block_index(sample_ids[i % sample_ids.len()], dims.grid))
+            .collect();
+        let round = crate::event::run_sm_round(
+            &dev,
+            f,
+            view,
+            &const_mem,
+            &params,
+            dims.block,
+            dims.grid,
+            &indices,
+            dims.dynamic_shared,
+            &tex_bindings,
+        )?;
+        let mem_round =
+            round.stats.global_bytes as f64 / dev.bytes_per_cycle_per_sm();
+        let round_cycles = (round.cycles as f64).max(mem_round);
+        total_cycles = round_cycles * waves;
+        bound = if round_cycles > round.cycles as f64 { Bound::Memory } else { Bound::Latency };
+    } else {
+        total_cycles = compute_cycles.max(mem_cycles).max(latency_cycles);
+        bound = if total_cycles == compute_cycles {
+            Bound::Compute
+        } else if total_cycles == mem_cycles {
+            Bound::Memory
+        } else {
+            Bound::Latency
+        };
+    }
+    let time_ms = total_cycles / (dev.clock_ghz * 1e9) * 1e3;
+
+    // Scale sampled stats to the full grid for reporting.
+    let scale = nblocks as f64 / n;
+    let mut stats = sample_stats;
+    let s = |v: u64| (v as f64 * scale) as u64;
+    stats.dyn_insts = s(stats.dyn_insts);
+    stats.alu = s(stats.alu);
+    stats.mul = s(stats.mul);
+    stats.div_sqrt = s(stats.div_sqrt);
+    stats.global_loads = s(stats.global_loads);
+    stats.global_stores = s(stats.global_stores);
+    stats.global_transactions = s(stats.global_transactions);
+    stats.global_bytes = s(stats.global_bytes);
+    stats.shared_accesses = s(stats.shared_accesses);
+    stats.bank_conflict_extra = s(stats.bank_conflict_extra);
+    stats.local_accesses = s(stats.local_accesses);
+    stats.const_loads = s(stats.const_loads);
+    stats.param_loads = s(stats.param_loads);
+    stats.branches = s(stats.branches);
+    stats.divergent_branches = s(stats.divergent_branches);
+    stats.barriers = s(stats.barriers);
+    stats.issue_cycles = s(stats.issue_cycles);
+
+    Ok(LaunchReport {
+        kernel: kernel.to_string(),
+        device: dev.name.clone(),
+        time_ms,
+        cycles: total_cycles as u64,
+        occupancy: occ,
+        regs_per_thread: ra.gpr_count.max(2),
+        pred_regs: ra.pred_count,
+        shared_per_block,
+        local_bytes_per_thread: f.local_bytes,
+        static_insts: f.static_inst_count(),
+        stats,
+        bound,
+    })
+}

@@ -1,0 +1,177 @@
+//! Occupancy calculation, following the CUDA occupancy calculator rules:
+//! the number of thread blocks resident on an SM is the minimum over the
+//! block-count, warp-count, register-file, and shared-memory constraints.
+
+use crate::device::DeviceConfig;
+
+/// What limited the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    Blocks,
+    Warps,
+    Registers,
+    SharedMemory,
+    /// Kernel cannot run at all (e.g. one block exceeds a resource).
+    Infeasible,
+}
+
+/// Occupancy analysis result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    pub blocks_per_sm: u32,
+    pub warps_per_block: u32,
+    pub active_warps: u32,
+    /// active_warps / max_warps.
+    pub occupancy: f64,
+    pub limiter: Limiter,
+}
+
+fn div_round_up(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+fn round_up(a: u32, unit: u32) -> u32 {
+    div_round_up(a, unit) * unit
+}
+
+/// Compute the occupancy of a kernel configuration.
+///
+/// `shared_per_block` includes static + dynamic shared memory.
+pub fn occupancy(
+    dev: &DeviceConfig,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    shared_per_block: u32,
+) -> Occupancy {
+    assert!(threads_per_block > 0, "empty thread block");
+    let warps_per_block = div_round_up(threads_per_block, dev.warp_size);
+
+    let by_blocks = dev.max_blocks_per_sm;
+    let by_warps = dev.max_warps_per_sm / warps_per_block;
+
+    // Register constraint. CC 1.x allocates registers per block with a
+    // coarse granularity; CC 2.x per warp.
+    let by_regs = if regs_per_thread == 0 {
+        u32::MAX
+    } else if dev.cc_major == 1 {
+        let per_block =
+            round_up(regs_per_thread * warps_per_block * dev.warp_size, dev.reg_alloc_unit);
+        dev.regs_per_sm / per_block.max(1)
+    } else {
+        let per_warp = round_up(regs_per_thread * dev.warp_size, dev.reg_alloc_unit);
+        let warps = dev.regs_per_sm / per_warp.max(1);
+        warps / warps_per_block
+    };
+
+    let by_shared = if shared_per_block == 0 {
+        u32::MAX
+    } else {
+        dev.shared_per_sm / round_up(shared_per_block, dev.shared_alloc_unit).max(1)
+    };
+
+    let blocks = by_blocks.min(by_warps).min(by_regs).min(by_shared);
+    if blocks == 0 || threads_per_block > dev.max_threads_per_block {
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_block,
+            active_warps: 0,
+            occupancy: 0.0,
+            limiter: Limiter::Infeasible,
+        };
+    }
+    let limiter = if blocks == by_warps {
+        Limiter::Warps
+    } else if blocks == by_regs {
+        Limiter::Registers
+    } else if blocks == by_shared {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Blocks
+    };
+    let active_warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_block,
+        active_warps,
+        occupancy: active_warps as f64 / dev.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_kernel_is_block_limited() {
+        let d = DeviceConfig::tesla_c1060();
+        let o = occupancy(&d, 64, 8, 0);
+        // 8 blocks × 2 warps = 16 warps of 32 max.
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.active_warps, 16);
+        assert_eq!(o.limiter, Limiter::Blocks);
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy() {
+        let d = DeviceConfig::tesla_c1060();
+        let low = occupancy(&d, 256, 10, 0);
+        let high = occupancy(&d, 256, 32, 0);
+        assert!(high.active_warps < low.active_warps);
+        assert_eq!(high.limiter, Limiter::Registers);
+        // 32 regs × 256 threads = 8192 regs ⇒ 2 blocks of 16K.
+        assert_eq!(high.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        let d = DeviceConfig::tesla_c1060();
+        let o = occupancy(&d, 64, 8, 6 * 1024);
+        // 16 KB / 6 KB ⇒ 2 blocks.
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn full_occupancy_possible_on_fermi() {
+        let d = DeviceConfig::tesla_c2070();
+        let o = occupancy(&d, 256, 20, 0);
+        // 48 warps max; 8 warps/block ⇒ 6 blocks = 48 warps; regs: 20*32=640
+        // → 640/warp, 32K/640 = 51 warps ⇒ not limiting.
+        assert_eq!(o.active_warps, 48);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_configurations() {
+        let d = DeviceConfig::tesla_c1060();
+        // More threads than the CC 1.3 block limit.
+        assert_eq!(occupancy(&d, 1024, 8, 0).limiter, Limiter::Infeasible);
+        // One block needs more shared memory than the SM has.
+        assert_eq!(occupancy(&d, 64, 8, 20 * 1024).limiter, Limiter::Infeasible);
+        // Registers for a single block exceed the file.
+        assert_eq!(occupancy(&d, 512, 120, 0).limiter, Limiter::Infeasible);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_register_count() {
+        let d = DeviceConfig::tesla_c2070();
+        let mut last = u32::MAX;
+        for regs in [8, 16, 24, 32, 48, 63] {
+            let o = occupancy(&d, 256, regs, 0);
+            assert!(o.active_warps <= last);
+            last = o.active_warps;
+        }
+    }
+
+    #[test]
+    fn same_kernel_fits_differently_across_generations() {
+        // A register-heavy 512-thread kernel fits CC 2.0 but is tight on
+        // CC 1.3 — the adaptability problem the paper opens with.
+        let k = (512u32, 26u32, 4096u32);
+        let o1 = occupancy(&DeviceConfig::tesla_c1060(), k.0, k.1, k.2);
+        let o2 = occupancy(&DeviceConfig::tesla_c2070(), k.0, k.1, k.2);
+        assert_eq!(o1.blocks_per_sm, 1);
+        assert!(o2.blocks_per_sm >= 2);
+    }
+}

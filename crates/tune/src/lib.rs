@@ -1,0 +1,345 @@
+//! # ks-tune — implementation-parameter autotuning
+//!
+//! The dissertation positions kernel specialization as *complementary* to
+//! autotuning (§3.2, §3.4): "by using highly parameterized CUDA kernels
+//! that are specialized quickly at run time, autotuning tools can be used
+//! to characterize the performance of a given implementation so that
+//! effective parameters can be selected quickly and used to compile a
+//! specialized kernel." This crate is that missing companion: a small,
+//! application-agnostic search over discrete implementation-parameter
+//! spaces (tile sizes, register-blocking factors, thread counts, …) whose
+//! evaluation function typically compiles a specialized kernel and runs
+//! it on the simulator.
+//!
+//! Strategies:
+//! * [`Strategy::Exhaustive`] — measure every point (ground truth).
+//! * [`Strategy::Greedy`] — coordinate-descent hill climbing with random
+//!   restarts: a few dozen evaluations instead of the full cross product,
+//!   matching how CUDA kernels are tuned in practice when each evaluation
+//!   costs a compile + launch.
+//!
+//! All evaluations are memoized, so a greedy search that revisits a point
+//! (or an exhaustive pass after a greedy one) never re-measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A discrete parameter dimension: a name and its candidate values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    pub name: String,
+    pub values: Vec<i64>,
+}
+
+/// The cross product of dimensions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamSpace {
+    pub dims: Vec<Dim>,
+}
+
+impl ParamSpace {
+    pub fn new() -> ParamSpace {
+        ParamSpace::default()
+    }
+
+    /// Add a dimension. Values must be non-empty.
+    pub fn dim(mut self, name: &str, values: impl Into<Vec<i64>>) -> ParamSpace {
+        let values = values.into();
+        assert!(!values.is_empty(), "dimension {name} has no values");
+        self.dims.push(Dim { name: name.to_string(), values });
+        self
+    }
+
+    /// Total number of points.
+    pub fn size(&self) -> usize {
+        self.dims.iter().map(|d| d.values.len()).product()
+    }
+
+    /// The point at the given per-dimension indices.
+    fn point(&self, idx: &[usize]) -> Config {
+        Config(
+            self.dims
+                .iter()
+                .zip(idx)
+                .map(|(d, &i)| (d.name.clone(), d.values[i]))
+                .collect(),
+        )
+    }
+}
+
+/// A concrete assignment of every dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config(pub Vec<(String, i64)>);
+
+impl Config {
+    /// Value of a named parameter.
+    pub fn get(&self, name: &str) -> i64 {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("no parameter named {name}"))
+    }
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> =
+            self.0.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+/// Search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate the full cross product.
+    Exhaustive,
+    /// Coordinate-descent hill climbing with `restarts` random starting
+    /// points (deterministic via `seed`).
+    Greedy { restarts: u32, seed: u64 },
+}
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    pub best: Config,
+    pub best_cost: f64,
+    /// Number of *distinct* evaluations performed (memoized hits excluded).
+    pub evaluations: usize,
+    /// Every distinct point measured, in evaluation order.
+    pub trace: Vec<(Config, f64)>,
+}
+
+/// Errors surfaced by the evaluation function abort the search.
+pub fn tune<E>(
+    space: &ParamSpace,
+    strategy: Strategy,
+    mut eval: impl FnMut(&Config) -> Result<f64, E>,
+) -> Result<TuneResult, E> {
+    assert!(!space.dims.is_empty(), "empty parameter space");
+    let mut memo: HashMap<Vec<usize>, f64> = HashMap::new();
+    let mut trace: Vec<(Config, f64)> = Vec::new();
+
+    // Memoized evaluation by index vector.
+    let measure = |idx: &[usize],
+                       memo: &mut HashMap<Vec<usize>, f64>,
+                       trace: &mut Vec<(Config, f64)>,
+                       eval: &mut dyn FnMut(&Config) -> Result<f64, E>|
+     -> Result<f64, E> {
+        if let Some(&c) = memo.get(idx) {
+            return Ok(c);
+        }
+        let cfg = space.point(idx);
+        let cost = eval(&cfg)?;
+        memo.insert(idx.to_vec(), cost);
+        trace.push((cfg, cost));
+        Ok(cost)
+    };
+
+    match strategy {
+        Strategy::Exhaustive => {
+            let mut idx = vec![0usize; space.dims.len()];
+            loop {
+                measure(&idx, &mut memo, &mut trace, &mut eval)?;
+                // Odometer increment.
+                let mut d = 0;
+                loop {
+                    idx[d] += 1;
+                    if idx[d] < space.dims[d].values.len() {
+                        break;
+                    }
+                    idx[d] = 0;
+                    d += 1;
+                    if d == space.dims.len() {
+                        let (best_idx, &best_cost) = memo
+                            .iter()
+                            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .expect("nonempty");
+                        return Ok(TuneResult {
+                            best: space.point(best_idx),
+                            best_cost,
+                            evaluations: trace.len(),
+                            trace,
+                        });
+                    }
+                }
+            }
+        }
+        Strategy::Greedy { restarts, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut global_best: Option<(Vec<usize>, f64)> = None;
+            for _ in 0..restarts.max(1) {
+                let mut cur: Vec<usize> = space
+                    .dims
+                    .iter()
+                    .map(|d| rng.gen_range(0..d.values.len()))
+                    .collect();
+                let mut cur_cost = measure(&cur, &mut memo, &mut trace, &mut eval)?;
+                loop {
+                    // Best single-coordinate move.
+                    let mut best_move: Option<(Vec<usize>, f64)> = None;
+                    for d in 0..space.dims.len() {
+                        for delta in [-1i64, 1] {
+                            let ni = cur[d] as i64 + delta;
+                            if ni < 0 || ni as usize >= space.dims[d].values.len() {
+                                continue;
+                            }
+                            let mut cand = cur.clone();
+                            cand[d] = ni as usize;
+                            let c = measure(&cand, &mut memo, &mut trace, &mut eval)?;
+                            if c < cur_cost
+                                && best_move.as_ref().is_none_or(|(_, bc)| c < *bc)
+                            {
+                                best_move = Some((cand, c));
+                            }
+                        }
+                    }
+                    match best_move {
+                        Some((next, c)) => {
+                            cur = next;
+                            cur_cost = c;
+                        }
+                        None => break, // local optimum
+                    }
+                }
+                if global_best.as_ref().is_none_or(|(_, b)| cur_cost < *b) {
+                    global_best = Some((cur, cur_cost));
+                }
+            }
+            let (best_idx, best_cost) = global_best.expect("at least one restart");
+            Ok(TuneResult {
+                best: space.point(&best_idx),
+                best_cost,
+                evaluations: trace.len(),
+                trace,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn space2d() -> ParamSpace {
+        ParamSpace::new()
+            .dim("x", (0..10).collect::<Vec<_>>())
+            .dim("y", (0..10).collect::<Vec<_>>())
+    }
+
+    /// Convex bowl with minimum at (7, 2).
+    fn bowl(c: &Config) -> Result<f64, Infallible> {
+        let (x, y) = (c.get("x") as f64, c.get("y") as f64);
+        Ok((x - 7.0).powi(2) + (y - 2.0).powi(2))
+    }
+
+    #[test]
+    fn exhaustive_finds_global_minimum() {
+        let r = tune(&space2d(), Strategy::Exhaustive, bowl).unwrap();
+        assert_eq!(r.best.get("x"), 7);
+        assert_eq!(r.best.get("y"), 2);
+        assert_eq!(r.evaluations, 100);
+        assert_eq!(r.best_cost, 0.0);
+    }
+
+    #[test]
+    fn greedy_finds_convex_minimum_with_few_evaluations() {
+        let r = tune(
+            &space2d(),
+            Strategy::Greedy { restarts: 2, seed: 7 },
+            bowl,
+        )
+        .unwrap();
+        assert_eq!(r.best.get("x"), 7);
+        assert_eq!(r.best.get("y"), 2);
+        assert!(
+            r.evaluations < 60,
+            "greedy should beat exhaustive's 100 evals, used {}",
+            r.evaluations
+        );
+    }
+
+    #[test]
+    fn greedy_with_restarts_escapes_local_minima() {
+        // Two basins: a shallow one at x=1 and the global one at x=8.
+        let space = ParamSpace::new().dim("x", (0..10).collect::<Vec<_>>());
+        let f = |c: &Config| -> Result<f64, Infallible> {
+            let x = c.get("x") as f64;
+            Ok(((x - 1.0).powi(2)).min((x - 8.0).powi(2) - 3.0))
+        };
+        let r = tune(&space, Strategy::Greedy { restarts: 6, seed: 3 }, f).unwrap();
+        assert_eq!(r.best.get("x"), 8);
+    }
+
+    #[test]
+    fn memoization_dedupes_evaluations() {
+        let mut calls = 0usize;
+        let space = ParamSpace::new().dim("x", vec![1, 2, 3]);
+        let r = tune(
+            &space,
+            Strategy::Greedy { restarts: 10, seed: 1 },
+            |c: &Config| -> Result<f64, Infallible> {
+                calls += 1;
+                Ok(c.get("x") as f64)
+            },
+        )
+        .unwrap();
+        assert_eq!(calls, r.evaluations);
+        assert!(calls <= 3, "only 3 distinct points exist, called {calls}");
+        assert_eq!(r.best.get("x"), 1);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 32, ..Default::default()
+        })]
+
+        /// Greedy never reports a better-than-true optimum, exhaustive
+        /// always finds the true optimum, and both agree with a brute-force
+        /// scan of the random cost table.
+        #[test]
+        fn greedy_bounded_by_exhaustive(
+            costs in proptest::collection::vec(0u32..1000, 4..30),
+            seed in 0u64..1000,
+        ) {
+            let space = ParamSpace::new()
+                .dim("x", (0..costs.len() as i64).collect::<Vec<_>>());
+            let eval = |c: &Config| -> Result<f64, std::convert::Infallible> {
+                Ok(costs[c.get("x") as usize] as f64)
+            };
+            let true_min = *costs.iter().min().unwrap() as f64;
+            let ex = tune(&space, Strategy::Exhaustive, eval).unwrap();
+            proptest::prop_assert_eq!(ex.best_cost, true_min);
+            let gr = tune(&space, Strategy::Greedy { restarts: 3, seed }, eval).unwrap();
+            proptest::prop_assert!(gr.best_cost >= true_min);
+            proptest::prop_assert!(gr.evaluations <= ex.evaluations.max(gr.evaluations));
+            // Every trace cost matches the table.
+            for (cfg, cost) in &gr.trace {
+                proptest::prop_assert_eq!(*cost, costs[cfg.get("x") as usize] as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_errors_propagate() {
+        let space = ParamSpace::new().dim("x", vec![1, 2]);
+        let r = tune(&space, Strategy::Exhaustive, |c: &Config| {
+            if c.get("x") == 2 {
+                Err("boom")
+            } else {
+                Ok(0.0)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn config_display_and_access() {
+        let c = Config(vec![("rb".into(), 4), ("threads".into(), 128)]);
+        assert_eq!(c.to_string(), "rb=4, threads=128");
+        assert_eq!(c.get("threads"), 128);
+    }
+}

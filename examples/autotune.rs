@@ -1,0 +1,64 @@
+//! Autotuning + kernel specialization, composed (§3.2/§3.4/§7.2.3):
+//! greedy search over the PIV implementation-parameter space, where every
+//! evaluation compiles a specialized kernel (cache-backed) and measures it
+//! on the simulator — then a comparison against exhaustive ground truth.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use ks_apps::piv::{run_gpu, PivImpl, PivKernel, PivProblem};
+use ks_apps::{synth, Variant};
+use ks_core::Compiler;
+use ks_sim::DeviceConfig;
+use ks_tune::{tune, Config, ParamSpace, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prob = PivProblem::standard(256, 32, 50, 8);
+    let scen = synth::piv_scenario(prob.img_w, prob.img_h, (2, 2), 123);
+    let space = ParamSpace::new()
+        .dim("rb", vec![1, 2, 3, 4, 6, 8, 12, 16])
+        .dim("threads", vec![32, 64, 128, 256, 512]);
+
+    for dev in DeviceConfig::presets() {
+        let compiler = Compiler::new(dev.clone());
+        println!("── {} — space of {} configurations ──", dev.name, space.size());
+        let mut evaluate = |c: &Config| -> Result<f64, Box<dyn std::error::Error>> {
+            let imp = PivImpl { rb: c.get("rb") as u32, threads: c.get("threads") as u32 };
+            match run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, false) {
+                Ok(out) => Ok(out.run.sim_ms),
+                // Configurations exceeding device limits (too many
+                // registers/threads for the SM) are legal search points
+                // with infinite cost.
+                Err(e) if e.to_string().contains("infeasible") => Ok(f64::INFINITY),
+                Err(e) => Err(e),
+            }
+        };
+
+        let greedy = tune(
+            &space,
+            Strategy::Greedy { restarts: 3, seed: 2012 },
+            &mut evaluate,
+        )?;
+        println!(
+            "greedy    : best {} -> {:.3} ms after {} evaluations",
+            greedy.best, greedy.best_cost, greedy.evaluations
+        );
+
+        let exhaustive = tune(&space, Strategy::Exhaustive, &mut evaluate)?;
+        println!(
+            "exhaustive: best {} -> {:.3} ms after {} evaluations",
+            exhaustive.best, exhaustive.best_cost, exhaustive.evaluations
+        );
+        let quality = exhaustive.best_cost / greedy.best_cost * 100.0;
+        println!(
+            "greedy reached {quality:.1}% of the true optimum with {} vs {} evaluations",
+            greedy.evaluations, exhaustive.evaluations
+        );
+        println!(
+            "compiler cache: {} compiles, {} hits\n",
+            compiler.cache_stats().misses,
+            compiler.cache_stats().hits
+        );
+        assert!(quality > 85.0, "greedy landed too far from the optimum");
+    }
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! Property tests for the central soundness claim: for any parameter
+//! values, the specialized kernel computes exactly what the run-time-
+//! evaluated kernel computes — specialization may only change *speed*,
+//! never results.
+
+use ks_core::{Compiler, Defines};
+use ks_sim::{launch, DeviceConfig, DeviceState, KArg, LaunchDims, LaunchOptions};
+use proptest::prelude::*;
+
+const MATHTEST: &str = r#"
+#ifndef LOOP_COUNT
+#define LOOP_COUNT loopCount
+#endif
+#ifndef ARG_A
+#define ARG_A argA
+#endif
+#ifndef ARG_B
+#define ARG_B argB
+#endif
+__global__ void mathTest(int* in, int* out, int argA, int argB, int loopCount) {
+    int acc = 0;
+    const unsigned int stride = ARG_A * ARG_B;
+    const unsigned int offset = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int i = 0; i < LOOP_COUNT; i++) {
+        acc += *(in + offset + i * stride);
+    }
+    *(out + offset) = acc;
+    return;
+}
+"#;
+
+/// Integer arithmetic kernel exercising the strength-reduction paths:
+/// division, modulo, and multiplication by a specializable constant.
+const INTMATH: &str = r#"
+#ifndef DIVISOR
+#define DIVISOR divisor
+#endif
+#ifndef FACTOR
+#define FACTOR factor
+#endif
+__global__ void intmath(int* in, int* out, int divisor, int factor, int n) {
+    int i = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+    if (i < n) {
+        unsigned int x = (unsigned int)in[i];
+        unsigned int q = x / DIVISOR;
+        unsigned int r = x % DIVISOR;
+        int m = in[i] * FACTOR;
+        out[i] = (int)q + (int)r * 1000 + m;
+    }
+}
+"#;
+
+fn run_mathtest(
+    st: &mut DeviceState,
+    bin: &ks_core::Binary,
+    p_in: u64,
+    p_out: u64,
+    a: i32,
+    b: i32,
+    lc: i32,
+    blocks: u32,
+    threads: u32,
+    n: usize,
+) -> Vec<i32> {
+    launch(
+        st,
+        &bin.module,
+        "mathTest",
+        LaunchDims::linear(blocks, threads),
+        &[KArg::Ptr(p_in), KArg::Ptr(p_out), KArg::I32(a), KArg::I32(b), KArg::I32(lc)],
+        LaunchOptions::default(),
+    )
+    .unwrap();
+    st.global.read_i32_slice(p_out, n).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// RE ≡ SK for the Appendix-B kernel across random parameters, plus a
+    /// host-computed oracle.
+    #[test]
+    fn mathtest_re_equals_sk(
+        a in 1i32..6,
+        b in 1i32..6,
+        lc in 0i32..9,
+        threads_pow in 5u32..8, // 32..128 threads
+        blocks in 1u32..4,
+    ) {
+        let threads = 1 << threads_pow;
+        let n = (threads * blocks) as usize;
+        let elems = n + lc as usize * (a * b) as usize * n + 1;
+
+        let compiler = Compiler::new(DeviceConfig::tesla_c1060());
+        let re = compiler.compile(MATHTEST, &Defines::new()).unwrap();
+        let sk = compiler
+            .compile(
+                MATHTEST,
+                Defines::new().def("LOOP_COUNT", lc).def("ARG_A", a).def("ARG_B", b),
+            )
+            .unwrap();
+
+        let mut st = DeviceState::new(DeviceConfig::tesla_c1060(), 64 << 20);
+        let p_in = st.global.alloc((elems * 4) as u64).unwrap();
+        let p_out = st.global.alloc((n * 4) as u64).unwrap();
+        let data: Vec<i32> = (0..elems as i32).map(|i| (i * 7) % 23 - 11).collect();
+        st.global.write_i32_slice(p_in, &data).unwrap();
+
+        let out_re = run_mathtest(&mut st, &re, p_in, p_out, a, b, lc, blocks, threads, n);
+        let out_sk = run_mathtest(&mut st, &sk, p_in, p_out, a, b, lc, blocks, threads, n);
+        prop_assert_eq!(&out_re, &out_sk);
+
+        // Host oracle.
+        let stride = (a * b) as usize;
+        for (off, v) in out_re.iter().enumerate() {
+            let expect: i32 = (0..lc as usize).map(|i| data[off + i * stride]).sum();
+            prop_assert_eq!(*v, expect, "offset {}", off);
+        }
+    }
+
+    /// Strength-reduced division/modulo/multiply (powers of two) agree with
+    /// the run-time-evaluated forms and with host arithmetic.
+    #[test]
+    fn strength_reduction_preserves_semantics(
+        div_pow in 0u32..8,
+        factor in prop::sample::select(vec![1i32, 2, 3, 4, 8, 16, 128, 5]),
+        seed in 0u32..1000,
+    ) {
+        let divisor = 1i32 << div_pow;
+        let n = 64usize;
+        let compiler = Compiler::new(DeviceConfig::tesla_c2070());
+        let re = compiler.compile(INTMATH, &Defines::new()).unwrap();
+        let sk = compiler
+            .compile(INTMATH, Defines::new().def("DIVISOR", divisor).def("FACTOR", factor))
+            .unwrap();
+        // The SK build of a pow2 divisor must contain no division at all.
+        if divisor > 1 {
+            prop_assert!(!sk.ptx.contains("div."), "pow2 divide must strength-reduce");
+            prop_assert!(!sk.ptx.contains("rem."), "pow2 modulo must strength-reduce");
+        }
+
+        let mut st = DeviceState::new(DeviceConfig::tesla_c2070(), 16 << 20);
+        let p_in = st.global.alloc((n * 4) as u64).unwrap();
+        let p_out = st.global.alloc((n * 4) as u64).unwrap();
+        let data: Vec<i32> = (0..n as i32).map(|i| i * 31 + seed as i32).collect();
+        st.global.write_i32_slice(p_in, &data).unwrap();
+        let args = [
+            KArg::Ptr(p_in),
+            KArg::Ptr(p_out),
+            KArg::I32(divisor),
+            KArg::I32(factor),
+            KArg::I32(n as i32),
+        ];
+        let mut results = Vec::new();
+        for bin in [&re, &sk] {
+            launch(
+                &mut st,
+                &bin.module,
+                "intmath",
+                LaunchDims::linear(1, 64),
+                &args,
+                LaunchOptions::default(),
+            )
+            .unwrap();
+            results.push(st.global.read_i32_slice(p_out, n).unwrap());
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        for (i, v) in results[0].iter().enumerate() {
+            let x = data[i] as u32;
+            let expect = (x / divisor as u32) as i32
+                + (x % divisor as u32) as i32 * 1000
+                + data[i].wrapping_mul(factor);
+            prop_assert_eq!(*v, expect);
+        }
+    }
+
+    /// Unrolling equivalence for geometric (reduction-tree) loops.
+    #[test]
+    fn reduction_tree_unroll_equivalence(size_pow in 1u32..8) {
+        let size = 1u32 << size_pow;
+        let src = r#"
+            #ifndef SIZE
+            #define SIZE size
+            #endif
+            __global__ void tree(float* buf, int size) {
+                __shared__ float red[256];
+                unsigned int t = threadIdx.x;
+                red[t] = buf[t];
+                __syncthreads();
+                for (unsigned int s = SIZE / 2u; s > 0u; s = s / 2u) {
+                    if (t < s) { red[t] += red[t + s]; }
+                    __syncthreads();
+                }
+                if (t == 0u) { buf[0] = red[0]; }
+            }
+        "#;
+        let compiler = Compiler::new(DeviceConfig::tesla_c1060());
+        let re = compiler.compile(src, &Defines::new()).unwrap();
+        let sk = compiler.compile(src, Defines::new().def("SIZE", size)).unwrap();
+        let data: Vec<f32> = (0..size).map(|i| (i % 13) as f32).collect();
+        let expect: f32 = data.iter().sum();
+        let mut outs = Vec::new();
+        for bin in [&re, &sk] {
+            let mut st = DeviceState::new(DeviceConfig::tesla_c1060(), 8 << 20);
+            let p = st.global.alloc(256 * 4).unwrap();
+            st.global.write_f32_slice(p, &data).unwrap();
+            let kargs = vec![KArg::Ptr(p), KArg::I32(size as i32)];
+            launch(
+                &mut st,
+                &bin.module,
+                "tree",
+                LaunchDims::linear(1, size.max(32)),
+                &kargs,
+                LaunchOptions::default(),
+            )
+            .unwrap();
+            outs.push(st.global.read_f32_slice(p, 1).unwrap()[0]);
+        }
+        prop_assert_eq!(outs[0], expect);
+        prop_assert_eq!(outs[1], expect);
+    }
+}
