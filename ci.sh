@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, lints, build, tests, and a clean
+# ks-lint bill of health for the three shipped app kernels (linted with
+# the geometry the apps actually launch, all severities escalated to
+# deny so any diagnostic fails CI).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release
+
+echo "== cargo test"
+cargo test --offline -q
+
+lint() {
+    cargo run --offline --release -q -p ks-analysis --bin ks-lint -- \
+        --deny KSA004 --deny KSA005 "$@"
+}
+
+echo "== ks-lint crates/apps/src/kernels/piv.cu"
+lint crates/apps/src/kernels/piv.cu \
+    -D RB=4 -D THREADS=64 -D MASK_W=16 -D MASK_H=16 -D OFFS_W=9 \
+    --block 64 --grid 16,21,1 \
+    -A imgW=96 -A numOffsets=81 -A masksX=4 -A stepX=16 -A stepY=16 \
+    -A marginX=4 -A marginY=4 -A rb=4
+
+echo "== ks-lint crates/apps/src/kernels/template_match.cu"
+lint crates/apps/src/kernels/template_match.cu \
+    -D TILE_W=16 -D TILE_H=16 -D SHIFT_W=16 -D NUM_TILES=16 \
+    -D TEMPL_W=64 -D TEMPL_H=56 -D THREADS=128 \
+    --block 128 \
+    -A frameW=320 -A numOffsets=256 -A templW=64 -A templH=56 -A tilesX=4 \
+    -A tileX0=0 -A tileY0=0 -A tileBase=0 -A invN=0.00027901786 -A denomA=1.0
+
+echo "== ks-lint crates/apps/src/kernels/backproj.cu"
+lint crates/apps/src/kernels/backproj.cu \
+    -D PPL=8 -D ZB=4 -D VOL_N=32 \
+    --block 16,4 \
+    -A detU=48 -A detV=48 -A ppl=8 -A zb=4 -A z0=0 \
+    -A sid=100.0 -A sdd=150.0 -A halfN=16.0 -A halfU=24.0 -A halfV=24.0
+
+echo "== ci.sh: all green"

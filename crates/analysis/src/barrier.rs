@@ -1,0 +1,356 @@
+//! Static barrier-divergence checking.
+//!
+//! `__syncthreads()` must be reached by every thread of the block or by
+//! none. This pass needs no launch geometry: it taints values that can
+//! differ between threads of one block (`%tid.*`, loaded data) and flags
+//! any barrier that sits in the *influence region* of a branch on a
+//! tainted predicate — the blocks control-dependent on the branch, i.e.
+//! everything reachable from a successor before the branch's immediate
+//! post-dominator.
+//!
+//! Uniform values (`%ctaid.*`, `%ntid.*`, grid shape, parameter loads)
+//! never taint, so the common `for (i = 0; i < N; ++i) { ... __syncthreads(); }`
+//! shape with a parameter-derived bound stays clean. Loads from mutable
+//! memory are conservatively tainted: two threads may observe different
+//! values. The abstract executor gives the precise answer when geometry
+//! is available; this pass is the sound fallback.
+
+use crate::race::Site;
+use ks_ir::cfg::{ipdoms, Cfg};
+use ks_ir::{BlockId, Function, Inst, Space, SpecialReg, Terminator};
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceFinding {
+    /// The barrier's location.
+    pub site: Site,
+    /// The branch the barrier is control-dependent on.
+    pub branch_block: BlockId,
+    pub message: String,
+}
+
+/// Blocks reachable from `start` without entering `stop` (which is
+/// excluded from the result).
+fn reachable_before(f: &Function, start: BlockId, stop: Option<BlockId>) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    if Some(start) == stop {
+        return seen;
+    }
+    let mut work = vec![start];
+    seen[start.0 as usize] = true;
+    while let Some(b) = work.pop() {
+        for s in f.block(b).term.successors() {
+            if Some(s) == stop || seen[s.0 as usize] {
+                continue;
+            }
+            seen[s.0 as usize] = true;
+            work.push(s);
+        }
+    }
+    seen
+}
+
+/// Per-vreg thread-dependence taint, with implicit flows through divergent
+/// control: a value defined under a tainted branch is itself tainted, since
+/// whether the definition executed depends on the thread.
+fn thread_dependent(f: &Function, pdom: &[Option<BlockId>]) -> Vec<bool> {
+    let nv = f.num_vregs();
+    let mut taint = vec![false; nv];
+    loop {
+        let mut changed = false;
+        let set = |taint: &mut Vec<bool>, r: ks_ir::VReg, v: bool, changed: &mut bool| {
+            if v && !taint[r.0 as usize] {
+                taint[r.0 as usize] = true;
+                *changed = true;
+            }
+        };
+        // Influence regions of currently-tainted branches.
+        let mut divergent_block = vec![false; f.blocks.len()];
+        for bb in &f.blocks {
+            if let Terminator::CondBr {
+                pred,
+                then_t,
+                else_t,
+                ..
+            } = &bb.term
+            {
+                if taint[pred.0 as usize] {
+                    let stop = pdom[bb.id.0 as usize];
+                    for start in [*then_t, *else_t] {
+                        for (i, r) in reachable_before(f, start, stop).iter().enumerate() {
+                            divergent_block[i] |= r;
+                        }
+                    }
+                }
+            }
+        }
+        for bb in &f.blocks {
+            let implicit = divergent_block[bb.id.0 as usize];
+            for inst in &bb.insts {
+                let mut any_use_tainted = implicit;
+                inst.for_each_use(|r| any_use_tainted |= taint[r.0 as usize]);
+                let from_space = match inst {
+                    Inst::Special { reg, .. } => {
+                        matches!(reg, SpecialReg::TidX | SpecialReg::TidY | SpecialReg::TidZ)
+                    }
+                    // Parameter loads are uniform; every other load may
+                    // observe per-thread data.
+                    Inst::Ld { space, .. } => !matches!(space, Space::Param),
+                    Inst::Tex { .. } => true,
+                    _ => false,
+                };
+                if let Some(d) = inst.def() {
+                    set(&mut taint, d, any_use_tainted || from_space, &mut changed);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    taint
+}
+
+/// Find every barrier reachable under thread-dependent control flow.
+pub fn check_barrier_divergence(f: &Function) -> Vec<DivergenceFinding> {
+    if !f
+        .blocks
+        .iter()
+        .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Bar)))
+    {
+        return Vec::new();
+    }
+    let cfg = Cfg::build(f);
+    let pdom = ipdoms(f, &cfg);
+    let taint = thread_dependent(f, &pdom);
+
+    let mut findings = Vec::new();
+    for bb in &f.blocks {
+        let Terminator::CondBr {
+            pred,
+            then_t,
+            else_t,
+            ..
+        } = &bb.term
+        else {
+            continue;
+        };
+        if !taint[pred.0 as usize] {
+            continue;
+        }
+        let stop = pdom[bb.id.0 as usize];
+        let mut region = vec![false; f.blocks.len()];
+        for start in [*then_t, *else_t] {
+            for (i, r) in reachable_before(f, start, stop).iter().enumerate() {
+                region[i] |= r;
+            }
+        }
+        for tb in &f.blocks {
+            if !region[tb.id.0 as usize] {
+                continue;
+            }
+            for (ii, inst) in tb.insts.iter().enumerate() {
+                if matches!(inst, Inst::Bar) {
+                    let site = (tb.id.0, ii);
+                    if findings.iter().any(|d: &DivergenceFinding| d.site == site) {
+                        continue;
+                    }
+                    findings.push(DivergenceFinding {
+                        site,
+                        branch_block: bb.id,
+                        message: format!(
+                            "__syncthreads() in {} is control-dependent on the \
+                             thread-varying branch in {}; threads that skip it \
+                             deadlock the block",
+                            tb.id, bb.id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_ir::{Address, BasicBlock, CmpOp, Operand, Ty};
+
+    fn branchy_kernel(pred_from_tid: bool) -> Function {
+        // %p = setp.lt (tid|param), 16 ; @%p bra BB1 ; BB1: bar ; BB2: ret
+        let mut f = Function {
+            name: "k".into(),
+            params: vec![ks_ir::KernelParam {
+                name: "n".into(),
+                ty: Ty::S32,
+                offset: 0,
+            }],
+            blocks: vec![],
+            vreg_types: vec![],
+            shared: vec![],
+            local_bytes: 0,
+        };
+        let v = f.new_vreg(Ty::S32);
+        let p = f.new_vreg(Ty::Pred);
+        let src = if pred_from_tid {
+            Inst::Special {
+                dst: v,
+                reg: SpecialReg::TidX,
+            }
+        } else {
+            Inst::Ld {
+                space: Space::Param,
+                ty: Ty::S32,
+                dst: v,
+                addr: Address::abs(0),
+            }
+        };
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts: vec![
+                src,
+                Inst::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Ty::S32,
+                    dst: p,
+                    a: v.into(),
+                    b: Operand::ImmI(16),
+                },
+            ],
+            term: Terminator::CondBr {
+                pred: p,
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(1),
+            insts: vec![Inst::Bar],
+            term: Terminator::Br { target: BlockId(2) },
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(2),
+            insts: vec![],
+            term: Terminator::Ret,
+        });
+        f
+    }
+
+    #[test]
+    fn tid_guarded_barrier_flagged() {
+        let f = branchy_kernel(true);
+        let d = check_barrier_divergence(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].site, (1, 0));
+        assert_eq!(d[0].branch_block, BlockId(0));
+    }
+
+    #[test]
+    fn param_guarded_barrier_clean() {
+        // The same shape guarded by a uniform parameter is fine: all
+        // threads agree on the branch.
+        let f = branchy_kernel(false);
+        assert!(check_barrier_divergence(&f).is_empty());
+    }
+
+    #[test]
+    fn barrier_after_reconvergence_clean() {
+        // Guarded work, then a barrier at the join point.
+        let mut f = branchy_kernel(true);
+        f.blocks[1].insts.clear(); // no barrier inside the guard
+        f.blocks[2].insts.push(Inst::Bar); // barrier at the ipdom
+        assert!(check_barrier_divergence(&f).is_empty());
+    }
+
+    #[test]
+    fn implicit_flow_taints_derived_predicates() {
+        // v is rewritten under a tid-dependent branch, then a later branch
+        // on v guards a barrier: divergent even though v's operands are
+        // uniform.
+        let mut f = Function {
+            name: "k".into(),
+            params: vec![],
+            blocks: vec![],
+            vreg_types: vec![],
+            shared: vec![],
+            local_bytes: 0,
+        };
+        let tid = f.new_vreg(Ty::S32);
+        let p0 = f.new_vreg(Ty::Pred);
+        let v = f.new_vreg(Ty::S32);
+        let p1 = f.new_vreg(Ty::Pred);
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts: vec![
+                Inst::Special {
+                    dst: tid,
+                    reg: SpecialReg::TidX,
+                },
+                Inst::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Ty::S32,
+                    dst: p0,
+                    a: tid.into(),
+                    b: Operand::ImmI(16),
+                },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: v,
+                    src: Operand::ImmI(0),
+                },
+            ],
+            term: Terminator::CondBr {
+                pred: p0,
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(1),
+            insts: vec![Inst::Mov {
+                ty: Ty::S32,
+                dst: v,
+                src: Operand::ImmI(1),
+            }],
+            term: Terminator::Br { target: BlockId(2) },
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(2),
+            insts: vec![Inst::Setp {
+                cmp: CmpOp::Eq,
+                ty: Ty::S32,
+                dst: p1,
+                a: v.into(),
+                b: Operand::ImmI(1),
+            }],
+            term: Terminator::CondBr {
+                pred: p1,
+                negate: false,
+                then_t: BlockId(3),
+                else_t: BlockId(4),
+            },
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(3),
+            insts: vec![Inst::Bar],
+            term: Terminator::Br { target: BlockId(4) },
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(4),
+            insts: vec![],
+            term: Terminator::Ret,
+        });
+        let d = check_barrier_divergence(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].site, (3, 0));
+    }
+
+    #[test]
+    fn kernel_without_barriers_short_circuits() {
+        let mut f = branchy_kernel(true);
+        f.blocks[1].insts.clear();
+        assert!(check_barrier_divergence(&f).is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Static bounds checking for the on-chip address spaces.
+//!
+//! Shared, local, and constant memory all have extents the compiler knows
+//! exactly — per-declaration sizes for shared/constant arrays, the spill
+//! window for local — so once specialization (or a launch-geometry
+//! assumption) makes an address concrete, in-bounds is decidable. This is
+//! the analyzability half of the RE-vs-SK contrast: a run-time-evaluated
+//! kernel indexes with values the compiler never sees.
+
+use crate::race::Site;
+use ks_ir::{ConstDecl, SharedDecl};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsFinding {
+    pub site: Site,
+    pub message: String,
+}
+
+pub struct BoundsChecker {
+    /// Static shared declarations (window layout) for straddle reporting.
+    shared_decls: Vec<SharedDecl>,
+    /// Static shared bytes + dynamic shared bytes = the legal window.
+    shared_total: u64,
+    local_bytes: u64,
+    const_decls: Vec<ConstDecl>,
+    const_total: u64,
+    findings: Vec<BoundsFinding>,
+    reported: Vec<Site>,
+    /// Accesses proven in-bounds (for the report's positive summary).
+    pub proven: u64,
+}
+
+impl BoundsChecker {
+    pub fn new(
+        shared_decls: &[SharedDecl],
+        dynamic_shared: u32,
+        local_bytes: u32,
+        const_decls: &[ConstDecl],
+    ) -> BoundsChecker {
+        let static_shared: u32 = shared_decls.iter().map(|d| d.size_bytes).sum();
+        BoundsChecker {
+            shared_decls: shared_decls.to_vec(),
+            shared_total: static_shared as u64 + dynamic_shared as u64,
+            local_bytes: local_bytes as u64,
+            const_decls: const_decls.to_vec(),
+            const_total: const_decls.iter().map(|c| c.size_bytes as u64).sum(),
+            findings: Vec::new(),
+            reported: Vec::new(),
+            proven: 0,
+        }
+    }
+
+    fn report(&mut self, site: Site, message: String) {
+        if self.reported.contains(&site) {
+            return;
+        }
+        self.reported.push(site);
+        self.findings.push(BoundsFinding { site, message });
+    }
+
+    /// Check a concrete 4-byte shared-memory access.
+    pub fn check_shared(&mut self, addr: u64, site: Site) {
+        if !addr.is_multiple_of(4) {
+            self.report(
+                site,
+                format!("misaligned shared access at byte offset {addr:#x}"),
+            );
+            return;
+        }
+        if addr + 4 > self.shared_total {
+            let decl = self
+                .shared_decls
+                .iter()
+                .rev()
+                .find(|d| addr >= d.offset as u64)
+                .map(|d| format!(" (past `{}`)", d.name))
+                .unwrap_or_default();
+            self.report(
+                site,
+                format!(
+                    "shared access at byte offset {addr:#x} outside the {}‑byte window{decl}",
+                    self.shared_total
+                ),
+            );
+            return;
+        }
+        // In-window, but does it land inside the declaration it starts in?
+        // Overrunning one array into the next is in-window yet still a bug
+        // the source-level program cannot have meant.
+        if let Some(d) = self
+            .shared_decls
+            .iter()
+            .find(|d| addr >= d.offset as u64 && addr < (d.offset + d.size_bytes) as u64)
+        {
+            if addr + 4 > (d.offset + d.size_bytes) as u64 {
+                self.report(
+                    site,
+                    format!(
+                        "shared access at {addr:#x} straddles the end of `{}`",
+                        d.name
+                    ),
+                );
+                return;
+            }
+        }
+        self.proven += 1;
+    }
+
+    pub fn check_local(&mut self, addr: u64, site: Site) {
+        if !addr.is_multiple_of(4) {
+            self.report(
+                site,
+                format!("misaligned local access at byte offset {addr:#x}"),
+            );
+        } else if addr + 4 > self.local_bytes {
+            self.report(
+                site,
+                format!(
+                    "local access at byte offset {addr:#x} outside the {}-byte spill window",
+                    self.local_bytes
+                ),
+            );
+        } else {
+            self.proven += 1;
+        }
+    }
+
+    pub fn check_const(&mut self, addr: u64, site: Site) {
+        if !addr.is_multiple_of(4) {
+            self.report(
+                site,
+                format!("misaligned constant access at byte offset {addr:#x}"),
+            );
+            return;
+        }
+        if addr + 4 > self.const_total {
+            self.report(
+                site,
+                format!(
+                    "constant access at byte offset {addr:#x} outside the {}-byte constant bank",
+                    self.const_total
+                ),
+            );
+            return;
+        }
+        if let Some(d) = self
+            .const_decls
+            .iter()
+            .find(|d| addr >= d.offset as u64 && addr < (d.offset + d.size_bytes) as u64)
+        {
+            if addr + 4 > (d.offset + d.size_bytes) as u64 {
+                self.report(
+                    site,
+                    format!(
+                        "constant access at {addr:#x} straddles the end of `{}`",
+                        d.name
+                    ),
+                );
+                return;
+            }
+        }
+        self.proven += 1;
+    }
+
+    pub fn findings(&self) -> &[BoundsFinding] {
+        &self.findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> BoundsChecker {
+        BoundsChecker::new(
+            &[
+                SharedDecl {
+                    name: "a".into(),
+                    offset: 0,
+                    size_bytes: 64,
+                },
+                SharedDecl {
+                    name: "b".into(),
+                    offset: 64,
+                    size_bytes: 64,
+                },
+            ],
+            0,
+            16,
+            &[ConstDecl {
+                name: "geo".into(),
+                offset: 0,
+                size_bytes: 32,
+            }],
+        )
+    }
+
+    #[test]
+    fn in_bounds_is_proven() {
+        let mut c = checker();
+        c.check_shared(0, (0, 0));
+        c.check_shared(124, (0, 1));
+        c.check_local(12, (0, 2));
+        c.check_const(28, (0, 3));
+        assert!(c.findings().is_empty());
+        assert_eq!(c.proven, 4);
+    }
+
+    #[test]
+    fn out_of_window_reported() {
+        let mut c = checker();
+        c.check_shared(128, (1, 0));
+        c.check_local(16, (1, 1));
+        c.check_const(32, (1, 2));
+        assert_eq!(c.findings().len(), 3);
+    }
+
+    #[test]
+    fn straddle_between_decls_reported() {
+        let mut c = BoundsChecker::new(
+            &[
+                SharedDecl {
+                    name: "a".into(),
+                    offset: 0,
+                    size_bytes: 62,
+                },
+                SharedDecl {
+                    name: "b".into(),
+                    offset: 62,
+                    size_bytes: 66,
+                },
+            ],
+            0,
+            0,
+            &[],
+        );
+        // 4-byte read at 60 crosses from `a` into `b`.
+        c.check_shared(60, (2, 0));
+        assert_eq!(c.findings().len(), 1);
+        assert!(
+            c.findings()[0].message.contains("straddles"),
+            "{:?}",
+            c.findings()
+        );
+    }
+
+    #[test]
+    fn misalignment_reported() {
+        let mut c = checker();
+        c.check_shared(2, (3, 0));
+        assert_eq!(c.findings().len(), 1);
+        assert!(c.findings()[0].message.contains("misaligned"));
+    }
+
+    #[test]
+    fn dynamic_shared_extends_window() {
+        let mut c = BoundsChecker::new(&[], 256, 0, &[]);
+        c.check_shared(252, (0, 0));
+        assert!(c.findings().is_empty());
+        c.check_shared(256, (0, 1));
+        assert_eq!(c.findings().len(), 1);
+    }
+}

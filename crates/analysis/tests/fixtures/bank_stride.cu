@@ -1,0 +1,15 @@
+// KSA004/KSA005 fixture: a word stride equal to the bank count makes
+// every lane hit bank 0, and the same stride in global memory touches a
+// separate segment per lane.
+__global__ void bank_stride(float* a, float* out) {
+    __shared__ float s[1024];
+    int t = (int)threadIdx.x;
+    s[t * 32] = a[t];
+    __syncthreads();
+    out[t] = s[t * 32];
+}
+
+__global__ void global_stride(float* a, float* out) {
+    int t = (int)threadIdx.x;
+    out[t * 32] = a[t * 32];
+}

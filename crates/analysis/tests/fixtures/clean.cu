@@ -1,0 +1,16 @@
+// Negative fixture: a correctly synchronized, coalesced, conflict-free
+// blocked reversal. No lint may fire.
+#ifndef N
+#define N n
+#endif
+__global__ void clean_reverse(float* a, float* out, int n) {
+    __shared__ float s[256];
+    int t = (int)threadIdx.x;
+    for (int i = t; i < N; i += (int)blockDim.x) {
+        s[i] = a[i];
+    }
+    __syncthreads();
+    for (int i = t; i < N; i += (int)blockDim.x) {
+        out[i] = s[N - 1 - i];
+    }
+}

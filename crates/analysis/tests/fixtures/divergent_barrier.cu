@@ -1,0 +1,10 @@
+// KSA002 fixture: only the first half-warp reaches the barrier.
+__global__ void divergent_barrier(float* a, float* out) {
+    __shared__ float s[64];
+    int t = (int)threadIdx.x;
+    s[t] = a[t];
+    if (t < 16) {
+        __syncthreads();
+    }
+    out[t] = s[t];
+}

@@ -1,0 +1,8 @@
+// KSA003 fixture: a 16-float window indexed by up to blockDim.x = 32.
+__global__ void oob_shared(float* a, float* out) {
+    __shared__ float s[16];
+    int t = (int)threadIdx.x;
+    s[t + 1] = a[t];
+    __syncthreads();
+    out[t] = s[t];
+}

@@ -1,0 +1,10 @@
+// KSA001 fixture: each thread reads a word another warp wrote with no
+// intervening barrier.
+__global__ void shared_race(float* a, float* out) {
+    __shared__ float s[64];
+    int t = (int)threadIdx.x;
+    s[t] = a[t];
+    // Lane t of warp 0 reads the word lane t of warp 1 just stored (and
+    // vice versa) without a __syncthreads() in between.
+    out[t] = s[(t + 32) & 63];
+}

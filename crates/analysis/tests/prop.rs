@@ -1,0 +1,158 @@
+//! Property tests over randomly generated kernels.
+//!
+//! 1. Whatever the generator produces, the compile pipeline's output
+//!    passes the IR verifier and the whole analysis suite runs without
+//!    panicking — diagnostics are data, not crashes.
+//! 2. On the race-free, in-bounds subset, the static memory predictions
+//!    equal the simulator's measured counters (the property-based twin of
+//!    `cross_validate.rs`).
+
+use ks_analysis::{analyze_module, AnalysisConfig, ParamValue};
+use ks_ir::Module;
+use ks_sim::{launch, DeviceConfig, DeviceState, KArg, LaunchDims, LaunchOptions};
+use proptest::prelude::*;
+
+fn compile(source: &str, defines: &[(String, String)]) -> Module {
+    let defines: Vec<(String, String)> =
+        std::iter::once(("__CUDA_ARCH__".to_string(), "200".to_string()))
+            .chain(defines.iter().cloned())
+            .collect();
+    let program = ks_lang::frontend(source, &defines).expect("frontend");
+    let mut module =
+        ks_codegen::compile(&program, &ks_codegen::CodegenOptions::default()).expect("codegen");
+    ks_opt::optimize_module_with(&mut module, &ks_opt::OptConfig::default());
+    let errs = ks_ir::verify_module(&module);
+    assert!(
+        errs.is_empty(),
+        "verifier rejected codegen output: {errs:?}"
+    );
+    module
+}
+
+/// A kernel whose shape is driven by the generated numbers. Depending on
+/// them it may contain strided (bank-conflicting, uncoalescing) accesses,
+/// out-of-bounds shared stores, guarded barriers — all of which must come
+/// out as diagnostics, never as panics.
+fn arbitrary_kernel(
+    shared_n: u32,
+    gstride: u32,
+    goff: u32,
+    sstride: u32,
+    guard: u32,
+    barrier: bool,
+    specialize_n: bool,
+) -> (String, Vec<(String, String)>) {
+    let sync = if barrier { "__syncthreads();" } else { "" };
+    let src = format!(
+        r#"
+        __global__ void k(float* a, float* out, int n) {{
+            __shared__ float s[{shared_n}];
+            int t = (int)threadIdx.x;
+            float v = a[t * {gstride} + {goff}];
+            if (t < {guard}) {{
+                s[t * {sstride}] = v;
+            }}
+            {sync}
+            out[t] = v + s[(unsigned int)t % {shared_n}u] + (float)N;
+        }}
+    "#
+    );
+    let defines = if specialize_n {
+        vec![("N".to_string(), "3".to_string())]
+    } else {
+        vec![("N".to_string(), "n".to_string())]
+    };
+    (src, defines)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..Default::default() })]
+
+    #[test]
+    fn random_kernels_verify_and_analyze_without_panicking(
+        shared_n in 1u32..512,
+        gstride in 0u32..40,
+        goff in 0u32..64,
+        sstride in 0u32..40,
+        guard in 0u32..160,
+        barrier in prop_oneof![Just(true), Just(false)],
+        specialize_n in prop_oneof![Just(true), Just(false)],
+        block in prop_oneof![Just(32u32), Just(64), Just(96), Just(128)],
+    ) {
+        let (src, defines) =
+            arbitrary_kernel(shared_n, gstride, goff, sstride, guard, barrier, specialize_n);
+        let m = compile(&src, &defines);
+        let dev = DeviceConfig::tesla_c2070();
+        // Without geometry: flow-insensitive checks only.
+        let _ = analyze_module(&m, &dev, &AnalysisConfig::default());
+        // With geometry, with and without the scalar assumption.
+        let cfg = AnalysisConfig { block_dim: Some((block, 1, 1)), ..Default::default() };
+        let _ = analyze_module(&m, &dev, &cfg);
+        let cfg = cfg.assume("n", ParamValue::Int(3));
+        let r = analyze_module(&m, &dev, &cfg);
+        // The executor must always reach a verdict on this family: every
+        // branch predicate is tid-vs-constant once `n` is assumed.
+        prop_assert!(r.inconclusive.is_empty(), "inconclusive: {:?}", r.inconclusive);
+    }
+
+    #[test]
+    fn predictions_match_simulator_on_random_clean_kernels(
+        an in 64u32..512,
+        gstride in 1u32..17,
+        sstride in 1u32..17,
+        soff in 0u32..64,
+        block in prop_oneof![Just(32u32), Just(64), Just(128)],
+    ) {
+        // Race-free by construction (each thread writes s[t], reads after a
+        // barrier) and in-bounds by construction (modulo indexing), so the
+        // abstract executor completes and the launch cannot fault.
+        let src = format!(
+            r#"
+            __global__ void k(float* a, float* out) {{
+                __shared__ float s[{block}];
+                int t = (int)threadIdx.x;
+                float v = a[((unsigned int)(t * {gstride}) % {an}u)];
+                s[t] = v;
+                __syncthreads();
+                float w = s[(unsigned int)(t * {sstride} + {soff}) % {block}u];
+                out[((unsigned int)(t + {soff}) % {an}u)] = v + w;
+            }}
+        "#
+        );
+        let m = compile(&src, &[]);
+        let dev = DeviceConfig::tesla_c2070();
+        let mut st = DeviceState::new(dev.clone(), 1 << 22);
+        let pa = st.global.alloc((an * 4) as u64).unwrap();
+        let po = st.global.alloc((an * 4) as u64).unwrap();
+        let va: Vec<f32> = (0..an).map(|i| (i % 7) as f32).collect();
+        st.global.write_f32_slice(pa, &va).unwrap();
+        let rep = launch(
+            &mut st,
+            &m,
+            "k",
+            LaunchDims { grid: (1, 1, 1), block: (block, 1, 1), dynamic_shared: 0 },
+            &[KArg::Ptr(pa), KArg::Ptr(po)],
+            LaunchOptions::default(),
+        )
+        .unwrap();
+
+        let cfg = AnalysisConfig {
+            block_dim: Some((block, 1, 1)),
+            grid_dim: (1, 1, 1),
+            block_idx: (0, 0, 0),
+            ..Default::default()
+        }
+        .assume("a", ParamValue::Int(pa as i64))
+        .assume("out", ParamValue::Int(po as i64));
+        let r = analyze_module(&m, &dev, &cfg);
+        prop_assert!(r.inconclusive.is_empty(), "inconclusive: {:?}", r.inconclusive);
+        prop_assert!(!r.has_denials(), "unexpected denials:\n{}", r.render());
+        let mem = r.mem_for("k").expect("no prediction");
+        prop_assert_eq!(mem.unresolved_accesses, 0);
+        prop_assert_eq!(mem.global_loads, rep.stats.global_loads);
+        prop_assert_eq!(mem.global_stores, rep.stats.global_stores);
+        prop_assert_eq!(mem.global_transactions, rep.stats.global_transactions);
+        prop_assert_eq!(mem.shared_accesses, rep.stats.shared_accesses);
+        prop_assert_eq!(mem.bank_conflict_extra, rep.stats.bank_conflict_extra);
+    }
+}

@@ -41,85 +41,17 @@ pub struct BackprojImpl {
 
 impl Default for BackprojImpl {
     fn default() -> Self {
-        BackprojImpl { block_x: 16, block_y: 8, ppl: 8, zb: 2 }
+        BackprojImpl {
+            block_x: 16,
+            block_y: 8,
+            ppl: 8,
+            zb: 2,
+        }
     }
 }
 
 /// The backprojection kernel module.
-pub const KERNELS: &str = r#"
-// Cone-beam backprojection kernel (dissertation §5.3).
-#ifndef PPL
-#define PPL ppl
-#define GEO_MAX 64
-#else
-#define GEO_MAX PPL
-#endif
-#ifndef ZB
-#define ZB zb
-#define ZB_MAX 8
-#else
-#define ZB_MAX ZB
-#endif
-#ifndef VOL_N
-#define VOL_N volN
-#endif
-
-// Per-projection (cos theta, sin theta) pairs for the current batch,
-// stored flat as [cos0, sin0, cos1, sin1, ...].
-__constant__ float projGeo[GEO_MAX * 2];
-
-__global__ void backproject(
-    float* proj, float* vol,
-    int volN, int detU, int detV, int ppl, int zb, int z0,
-    float sid, float sdd, float halfN, float halfU, float halfV)
-{
-    int x = (int)(blockIdx.x * blockDim.x + threadIdx.x);
-    int y = (int)(blockIdx.y * blockDim.y + threadIdx.y);
-    if (x < VOL_N) {
-        if (y < VOL_N) {
-            float fx = (float)x - halfN;
-            float fy = (float)y - halfN;
-            float acc[ZB_MAX];
-            for (int zi = 0; zi < ZB; zi++) { acc[zi] = 0.0f; }
-            int zbase = z0 + (int)blockIdx.z * ZB;
-            for (int p = 0; p < PPL; p++) {
-                float ct = projGeo[p * 2];
-                float st = projGeo[p * 2 + 1];
-                float t = fx * ct + fy * st;
-                float s = fy * ct - fx * st;
-                float depth = sid - s;
-                float w = (sid * sid) / (depth * depth);
-                float mag = sdd / depth;
-                float u = t * mag + halfU;
-                int u0 = (int)floorf(u);
-                float fu = u - (float)u0;
-                int uu0 = max(0, min(u0, detU - 1));
-                int uu1 = max(0, min(u0 + 1, detU - 1));
-                for (int zi = 0; zi < ZB; zi++) {
-                    float fz = (float)(zbase + zi) - halfN;
-                    float v = fz * mag + halfV;
-                    int v0 = (int)floorf(v);
-                    float fv = v - (float)v0;
-                    int vv0 = max(0, min(v0, detV - 1));
-                    int vv1 = max(0, min(v0 + 1, detV - 1));
-                    float p00 = proj[(p * detV + vv0) * detU + uu0];
-                    float p10 = proj[(p * detV + vv0) * detU + uu1];
-                    float p01 = proj[(p * detV + vv1) * detU + uu0];
-                    float p11 = proj[(p * detV + vv1) * detU + uu1];
-                    float b0 = p00 + fu * (p10 - p00);
-                    float b1 = p01 + fu * (p11 - p01);
-                    acc[zi] += w * (b0 + fv * (b1 - b0));
-                }
-            }
-            for (int zi = 0; zi < ZB; zi++) {
-                int z = zbase + zi;
-                vol[(z * VOL_N + y) * VOL_N + x] =
-                    vol[(z * VOL_N + y) * VOL_N + x] + acc[zi];
-            }
-        }
-    }
-}
-"#;
+pub const KERNELS: &str = include_str!("kernels/backproj.cu");
 
 /// Output of a GPU backprojection run.
 #[derive(Debug, Clone)]
@@ -154,7 +86,9 @@ pub fn run_gpu(
 
     let mut st = DeviceState::new(compiler.device().clone(), 512 << 20);
     let batch = imp.ppl as usize;
-    let p_proj = st.global.alloc((batch * prob.det_u * prob.det_v * 4) as u64)?;
+    let p_proj = st
+        .global
+        .alloc((batch * prob.det_u * prob.det_v * 4) as u64)?;
     let p_vol = st.global.alloc((n * n * n * 4) as u64)?;
 
     let geo: ConeGeometry = scen.geo;
@@ -183,8 +117,7 @@ pub fn run_gpu(
         st.global.write_f32_slice(p_proj, slice)?;
         let mut geo_tab = Vec::with_capacity(batch * 2);
         for p in 0..this_batch {
-            let theta =
-                (p0 + p) as f32 * std::f32::consts::PI * 2.0 / prob.num_proj as f32;
+            let theta = (p0 + p) as f32 * std::f32::consts::PI * 2.0 / prob.num_proj as f32;
             geo_tab.push(theta.cos());
             geo_tab.push(theta.sin());
         }
@@ -199,10 +132,9 @@ pub fn run_gpu(
         let bytes: Vec<u8> = geo_tab.iter().flat_map(|v| v.to_le_bytes()).collect();
         st.set_const(&bin.module, "projGeo", &bytes)?;
         if variant == Variant::Sk && this_batch != batch {
-            return Err(format!(
-                "specialized PPL={batch} requires num_proj divisible by it"
-            )
-            .into());
+            return Err(
+                format!("specialized PPL={batch} requires num_proj divisible by it").into(),
+            );
         }
 
         let rep = launch(
@@ -225,7 +157,11 @@ pub fn run_gpu(
                 KArg::F32(half_u),
                 KArg::F32(half_v),
             ],
-            LaunchOptions { functional, timing_sample_blocks: 6, ..Default::default() },
+            LaunchOptions {
+                functional,
+                timing_sample_blocks: 6,
+                ..Default::default()
+            },
         )?;
         reports.push(rep);
         p0 += this_batch;
@@ -233,7 +169,14 @@ pub fn run_gpu(
 
     let volume = st.global.read_f32_slice(p_vol, n * n * n)?;
     let sim_ms = reports.iter().map(|r| r.time_ms).sum();
-    Ok(BackprojOutput { volume, run: GpuRunResult { sim_ms, reports, compile_ms } })
+    Ok(BackprojOutput {
+        volume,
+        run: GpuRunResult {
+            sim_ms,
+            reports,
+            compile_ms,
+        },
+    })
 }
 
 /// Multi-threaded CPU reference (the OpenMP baseline of Table 6.12),
@@ -303,15 +246,28 @@ mod tests {
     use ks_sim::DeviceConfig;
 
     fn small() -> (BackprojProblem, CtScenario) {
-        let prob = BackprojProblem { n: 16, num_proj: 8, det_u: 24, det_v: 24 };
-        (prob, ct_scenario(prob.n, prob.num_proj, prob.det_u, prob.det_v))
+        let prob = BackprojProblem {
+            n: 16,
+            num_proj: 8,
+            det_u: 24,
+            det_v: 24,
+        };
+        (
+            prob,
+            ct_scenario(prob.n, prob.num_proj, prob.det_u, prob.det_v),
+        )
     }
 
     #[test]
     fn gpu_matches_cpu_reference_sk() {
         let (prob, scen) = small();
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-        let imp = BackprojImpl { block_x: 8, block_y: 8, ppl: 8, zb: 2 };
+        let imp = BackprojImpl {
+            block_x: 8,
+            block_y: 8,
+            ppl: 8,
+            zb: 2,
+        };
         let out = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, true).unwrap();
         let cpu = cpu_backproject(&prob, &scen, 4);
         let mut max_rel = 0.0f32;
@@ -326,7 +282,12 @@ mod tests {
     fn re_and_sk_agree_and_sk_wins() {
         let (prob, scen) = small();
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let imp = BackprojImpl { block_x: 8, block_y: 8, ppl: 4, zb: 2 };
+        let imp = BackprojImpl {
+            block_x: 8,
+            block_y: 8,
+            ppl: 4,
+            zb: 2,
+        };
         let re = run_gpu(&compiler, Variant::Re, &prob, &imp, &scen, true).unwrap();
         let sk = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, true).unwrap();
         for (a, b) in re.volume.iter().zip(&sk.volume) {
@@ -344,9 +305,20 @@ mod tests {
     fn reconstruction_has_phantom_structure() {
         let (prob, scen) = small();
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-        let out =
-            run_gpu(&compiler, Variant::Sk, &prob, &BackprojImpl { block_x: 8, block_y: 8, ppl: 8, zb: 2 }, &scen, true)
-                .unwrap();
+        let out = run_gpu(
+            &compiler,
+            Variant::Sk,
+            &prob,
+            &BackprojImpl {
+                block_x: 8,
+                block_y: 8,
+                ppl: 8,
+                zb: 2,
+            },
+            &scen,
+            true,
+        )
+        .unwrap();
         let n = prob.n;
         let center = out.volume[(n / 2 * n + n / 2) * n + n / 2];
         let corner = out.volume[0];
@@ -360,12 +332,34 @@ mod tests {
     fn batching_is_equivalent_to_single_launch() {
         let (prob, scen) = small();
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-        let one =
-            run_gpu(&compiler, Variant::Sk, &prob, &BackprojImpl { block_x: 8, block_y: 8, ppl: 8, zb: 1 }, &scen, true)
-                .unwrap();
-        let many =
-            run_gpu(&compiler, Variant::Sk, &prob, &BackprojImpl { block_x: 8, block_y: 8, ppl: 2, zb: 1 }, &scen, true)
-                .unwrap();
+        let one = run_gpu(
+            &compiler,
+            Variant::Sk,
+            &prob,
+            &BackprojImpl {
+                block_x: 8,
+                block_y: 8,
+                ppl: 8,
+                zb: 1,
+            },
+            &scen,
+            true,
+        )
+        .unwrap();
+        let many = run_gpu(
+            &compiler,
+            Variant::Sk,
+            &prob,
+            &BackprojImpl {
+                block_x: 8,
+                block_y: 8,
+                ppl: 2,
+                zb: 1,
+            },
+            &scen,
+            true,
+        )
+        .unwrap();
         for (a, b) in one.volume.iter().zip(&many.volume) {
             assert!((a - b).abs() <= 2e-3 * a.abs().max(1.0));
         }

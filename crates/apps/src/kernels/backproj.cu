@@ -1,0 +1,72 @@
+// Cone-beam backprojection kernel (dissertation §5.3).
+#ifndef PPL
+#define PPL ppl
+#define GEO_MAX 64
+#else
+#define GEO_MAX PPL
+#endif
+#ifndef ZB
+#define ZB zb
+#define ZB_MAX 8
+#else
+#define ZB_MAX ZB
+#endif
+#ifndef VOL_N
+#define VOL_N volN
+#endif
+
+// Per-projection (cos theta, sin theta) pairs for the current batch,
+// stored flat as [cos0, sin0, cos1, sin1, ...].
+__constant__ float projGeo[GEO_MAX * 2];
+
+__global__ void backproject(
+    float* proj, float* vol,
+    int volN, int detU, int detV, int ppl, int zb, int z0,
+    float sid, float sdd, float halfN, float halfU, float halfV)
+{
+    int x = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+    int y = (int)(blockIdx.y * blockDim.y + threadIdx.y);
+    if (x < VOL_N) {
+        if (y < VOL_N) {
+            float fx = (float)x - halfN;
+            float fy = (float)y - halfN;
+            float acc[ZB_MAX];
+            for (int zi = 0; zi < ZB; zi++) { acc[zi] = 0.0f; }
+            int zbase = z0 + (int)blockIdx.z * ZB;
+            for (int p = 0; p < PPL; p++) {
+                float ct = projGeo[p * 2];
+                float st = projGeo[p * 2 + 1];
+                float t = fx * ct + fy * st;
+                float s = fy * ct - fx * st;
+                float depth = sid - s;
+                float w = (sid * sid) / (depth * depth);
+                float mag = sdd / depth;
+                float u = t * mag + halfU;
+                int u0 = (int)floorf(u);
+                float fu = u - (float)u0;
+                int uu0 = max(0, min(u0, detU - 1));
+                int uu1 = max(0, min(u0 + 1, detU - 1));
+                for (int zi = 0; zi < ZB; zi++) {
+                    float fz = (float)(zbase + zi) - halfN;
+                    float v = fz * mag + halfV;
+                    int v0 = (int)floorf(v);
+                    float fv = v - (float)v0;
+                    int vv0 = max(0, min(v0, detV - 1));
+                    int vv1 = max(0, min(v0 + 1, detV - 1));
+                    float p00 = proj[(p * detV + vv0) * detU + uu0];
+                    float p10 = proj[(p * detV + vv0) * detU + uu1];
+                    float p01 = proj[(p * detV + vv1) * detU + uu0];
+                    float p11 = proj[(p * detV + vv1) * detU + uu1];
+                    float b0 = p00 + fu * (p10 - p00);
+                    float b1 = p01 + fu * (p11 - p01);
+                    acc[zi] += w * (b0 + fv * (b1 - b0));
+                }
+            }
+            for (int zi = 0; zi < ZB; zi++) {
+                int z = zbase + zi;
+                vol[(z * VOL_N + y) * VOL_N + x] =
+                    vol[(z * VOL_N + y) * VOL_N + x] + acc[zi];
+            }
+        }
+    }
+}

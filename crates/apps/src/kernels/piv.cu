@@ -1,0 +1,189 @@
+// PIV sum-of-squared-differences kernels (dissertation §5.2.1).
+#ifndef RB
+#define RB rb
+#define RB_MAX 16
+#else
+#define RB_MAX RB
+#endif
+#ifndef THREADS
+#define THREADS_ALLOC 512
+#define THREADS (int)blockDim.x
+#else
+#define THREADS_ALLOC THREADS
+#endif
+#ifndef MASK_W
+#define MASK_W maskW
+#endif
+#ifndef MASK_H
+#define MASK_H maskH
+#endif
+#ifndef OFFS_W
+#define OFFS_W offsW
+#endif
+
+// One block = one mask; gridDim.y covers groups of RB offsets; each
+// thread accumulates RB partial SSDs in registers while striding across
+// the mask area.
+__global__ void piv_ssd(
+    float* imgA, float* imgB, float* scores,
+    int imgW, int maskW, int maskH, int offsW,
+    int numOffsets, int masksX, int stepX, int stepY,
+    int marginX, int marginY, int rb)
+{
+    __shared__ float red[THREADS_ALLOC];
+    int mask = blockIdx.x;
+    int mx = (mask % masksX) * stepX + marginX;
+    int my = (mask / masksX) * stepY + marginY;
+    int t = (int)threadIdx.x;
+
+    float acc[RB_MAX];
+    for (int r = 0; r < RB; r++) { acc[r] = 0.0f; }
+
+    int area = MASK_W * MASK_H;
+    for (int p = t; p < area; p += THREADS) {
+        int px = p % MASK_W;
+        int py = p / MASK_W;
+        float a = imgA[(my + py) * imgW + (mx + px)];
+        for (int r = 0; r < RB; r++) {
+            int oi = (int)blockIdx.y * RB + r;
+            int oc = min(oi, numOffsets - 1);
+            int dx = oc % OFFS_W - OFFS_W / 2;
+            int dy = oc / OFFS_W - (numOffsets / OFFS_W) / 2;
+            float b = imgB[(my + py + dy) * imgW + (mx + px + dx)];
+            float d = a - b;
+            acc[r] += d * d;
+        }
+    }
+
+    // Tree reduction over threads, one offset at a time.
+    for (int r = 0; r < RB; r++) {
+        red[t] = acc[r];
+        __syncthreads();
+        for (int s = THREADS / 2; s > 0; s = s / 2) {
+            if (t < s) { red[t] += red[t + s]; }
+            __syncthreads();
+        }
+        int oi = (int)blockIdx.y * RB + r;
+        if (t == 0) {
+            if (oi < numOffsets) {
+                scores[mask * numOffsets + oi] = red[0];
+            }
+        }
+        __syncthreads();
+    }
+}
+
+// Warp-specialized variant: per-warp warp-synchronous reduction (no
+// barrier inside the warp, SIMT lockstep guarantees ordering), one
+// barrier, then warp 0 combines the per-warp partials.
+__global__ void piv_ssd_warp(
+    float* imgA, float* imgB, float* scores,
+    int imgW, int maskW, int maskH, int offsW,
+    int numOffsets, int masksX, int stepX, int stepY,
+    int marginX, int marginY, int rb)
+{
+    __shared__ float red[THREADS_ALLOC];
+    __shared__ float warpsum[16];
+    int mask = blockIdx.x;
+    int mx = (mask % masksX) * stepX + marginX;
+    int my = (mask / masksX) * stepY + marginY;
+    int t = (int)threadIdx.x;
+    int lane = t & 31;
+    int wid = t >> 5;
+    int nwarps = THREADS / 32;
+
+    float acc[RB_MAX];
+    for (int r = 0; r < RB; r++) { acc[r] = 0.0f; }
+
+    int area = MASK_W * MASK_H;
+    for (int p = t; p < area; p += THREADS) {
+        int px = p % MASK_W;
+        int py = p / MASK_W;
+        float a = imgA[(my + py) * imgW + (mx + px)];
+        for (int r = 0; r < RB; r++) {
+            int oi = (int)blockIdx.y * RB + r;
+            int oc = min(oi, numOffsets - 1);
+            int dx = oc % OFFS_W - OFFS_W / 2;
+            int dy = oc / OFFS_W - (numOffsets / OFFS_W) / 2;
+            float b = imgB[(my + py + dy) * imgW + (mx + px + dx)];
+            float d = a - b;
+            acc[r] += d * d;
+        }
+    }
+
+    for (int r = 0; r < RB; r++) {
+        red[t] = acc[r];
+        // Warp-synchronous tree: lanes of a warp are in lockstep, so no
+        // __syncthreads() is needed between levels (§2.2).
+        if (lane < 16) { red[t] += red[t + 16]; }
+        if (lane < 8) { red[t] += red[t + 8]; }
+        if (lane < 4) { red[t] += red[t + 4]; }
+        if (lane < 2) { red[t] += red[t + 2]; }
+        if (lane < 1) { red[t] += red[t + 1]; }
+        if (lane == 0) { warpsum[wid] = red[t]; }
+        __syncthreads();
+        if (t == 0) {
+            float total = 0.0f;
+            for (int w = 0; w < nwarps; w++) { total += warpsum[w]; }
+            int oi = (int)blockIdx.y * RB + r;
+            if (oi < numOffsets) {
+                scores[mask * numOffsets + oi] = total;
+            }
+        }
+        __syncthreads();
+    }
+}
+
+// Texture-path variant: both images are read through 1-D texture
+// references (bound by the host), the idiomatic cached-read path on
+// compute capability 1.x hardware.
+texture<float> texA;
+texture<float> texB;
+
+__global__ void piv_ssd_tex(
+    float* imgA, float* imgB, float* scores,
+    int imgW, int maskW, int maskH, int offsW,
+    int numOffsets, int masksX, int stepX, int stepY,
+    int marginX, int marginY, int rb)
+{
+    __shared__ float red[THREADS_ALLOC];
+    int mask = blockIdx.x;
+    int mx = (mask % masksX) * stepX + marginX;
+    int my = (mask / masksX) * stepY + marginY;
+    int t = (int)threadIdx.x;
+
+    float acc[RB_MAX];
+    for (int r = 0; r < RB; r++) { acc[r] = 0.0f; }
+
+    int area = MASK_W * MASK_H;
+    for (int p = t; p < area; p += THREADS) {
+        int px = p % MASK_W;
+        int py = p / MASK_W;
+        float a = tex1Dfetch(texA, (my + py) * imgW + (mx + px));
+        for (int r = 0; r < RB; r++) {
+            int oi = (int)blockIdx.y * RB + r;
+            int oc = min(oi, numOffsets - 1);
+            int dx = oc % OFFS_W - OFFS_W / 2;
+            int dy = oc / OFFS_W - (numOffsets / OFFS_W) / 2;
+            float b = tex1Dfetch(texB, (my + py + dy) * imgW + (mx + px + dx));
+            float d = a - b;
+            acc[r] += d * d;
+        }
+    }
+
+    for (int r = 0; r < RB; r++) {
+        red[t] = acc[r];
+        __syncthreads();
+        for (int s = THREADS / 2; s > 0; s = s / 2) {
+            if (t < s) { red[t] += red[t + s]; }
+            __syncthreads();
+        }
+        int oi = (int)blockIdx.y * RB + r;
+        if (t == 0) {
+            if (oi < numOffsets) {
+                scores[mask * numOffsets + oi] = red[0];
+            }
+        }
+        __syncthreads();
+    }
+}

@@ -1,0 +1,117 @@
+// Large template matching kernels (dissertation §5.1.3).
+#ifndef TILE_W
+#define TILE_W tileW
+#endif
+#ifndef TILE_H
+#define TILE_H tileH
+#endif
+#ifndef SHIFT_W
+#define SHIFT_W shiftW
+#endif
+#ifndef NUM_TILES
+#define NUM_TILES numTiles
+#endif
+#ifndef TEMPL_W
+#define TEMPL_W templW
+#endif
+#ifndef TEMPL_H
+#define TEMPL_H templH
+#endif
+#ifndef THREADS
+#define THREADS_ALLOC 512
+#define THREADS (int)blockDim.x
+#else
+#define THREADS_ALLOC THREADS
+#endif
+
+// Numerator stage: one tile's contribution to sum(A_C * B) for each
+// shift offset. gridDim.y indexes tiles within this region.
+__global__ void numerator_tiles(
+    float* frame, float* templc, float* partial,
+    int frameW, int shiftW, int numOffsets, int templW,
+    int tileW, int tileH, int tilesX, int tileX0, int tileY0, int tileBase)
+{
+    int o = blockIdx.x * blockDim.x + threadIdx.x;
+    int tile = blockIdx.y;
+    if (o < numOffsets) {
+        int ox = o % SHIFT_W;
+        int oy = o / SHIFT_W;
+        int tx0 = tileX0 + (tile % tilesX) * TILE_W;
+        int ty0 = tileY0 + (tile / tilesX) * TILE_H;
+        float acc = 0.0f;
+        for (int y = 0; y < TILE_H; y++) {
+            for (int x = 0; x < TILE_W; x++) {
+                float a = templc[(ty0 + y) * TEMPL_W + (tx0 + x)];
+                float b = frame[(oy + ty0 + y) * frameW + (ox + tx0 + x)];
+                acc += a * b;
+            }
+        }
+        partial[(tileBase + tile) * numOffsets + o] = acc;
+    }
+}
+
+// Tiled summation: combine per-tile partial sums into the numerator.
+__global__ void sum_partials(float* partial, float* numer, int numTiles, int numOffsets)
+{
+    int o = blockIdx.x * blockDim.x + threadIdx.x;
+    if (o < numOffsets) {
+        float acc = 0.0f;
+        for (int t = 0; t < NUM_TILES; t++) {
+            acc += partial[t * numOffsets + o];
+        }
+        numer[o] = acc;
+    }
+}
+
+// Window statistics for the denominator: sum(B) and sum(B^2) over the
+// template-sized window at each offset. One block per offset; threads
+// stripe the window and tree-reduce through shared memory (the template
+// is far too large for a per-thread serial loop to hide latency).
+__global__ void window_stats(
+    float* frame, float* sums, float* sumsq,
+    int frameW, int shiftW, int numOffsets, int templW, int templH)
+{
+    __shared__ float s_sum[THREADS_ALLOC];
+    __shared__ float s_sq[THREADS_ALLOC];
+    int o = (int)blockIdx.x;
+    int t = (int)threadIdx.x;
+    int ox = o % SHIFT_W;
+    int oy = o / SHIFT_W;
+    float s = 0.0f;
+    float s2 = 0.0f;
+    int area = TEMPL_W * TEMPL_H;
+    for (int p = t; p < area; p += THREADS) {
+        int px = p % TEMPL_W;
+        int py = p / TEMPL_W;
+        float b = frame[(oy + py) * frameW + (ox + px)];
+        s += b;
+        s2 += b * b;
+    }
+    s_sum[t] = s;
+    s_sq[t] = s2;
+    __syncthreads();
+    for (int r = THREADS / 2; r > 0; r = r / 2) {
+        if (t < r) {
+            s_sum[t] += s_sum[t + r];
+            s_sq[t] += s_sq[t + r];
+        }
+        __syncthreads();
+    }
+    if (t == 0) {
+        sums[o] = s_sum[0];
+        sumsq[o] = s_sq[0];
+    }
+}
+
+// Final normalization: corr2 = numer / sqrt(varB * sum(A_C^2)).
+__global__ void normalize(
+    float* numer, float* sums, float* sumsq, float* ncc,
+    int numOffsets, float invN, float denomA)
+{
+    int o = blockIdx.x * blockDim.x + threadIdx.x;
+    if (o < numOffsets) {
+        float varB = sumsq[o] - sums[o] * sums[o] * invN;
+        float d = sqrtf(fmaxf(varB * denomA, 0.0f));
+        ncc[o] = numer[o] / fmaxf(d, 0.000001f);
+    }
+}

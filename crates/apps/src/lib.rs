@@ -36,15 +36,25 @@ pub struct GpuRunResult {
 
 impl GpuRunResult {
     pub fn regs_per_thread(&self) -> u32 {
-        self.reports.iter().map(|r| r.regs_per_thread).max().unwrap_or(0)
+        self.reports
+            .iter()
+            .map(|r| r.regs_per_thread)
+            .max()
+            .unwrap_or(0)
     }
 
     pub fn occupancy(&self) -> f64 {
-        self.reports.first().map(|r| r.occupancy.occupancy).unwrap_or(0.0)
+        self.reports
+            .first()
+            .map(|r| r.occupancy.occupancy)
+            .unwrap_or(0.0)
     }
 
     pub fn active_warps(&self) -> u32 {
-        self.reports.first().map(|r| r.occupancy.active_warps).unwrap_or(0)
+        self.reports
+            .first()
+            .map(|r| r.occupancy.active_warps)
+            .unwrap_or(0)
     }
 
     pub fn dyn_insts(&self) -> u64 {
@@ -95,7 +105,10 @@ mod tests {
             shared_per_block: 0,
             local_bytes_per_thread: 0,
             static_insts: 0,
-            stats: ExecStats { dyn_insts: 100, ..Default::default() },
+            stats: ExecStats {
+                dyn_insts: 100,
+                ..Default::default()
+            },
             bound: ks_sim::Bound::Compute,
         }
     }

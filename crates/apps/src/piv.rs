@@ -96,7 +96,10 @@ pub struct PivImpl {
 
 impl Default for PivImpl {
     fn default() -> Self {
-        PivImpl { rb: 4, threads: 128 }
+        PivImpl {
+            rb: 4,
+            threads: 128,
+        }
     }
 }
 
@@ -124,197 +127,7 @@ impl PivKernel {
 
 /// The PIV kernel module. Written once; `RB`, `THREADS`, mask and search
 /// dimensions are specialization parameters with run-time fallbacks.
-pub const KERNELS: &str = r#"
-// PIV sum-of-squared-differences kernels (dissertation §5.2.1).
-#ifndef RB
-#define RB rb
-#define RB_MAX 16
-#else
-#define RB_MAX RB
-#endif
-#ifndef THREADS
-#define THREADS_ALLOC 512
-#define THREADS (int)blockDim.x
-#else
-#define THREADS_ALLOC THREADS
-#endif
-#ifndef MASK_W
-#define MASK_W maskW
-#endif
-#ifndef MASK_H
-#define MASK_H maskH
-#endif
-#ifndef OFFS_W
-#define OFFS_W offsW
-#endif
-
-// One block = one mask; gridDim.y covers groups of RB offsets; each
-// thread accumulates RB partial SSDs in registers while striding across
-// the mask area.
-__global__ void piv_ssd(
-    float* imgA, float* imgB, float* scores,
-    int imgW, int maskW, int maskH, int offsW,
-    int numOffsets, int masksX, int stepX, int stepY,
-    int marginX, int marginY, int rb)
-{
-    __shared__ float red[THREADS_ALLOC];
-    int mask = blockIdx.x;
-    int mx = (mask % masksX) * stepX + marginX;
-    int my = (mask / masksX) * stepY + marginY;
-    int t = (int)threadIdx.x;
-
-    float acc[RB_MAX];
-    for (int r = 0; r < RB; r++) { acc[r] = 0.0f; }
-
-    int area = MASK_W * MASK_H;
-    for (int p = t; p < area; p += THREADS) {
-        int px = p % MASK_W;
-        int py = p / MASK_W;
-        float a = imgA[(my + py) * imgW + (mx + px)];
-        for (int r = 0; r < RB; r++) {
-            int oi = (int)blockIdx.y * RB + r;
-            int oc = min(oi, numOffsets - 1);
-            int dx = oc % OFFS_W - OFFS_W / 2;
-            int dy = oc / OFFS_W - (numOffsets / OFFS_W) / 2;
-            float b = imgB[(my + py + dy) * imgW + (mx + px + dx)];
-            float d = a - b;
-            acc[r] += d * d;
-        }
-    }
-
-    // Tree reduction over threads, one offset at a time.
-    for (int r = 0; r < RB; r++) {
-        red[t] = acc[r];
-        __syncthreads();
-        for (int s = THREADS / 2; s > 0; s = s / 2) {
-            if (t < s) { red[t] += red[t + s]; }
-            __syncthreads();
-        }
-        int oi = (int)blockIdx.y * RB + r;
-        if (t == 0) {
-            if (oi < numOffsets) {
-                scores[mask * numOffsets + oi] = red[0];
-            }
-        }
-        __syncthreads();
-    }
-}
-
-// Warp-specialized variant: per-warp warp-synchronous reduction (no
-// barrier inside the warp, SIMT lockstep guarantees ordering), one
-// barrier, then warp 0 combines the per-warp partials.
-__global__ void piv_ssd_warp(
-    float* imgA, float* imgB, float* scores,
-    int imgW, int maskW, int maskH, int offsW,
-    int numOffsets, int masksX, int stepX, int stepY,
-    int marginX, int marginY, int rb)
-{
-    __shared__ float red[THREADS_ALLOC];
-    __shared__ float warpsum[16];
-    int mask = blockIdx.x;
-    int mx = (mask % masksX) * stepX + marginX;
-    int my = (mask / masksX) * stepY + marginY;
-    int t = (int)threadIdx.x;
-    int lane = t & 31;
-    int wid = t >> 5;
-    int nwarps = THREADS / 32;
-
-    float acc[RB_MAX];
-    for (int r = 0; r < RB; r++) { acc[r] = 0.0f; }
-
-    int area = MASK_W * MASK_H;
-    for (int p = t; p < area; p += THREADS) {
-        int px = p % MASK_W;
-        int py = p / MASK_W;
-        float a = imgA[(my + py) * imgW + (mx + px)];
-        for (int r = 0; r < RB; r++) {
-            int oi = (int)blockIdx.y * RB + r;
-            int oc = min(oi, numOffsets - 1);
-            int dx = oc % OFFS_W - OFFS_W / 2;
-            int dy = oc / OFFS_W - (numOffsets / OFFS_W) / 2;
-            float b = imgB[(my + py + dy) * imgW + (mx + px + dx)];
-            float d = a - b;
-            acc[r] += d * d;
-        }
-    }
-
-    for (int r = 0; r < RB; r++) {
-        red[t] = acc[r];
-        // Warp-synchronous tree: lanes of a warp are in lockstep, so no
-        // __syncthreads() is needed between levels (§2.2).
-        if (lane < 16) { red[t] += red[t + 16]; }
-        if (lane < 8) { red[t] += red[t + 8]; }
-        if (lane < 4) { red[t] += red[t + 4]; }
-        if (lane < 2) { red[t] += red[t + 2]; }
-        if (lane < 1) { red[t] += red[t + 1]; }
-        if (lane == 0) { warpsum[wid] = red[t]; }
-        __syncthreads();
-        if (t == 0) {
-            float total = 0.0f;
-            for (int w = 0; w < nwarps; w++) { total += warpsum[w]; }
-            int oi = (int)blockIdx.y * RB + r;
-            if (oi < numOffsets) {
-                scores[mask * numOffsets + oi] = total;
-            }
-        }
-        __syncthreads();
-    }
-}
-
-// Texture-path variant: both images are read through 1-D texture
-// references (bound by the host), the idiomatic cached-read path on
-// compute capability 1.x hardware.
-texture<float> texA;
-texture<float> texB;
-
-__global__ void piv_ssd_tex(
-    float* imgA, float* imgB, float* scores,
-    int imgW, int maskW, int maskH, int offsW,
-    int numOffsets, int masksX, int stepX, int stepY,
-    int marginX, int marginY, int rb)
-{
-    __shared__ float red[THREADS_ALLOC];
-    int mask = blockIdx.x;
-    int mx = (mask % masksX) * stepX + marginX;
-    int my = (mask / masksX) * stepY + marginY;
-    int t = (int)threadIdx.x;
-
-    float acc[RB_MAX];
-    for (int r = 0; r < RB; r++) { acc[r] = 0.0f; }
-
-    int area = MASK_W * MASK_H;
-    for (int p = t; p < area; p += THREADS) {
-        int px = p % MASK_W;
-        int py = p / MASK_W;
-        float a = tex1Dfetch(texA, (my + py) * imgW + (mx + px));
-        for (int r = 0; r < RB; r++) {
-            int oi = (int)blockIdx.y * RB + r;
-            int oc = min(oi, numOffsets - 1);
-            int dx = oc % OFFS_W - OFFS_W / 2;
-            int dy = oc / OFFS_W - (numOffsets / OFFS_W) / 2;
-            float b = tex1Dfetch(texB, (my + py + dy) * imgW + (mx + px + dx));
-            float d = a - b;
-            acc[r] += d * d;
-        }
-    }
-
-    for (int r = 0; r < RB; r++) {
-        red[t] = acc[r];
-        __syncthreads();
-        for (int s = THREADS / 2; s > 0; s = s / 2) {
-            if (t < s) { red[t] += red[t + s]; }
-            __syncthreads();
-        }
-        int oi = (int)blockIdx.y * RB + r;
-        if (t == 0) {
-            if (oi < numOffsets) {
-                scores[mask * numOffsets + oi] = red[0];
-            }
-        }
-        __syncthreads();
-    }
-}
-"#;
+pub const KERNELS: &str = include_str!("kernels/piv.cu");
 
 /// Output of a GPU PIV run.
 #[derive(Debug, Clone)]
@@ -363,7 +176,11 @@ pub fn run_gpu(
         prob,
         imp,
         scen,
-        LaunchOptions { functional, timing_sample_blocks: 6, ..Default::default() },
+        LaunchOptions {
+            functional,
+            timing_sample_blocks: 6,
+            ..Default::default()
+        },
     )
 }
 
@@ -379,7 +196,10 @@ pub fn run_gpu_with(
     scen: &PivScenario,
     opts: LaunchOptions,
 ) -> Result<PivOutput, Box<dyn std::error::Error>> {
-    assert!(imp.threads.is_power_of_two() && imp.threads >= 32, "threads must be pow2 ≥ 32");
+    assert!(
+        imp.threads.is_power_of_two() && imp.threads >= 32,
+        "threads must be pow2 ≥ 32"
+    );
     assert!(imp.rb >= 1 && imp.rb <= 16);
     let num_offsets = prob.num_offsets();
     let num_masks = prob.num_masks();
@@ -438,12 +258,18 @@ pub fn run_gpu_with(
         ],
         opts,
     )?;
-    let scores = st.global.read_f32_slice(p_scores, num_masks * num_offsets)?;
+    let scores = st
+        .global
+        .read_f32_slice(p_scores, num_masks * num_offsets)?;
     let disp = displacements(prob, &scores);
     Ok(PivOutput {
         scores,
         displacements: disp,
-        run: GpuRunResult { sim_ms: rep.time_ms, reports: vec![rep], compile_ms },
+        run: GpuRunResult {
+            sim_ms: rep.time_ms,
+            reports: vec![rep],
+            compile_ms,
+        },
     })
 }
 
@@ -472,12 +298,20 @@ pub fn subpixel_displacements(prob: &PivProblem, scores: &[f32]) -> Vec<(f32, f3
                 }
             };
             let fx = if bx > 0 && bx + 1 < ow {
-                parabolic(row[by * ow + bx - 1], row[by * ow + bx], row[by * ow + bx + 1])
+                parabolic(
+                    row[by * ow + bx - 1],
+                    row[by * ow + bx],
+                    row[by * ow + bx + 1],
+                )
             } else {
                 0.0
             };
             let fy = if by > 0 && by + 1 < oh {
-                parabolic(row[(by - 1) * ow + bx], row[by * ow + bx], row[(by + 1) * ow + bx])
+                parabolic(
+                    row[(by - 1) * ow + bx],
+                    row[by * ow + bx],
+                    row[(by + 1) * ow + bx],
+                )
             } else {
                 0.0
             };
@@ -530,9 +364,8 @@ pub fn cpu_ssd(prob: &PivProblem, scen: &PivScenario, threads: usize) -> Vec<f32
 pub fn fpga_model_ms(prob: &PivProblem) -> f64 {
     let clock_hz = 100.0e6;
     let lanes = 16.0;
-    let work = prob.num_masks() as f64
-        * prob.num_offsets() as f64
-        * (prob.mask_w * prob.mask_h) as f64;
+    let work =
+        prob.num_masks() as f64 * prob.num_offsets() as f64 * (prob.mask_w * prob.mask_h) as f64;
     let cycles = work / lanes;
     let io = (prob.img_w * prob.img_h * 2) as f64 / 4.0; // 4 B/cycle in
     (cycles + io) / clock_hz * 1e3
@@ -576,8 +409,16 @@ mod tests {
         let scen = piv_scenario(prob.img_w, prob.img_h, (3, -2), 5);
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
         let imp = PivImpl { rb: 4, threads: 64 };
-        let out =
-            run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, true).unwrap();
+        let out = run_gpu(
+            &compiler,
+            Variant::Sk,
+            PivKernel::Basic,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
         let cpu = cpu_ssd(&prob, &scen, 4);
         for (i, (g, c)) in out.scores.iter().zip(&cpu).enumerate() {
             assert!(
@@ -586,7 +427,11 @@ mod tests {
             );
         }
         // Most masks should recover the true flow.
-        let hits = out.displacements.iter().filter(|d| **d == scen.flow).count();
+        let hits = out
+            .displacements
+            .iter()
+            .filter(|d| **d == scen.flow)
+            .count();
         assert!(
             hits * 10 >= out.displacements.len() * 7,
             "only {hits}/{} masks recovered the flow",
@@ -595,15 +440,53 @@ mod tests {
     }
 
     #[test]
+    fn app_kernels_run_clean_under_dynamic_sanitizers() {
+        // The correlation kernels mix a block-wide barrier with a
+        // warp-synchronous reduction tail; both the dynamic racecheck and
+        // strict barrier checking must stay quiet (the static analyzers in
+        // ks-analysis reach the same verdict).
+        let prob = small_problem();
+        let scen = piv_scenario(prob.img_w, prob.img_h, (3, -2), 5);
+        let compiler = Compiler::new(DeviceConfig::tesla_c2070());
+        let imp = PivImpl { rb: 4, threads: 64 };
+        let opts = LaunchOptions {
+            functional: true,
+            racecheck: true,
+            strict_barriers: true,
+            ..Default::default()
+        };
+        for kernel in [PivKernel::Basic, PivKernel::WarpSpec] {
+            run_gpu_with(&compiler, Variant::Sk, kernel, &prob, &imp, &scen, opts)
+                .unwrap_or_else(|e| panic!("{kernel:?} under sanitizers: {e}"));
+        }
+    }
+
+    #[test]
     fn warp_specialized_variant_agrees_with_basic() {
         let prob = small_problem();
         let scen = piv_scenario(prob.img_w, prob.img_h, (1, 2), 9);
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
         let imp = PivImpl { rb: 2, threads: 64 };
-        let a = run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, true)
-            .unwrap();
-        let b = run_gpu(&compiler, Variant::Sk, PivKernel::WarpSpec, &prob, &imp, &scen, true)
-            .unwrap();
+        let a = run_gpu(
+            &compiler,
+            Variant::Sk,
+            PivKernel::Basic,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
+        let b = run_gpu(
+            &compiler,
+            Variant::Sk,
+            PivKernel::WarpSpec,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
         for (x, y) in a.scores.iter().zip(&b.scores) {
             assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
         }
@@ -615,10 +498,26 @@ mod tests {
         let scen = piv_scenario(prob.img_w, prob.img_h, (2, -2), 17);
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
         let imp = PivImpl { rb: 2, threads: 64 };
-        let a = run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, true)
-            .unwrap();
-        let b = run_gpu(&compiler, Variant::Sk, PivKernel::Textured, &prob, &imp, &scen, true)
-            .unwrap();
+        let a = run_gpu(
+            &compiler,
+            Variant::Sk,
+            PivKernel::Basic,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
+        let b = run_gpu(
+            &compiler,
+            Variant::Sk,
+            PivKernel::Textured,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
         for (x, y) in a.scores.iter().zip(&b.scores) {
             assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
         }
@@ -631,10 +530,26 @@ mod tests {
         let scen = piv_scenario(prob.img_w, prob.img_h, (2, 1), 3);
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
         let imp = PivImpl { rb: 4, threads: 64 };
-        let re = run_gpu(&compiler, Variant::Re, PivKernel::Basic, &prob, &imp, &scen, true)
-            .unwrap();
-        let sk = run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, true)
-            .unwrap();
+        let re = run_gpu(
+            &compiler,
+            Variant::Re,
+            PivKernel::Basic,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
+        let sk = run_gpu(
+            &compiler,
+            Variant::Sk,
+            PivKernel::Basic,
+            &prob,
+            &imp,
+            &scen,
+            true,
+        )
+        .unwrap();
         for (x, y) in re.scores.iter().zip(&sk.scores) {
             assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
         }

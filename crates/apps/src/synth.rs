@@ -19,7 +19,11 @@ pub struct Image {
 
 impl Image {
     pub fn new(w: usize, h: usize) -> Image {
-        Image { w, h, data: vec![0.0; w * h] }
+        Image {
+            w,
+            h,
+            data: vec![0.0; w * h],
+        }
     }
 
     #[inline]
@@ -89,7 +93,11 @@ pub fn match_scenario(
             frame.set(ox + x, oy + y, (template.at(x, y) + n).clamp(0.0, 1.0));
         }
     }
-    MatchScenario { frame, template, truth: (ox, oy) }
+    MatchScenario {
+        frame,
+        template,
+        truth: (ox, oy),
+    }
 }
 
 /// A PIV scenario: two particle images where the second is the first
@@ -181,11 +189,31 @@ struct Ellipsoid {
 fn phantom_ellipsoids(n: usize) -> Vec<Ellipsoid> {
     let s = n as f32 / 2.0;
     vec![
-        Ellipsoid { c: [0.0, 0.0, 0.0], r: [0.85 * s, 0.9 * s, 0.8 * s], rho: 1.0 },
-        Ellipsoid { c: [0.0, 0.0, 0.0], r: [0.8 * s, 0.85 * s, 0.75 * s], rho: -0.8 },
-        Ellipsoid { c: [0.25 * s, 0.1 * s, 0.0], r: [0.15 * s, 0.2 * s, 0.25 * s], rho: 0.6 },
-        Ellipsoid { c: [-0.3 * s, -0.2 * s, 0.1 * s], r: [0.2 * s, 0.12 * s, 0.2 * s], rho: 0.4 },
-        Ellipsoid { c: [0.0, 0.35 * s, -0.2 * s], r: [0.1 * s, 0.1 * s, 0.1 * s], rho: 0.8 },
+        Ellipsoid {
+            c: [0.0, 0.0, 0.0],
+            r: [0.85 * s, 0.9 * s, 0.8 * s],
+            rho: 1.0,
+        },
+        Ellipsoid {
+            c: [0.0, 0.0, 0.0],
+            r: [0.8 * s, 0.85 * s, 0.75 * s],
+            rho: -0.8,
+        },
+        Ellipsoid {
+            c: [0.25 * s, 0.1 * s, 0.0],
+            r: [0.15 * s, 0.2 * s, 0.25 * s],
+            rho: 0.6,
+        },
+        Ellipsoid {
+            c: [-0.3 * s, -0.2 * s, 0.1 * s],
+            r: [0.2 * s, 0.12 * s, 0.2 * s],
+            rho: 0.4,
+        },
+        Ellipsoid {
+            c: [0.0, 0.35 * s, -0.2 * s],
+            r: [0.1 * s, 0.1 * s, 0.1 * s],
+            rho: 0.8,
+        },
     ]
 }
 
@@ -217,7 +245,12 @@ pub fn ct_scenario(n: usize, num_proj: usize, det_u: usize, det_v: usize) -> CtS
             }
         }
     }
-    let geo = ConeGeometry { sid: 3.0 * n as f32, sdd: 4.5 * n as f32, du: 1.0, dv: 1.0 };
+    let geo = ConeGeometry {
+        sid: 3.0 * n as f32,
+        sdd: 4.5 * n as f32,
+        du: 1.0,
+        dv: 1.0,
+    };
     // Forward projection: march each detector ray through the volume.
     let mut projections = vec![0.0f32; num_proj * det_u * det_v];
     for p in 0..num_proj {
@@ -258,7 +291,15 @@ pub fn ct_scenario(n: usize, num_proj: usize, det_u: usize, det_v: usize) -> CtS
             }
         }
     }
-    CtScenario { volume, n, projections, num_proj, det_u, det_v, geo }
+    CtScenario {
+        volume,
+        n,
+        projections,
+        num_proj,
+        det_u,
+        det_v,
+        geo,
+    }
 }
 
 #[cfg(test)]
@@ -323,9 +364,7 @@ mod tests {
         assert_eq!(a.projections, b.projections);
         // The phantom is centred; opposite views (0 and π) see mirrored
         // but equal total attenuation.
-        let view = |p: usize| -> f32 {
-            a.projections[p * 16 * 16..(p + 1) * 16 * 16].iter().sum()
-        };
+        let view = |p: usize| -> f32 { a.projections[p * 16 * 16..(p + 1) * 16 * 16].iter().sum() };
         let (v0, v2) = (view(0), view(2));
         assert!(
             (v0 - v2).abs() / v0.max(1e-6) < 0.25,

@@ -54,19 +54,51 @@ pub fn patients() -> Vec<(&'static str, MatchProblem)> {
     vec![
         (
             "Patient 1",
-            MatchProblem { frame_w: 320, frame_h: 240, templ_w: 64, templ_h: 56, shift_w: 16, shift_h: 16, frames: 32 },
+            MatchProblem {
+                frame_w: 320,
+                frame_h: 240,
+                templ_w: 64,
+                templ_h: 56,
+                shift_w: 16,
+                shift_h: 16,
+                frames: 32,
+            },
         ),
         (
             "Patient 2",
-            MatchProblem { frame_w: 400, frame_h: 300, templ_w: 96, templ_h: 80, shift_w: 24, shift_h: 24, frames: 32 },
+            MatchProblem {
+                frame_w: 400,
+                frame_h: 300,
+                templ_w: 96,
+                templ_h: 80,
+                shift_w: 24,
+                shift_h: 24,
+                frames: 32,
+            },
         ),
         (
             "Patient 3",
-            MatchProblem { frame_w: 480, frame_h: 360, templ_w: 128, templ_h: 96, shift_w: 28, shift_h: 28, frames: 16 },
+            MatchProblem {
+                frame_w: 480,
+                frame_h: 360,
+                templ_w: 128,
+                templ_h: 96,
+                shift_w: 28,
+                shift_h: 28,
+                frames: 16,
+            },
         ),
         (
             "Patient 4",
-            MatchProblem { frame_w: 512, frame_h: 400, templ_w: 156, templ_h: 116, shift_w: 32, shift_h: 32, frames: 16 },
+            MatchProblem {
+                frame_w: 512,
+                frame_h: 400,
+                templ_w: 156,
+                templ_h: 116,
+                shift_w: 32,
+                shift_h: 32,
+                frames: 16,
+            },
         ),
     ]
 }
@@ -83,130 +115,16 @@ pub struct MatchImpl {
 
 impl Default for MatchImpl {
     fn default() -> Self {
-        MatchImpl { tile_w: 16, tile_h: 16, threads: 128 }
+        MatchImpl {
+            tile_w: 16,
+            tile_h: 16,
+            threads: 128,
+        }
     }
 }
 
 /// The kernel module source, written once with specialization toggles.
-pub const KERNELS: &str = r#"
-// Large template matching kernels (dissertation §5.1.3).
-#ifndef TILE_W
-#define TILE_W tileW
-#endif
-#ifndef TILE_H
-#define TILE_H tileH
-#endif
-#ifndef SHIFT_W
-#define SHIFT_W shiftW
-#endif
-#ifndef NUM_TILES
-#define NUM_TILES numTiles
-#endif
-#ifndef TEMPL_W
-#define TEMPL_W templW
-#endif
-#ifndef TEMPL_H
-#define TEMPL_H templH
-#endif
-#ifndef THREADS
-#define THREADS_ALLOC 512
-#define THREADS (int)blockDim.x
-#else
-#define THREADS_ALLOC THREADS
-#endif
-
-// Numerator stage: one tile's contribution to sum(A_C * B) for each
-// shift offset. gridDim.y indexes tiles within this region.
-__global__ void numerator_tiles(
-    float* frame, float* templc, float* partial,
-    int frameW, int shiftW, int numOffsets, int templW,
-    int tileW, int tileH, int tilesX, int tileX0, int tileY0, int tileBase)
-{
-    int o = blockIdx.x * blockDim.x + threadIdx.x;
-    int tile = blockIdx.y;
-    if (o < numOffsets) {
-        int ox = o % SHIFT_W;
-        int oy = o / SHIFT_W;
-        int tx0 = tileX0 + (tile % tilesX) * TILE_W;
-        int ty0 = tileY0 + (tile / tilesX) * TILE_H;
-        float acc = 0.0f;
-        for (int y = 0; y < TILE_H; y++) {
-            for (int x = 0; x < TILE_W; x++) {
-                float a = templc[(ty0 + y) * TEMPL_W + (tx0 + x)];
-                float b = frame[(oy + ty0 + y) * frameW + (ox + tx0 + x)];
-                acc += a * b;
-            }
-        }
-        partial[(tileBase + tile) * numOffsets + o] = acc;
-    }
-}
-
-// Tiled summation: combine per-tile partial sums into the numerator.
-__global__ void sum_partials(float* partial, float* numer, int numTiles, int numOffsets)
-{
-    int o = blockIdx.x * blockDim.x + threadIdx.x;
-    if (o < numOffsets) {
-        float acc = 0.0f;
-        for (int t = 0; t < NUM_TILES; t++) {
-            acc += partial[t * numOffsets + o];
-        }
-        numer[o] = acc;
-    }
-}
-
-// Window statistics for the denominator: sum(B) and sum(B^2) over the
-// template-sized window at each offset. One block per offset; threads
-// stripe the window and tree-reduce through shared memory (the template
-// is far too large for a per-thread serial loop to hide latency).
-__global__ void window_stats(
-    float* frame, float* sums, float* sumsq,
-    int frameW, int shiftW, int numOffsets, int templW, int templH)
-{
-    __shared__ float s_sum[THREADS_ALLOC];
-    __shared__ float s_sq[THREADS_ALLOC];
-    int o = (int)blockIdx.x;
-    int t = (int)threadIdx.x;
-    int ox = o % SHIFT_W;
-    int oy = o / SHIFT_W;
-    float s = 0.0f;
-    float s2 = 0.0f;
-    int area = TEMPL_W * TEMPL_H;
-    for (int p = t; p < area; p += THREADS) {
-        int px = p % TEMPL_W;
-        int py = p / TEMPL_W;
-        float b = frame[(oy + py) * frameW + (ox + px)];
-        s += b;
-        s2 += b * b;
-    }
-    s_sum[t] = s;
-    s_sq[t] = s2;
-    __syncthreads();
-    for (int r = THREADS / 2; r > 0; r = r / 2) {
-        if (t < r) {
-            s_sum[t] += s_sum[t + r];
-            s_sq[t] += s_sq[t + r];
-        }
-        __syncthreads();
-    }
-    if (t == 0) {
-        sums[o] = s_sum[0];
-        sumsq[o] = s_sq[0];
-    }
-}
-
-// Final normalization: corr2 = numer / sqrt(varB * sum(A_C^2)).
-__global__ void normalize(
-    float* numer, float* sums, float* sumsq, float* ncc,
-    int numOffsets, float invN, float denomA)
-{
-    int o = blockIdx.x * blockDim.x + threadIdx.x;
-    if (o < numOffsets) {
-        float varB = sumsq[o] - sums[o] * sums[o] * invN;
-        float d = sqrtf(fmaxf(varB * denomA, 0.0f));
-        ncc[o] = numer[o] / fmaxf(d, 0.000001f);
-    }
-}
-"#;
+pub const KERNELS: &str = include_str!("kernels/template_match.cu");
 
 /// A tile region: origin, tile dims, tile grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,13 +151,34 @@ pub fn tile_regions(templ_w: u32, templ_h: u32, tile_w: u32, tile_h: u32) -> Vec
     let rh = templ_h % tile_h;
     let mut out = Vec::new();
     if tx > 0 && ty > 0 {
-        out.push(TileRegion { x0: 0, y0: 0, tw: tile_w, th: tile_h, tiles_x: tx, tiles_y: ty });
+        out.push(TileRegion {
+            x0: 0,
+            y0: 0,
+            tw: tile_w,
+            th: tile_h,
+            tiles_x: tx,
+            tiles_y: ty,
+        });
     }
     if rw > 0 && ty > 0 {
-        out.push(TileRegion { x0: tx * tile_w, y0: 0, tw: rw, th: tile_h, tiles_x: 1, tiles_y: ty });
+        out.push(TileRegion {
+            x0: tx * tile_w,
+            y0: 0,
+            tw: rw,
+            th: tile_h,
+            tiles_x: 1,
+            tiles_y: ty,
+        });
     }
     if rh > 0 && tx > 0 {
-        out.push(TileRegion { x0: 0, y0: ty * tile_h, tw: tile_w, th: rh, tiles_x: tx, tiles_y: 1 });
+        out.push(TileRegion {
+            x0: 0,
+            y0: ty * tile_h,
+            tw: tile_w,
+            th: rh,
+            tiles_x: tx,
+            tiles_y: 1,
+        });
     }
     if rw > 0 && rh > 0 {
         out.push(TileRegion {
@@ -289,7 +228,12 @@ pub fn run_gpu(
     functional: bool,
 ) -> Result<MatchOutput, Box<dyn std::error::Error>> {
     let num_offsets = prob.num_offsets();
-    let regions = tile_regions(prob.templ_w as u32, prob.templ_h as u32, imp.tile_w, imp.tile_h);
+    let regions = tile_regions(
+        prob.templ_w as u32,
+        prob.templ_h as u32,
+        imp.tile_w,
+        imp.tile_h,
+    );
     let total_tiles: u32 = regions.iter().map(|r| r.num_tiles()).sum();
 
     // Template with mean removed (A_C) and its sum of squares.
@@ -324,7 +268,9 @@ pub fn run_gpu(
     let mut st = DeviceState::new(compiler.device().clone(), 256 << 20);
     let p_frame = st.global.alloc((scen.frame.data.len() * 4) as u64)?;
     let p_templc = st.global.alloc((templc.len() * 4) as u64)?;
-    let p_partial = st.global.alloc(total_tiles as u64 * num_offsets as u64 * 4)?;
+    let p_partial = st
+        .global
+        .alloc(total_tiles as u64 * num_offsets as u64 * 4)?;
     let p_numer = st.global.alloc(num_offsets as u64 * 4)?;
     let p_sums = st.global.alloc(num_offsets as u64 * 4)?;
     let p_sumsq = st.global.alloc(num_offsets as u64 * 4)?;
@@ -332,7 +278,11 @@ pub fn run_gpu(
     st.global.write_f32_slice(p_frame, &scen.frame.data)?;
     st.global.write_f32_slice(p_templc, &templc)?;
 
-    let opts = LaunchOptions { functional, timing_sample_blocks: 6, ..Default::default() };
+    let opts = LaunchOptions {
+        functional,
+        timing_sample_blocks: 6,
+        ..Default::default()
+    };
     let oblocks = (num_offsets as u32).div_ceil(imp.threads);
     let mut reports = Vec::new();
 
@@ -426,7 +376,14 @@ pub fn run_gpu(
 
     let ncc = st.global.read_f32_slice(p_ncc, num_offsets)?;
     let sim_ms = reports.iter().map(|r| r.time_ms).sum();
-    Ok(MatchOutput { ncc, run: GpuRunResult { sim_ms, reports, compile_ms } })
+    Ok(MatchOutput {
+        ncc,
+        run: GpuRunResult {
+            sim_ms,
+            reports,
+            compile_ms,
+        },
+    })
 }
 
 /// Match several templates against the same frame (Table 5.1's "template
@@ -549,15 +506,16 @@ mod tests {
             42,
         );
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let imp = MatchImpl { tile_w: 8, tile_h: 8, threads: 64 };
+        let imp = MatchImpl {
+            tile_w: 8,
+            tile_h: 8,
+            threads: 64,
+        };
         let out = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, true).unwrap();
         let cpu = cpu_ncc(&prob, &scen.frame, &scen.template, 4);
         assert_eq!(out.ncc.len(), cpu.len());
         for (i, (g, c)) in out.ncc.iter().zip(&cpu).enumerate() {
-            assert!(
-                (g - c).abs() < 2e-3,
-                "offset {i}: gpu {g} vs cpu {c}"
-            );
+            assert!((g - c).abs() < 2e-3, "offset {i}: gpu {g} vs cpu {c}");
         }
         assert_eq!(out.best(prob.shift_w), scen.truth);
     }
@@ -575,7 +533,11 @@ mod tests {
             7,
         );
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-        let imp = MatchImpl { tile_w: 8, tile_h: 8, threads: 64 };
+        let imp = MatchImpl {
+            tile_w: 8,
+            tile_h: 8,
+            threads: 64,
+        };
         let re = run_gpu(&compiler, Variant::Re, &prob, &imp, &scen, true).unwrap();
         let sk = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, true).unwrap();
         for (a, b) in re.ncc.iter().zip(&sk.ncc) {
@@ -605,7 +567,11 @@ mod tests {
         );
         let other = crate::synth::textured_image(prob.templ_w, prob.templ_h, 999);
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let imp = MatchImpl { tile_w: 8, tile_h: 8, threads: 64 };
+        let imp = MatchImpl {
+            tile_w: 8,
+            tile_h: 8,
+            threads: 64,
+        };
         let outs = run_gpu_multi(
             &compiler,
             Variant::Sk,
@@ -620,7 +586,10 @@ mod tests {
         assert_eq!(outs[0].best(prob.shift_w), scen.truth);
         let best_a = outs[0].ncc.iter().cloned().fold(f32::MIN, f32::max);
         let best_b = outs[1].ncc.iter().cloned().fold(f32::MIN, f32::max);
-        assert!(best_a > 0.9 && best_a > best_b + 0.2, "A {best_a} vs B {best_b}");
+        assert!(
+            best_a > 0.9 && best_a > best_b + 0.2,
+            "A {best_a} vs B {best_b}"
+        );
         // Second template re-used every compiled module.
         let stats = compiler.cache_stats();
         assert!(stats.hits >= stats.misses, "{stats:?}");

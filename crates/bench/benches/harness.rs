@@ -28,7 +28,7 @@ fn bench_compile(c: &mut Criterion) {
     g.bench_function("mathTest_re", |b| {
         b.iter_batched(
             || Compiler::new(DeviceConfig::tesla_c1060()),
-            |compiler| compiler.compile(MATHTEST, &Defines::new()).unwrap(),
+            |compiler| compiler.compile(MATHTEST, Defines::new()).unwrap(),
             BatchSize::SmallInput,
         )
     });
@@ -36,7 +36,9 @@ fn bench_compile(c: &mut Criterion) {
         b.iter_batched(
             || Compiler::new(DeviceConfig::tesla_c1060()),
             |compiler| {
-                compiler.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 64)).unwrap()
+                compiler
+                    .compile(MATHTEST, Defines::new().def("LOOP_COUNT", 64))
+                    .unwrap()
             },
             BatchSize::SmallInput,
         )
@@ -63,9 +65,13 @@ fn bench_compile(c: &mut Criterion) {
     // Cache hit: "speed similar to loading a dynamically linked shared
     // object" (§4.3).
     let warm = Compiler::new(DeviceConfig::tesla_c1060());
-    warm.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8)).unwrap();
+    warm.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8))
+        .unwrap();
     g.bench_function("cache_hit", |b| {
-        b.iter(|| warm.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8)).unwrap())
+        b.iter(|| {
+            warm.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -80,14 +86,13 @@ fn bench_simulator(c: &mut Criterion) {
             if (i < n) { o[i] = a[i] + b[i]; }
         }
     "#;
-    let bin = compiler.compile(src, &Defines::new()).unwrap();
+    let bin = compiler.compile(src, Defines::new()).unwrap();
     let n = 64 * 128;
     let mut st = DeviceState::new(DeviceConfig::tesla_c1060(), 16 << 20);
     let pa = st.global.alloc((n * 4) as u64).unwrap();
     let pb = st.global.alloc((n * 4) as u64).unwrap();
     let po = st.global.alloc((n * 4) as u64).unwrap();
-    let args =
-        [KArg::Ptr(pa), KArg::Ptr(pb), KArg::Ptr(po), KArg::I32(n as i32)];
+    let args = [KArg::Ptr(pa), KArg::Ptr(pb), KArg::Ptr(po), KArg::I32(n)];
     let mut g = c.benchmark_group("simulator");
     g.bench_function("vadd_64_blocks_functional", |b| {
         b.iter(|| {
@@ -97,7 +102,11 @@ fn bench_simulator(c: &mut Criterion) {
                 "vadd",
                 LaunchDims::linear(64, 128),
                 &args,
-                LaunchOptions { functional: true, timing_sample_blocks: 4, ..Default::default() },
+                LaunchOptions {
+                    functional: true,
+                    timing_sample_blocks: 4,
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
@@ -110,7 +119,11 @@ fn bench_simulator(c: &mut Criterion) {
                 "vadd",
                 LaunchDims::linear(64, 128),
                 &args,
-                LaunchOptions { functional: false, timing_sample_blocks: 4, ..Default::default() },
+                LaunchOptions {
+                    functional: false,
+                    timing_sample_blocks: 4,
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
@@ -147,7 +160,15 @@ fn bench_gpu_pf(c: &mut Criterion) {
     let blk = p.triplet_param("bk", [128, 1, 1]);
     let np = p.int_param("n", 1024);
     p.copy("h2d", hin, din, every);
-    p.exec("scale", k, grid, blk, None, vec![Arg::Mem(din), Arg::Mem(dout), Arg::Param(f), Arg::Param(np)], every);
+    p.exec(
+        "scale",
+        k,
+        grid,
+        blk,
+        None,
+        vec![Arg::Mem(din), Arg::Mem(dout), Arg::Param(f), Arg::Param(np)],
+        every,
+    );
     p.copy("d2h", dout, hout, every);
     p.refresh().unwrap();
     p.set_host_f32(hin, &vec![1.0f32; 1024]);

@@ -30,31 +30,50 @@ struct Config {
 fn configs() -> Vec<Config> {
     let cg = CodegenOptions::default;
     vec![
-        Config { name: "full", codegen: cg(), opt: OptConfig::default() },
+        Config {
+            name: "full",
+            codegen: cg(),
+            opt: OptConfig::default(),
+        },
         Config {
             name: "no-unroll",
-            codegen: CodegenOptions { unroll_limit: 0, ..cg() },
+            codegen: CodegenOptions {
+                unroll_limit: 0,
+                ..cg()
+            },
             opt: OptConfig::default(),
         },
         Config {
             name: "no-scalarize",
-            codegen: CodegenOptions { scalarize_cap: 0, ..cg() },
+            codegen: CodegenOptions {
+                scalarize_cap: 0,
+                ..cg()
+            },
             opt: OptConfig::default(),
         },
         Config {
             name: "no-strength",
             codegen: cg(),
-            opt: OptConfig { strength: false, ..OptConfig::default() },
+            opt: OptConfig {
+                strength: false,
+                ..OptConfig::default()
+            },
         },
         Config {
             name: "no-cse",
             codegen: cg(),
-            opt: OptConfig { cse: false, ..OptConfig::default() },
+            opt: OptConfig {
+                cse: false,
+                ..OptConfig::default()
+            },
         },
         Config {
             name: "no-addrfold",
             codegen: cg(),
-            opt: OptConfig { addrfold: false, ..OptConfig::default() },
+            opt: OptConfig {
+                addrfold: false,
+                ..OptConfig::default()
+            },
         },
         Config {
             name: "-O0 backend",
@@ -63,7 +82,10 @@ fn configs() -> Vec<Config> {
         },
         Config {
             name: "no-hir-opts",
-            codegen: CodegenOptions { optimize: false, ..cg() },
+            codegen: CodegenOptions {
+                optimize: false,
+                ..cg()
+            },
             opt: OptConfig::default(),
         },
     ]
@@ -75,13 +97,24 @@ fn main() {
     } else {
         PivProblem::standard(512, 32, 50, 8)
     };
-    let imp = PivImpl { rb: 4, threads: 128 };
+    let imp = PivImpl {
+        rb: 4,
+        threads: 128,
+    };
     let scen = synth::piv_scenario(prob.img_w, prob.img_h, (3, 1), 42);
 
     let mut table = Table::new(
         "ablation_passes",
         "Ablation: specialized PIV kernel (V2 set, RB=4, 128 thr) with passes disabled",
-        &["Device", "Config", "ms", "vs full", "Regs", "Local B", "Dyn insts"],
+        &[
+            "Device",
+            "Config",
+            "ms",
+            "vs full",
+            "Regs",
+            "Local B",
+            "Dyn insts",
+        ],
     );
     for dev in [DeviceConfig::tesla_c1060(), DeviceConfig::tesla_c2070()] {
         let mut full_ms = None;

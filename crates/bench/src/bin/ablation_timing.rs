@@ -16,10 +16,16 @@ fn main() {
         "Timing-model ablation: hybrid vs event-driven SM scheduler (PIV)",
         &["Device", "Set", "Variant", "Hybrid ms", "Event ms", "ratio"],
     );
-    let imp = PivImpl { rb: 4, threads: 128 };
+    let imp = PivImpl {
+        rb: 4,
+        threads: 128,
+    };
     for dev in [DeviceConfig::tesla_c1060(), DeviceConfig::tesla_c2070()] {
         let compiler = Compiler::new(dev.clone());
-        for (name, prob) in piv_fpga_sets().into_iter().take(if quick() { 1 } else { 3 }) {
+        for (name, prob) in piv_fpga_sets()
+            .into_iter()
+            .take(if quick() { 1 } else { 3 })
+        {
             let scen = synth::piv_scenario(prob.img_w, prob.img_h, (2, 1), 9);
             for variant in [Variant::Re, Variant::Sk] {
                 let mut times = Vec::new();
@@ -48,6 +54,7 @@ fn main() {
                                 functional: false,
                                 timing_sample_blocks: 6,
                                 event_timing: true,
+                                ..Default::default()
                             },
                         )
                         .unwrap();

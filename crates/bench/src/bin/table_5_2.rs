@@ -13,11 +13,24 @@ fn main() {
         "table_5_2",
         "Table 5.2: tiling examples for the Patient-4 template (156x116)",
         &[
-            "Main tile", "Regions", "Main tiles", "Edge tiles", "Total tiles",
-            "Distinct sizes", "Coverage px",
+            "Main tile",
+            "Regions",
+            "Main tiles",
+            "Edge tiles",
+            "Total tiles",
+            "Distinct sizes",
+            "Coverage px",
         ],
     );
-    for (mw, mh) in [(8u32, 8u32), (16, 8), (16, 16), (32, 16), (32, 32), (64, 58), (156, 116)] {
+    for (mw, mh) in [
+        (8u32, 8u32),
+        (16, 8),
+        (16, 16),
+        (32, 16),
+        (32, 32),
+        (64, 58),
+        (156, 116),
+    ] {
         let regions = tile_regions(tw, th, mw, mh);
         let main_tiles = regions
             .first()

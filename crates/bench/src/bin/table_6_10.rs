@@ -10,14 +10,30 @@ fn main() {
     let mut table = Table::new(
         "table_6_10",
         "Table 6.10: Template matching — CPU vs best CUDA configuration",
-        &["Data set", "corr2/frame", "CPU ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070"],
+        &[
+            "Data set",
+            "corr2/frame",
+            "CPU ms",
+            "C1060 ms",
+            "C2070 ms",
+            "SU C1060",
+            "SU C2070",
+        ],
     );
     let mut sweeps: Vec<MatchSweep> = devices().into_iter().map(MatchSweep::new).collect();
     for (name, prob) in match_patients() {
         let scen = synth::match_scenario(
-            prob.frame_w, prob.frame_h, prob.templ_w, prob.templ_h, prob.shift_w, prob.shift_h, 1,
+            prob.frame_w,
+            prob.frame_h,
+            prob.templ_w,
+            prob.templ_h,
+            prob.shift_w,
+            prob.shift_h,
+            1,
         );
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let cpu_ms = time_ms(2, || {
             let _ = cpu_ncc(&prob, &scen.frame, &scen.template, threads);
         });

@@ -9,7 +9,9 @@ fn main() {
     let mut table = Table::new(
         "table_6_11",
         "Table 6.11: PIV — FPGA vs best CUDA configuration",
-        &["Set", "Masks", "Offsets", "FPGA ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070"],
+        &[
+            "Set", "Masks", "Offsets", "FPGA ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070",
+        ],
     );
     let mut sweeps: Vec<PivSweep> = devices().into_iter().map(PivSweep::new).collect();
     for (name, prob) in piv_fpga_sets() {

@@ -9,14 +9,27 @@ use ks_core::Compiler;
 fn main() {
     let quick = quick();
     let (n, np, det) = if quick { (32, 16, 48) } else { (64, 32, 96) };
-    let prob = BackprojProblem { n, num_proj: np, det_u: det, det_v: det };
+    let prob = BackprojProblem {
+        n,
+        num_proj: np,
+        det_u: det,
+        det_v: det,
+    };
     eprintln!("[gen] forward projecting {n}^3 phantom, {np} views...");
     let scen = synth::ct_scenario(n, np, det, det);
 
     let mut table = Table::new(
         "table_6_12",
         "Table 6.12: Backprojection — 4-thread CPU vs best GPU configuration",
-        &["Volume", "Projections", "CPU ms", "C1060 ms", "C2070 ms", "SU C1060", "SU C2070"],
+        &[
+            "Volume",
+            "Projections",
+            "CPU ms",
+            "C1060 ms",
+            "C2070 ms",
+            "SU C1060",
+            "SU C2070",
+        ],
     );
     let cpu_ms = time_ms(2, || {
         let _ = cpu_backproject(&prob, &scen, 4);
@@ -30,7 +43,12 @@ fn main() {
                 if !(np as u32).is_multiple_of(ppl) {
                     continue;
                 }
-                let imp = BackprojImpl { block_x: 16, block_y: 8, ppl, zb };
+                let imp = BackprojImpl {
+                    block_x: 16,
+                    block_y: 8,
+                    ppl,
+                    zb,
+                };
                 let out = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, false).unwrap();
                 best = best.min(out.run.sim_ms);
             }

@@ -10,8 +10,8 @@ fn main() {
         "table_6_13",
         "Table 6.13: Template matching — RE vs SK, optimal configurations",
         &[
-            "Device", "Data set", "RE ms", "RE tile", "RE thr", "RE regs",
-            "SK ms", "SK tile", "SK thr", "SK regs", "Speedup",
+            "Device", "Data set", "RE ms", "RE tile", "RE thr", "RE regs", "SK ms", "SK tile",
+            "SK thr", "SK regs", "Speedup",
         ],
     );
     for dev in devices() {

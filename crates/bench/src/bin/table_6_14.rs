@@ -10,7 +10,17 @@ fn main() {
     let mut table = Table::new(
         "table_6_14",
         "Table 6.14: PIV kernel variants across the FPGA benchmark set",
-        &["Device", "Set", "RE ms", "SK ms", "SK+warp ms", "SK+tex ms", "SK/RE", "warp/SK", "tex/SK"],
+        &[
+            "Device",
+            "Set",
+            "RE ms",
+            "SK ms",
+            "SK+warp ms",
+            "SK+tex ms",
+            "SK/RE",
+            "warp/SK",
+            "tex/SK",
+        ],
     );
     for dev in devices() {
         let dev_name = dev.name.clone();

@@ -6,8 +6,10 @@ use ks_apps::Variant;
 use ks_bench::*;
 
 fn main() {
-    let sets: Vec<(String, ks_apps::piv::PivProblem)> =
-        piv_fpga_sets().into_iter().map(|(n, p)| (n.to_string(), p)).collect();
+    let sets: Vec<(String, ks_apps::piv::PivProblem)> = piv_fpga_sets()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
     ks_bench::piv_sweep_table(
         "table_6_15",
         "Table 6.15: PIV FPGA benchmark set — optimal register blocking & threads",

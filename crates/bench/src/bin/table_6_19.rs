@@ -9,13 +9,20 @@ use ks_core::Compiler;
 fn main() {
     let quick = quick();
     let (n, np, det) = if quick { (32, 16, 48) } else { (64, 32, 96) };
-    let prob = BackprojProblem { n, num_proj: np, det_u: det, det_v: det };
+    let prob = BackprojProblem {
+        n,
+        num_proj: np,
+        det_u: det,
+        det_v: det,
+    };
     eprintln!("[gen] forward projecting {n}^3 phantom, {np} views...");
     let scen = synth::ct_scenario(n, np, det, det);
     let mut table = Table::new(
         "table_6_19",
         "Table 6.19: Backprojection kernel comparisons (RE vs SK)",
-        &["Device", "Block", "PPL", "ZB", "RE ms", "RE regs", "SK ms", "SK regs", "Speedup"],
+        &[
+            "Device", "Block", "PPL", "ZB", "RE ms", "RE regs", "SK ms", "SK regs", "Speedup",
+        ],
     );
     for dev in devices() {
         let dev_name = dev.name.clone();
@@ -27,11 +34,14 @@ fn main() {
                     continue;
                 }
                 for zb in [1u32, 2, 4] {
-                    let imp = BackprojImpl { block_x: bx, block_y: by, ppl, zb };
-                    let re =
-                        run_gpu(&compiler, Variant::Re, &prob, &imp, &scen, false).unwrap();
-                    let sk =
-                        run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, false).unwrap();
+                    let imp = BackprojImpl {
+                        block_x: bx,
+                        block_y: by,
+                        ppl,
+                        zb,
+                    };
+                    let re = run_gpu(&compiler, Variant::Re, &prob, &imp, &scen, false).unwrap();
+                    let sk = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, false).unwrap();
                     best = Some(match best {
                         None => (re.run.sim_ms, sk.run.sim_ms),
                         Some((br, bs)) => (br.min(re.run.sim_ms), bs.min(sk.run.sim_ms)),

@@ -14,8 +14,16 @@ fn main() {
         "table_6_20",
         "Table 6.20: Occupancy & execution data, Tesla C1060, PIV V2 set",
         &[
-            "Variant", "RB", "Threads", "Regs", "Shared B", "Local B", "Blk/SM",
-            "Warps", "Occupancy", "ms",
+            "Variant",
+            "RB",
+            "Threads",
+            "Regs",
+            "Shared B",
+            "Local B",
+            "Blk/SM",
+            "Warps",
+            "Occupancy",
+            "ms",
         ],
     );
     for (variant, kernel, tag) in [

@@ -28,7 +28,11 @@ fn main() {
         );
         for (tw, th) in match_tile_options() {
             for t in thread_options() {
-                let imp = MatchImpl { tile_w: tw, tile_h: th, threads: t };
+                let imp = MatchImpl {
+                    tile_w: tw,
+                    tile_h: th,
+                    threads: t,
+                };
                 let mut row = vec![format!("{tw}x{th}"), fmt(t)];
                 let mut min_pct = f64::INFINITY;
                 for ((_, p), peak) in patients.iter().zip(&peaks) {

@@ -11,8 +11,10 @@ fn main() {
         "Table 6.1: template matching GPU implementation parameters benchmarked",
         &["Parameter", "Values"],
     );
-    let tiles: Vec<String> =
-        match_tile_options().iter().map(|(w, h)| format!("{w}x{h}")).collect();
+    let tiles: Vec<String> = match_tile_options()
+        .iter()
+        .map(|(w, h)| format!("{w}x{h}"))
+        .collect();
     t.row(vec!["main tile (WxH)".into(), tiles.join(", ")]);
     let thr: Vec<String> = thread_options().iter().map(|v| v.to_string()).collect();
     t.row(vec!["threads per block".into(), thr.join(", ")]);
@@ -54,11 +56,27 @@ fn main() {
 
     // Tables 6.4–6.6: the mask-size / search / overlap sweeps.
     for (name, title, sets) in [
-        ("table_6_4", "Table 6.4: PIV mask-size sweep", piv_mask_sets()),
-        ("table_6_5", "Table 6.5: PIV search-offset sweep", piv_search_sets()),
-        ("table_6_6", "Table 6.6: PIV overlap sweep", piv_overlap_sets()),
+        (
+            "table_6_4",
+            "Table 6.4: PIV mask-size sweep",
+            piv_mask_sets(),
+        ),
+        (
+            "table_6_5",
+            "Table 6.5: PIV search-offset sweep",
+            piv_search_sets(),
+        ),
+        (
+            "table_6_6",
+            "Table 6.6: PIV overlap sweep",
+            piv_overlap_sets(),
+        ),
     ] {
-        let mut t = Table::new(name, title, &["Point", "Image", "Mask", "Step", "Offsets", "Masks"]);
+        let mut t = Table::new(
+            name,
+            title,
+            &["Point", "Image", "Mask", "Step", "Offsets", "Masks"],
+        );
         for (pname, p) in sets {
             t.row(vec![
                 pname,
@@ -82,7 +100,10 @@ fn main() {
     t.row(vec!["data registers (RB)".into(), rbs.join(", ")]);
     let thr: Vec<String> = piv_thread_options().iter().map(|v| v.to_string()).collect();
     t.row(vec!["threads per block".into(), thr.join(", ")]);
-    t.row(vec!["kernel variants".into(), "basic, warp-specialized".into()]);
+    t.row(vec![
+        "kernel variants".into(),
+        "basic, warp-specialized".into(),
+    ]);
     t.finish();
 
     // Tables 6.8/6.9: backprojection problem & implementation parameters.
@@ -94,7 +115,10 @@ fn main() {
         &["Parameter", "Values"],
     );
     t.row(vec!["volume".into(), format!("{n}^3 voxels")]);
-    t.row(vec!["projections".into(), format!("{np} views of {det}x{det}")]);
+    t.row(vec![
+        "projections".into(),
+        format!("{np} views of {det}x{det}"),
+    ]);
     t.finish();
 
     let mut t = Table::new(
@@ -102,7 +126,10 @@ fn main() {
         "Table 6.9: cone beam backprojection implementation parameters benchmarked",
         &["Parameter", "Values"],
     );
-    t.row(vec!["projections per launch (PPL)".into(), "4, 8, 16".into()]);
+    t.row(vec![
+        "projections per launch (PPL)".into(),
+        "4, 8, 16".into(),
+    ]);
     t.row(vec!["z register blocking (ZB)".into(), "1, 2, 4".into()]);
     t.row(vec!["thread block".into(), "16x8".into()]);
     t.finish();

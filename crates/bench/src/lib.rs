@@ -72,7 +72,11 @@ impl Table {
         line(&self.headers);
         println!(
             "|{}|",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             line(r);
@@ -94,10 +98,18 @@ impl Table {
         let _ = writeln!(
             f,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
-            let _ = writeln!(f, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                f,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         println!("[csv] {}", path.display());
         path
@@ -161,7 +173,11 @@ pub fn piv_fpga_sets() -> Vec<(&'static str, PivProblem)> {
 
 /// Mask-size sweep (Table 6.4).
 pub fn piv_mask_sets() -> Vec<(String, PivProblem)> {
-    let sizes: &[usize] = if quick() { &[16, 32] } else { &[16, 24, 32, 48, 64] };
+    let sizes: &[usize] = if quick() {
+        &[16, 32]
+    } else {
+        &[16, 24, 32, 48, 64]
+    };
     sizes
         .iter()
         .map(|&m| (format!("{m}x{m}"), PivProblem::standard(512, m, 50, 8)))
@@ -174,7 +190,10 @@ pub fn piv_search_sets() -> Vec<(String, PivProblem)> {
     radii
         .iter()
         .map(|&r| {
-            (format!("{0}x{0}", 2 * r + 1), PivProblem::standard(512, 32, 50, r))
+            (
+                format!("{0}x{0}", 2 * r + 1),
+                PivProblem::standard(512, 32, 50, r),
+            )
         })
         .collect()
 }
@@ -284,9 +303,13 @@ impl MatchSweep {
     }
 
     fn scenario(&mut self, p: &MatchProblem) -> &synth::MatchScenario {
-        let key: ScenKey = (p.frame_w, p.frame_h, p.templ_w, p.templ_h, p.shift_w, p.shift_h);
+        let key: ScenKey = (
+            p.frame_w, p.frame_h, p.templ_w, p.templ_h, p.shift_w, p.shift_h,
+        );
         self.scen_cache.entry(key).or_insert_with(|| {
-            synth::match_scenario(p.frame_w, p.frame_h, p.templ_w, p.templ_h, p.shift_w, p.shift_h, 1234)
+            synth::match_scenario(
+                p.frame_w, p.frame_h, p.templ_w, p.templ_h, p.shift_w, p.shift_h, 1234,
+            )
         })
     }
 
@@ -334,15 +357,15 @@ impl MatchSweep {
     }
 
     /// Best configuration over the sweep grid.
-    pub fn best(
-        &mut self,
-        variant: Variant,
-        prob: &MatchProblem,
-    ) -> (MatchImpl, Sample) {
+    pub fn best(&mut self, variant: Variant, prob: &MatchProblem) -> (MatchImpl, Sample) {
         let mut best: Option<(MatchImpl, Sample)> = None;
         for (tw, th) in match_tile_options() {
             for t in thread_options() {
-                let imp = MatchImpl { tile_w: tw, tile_h: th, threads: t };
+                let imp = MatchImpl {
+                    tile_w: tw,
+                    tile_h: th,
+                    threads: t,
+                };
                 let s = self.eval(variant, prob, &imp);
                 if best.as_ref().is_none_or(|(_, b)| s.sim_ms < b.sim_ms) {
                     best = Some((imp, s));
@@ -377,15 +400,24 @@ pub struct PivSweep {
 
 impl PivSweep {
     pub fn new(dev: DeviceConfig) -> PivSweep {
-        PivSweep { compiler: Compiler::new(dev), scen_cache: BTreeMap::new(), cache: BTreeMap::new() }
+        PivSweep {
+            compiler: Compiler::new(dev),
+            scen_cache: BTreeMap::new(),
+            cache: BTreeMap::new(),
+        }
     }
 
     fn scenario(&mut self, p: &PivProblem) -> synth::PivScenario {
         let key = (p.img_w, p.img_h);
-        let s = self.scen_cache.entry(key).or_insert_with(|| {
-            synth::piv_scenario(p.img_w, p.img_h, (3, 1), 77)
-        });
-        synth::PivScenario { a: s.a.clone(), b: s.b.clone(), flow: s.flow }
+        let s = self
+            .scen_cache
+            .entry(key)
+            .or_insert_with(|| synth::piv_scenario(p.img_w, p.img_h, (3, 1), 77));
+        synth::PivScenario {
+            a: s.a.clone(),
+            b: s.b.clone(),
+            flow: s.flow,
+        }
     }
 
     pub fn eval(
@@ -395,7 +427,11 @@ impl PivSweep {
         prob: &PivProblem,
         imp: &PivImpl,
     ) -> Sample {
-        let key = (format!("{variant}/{:?}", kernel), *prob, (imp.rb, imp.threads, 0));
+        let key = (
+            format!("{variant}/{:?}", kernel),
+            *prob,
+            (imp.rb, imp.threads, 0),
+        );
         if let Some(s) = self.cache.get(&key) {
             return s.clone();
         }
@@ -466,11 +502,18 @@ pub fn piv_sweep_table(
         headers.push("Regs".into());
         headers.push("Occ".into());
     }
-    let mut table =
-        Table::new(name, title, &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut table = Table::new(
+        name,
+        title,
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
     let mut sweeps: Vec<PivSweep> = devices().into_iter().map(PivSweep::new).collect();
     for (set_name, prob) in sets {
-        let mut row = vec![set_name.clone(), fmt(prob.num_masks()), fmt(prob.num_offsets())];
+        let mut row = vec![
+            set_name.clone(),
+            fmt(prob.num_masks()),
+            fmt(prob.num_offsets()),
+        ];
         for sweep in &mut sweeps {
             let (imp, s) = sweep.best(variant, kernel, prob);
             row.push(fmt_ms(s.sim_ms));
@@ -509,10 +552,15 @@ pub fn piv_contour(name: &str, dev: DeviceConfig) {
                 best = best.min(s.sim_ms);
             }
         }
-        let rel: Vec<Vec<f64>> =
-            times.iter().map(|row| row.iter().map(|t| best / t).collect()).collect();
-        println!("
---- data set {set_name} (peak {} ms) ---", fmt_ms(best));
+        let rel: Vec<Vec<f64>> = times
+            .iter()
+            .map(|row| row.iter().map(|t| best / t).collect())
+            .collect();
+        println!(
+            "
+--- data set {set_name} (peak {} ms) ---",
+            fmt_ms(best)
+        );
         print!("{}", ascii_contour(&threads, &rbs, &rel, "threads", "rb"));
         // CSV grid.
         let mut table = Table::new(
@@ -564,8 +612,7 @@ pub fn ascii_contour(
             if (i, j) == peak {
                 out.push_str("     #");
             } else {
-                let idx = ((v * (shades.len() - 1) as f64).round() as usize)
-                    .min(shades.len() - 1);
+                let idx = ((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
                 out.push_str(&format!("     {}", shades[idx]));
             }
         }

@@ -29,7 +29,10 @@ fn const_float(e: &HExpr) -> Option<f32> {
 }
 
 fn bool_lit(v: bool) -> HExpr {
-    HExpr::IntLit { value: i64::from(v), ty: HTy::Bool }
+    HExpr::IntLit {
+        value: i64::from(v),
+        ty: HTy::Bool,
+    }
 }
 
 fn fold_binary(op: HBinOp, ty: HTy, a: &HExpr, b: &HExpr) -> Option<HExpr> {
@@ -164,20 +167,21 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
             Some(lit) => lit.clone(),
             None => e.clone(),
         },
-        HExpr::IntLit { .. }
-        | HExpr::FloatLit(_)
-        | HExpr::Param(..)
-        | HExpr::Builtin(..) => e.clone(),
+        HExpr::IntLit { .. } | HExpr::FloatLit(_) | HExpr::Param(..) | HExpr::Builtin(..) => {
+            e.clone()
+        }
         HExpr::Unary(op, ty, x) => {
             let x = fold_expr_env(x, env);
             match (op, &x) {
                 (HUnOp::Neg, HExpr::FloatLit(v)) => HExpr::FloatLit(-v),
-                (HUnOp::Neg, HExpr::IntLit { value, .. }) => {
-                    HExpr::IntLit { value: (as_i32(*value).wrapping_neg()) as i64, ty: *ty }
-                }
-                (HUnOp::BitNot, HExpr::IntLit { value, .. }) => {
-                    HExpr::IntLit { value: !value & 0xFFFF_FFFF, ty: *ty }
-                }
+                (HUnOp::Neg, HExpr::IntLit { value, .. }) => HExpr::IntLit {
+                    value: (as_i32(*value).wrapping_neg()) as i64,
+                    ty: *ty,
+                },
+                (HUnOp::BitNot, HExpr::IntLit { value, .. }) => HExpr::IntLit {
+                    value: !value & 0xFFFF_FFFF,
+                    ty: *ty,
+                },
                 _ => HExpr::Unary(*op, *ty, Box::new(x)),
             }
         }
@@ -198,10 +202,9 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
                         return a;
                     }
                 }
-                HBinOp::Sub
-                    if (is_int(&b, 0) || is_float(&b, 0.0)) => {
-                        return a;
-                    }
+                HBinOp::Sub if (is_int(&b, 0) || is_float(&b, 0.0)) => {
+                    return a;
+                }
                 HBinOp::Mul => {
                     if is_int(&a, 1) || is_float(&a, 1.0) {
                         return b;
@@ -213,14 +216,12 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
                         return HExpr::IntLit { value: 0, ty: *ty };
                     }
                 }
-                HBinOp::Div
-                    if (is_int(&b, 1) || is_float(&b, 1.0)) => {
-                        return a;
-                    }
-                HBinOp::Shl | HBinOp::Shr
-                    if is_int(&b, 0) => {
-                        return a;
-                    }
+                HBinOp::Div if (is_int(&b, 1) || is_float(&b, 1.0)) => {
+                    return a;
+                }
+                HBinOp::Shl | HBinOp::Shr if is_int(&b, 0) => {
+                    return a;
+                }
                 _ => {}
             }
             HExpr::Binary(*op, *ty, Box::new(a), Box::new(b))
@@ -283,9 +284,7 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
             // Fold pure math builtins over literals.
             let folded = match (f, args.as_slice()) {
                 (BuiltinFn::Sqrtf, [HExpr::FloatLit(x)]) => Some(HExpr::FloatLit(x.sqrt())),
-                (BuiltinFn::Rsqrtf, [HExpr::FloatLit(x)]) => {
-                    Some(HExpr::FloatLit(1.0 / x.sqrt()))
-                }
+                (BuiltinFn::Rsqrtf, [HExpr::FloatLit(x)]) => Some(HExpr::FloatLit(1.0 / x.sqrt())),
                 (BuiltinFn::Fabsf, [HExpr::FloatLit(x)]) => Some(HExpr::FloatLit(x.abs())),
                 (BuiltinFn::Floorf, [HExpr::FloatLit(x)]) => Some(HExpr::FloatLit(x.floor())),
                 (BuiltinFn::Fminf, [HExpr::FloatLit(x), HExpr::FloatLit(y)]) => {
@@ -316,7 +315,10 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
                     (Some(x), Some(y)) => {
                         // 24-bit multiply: low 32 bits of (x&0xFFFFFF)*(y&0xFFFFFF)
                         let r = (x & 0xFF_FFFF).wrapping_mul(y & 0xFF_FFFF) as i32;
-                        Some(HExpr::IntLit { value: r as i64, ty: HTy::Int })
+                        Some(HExpr::IntLit {
+                            value: r as i64,
+                            ty: HTy::Int,
+                        })
                     }
                     _ => None,
                 },
@@ -327,27 +329,48 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
         HExpr::Cast { to, from, val } => {
             let v = fold_expr_env(val, env);
             match (&v, to) {
-                (HExpr::IntLit { value, ty: HTy::Int }, HTy::Float) => {
-                    HExpr::FloatLit(as_i32(*value) as f32)
-                }
-                (HExpr::IntLit { value, ty: HTy::UInt }, HTy::Float) => {
-                    HExpr::FloatLit(as_u32(*value) as f32)
-                }
-                (HExpr::IntLit { value, ty: HTy::Bool }, HTy::Float) => {
-                    HExpr::FloatLit(*value as f32)
-                }
-                (HExpr::FloatLit(x), HTy::Int) => {
-                    HExpr::IntLit { value: (*x as i32) as i64, ty: HTy::Int }
-                }
-                (HExpr::FloatLit(x), HTy::UInt) => {
-                    HExpr::IntLit { value: (*x as u32) as i64, ty: HTy::UInt }
-                }
+                (
+                    HExpr::IntLit {
+                        value,
+                        ty: HTy::Int,
+                    },
+                    HTy::Float,
+                ) => HExpr::FloatLit(as_i32(*value) as f32),
+                (
+                    HExpr::IntLit {
+                        value,
+                        ty: HTy::UInt,
+                    },
+                    HTy::Float,
+                ) => HExpr::FloatLit(as_u32(*value) as f32),
+                (
+                    HExpr::IntLit {
+                        value,
+                        ty: HTy::Bool,
+                    },
+                    HTy::Float,
+                ) => HExpr::FloatLit(*value as f32),
+                (HExpr::FloatLit(x), HTy::Int) => HExpr::IntLit {
+                    value: (*x as i32) as i64,
+                    ty: HTy::Int,
+                },
+                (HExpr::FloatLit(x), HTy::UInt) => HExpr::IntLit {
+                    value: (*x as u32) as i64,
+                    ty: HTy::UInt,
+                },
                 (HExpr::IntLit { value, .. }, HTy::Int | HTy::UInt | HTy::Bool | HTy::Ptr(_)) => {
                     // Int↔UInt reinterpret; Int→Ptr keeps the full 64-bit
                     // value (specialized pointer constants).
-                    HExpr::IntLit { value: *value, ty: *to }
+                    HExpr::IntLit {
+                        value: *value,
+                        ty: *to,
+                    }
                 }
-                _ => HExpr::Cast { to: *to, from: *from, val: Box::new(v) },
+                _ => HExpr::Cast {
+                    to: *to,
+                    from: *from,
+                    val: Box::new(v),
+                },
             }
         }
         HExpr::PtrAdd { ptr, offset, elem } => {
@@ -358,15 +381,24 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
             }
             // (p + c1) + c2 → p + (c1+c2) happens naturally after IR-level
             // address folding; here fold literal pointer + literal offset.
-            if let (HExpr::IntLit { value: pv, ty: pty @ HTy::Ptr(_) }, Some(ov)) =
-                (&p, const_int(&o))
+            if let (
+                HExpr::IntLit {
+                    value: pv,
+                    ty: pty @ HTy::Ptr(_),
+                },
+                Some(ov),
+            ) = (&p, const_int(&o))
             {
                 return HExpr::IntLit {
                     value: pv + ov * elem.size_bytes() as i64,
                     ty: *pty,
                 };
             }
-            HExpr::PtrAdd { ptr: Box::new(p), offset: Box::new(o), elem: *elem }
+            HExpr::PtrAdd {
+                ptr: Box::new(p),
+                offset: Box::new(o),
+                elem: *elem,
+            }
         }
     }
 }
@@ -374,15 +406,12 @@ pub fn fold_expr_env(e: &HExpr, env: &ConstEnv) -> HExpr {
 fn fold_place_env(p: &Place, env: &ConstEnv) -> Place {
     match p {
         Place::Local(id) => Place::Local(*id),
-        Place::LocalElem(id, idx) => {
-            Place::LocalElem(*id, Box::new(fold_expr_env(idx, env)))
-        }
-        Place::SharedElem(id, idx) => {
-            Place::SharedElem(*id, Box::new(fold_expr_env(idx, env)))
-        }
-        Place::Deref { ptr, elem } => {
-            Place::Deref { ptr: Box::new(fold_expr_env(ptr, env)), elem: *elem }
-        }
+        Place::LocalElem(id, idx) => Place::LocalElem(*id, Box::new(fold_expr_env(idx, env))),
+        Place::SharedElem(id, idx) => Place::SharedElem(*id, Box::new(fold_expr_env(idx, env))),
+        Place::Deref { ptr, elem } => Place::Deref {
+            ptr: Box::new(fold_expr_env(ptr, env)),
+            elem: *elem,
+        },
     }
 }
 
@@ -390,7 +419,10 @@ fn fold_place_env(p: &Place, env: &ConstEnv) -> Place {
 fn assigned_locals(stmts: &[HStmt], out: &mut std::collections::HashSet<LocalId>) {
     for s in stmts {
         match s {
-            HStmt::Assign { place: Place::Local(id), .. } => {
+            HStmt::Assign {
+                place: Place::Local(id),
+                ..
+            } => {
                 out.insert(*id);
             }
             HStmt::Assign { .. } => {}
@@ -398,14 +430,14 @@ fn assigned_locals(stmts: &[HStmt], out: &mut std::collections::HashSet<LocalId>
                 assigned_locals(then_s, out);
                 assigned_locals(else_s, out);
             }
-            HStmt::For { init, step, body, .. } => {
+            HStmt::For {
+                init, step, body, ..
+            } => {
                 assigned_locals(init, out);
                 assigned_locals(step, out);
                 assigned_locals(body, out);
             }
-            HStmt::While { body, .. } | HStmt::DoWhile { body, .. } => {
-                assigned_locals(body, out)
-            }
+            HStmt::While { body, .. } | HStmt::DoWhile { body, .. } => assigned_locals(body, out),
             _ => {}
         }
     }
@@ -440,7 +472,11 @@ pub fn fold_stmts_env(stmts: &[HStmt], env: &mut ConstEnv) -> Vec<HStmt> {
                 }
                 out.push(HStmt::Assign { place, value: v });
             }
-            HStmt::If { cond, then_s, else_s } => {
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 let c = fold_expr_env(cond, env);
                 match const_int(&c) {
                     Some(0) => out.extend(fold_stmts_env(else_s, env)),
@@ -451,14 +487,22 @@ pub fn fold_stmts_env(stmts: &[HStmt], env: &mut ConstEnv) -> Vec<HStmt> {
                         let t = fold_stmts_env(then_s, &mut env_t);
                         let e = fold_stmts_env(else_s, &mut env_e);
                         // Keep only facts that hold on both paths.
-                        env.retain(|k, v| {
-                            env_t.get(k) == Some(v) && env_e.get(k) == Some(v)
+                        env.retain(|k, v| env_t.get(k) == Some(v) && env_e.get(k) == Some(v));
+                        out.push(HStmt::If {
+                            cond: c,
+                            then_s: t,
+                            else_s: e,
                         });
-                        out.push(HStmt::If { cond: c, then_s: t, else_s: e });
                     }
                 }
             }
-            HStmt::For { init, cond, step, body, unroll } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                unroll,
+            } => {
                 let init = fold_stmts_env(init, env);
                 // Anything assigned inside the loop is unknown during and
                 // after it.
@@ -482,7 +526,13 @@ pub fn fold_stmts_env(stmts: &[HStmt], env: &mut ConstEnv) -> Vec<HStmt> {
                 for k in &killed {
                     env.remove(k);
                 }
-                out.push(HStmt::For { init, cond, step, body, unroll: *unroll });
+                out.push(HStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    unroll: *unroll,
+                });
             }
             HStmt::While { cond, body } => {
                 let mut killed = std::collections::HashSet::new();
@@ -506,7 +556,14 @@ pub fn fold_stmts_env(stmts: &[HStmt], env: &mut ConstEnv) -> Vec<HStmt> {
                 }
                 let mut benv = env.clone();
                 let body = fold_stmts_env(body, &mut benv);
-                let c = fold_expr_env(cond, &benv.clone().into_iter().filter(|(k, _)| !killed.contains(k)).collect());
+                let c = fold_expr_env(
+                    cond,
+                    &benv
+                        .clone()
+                        .into_iter()
+                        .filter(|(k, _)| !killed.contains(k))
+                        .collect(),
+                );
                 out.push(HStmt::DoWhile { body, cond: c });
             }
             HStmt::Break | HStmt::Continue | HStmt::Return | HStmt::Sync => out.push(s.clone()),
@@ -525,7 +582,10 @@ mod tests {
     use super::*;
 
     fn ii(v: i64) -> HExpr {
-        HExpr::IntLit { value: v, ty: HTy::Int }
+        HExpr::IntLit {
+            value: v,
+            ty: HTy::Int,
+        }
     }
 
     #[test]
@@ -541,8 +601,18 @@ mod tests {
         let e = HExpr::Binary(
             HBinOp::Add,
             HTy::Int,
-            Box::new(HExpr::Binary(HBinOp::Mul, HTy::Int, Box::new(x.clone()), Box::new(ii(1)))),
-            Box::new(HExpr::Binary(HBinOp::Mul, HTy::Int, Box::new(ii(2)), Box::new(ii(0)))),
+            Box::new(HExpr::Binary(
+                HBinOp::Mul,
+                HTy::Int,
+                Box::new(x.clone()),
+                Box::new(ii(1)),
+            )),
+            Box::new(HExpr::Binary(
+                HBinOp::Mul,
+                HTy::Int,
+                Box::new(ii(2)),
+                Box::new(ii(0)),
+            )),
         );
         assert_eq!(fold_expr(&e), x);
     }
@@ -552,7 +622,13 @@ mod tests {
         let e = HExpr::Binary(HBinOp::Div, HTy::Int, Box::new(ii(-7)), Box::new(ii(2)));
         assert_eq!(fold_expr(&e), ii(-3)); // C truncation
         let e = HExpr::Binary(HBinOp::Div, HTy::UInt, Box::new(ii(7)), Box::new(ii(2)));
-        assert_eq!(fold_expr(&e), HExpr::IntLit { value: 3, ty: HTy::UInt });
+        assert_eq!(
+            fold_expr(&e),
+            HExpr::IntLit {
+                value: 3,
+                ty: HTy::UInt
+            }
+        );
         // Division by zero does not fold (run-time trap territory).
         let e = HExpr::Binary(HBinOp::Div, HTy::Int, Box::new(ii(1)), Box::new(ii(0)));
         assert!(matches!(fold_expr(&e), HExpr::Binary(..)));
@@ -563,18 +639,39 @@ mod tests {
         let e = HExpr::Binary(
             HBinOp::Add,
             HTy::UInt,
-            Box::new(HExpr::IntLit { value: u32::MAX as i64, ty: HTy::UInt }),
-            Box::new(HExpr::IntLit { value: 1, ty: HTy::UInt }),
+            Box::new(HExpr::IntLit {
+                value: u32::MAX as i64,
+                ty: HTy::UInt,
+            }),
+            Box::new(HExpr::IntLit {
+                value: 1,
+                ty: HTy::UInt,
+            }),
         );
-        assert_eq!(fold_expr(&e), HExpr::IntLit { value: 0, ty: HTy::UInt });
+        assert_eq!(
+            fold_expr(&e),
+            HExpr::IntLit {
+                value: 0,
+                ty: HTy::UInt
+            }
+        );
     }
 
     #[test]
     fn cmp_and_logic_fold() {
         let c = HExpr::Cmp(HCmp::Lt, HTy::Int, Box::new(ii(1)), Box::new(ii(2)));
-        assert_eq!(fold_expr(&c), HExpr::IntLit { value: 1, ty: HTy::Bool });
+        assert_eq!(
+            fold_expr(&c),
+            HExpr::IntLit {
+                value: 1,
+                ty: HTy::Bool
+            }
+        );
         let f = HExpr::LogAnd(
-            Box::new(HExpr::IntLit { value: 0, ty: HTy::Bool }),
+            Box::new(HExpr::IntLit {
+                value: 0,
+                ty: HTy::Bool,
+            }),
             Box::new(HExpr::Cmp(
                 HCmp::Eq,
                 HTy::Int,
@@ -582,7 +679,13 @@ mod tests {
                 Box::new(ii(1)),
             )),
         );
-        assert_eq!(fold_expr(&f), HExpr::IntLit { value: 0, ty: HTy::Bool });
+        assert_eq!(
+            fold_expr(&f),
+            HExpr::IntLit {
+                value: 0,
+                ty: HTy::Bool
+            }
+        );
     }
 
     #[test]
@@ -600,7 +703,10 @@ mod tests {
     fn const_false_loop_keeps_init() {
         let l = HStmt::For {
             init: vec![HStmt::Sync],
-            cond: Some(HExpr::IntLit { value: 0, ty: HTy::Bool }),
+            cond: Some(HExpr::IntLit {
+                value: 0,
+                ty: HTy::Bool,
+            }),
             step: vec![],
             body: vec![HStmt::Return],
             unroll: None,
@@ -611,21 +717,35 @@ mod tests {
     #[test]
     fn ptr_plus_const_folds_to_address() {
         let e = HExpr::PtrAdd {
-            ptr: Box::new(HExpr::IntLit { value: 0x1000, ty: HTy::Ptr(Elem::Float) }),
+            ptr: Box::new(HExpr::IntLit {
+                value: 0x1000,
+                ty: HTy::Ptr(Elem::Float),
+            }),
             offset: Box::new(ii(4)),
             elem: Elem::Float,
         };
         assert_eq!(
             fold_expr(&e),
-            HExpr::IntLit { value: 0x1000 + 16, ty: HTy::Ptr(Elem::Float) }
+            HExpr::IntLit {
+                value: 0x1000 + 16,
+                ty: HTy::Ptr(Elem::Float)
+            }
         );
     }
 
     #[test]
     fn float_cast_fold() {
-        let e = HExpr::Cast { to: HTy::Float, from: HTy::Int, val: Box::new(ii(3)) };
+        let e = HExpr::Cast {
+            to: HTy::Float,
+            from: HTy::Int,
+            val: Box::new(ii(3)),
+        };
         assert_eq!(fold_expr(&e), HExpr::FloatLit(3.0));
-        let e = HExpr::Cast { to: HTy::Int, from: HTy::Float, val: Box::new(HExpr::FloatLit(2.7)) };
+        let e = HExpr::Cast {
+            to: HTy::Int,
+            from: HTy::Float,
+            val: Box::new(HExpr::FloatLit(2.7)),
+        };
         assert_eq!(fold_expr(&e), ii(2));
     }
 

@@ -37,7 +37,11 @@ pub struct CodegenOptions {
 
 impl Default for CodegenOptions {
     fn default() -> Self {
-        CodegenOptions { unroll_limit: 2048, scalarize_cap: 256, optimize: true }
+        CodegenOptions {
+            unroll_limit: 2048,
+            scalarize_cap: 256,
+            optimize: true,
+        }
     }
 }
 

@@ -45,7 +45,11 @@ pub fn lower_program(p: &Program) -> Result<Module, String> {
     let mut off = 0u32;
     for c in &p.consts {
         const_off.push(off);
-        consts.push(ConstDecl { name: c.name.clone(), offset: off, size_bytes: c.len * 4 });
+        consts.push(ConstDecl {
+            name: c.name.clone(),
+            offset: off,
+            size_bytes: c.len * 4,
+        });
         off += c.len * 4;
     }
     let mut functions = Vec::new();
@@ -53,7 +57,11 @@ pub fn lower_program(p: &Program) -> Result<Module, String> {
         functions.push(lower_func(k, &const_off)?);
     }
     let textures = p.textures.iter().map(|t| t.name.clone()).collect();
-    let m = Module { functions, consts, textures };
+    let m = Module {
+        functions,
+        consts,
+        textures,
+    };
     let errs = ks_ir::verify_module(&m);
     if let Some(e) = errs.first() {
         return Err(format!("internal codegen error: {e}"));
@@ -94,7 +102,11 @@ fn lower_func(k: &HFunc, const_off: &[u32]) -> Result<Function, String> {
         };
         off = off.div_ceil(align) * align;
         param_off.push(off);
-        params.push(KernelParam { name: p.name.clone(), ty: ir_ty(p.ty), offset: off });
+        params.push(KernelParam {
+            name: p.name.clone(),
+            ty: ir_ty(p.ty),
+            offset: off,
+        });
         off += size;
     }
     // Shared layout.
@@ -103,7 +115,11 @@ fn lower_func(k: &HFunc, const_off: &[u32]) -> Result<Function, String> {
     let mut soff = 0u32;
     for s in &k.shared {
         shared_off.push(soff);
-        shared.push(SharedDecl { name: s.name.clone(), offset: soff, size_bytes: s.len * 4 });
+        shared.push(SharedDecl {
+            name: s.name.clone(),
+            offset: soff,
+            size_bytes: s.len * 4,
+        });
         soff += s.len * 4;
     }
     // Local (spill) layout for non-scalarized arrays.
@@ -119,7 +135,11 @@ fn lower_func(k: &HFunc, const_off: &[u32]) -> Result<Function, String> {
     let mut f = Function {
         name: k.name.clone(),
         params,
-        blocks: vec![BasicBlock { id: BlockId(0), insts: vec![], term: Terminator::Ret }],
+        blocks: vec![BasicBlock {
+            id: BlockId(0),
+            insts: vec![],
+            term: Terminator::Ret,
+        }],
         vreg_types: vec![],
         shared,
         local_bytes: loff,
@@ -175,7 +195,9 @@ impl<'a> Lower<'a> {
         }
         let cur = self.cur;
         let block = self.f.block_mut(cur);
-        let Some(last) = block.insts.last_mut() else { return false };
+        let Some(last) = block.insts.last_mut() else {
+            return false;
+        };
         if last.def() != Some(tmp) {
             return false;
         }
@@ -202,7 +224,11 @@ impl<'a> Lower<'a> {
 
     fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.f.blocks.len() as u32);
-        self.f.blocks.push(BasicBlock { id, insts: vec![], term: Terminator::Ret });
+        self.f.blocks.push(BasicBlock {
+            id,
+            insts: vec![],
+            term: Terminator::Ret,
+        });
         id
     }
 
@@ -308,7 +334,12 @@ impl<'a> Lower<'a> {
                     HUnOp::Neg => UnOp::Neg,
                     HUnOp::BitNot => UnOp::Not,
                 };
-                self.emit(Inst::Un { op: o, ty: t, dst, a });
+                self.emit(Inst::Un {
+                    op: o,
+                    ty: t,
+                    dst,
+                    a,
+                });
                 Operand::Reg(dst)
             }
             HExpr::Binary(op, ty, a, b) => {
@@ -328,7 +359,13 @@ impl<'a> Lower<'a> {
                     HBinOp::Or => BinOp::Or,
                     HBinOp::Xor => BinOp::Xor,
                 };
-                self.emit(Inst::Bin { op: o, ty: t, dst, a, b });
+                self.emit(Inst::Bin {
+                    op: o,
+                    ty: t,
+                    dst,
+                    a,
+                    b,
+                });
                 Operand::Reg(dst)
             }
             HExpr::Cmp(c, ty, a, b) => {
@@ -344,7 +381,13 @@ impl<'a> Lower<'a> {
                     HCmp::Gt => CmpOp::Gt,
                     HCmp::Ge => CmpOp::Ge,
                 };
-                self.emit(Inst::Setp { cmp, ty: t, dst, a, b });
+                self.emit(Inst::Setp {
+                    cmp,
+                    ty: t,
+                    dst,
+                    a,
+                    b,
+                });
                 Operand::Reg(dst)
             }
             HExpr::LogAnd(a, b) => {
@@ -376,7 +419,12 @@ impl<'a> Lower<'a> {
             HExpr::LogNot(a) => {
                 let p = self.pred(a)?;
                 let dst = self.f.new_vreg(Ty::Pred);
-                self.emit(Inst::Un { op: UnOp::Not, ty: Ty::Pred, dst, a: p.into() });
+                self.emit(Inst::Un {
+                    op: UnOp::Not,
+                    ty: Ty::Pred,
+                    dst,
+                    a: p.into(),
+                });
                 Operand::Reg(dst)
             }
             HExpr::Cond(c, a, b, ty) => {
@@ -385,7 +433,13 @@ impl<'a> Lower<'a> {
                 let a = self.expr(a)?;
                 let b = self.expr(b)?;
                 let dst = self.f.new_vreg(t);
-                self.emit(Inst::Selp { ty: t, dst, a, b, pred: p });
+                self.emit(Inst::Selp {
+                    ty: t,
+                    dst,
+                    a,
+                    b,
+                    pred: p,
+                });
                 Operand::Reg(dst)
             }
             HExpr::Load(place, ty) => self.load_place(place, *ty)?,
@@ -394,14 +448,24 @@ impl<'a> Lower<'a> {
                 let addr = self.elem_address(idx, base as i64)?;
                 let t = elem_ty(*elem);
                 let dst = self.f.new_vreg(t);
-                self.emit(Inst::Ld { space: Space::Const, ty: t, dst, addr });
+                self.emit(Inst::Ld {
+                    space: Space::Const,
+                    ty: t,
+                    dst,
+                    addr,
+                });
                 Operand::Reg(dst)
             }
             HExpr::TexFetch(id, idx, elem) => {
                 let i = self.expr(idx)?;
                 let t = elem_ty(*elem);
                 let dst = self.f.new_vreg(t);
-                self.emit(Inst::Tex { ty: t, dst, tex: id.0, idx: i });
+                self.emit(Inst::Tex {
+                    ty: t,
+                    dst,
+                    tex: id.0,
+                    idx: i,
+                });
                 Operand::Reg(dst)
             }
             HExpr::Call(fun, args, ty) => {
@@ -411,18 +475,30 @@ impl<'a> Lower<'a> {
                 let vals = vals?;
                 let dst = self.f.new_vreg(t);
                 match fun {
-                    BuiltinFn::Sqrtf => {
-                        self.emit(Inst::Un { op: UnOp::Sqrt, ty: t, dst, a: vals[0] })
-                    }
-                    BuiltinFn::Rsqrtf => {
-                        self.emit(Inst::Un { op: UnOp::Rsqrt, ty: t, dst, a: vals[0] })
-                    }
-                    BuiltinFn::Fabsf | BuiltinFn::AbsI => {
-                        self.emit(Inst::Un { op: UnOp::Abs, ty: t, dst, a: vals[0] })
-                    }
-                    BuiltinFn::Floorf => {
-                        self.emit(Inst::Un { op: UnOp::Floor, ty: t, dst, a: vals[0] })
-                    }
+                    BuiltinFn::Sqrtf => self.emit(Inst::Un {
+                        op: UnOp::Sqrt,
+                        ty: t,
+                        dst,
+                        a: vals[0],
+                    }),
+                    BuiltinFn::Rsqrtf => self.emit(Inst::Un {
+                        op: UnOp::Rsqrt,
+                        ty: t,
+                        dst,
+                        a: vals[0],
+                    }),
+                    BuiltinFn::Fabsf | BuiltinFn::AbsI => self.emit(Inst::Un {
+                        op: UnOp::Abs,
+                        ty: t,
+                        dst,
+                        a: vals[0],
+                    }),
+                    BuiltinFn::Floorf => self.emit(Inst::Un {
+                        op: UnOp::Floor,
+                        ty: t,
+                        dst,
+                        a: vals[0],
+                    }),
                     BuiltinFn::Fminf | BuiltinFn::MinI | BuiltinFn::MinU => self.emit(Inst::Bin {
                         op: BinOp::Min,
                         ty: t,
@@ -464,12 +540,23 @@ impl<'a> Lower<'a> {
                         } else {
                             (Operand::ImmI(1), Operand::ImmI(0))
                         };
-                        self.emit(Inst::Selp { ty: tt, dst, a: one, b: zero, pred: p });
+                        self.emit(Inst::Selp {
+                            ty: tt,
+                            dst,
+                            a: one,
+                            b: zero,
+                            pred: p,
+                        });
                         Operand::Reg(dst)
                     }
                     _ => {
                         let dst = self.f.new_vreg(tt);
-                        self.emit(Inst::Cvt { dst_ty: tt, src_ty: ft, dst, src: v });
+                        self.emit(Inst::Cvt {
+                            dst_ty: tt,
+                            src_ty: ft,
+                            dst,
+                            src: v,
+                        });
                         Operand::Reg(dst)
                     }
                 }
@@ -544,15 +631,18 @@ impl<'a> Lower<'a> {
 
     fn load_place(&mut self, p: &Place, ty: HTy) -> Result<Operand, String> {
         Ok(match p {
-            Place::Local(id) => {
-                Operand::Reg(*self.local_reg.get(id).ok_or("unlowered local")?)
-            }
+            Place::Local(id) => Operand::Reg(*self.local_reg.get(id).ok_or("unlowered local")?),
             Place::LocalElem(id, idx) => {
                 let base = *self.local_off.get(id).ok_or("unlowered local array")? as i64;
                 let addr = self.elem_address(idx, base)?;
                 let t = ir_ty(ty);
                 let dst = self.f.new_vreg(t);
-                self.emit(Inst::Ld { space: Space::Local, ty: t, dst, addr });
+                self.emit(Inst::Ld {
+                    space: Space::Local,
+                    ty: t,
+                    dst,
+                    addr,
+                });
                 Operand::Reg(dst)
             }
             Place::SharedElem(id, idx) => {
@@ -560,7 +650,12 @@ impl<'a> Lower<'a> {
                 let addr = self.elem_address(idx, base)?;
                 let t = ir_ty(ty);
                 let dst = self.f.new_vreg(t);
-                self.emit(Inst::Ld { space: Space::Shared, ty: t, dst, addr });
+                self.emit(Inst::Ld {
+                    space: Space::Shared,
+                    ty: t,
+                    dst,
+                    addr,
+                });
                 Operand::Reg(dst)
             }
             Place::Deref { ptr, elem } => {
@@ -572,7 +667,12 @@ impl<'a> Lower<'a> {
                     Operand::Reg(r) => Address::reg(r),
                     Operand::ImmF(_) => return Err("float pointer".into()),
                 };
-                self.emit(Inst::Ld { space: Space::Global, ty: t, dst, addr });
+                self.emit(Inst::Ld {
+                    space: Space::Global,
+                    ty: t,
+                    dst,
+                    addr,
+                });
                 Operand::Reg(dst)
             }
         })
@@ -609,13 +709,23 @@ impl<'a> Lower<'a> {
                         let base = *self.local_off.get(id).ok_or("unlowered array")? as i64;
                         let addr = self.elem_address(idx, base)?;
                         let ty = ir_ty(value.ty());
-                        self.emit(Inst::St { space: Space::Local, ty, addr, src: v });
+                        self.emit(Inst::St {
+                            space: Space::Local,
+                            ty,
+                            addr,
+                            src: v,
+                        });
                     }
                     Place::SharedElem(id, idx) => {
                         let base = self.shared_off[id.0 as usize] as i64;
                         let addr = self.elem_address(idx, base)?;
                         let ty = ir_ty(value.ty());
-                        self.emit(Inst::St { space: Space::Shared, ty, addr, src: v });
+                        self.emit(Inst::St {
+                            space: Space::Shared,
+                            ty,
+                            addr,
+                            src: v,
+                        });
                     }
                     Place::Deref { ptr, elem } => {
                         let pv = self.expr(ptr)?;
@@ -634,15 +744,28 @@ impl<'a> Lower<'a> {
                 }
                 Ok(())
             }
-            HStmt::If { cond, then_s, else_s } => {
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 let p = self.pred(cond)?;
                 let then_b = self.new_block();
                 let join_b = self.new_block();
-                let else_b = if else_s.is_empty() { join_b } else { self.new_block() };
+                let else_b = if else_s.is_empty() {
+                    join_b
+                } else {
+                    self.new_block()
+                };
                 let cur = self.cur;
                 self.set_term(
                     cur,
-                    Terminator::CondBr { pred: p, negate: false, then_t: then_b, else_t: else_b },
+                    Terminator::CondBr {
+                        pred: p,
+                        negate: false,
+                        then_t: then_b,
+                        else_t: else_b,
+                    },
                 );
                 self.cur = then_b;
                 self.stmts(then_s)?;
@@ -657,7 +780,13 @@ impl<'a> Lower<'a> {
                 self.cur = join_b;
                 Ok(())
             }
-            HStmt::For { init, cond, step, body, .. } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.stmts(init)?;
                 let header = self.new_block();
                 let body_b = self.new_block();
@@ -709,7 +838,12 @@ impl<'a> Lower<'a> {
                 let h = self.cur;
                 self.set_term(
                     h,
-                    Terminator::CondBr { pred: p, negate: false, then_t: body_b, else_t: exit_b },
+                    Terminator::CondBr {
+                        pred: p,
+                        negate: false,
+                        then_t: body_b,
+                        else_t: exit_b,
+                    },
                 );
                 self.loop_stack.push((header, exit_b));
                 self.cur = body_b;
@@ -736,7 +870,12 @@ impl<'a> Lower<'a> {
                 let c = self.cur;
                 self.set_term(
                     c,
-                    Terminator::CondBr { pred: p, negate: false, then_t: body_b, else_t: exit_b },
+                    Terminator::CondBr {
+                        pred: p,
+                        negate: false,
+                        then_t: body_b,
+                        else_t: exit_b,
+                    },
                 );
                 self.loop_stack.pop();
                 self.cur = exit_b;
@@ -778,10 +917,19 @@ mod tests {
     use ks_lang::frontend;
 
     fn lower(src: &str, defs: &[(&str, &str)], optimize: bool) -> Module {
-        let defs: Vec<(String, String)> =
-            defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let defs: Vec<(String, String)> = defs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
         let prog = frontend(src, &defs).unwrap();
-        compile(&prog, &CodegenOptions { optimize, ..Default::default() }).unwrap()
+        compile(
+            &prog,
+            &CodegenOptions {
+                optimize,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     const MATHTEST: &str = r#"
@@ -810,28 +958,51 @@ mod tests {
     fn runtime_evaluated_kernel_has_control_flow() {
         let m = lower(MATHTEST, &[], true);
         let f = m.function("mathTest").unwrap();
-        assert!(f.blocks.len() > 3, "rolled loop needs header/body/step blocks");
-        // Parameter loads present.
-        let has_param_ld = f.blocks.iter().flat_map(|b| &b.insts).any(
-            |i| matches!(i, Inst::Ld { space: Space::Param, .. }),
+        assert!(
+            f.blocks.len() > 3,
+            "rolled loop needs header/body/step blocks"
         );
+        // Parameter loads present.
+        let has_param_ld = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Ld {
+                    space: Space::Param,
+                    ..
+                }
+            )
+        });
         assert!(has_param_ld);
     }
 
     #[test]
     fn specialized_kernel_is_straight_line() {
-        let m = lower(MATHTEST, &[("LOOP_COUNT", "5"), ("ARG_A", "3"), ("ARG_B", "7")], true);
+        let m = lower(
+            MATHTEST,
+            &[("LOOP_COUNT", "5"), ("ARG_A", "3"), ("ARG_B", "7")],
+            true,
+        );
         let f = m.function("mathTest").unwrap();
         // Fully unrolled: no conditional branches anywhere.
-        let has_condbr =
-            f.blocks.iter().any(|b| matches!(b.term, Terminator::CondBr { .. }));
+        let has_condbr = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::CondBr { .. }));
         assert!(!has_condbr, "specialized kernel must have no control flow");
         // Exactly 5 global loads and 1 store.
         let loads = f
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Ld { space: Space::Global, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Ld {
+                        space: Space::Global,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(loads, 5);
     }
@@ -850,9 +1021,21 @@ mod tests {
         let f = m.function("k").unwrap();
         assert_eq!(f.shared_bytes(), 8 * 4 * 4);
         let insts: Vec<&Inst> = f.blocks.iter().flat_map(|b| &b.insts).collect();
-        assert!(insts.iter().any(|i| matches!(i, Inst::St { space: Space::Shared, .. })));
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            Inst::St {
+                space: Space::Shared,
+                ..
+            }
+        )));
         assert!(insts.iter().any(|i| matches!(i, Inst::Bar)));
-        assert!(insts.iter().any(|i| matches!(i, Inst::Ld { space: Space::Shared, .. })));
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            Inst::Ld {
+                space: Space::Shared,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -867,11 +1050,15 @@ mod tests {
         let m = lower(src, &[], true);
         let f = m.function("k").unwrap();
         assert_eq!(f.local_bytes, 64);
-        let has_local_st = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::St { space: Space::Local, .. }));
+        let has_local_st = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::St {
+                    space: Space::Local,
+                    ..
+                }
+            )
+        });
         assert!(has_local_st);
     }
 
@@ -900,11 +1087,15 @@ mod tests {
         let m = lower(src, &[], true);
         assert_eq!(m.const_bytes(), 64);
         let f = m.function("k").unwrap();
-        let has_const_ld = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Ld { space: Space::Const, .. }));
+        let has_const_ld = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Ld {
+                    space: Space::Const,
+                    ..
+                }
+            )
+        });
         assert!(has_const_ld);
     }
 
@@ -918,21 +1109,24 @@ mod tests {
         "#;
         let m = lower(src, &[("PTR_IN", "0x10000")], true);
         let f = m.function("k").unwrap();
-        let abs_load = f.blocks.iter().flat_map(|b| &b.insts).find_map(|i| match i {
-            Inst::Ld { space: Space::Global, addr, .. } if addr.base.is_none() => {
-                Some(addr.offset)
-            }
-            _ => None,
-        });
+        let abs_load = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find_map(|i| match i {
+                Inst::Ld {
+                    space: Space::Global,
+                    addr,
+                    ..
+                } if addr.base.is_none() => Some(addr.offset),
+                _ => None,
+            });
         assert_eq!(abs_load, Some(0x10000 + 8));
     }
 
     #[test]
     fn verifier_accepts_all_lowered_modules() {
-        for (src, defs) in [
-            (MATHTEST, vec![("LOOP_COUNT", "4")]),
-            (MATHTEST, vec![]),
-        ] {
+        for (src, defs) in [(MATHTEST, vec![("LOOP_COUNT", "4")]), (MATHTEST, vec![])] {
             let m = lower(src, &defs, true);
             assert!(ks_ir::verify_module(&m).is_empty());
         }

@@ -57,9 +57,7 @@ fn all_indices_const(stmts: &[HStmt], id: LocalId) -> bool {
     fn expr_ok(e: &HExpr, id: LocalId) -> bool {
         match e {
             HExpr::Load(p, _) => place_ok(p, id),
-            HExpr::Unary(_, _, a) | HExpr::LogNot(a) | HExpr::Cast { val: a, .. } => {
-                expr_ok(a, id)
-            }
+            HExpr::Unary(_, _, a) | HExpr::LogNot(a) | HExpr::Cast { val: a, .. } => expr_ok(a, id),
             HExpr::Binary(_, _, a, b)
             | HExpr::Cmp(_, _, a, b)
             | HExpr::LogAnd(a, b)
@@ -82,20 +80,28 @@ fn all_indices_const(stmts: &[HStmt], id: LocalId) -> bool {
     fn stmt_ok(s: &HStmt, id: LocalId) -> bool {
         match s {
             HStmt::Assign { place, value } => place_ok(place, id) && expr_ok(value, id),
-            HStmt::If { cond, then_s, else_s } => {
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 expr_ok(cond, id)
                     && then_s.iter().all(|s| stmt_ok(s, id))
                     && else_s.iter().all(|s| stmt_ok(s, id))
             }
-            HStmt::For { init, cond, step, body, .. } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 init.iter().all(|s| stmt_ok(s, id))
                     && cond.as_ref().is_none_or(|c| expr_ok(c, id))
                     && step.iter().all(|s| stmt_ok(s, id))
                     && body.iter().all(|s| stmt_ok(s, id))
             }
-            HStmt::While { cond, body } => {
-                expr_ok(cond, id) && body.iter().all(|s| stmt_ok(s, id))
-            }
+            HStmt::While { cond, body } => expr_ok(cond, id) && body.iter().all(|s| stmt_ok(s, id)),
             HStmt::DoWhile { body, cond } => {
                 expr_ok(cond, id) && body.iter().all(|s| stmt_ok(s, id))
             }
@@ -112,12 +118,22 @@ fn rewrite_stmts(stmts: &mut [HStmt], id: LocalId, map: &HashMap<i64, LocalId>, 
                 rewrite_place(place, id, map);
                 rewrite_expr(value, id, map, ty);
             }
-            HStmt::If { cond, then_s, else_s } => {
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 rewrite_expr(cond, id, map, ty);
                 rewrite_stmts(then_s, id, map, ty);
                 rewrite_stmts(else_s, id, map, ty);
             }
-            HStmt::For { init, cond, step, body, .. } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 rewrite_stmts(init, id, map, ty);
                 if let Some(c) = cond {
                     rewrite_expr(c, id, map, ty);
@@ -145,12 +161,15 @@ fn rewrite_place(p: &mut Place, id: LocalId, map: &HashMap<i64, LocalId>) {
             // Out-of-bounds constant indices keep element 0's register —
             // undefined behaviour in CUDA too; the interpreter would have
             // trapped on the memory form, so clamp deterministically.
-            let nid = map.get(&i).or_else(|| map.get(&0)).expect("non-empty array");
+            let nid = map
+                .get(&i)
+                .or_else(|| map.get(&0))
+                .expect("non-empty array");
             *p = Place::Local(*nid);
         }
         Place::LocalElem(_, idx) | Place::SharedElem(_, idx) => {
             // Nested loads inside the index may reference the array.
-        let _ = idx;
+            let _ = idx;
         }
         _ => {}
     }
@@ -202,7 +221,10 @@ fn rewrite_place_rec(p: &mut Place, id: LocalId, map: &HashMap<i64, LocalId>, ty
     match p {
         Place::LocalElem(v, idx) if *v == id => {
             let i = const_idx(idx).expect("checked const");
-            let nid = map.get(&i).or_else(|| map.get(&0)).expect("non-empty array");
+            let nid = map
+                .get(&i)
+                .or_else(|| map.get(&0))
+                .expect("non-empty array");
             *p = Place::Local(*nid);
         }
         Place::LocalElem(_, idx) | Place::SharedElem(_, idx) => rewrite_expr(idx, id, map, ty),
@@ -219,9 +241,16 @@ mod tests {
     use ks_lang::frontend;
 
     fn kernel(src: &str, defs: &[(&str, &str)]) -> HFunc {
-        let defs: Vec<(String, String)> =
-            defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
-        frontend(src, &defs).unwrap().kernels.into_iter().next().unwrap()
+        let defs: Vec<(String, String)> = defs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        frontend(src, &defs)
+            .unwrap()
+            .kernels
+            .into_iter()
+            .next()
+            .unwrap()
     }
 
     /// The register-blocking pattern from the PIV kernel: an accumulator
@@ -244,7 +273,11 @@ mod tests {
         scalarize_func(&mut f, 256);
         // Original array marked scalar; 4 new scalar locals added.
         assert_eq!(f.locals[0].array_len, 0);
-        let scalars = f.locals.iter().filter(|l| l.name.starts_with("acc.")).count();
+        let scalars = f
+            .locals
+            .iter()
+            .filter(|l| l.name.starts_with("acc."))
+            .count();
         assert_eq!(scalars, 4);
         // No LocalElem places remain.
         fn no_elems(stmts: &[HStmt]) -> bool {

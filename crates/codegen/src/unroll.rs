@@ -34,7 +34,13 @@ fn unroll_stmts(stmts: &[HStmt], limit: u32, locals: &[HTy]) -> (Vec<HStmt>, boo
     let mut changed = false;
     for s in stmts {
         match s {
-            HStmt::For { init, cond, step, body, unroll } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                unroll,
+            } => {
                 if let Some(plan) = plan_unroll(init, cond.as_ref(), step, body, limit, *unroll) {
                     changed = true;
                     emit_unrolled(&plan, body, locals, &mut out);
@@ -50,21 +56,35 @@ fn unroll_stmts(stmts: &[HStmt], limit: u32, locals: &[HTy]) -> (Vec<HStmt>, boo
                     });
                 }
             }
-            HStmt::If { cond, then_s, else_s } => {
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 let (t, c1) = unroll_stmts(then_s, limit, locals);
                 let (e, c2) = unroll_stmts(else_s, limit, locals);
                 changed |= c1 | c2;
-                out.push(HStmt::If { cond: cond.clone(), then_s: t, else_s: e });
+                out.push(HStmt::If {
+                    cond: cond.clone(),
+                    then_s: t,
+                    else_s: e,
+                });
             }
             HStmt::While { cond, body } => {
                 let (b, c) = unroll_stmts(body, limit, locals);
                 changed |= c;
-                out.push(HStmt::While { cond: cond.clone(), body: b });
+                out.push(HStmt::While {
+                    cond: cond.clone(),
+                    body: b,
+                });
             }
             HStmt::DoWhile { body, cond } => {
                 let (b, c) = unroll_stmts(body, limit, locals);
                 changed |= c;
-                out.push(HStmt::DoWhile { body: b, cond: cond.clone() });
+                out.push(HStmt::DoWhile {
+                    body: b,
+                    cond: cond.clone(),
+                });
             }
             other => out.push(other.clone()),
         }
@@ -95,7 +115,11 @@ fn plan_unroll(
     limit: u32,
     pragma: Option<Option<u32>>,
 ) -> Option<UnrollPlan> {
-    let [HStmt::Assign { place: Place::Local(var), value: init_v }] = init else {
+    let [HStmt::Assign {
+        place: Place::Local(var),
+        value: init_v,
+    }] = init
+    else {
         return None;
     };
     let var = *var;
@@ -110,7 +134,11 @@ fn plan_unroll(
         (b, HExpr::Local(v, _)) if *v == var => (swap_cmp(*cmp), const_int(b)?),
         _ => return None,
     };
-    let [HStmt::Assign { place: Place::Local(sv), value: step_v }] = step else {
+    let [HStmt::Assign {
+        place: Place::Local(sv),
+        value: step_v,
+    }] = step
+    else {
         return None;
     };
     if *sv != var {
@@ -151,7 +179,11 @@ fn plan_unroll(
     }
     // Simulate the loop counter.
     let unsigned = *cmp_ty == HTy::UInt;
-    let effective_limit = if pragma.is_some() { limit.max(65536) } else { limit };
+    let effective_limit = if pragma.is_some() {
+        limit.max(65536)
+    } else {
+        limit
+    };
     let mut values = Vec::new();
     let mut v = start;
     loop {
@@ -191,7 +223,11 @@ fn plan_unroll(
         v = next;
     }
     let var_ty = HTy::Int; // the final-value assignment type; refined below
-    Some(UnrollPlan { var, var_ty, values })
+    Some(UnrollPlan {
+        var,
+        var_ty,
+        values,
+    })
 }
 
 fn swap_cmp(c: HCmp) -> HCmp {
@@ -246,13 +282,14 @@ fn body_allows_unroll(body: &[HStmt], var: LocalId) -> bool {
                 }
                 HStmt::Return => return false,
                 HStmt::If { then_s, else_s, .. } => {
-                    if !check(then_s, var, top_level_loop) || !check(else_s, var, top_level_loop)
-                    {
+                    if !check(then_s, var, top_level_loop) || !check(else_s, var, top_level_loop) {
                         return false;
                     }
                 }
                 // Inner loops own their breaks/continues.
-                HStmt::For { init, step, body, .. } => {
+                HStmt::For {
+                    init, step, body, ..
+                } => {
                     if !check(init, var, top_level_loop)
                         || !check(step, var, false)
                         || !check(body, var, false)
@@ -274,7 +311,10 @@ fn body_allows_unroll(body: &[HStmt], var: LocalId) -> bool {
 }
 
 fn emit_unrolled(plan: &UnrollPlan, body: &[HStmt], locals: &[HTy], out: &mut Vec<HStmt>) {
-    let ty = locals.get(plan.var.0 as usize).copied().unwrap_or(plan.var_ty);
+    let ty = locals
+        .get(plan.var.0 as usize)
+        .copied()
+        .unwrap_or(plan.var_ty);
     for &v in &plan.values {
         let mut copy = body.to_vec();
         subst_stmts(&mut copy, plan.var, v, ty);
@@ -289,12 +329,22 @@ fn subst_stmts(stmts: &mut [HStmt], var: LocalId, value: i64, ty: HTy) {
                 subst_place(place, var, value, ty);
                 subst_expr(v, var, value, ty);
             }
-            HStmt::If { cond, then_s, else_s } => {
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 subst_expr(cond, var, value, ty);
                 subst_stmts(then_s, var, value, ty);
                 subst_stmts(else_s, var, value, ty);
             }
-            HStmt::For { init, cond, step, body, .. } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 subst_stmts(init, var, value, ty);
                 if let Some(c) = cond {
                     subst_expr(c, var, value, ty);
@@ -318,9 +368,7 @@ fn subst_stmts(stmts: &mut [HStmt], var: LocalId, value: i64, ty: HTy) {
 fn subst_place(p: &mut Place, var: LocalId, value: i64, ty: HTy) {
     match p {
         Place::Local(_) => {}
-        Place::LocalElem(_, idx) | Place::SharedElem(_, idx) => {
-            subst_expr(idx, var, value, ty)
-        }
+        Place::LocalElem(_, idx) | Place::SharedElem(_, idx) => subst_expr(idx, var, value, ty),
         Place::Deref { ptr, .. } => subst_expr(ptr, var, value, ty),
     }
 }
@@ -349,9 +397,7 @@ fn subst_expr(e: &mut HExpr, var: LocalId, value: i64, ty: HTy) {
             subst_expr(b, var, value, ty);
         }
         HExpr::Load(p, _) => subst_place(p, var, value, ty),
-        HExpr::ConstElem(_, idx, _) | HExpr::TexFetch(_, idx, _) => {
-            subst_expr(idx, var, value, ty)
-        }
+        HExpr::ConstElem(_, idx, _) | HExpr::TexFetch(_, idx, _) => subst_expr(idx, var, value, ty),
         HExpr::Call(_, args, _) => {
             for a in args {
                 subst_expr(a, var, value, ty);
@@ -371,18 +417,25 @@ mod tests {
     use ks_lang::frontend;
 
     fn kernel(src: &str, defs: &[(&str, &str)]) -> HFunc {
-        let defs: Vec<(String, String)> =
-            defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
-        frontend(src, &defs).unwrap().kernels.into_iter().next().unwrap()
+        let defs: Vec<(String, String)> = defs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        frontend(src, &defs)
+            .unwrap()
+            .kernels
+            .into_iter()
+            .next()
+            .unwrap()
     }
 
     fn count_loops(stmts: &[HStmt]) -> usize {
         stmts
             .iter()
             .map(|s| match s {
-                HStmt::For { body, .. } | HStmt::While { body, .. } | HStmt::DoWhile { body, .. } => {
-                    1 + count_loops(body)
-                }
+                HStmt::For { body, .. }
+                | HStmt::While { body, .. }
+                | HStmt::DoWhile { body, .. } => 1 + count_loops(body),
                 HStmt::If { then_s, else_s, .. } => count_loops(then_s) + count_loops(else_s),
                 _ => 0,
             })
@@ -394,9 +447,9 @@ mod tests {
             .iter()
             .map(|s| match s {
                 HStmt::Assign { .. } => 1,
-                HStmt::For { body, init, step, .. } => {
-                    count_assigns(body) + count_assigns(init) + count_assigns(step)
-                }
+                HStmt::For {
+                    body, init, step, ..
+                } => count_assigns(body) + count_assigns(init) + count_assigns(step),
                 HStmt::If { then_s, else_s, .. } => count_assigns(then_s) + count_assigns(else_s),
                 _ => 0,
             })
@@ -460,7 +513,11 @@ mod tests {
         "#;
         let mut f = kernel(src, &[]);
         unroll_func(&mut f, 10);
-        assert_eq!(count_loops(&f.body), 1, "loop over the limit must stay rolled");
+        assert_eq!(
+            count_loops(&f.body),
+            1,
+            "loop over the limit must stay rolled"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! similar to loading a dynamically linked shared object"), and compile
 //! overhead is tracked so applications can report it.
 
+pub use ks_analysis::{AnalysisConfig, Diagnostic};
 use ks_codegen::CodegenOptions;
 use ks_sim::{DeviceConfig, RegAlloc};
 use parking_lot::Mutex;
@@ -116,27 +117,43 @@ pub struct Binary {
     pub device: String,
     /// Wall-clock cost of this compilation (the §4.3 trade-off).
     pub compile_time: Duration,
+    /// Non-deny analysis diagnostics (deny-level findings abort the
+    /// compile instead). Empty unless the compiler carries an
+    /// [`AnalysisConfig`].
+    pub diagnostics: Vec<ks_analysis::Diagnostic>,
 }
 
 impl Binary {
     /// Physical registers per thread for a kernel.
     pub fn regs_per_thread(&self, kernel: &str) -> u32 {
-        self.regalloc.get(kernel).map(|r| r.gpr_count.max(2)).unwrap_or(0)
+        self.regalloc
+            .get(kernel)
+            .map(|r| r.gpr_count.max(2))
+            .unwrap_or(0)
     }
 
     /// Static instruction count of a kernel.
     pub fn static_insts(&self, kernel: &str) -> usize {
-        self.module.function(kernel).map(|f| f.static_inst_count()).unwrap_or(0)
+        self.module
+            .function(kernel)
+            .map(|f| f.static_inst_count())
+            .unwrap_or(0)
     }
 
     /// Static shared-memory bytes per block.
     pub fn shared_bytes(&self, kernel: &str) -> u32 {
-        self.module.function(kernel).map(|f| f.shared_bytes()).unwrap_or(0)
+        self.module
+            .function(kernel)
+            .map(|f| f.shared_bytes())
+            .unwrap_or(0)
     }
 
     /// Per-thread local (spill) memory.
     pub fn local_bytes(&self, kernel: &str) -> u32 {
-        self.module.function(kernel).map(|f| f.local_bytes).unwrap_or(0)
+        self.module
+            .function(kernel)
+            .map(|f| f.local_bytes)
+            .unwrap_or(0)
     }
 }
 
@@ -168,6 +185,7 @@ pub struct Compiler {
     device: DeviceConfig,
     options: CodegenOptions,
     opt_config: ks_opt::OptConfig,
+    analysis: Option<AnalysisConfig>,
     cache: Mutex<HashMap<u64, Arc<Binary>>>,
     stats: Mutex<CacheStats>,
 }
@@ -178,6 +196,7 @@ impl Compiler {
             device,
             options: CodegenOptions::default(),
             opt_config: ks_opt::OptConfig::default(),
+            analysis: None,
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(CacheStats::default()),
         }
@@ -185,11 +204,8 @@ impl Compiler {
 
     pub fn with_options(device: DeviceConfig, options: CodegenOptions) -> Compiler {
         Compiler {
-            device,
             options,
-            opt_config: ks_opt::OptConfig::default(),
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
+            ..Compiler::new(device)
         }
     }
 
@@ -200,12 +216,19 @@ impl Compiler {
         opt_config: ks_opt::OptConfig,
     ) -> Compiler {
         Compiler {
-            device,
             options,
             opt_config,
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
+            ..Compiler::new(device)
         }
+    }
+
+    /// Attach an [`AnalysisConfig`]: every compile then runs the ks-analysis
+    /// suite, records warnings on the [`Binary`], turns deny-level findings
+    /// into [`CompileError`]s, and verifies the IR after lowering and after
+    /// each optimization pass even in release builds.
+    pub fn with_analysis(mut self, cfg: AnalysisConfig) -> Compiler {
+        self.analysis = Some(cfg);
+        self
     }
 
     pub fn device(&self) -> &DeviceConfig {
@@ -226,6 +249,9 @@ impl Compiler {
         self.options.scalarize_cap.hash(&mut h);
         self.options.optimize.hash(&mut h);
         self.opt_config.hash(&mut h);
+        if let Some(a) = &self.analysis {
+            a.hash_into(&mut h);
+        }
         h.finish()
     }
 
@@ -245,7 +271,10 @@ impl Compiler {
         let start = Instant::now();
         let bin = self.compile_uncached(source, defines)?;
         let elapsed = start.elapsed();
-        let bin = Arc::new(Binary { compile_time: elapsed, ..bin });
+        let bin = Arc::new(Binary {
+            compile_time: elapsed,
+            ..bin
+        });
         {
             let mut s = self.stats.lock();
             s.misses += 1;
@@ -273,15 +302,52 @@ impl Compiler {
         )];
         all_defines.extend(defines.items().iter().cloned());
 
-        let program =
-            ks_lang::frontend(source, &all_defines).map_err(|e| err(e.to_string()))?;
-        let mut module =
-            ks_codegen::compile(&program, &self.options).map_err(&err)?;
-        ks_opt::optimize_module_with(&mut module, &self.opt_config);
+        let program = ks_lang::frontend(source, &all_defines).map_err(|e| err(e.to_string()))?;
+        let mut module = ks_codegen::compile(&program, &self.options).map_err(&err)?;
+
+        // Sanitizer: verify the IR after lowering and after every pass
+        // application, attributing any breakage to the pass that caused
+        // it. Always on in debug builds; opt-in via `with_analysis` in
+        // release builds (the final whole-module verify below is
+        // unconditional).
+        let sanitize = cfg!(debug_assertions) || self.analysis.is_some();
+        if sanitize {
+            if let Some(e) = ks_ir::verify_module(&module).first() {
+                return Err(err(format!("verification failed after lowering: {e}")));
+            }
+            let mut broken: Option<(&'static str, String)> = None;
+            for f in module.functions.iter_mut() {
+                ks_opt::optimize_with_observer(f, &self.opt_config, &mut |pass, f| {
+                    if broken.is_none() {
+                        if let Some(e) = ks_ir::verify_function(f).first() {
+                            broken = Some((pass, e.to_string()));
+                        }
+                    }
+                });
+                if let Some((pass, e)) = broken.take() {
+                    return Err(err(format!("verification failed after pass `{pass}`: {e}")));
+                }
+            }
+        } else {
+            ks_opt::optimize_module_with(&mut module, &self.opt_config);
+        }
         let verify = ks_ir::verify_module(&module);
         if let Some(e) = verify.first() {
             return Err(err(format!("post-optimization verification failed: {e}")));
         }
+
+        // Static-analysis suite (racecheck, barrier divergence, bounds,
+        // memory lints): deny-level findings fail the compile like any
+        // other error; the rest ride along on the binary.
+        let mut diagnostics = Vec::new();
+        if let Some(acfg) = &self.analysis {
+            let report = ks_analysis::analyze_module(&module, &self.device, acfg);
+            if report.has_denials() {
+                return Err(err(format!("analysis failed:\n{}", report.render())));
+            }
+            diagnostics = report.diagnostics;
+        }
+
         let mut regalloc = HashMap::new();
         for f in &module.functions {
             regalloc.insert(f.name.clone(), ks_sim::allocate(f));
@@ -294,6 +360,7 @@ impl Compiler {
             defines: defines.clone(),
             device: self.device.name.clone(),
             compile_time: Duration::ZERO,
+            diagnostics,
         })
     }
 }
@@ -331,7 +398,7 @@ mod tests {
     #[test]
     fn re_vs_sk_static_shape() {
         let c = Compiler::new(DeviceConfig::tesla_c1060());
-        let re = c.compile(MATHTEST, &Defines::new()).unwrap();
+        let re = c.compile(MATHTEST, Defines::new()).unwrap();
         let sk = c
             .compile(
                 MATHTEST,
@@ -349,7 +416,10 @@ mod tests {
             .iter()
             .filter(|b| !b.insts.is_empty() || !matches!(b.term, ks_ir::Terminator::Ret))
             .count();
-        assert!(reachable <= 3, "specialized kernel should be nearly straight-line");
+        assert!(
+            reachable <= 3,
+            "specialized kernel should be nearly straight-line"
+        );
         assert!(
             sk.regs_per_thread("mathTest") < re.regs_per_thread("mathTest"),
             "specialization must reduce register usage ({} vs {})",
@@ -377,13 +447,18 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         // Different parameters miss.
-        let _ = c.compile(MATHTEST, &Defines::new().def("LOOP_COUNT", 8)).unwrap();
+        let _ = c
+            .compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8))
+            .unwrap();
         assert_eq!(c.cache_stats().misses, 2);
     }
 
     #[test]
     fn defines_builder_and_command_line() {
-        let d = Defines::new().def("A", 3).flag("FAST").ptr("PTR_IN", 0x200ca0200);
+        let d = Defines::new()
+            .def("A", 3)
+            .flag("FAST")
+            .ptr("PTR_IN", 0x200ca0200);
         assert_eq!(d.command_line(), "-D A=3 -D FAST -D PTR_IN=0x200ca0200");
         // Redefinition replaces.
         let d = d.def("A", 9);
@@ -404,9 +479,13 @@ mod tests {
         let c = Compiler::new(DeviceConfig::tesla_c1060());
         let sk = c.compile(src, Defines::new().f32("SCALE", 2.5)).unwrap();
         // The constant must appear as a float immediate in the PTX.
-        assert!(sk.ptx.contains(&format!("0f{:08X}", 2.5f32.to_bits())), "{}", sk.ptx);
+        assert!(
+            sk.ptx.contains(&format!("0f{:08X}", 2.5f32.to_bits())),
+            "{}",
+            sk.ptx
+        );
         // RE build keeps the parameter load instead.
-        let re = c.compile(src, &Defines::new()).unwrap();
+        let re = c.compile(src, Defines::new()).unwrap();
         assert!(re.ptx.matches("ld.param").count() > sk.ptx.matches("ld.param").count());
     }
 
@@ -423,14 +502,17 @@ mod tests {
         "#;
         let c1 = Compiler::new(DeviceConfig::tesla_c1060());
         let c2 = Compiler::new(DeviceConfig::tesla_c2070());
-        let b1 = c1.compile(src, &Defines::new()).unwrap();
-        let b2 = c2.compile(src, &Defines::new()).unwrap();
+        let b1 = c1.compile(src, Defines::new()).unwrap();
+        let b2 = c2.compile(src, Defines::new()).unwrap();
         let find_store_imm = |b: &Binary| {
             b.module.function("k").unwrap().blocks[0]
                 .insts
                 .iter()
                 .find_map(|i| match i {
-                    ks_ir::Inst::St { src: ks_ir::Operand::ImmI(v), .. } => Some(*v),
+                    ks_ir::Inst::St {
+                        src: ks_ir::Operand::ImmI(v),
+                        ..
+                    } => Some(*v),
                     _ => None,
                 })
                 .unwrap()
@@ -440,9 +522,67 @@ mod tests {
     }
 
     #[test]
+    fn analysis_denials_fail_the_compile() {
+        let src = r#"
+            __global__ void k(float* out) {
+                __shared__ float s[64];
+                int t = (int)threadIdx.x;
+                s[t] = 1.0f;
+                if (t < 16) {
+                    __syncthreads();
+                }
+                out[t] = s[t];
+            }
+        "#;
+        // Without analysis the kernel compiles.
+        let plain = Compiler::new(DeviceConfig::tesla_c2070());
+        assert!(plain.compile(src, Defines::new()).is_ok());
+        // With it, the divergent barrier is a KSA002 deny.
+        let c = Compiler::new(DeviceConfig::tesla_c2070())
+            .with_analysis(ks_analysis::AnalysisConfig::default());
+        let e = c.compile(src, Defines::new()).unwrap_err();
+        assert!(e.message.contains("KSA002"), "{}", e.message);
+        // Demoted to a warning, it compiles and rides on the binary.
+        let c =
+            Compiler::new(DeviceConfig::tesla_c2070()).with_analysis(ks_analysis::AnalysisConfig {
+                levels: vec![(
+                    ks_analysis::LintCode::BarrierDivergence,
+                    ks_analysis::Severity::Warn,
+                )],
+                ..Default::default()
+            });
+        let bin = c.compile(src, Defines::new()).unwrap();
+        assert_eq!(bin.diagnostics.len(), 1);
+        assert_eq!(
+            bin.diagnostics[0].code,
+            ks_analysis::LintCode::BarrierDivergence
+        );
+    }
+
+    #[test]
+    fn analysis_config_is_part_of_the_cache_key() {
+        // Same source, different analysis geometry: must not share a
+        // cache slot (diagnostics depend on it).
+        let c = Compiler::new(DeviceConfig::tesla_c1060())
+            .with_analysis(ks_analysis::AnalysisConfig::default());
+        let _ = c.compile(MATHTEST, Defines::new()).unwrap();
+        assert_eq!(c.cache_stats().misses, 1);
+        let c2 =
+            Compiler::new(DeviceConfig::tesla_c1060()).with_analysis(ks_analysis::AnalysisConfig {
+                block_dim: Some((32, 1, 1)),
+                ..Default::default()
+            });
+        // Keys differ across configs even though source and defines match.
+        assert_ne!(
+            c.cache_key(MATHTEST, &Defines::new()),
+            c2.cache_key(MATHTEST, &Defines::new())
+        );
+    }
+
+    #[test]
     fn compile_errors_carry_command_line() {
         let c = Compiler::new(DeviceConfig::tesla_c1060());
-        let err = c.compile("__global__ void k(int* o) { o[0] = wat; }", &Defines::new());
+        let err = c.compile("__global__ void k(int* o) { o[0] = wat; }", Defines::new());
         let e = err.unwrap_err();
         assert!(e.message.contains("wat"));
         assert!(e.command_line.contains("nvcc"));

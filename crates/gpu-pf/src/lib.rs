@@ -188,7 +188,12 @@ pub enum Arg {
 type UserFn = Box<dyn FnMut(&mut DeviceState, u64) -> Result<(), PfError> + Send>;
 
 enum Action {
-    Copy { src: ResId, dst: ResId, schedule: ParamId, label: String },
+    Copy {
+        src: ResId,
+        dst: ResId,
+        schedule: ParamId,
+        label: String,
+    },
     Exec {
         kernel: ResId,
         grid: ParamId,
@@ -198,9 +203,23 @@ enum Action {
         schedule: ParamId,
         label: String,
     },
-    User { f: UserFn, schedule: ParamId, label: String },
-    FileOut { mem: ResId, path: PathBuf, schedule: ParamId, label: String },
-    FileIn { mem: ResId, path: PathBuf, schedule: ParamId, label: String },
+    User {
+        f: UserFn,
+        schedule: ParamId,
+        label: String,
+    },
+    FileOut {
+        mem: ResId,
+        path: PathBuf,
+        schedule: ParamId,
+        label: String,
+    },
+    FileIn {
+        mem: ResId,
+        path: PathBuf,
+        schedule: ParamId,
+        label: String,
+    },
 }
 
 /// Result of a §4.4.2-style output validation.
@@ -273,7 +292,11 @@ impl Pipeline {
     // ---- parameters (Table 4.1) ----
 
     fn add_param(&mut self, name: &str, value: ParamValue) -> ParamId {
-        self.params.push(ParamSlot { name: name.to_string(), value, dirty: true });
+        self.params.push(ParamSlot {
+            name: name.to_string(),
+            value,
+            dirty: true,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -323,7 +346,12 @@ impl Pipeline {
     ) -> ParamId {
         self.add_param(
             name,
-            ParamValue::Subset { offset: offset_elems, len: len_elems, stride: stride_elems, reset_period },
+            ParamValue::Subset {
+                offset: offset_elems,
+                len: len_elems,
+                stride: stride_elems,
+                reset_period,
+            },
         )
     }
 
@@ -331,7 +359,12 @@ impl Pipeline {
     pub fn step_param(&mut self, name: &str, start: i64, stride: i64, end: i64) -> ParamId {
         self.add_param(
             name,
-            ParamValue::Step(StepParam { current: start, start, stride, end }),
+            ParamValue::Step(StepParam {
+                current: start,
+                start,
+                stride,
+                end,
+            }),
         )
     }
 
@@ -370,14 +403,20 @@ impl Pipeline {
             ParamValue::Int(v) => *v,
             ParamValue::Step(s) => s.current,
             ParamValue::Bool(b) => i64::from(*b),
-            v => panic!("parameter {} is not an integer: {v:?}", self.params[id.0].name),
+            v => panic!(
+                "parameter {} is not an integer: {v:?}",
+                self.params[id.0].name
+            ),
         }
     }
 
     fn triplet_value(&self, id: ParamId) -> [u32; 3] {
         match &self.params[id.0].value {
             ParamValue::Triplet(v) => *v,
-            v => panic!("parameter {} is not a triplet: {v:?}", self.params[id.0].name),
+            v => panic!(
+                "parameter {} is not a triplet: {v:?}",
+                self.params[id.0].name
+            ),
         }
     }
 
@@ -386,7 +425,10 @@ impl Pipeline {
             ParamValue::Extent { dims, elem_bytes } => {
                 dims[0] as u64 * dims[1] as u64 * dims[2] as u64 * *elem_bytes as u64
             }
-            v => panic!("parameter {} is not an extent: {v:?}", self.params[id.0].name),
+            v => panic!(
+                "parameter {} is not an extent: {v:?}",
+                self.params[id.0].name
+            ),
         }
     }
 
@@ -395,7 +437,10 @@ impl Pipeline {
             ParamValue::Schedule { period, delay } => {
                 iter >= *delay && (*period > 0) && (iter - delay).is_multiple_of(*period)
             }
-            v => panic!("parameter {} is not a schedule: {v:?}", self.params[id.0].name),
+            v => panic!(
+                "parameter {} is not a schedule: {v:?}",
+                self.params[id.0].name
+            ),
         }
     }
 
@@ -411,25 +456,41 @@ impl Pipeline {
     pub fn module(&mut self, source: &str, bindings: Vec<(&str, MacroBinding)>) -> ResId {
         self.add_res(Resource::Module {
             source: source.to_string(),
-            bindings: bindings.into_iter().map(|(n, b)| (n.to_string(), b)).collect(),
+            bindings: bindings
+                .into_iter()
+                .map(|(n, b)| (n.to_string(), b))
+                .collect(),
             binary: None,
         })
     }
 
     pub fn kernel(&mut self, module: ResId, name: &str) -> ResId {
-        self.add_res(Resource::Kernel { module, name: name.to_string() })
+        self.add_res(Resource::Kernel {
+            module,
+            name: name.to_string(),
+        })
     }
 
     pub fn global_memory(&mut self, extent: ParamId) -> ResId {
-        self.add_res(Resource::GlobalMem { extent, addr: None, bytes: 0 })
+        self.add_res(Resource::GlobalMem {
+            extent,
+            addr: None,
+            bytes: 0,
+        })
     }
 
     pub fn host_memory(&mut self, extent: ParamId) -> ResId {
-        self.add_res(Resource::HostMem { extent, data: Vec::new() })
+        self.add_res(Resource::HostMem {
+            extent,
+            data: Vec::new(),
+        })
     }
 
     pub fn constant_memory(&mut self, module: ResId, name: &str) -> ResId {
-        self.add_res(Resource::ConstMem { module, name: name.to_string() })
+        self.add_res(Resource::ConstMem {
+            module,
+            name: name.to_string(),
+        })
     }
 
     /// A moving window over `of`, positioned by a subset parameter. Usable
@@ -441,7 +502,11 @@ impl Pipeline {
     /// A texture reference of `module`, bound to `mem`'s device address
     /// before every kernel execution.
     pub fn texture(&mut self, module: ResId, name: &str, mem: ResId) -> ResId {
-        self.add_res(Resource::Texture { module, name: name.to_string(), mem })
+        self.add_res(Resource::Texture {
+            module,
+            name: name.to_string(),
+            mem,
+        })
     }
 
     /// Fill a host memory resource (before or between runs).
@@ -507,7 +572,9 @@ impl Pipeline {
             panic!("not a kernel resource");
         };
         match &self.resources[module.0] {
-            Resource::Module { binary: Some(b), .. } => b,
+            Resource::Module {
+                binary: Some(b), ..
+            } => b,
             _ => panic!("module not compiled; refresh() first"),
         }
     }
@@ -517,7 +584,12 @@ impl Pipeline {
     /// Single copy function; endpoint memory types determine the transfer
     /// direction, like GPU-PF's one-function copy.
     pub fn copy(&mut self, label: &str, src: ResId, dst: ResId, schedule: ParamId) {
-        self.actions.push(Action::Copy { src, dst, schedule, label: label.to_string() });
+        self.actions.push(Action::Copy {
+            src,
+            dst,
+            schedule,
+            label: label.to_string(),
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -548,10 +620,20 @@ impl Pipeline {
         f: impl FnMut(&mut DeviceState, u64) -> Result<(), PfError> + Send + 'static,
         schedule: ParamId,
     ) {
-        self.actions.push(Action::User { f: Box::new(f), schedule, label: label.to_string() });
+        self.actions.push(Action::User {
+            f: Box::new(f),
+            schedule,
+            label: label.to_string(),
+        });
     }
 
-    pub fn file_out(&mut self, label: &str, mem: ResId, path: impl Into<PathBuf>, schedule: ParamId) {
+    pub fn file_out(
+        &mut self,
+        label: &str,
+        mem: ResId,
+        path: impl Into<PathBuf>,
+        schedule: ParamId,
+    ) {
         self.actions.push(Action::FileOut {
             mem,
             path: path.into(),
@@ -562,7 +644,13 @@ impl Pipeline {
 
     /// Binary data input: read a file into a host or global memory
     /// resource each time the schedule fires (Table 4.4's File I/O).
-    pub fn file_in(&mut self, label: &str, path: impl Into<PathBuf>, mem: ResId, schedule: ParamId) {
+    pub fn file_in(
+        &mut self,
+        label: &str,
+        path: impl Into<PathBuf>,
+        mem: ResId,
+        schedule: ParamId,
+    ) {
         self.actions.push(Action::FileIn {
             mem,
             path: path.into(),
@@ -593,7 +681,11 @@ impl Pipeline {
         for i in 0..self.resources.len() {
             // Split borrows: temporarily take the resource out.
             match &self.resources[i] {
-                Resource::Module { source, bindings, binary } => {
+                Resource::Module {
+                    source,
+                    bindings,
+                    binary,
+                } => {
                     let needs = binary.is_none()
                         || bindings.iter().any(|(_, b)| match b {
                             MacroBinding::Param(p) => dirty.contains(&p.0),
@@ -632,6 +724,11 @@ impl Pipeline {
                             .collect::<Vec<_>>()
                             .join(","),
                     ));
+                    // Surface analysis findings (non-deny severities; deny
+                    // already failed the compile) in the refresh report.
+                    for d in &bin.diagnostics {
+                        self.log.line(&format!("module[{i}]: {d}"));
+                    }
                     let Resource::Module { binary, .. } = &mut self.resources[i] else {
                         unreachable!()
                     };
@@ -644,9 +741,9 @@ impl Pipeline {
                     }
                     let bytes = self.extent_bytes(*extent);
                     let a = self.state.global.alloc(bytes)?;
-                    self.log.line(&format!("global[{i}]: allocated {bytes} B at {a:#x}"));
-                    let Resource::GlobalMem { addr, bytes: b, .. } = &mut self.resources[i]
-                    else {
+                    self.log
+                        .line(&format!("global[{i}]: allocated {bytes} B at {a:#x}"));
+                    let Resource::GlobalMem { addr, bytes: b, .. } = &mut self.resources[i] else {
                         unreachable!()
                     };
                     *addr = Some(a);
@@ -663,8 +760,9 @@ impl Pipeline {
                 }
                 Resource::Texture { module, name, .. } => {
                     // Validate the binding target once the module exists.
-                    if let Resource::Module { binary: Some(bin), .. } =
-                        &self.resources[module.0]
+                    if let Resource::Module {
+                        binary: Some(bin), ..
+                    } = &self.resources[module.0]
                     {
                         if bin.module.texture_index(name).is_none() {
                             return Err(PfError::Spec(format!(
@@ -717,12 +815,16 @@ impl Pipeline {
             for p in &mut self.params {
                 match &mut p.value {
                     ParamValue::Step(s) => s.advance(),
-                    ParamValue::Subset { offset, stride, reset_period, .. } => {
+                    ParamValue::Subset {
+                        offset,
+                        stride,
+                        reset_period,
+                        ..
+                    } => {
                         if *reset_period > 0 && (iter + 1).is_multiple_of(*reset_period) {
                             // Reset to the start of the window cycle.
-                            *offset = offset.wrapping_sub(
-                                (*stride as u64).wrapping_mul(*reset_period - 1),
-                            );
+                            *offset = offset
+                                .wrapping_sub((*stride as u64).wrapping_mul(*reset_period - 1));
                         } else {
                             *offset = offset.wrapping_add(*stride as u64);
                         }
@@ -795,23 +897,28 @@ impl Pipeline {
     fn run_action(&mut self, idx: usize, iter: u64) -> Result<(), PfError> {
         // Determine schedule without holding a borrow on the action.
         let (fires, label) = match &self.actions[idx] {
-            Action::Copy { schedule, label, .. }
-            | Action::Exec { schedule, label, .. }
-            | Action::User { schedule, label, .. }
-            | Action::FileOut { schedule, label, .. }
-            | Action::FileIn { schedule, label, .. } => {
-                (self.schedule_fires(*schedule, iter), label.clone())
+            Action::Copy {
+                schedule, label, ..
             }
+            | Action::Exec {
+                schedule, label, ..
+            }
+            | Action::User {
+                schedule, label, ..
+            }
+            | Action::FileOut {
+                schedule, label, ..
+            }
+            | Action::FileIn {
+                schedule, label, ..
+            } => (self.schedule_fires(*schedule, iter), label.clone()),
         };
         if !fires {
             return Ok(());
         }
         match &mut self.actions[idx] {
             Action::User { f, .. } => {
-                let mut func = std::mem::replace(
-                    f,
-                    Box::new(|_, _| Ok(())),
-                );
+                let mut func = std::mem::replace(f, Box::new(|_, _| Ok(())));
                 let r = func(&mut self.state, iter);
                 // Restore the original closure.
                 if let Action::User { f, .. } = &mut self.actions[idx] {
@@ -831,10 +938,21 @@ impl Pipeline {
                 let (src, dst) = (*src, *dst);
                 let ms = self.do_copy(src, dst)?;
                 self.log.line(&format!("  [copy] {label}: {ms:.6} ms"));
-                self.timings.push(OpTiming { iteration: iter, label: label.to_string(), sim_ms: ms });
+                self.timings.push(OpTiming {
+                    iteration: iter,
+                    label: label.to_string(),
+                    sim_ms: ms,
+                });
                 Ok(())
             }
-            Action::Exec { kernel, grid, block, dynamic_shared, args, .. } => {
+            Action::Exec {
+                kernel,
+                grid,
+                block,
+                dynamic_shared,
+                args,
+                ..
+            } => {
                 // Re-bind every texture resource (their backing memory —
                 // e.g. a moving subset — may have advanced).
                 let bindings: Vec<(String, u64)> = self
@@ -853,7 +971,9 @@ impl Pipeline {
                 let kernel = *kernel;
                 let grid = self.triplet_value(*grid);
                 let block = self.triplet_value(*block);
-                let dyn_sh = dynamic_shared.map(|p| self.int_value(p) as u32).unwrap_or(0);
+                let dyn_sh = dynamic_shared
+                    .map(|p| self.int_value(p) as u32)
+                    .unwrap_or(0);
                 let kargs: Vec<KArg> = args
                     .clone()
                     .iter()
@@ -863,7 +983,10 @@ impl Pipeline {
                     return Err(PfError::Spec(format!("{label}: not a kernel resource")));
                 };
                 let name = name.clone();
-                let Resource::Module { binary: Some(bin), .. } = &self.resources[module.0] else {
+                let Resource::Module {
+                    binary: Some(bin), ..
+                } = &self.resources[module.0]
+                else {
                     return Err(PfError::Spec(format!("{label}: module not compiled")));
                 };
                 let bin = bin.clone();
@@ -872,8 +995,14 @@ impl Pipeline {
                     block: (block[0], block[1], block[2]),
                     dynamic_shared: dyn_sh,
                 };
-                let report =
-                    launch(&mut self.state, &bin.module, &name, dims, &kargs, self.launch_options)?;
+                let report = launch(
+                    &mut self.state,
+                    &bin.module,
+                    &name,
+                    dims,
+                    &kargs,
+                    self.launch_options,
+                )?;
                 self.log.line(&format!(
                     "  [exec] {label}: {} grid=({},{},{}) block=({},{},{}) {:.6} ms, {} regs, occ {:.2}",
                     name,
@@ -902,12 +1031,20 @@ impl Pipeline {
                     Resource::GlobalMem { addr, bytes, .. } => self
                         .state
                         .global
-                        .read_bytes(addr.ok_or_else(|| PfError::Spec("unallocated".into()))?, *bytes)?
+                        .read_bytes(
+                            addr.ok_or_else(|| PfError::Spec("unallocated".into()))?,
+                            *bytes,
+                        )?
                         .to_vec(),
-                    _ => return Err(PfError::Spec("file output needs host or global memory".into())),
+                    _ => {
+                        return Err(PfError::Spec(
+                            "file output needs host or global memory".into(),
+                        ))
+                    }
                 };
                 std::fs::write(&path, bytes).map_err(PfError::Io)?;
-                self.log.line(&format!("  [file] {label}: wrote {}", path.display()));
+                self.log
+                    .line(&format!("  [file] {label}: wrote {}", path.display()));
                 Ok(())
             }
             Action::FileIn { mem, path, .. } => {
@@ -918,7 +1055,9 @@ impl Pipeline {
                         let n = bytes.len().min(data.len());
                         data[..n].copy_from_slice(&bytes[..n]);
                     }
-                    Resource::GlobalMem { addr, bytes: cap, .. } => {
+                    Resource::GlobalMem {
+                        addr, bytes: cap, ..
+                    } => {
                         let a = addr.ok_or_else(|| PfError::Spec("unallocated".into()))?;
                         let n = (bytes.len() as u64).min(*cap);
                         let a2 = a;
@@ -931,7 +1070,8 @@ impl Pipeline {
                         ))
                     }
                 }
-                self.log.line(&format!("  [file] {label}: read {}", path.display()));
+                self.log
+                    .line(&format!("  [file] {label}: read {}", path.display()));
                 Ok(())
             }
             Action::User { .. } => unreachable!("handled by run_action"),
@@ -988,9 +1128,7 @@ impl Pipeline {
                         _ => Err(PfError::Spec("subset of unsupported memory".into())),
                     }
                 }
-                Resource::ConstMem { module, name } => {
-                    Ok((End::Const(*module, name.clone()), 0))
-                }
+                Resource::ConstMem { module, name } => Ok((End::Const(*module, name.clone()), 0)),
                 _ => Err(PfError::Spec("not a memory resource".into())),
             }
         };
@@ -1032,7 +1170,10 @@ impl Pipeline {
                     Resource::HostMem { data, .. } => data.clone(),
                     _ => unreachable!(),
                 };
-                let Resource::Module { binary: Some(bin), .. } = &self.resources[m.0] else {
+                let Resource::Module {
+                    binary: Some(bin), ..
+                } = &self.resources[m.0]
+                else {
                     return Err(PfError::Spec("module not compiled".into()));
                 };
                 let module = bin.module.clone();
@@ -1090,7 +1231,12 @@ mod tests {
             grid,
             blk,
             None,
-            vec![Arg::Mem(dev_in), Arg::Mem(dev_out), Arg::Param(factor), Arg::Param(nparam)],
+            vec![
+                Arg::Mem(dev_in),
+                Arg::Mem(dev_out),
+                Arg::Param(factor),
+                Arg::Param(nparam),
+            ],
             every,
         );
         p.copy("d2h", dev_out, host_out, every);
@@ -1240,7 +1386,15 @@ mod tests {
         let blk = p.triplet_param("b", [64, 1, 1]);
         let n = p.int_param("n", frame as i64);
         p.copy("load", host_all, dev_all, once);
-        p.exec("copy_tex", k, grid, blk, None, vec![Arg::Mem(dev_out), Arg::Param(n)], every);
+        p.exec(
+            "copy_tex",
+            k,
+            grid,
+            blk,
+            None,
+            vec![Arg::Mem(dev_out), Arg::Param(n)],
+            every,
+        );
         p.copy("out", dev_out, host_out, every);
         p.refresh().unwrap();
         let data: Vec<f32> = (0..frame * 2).map(|i| i as f32).collect();
@@ -1280,7 +1434,10 @@ mod tests {
         p.refresh().unwrap();
         p.set_host_f32(host_c, &[9.0, 8.0, 7.0, 6.0]);
         p.run(1).unwrap();
-        assert_eq!(p.host_f32(host_o), vec![9.0, 8.0, 7.0, 6.0, 9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(
+            p.host_f32(host_o),
+            vec![9.0, 8.0, 7.0, 6.0, 9.0, 8.0, 7.0, 6.0]
+        );
     }
 
     #[test]
@@ -1403,7 +1560,12 @@ mod tests {
             grid,
             blk,
             None,
-            vec![Arg::Mem(dev), Arg::Param(ai), Arg::Param(af), Arg::Param(ab)],
+            vec![
+                Arg::Mem(dev),
+                Arg::Param(ai),
+                Arg::Param(af),
+                Arg::Param(ab),
+            ],
             every,
         );
         p.copy("d2h", dev, host, every);
@@ -1449,5 +1611,42 @@ mod tests {
         assert!(text.contains("refresh"), "{text}");
         assert!(text.contains("-D FACTOR=2"), "{text}");
         assert!(text.contains("pipeline iteration 0"), "{text}");
+    }
+
+    #[test]
+    fn refresh_logs_analysis_diagnostics() {
+        let buf = Arc::new(parking_lot::Mutex::new(Vec::<u8>::new()));
+        struct W(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl std::io::Write for W {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // Column-major access: every warp load touches 32 segments, which
+        // the analyzer flags as KSA005 (warn — the refresh still succeeds).
+        let src = r#"
+            __global__ void colmajor(float* a, float* out) {
+                int t = (int)threadIdx.x;
+                out[t] = a[t * 32];
+            }
+        "#;
+        let cfg = ks_core::AnalysisConfig {
+            block_dim: Some((64, 1, 1)),
+            ..Default::default()
+        };
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()).with_analysis(cfg));
+        let mut p = Pipeline::new(c, 32 << 20);
+        p.set_logger(Box::new(W(buf.clone())));
+        let _m = p.module(src, vec![]);
+        p.refresh().unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert!(
+            text.contains("KSA005"),
+            "diagnostic missing from log: {text}"
+        );
     }
 }

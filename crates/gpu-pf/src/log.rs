@@ -15,7 +15,9 @@ impl Logger {
     }
 
     pub fn new(w: Box<dyn Write + Send>) -> Logger {
-        Logger { sink: Some(Mutex::new(w)) }
+        Logger {
+            sink: Some(Mutex::new(w)),
+        }
     }
 
     pub fn enabled(&self) -> bool {
@@ -57,6 +59,9 @@ mod tests {
         }
         let l = Logger::new(Box::new(W(buf.clone())));
         l.line("hello");
-        assert_eq!(String::from_utf8(buf.lock().clone()).unwrap(), "[gpu-pf] hello\n");
+        assert_eq!(
+            String::from_utf8(buf.lock().clone()).unwrap(),
+            "[gpu-pf] hello\n"
+        );
     }
 }

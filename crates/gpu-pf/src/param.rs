@@ -14,13 +14,12 @@ pub struct StepParam {
 impl StepParam {
     pub fn advance(&mut self) {
         let next = self.current + self.stride;
-        self.current = if (self.stride > 0 && next >= self.end)
-            || (self.stride < 0 && next <= self.end)
-        {
-            self.start
-        } else {
-            next
-        };
+        self.current =
+            if (self.stride > 0 && next >= self.end) || (self.stride < 0 && next <= self.end) {
+                self.start
+            } else {
+                next
+            };
     }
 }
 
@@ -29,12 +28,23 @@ impl StepParam {
 pub enum ParamValue {
     /// Geometry (up to three dimensions) and element size of a memory
     /// reference ("Memory Extent").
-    Extent { dims: [u32; 3], elem_bytes: u32 },
+    Extent {
+        dims: [u32; 3],
+        elem_bytes: u32,
+    },
     /// Subrange of a memory extent with a per-iteration stride
     /// ("Memory Subset"): `offset`/`len`/`stride` in elements.
-    Subset { offset: u64, len: u64, stride: i64, reset_period: u64 },
+    Subset {
+        offset: u64,
+        len: u64,
+        stride: i64,
+        reset_period: u64,
+    },
     /// Period between events and delay before the first occurrence.
-    Schedule { period: u64, delay: u64 },
+    Schedule {
+        period: u64,
+        delay: u64,
+    },
     Int(i64),
     Float(f64),
     Ptr(u64),
@@ -52,7 +62,12 @@ mod tests {
 
     #[test]
     fn step_wraps_at_end() {
-        let mut s = StepParam { current: 0, start: 0, stride: 3, end: 9 };
+        let mut s = StepParam {
+            current: 0,
+            start: 0,
+            stride: 3,
+            end: 9,
+        };
         let mut seen = vec![s.current];
         for _ in 0..5 {
             s.advance();
@@ -63,7 +78,12 @@ mod tests {
 
     #[test]
     fn negative_stride_step() {
-        let mut s = StepParam { current: 10, start: 10, stride: -5, end: 0 };
+        let mut s = StepParam {
+            current: 10,
+            start: 10,
+            stride: -5,
+            end: 0,
+        };
         s.advance();
         assert_eq!(s.current, 5);
         s.advance();

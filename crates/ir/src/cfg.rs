@@ -53,7 +53,12 @@ impl Cfg {
         for (i, b) in post.iter().enumerate() {
             rpo_pos[b.0 as usize] = i;
         }
-        Cfg { succs, preds, rpo: post, rpo_pos }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_pos,
+        }
     }
 
     pub fn num_blocks(&self) -> usize {
@@ -188,7 +193,11 @@ mod tests {
             blocks: blocks
                 .into_iter()
                 .enumerate()
-                .map(|(i, term)| BasicBlock { id: BlockId(i as u32), insts: vec![], term })
+                .map(|(i, term)| BasicBlock {
+                    id: BlockId(i as u32),
+                    insts: vec![],
+                    term,
+                })
                 .collect(),
             vreg_types: vec![Ty::Pred],
             shared: vec![],
@@ -200,7 +209,12 @@ mod tests {
     #[test]
     fn diamond_ipdom() {
         let f = func_with(vec![
-            Terminator::CondBr { pred: VReg(0), negate: false, then_t: BlockId(1), else_t: BlockId(2) },
+            Terminator::CondBr {
+                pred: VReg(0),
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
             Terminator::Br { target: BlockId(3) },
             Terminator::Br { target: BlockId(3) },
             Terminator::Ret,
@@ -218,7 +232,12 @@ mod tests {
     fn loop_ipdom_is_exit() {
         let f = func_with(vec![
             Terminator::Br { target: BlockId(1) },
-            Terminator::CondBr { pred: VReg(0), negate: false, then_t: BlockId(1), else_t: BlockId(2) },
+            Terminator::CondBr {
+                pred: VReg(0),
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
             Terminator::Ret,
         ]);
         let cfg = Cfg::build(&f);
@@ -249,11 +268,21 @@ mod tests {
     #[test]
     fn guarded_loop_ipdoms() {
         let f = func_with(vec![
-            Terminator::CondBr { pred: VReg(0), negate: false, then_t: BlockId(2), else_t: BlockId(3) },
+            Terminator::CondBr {
+                pred: VReg(0),
+                negate: false,
+                then_t: BlockId(2),
+                else_t: BlockId(3),
+            },
             Terminator::Ret,
             Terminator::Br { target: BlockId(4) },
             Terminator::Br { target: BlockId(1) },
-            Terminator::CondBr { pred: VReg(0), negate: false, then_t: BlockId(5), else_t: BlockId(7) },
+            Terminator::CondBr {
+                pred: VReg(0),
+                negate: false,
+                then_t: BlockId(5),
+                else_t: BlockId(7),
+            },
             Terminator::Br { target: BlockId(6) },
             Terminator::Br { target: BlockId(4) },
             Terminator::Br { target: BlockId(3) },
@@ -281,7 +310,12 @@ mod tests {
     #[test]
     fn preds_and_succs() {
         let f = func_with(vec![
-            Terminator::CondBr { pred: VReg(0), negate: false, then_t: BlockId(1), else_t: BlockId(2) },
+            Terminator::CondBr {
+                pred: VReg(0),
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
             Terminator::Br { target: BlockId(2) },
             Terminator::Ret,
         ]);

@@ -212,11 +212,17 @@ pub struct Address {
 
 impl Address {
     pub fn reg(base: VReg) -> Self {
-        Address { base: Some(base), offset: 0 }
+        Address {
+            base: Some(base),
+            offset: 0,
+        }
     }
 
     pub fn reg_off(base: VReg, offset: i64) -> Self {
-        Address { base: Some(base), offset }
+        Address {
+            base: Some(base),
+            offset,
+        }
     }
 
     pub fn abs(offset: i64) -> Self {
@@ -240,21 +246,65 @@ pub enum Inst {
     /// `mov.ty dst, src`
     Mov { ty: Ty, dst: VReg, src: Operand },
     /// `op.ty dst, a, b`
-    Bin { op: BinOp, ty: Ty, dst: VReg, a: Operand, b: Operand },
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
     /// `op.ty dst, a`
-    Un { op: UnOp, ty: Ty, dst: VReg, a: Operand },
+    Un {
+        op: UnOp,
+        ty: Ty,
+        dst: VReg,
+        a: Operand,
+    },
     /// Fused multiply-add: `mad.ty dst, a, b, c` = a*b + c.
-    Mad { ty: Ty, dst: VReg, a: Operand, b: Operand, c: Operand },
+    Mad {
+        ty: Ty,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `setp.cmp.ty dst, a, b` — writes a predicate register.
-    Setp { cmp: CmpOp, ty: Ty, dst: VReg, a: Operand, b: Operand },
+    Setp {
+        cmp: CmpOp,
+        ty: Ty,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
     /// `selp.ty dst, a, b, pred` — dst = pred ? a : b.
-    Selp { ty: Ty, dst: VReg, a: Operand, b: Operand, pred: VReg },
+    Selp {
+        ty: Ty,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        pred: VReg,
+    },
     /// Type conversion `cvt.dst_ty.src_ty`.
-    Cvt { dst_ty: Ty, src_ty: Ty, dst: VReg, src: Operand },
+    Cvt {
+        dst_ty: Ty,
+        src_ty: Ty,
+        dst: VReg,
+        src: Operand,
+    },
     /// `ld.space.ty dst, [addr]`
-    Ld { space: Space, ty: Ty, dst: VReg, addr: Address },
+    Ld {
+        space: Space,
+        ty: Ty,
+        dst: VReg,
+        addr: Address,
+    },
     /// `st.space.ty [addr], src`
-    St { space: Space, ty: Ty, addr: Address, src: Operand },
+    St {
+        space: Space,
+        ty: Ty,
+        addr: Address,
+        src: Operand,
+    },
     /// `bar.sync 0` — block-wide barrier.
     Bar,
     /// Read a special register into a regular one.
@@ -262,7 +312,12 @@ pub enum Inst {
     /// Unfiltered 1-D texture fetch from linear memory
     /// (`tex1Dfetch`): `dst = tex[idx]`, where `tex` indexes the module's
     /// texture-reference table and `idx` is an element index.
-    Tex { ty: Ty, dst: VReg, tex: u32, idx: Operand },
+    Tex {
+        ty: Ty,
+        dst: VReg,
+        tex: u32,
+        idx: Operand,
+    },
 }
 
 impl Inst {
@@ -398,7 +453,12 @@ pub enum Terminator {
     /// Unconditional branch.
     Br { target: BlockId },
     /// Conditional branch on a predicate register.
-    CondBr { pred: VReg, negate: bool, then_t: BlockId, else_t: BlockId },
+    CondBr {
+        pred: VReg,
+        negate: bool,
+        then_t: BlockId,
+        else_t: BlockId,
+    },
     /// Return from kernel.
     Ret,
 }

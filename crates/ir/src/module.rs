@@ -71,7 +71,10 @@ impl Function {
 
     /// Total bytes of parameter space used by this kernel's arguments.
     pub fn param_bytes(&self) -> u32 {
-        self.params.last().map(|p| p.offset + p.ty.size_bytes()).unwrap_or(0)
+        self.params
+            .last()
+            .map(|p| p.offset + p.ty.size_bytes())
+            .unwrap_or(0)
     }
 
     /// Total static shared memory required per block, in bytes.
@@ -133,7 +136,10 @@ impl Module {
 
     /// Index of a texture reference by name.
     pub fn texture_index(&self, name: &str) -> Option<u32> {
-        self.textures.iter().position(|t| t == name).map(|i| i as u32)
+        self.textures
+            .iter()
+            .position(|t| t == name)
+            .map(|i| i as u32)
     }
 }
 
@@ -147,7 +153,11 @@ mod tests {
         Function {
             name: "k".into(),
             params: vec![],
-            blocks: vec![BasicBlock { id: BlockId(0), insts: vec![], term: Terminator::Ret }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                insts: vec![],
+                term: Terminator::Ret,
+            }],
             vreg_types: vec![],
             shared: vec![],
             local_bytes: 0,
@@ -170,8 +180,16 @@ mod tests {
     fn param_bytes_accounts_for_offsets() {
         let mut f = empty_fn();
         f.params = vec![
-            KernelParam { name: "in".into(), ty: Ty::Ptr(Space::Global), offset: 0 },
-            KernelParam { name: "n".into(), ty: Ty::S32, offset: 8 },
+            KernelParam {
+                name: "in".into(),
+                ty: Ty::Ptr(Space::Global),
+                offset: 0,
+            },
+            KernelParam {
+                name: "n".into(),
+                ty: Ty::S32,
+                offset: 8,
+            },
         ];
         assert_eq!(f.param_bytes(), 12);
         assert!(f.param("n").is_some());
@@ -181,13 +199,25 @@ mod tests {
     #[test]
     fn shared_and_const_totals() {
         let mut f = empty_fn();
-        f.shared.push(SharedDecl { name: "tile".into(), offset: 0, size_bytes: 1024 });
-        f.shared.push(SharedDecl { name: "buf".into(), offset: 1024, size_bytes: 512 });
+        f.shared.push(SharedDecl {
+            name: "tile".into(),
+            offset: 0,
+            size_bytes: 1024,
+        });
+        f.shared.push(SharedDecl {
+            name: "buf".into(),
+            offset: 1024,
+            size_bytes: 512,
+        });
         assert_eq!(f.shared_bytes(), 1536);
 
         let m = Module {
             functions: vec![f],
-            consts: vec![ConstDecl { name: "filt".into(), offset: 0, size_bytes: 128 }],
+            consts: vec![ConstDecl {
+                name: "filt".into(),
+                offset: 0,
+                size_bytes: 128,
+            }],
             textures: vec![],
         };
         assert_eq!(m.const_bytes(), 128);
@@ -199,7 +229,11 @@ mod tests {
     fn static_inst_count_includes_terminators() {
         let mut f = empty_fn();
         let r = f.new_vreg(Ty::S32);
-        f.blocks[0].insts.push(Inst::Mov { ty: Ty::S32, dst: r, src: Operand::ImmI(1) });
+        f.blocks[0].insts.push(Inst::Mov {
+            ty: Ty::S32,
+            dst: r,
+            src: Operand::ImmI(1),
+        });
         assert_eq!(f.static_inst_count(), 2);
     }
 }

@@ -1,9 +1,12 @@
-//! IR verifier: structural and type sanity checks run after codegen and
-//! after every optimization pass (in debug builds of the pipeline).
+//! IR verifier: structural and type sanity checks. The ks-core pipeline
+//! runs [`verify_module`] after lowering and after each optimization pass
+//! that changed a function — in debug builds always, in release builds
+//! whenever an analysis configuration is attached to the compiler — and
+//! once more on the final module in every build.
 
-use crate::inst::{Inst, Operand, VReg};
 #[cfg(test)]
 use crate::inst::Terminator;
+use crate::inst::{Inst, Operand, VReg};
 use crate::module::{BlockId, Function, Module};
 use crate::types::{Space, Ty};
 use std::fmt;
@@ -46,7 +49,10 @@ impl<'a> Checker<'a> {
         if (r.0 as usize) < self.f.vreg_types.len() {
             Some(self.f.vreg_types[r.0 as usize])
         } else {
-            self.err(format!("register {r} out of range ({} declared)", self.f.vreg_types.len()));
+            self.err(format!(
+                "register {r} out of range ({} declared)",
+                self.f.vreg_types.len()
+            ));
             None
         }
     }
@@ -63,7 +69,9 @@ impl<'a> Checker<'a> {
                         || (ty.is_ptr() && (expect.is_ptr() || expect.is_integer()))
                         || (expect.is_ptr() && ty.is_integer());
                     if !compatible {
-                        self.err(format!("operand {r} has type {ty}, instruction expects {expect}"));
+                        self.err(format!(
+                            "operand {r} has type {ty}, instruction expects {expect}"
+                        ));
                     }
                 }
             }
@@ -88,7 +96,9 @@ impl<'a> Checker<'a> {
                 || (expect.is_ptr() && ty.is_integer())
                 || (ty.is_ptr() && expect.is_ptr());
             if !ok {
-                self.err(format!("dst {dst} has type {ty}, instruction writes {expect}"));
+                self.err(format!(
+                    "dst {dst} has type {ty}, instruction writes {expect}"
+                ));
             }
         }
     }
@@ -133,7 +143,13 @@ impl<'a> Checker<'a> {
                 self.check_operand(a, *ty);
                 self.check_operand(b, *ty);
             }
-            Inst::Selp { ty, dst, a, b, pred } => {
+            Inst::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            } => {
                 self.check_dst(*dst, *ty);
                 self.check_operand(a, *ty);
                 self.check_operand(b, *ty);
@@ -143,11 +159,21 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            Inst::Cvt { dst_ty, src_ty, dst, src } => {
+            Inst::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => {
                 self.check_dst(*dst, *dst_ty);
                 self.check_operand(src, *src_ty);
             }
-            Inst::Ld { space, ty, dst, addr } => {
+            Inst::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => {
                 self.check_dst(*dst, *ty);
                 if let Some(b) = addr.base {
                     self.check_reg(b);
@@ -156,7 +182,12 @@ impl<'a> Checker<'a> {
                     self.err("param-space loads must use absolute offsets");
                 }
             }
-            Inst::St { space, ty, addr, src } => {
+            Inst::St {
+                space,
+                ty,
+                addr,
+                src,
+            } => {
                 self.check_operand(src, *ty);
                 if let Some(b) = addr.base {
                     self.check_reg(b);
@@ -179,7 +210,11 @@ impl<'a> Checker<'a> {
 
 /// Verify one function. Returns all problems found (empty = valid).
 pub fn verify_function(f: &Function) -> Vec<VerifyError> {
-    let mut c = Checker { f, errors: vec![], block: None };
+    let mut c = Checker {
+        f,
+        errors: vec![],
+        block: None,
+    };
     if f.blocks.is_empty() {
         c.err("function has no blocks");
         return c.errors;
@@ -246,7 +281,11 @@ mod tests {
         Function {
             name: "t".into(),
             params: vec![],
-            blocks: vec![BasicBlock { id: BlockId(0), insts, term: Terminator::Ret }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                insts,
+                term: Terminator::Ret,
+            }],
             vreg_types,
             shared: vec![],
             local_bytes: 0,
@@ -271,7 +310,11 @@ mod tests {
     #[test]
     fn out_of_range_register_caught() {
         let f = func(
-            vec![Inst::Mov { ty: Ty::S32, dst: VReg(5), src: Operand::ImmI(0) }],
+            vec![Inst::Mov {
+                ty: Ty::S32,
+                dst: VReg(5),
+                src: Operand::ImmI(0),
+            }],
             vec![Ty::S32],
         );
         let errs = verify_function(&f);
@@ -282,7 +325,11 @@ mod tests {
     #[test]
     fn type_mismatch_caught() {
         let f = func(
-            vec![Inst::Mov { ty: Ty::F32, dst: VReg(0), src: Operand::ImmI(3) }],
+            vec![Inst::Mov {
+                ty: Ty::F32,
+                dst: VReg(0),
+                src: Operand::ImmI(3),
+            }],
             vec![Ty::F32],
         );
         let errs = verify_function(&f);
@@ -316,7 +363,11 @@ mod tests {
     fn const_memory_limit_enforced() {
         let m = Module {
             functions: vec![],
-            consts: vec![ConstDecl { name: "big".into(), offset: 0, size_bytes: 65 * 1024 }],
+            consts: vec![ConstDecl {
+                name: "big".into(),
+                offset: 0,
+                size_bytes: 65 * 1024,
+            }],
             textures: vec![],
         };
         let errs = verify_module(&m);

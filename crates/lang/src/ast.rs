@@ -123,7 +123,10 @@ pub enum Expr {
 
 impl Expr {
     pub fn int(v: i64) -> Expr {
-        Expr::IntLit { value: v, unsigned: false }
+        Expr::IntLit {
+            value: v,
+            unsigned: false,
+        }
     }
 }
 
@@ -145,7 +148,11 @@ pub struct Decl {
 pub enum Stmt {
     Decl(Decl),
     Expr(Expr),
-    If { cond: Expr, then_s: Box<Stmt>, else_s: Option<Box<Stmt>> },
+    If {
+        cond: Expr,
+        then_s: Box<Stmt>,
+        else_s: Option<Box<Stmt>>,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,
@@ -155,8 +162,14 @@ pub enum Stmt {
         /// `Some(None)` = full unroll requested, `Some(Some(n))` = factor n.
         unroll: Option<Option<u32>>,
     },
-    While { cond: Expr, body: Box<Stmt> },
-    DoWhile { body: Box<Stmt>, cond: Expr },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+    },
     Return(Option<Expr>),
     Break,
     Continue,

@@ -146,7 +146,9 @@ impl<'a> Lexer<'a> {
                 self.pos = save;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string();
         if is_float || matches!(self.peek(), Some(b'f') | Some(b'F')) {
             if matches!(self.peek(), Some(b'f') | Some(b'F')) {
                 self.bump();
@@ -154,7 +156,9 @@ impl<'a> Lexer<'a> {
             let v: f32 = text.parse().map_err(|_| self.err("bad float literal"))?;
             Ok(Tok::Float(v))
         } else {
-            let value: i64 = text.parse().map_err(|_| self.err("integer literal out of range"))?;
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.err("integer literal out of range"))?;
             let unsigned = self.consume_int_suffix() || value > i32::MAX as i64;
             Ok(Tok::Int { value, unsigned })
         }
@@ -164,7 +168,10 @@ impl<'a> Lexer<'a> {
         let mut unsigned = false;
         // Accept any combination of u/U/l/L suffixes; we model only 32-bit
         // kernels so `l` is accepted and ignored.
-        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
             if matches!(self.peek(), Some(b'u') | Some(b'U')) {
                 unsigned = true;
             }
@@ -267,7 +274,13 @@ impl<'a> Lexer<'a> {
 
 /// Lex a full source string.
 pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
-    let mut lx = Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, line_start: true };
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        line_start: true,
+    };
     let mut out = Vec::new();
     loop {
         lx.skip_trivia()?;
@@ -279,7 +292,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
             while matches!(lx.peek(), Some(ch) if ch.is_ascii_alphanumeric() || ch == b'_') {
                 lx.bump();
             }
-            Tok::Ident(std::str::from_utf8(&lx.src[start..lx.pos]).unwrap().to_string())
+            Tok::Ident(
+                std::str::from_utf8(&lx.src[start..lx.pos])
+                    .unwrap()
+                    .to_string(),
+            )
         } else if c.is_ascii_digit()
             // leading-dot float literals like `.5f`
             || (c == b'.' && matches!(lx.peek2(), Some(d) if d.is_ascii_digit()))
@@ -288,7 +305,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
         } else {
             Tok::Punct(lx.lex_punct()?)
         };
-        out.push(Token { tok, line, col, line_start });
+        out.push(Token {
+            tok,
+            line,
+            col,
+            line_start,
+        });
     }
     Ok(out)
 }
@@ -309,9 +331,18 @@ mod tests {
             vec![
                 Tok::ident("foo"),
                 Tok::ident("bar_2"),
-                Tok::Int { value: 42, unsigned: false },
-                Tok::Int { value: 31, unsigned: false },
-                Tok::Int { value: 7, unsigned: true },
+                Tok::Int {
+                    value: 42,
+                    unsigned: false
+                },
+                Tok::Int {
+                    value: 31,
+                    unsigned: false
+                },
+                Tok::Int {
+                    value: 7,
+                    unsigned: true
+                },
             ]
         );
     }
@@ -375,7 +406,11 @@ mod tests {
     fn member_access_lexes_as_dot() {
         assert_eq!(
             toks("threadIdx.x"),
-            vec![Tok::ident("threadIdx"), Tok::Punct(Punct::Dot), Tok::ident("x")]
+            vec![
+                Tok::ident("threadIdx"),
+                Tok::Punct(Punct::Dot),
+                Tok::ident("x")
+            ]
         );
     }
 
@@ -389,7 +424,10 @@ mod tests {
         // Pointer-style values used for specialized PTR_IN constants.
         assert_eq!(
             toks("0x200ca0200"),
-            vec![Tok::Int { value: 0x200ca0200, unsigned: true }]
+            vec![Tok::Int {
+                value: 0x200ca0200,
+                unsigned: true
+            }]
         );
     }
 }

@@ -56,7 +56,11 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(self.err(format!("expected '{}', found {:?}", p.as_str(), self.peek())))
+            Err(self.err(format!(
+                "expected '{}', found {:?}",
+                p.as_str(),
+                self.peek()
+            )))
         }
     }
 
@@ -153,23 +157,31 @@ impl Parser {
             if dims.is_empty() {
                 return Err(self.err("__constant__ declarations must be arrays"));
             }
-            return Ok(Item::Constant(ConstantDecl { name, elem: ty, dims }));
+            return Ok(Item::Constant(ConstantDecl {
+                name,
+                elem: ty,
+                dims,
+            }));
         }
-        let kind = kind.ok_or_else(|| {
-            self.err("top-level functions must be __global__ or __device__")
-        })?;
+        let kind =
+            kind.ok_or_else(|| self.err("top-level functions must be __global__ or __device__"))?;
         self.expect_punct(Punct::LParen)?;
         let mut params = Vec::new();
         if !self.eat_punct(Punct::RParen) {
             loop {
                 // `const` in parameter types accepted and ignored.
                 while self.eat_ident("const") {}
-                let pty = self.try_type().ok_or_else(|| self.err("expected parameter type"))?;
+                let pty = self
+                    .try_type()
+                    .ok_or_else(|| self.err("expected parameter type"))?;
                 while self.eat_ident("const") {}
                 // `restrict` / `__restrict__` accepted and ignored.
                 while self.eat_ident("__restrict__") || self.eat_ident("restrict") {}
                 let pname = self.expect_ident()?;
-                params.push(FnParam { name: pname, ty: pty });
+                params.push(FnParam {
+                    name: pname,
+                    ty: pty,
+                });
                 if self.eat_punct(Punct::RParen) {
                     break;
                 }
@@ -178,7 +190,13 @@ impl Parser {
         }
         self.expect_punct(Punct::LBrace)?;
         let body = self.block_body()?;
-        Ok(Item::Func(FuncDef { kind, name, ret: ty, params, body }))
+        Ok(Item::Func(FuncDef {
+            kind,
+            name,
+            ret: ty,
+            params,
+            body,
+        }))
     }
 
     fn block_body(&mut self) -> Result<Vec<Stmt>, LangError> {
@@ -204,9 +222,19 @@ impl Parser {
             };
             let s = self.stmt()?;
             return match s {
-                Stmt::For { init, cond, step, body, .. } => {
-                    Ok(Stmt::For { init, cond, step, body, unroll: Some(factor) })
-                }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    unroll: Some(factor),
+                }),
                 other => Ok(other), // pragma on a non-loop: ignored
             };
         }
@@ -221,9 +249,16 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(Punct::RParen)?;
             let then_s = Box::new(self.stmt()?);
-            let else_s =
-                if self.eat_ident("else") { Some(Box::new(self.stmt()?)) } else { None };
-            return Ok(Stmt::If { cond, then_s, else_s });
+            let else_s = if self.eat_ident("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            });
         }
         if self.eat_ident("for") {
             self.expect_punct(Punct::LParen)?;
@@ -245,7 +280,13 @@ impl Parser {
             };
             self.expect_punct(Punct::RParen)?;
             let body = Box::new(self.stmt()?);
-            return Ok(Stmt::For { init, cond, step, body, unroll: None });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                unroll: None,
+            });
         }
         if self.eat_ident("while") {
             self.expect_punct(Punct::LParen)?;
@@ -315,7 +356,14 @@ impl Parser {
                 } else {
                     None
                 };
-                decls.push(Stmt::Decl(Decl { name, ty: dty, dims, init, shared, is_const }));
+                decls.push(Stmt::Decl(Decl {
+                    name,
+                    ty: dty,
+                    dims,
+                    init,
+                    shared,
+                    is_const,
+                }));
                 if self.eat_punct(Punct::Semi) {
                     break;
                 }
@@ -553,7 +601,9 @@ mod tests {
         "#;
         let tu = parse_src(src);
         assert_eq!(tu.items.len(), 1);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
         assert_eq!(f.kind, FnKind::Kernel);
         assert_eq!(f.name, "mathTest");
         assert_eq!(f.params.len(), 5);
@@ -574,10 +624,14 @@ mod tests {
             }
         "#;
         let tu = parse_src(src);
-        let Item::Constant(c) = &tu.items[0] else { panic!() };
+        let Item::Constant(c) = &tu.items[0] else {
+            panic!()
+        };
         assert_eq!(c.name, "filt");
         assert_eq!(c.dims.len(), 1);
-        let Item::Func(f) = &tu.items[1] else { panic!() };
+        let Item::Func(f) = &tu.items[1] else {
+            panic!()
+        };
         let Stmt::Decl(d) = &f.body[0] else { panic!() };
         assert!(d.shared);
         assert_eq!(d.dims.len(), 2);
@@ -593,8 +647,12 @@ mod tests {
             }
         "#;
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
-        let Stmt::For { unroll, .. } = &f.body[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
+        let Stmt::For { unroll, .. } = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(*unroll, Some(Some(4)));
     }
 
@@ -609,7 +667,9 @@ mod tests {
             }
         "#;
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
         let Stmt::Decl(d) = &f.body[0] else { panic!() };
         assert!(matches!(d.init, Some(Expr::Cast(TypeSpec::Int, _))));
         let Stmt::Decl(d2) = &f.body[2] else { panic!() };
@@ -620,10 +680,16 @@ mod tests {
     fn operator_precedence() {
         let src = "__global__ void k(int* o, int a, int b) { o[0] = a + b * 2 << 1; }";
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
-        let Stmt::Expr(Expr::Assign(_, _, rhs)) = &f.body[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
+        let Stmt::Expr(Expr::Assign(_, _, rhs)) = &f.body[0] else {
+            panic!()
+        };
         // ((a + (b*2)) << 1)
-        let Expr::Binary(BinaryOp::Shl, l, _) = rhs.as_ref() else { panic!() };
+        let Expr::Binary(BinaryOp::Shl, l, _) = rhs.as_ref() else {
+            panic!()
+        };
         assert!(matches!(l.as_ref(), Expr::Binary(BinaryOp::Add, _, _)));
     }
 
@@ -631,7 +697,9 @@ mod tests {
     fn multiple_declarators() {
         let src = "__global__ void k(int* o) { int a = 1, b = 2; o[0] = a + b; }";
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
         assert!(matches!(&f.body[0], Stmt::Multi(v) if v.len() == 2));
     }
 
@@ -639,8 +707,12 @@ mod tests {
     fn ternary_and_compound_assign() {
         let src = "__global__ void k(int* o, int a) { o[0] += a > 0 ? a : -a; }";
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
-        let Stmt::Expr(Expr::Assign(AssignOp::Add, _, rhs)) = &f.body[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
+        let Stmt::Expr(Expr::Assign(AssignOp::Add, _, rhs)) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(rhs.as_ref(), Expr::Cond(..)));
     }
 
@@ -651,7 +723,9 @@ mod tests {
             __global__ void k(float* o) { o[0] = square(3.0f); }
         "#;
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
         assert_eq!(f.kind, FnKind::Device);
         assert_eq!(f.ret, TypeSpec::Float);
     }
@@ -674,7 +748,9 @@ mod tests {
             }
         "#;
         let tu = parse_src(src);
-        let Item::Func(f) = &tu.items[0] else { panic!() };
+        let Item::Func(f) = &tu.items[0] else {
+            panic!()
+        };
         assert!(matches!(&f.body[1], Stmt::While { .. }));
         assert!(matches!(&f.body[2], Stmt::DoWhile { .. }));
     }

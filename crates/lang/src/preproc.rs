@@ -54,20 +54,25 @@ pub fn preprocess(
     tokens: Vec<Token>,
     defines: &[(String, String)],
 ) -> Result<Vec<Token>, LangError> {
-    let mut pp = Pp { macros: BTreeMap::new(), out: Vec::new() };
+    let mut pp = Pp {
+        macros: BTreeMap::new(),
+        out: Vec::new(),
+    };
     for (name, value) in defines {
         let body = if value.is_empty() {
-            vec![Tok::Int { value: 1, unsigned: false }]
+            vec![Tok::Int {
+                value: 1,
+                unsigned: false,
+            }]
         } else {
             crate::lexer::lex(value)
-                .map_err(|e| {
-                    err(None, format!("in -D {name}={value}: {}", e.message))
-                })?
+                .map_err(|e| err(None, format!("in -D {name}={value}: {}", e.message)))?
                 .into_iter()
                 .map(|t| t.tok)
                 .collect()
         };
-        pp.macros.insert(name.clone(), MacroDef { params: None, body });
+        pp.macros
+            .insert(name.clone(), MacroDef { params: None, body });
     }
 
     // Conditional-inclusion stack: (currently_active, any_branch_taken).
@@ -133,7 +138,11 @@ impl Pp {
                 Ok(())
             }
             "if" => {
-                let cond = if active { self.eval_condition(rest)? != 0 } else { false };
+                let cond = if active {
+                    self.eval_condition(rest)? != 0
+                } else {
+                    false
+                };
                 conds.push((cond, cond));
                 Ok(())
             }
@@ -142,8 +151,11 @@ impl Pp {
                     return Err(err(line.first(), "#elif without #if"));
                 };
                 let parent_active = conds[..conds.len() - 1].iter().all(|&(a, _)| a);
-                let cond =
-                    if parent_active && !taken { self.eval_condition(rest)? != 0 } else { false };
+                let cond = if parent_active && !taken {
+                    self.eval_condition(rest)? != 0
+                } else {
+                    false
+                };
                 let last = conds.last_mut().unwrap();
                 last.0 = cond;
                 last.1 = taken || cond;
@@ -178,7 +190,10 @@ impl Pp {
                     // Optional count: `#pragma unroll 4` or `#pragma unroll(4)`.
                     for t in &rest[1..] {
                         if let Tok::Int { .. } = t.tok {
-                            self.out.push(Token { line_start: false, ..t.clone() });
+                            self.out.push(Token {
+                                line_start: false,
+                                ..t.clone()
+                            });
                         }
                     }
                 }
@@ -235,7 +250,13 @@ impl Pp {
                 }
             }
             let body = rest[i..].iter().map(|t| t.tok.clone()).collect();
-            self.macros.insert(name, MacroDef { params: Some(params), body });
+            self.macros.insert(
+                name,
+                MacroDef {
+                    params: Some(params),
+                    body,
+                },
+            );
         } else {
             let body = rest[1..].iter().map(|t| t.tok.clone()).collect();
             self.macros.insert(name, MacroDef { params: None, body });
@@ -293,9 +314,11 @@ impl Pp {
                         i += 1;
                         continue;
                     }
-                    let (args, consumed) = collect_args(&line[i + 1..])
-                        .ok_or_else(|| err(Some(t), format!("unterminated call to macro {name}")))?;
-                    if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
+                    let (args, consumed) = collect_args(&line[i + 1..]).ok_or_else(|| {
+                        err(Some(t), format!("unterminated call to macro {name}"))
+                    })?;
+                    if args.len() != params.len()
+                        && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
                     {
                         return Err(err(
                             Some(t),
@@ -357,7 +380,10 @@ impl Pp {
                 };
                 let v = i64::from(self.macros.contains_key(n));
                 resolved.push(Token {
-                    tok: Tok::Int { value: v, unsigned: false },
+                    tok: Tok::Int {
+                        value: v,
+                        unsigned: false,
+                    },
                     line: toks[i].line,
                     col: toks[i].col,
                     line_start: false,
@@ -371,7 +397,10 @@ impl Pp {
         let mut expanded = Vec::new();
         self.expand(&resolved, &HashSet::new(), &mut expanded)?;
         // Remaining identifiers evaluate to 0, per C semantics.
-        let mut p = CondParser { toks: &expanded, pos: 0 };
+        let mut p = CondParser {
+            toks: &expanded,
+            pos: 0,
+        };
         let v = p.ternary()?;
         if p.pos != p.toks.len() {
             return Err(err(p.toks.get(p.pos), "trailing tokens in #if expression"));
@@ -512,10 +541,16 @@ mod tests {
     use crate::lexer::lex;
 
     fn pp(src: &str, defs: &[(&str, &str)]) -> Result<String, LangError> {
-        let defs: Vec<(String, String)> =
-            defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let defs: Vec<(String, String)> = defs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
         let toks = preprocess(lex(src)?, &defs)?;
-        Ok(toks.iter().map(|t| t.tok.to_string()).collect::<Vec<_>>().join(" "))
+        Ok(toks
+            .iter()
+            .map(|t| t.tok.to_string())
+            .collect::<Vec<_>>()
+            .join(" "))
     }
 
     #[test]
@@ -525,7 +560,10 @@ mod tests {
 
     #[test]
     fn command_line_define_wins_like_nvcc_d() {
-        assert_eq!(pp("int x = TILE_W;", &[("TILE_W", "32")]).unwrap(), "int x = 32 ;");
+        assert_eq!(
+            pp("int x = TILE_W;", &[("TILE_W", "32")]).unwrap(),
+            "int x = 32 ;"
+        );
         // Bare flag define becomes 1.
         assert_eq!(pp("int x = FLAG;", &[("FLAG", "")]).unwrap(), "int x = 1 ;");
     }
@@ -545,12 +583,18 @@ mod tests {
 
     #[test]
     fn nested_macros_expand() {
-        assert_eq!(pp("#define A B\n#define B 7\nint x = A;", &[]).unwrap(), "int x = 7 ;");
+        assert_eq!(
+            pp("#define A B\n#define B 7\nint x = A;", &[]).unwrap(),
+            "int x = 7 ;"
+        );
     }
 
     #[test]
     fn self_reference_does_not_loop() {
-        assert_eq!(pp("#define X X + 1\nint y = X;", &[]).unwrap(), "int y = X + 1 ;");
+        assert_eq!(
+            pp("#define X X + 1\nint y = X;", &[]).unwrap(),
+            "int y = X + 1 ;"
+        );
     }
 
     #[test]
@@ -562,7 +606,8 @@ mod tests {
 
     #[test]
     fn if_expression_with_defined_and_arith() {
-        let src = "#if defined(A) && A >= 20\nint hi;\n#elif defined(A)\nint lo;\n#else\nint no;\n#endif";
+        let src =
+            "#if defined(A) && A >= 20\nint hi;\n#elif defined(A)\nint lo;\n#else\nint no;\n#endif";
         assert_eq!(pp(src, &[("A", "32")]).unwrap(), "int hi ;");
         assert_eq!(pp(src, &[("A", "8")]).unwrap(), "int lo ;");
         assert_eq!(pp(src, &[]).unwrap(), "int no ;");
@@ -591,7 +636,10 @@ mod tests {
     #[test]
     fn error_directive_fires_only_when_active() {
         assert!(pp("#error boom", &[]).is_err());
-        assert_eq!(pp("#if 0\n#error boom\n#endif\nint x;", &[]).unwrap(), "int x ;");
+        assert_eq!(
+            pp("#if 0\n#error boom\n#endif\nint x;", &[]).unwrap(),
+            "int x ;"
+        );
     }
 
     #[test]
@@ -612,12 +660,18 @@ mod tests {
 
     #[test]
     fn undefined_ident_in_if_is_zero() {
-        assert_eq!(pp("#if WAT\nint a;\n#else\nint b;\n#endif", &[]).unwrap(), "int b ;");
+        assert_eq!(
+            pp("#if WAT\nint a;\n#else\nint b;\n#endif", &[]).unwrap(),
+            "int b ;"
+        );
     }
 
     #[test]
     fn zero_arg_function_macro() {
-        assert_eq!(pp("#define F() 42\nint x = F();", &[]).unwrap(), "int x = 42 ;");
+        assert_eq!(
+            pp("#define F() 42\nint x = F();", &[]).unwrap(),
+            "int x = 42 ;"
+        );
     }
 
     #[test]

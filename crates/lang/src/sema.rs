@@ -132,7 +132,10 @@ pub mod hir {
     /// Typed expressions.
     #[derive(Debug, Clone, PartialEq)]
     pub enum HExpr {
-        IntLit { value: i64, ty: HTy },
+        IntLit {
+            value: i64,
+            ty: HTy,
+        },
         FloatLit(f32),
         /// Read a scalar local.
         Local(LocalId, HTy),
@@ -156,9 +159,17 @@ pub mod hir {
         TexFetch(TexId, Box<HExpr>, Elem),
         Call(BuiltinFn, Vec<HExpr>, HTy),
         /// Numeric or pointer cast.
-        Cast { to: HTy, from: HTy, val: Box<HExpr> },
+        Cast {
+            to: HTy,
+            from: HTy,
+            val: Box<HExpr>,
+        },
         /// Pointer + element offset (scaled by element size at codegen).
-        PtrAdd { ptr: Box<HExpr>, offset: Box<HExpr>, elem: Elem },
+        PtrAdd {
+            ptr: Box<HExpr>,
+            offset: Box<HExpr>,
+            elem: Elem,
+        },
     }
 
     impl HExpr {
@@ -183,15 +194,25 @@ pub mod hir {
         }
 
         pub fn int(v: i64) -> HExpr {
-            HExpr::IntLit { value: v, ty: HTy::Int }
+            HExpr::IntLit {
+                value: v,
+                ty: HTy::Int,
+            }
         }
     }
 
     /// Typed statements. Control flow stays structured for unrolling.
     #[derive(Debug, Clone, PartialEq)]
     pub enum HStmt {
-        Assign { place: Place, value: HExpr },
-        If { cond: HExpr, then_s: Vec<HStmt>, else_s: Vec<HStmt> },
+        Assign {
+            place: Place,
+            value: HExpr,
+        },
+        If {
+            cond: HExpr,
+            then_s: Vec<HStmt>,
+            else_s: Vec<HStmt>,
+        },
         For {
             init: Vec<HStmt>,
             cond: Option<HExpr>,
@@ -199,8 +220,14 @@ pub mod hir {
             body: Vec<HStmt>,
             unroll: Option<Option<u32>>,
         },
-        While { cond: HExpr, body: Vec<HStmt> },
-        DoWhile { body: Vec<HStmt>, cond: HExpr },
+        While {
+            cond: HExpr,
+            body: Vec<HStmt>,
+        },
+        DoWhile {
+            body: Vec<HStmt>,
+            cond: HExpr,
+        },
         Break,
         Continue,
         /// `return;` from a kernel.
@@ -386,12 +413,20 @@ impl<'a> FnCtx<'a> {
     }
 
     fn declare(&mut self, name: &str, sym: Sym) {
-        self.scopes.last_mut().unwrap().insert(name.to_string(), sym);
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), sym);
     }
 
     fn new_local(&mut self, name: &str, ty: HTy, array_len: u32, elem: Elem) -> LocalId {
         let id = LocalId(self.locals.len() as u32);
-        self.locals.push(HLocal { name: name.to_string(), elem, ty, array_len });
+        self.locals.push(HLocal {
+            name: name.to_string(),
+            elem,
+            ty,
+            array_len,
+        });
         self.declare(name, Sym::Local(id));
         id
     }
@@ -437,12 +472,16 @@ impl<'a> FnCtx<'a> {
                 out.push(HStmt::Return);
                 Ok(())
             }
-            Stmt::Return(Some(_)) => {
-                Err(serr("kernels cannot return a value (device functions are inlined)"))
-            }
+            Stmt::Return(Some(_)) => Err(serr(
+                "kernels cannot return a value (device functions are inlined)",
+            )),
             Stmt::Decl(d) => self.decl(d, out),
             Stmt::Expr(e) => self.expr_stmt(e, out),
-            Stmt::If { cond, then_s, else_s } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 let cond = self.condition(cond, out)?;
                 let mut t = Vec::new();
                 self.scopes.push(HashMap::new());
@@ -454,10 +493,20 @@ impl<'a> FnCtx<'a> {
                     self.stmt(es, &mut e)?;
                     self.scopes.pop();
                 }
-                out.push(HStmt::If { cond, then_s: t, else_s: e });
+                out.push(HStmt::If {
+                    cond,
+                    then_s: t,
+                    else_s: e,
+                });
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, unroll } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                unroll,
+            } => {
                 self.scopes.push(HashMap::new());
                 let mut i = Vec::new();
                 if let Some(s) = init {
@@ -481,7 +530,13 @@ impl<'a> FnCtx<'a> {
                 let mut b = Vec::new();
                 self.stmt(body, &mut b)?;
                 self.scopes.pop();
-                out.push(HStmt::For { init: i, cond: c, step: st, body: b, unroll: *unroll });
+                out.push(HStmt::For {
+                    init: i,
+                    cond: c,
+                    step: st,
+                    body: b,
+                    unroll: *unroll,
+                });
                 Ok(())
             }
             Stmt::While { cond, body } => {
@@ -516,7 +571,10 @@ impl<'a> FnCtx<'a> {
     fn decl(&mut self, d: &ast::Decl, out: &mut Vec<HStmt>) -> Result<(), LangError> {
         if d.shared {
             if d.init.is_some() {
-                return Err(serr(format!("__shared__ {} cannot have an initializer", d.name)));
+                return Err(serr(format!(
+                    "__shared__ {} cannot have an initializer",
+                    d.name
+                )));
             }
             let elem = lower_type(&d.ty)?
                 .as_elem()
@@ -531,7 +589,10 @@ impl<'a> FnCtx<'a> {
                     ))
                 })?;
                 if v <= 0 {
-                    return Err(serr(format!("__shared__ {}: non-positive dimension", d.name)));
+                    return Err(serr(format!(
+                        "__shared__ {}: non-positive dimension",
+                        d.name
+                    )));
                 }
                 len *= v as u64;
             }
@@ -539,11 +600,18 @@ impl<'a> FnCtx<'a> {
                 return Err(serr(format!("__shared__ {} must be an array", d.name)));
             }
             let id = SharedId(self.shared.len() as u32);
-            self.shared.push(HShared { name: d.name.clone(), elem, len: len as u32 });
+            self.shared.push(HShared {
+                name: d.name.clone(),
+                elem,
+                len: len as u32,
+            });
             // Record flattened row strides for multi-dim indexing.
             self.declare(&d.name, Sym::Shared(id));
             self.shared_dims.push(
-                d.dims.iter().map(|e| const_eval_ast(e).unwrap() as u32).collect(),
+                d.dims
+                    .iter()
+                    .map(|e| const_eval_ast(e).unwrap() as u32)
+                    .collect(),
             );
             return Ok(());
         }
@@ -569,7 +637,10 @@ impl<'a> FnCtx<'a> {
             let id = self.new_local(&d.name, HTy::from_elem(elem), len as u32, elem);
             self.local_dims.insert(
                 id,
-                d.dims.iter().map(|e| const_eval_ast(e).unwrap() as u32).collect(),
+                d.dims
+                    .iter()
+                    .map(|e| const_eval_ast(e).unwrap() as u32)
+                    .collect(),
             );
             if d.init.is_some() {
                 return Err(serr("array initializers are not supported"));
@@ -581,7 +652,10 @@ impl<'a> FnCtx<'a> {
         if let Some(init) = &d.init {
             let v = self.expr(init, out)?;
             let v = self.coerce(v, ty)?;
-            out.push(HStmt::Assign { place: Place::Local(id), value: v });
+            out.push(HStmt::Assign {
+                place: Place::Local(id),
+                value: v,
+            });
         }
         Ok(())
     }
@@ -605,20 +679,34 @@ impl<'a> FnCtx<'a> {
                 out.push(HStmt::Assign { place, value });
                 Ok(())
             }
-            Expr::Unary(op @ (UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec), inner) => {
+            Expr::Unary(
+                op @ (UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec),
+                inner,
+            ) => {
                 let (place, pty) = self.place(inner, out)?;
-                let delta = if matches!(op, UnaryOp::PreInc | UnaryOp::PostInc) { 1 } else { -1 };
+                let delta = if matches!(op, UnaryOp::PreInc | UnaryOp::PostInc) {
+                    1
+                } else {
+                    -1
+                };
                 let cur = self.load_of(&place, pty);
                 let one = match pty {
                     HTy::Float => HExpr::FloatLit(delta as f32),
-                    _ => HExpr::IntLit { value: delta, ty: pty },
+                    _ => HExpr::IntLit {
+                        value: delta,
+                        ty: pty,
+                    },
                 };
                 let value = if pty == HTy::Ptr(Elem::Int)
                     || pty == HTy::Ptr(Elem::UInt)
                     || pty == HTy::Ptr(Elem::Float)
                 {
                     let HTy::Ptr(e) = pty else { unreachable!() };
-                    HExpr::PtrAdd { ptr: Box::new(cur), offset: Box::new(HExpr::int(delta)), elem: e }
+                    HExpr::PtrAdd {
+                        ptr: Box::new(cur),
+                        offset: Box::new(HExpr::int(delta)),
+                        elem: e,
+                    }
                 } else {
                     HExpr::Binary(HBinOp::Add, pty, Box::new(cur), Box::new(one))
                 };
@@ -667,9 +755,13 @@ impl<'a> FnCtx<'a> {
             Expr::Unary(UnaryOp::Deref, inner) => {
                 let p = self.expr(inner, out)?;
                 match p.ty() {
-                    HTy::Ptr(elem) => {
-                        Ok((Place::Deref { ptr: Box::new(p), elem }, HTy::from_elem(elem)))
-                    }
+                    HTy::Ptr(elem) => Ok((
+                        Place::Deref {
+                            ptr: Box::new(p),
+                            elem,
+                        },
+                        HTy::from_elem(elem),
+                    )),
                     t => Err(serr(format!("cannot dereference non-pointer type {t:?}"))),
                 }
             }
@@ -701,19 +793,13 @@ impl<'a> FnCtx<'a> {
                     let dims = self.shared_dims[id.0 as usize].clone();
                     let flat = self.flatten_index(&dims, &indices, out)?;
                     let elem = self.shared[id.0 as usize].elem;
-                    return Ok((
-                        Place::SharedElem(id, Box::new(flat)),
-                        HTy::from_elem(elem),
-                    ));
+                    return Ok((Place::SharedElem(id, Box::new(flat)), HTy::from_elem(elem)));
                 }
                 Some(Sym::Local(id)) if self.locals[id.0 as usize].array_len > 0 => {
                     let dims = self.local_dims[&id].clone();
                     let flat = self.flatten_index(&dims, &indices, out)?;
                     let elem = self.locals[id.0 as usize].elem;
-                    return Ok((
-                        Place::LocalElem(id, Box::new(flat)),
-                        HTy::from_elem(elem),
-                    ));
+                    return Ok((Place::LocalElem(id, Box::new(flat)), HTy::from_elem(elem)));
                 }
                 Some(Sym::Const(_id)) => {
                     if indices.len() != 1 {
@@ -727,7 +813,9 @@ impl<'a> FnCtx<'a> {
         }
         // Pointer indexing: p[i] = *(p + i). Only single index.
         if indices.len() != 1 {
-            return Err(serr("multi-dimensional indexing requires an array variable"));
+            return Err(serr(
+                "multi-dimensional indexing requires an array variable",
+            ));
         }
         let p = self.expr(root, out)?;
         let HTy::Ptr(elem) = p.ty() else {
@@ -735,8 +823,18 @@ impl<'a> FnCtx<'a> {
         };
         let i = self.expr(indices[0], out)?;
         let i = self.coerce_int(i)?;
-        let ptr = HExpr::PtrAdd { ptr: Box::new(p), offset: Box::new(i), elem };
-        Ok((Place::Deref { ptr: Box::new(ptr), elem }, HTy::from_elem(elem)))
+        let ptr = HExpr::PtrAdd {
+            ptr: Box::new(p),
+            offset: Box::new(i),
+            elem,
+        };
+        Ok((
+            Place::Deref {
+                ptr: Box::new(ptr),
+                elem,
+            },
+            HTy::from_elem(elem),
+        ))
     }
 
     fn flatten_index(
@@ -779,12 +877,18 @@ impl<'a> FnCtx<'a> {
         let v = self.expr(e, out)?;
         Ok(match v.ty() {
             HTy::Bool => v,
-            HTy::Float => {
-                HExpr::Cmp(HCmp::Ne, HTy::Float, Box::new(v), Box::new(HExpr::FloatLit(0.0)))
-            }
-            t @ (HTy::Int | HTy::UInt) => {
-                HExpr::Cmp(HCmp::Ne, t, Box::new(v), Box::new(HExpr::IntLit { value: 0, ty: t }))
-            }
+            HTy::Float => HExpr::Cmp(
+                HCmp::Ne,
+                HTy::Float,
+                Box::new(v),
+                Box::new(HExpr::FloatLit(0.0)),
+            ),
+            t @ (HTy::Int | HTy::UInt) => HExpr::Cmp(
+                HCmp::Ne,
+                t,
+                Box::new(v),
+                Box::new(HExpr::IntLit { value: 0, ty: t }),
+            ),
             HTy::Ptr(_) => {
                 return Err(serr("pointers cannot be used as conditions"));
             }
@@ -794,7 +898,11 @@ impl<'a> FnCtx<'a> {
     fn coerce_int(&self, e: HExpr) -> Result<HExpr, LangError> {
         match e.ty() {
             HTy::Int | HTy::UInt => Ok(e),
-            HTy::Bool => Ok(HExpr::Cast { to: HTy::Int, from: HTy::Bool, val: Box::new(e) }),
+            HTy::Bool => Ok(HExpr::Cast {
+                to: HTy::Int,
+                from: HTy::Bool,
+                val: Box::new(e),
+            }),
             t => Err(serr(format!("expected integer index, got {t:?}"))),
         }
     }
@@ -821,17 +929,19 @@ impl<'a> FnCtx<'a> {
                 | (HTy::UInt, HTy::Ptr(_))
         );
         if !ok {
-            return Err(serr(format!("cannot implicitly convert {from:?} to {target:?}")));
+            return Err(serr(format!(
+                "cannot implicitly convert {from:?} to {target:?}"
+            )));
         }
-        Ok(HExpr::Cast { to: target, from, val: Box::new(e) })
+        Ok(HExpr::Cast {
+            to: target,
+            from,
+            val: Box::new(e),
+        })
     }
 
     /// C usual arithmetic conversions (simplified to our three scalars).
-    fn usual_conversions(
-        &self,
-        a: HExpr,
-        b: HExpr,
-    ) -> Result<(HExpr, HExpr, HTy), LangError> {
+    fn usual_conversions(&self, a: HExpr, b: HExpr) -> Result<(HExpr, HExpr, HTy), LangError> {
         let (ta, tb) = (a.ty(), b.ty());
         // Pointer arithmetic handled by the caller.
         let target = match (ta, tb) {
@@ -842,13 +952,7 @@ impl<'a> FnCtx<'a> {
         Ok((self.coerce(a, target)?, self.coerce(b, target)?, target))
     }
 
-    fn binary_typed(
-        &self,
-        op: BinaryOp,
-        a: HExpr,
-        b: HExpr,
-        ty: HTy,
-    ) -> Result<HExpr, LangError> {
+    fn binary_typed(&self, op: BinaryOp, a: HExpr, b: HExpr, ty: HTy) -> Result<HExpr, LangError> {
         let h = match op {
             BinaryOp::Add => HBinOp::Add,
             BinaryOp::Sub => HBinOp::Sub,
@@ -862,7 +966,11 @@ impl<'a> FnCtx<'a> {
             BinaryOp::BitXor => HBinOp::Xor,
             _ => return Err(serr("not an arithmetic operator")),
         };
-        if ty == HTy::Float && matches!(h, HBinOp::Rem | HBinOp::Shl | HBinOp::Shr | HBinOp::And | HBinOp::Or | HBinOp::Xor)
+        if ty == HTy::Float
+            && matches!(
+                h,
+                HBinOp::Rem | HBinOp::Shl | HBinOp::Shr | HBinOp::And | HBinOp::Or | HBinOp::Xor
+            )
         {
             return Err(serr(format!("operator {op:?} requires integer operands")));
         }
@@ -915,7 +1023,10 @@ impl<'a> FnCtx<'a> {
                 let p = self.expr(inner, out)?;
                 match p.ty() {
                     HTy::Ptr(elem) => Ok(HExpr::Load(
-                        Place::Deref { ptr: Box::new(p), elem },
+                        Place::Deref {
+                            ptr: Box::new(p),
+                            elem,
+                        },
                         HTy::from_elem(elem),
                     )),
                     t => Err(serr(format!("cannot dereference {t:?}"))),
@@ -925,9 +1036,11 @@ impl<'a> FnCtx<'a> {
                 let v = self.expr(x, out)?;
                 match v.ty() {
                     HTy::Float => Ok(HExpr::Unary(HUnOp::Neg, HTy::Float, Box::new(v))),
-                    HTy::Int | HTy::UInt => {
-                        Ok(HExpr::Unary(HUnOp::Neg, HTy::Int, Box::new(self.coerce(v, HTy::Int)?)))
-                    }
+                    HTy::Int | HTy::UInt => Ok(HExpr::Unary(
+                        HUnOp::Neg,
+                        HTy::Int,
+                        Box::new(self.coerce(v, HTy::Int)?),
+                    )),
                     t => Err(serr(format!("cannot negate {t:?}"))),
                 }
             }
@@ -966,8 +1079,12 @@ impl<'a> FnCtx<'a> {
                 // by the comparison arm below).
                 let is_cmp = matches!(
                     op,
-                    BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
-                        | BinaryOp::Eq | BinaryOp::Ne
+                    BinaryOp::Lt
+                        | BinaryOp::Le
+                        | BinaryOp::Gt
+                        | BinaryOp::Ge
+                        | BinaryOp::Eq
+                        | BinaryOp::Ne
                 );
                 if let (HTy::Ptr(elem), false) = (va.ty(), is_cmp) {
                     return match op {
@@ -982,7 +1099,11 @@ impl<'a> FnCtx<'a> {
                                 HTy::Int,
                                 Box::new(self.coerce(vb, HTy::Int)?),
                             );
-                            Ok(HExpr::PtrAdd { ptr: Box::new(va), offset: Box::new(neg), elem })
+                            Ok(HExpr::PtrAdd {
+                                ptr: Box::new(va),
+                                offset: Box::new(neg),
+                                elem,
+                            })
                         }
                         _ => Err(serr("only + and - are defined on pointers")),
                     };
@@ -998,7 +1119,11 @@ impl<'a> FnCtx<'a> {
                     return Err(serr("invalid pointer operation"));
                 }
                 match op {
-                    BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq
+                    BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+                    | BinaryOp::Eq
                     | BinaryOp::Ne => {
                         // Pointer comparisons compare the addresses.
                         if let (HTy::Ptr(e), HTy::Ptr(_)) = (va.ty(), vb.ty()) {
@@ -1011,12 +1136,7 @@ impl<'a> FnCtx<'a> {
                                 BinaryOp::Ne => HCmp::Ne,
                                 _ => unreachable!(),
                             };
-                            return Ok(HExpr::Cmp(
-                                c,
-                                HTy::Ptr(e),
-                                Box::new(va),
-                                Box::new(vb),
-                            ));
+                            return Ok(HExpr::Cmp(c, HTy::Ptr(e), Box::new(va), Box::new(vb)));
                         }
                         let (a, b, ty) = self.usual_conversions(va, vb)?;
                         let c = match op {
@@ -1068,7 +1188,11 @@ impl<'a> FnCtx<'a> {
         if from == to {
             return Ok(v);
         }
-        Ok(HExpr::Cast { to, from, val: Box::new(v) })
+        Ok(HExpr::Cast {
+            to,
+            from,
+            val: Box::new(v),
+        })
     }
 
     fn call(
@@ -1083,7 +1207,9 @@ impl<'a> FnCtx<'a> {
                 return Err(serr("tex1Dfetch expects (texref, index)"));
             }
             let Expr::Ident(tex_name) = &args[0] else {
-                return Err(serr("tex1Dfetch's first argument must be a texture reference"));
+                return Err(serr(
+                    "tex1Dfetch's first argument must be a texture reference",
+                ));
             };
             let Some(Sym::Texture(id)) = self.lookup(tex_name) else {
                 return Err(serr(format!("{tex_name} is not a texture reference")));
@@ -1125,8 +1251,10 @@ impl<'a> FnCtx<'a> {
                 | BuiltinFn::Floorf
                 | BuiltinFn::Fminf
                 | BuiltinFn::Fmaxf => {
-                    let vals: Result<Vec<_>, _> =
-                        vals.into_iter().map(|v| self.coerce(v, HTy::Float)).collect();
+                    let vals: Result<Vec<_>, _> = vals
+                        .into_iter()
+                        .map(|v| self.coerce(v, HTy::Float))
+                        .collect();
                     (vals?, HTy::Float)
                 }
                 BuiltinFn::MinI | BuiltinFn::MaxI | BuiltinFn::AbsI | BuiltinFn::Mul24 => {
@@ -1135,8 +1263,10 @@ impl<'a> FnCtx<'a> {
                     (vals?, HTy::Int)
                 }
                 BuiltinFn::MinU | BuiltinFn::MaxU | BuiltinFn::UMul24 => {
-                    let vals: Result<Vec<_>, _> =
-                        vals.into_iter().map(|v| self.coerce(v, HTy::UInt)).collect();
+                    let vals: Result<Vec<_>, _> = vals
+                        .into_iter()
+                        .map(|v| self.coerce(v, HTy::UInt))
+                        .collect();
                     (vals?, HTy::UInt)
                 }
             };
@@ -1168,7 +1298,10 @@ impl<'a> FnCtx<'a> {
             let id = self.new_local(&format!("{name}.{}", p.name), ty, 0, elem);
             // Rebind the *parameter name* in the inline scope.
             self.declare(&p.name, Sym::Local(id));
-            out.push(HStmt::Assign { place: Place::Local(id), value: v });
+            out.push(HStmt::Assign {
+                place: Place::Local(id),
+                value: v,
+            });
         }
         // Body: all statements except a trailing `return expr;`.
         let (last, rest) = def
@@ -1243,7 +1376,10 @@ pub fn check(tu: &TranslationUnit) -> Result<Program, LangError> {
                 }
                 let id = TexId(textures.len() as u32);
                 tex_ids.insert(t.name.clone(), id);
-                textures.push(HTex { name: t.name.clone(), elem });
+                textures.push(HTex {
+                    name: t.name.clone(),
+                    elem,
+                });
             }
             Item::Constant(c) => {
                 let elem = lower_type(&c.elem)?
@@ -1267,7 +1403,11 @@ pub fn check(tu: &TranslationUnit) -> Result<Program, LangError> {
                 }
                 let id = ConstId(consts.len() as u32);
                 const_ids.insert(c.name.clone(), id);
-                consts.push(HConst { name: c.name.clone(), elem, len: len as u32 });
+                consts.push(HConst {
+                    name: c.name.clone(),
+                    elem,
+                    len: len as u32,
+                });
             }
             Item::Func(f) => match f.kind {
                 FnKind::Device => {
@@ -1294,7 +1434,10 @@ pub fn check(tu: &TranslationUnit) -> Result<Program, LangError> {
         for p in &f.params {
             let ty = lower_type(&p.ty)?;
             let id = ParamId(ctx.params.len() as u32);
-            ctx.params.push(HParam { name: p.name.clone(), ty });
+            ctx.params.push(HParam {
+                name: p.name.clone(),
+                ty,
+            });
             ctx.declare(&p.name, Sym::Param(id));
         }
         let mut body = Vec::new();
@@ -1307,7 +1450,11 @@ pub fn check(tu: &TranslationUnit) -> Result<Program, LangError> {
             body,
         });
     }
-    Ok(Program { kernels, consts, textures })
+    Ok(Program {
+        kernels,
+        consts,
+        textures,
+    })
 }
 
 #[cfg(test)]
@@ -1318,8 +1465,10 @@ mod tests {
     use crate::preproc::preprocess;
 
     fn check_src(src: &str, defs: &[(&str, &str)]) -> Result<Program, LangError> {
-        let defs: Vec<(String, String)> =
-            defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let defs: Vec<(String, String)> = defs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
         check(&parse(preprocess(lex(src).unwrap(), &defs).unwrap()).unwrap())
     }
 
@@ -1368,7 +1517,10 @@ mod tests {
         let p = check_src(src, &[]).unwrap();
         assert_eq!(p.kernels[0].shared[0].len, 32);
         // The store index should be y*8 + x.
-        let HStmt::Assign { place: Place::SharedElem(_, idx), .. } = &p.kernels[0].body[0]
+        let HStmt::Assign {
+            place: Place::SharedElem(_, idx),
+            ..
+        } = &p.kernels[0].body[0]
         else {
             panic!()
         };
@@ -1439,9 +1591,7 @@ mod tests {
 
     #[test]
     fn assignment_to_param_rejected() {
-        assert!(
-            check_src("__global__ void k(int* o, int a) { a = 3; o[0] = a; }", &[]).is_err()
-        );
+        assert!(check_src("__global__ void k(int* o, int a) { a = 3; o[0] = a; }", &[]).is_err());
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub enum Tok {
     Ident(String),
     /// Integer literal; `unsigned` reflects a `u`/`U` suffix or a value
     /// that only fits unsigned.
-    Int { value: i64, unsigned: bool },
+    Int {
+        value: i64,
+        unsigned: bool,
+    },
     Float(f32),
     Punct(Punct),
 }
@@ -161,13 +164,22 @@ pub struct LangError {
 
 impl LangError {
     pub fn new(stage: &'static str, line: u32, col: u32, message: impl Into<String>) -> Self {
-        LangError { stage, line, col, message: message.into() }
+        LangError {
+            stage,
+            line,
+            col,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error at {}:{}: {}", self.stage, self.line, self.col, self.message)
+        write!(
+            f,
+            "{} error at {}:{}: {}",
+            self.stage, self.line, self.col, self.message
+        )
     }
 }
 

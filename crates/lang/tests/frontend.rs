@@ -5,8 +5,10 @@ use ks_lang::{frontend, lexer, parser, preproc};
 use proptest::prelude::*;
 
 fn check(src: &str, defs: &[(&str, &str)]) -> Result<ks_lang::hir::Program, ks_lang::LangError> {
-    let defs: Vec<(String, String)> =
-        defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+    let defs: Vec<(String, String)> = defs
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
     frontend(src, &defs)
 }
 

@@ -27,10 +27,18 @@ pub fn run(f: &mut Function) -> usize {
             if let Some(d) = i.def() {
                 defs[d.0 as usize] += 1;
             }
-            if let Inst::Bin { op: BinOp::Add, ty, dst, a, b } = i {
+            if let Inst::Bin {
+                op: BinOp::Add,
+                ty,
+                dst,
+                a,
+                b,
+            } = i
+            {
                 if matches!(ty, Ty::Ptr(_) | Ty::S32 | Ty::U32) {
                     match (a, b) {
-                        (Operand::Reg(r), Operand::ImmI(c)) | (Operand::ImmI(c), Operand::Reg(r)) => {
+                        (Operand::Reg(r), Operand::ImmI(c))
+                        | (Operand::ImmI(c), Operand::Reg(r)) => {
                             add_of.insert(*dst, (*r, *c));
                         }
                         _ => {}
@@ -88,7 +96,10 @@ mod tests {
         f.blocks.push(BasicBlock {
             id: BlockId(0),
             insts: vec![
-                Inst::Special { dst: base, reg: SpecialReg::TidX },
+                Inst::Special {
+                    dst: base,
+                    reg: SpecialReg::TidX,
+                },
                 Inst::Bin {
                     op: BinOp::Add,
                     ty: Ty::Ptr(Space::Global),
@@ -96,7 +107,12 @@ mod tests {
                     a: base.into(),
                     b: Operand::ImmI(84),
                 },
-                Inst::Ld { space: Space::Global, ty: Ty::F32, dst: val, addr: Address::reg(sum) },
+                Inst::Ld {
+                    space: Space::Global,
+                    ty: Ty::F32,
+                    dst: val,
+                    addr: Address::reg(sum),
+                },
             ],
             term: Terminator::Ret,
         });
@@ -125,7 +141,11 @@ mod tests {
         f.blocks.push(BasicBlock {
             id: BlockId(0),
             insts: vec![
-                Inst::Mov { ty: Ty::Ptr(Space::Global), dst: a, src: Operand::ImmI(0x100) },
+                Inst::Mov {
+                    ty: Ty::Ptr(Space::Global),
+                    dst: a,
+                    src: Operand::ImmI(0x100),
+                },
                 Inst::Bin {
                     op: BinOp::Add,
                     ty: Ty::Ptr(Space::Global),
@@ -133,7 +153,12 @@ mod tests {
                     a: a.into(),
                     b: Operand::ImmI(4),
                 },
-                Inst::Ld { space: Space::Global, ty: Ty::F32, dst: v, addr: Address::reg(a) },
+                Inst::Ld {
+                    space: Space::Global,
+                    ty: Ty::F32,
+                    dst: v,
+                    addr: Address::reg(a),
+                },
             ],
             term: Terminator::Ret,
         });

@@ -109,27 +109,53 @@ pub fn run(f: &mut Function) -> usize {
                 continue;
             }
             match i {
-                Inst::Mov { src: Operand::ImmI(v), .. } => {
+                Inst::Mov {
+                    src: Operand::ImmI(v),
+                    ..
+                } => {
                     known.insert(d, Operand::ImmI(*v));
                 }
-                Inst::Mov { src: Operand::ImmF(v), .. } => {
+                Inst::Mov {
+                    src: Operand::ImmF(v),
+                    ..
+                } => {
                     known.insert(d, Operand::ImmF(*v));
                 }
-                Inst::Mov { src: Operand::Reg(s), .. }
-                    if counts[s.0 as usize] == 1 => {
-                        copies.insert(d, *s);
-                    }
-                Inst::Bin { op, ty, a: Operand::ImmI(x), b: Operand::ImmI(y), .. } => {
+                Inst::Mov {
+                    src: Operand::Reg(s),
+                    ..
+                } if counts[s.0 as usize] == 1 => {
+                    copies.insert(d, *s);
+                }
+                Inst::Bin {
+                    op,
+                    ty,
+                    a: Operand::ImmI(x),
+                    b: Operand::ImmI(y),
+                    ..
+                } => {
                     if let Some(v) = eval_bin(*op, *ty, *x, *y) {
                         known.insert(d, Operand::ImmI(v));
                     }
                 }
-                Inst::Bin { op, ty: Ty::F32, a: Operand::ImmF(x), b: Operand::ImmF(y), .. } => {
+                Inst::Bin {
+                    op,
+                    ty: Ty::F32,
+                    a: Operand::ImmF(x),
+                    b: Operand::ImmF(y),
+                    ..
+                } => {
                     if let Some(v) = eval_bin_f(*op, *x, *y) {
                         known.insert(d, Operand::ImmF(v));
                     }
                 }
-                Inst::Setp { cmp, ty, a: Operand::ImmI(x), b: Operand::ImmI(y), .. } => {
+                Inst::Setp {
+                    cmp,
+                    ty,
+                    a: Operand::ImmI(x),
+                    b: Operand::ImmI(y),
+                    ..
+                } => {
                     let r = if *ty == Ty::U32 {
                         cmp_int(*cmp, (*x as u32) as i64, (*y as u32) as i64)
                     } else {
@@ -174,10 +200,18 @@ pub fn run(f: &mut Function) -> usize {
             }
         }
         // Simplify conditional branches on known predicates.
-        if let ks_ir::Terminator::CondBr { pred, negate, then_t, else_t } = b.term {
+        if let ks_ir::Terminator::CondBr {
+            pred,
+            negate,
+            then_t,
+            else_t,
+        } = b.term
+        {
             if let Some(Operand::ImmI(v)) = known.get(&pred) {
                 let taken = (*v != 0) ^ negate;
-                b.term = ks_ir::Terminator::Br { target: if taken { then_t } else { else_t } };
+                b.term = ks_ir::Terminator::Br {
+                    target: if taken { then_t } else { else_t },
+                };
                 changed += 1;
             }
         }
@@ -188,36 +222,99 @@ pub fn run(f: &mut Function) -> usize {
     for b in &mut f.blocks {
         for i in &mut b.insts {
             let replacement = match &*i {
-                Inst::Bin { op, ty, dst, a: Operand::ImmI(x), b: Operand::ImmI(y) } => {
-                    eval_bin(*op, *ty, *x, *y)
-                        .map(|v| Inst::Mov { ty: *ty, dst: *dst, src: Operand::ImmI(v) })
-                }
-                Inst::Bin { op, ty: Ty::F32, dst, a: Operand::ImmF(x), b: Operand::ImmF(y) } => {
-                    eval_bin_f(*op, *x, *y)
-                        .map(|v| Inst::Mov { ty: Ty::F32, dst: *dst, src: Operand::ImmF(v) })
-                }
+                Inst::Bin {
+                    op,
+                    ty,
+                    dst,
+                    a: Operand::ImmI(x),
+                    b: Operand::ImmI(y),
+                } => eval_bin(*op, *ty, *x, *y).map(|v| Inst::Mov {
+                    ty: *ty,
+                    dst: *dst,
+                    src: Operand::ImmI(v),
+                }),
+                Inst::Bin {
+                    op,
+                    ty: Ty::F32,
+                    dst,
+                    a: Operand::ImmF(x),
+                    b: Operand::ImmF(y),
+                } => eval_bin_f(*op, *x, *y).map(|v| Inst::Mov {
+                    ty: Ty::F32,
+                    dst: *dst,
+                    src: Operand::ImmF(v),
+                }),
                 // x + 0, x * 1, x - 0, x << 0, x >> 0 → mov
-                Inst::Bin { op: BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr, ty, dst, a, b: Operand::ImmI(0) } => {
-                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *a })
-                }
-                Inst::Bin { op: BinOp::Add, ty, dst, a: Operand::ImmI(0), b } => {
-                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *b })
-                }
-                Inst::Bin { op: BinOp::Mul, ty, dst, a, b: Operand::ImmI(1) } => {
-                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *a })
-                }
-                Inst::Bin { op: BinOp::Mul, ty, dst, a: Operand::ImmI(1), b } => {
-                    Some(Inst::Mov { ty: *ty, dst: *dst, src: *b })
-                }
-                Inst::Un { op: UnOp::Neg, ty, dst, a: Operand::ImmI(x) } => Some(Inst::Mov {
+                Inst::Bin {
+                    op: BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr,
+                    ty,
+                    dst,
+                    a,
+                    b: Operand::ImmI(0),
+                } => Some(Inst::Mov {
+                    ty: *ty,
+                    dst: *dst,
+                    src: *a,
+                }),
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty,
+                    dst,
+                    a: Operand::ImmI(0),
+                    b,
+                } => Some(Inst::Mov {
+                    ty: *ty,
+                    dst: *dst,
+                    src: *b,
+                }),
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty,
+                    dst,
+                    a,
+                    b: Operand::ImmI(1),
+                } => Some(Inst::Mov {
+                    ty: *ty,
+                    dst: *dst,
+                    src: *a,
+                }),
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty,
+                    dst,
+                    a: Operand::ImmI(1),
+                    b,
+                } => Some(Inst::Mov {
+                    ty: *ty,
+                    dst: *dst,
+                    src: *b,
+                }),
+                Inst::Un {
+                    op: UnOp::Neg,
+                    ty,
+                    dst,
+                    a: Operand::ImmI(x),
+                } => Some(Inst::Mov {
                     ty: *ty,
                     dst: *dst,
                     src: Operand::ImmI(((*x as i32).wrapping_neg()) as i64),
                 }),
-                Inst::Un { op: UnOp::Neg, ty: Ty::F32, dst, a: Operand::ImmF(x) } => {
-                    Some(Inst::Mov { ty: Ty::F32, dst: *dst, src: Operand::ImmF(-x) })
-                }
-                Inst::Un { op, ty: Ty::F32, dst, a: Operand::ImmF(x) } => {
+                Inst::Un {
+                    op: UnOp::Neg,
+                    ty: Ty::F32,
+                    dst,
+                    a: Operand::ImmF(x),
+                } => Some(Inst::Mov {
+                    ty: Ty::F32,
+                    dst: *dst,
+                    src: Operand::ImmF(-x),
+                }),
+                Inst::Un {
+                    op,
+                    ty: Ty::F32,
+                    dst,
+                    a: Operand::ImmF(x),
+                } => {
                     let v = match op {
                         UnOp::Abs => Some(x.abs()),
                         UnOp::Sqrt => Some(x.sqrt()),
@@ -225,16 +322,32 @@ pub fn run(f: &mut Function) -> usize {
                         UnOp::Floor => Some(x.floor()),
                         _ => None,
                     };
-                    v.map(|v| Inst::Mov { ty: Ty::F32, dst: *dst, src: Operand::ImmF(v) })
+                    v.map(|v| Inst::Mov {
+                        ty: Ty::F32,
+                        dst: *dst,
+                        src: Operand::ImmF(v),
+                    })
                 }
-                Inst::Cvt { dst_ty, src_ty, dst, src: Operand::ImmI(x) } => {
-                    cvt_imm(*dst_ty, *src_ty, Operand::ImmI(*x))
-                        .map(|v| Inst::Mov { ty: *dst_ty, dst: *dst, src: v })
-                }
-                Inst::Cvt { dst_ty, src_ty, dst, src: Operand::ImmF(x) } => {
-                    cvt_imm(*dst_ty, *src_ty, Operand::ImmF(*x))
-                        .map(|v| Inst::Mov { ty: *dst_ty, dst: *dst, src: v })
-                }
+                Inst::Cvt {
+                    dst_ty,
+                    src_ty,
+                    dst,
+                    src: Operand::ImmI(x),
+                } => cvt_imm(*dst_ty, *src_ty, Operand::ImmI(*x)).map(|v| Inst::Mov {
+                    ty: *dst_ty,
+                    dst: *dst,
+                    src: v,
+                }),
+                Inst::Cvt {
+                    dst_ty,
+                    src_ty,
+                    dst,
+                    src: Operand::ImmF(x),
+                } => cvt_imm(*dst_ty, *src_ty, Operand::ImmF(*x)).map(|v| Inst::Mov {
+                    ty: *dst_ty,
+                    dst: *dst,
+                    src: v,
+                }),
                 _ => None,
             };
             if let Some(r) = replacement {
@@ -247,7 +360,6 @@ pub fn run(f: &mut Function) -> usize {
     }
     changed
 }
-
 
 fn cmp_int(c: CmpOp, a: i64, b: i64) -> bool {
     match c {
@@ -278,7 +390,11 @@ mod tests {
     use ks_ir::*;
 
     fn one_block(f: &mut Function, insts: Vec<Inst>) {
-        f.blocks.push(BasicBlock { id: BlockId(0), insts, term: Terminator::Ret });
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts,
+            term: Terminator::Ret,
+        });
     }
 
     fn mk() -> Function {
@@ -300,8 +416,18 @@ mod tests {
         one_block(
             &mut f,
             vec![
-                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(21) },
-                Inst::Bin { op: BinOp::Mul, ty: Ty::S32, dst: b, a: a.into(), b: Operand::ImmI(2) },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: a,
+                    src: Operand::ImmI(21),
+                },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::S32,
+                    dst: b,
+                    a: a.into(),
+                    b: Operand::ImmI(2),
+                },
             ],
         );
         while run(&mut f) > 0 {}
@@ -325,10 +451,23 @@ mod tests {
                 a: Operand::ImmI(1),
                 b: Operand::ImmI(2),
             }],
-            term: Terminator::CondBr { pred: p, negate: false, then_t: BlockId(1), else_t: BlockId(2) },
+            term: Terminator::CondBr {
+                pred: p,
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
         });
-        f.blocks.push(BasicBlock { id: BlockId(1), insts: vec![], term: Terminator::Ret });
-        f.blocks.push(BasicBlock { id: BlockId(2), insts: vec![], term: Terminator::Ret });
+        f.blocks.push(BasicBlock {
+            id: BlockId(1),
+            insts: vec![],
+            term: Terminator::Ret,
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(2),
+            insts: vec![],
+            term: Terminator::Ret,
+        });
         run(&mut f);
         assert_eq!(f.blocks[0].term, Terminator::Br { target: BlockId(1) });
     }
@@ -341,23 +480,43 @@ mod tests {
         one_block(
             &mut f,
             vec![
-                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(1) },
-                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(2) },
-                Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: b, a: a.into(), b: a.into() },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: a,
+                    src: Operand::ImmI(1),
+                },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: a,
+                    src: Operand::ImmI(2),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::S32,
+                    dst: b,
+                    a: a.into(),
+                    b: a.into(),
+                },
             ],
         );
         run(&mut f);
         // The add must still reference the register, not a folded constant.
-        assert!(f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { a: Operand::Reg(_), .. })));
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::Bin {
+                a: Operand::Reg(_),
+                ..
+            }
+        )));
     }
 
     #[test]
     fn unsigned_vs_signed_division() {
         assert_eq!(eval_bin(BinOp::Div, Ty::S32, -7, 2), Some(-3));
-        assert_eq!(eval_bin(BinOp::Div, Ty::U32, (-7i32) as i64, 2), Some(2147483644));
+        assert_eq!(
+            eval_bin(BinOp::Div, Ty::U32, (-7i32) as i64, 2),
+            Some(2147483644)
+        );
         assert_eq!(eval_bin(BinOp::Div, Ty::S32, 1, 0), None);
     }
 
@@ -376,7 +535,12 @@ mod tests {
                     a: Operand::ImmF(2.5),
                     b: Operand::ImmF(4.0),
                 },
-                Inst::Cvt { dst_ty: Ty::S32, src_ty: Ty::F32, dst: b, src: Operand::ImmF(3.7) },
+                Inst::Cvt {
+                    dst_ty: Ty::S32,
+                    src_ty: Ty::F32,
+                    dst: b,
+                    src: Operand::ImmF(3.7),
+                },
             ],
         );
         run(&mut f);
@@ -384,9 +548,12 @@ mod tests {
             .insts
             .iter()
             .any(|i| matches!(i, Inst::Mov { src: Operand::ImmF(v), .. } if *v == 10.0)));
-        assert!(f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Mov { src: Operand::ImmI(3), .. })));
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::Mov {
+                src: Operand::ImmI(3),
+                ..
+            }
+        )));
     }
 }

@@ -44,9 +44,16 @@ fn key_of(i: &Inst) -> Option<Key> {
         Inst::Mad { ty, a, b, c, .. } => Key::Mad(*ty, op_key(a), op_key(b), op_key(c)),
         Inst::Setp { cmp, ty, a, b, .. } => Key::Setp(*cmp, *ty, op_key(a), op_key(b)),
         Inst::Selp { ty, a, b, pred, .. } => Key::Selp(*ty, op_key(a), op_key(b), *pred),
-        Inst::Cvt { dst_ty, src_ty, src, .. } => Key::Cvt(*dst_ty, *src_ty, op_key(src)),
+        Inst::Cvt {
+            dst_ty,
+            src_ty,
+            src,
+            ..
+        } => Key::Cvt(*dst_ty, *src_ty, op_key(src)),
         Inst::Special { reg, .. } => Key::Special(*reg),
-        Inst::Ld { space, ty, addr, .. } => Key::Ld(*space, *ty, addr.base, addr.offset),
+        Inst::Ld {
+            space, ty, addr, ..
+        } => Key::Ld(*space, *ty, addr.base, addr.offset),
         Inst::Tex { ty, tex, idx, .. } => Key::Tex(*tex, *ty, op_key(idx)),
         _ => return None,
     })
@@ -113,10 +120,7 @@ pub fn run(f: &mut Function) -> usize {
                     // A barrier publishes other threads' shared *and*
                     // global (and thus texture-visible) writes.
                     avail.retain(|k, _| {
-                        !matches!(
-                            k,
-                            Key::Ld(Space::Shared | Space::Global, ..) | Key::Tex(..)
-                        )
+                        !matches!(k, Key::Ld(Space::Shared | Space::Global, ..) | Key::Tex(..))
                     });
                 }
                 _ => {}
@@ -127,7 +131,11 @@ pub fn run(f: &mut Function) -> usize {
                 match avail.get(&key) {
                     Some(&(prev, at)) if pos - at <= REUSE_WINDOW => {
                         let ty = f.vreg_types[dst.0 as usize];
-                        *i = Inst::Mov { ty, dst, src: Operand::Reg(prev) };
+                        *i = Inst::Mov {
+                            ty,
+                            dst,
+                            src: Operand::Reg(prev),
+                        };
                         replaced += 1;
                     }
                     _ => {
@@ -163,7 +171,11 @@ mod tests {
         Function {
             name: "t".into(),
             params: vec![],
-            blocks: vec![BasicBlock { id: BlockId(0), insts, term: Terminator::Ret }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                insts,
+                term: Terminator::Ret,
+            }],
             vreg_types: tys,
             shared: vec![],
             local_bytes: 0,
@@ -174,14 +186,29 @@ mod tests {
     fn duplicate_arithmetic_collapses() {
         // r1 = r0*4; r2 = r0*4  →  r2 = mov r1
         let f_insts = vec![
-            Inst::Bin { op: BinOp::Mul, ty: Ty::S32, dst: VReg(1), a: VReg(0).into(), b: Operand::ImmI(4) },
-            Inst::Bin { op: BinOp::Mul, ty: Ty::S32, dst: VReg(2), a: VReg(0).into(), b: Operand::ImmI(4) },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::S32,
+                dst: VReg(1),
+                a: VReg(0).into(),
+                b: Operand::ImmI(4),
+            },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::S32,
+                dst: VReg(2),
+                a: VReg(0).into(),
+                b: Operand::ImmI(4),
+            },
         ];
         let mut f = mk(f_insts, vec![Ty::S32; 3]);
         assert_eq!(run(&mut f), 1);
         assert!(matches!(
             f.blocks[0].insts[1],
-            Inst::Mov { src: Operand::Reg(VReg(1)), .. }
+            Inst::Mov {
+                src: Operand::Reg(VReg(1)),
+                ..
+            }
         ));
     }
 
@@ -189,9 +216,25 @@ mod tests {
     fn redefinition_invalidates() {
         // r1 = r0+1; r0 = 9; r2 = r0+1  → r2 must NOT reuse r1.
         let insts = vec![
-            Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: VReg(1), a: VReg(0).into(), b: Operand::ImmI(1) },
-            Inst::Mov { ty: Ty::S32, dst: VReg(0), src: Operand::ImmI(9) },
-            Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: VReg(2), a: VReg(0).into(), b: Operand::ImmI(1) },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::S32,
+                dst: VReg(1),
+                a: VReg(0).into(),
+                b: Operand::ImmI(1),
+            },
+            Inst::Mov {
+                ty: Ty::S32,
+                dst: VReg(0),
+                src: Operand::ImmI(9),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::S32,
+                dst: VReg(2),
+                a: VReg(0).into(),
+                b: Operand::ImmI(1),
+            },
         ];
         let mut f = mk(insts, vec![Ty::S32; 3]);
         assert_eq!(run(&mut f), 0);
@@ -201,12 +244,35 @@ mod tests {
     fn loads_cse_until_store() {
         let addr = Address::reg(VReg(0));
         let insts = vec![
-            Inst::Ld { space: Space::Global, ty: Ty::F32, dst: VReg(1), addr },
-            Inst::Ld { space: Space::Global, ty: Ty::F32, dst: VReg(2), addr },
-            Inst::St { space: Space::Global, ty: Ty::F32, addr, src: Operand::ImmF(0.0) },
-            Inst::Ld { space: Space::Global, ty: Ty::F32, dst: VReg(3), addr },
+            Inst::Ld {
+                space: Space::Global,
+                ty: Ty::F32,
+                dst: VReg(1),
+                addr,
+            },
+            Inst::Ld {
+                space: Space::Global,
+                ty: Ty::F32,
+                dst: VReg(2),
+                addr,
+            },
+            Inst::St {
+                space: Space::Global,
+                ty: Ty::F32,
+                addr,
+                src: Operand::ImmF(0.0),
+            },
+            Inst::Ld {
+                space: Space::Global,
+                ty: Ty::F32,
+                dst: VReg(3),
+                addr,
+            },
         ];
-        let mut f = mk(insts, vec![Ty::Ptr(Space::Global), Ty::F32, Ty::F32, Ty::F32]);
+        let mut f = mk(
+            insts,
+            vec![Ty::Ptr(Space::Global), Ty::F32, Ty::F32, Ty::F32],
+        );
         assert_eq!(run(&mut f), 1, "only the pre-store reload may CSE");
         assert!(matches!(f.blocks[0].insts[1], Inst::Mov { .. }));
         assert!(matches!(f.blocks[0].insts[3], Inst::Ld { .. }));
@@ -216,9 +282,19 @@ mod tests {
     fn shared_loads_invalidate_at_barrier() {
         let addr = Address::abs(0);
         let insts = vec![
-            Inst::Ld { space: Space::Shared, ty: Ty::F32, dst: VReg(0), addr },
+            Inst::Ld {
+                space: Space::Shared,
+                ty: Ty::F32,
+                dst: VReg(0),
+                addr,
+            },
             Inst::Bar,
-            Inst::Ld { space: Space::Shared, ty: Ty::F32, dst: VReg(1), addr },
+            Inst::Ld {
+                space: Space::Shared,
+                ty: Ty::F32,
+                dst: VReg(1),
+                addr,
+            },
         ];
         let mut f = mk(insts, vec![Ty::F32, Ty::F32]);
         assert_eq!(run(&mut f), 0, "barrier publishes other threads' writes");
@@ -227,8 +303,14 @@ mod tests {
     #[test]
     fn special_registers_cse() {
         let insts = vec![
-            Inst::Special { dst: VReg(0), reg: SpecialReg::TidX },
-            Inst::Special { dst: VReg(1), reg: SpecialReg::TidX },
+            Inst::Special {
+                dst: VReg(0),
+                reg: SpecialReg::TidX,
+            },
+            Inst::Special {
+                dst: VReg(1),
+                reg: SpecialReg::TidX,
+            },
         ];
         let mut f = mk(insts, vec![Ty::U32, Ty::U32]);
         assert_eq!(run(&mut f), 1);

@@ -64,10 +64,24 @@ mod tests {
             id: BlockId(0),
             insts: vec![
                 // dead chain: a -> b -> nothing
-                Inst::Mov { ty: Ty::S32, dst: a, src: Operand::ImmI(1) },
-                Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: b, a: a.into(), b: Operand::ImmI(1) },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: a,
+                    src: Operand::ImmI(1),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::S32,
+                    dst: b,
+                    a: a.into(),
+                    b: Operand::ImmI(1),
+                },
                 // live value feeding a store
-                Inst::Mov { ty: Ty::F32, dst: live, src: Operand::ImmF(2.0) },
+                Inst::Mov {
+                    ty: Ty::F32,
+                    dst: live,
+                    src: Operand::ImmF(2.0),
+                },
                 Inst::Bar,
                 Inst::St {
                     space: Space::Global,
@@ -82,7 +96,10 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(f.blocks[0].insts.len(), 3);
         assert!(f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Bar)));
-        assert!(f.blocks[0].insts.iter().any(|i| matches!(i, Inst::St { .. })));
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::St { .. })));
     }
 
     #[test]
@@ -105,9 +122,18 @@ mod tests {
                 a: Operand::ImmI(0),
                 b: Operand::ImmI(1),
             }],
-            term: Terminator::CondBr { pred: p, negate: false, then_t: BlockId(1), else_t: BlockId(1) },
+            term: Terminator::CondBr {
+                pred: p,
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(1),
+            },
         });
-        f.blocks.push(BasicBlock { id: BlockId(1), insts: vec![], term: Terminator::Ret });
+        f.blocks.push(BasicBlock {
+            id: BlockId(1),
+            insts: vec![],
+            term: Terminator::Ret,
+        });
         assert_eq!(run(&mut f), 0);
     }
 }

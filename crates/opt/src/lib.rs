@@ -39,14 +39,26 @@ pub struct OptConfig {
 
 impl Default for OptConfig {
     fn default() -> Self {
-        OptConfig { constfold: true, strength: true, addrfold: true, cse: true, dce: true }
+        OptConfig {
+            constfold: true,
+            strength: true,
+            addrfold: true,
+            cse: true,
+            dce: true,
+        }
     }
 }
 
 impl OptConfig {
     /// Everything off (a "-O0" backend).
     pub fn none() -> OptConfig {
-        OptConfig { constfold: false, strength: false, addrfold: false, cse: false, dce: false }
+        OptConfig {
+            constfold: false,
+            strength: false,
+            addrfold: false,
+            cse: false,
+            dce: false,
+        }
     }
 }
 
@@ -57,31 +69,61 @@ pub fn optimize(f: &mut Function) -> OptStats {
 
 /// Run the pipeline with per-pass toggles.
 pub fn optimize_with(f: &mut Function, cfg: &OptConfig) -> OptStats {
-    let mut stats = OptStats { insts_before: f.static_inst_count(), ..Default::default() };
+    optimize_with_observer(f, cfg, &mut |_, _| {})
+}
+
+/// Run the pipeline with per-pass toggles, invoking `obs(pass_name, f)`
+/// after every pass application that changed the function. This is the
+/// hook the ks-core sanitizer uses to verify intermediate IR with pass
+/// attribution.
+pub fn optimize_with_observer(
+    f: &mut Function,
+    cfg: &OptConfig,
+    obs: &mut dyn FnMut(&'static str, &Function),
+) -> OptStats {
+    let mut stats = OptStats {
+        insts_before: f.static_inst_count(),
+        ..Default::default()
+    };
     loop {
         let mut changed = 0;
         if cfg.constfold {
             let c = constfold::run(f);
+            if c > 0 {
+                obs("constfold", f);
+            }
             stats.folded += c;
             changed += c;
         }
         if cfg.strength {
             let s = strength::run(f);
+            if s > 0 {
+                obs("strength", f);
+            }
             stats.strength_reduced += s;
             changed += s;
         }
         if cfg.addrfold {
             let a = addrfold::run(f);
+            if a > 0 {
+                obs("addrfold", f);
+            }
             stats.addresses_folded += a;
             changed += a;
         }
         if cfg.cse {
             let c = cse::run(f);
+            if c > 0 {
+                obs("cse", f);
+            }
             stats.cse_replaced += c;
             changed += c;
         }
         if cfg.dce {
             let d = dce::run(f);
+            if d > 0 {
+                obs("dce", f);
+            }
             stats.dead_removed += d;
             changed += d;
         }
@@ -90,7 +132,10 @@ pub fn optimize_with(f: &mut Function, cfg: &OptConfig) -> OptStats {
         }
     }
     stats.insts_after = f.static_inst_count();
-    debug_assert!(ks_ir::verify_function(f).is_empty(), "pass pipeline broke the IR");
+    debug_assert!(
+        ks_ir::verify_function(f).is_empty(),
+        "pass pipeline broke the IR"
+    );
     stats
 }
 
@@ -101,7 +146,10 @@ pub fn optimize_module(m: &mut ks_ir::Module) -> Vec<OptStats> {
 
 /// Optimize every function in a module with per-pass toggles.
 pub fn optimize_module_with(m: &mut ks_ir::Module, cfg: &OptConfig) -> Vec<OptStats> {
-    m.functions.iter_mut().map(|f| optimize_with(f, cfg)).collect()
+    m.functions
+        .iter_mut()
+        .map(|f| optimize_with(f, cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,7 +164,11 @@ mod tests {
     fn pipeline_composes() {
         let mut f = Function {
             name: "k".into(),
-            params: vec![KernelParam { name: "n".into(), ty: Ty::S32, offset: 0 }],
+            params: vec![KernelParam {
+                name: "n".into(),
+                ty: Ty::S32,
+                offset: 0,
+            }],
             blocks: vec![],
             vreg_types: vec![],
             shared: vec![],
@@ -129,9 +181,23 @@ mod tests {
         f.blocks.push(BasicBlock {
             id: BlockId(0),
             insts: vec![
-                Inst::Special { dst: r0, reg: SpecialReg::TidX },
-                Inst::Ld { space: Space::Param, ty: Ty::S32, dst: dead, addr: Address::abs(0) },
-                Inst::Bin { op: BinOp::Mul, ty: Ty::U32, dst: r1, a: r0.into(), b: Operand::ImmI(8) },
+                Inst::Special {
+                    dst: r0,
+                    reg: SpecialReg::TidX,
+                },
+                Inst::Ld {
+                    space: Space::Param,
+                    ty: Ty::S32,
+                    dst: dead,
+                    addr: Address::abs(0),
+                },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::U32,
+                    dst: r1,
+                    a: r0.into(),
+                    b: Operand::ImmI(8),
+                },
                 Inst::Bin {
                     op: BinOp::Add,
                     ty: Ty::Ptr(Space::Global),
@@ -150,18 +216,37 @@ mod tests {
         });
         let stats = optimize(&mut f);
         assert!(stats.strength_reduced >= 1, "mul by 8 must become shl");
-        assert!(stats.addresses_folded >= 1, "add 16 must fold into the store address");
+        assert!(
+            stats.addresses_folded >= 1,
+            "add 16 must fold into the store address"
+        );
         assert!(stats.dead_removed >= 1, "dead param load must go");
         let insts = &f.blocks[0].insts;
         assert!(insts.iter().any(|i| matches!(
             i,
-            Inst::Bin { op: BinOp::Shl, b: Operand::ImmI(3), .. }
+            Inst::Bin {
+                op: BinOp::Shl,
+                b: Operand::ImmI(3),
+                ..
+            }
         )));
         assert!(insts.iter().any(|i| matches!(
             i,
-            Inst::St { addr: Address { base: Some(_), offset: 16 }, .. }
+            Inst::St {
+                addr: Address {
+                    base: Some(_),
+                    offset: 16
+                },
+                ..
+            }
         )));
-        assert!(!insts.iter().any(|i| matches!(i, Inst::Ld { space: Space::Param, .. })));
+        assert!(!insts.iter().any(|i| matches!(
+            i,
+            Inst::Ld {
+                space: Space::Param,
+                ..
+            }
+        )));
         assert!(ks_ir::verify_function(&f).is_empty());
     }
 }

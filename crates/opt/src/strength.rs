@@ -22,44 +22,60 @@ pub fn run(f: &mut Function) -> usize {
         for i in &mut b.insts {
             let new = match &*i {
                 // x * 2^k → x << k (valid for s32/u32 low-32 result).
-                Inst::Bin { op: BinOp::Mul, ty: ty @ (Ty::S32 | Ty::U32), dst, a, b: Operand::ImmI(v) } => {
-                    pow2_exp(*v).map(|k| Inst::Bin {
-                        op: BinOp::Shl,
-                        ty: *ty,
-                        dst: *dst,
-                        a: *a,
-                        b: Operand::ImmI(k),
-                    })
-                }
-                Inst::Bin { op: BinOp::Mul, ty: ty @ (Ty::S32 | Ty::U32), dst, a: Operand::ImmI(v), b } => {
-                    pow2_exp(*v).map(|k| Inst::Bin {
-                        op: BinOp::Shl,
-                        ty: *ty,
-                        dst: *dst,
-                        a: *b,
-                        b: Operand::ImmI(k),
-                    })
-                }
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: ty @ (Ty::S32 | Ty::U32),
+                    dst,
+                    a,
+                    b: Operand::ImmI(v),
+                } => pow2_exp(*v).map(|k| Inst::Bin {
+                    op: BinOp::Shl,
+                    ty: *ty,
+                    dst: *dst,
+                    a: *a,
+                    b: Operand::ImmI(k),
+                }),
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: ty @ (Ty::S32 | Ty::U32),
+                    dst,
+                    a: Operand::ImmI(v),
+                    b,
+                } => pow2_exp(*v).map(|k| Inst::Bin {
+                    op: BinOp::Shl,
+                    ty: *ty,
+                    dst: *dst,
+                    a: *b,
+                    b: Operand::ImmI(k),
+                }),
                 // Unsigned x / 2^k → x >> k.
-                Inst::Bin { op: BinOp::Div, ty: Ty::U32, dst, a, b: Operand::ImmI(v) } => {
-                    pow2_exp(*v).map(|k| Inst::Bin {
-                        op: BinOp::Shr,
-                        ty: Ty::U32,
-                        dst: *dst,
-                        a: *a,
-                        b: Operand::ImmI(k),
-                    })
-                }
+                Inst::Bin {
+                    op: BinOp::Div,
+                    ty: Ty::U32,
+                    dst,
+                    a,
+                    b: Operand::ImmI(v),
+                } => pow2_exp(*v).map(|k| Inst::Bin {
+                    op: BinOp::Shr,
+                    ty: Ty::U32,
+                    dst: *dst,
+                    a: *a,
+                    b: Operand::ImmI(k),
+                }),
                 // Unsigned x % 2^k → x & (2^k - 1).
-                Inst::Bin { op: BinOp::Rem, ty: Ty::U32, dst, a, b: Operand::ImmI(v) } => {
-                    pow2_exp(*v).map(|_| Inst::Bin {
-                        op: BinOp::And,
-                        ty: Ty::U32,
-                        dst: *dst,
-                        a: *a,
-                        b: Operand::ImmI(*v - 1),
-                    })
-                }
+                Inst::Bin {
+                    op: BinOp::Rem,
+                    ty: Ty::U32,
+                    dst,
+                    a,
+                    b: Operand::ImmI(v),
+                } => pow2_exp(*v).map(|_| Inst::Bin {
+                    op: BinOp::And,
+                    ty: Ty::U32,
+                    dst: *dst,
+                    a: *a,
+                    b: Operand::ImmI(*v - 1),
+                }),
                 _ => None,
             };
             if let Some(n) = new {
@@ -80,7 +96,11 @@ mod tests {
         Function {
             name: "t".into(),
             params: vec![],
-            blocks: vec![BasicBlock { id: BlockId(0), insts, term: Terminator::Ret }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                insts,
+                term: Terminator::Ret,
+            }],
             vreg_types: tys,
             shared: vec![],
             local_bytes: 0,
@@ -102,7 +122,11 @@ mod tests {
         assert_eq!(run(&mut f), 1);
         assert!(matches!(
             f.blocks[0].insts[0],
-            Inst::Bin { op: BinOp::Shl, b: Operand::ImmI(7), .. }
+            Inst::Bin {
+                op: BinOp::Shl,
+                b: Operand::ImmI(7),
+                ..
+            }
         ));
     }
 
@@ -130,11 +154,19 @@ mod tests {
         assert_eq!(run(&mut f), 2);
         assert!(matches!(
             f.blocks[0].insts[0],
-            Inst::Bin { op: BinOp::Shr, b: Operand::ImmI(5), .. }
+            Inst::Bin {
+                op: BinOp::Shr,
+                b: Operand::ImmI(5),
+                ..
+            }
         ));
         assert!(matches!(
             f.blocks[0].insts[1],
-            Inst::Bin { op: BinOp::And, b: Operand::ImmI(31), .. }
+            Inst::Bin {
+                op: BinOp::And,
+                b: Operand::ImmI(31),
+                ..
+            }
         ));
     }
 

@@ -127,7 +127,10 @@ impl DeviceConfig {
                 (BinOp::Div, Ty::F32) => 8,
                 _ => 1,
             },
-            Inst::Un { op: UnOp::Sqrt | UnOp::Rsqrt, .. } => 8,
+            Inst::Un {
+                op: UnOp::Sqrt | UnOp::Rsqrt,
+                ..
+            } => 8,
             _ => 1,
         };
         base * mult
@@ -159,15 +162,18 @@ impl DeviceConfig {
                         alu + 12
                     }
                 }
-                Space::Const => 8,  // constant cache hit
-                Space::Param => 8,  // param space is cached like const
+                Space::Const => 8, // constant cache hit
+                Space::Param => 8, // param space is cached like const
             },
             Inst::Bin { op, ty, .. } => match (op, ty) {
                 (BinOp::Div | BinOp::Rem, Ty::S32 | Ty::U32) => 4 * alu,
                 (BinOp::Div, Ty::F32) => 2 * alu,
                 _ => alu,
             },
-            Inst::Un { op: UnOp::Sqrt | UnOp::Rsqrt, .. } => 2 * alu,
+            Inst::Un {
+                op: UnOp::Sqrt | UnOp::Rsqrt,
+                ..
+            } => 2 * alu,
             // Texture fetches are cached but still long-latency.
             Inst::Tex { .. } => self.mem_latency * 3 / 4,
             _ => alu,

@@ -9,7 +9,9 @@
 //! therefore emerges from the schedule instead of from a max() formula.
 
 use crate::device::DeviceConfig;
-use crate::interp::{warp_step, BlockCtx, BlockState, ExecStats, GlobalView, SimError, StepOutcome, Warp};
+use crate::interp::{
+    warp_step, BlockCtx, BlockState, ExecStats, GlobalView, SimError, StepOutcome, Warp,
+};
 use ks_ir::cfg::{ipdoms, Cfg};
 use ks_ir::{BlockId, Function};
 
@@ -73,10 +75,9 @@ pub fn run_sm_round(
         let mut pick: Option<(usize, usize, u64)> = None;
         for (bi, b) in blocks.iter().enumerate() {
             for (wi, w) in b.warps.iter().enumerate() {
-                if !w.done && !w.at_barrier
-                    && pick.is_none_or(|(_, _, c)| w.clock < c) {
-                        pick = Some((bi, wi, w.clock));
-                    }
+                if !w.done && !w.at_barrier && pick.is_none_or(|(_, _, c)| w.clock < c) {
+                    pick = Some((bi, wi, w.clock));
+                }
             }
         }
         let Some((bi, wi, _)) = pick else {
@@ -88,8 +89,13 @@ pub fn run_sm_round(
                 let waiting = b.warps.iter().filter(|w| w.at_barrier).count();
                 if alive > 0 && waiting == alive {
                     const BARRIER_COST: u64 = 40;
-                    let release =
-                        b.warps.iter().filter(|w| w.at_barrier).map(|w| w.clock).max().unwrap();
+                    let release = b
+                        .warps
+                        .iter()
+                        .filter(|w| w.at_barrier)
+                        .map(|w| w.clock)
+                        .max()
+                        .unwrap();
                     for w in b.warps.iter_mut().filter(|w| w.at_barrier) {
                         w.at_barrier = false;
                         w.clock = w.clock.max(release) + BARRIER_COST;
@@ -128,6 +134,8 @@ pub fn run_sm_round(
                 timing: true,
                 trace: false,
                 tex_bindings,
+                racecheck: false,
+                strict_barriers: false,
             };
             match warp_step(&ctx, w, &pdom, &mut b.shared, &mut b.bstate)? {
                 StepOutcome::Continue | StepOutcome::Barrier | StepOutcome::Done => (),

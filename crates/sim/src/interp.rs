@@ -18,7 +18,10 @@
 use crate::device::DeviceConfig;
 use crate::mem::{bank_conflict_degree, coalesce_transactions, GLOBAL_BASE};
 use ks_ir::cfg::{ipdoms, Cfg};
-use ks_ir::{Address, BinOp, BlockId, CmpOp, Function, Inst, Operand, Space, SpecialReg, Terminator, Ty, UnOp};
+use ks_ir::{
+    Address, BinOp, BlockId, CmpOp, Function, Inst, Operand, Space, SpecialReg, Terminator, Ty,
+    UnOp,
+};
 
 /// A simulation trap (the analogue of a CUDA launch error).
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +51,10 @@ impl GlobalView {
     /// Create from an exclusive borrow; the borrow guarantees no host-side
     /// aliasing while kernels run.
     pub fn new(data: &mut [u8]) -> GlobalView {
-        GlobalView { base: data.as_mut_ptr(), len: data.len() }
+        GlobalView {
+            base: data.as_mut_ptr(),
+            len: data.len(),
+        }
     }
 
     #[inline]
@@ -58,7 +64,9 @@ impl GlobalView {
         }
         let off = (addr - GLOBAL_BASE) as usize;
         if off + 4 > self.len {
-            return Err(SimError(format!("global access out of bounds at {addr:#x}")));
+            return Err(SimError(format!(
+                "global access out of bounds at {addr:#x}"
+            )));
         }
         if !addr.is_multiple_of(4) {
             return Err(SimError(format!("misaligned global access at {addr:#x}")));
@@ -181,12 +189,27 @@ pub(crate) struct Warp {
 }
 
 impl Warp {
-    pub(crate) fn new(base_tid: u32, lanes: u32, nv: usize, local_bytes: u32, timing: bool) -> Warp {
-        let full_mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+    pub(crate) fn new(
+        base_tid: u32,
+        lanes: u32,
+        nv: usize,
+        local_bytes: u32,
+        timing: bool,
+    ) -> Warp {
+        let full_mask = if lanes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         Warp {
             base_tid,
             regs: vec![0u64; nv * 32],
-            stack: vec![Frame { block: BlockId(0), inst: 0, reconv: None, mask: full_mask }],
+            stack: vec![Frame {
+                block: BlockId(0),
+                inst: 0,
+                reconv: None,
+                mask: full_mask,
+            }],
             done: false,
             at_barrier: false,
             clock: 0,
@@ -217,6 +240,13 @@ pub struct BlockCtx<'a> {
     pub timing: bool,
     /// Print a per-instruction issue trace for warp 0 (debugging).
     pub trace: bool,
+    /// Track per-word shared-memory access sets between barriers and fail
+    /// on cross-warp hazards (`LaunchOptions::racecheck`).
+    pub racecheck: bool,
+    /// Reject barriers that only part of the block reaches — threads that
+    /// returned while others wait — instead of releasing the stragglers
+    /// (`LaunchOptions::strict_barriers`).
+    pub strict_barriers: bool,
 }
 
 fn sext32(v: u32) -> u64 {
@@ -231,15 +261,27 @@ pub fn run_block(ctx: &BlockCtx<'_>) -> Result<ExecStats, SimError> {
     run_block_with(ctx, &cfg, &pdom)
 }
 
-
 /// Execute one block with precomputed CFG analyses (hot path for launches).
 pub struct BlockState {
     seen_lines: std::collections::HashSet<u64>,
+    /// Shared-memory race tracker, present when the launch asked for
+    /// racecheck instrumentation.
+    pub(crate) shmem: Option<crate::racecheck::ShmemTracker>,
 }
 
 impl BlockState {
     pub fn new() -> BlockState {
-        BlockState { seen_lines: std::collections::HashSet::new() }
+        BlockState {
+            seen_lines: std::collections::HashSet::new(),
+            shmem: None,
+        }
+    }
+
+    pub fn for_ctx(ctx: &BlockCtx<'_>) -> BlockState {
+        BlockState {
+            seen_lines: std::collections::HashSet::new(),
+            shmem: ctx.racecheck.then(crate::racecheck::ShmemTracker::new),
+        }
     }
 }
 
@@ -271,7 +313,7 @@ pub fn run_block_with(
     let shared_bytes = f.shared_bytes() + ctx.dynamic_shared;
     let mut shared = vec![0u8; shared_bytes as usize];
 
-    let mut bstate = BlockState::new();
+    let mut bstate = BlockState::for_ctx(ctx);
     let warp_count = threads.div_ceil(32);
     let mut warps: Vec<Warp> = (0..warp_count)
         .map(|w| {
@@ -304,14 +346,31 @@ pub fn run_block_with(
             // Everyone alive is at a barrier: release it. Beyond syncing
             // the clocks, a barrier costs a drain/notify latency on real
             // hardware (~tens of cycles).
+            if ctx.strict_barriers && warps.iter().any(|w| w.done) {
+                let waiting = warps.iter().filter(|w| w.at_barrier).count();
+                let exited = warps.iter().filter(|w| w.done).count();
+                return Err(SimError(format!(
+                    "divergent barrier: {exited} warp(s) returned while {waiting} \
+                     warp(s) wait at __syncthreads() — on hardware the block hangs"
+                )));
+            }
+            // A full barrier orders all shared-memory accesses before it.
+            if let Some(tr) = bstate.shmem.as_mut() {
+                tr.barrier();
+            }
             const BARRIER_COST: u64 = 40;
-            let release_clock =
-                warps.iter().filter(|w| w.at_barrier).map(|w| w.clock).max().unwrap_or(0);
+            let release_clock = warps
+                .iter()
+                .filter(|w| w.at_barrier)
+                .map(|w| w.clock)
+                .max()
+                .unwrap_or(0);
             let mut any = false;
             for w in warps.iter_mut() {
                 if w.at_barrier {
                     w.at_barrier = false;
-                    w.clock = w.clock.max(release_clock) + if ctx.timing { BARRIER_COST } else { 0 };
+                    w.clock =
+                        w.clock.max(release_clock) + if ctx.timing { BARRIER_COST } else { 0 };
                     any = true;
                 }
             }
@@ -400,7 +459,9 @@ pub(crate) fn warp_step(
         match &bb.term {
             Terminator::Ret => {
                 if w.stack.len() > 1 {
-                    return Err(SimError("divergent return (should reconverge first)".into()));
+                    return Err(SimError(
+                        "divergent return (should reconverge first)".into(),
+                    ));
                 }
                 if ctx.timing {
                     w.stats.isolated_cycles = w.clock;
@@ -420,7 +481,12 @@ pub(crate) fn warp_step(
                 fr.inst = 0;
                 return Ok(StepOutcome::Continue);
             }
-            Terminator::CondBr { pred, negate, then_t, else_t } => {
+            Terminator::CondBr {
+                pred,
+                negate,
+                then_t,
+                else_t,
+            } => {
                 w.stats.branches += 1;
                 w.stats.dyn_insts += 1;
                 if ctx.timing {
@@ -463,8 +529,18 @@ pub(crate) fn warp_step(
                     // If the reconvergence point of the parent equals r the
                     // parent frame will pop right after.
                     let _ = parent_reconv;
-                    w.stack.push(Frame { block: *else_t, inst: 0, reconv: Some(r), mask: not_taken });
-                    w.stack.push(Frame { block: *then_t, inst: 0, reconv: Some(r), mask: taken });
+                    w.stack.push(Frame {
+                        block: *else_t,
+                        inst: 0,
+                        reconv: Some(r),
+                        mask: not_taken,
+                    });
+                    w.stack.push(Frame {
+                        block: *then_t,
+                        inst: 0,
+                        reconv: Some(r),
+                        mask: taken,
+                    });
                 }
                 return Ok(StepOutcome::Continue);
             }
@@ -616,17 +692,28 @@ fn exec_inst(
             }
             w.stats.alu += 1;
         }
-        Inst::Selp { dst, a, b, pred, .. } => {
+        Inst::Selp {
+            dst, a, b, pred, ..
+        } => {
             for lane in 0..32 {
                 if mask & (1 << lane) != 0 {
                     let p = w.regs[pred.0 as usize * 32 + lane] != 0;
-                    let v = if p { operand_bits(w, a, lane) } else { operand_bits(w, b, lane) };
+                    let v = if p {
+                        operand_bits(w, a, lane)
+                    } else {
+                        operand_bits(w, b, lane)
+                    };
                     w.regs[dst.0 as usize * 32 + lane] = v;
                 }
             }
             w.stats.alu += 1;
         }
-        Inst::Cvt { dst_ty, src_ty, dst, src } => {
+        Inst::Cvt {
+            dst_ty,
+            src_ty,
+            dst,
+            src,
+        } => {
             for lane in 0..32 {
                 if mask & (1 << lane) != 0 {
                     let x = operand_bits(w, src, lane);
@@ -635,7 +722,12 @@ fn exec_inst(
             }
             w.stats.alu += 1;
         }
-        Inst::Ld { space, ty, dst, addr } => {
+        Inst::Ld {
+            space,
+            ty,
+            dst,
+            addr,
+        } => {
             let addrs = lane_addresses(w, addr, mask);
             match space {
                 Space::Global => {
@@ -669,6 +761,11 @@ fn exec_inst(
                     issue_extra = d - 1;
                     for lane in 0..32 {
                         if mask & (1 << lane) != 0 {
+                            if let Some(tr) = bstate.shmem.as_mut() {
+                                if let Some(h) = tr.read(w.base_tid / 32, addrs[lane] & !3) {
+                                    return Err(SimError(format!("racecheck: {h}")));
+                                }
+                            }
                             let v = read_buf(shared, addrs[lane], "shared")?;
                             w.regs[dst.0 as usize * 32 + lane] = load_extend(*ty, v);
                         }
@@ -708,20 +805,24 @@ fn exec_inst(
                     for lane in 0..32 {
                         if mask & (1 << lane) != 0 {
                             let a = addrs[lane];
-                            let v: u64 = if *ty == Ty::Ptr(Space::Global)
-                                || matches!(ty, Ty::Ptr(_))
-                            {
-                                read_buf64(ctx.params, a)?
-                            } else {
-                                load_extend(*ty, read_buf(ctx.params, a, "param")?)
-                            };
+                            let v: u64 =
+                                if *ty == Ty::Ptr(Space::Global) || matches!(ty, Ty::Ptr(_)) {
+                                    read_buf64(ctx.params, a)?
+                                } else {
+                                    load_extend(*ty, read_buf(ctx.params, a, "param")?)
+                                };
                             w.regs[dst.0 as usize * 32 + lane] = v;
                         }
                     }
                 }
             }
         }
-        Inst::St { space, ty, addr, src } => {
+        Inst::St {
+            space,
+            ty,
+            addr,
+            src,
+        } => {
             let addrs = lane_addresses(w, addr, mask);
             match space {
                 Space::Global => {
@@ -743,6 +844,11 @@ fn exec_inst(
                     issue_extra = d - 1;
                     for lane in 0..32 {
                         if mask & (1 << lane) != 0 {
+                            if let Some(tr) = bstate.shmem.as_mut() {
+                                if let Some(h) = tr.write(w.base_tid / 32, addrs[lane] & !3) {
+                                    return Err(SimError(format!("racecheck: {h}")));
+                                }
+                            }
                             let v = store_bits(*ty, operand_bits(w, src, lane));
                             write_buf(shared, addrs[lane], v, "shared")?;
                         }
@@ -828,10 +934,21 @@ fn exec_inst(
             let lat = ctx.dev.dep_latency(inst) + latency_extra;
             w.reg_ready[d.0 as usize] = t_issue + lat;
         }
-        if let Inst::St { space, ty, addr, src } = inst {
+        if let Inst::St {
+            space,
+            ty,
+            addr,
+            src,
+        } = inst
+        {
             // A later load sees this store once it completes; forward
             // latency mirrors a load from the same space.
-            let probe = Inst::Ld { space: *space, ty: *ty, dst: ks_ir::VReg(0), addr: *addr };
+            let probe = Inst::Ld {
+                space: *space,
+                ty: *ty,
+                dst: ks_ir::VReg(0),
+                addr: *addr,
+            };
             let lat = ctx.dev.dep_latency(&probe);
             let idx = match space {
                 Space::Global => Some(0),
@@ -901,8 +1018,8 @@ fn lane_addresses(w: &Warp, addr: &Address, mask: u32) -> [u64; 32] {
         Some(base) => {
             for lane in 0..32 {
                 if mask & (1 << lane) != 0 {
-                    out[lane] = w.regs[base.0 as usize * 32 + lane]
-                        .wrapping_add(addr.offset as u64);
+                    out[lane] =
+                        w.regs[base.0 as usize * 32 + lane].wrapping_add(addr.offset as u64);
                 }
             }
         }
@@ -914,7 +1031,10 @@ fn lane_addresses(w: &Warp, addr: &Address, mask: u32) -> [u64; 32] {
 fn read_buf(buf: &[u8], addr: u64, space: &'static str) -> Result<u32, SimError> {
     let a = addr as usize;
     if a + 4 > buf.len() || !addr.is_multiple_of(4) {
-        return Err(SimError(format!("bad {space} access at {addr:#x} (len {})", buf.len())));
+        return Err(SimError(format!(
+            "bad {space} access at {addr:#x} (len {})",
+            buf.len()
+        )));
     }
     Ok(u32::from_le_bytes(buf[a..a + 4].try_into().unwrap()))
 }
@@ -932,7 +1052,10 @@ fn read_buf64(buf: &[u8], addr: u64) -> Result<u64, SimError> {
 fn write_buf(buf: &mut [u8], addr: u64, v: u32, space: &'static str) -> Result<(), SimError> {
     let a = addr as usize;
     if a + 4 > buf.len() || !addr.is_multiple_of(4) {
-        return Err(SimError(format!("bad {space} access at {addr:#x} (len {})", buf.len())));
+        return Err(SimError(format!(
+            "bad {space} access at {addr:#x} (len {})",
+            buf.len()
+        )));
     }
     buf[a..a + 4].copy_from_slice(&v.to_le_bytes());
     Ok(())
@@ -976,8 +1099,12 @@ fn eval_bin(op: BinOp, ty: Ty, x: u64, y: u64) -> Result<u64, SimError> {
                 BinOp::Sub => a.wrapping_sub(b),
                 BinOp::Mul => a.wrapping_mul(b),
                 BinOp::Mul24 => (a & 0xFF_FFFF).wrapping_mul(b & 0xFF_FFFF),
-                BinOp::Div => a.checked_div(b).ok_or(SimError("division by zero".into()))?,
-                BinOp::Rem => a.checked_rem(b).ok_or(SimError("remainder by zero".into()))?,
+                BinOp::Div => a
+                    .checked_div(b)
+                    .ok_or(SimError("division by zero".into()))?,
+                BinOp::Rem => a
+                    .checked_rem(b)
+                    .ok_or(SimError("remainder by zero".into()))?,
                 BinOp::Min => a.min(b),
                 BinOp::Max => a.max(b),
                 BinOp::And => a & b,

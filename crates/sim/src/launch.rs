@@ -33,7 +33,11 @@ pub struct LaunchDims {
 
 impl LaunchDims {
     pub fn linear(grid: u32, block: u32) -> LaunchDims {
-        LaunchDims { grid: (grid, 1, 1), block: (block, 1, 1), dynamic_shared: 0 }
+        LaunchDims {
+            grid: (grid, 1, 1),
+            block: (block, 1, 1),
+            dynamic_shared: 0,
+        }
     }
 
     pub fn grid_blocks(&self) -> u64 {
@@ -58,11 +62,24 @@ pub struct LaunchOptions {
     /// Use the event-driven SM scheduler (`ks_sim::event`) for the round
     /// time instead of the analytic assembly — higher fidelity, slower.
     pub event_timing: bool,
+    /// Instrument shared memory with per-word access-set tracking between
+    /// barriers; cross-warp hazards fail the launch (a dynamic analogue of
+    /// the ks-analysis KSA001 racecheck).
+    pub racecheck: bool,
+    /// Diagnose barriers that only part of the block reaches (some threads
+    /// returned, others wait) as errors instead of releasing the waiters.
+    pub strict_barriers: bool,
 }
 
 impl Default for LaunchOptions {
     fn default() -> Self {
-        LaunchOptions { functional: true, timing_sample_blocks: 8, event_timing: false }
+        LaunchOptions {
+            functional: true,
+            timing_sample_blocks: 8,
+            event_timing: false,
+            racecheck: false,
+            strict_barriers: false,
+        }
     }
 }
 
@@ -174,7 +191,11 @@ fn marshal_params(f: &Function, args: &[KArg]) -> Result<Vec<u8>, SimError> {
 fn block_index(linear: u64, grid: (u32, u32, u32)) -> (u32, u32, u32) {
     let gx = grid.0 as u64;
     let gy = grid.1 as u64;
-    ((linear % gx) as u32, ((linear / gx) % gy) as u32, (linear / (gx * gy)) as u32)
+    (
+        (linear % gx) as u32,
+        ((linear / gx) % gy) as u32,
+        (linear / (gx * gy)) as u32,
+    )
 }
 
 /// Launch a kernel on the simulated device.
@@ -244,6 +265,8 @@ pub fn launch(
             timing: true,
             trace: std::env::var("KS_SIM_TRACE").is_ok(),
             tex_bindings: &tex_bindings,
+            racecheck: opts.racecheck,
+            strict_barriers: opts.strict_barriers,
         };
         let s = run_block_with(&ctx, &cfg, &pdom)?;
         per_block_samples.push(s);
@@ -267,6 +290,8 @@ pub fn launch(
                 timing: false,
                 trace: false,
                 tex_bindings: &tex_bindings,
+                racecheck: opts.racecheck,
+                strict_barriers: opts.strict_barriers,
             };
             run_block_with(&ctx, &cfg, &pdom).map(|_| ())
         })?;
@@ -277,8 +302,11 @@ pub fn launch(
     let n = per_block_samples.len() as f64;
     let avg_issue = sample_stats.issue_cycles as f64 / n;
     let avg_bytes = sample_stats.global_bytes as f64 / n;
-    let avg_isolated =
-        per_block_samples.iter().map(|s| s.isolated_cycles).max().unwrap_or(0) as f64;
+    let avg_isolated = per_block_samples
+        .iter()
+        .map(|s| s.isolated_cycles)
+        .max()
+        .unwrap_or(0) as f64;
 
     // Device-level throughput terms (issue bandwidth and DRAM bandwidth
     // integrate smoothly over the whole grid), plus a latency term: each
@@ -310,11 +338,14 @@ pub fn launch(
             dims.dynamic_shared,
             &tex_bindings,
         )?;
-        let mem_round =
-            round.stats.global_bytes as f64 / dev.bytes_per_cycle_per_sm();
+        let mem_round = round.stats.global_bytes as f64 / dev.bytes_per_cycle_per_sm();
         let round_cycles = (round.cycles as f64).max(mem_round);
         total_cycles = round_cycles * waves;
-        bound = if round_cycles > round.cycles as f64 { Bound::Memory } else { Bound::Latency };
+        bound = if round_cycles > round.cycles as f64 {
+            Bound::Memory
+        } else {
+            Bound::Latency
+        };
     } else {
         total_cycles = compute_cycles.max(mem_cycles).max(latency_cycles);
         bound = if total_cycles == compute_cycles {

@@ -44,6 +44,7 @@ pub mod interp;
 pub mod launch;
 pub mod mem;
 pub mod occupancy;
+pub mod racecheck;
 pub mod regalloc;
 pub mod report;
 

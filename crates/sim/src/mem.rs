@@ -14,9 +14,19 @@ pub const GLOBAL_BASE: u64 = 0x1_0000;
 /// Errors surfaced by simulated memory.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MemError {
-    OutOfBounds { addr: u64, len: u64, space: &'static str },
-    OutOfMemory { requested: u64, available: u64 },
-    Misaligned { addr: u64, align: u64 },
+    OutOfBounds {
+        addr: u64,
+        len: u64,
+        space: &'static str,
+    },
+    OutOfMemory {
+        requested: u64,
+        available: u64,
+    },
+    Misaligned {
+        addr: u64,
+        align: u64,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -25,8 +35,14 @@ impl std::fmt::Display for MemError {
             MemError::OutOfBounds { addr, len, space } => {
                 write!(f, "out-of-bounds {space} access at {addr:#x} (+{len})")
             }
-            MemError::OutOfMemory { requested, available } => {
-                write!(f, "device OOM: requested {requested} bytes, {available} free")
+            MemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device OOM: requested {requested} bytes, {available} free"
+                )
             }
             MemError::Misaligned { addr, align } => {
                 write!(f, "misaligned access at {addr:#x} (requires {align})")
@@ -47,7 +63,10 @@ pub struct GlobalMem {
 impl GlobalMem {
     /// Create a heap with the given capacity in bytes.
     pub fn new(capacity: u64) -> GlobalMem {
-        GlobalMem { data: vec![0u8; capacity as usize], next: 0 }
+        GlobalMem {
+            data: vec![0u8; capacity as usize],
+            next: 0,
+        }
     }
 
     /// Allocate `bytes` (256-byte aligned, like cudaMalloc). Returns the
@@ -76,7 +95,11 @@ impl GlobalMem {
 
     fn offset(&self, addr: u64, len: u64, align: u64) -> Result<usize, MemError> {
         if addr < GLOBAL_BASE || addr + len > GLOBAL_BASE + self.data.len() as u64 {
-            return Err(MemError::OutOfBounds { addr, len, space: "global" });
+            return Err(MemError::OutOfBounds {
+                addr,
+                len,
+                space: "global",
+            });
         }
         if !addr.is_multiple_of(align) {
             return Err(MemError::Misaligned { addr, align });
@@ -116,7 +139,9 @@ impl GlobalMem {
 
     pub fn read_f32_slice(&self, addr: u64, count: usize) -> Result<Vec<f32>, MemError> {
         let b = self.read_bytes(addr, count as u64 * 4)?;
-        Ok(b.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     pub fn write_i32_slice(&mut self, addr: u64, vals: &[i32]) -> Result<(), MemError> {
@@ -126,7 +151,9 @@ impl GlobalMem {
 
     pub fn read_i32_slice(&self, addr: u64, count: usize) -> Result<Vec<i32>, MemError> {
         let b = self.read_bytes(addr, count as u64 * 4)?;
-        Ok(b.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(b.chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     /// Raw interior access for the interpreter hot path.
@@ -142,8 +169,11 @@ impl GlobalMem {
 /// CC 2.x uses 128-byte cache lines across the whole warp.
 pub fn coalesce_transactions(dev: &DeviceConfig, addrs: &[u64; 32], mask: u32) -> u32 {
     let mut total = 0u32;
-    let groups: &[std::ops::Range<usize>] =
-        if dev.half_warp_coalescing { &[0..16, 16..32] } else { &[0..32] };
+    let groups: &[std::ops::Range<usize>] = if dev.half_warp_coalescing {
+        &[0..16, 16..32]
+    } else {
+        &[0..32]
+    };
     for g in groups {
         let mut segs: Vec<u64> = Vec::with_capacity(8);
         for lane in g.clone() {
@@ -164,8 +194,11 @@ pub fn coalesce_transactions(dev: &DeviceConfig, addrs: &[u64; 32], mask: u32) -
 /// full warp on CC 2.x). Broadcasts (same word) don't conflict. Returns ≥1
 /// whenever any lane is active.
 pub fn bank_conflict_degree(dev: &DeviceConfig, addrs: &[u64; 32], mask: u32) -> u32 {
-    let groups: &[std::ops::Range<usize>] =
-        if dev.cc_major == 1 { &[0..16, 16..32] } else { &[0..32] };
+    let groups: &[std::ops::Range<usize>] = if dev.cc_major == 1 {
+        &[0..16, 16..32]
+    } else {
+        &[0..32]
+    };
     let mut worst = 0u32;
     for g in groups {
         let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); dev.shared_banks as usize];
@@ -181,7 +214,12 @@ pub fn bank_conflict_degree(dev: &DeviceConfig, addrs: &[u64; 32], mask: u32) ->
             }
         }
         if any {
-            let m = per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(1).max(1);
+            let m = per_bank
+                .iter()
+                .map(|v| v.len() as u32)
+                .max()
+                .unwrap_or(1)
+                .max(1);
             worst = worst.max(m);
         }
     }
@@ -209,7 +247,10 @@ mod tests {
         let mut g = GlobalMem::new(4096);
         assert!(matches!(g.read_u32(0), Err(MemError::OutOfBounds { .. })));
         let a = g.alloc(16).unwrap();
-        assert!(matches!(g.read_u32(a + 2), Err(MemError::Misaligned { .. })));
+        assert!(matches!(
+            g.read_u32(a + 2),
+            Err(MemError::Misaligned { .. })
+        ));
         assert!(g.write_u32(a + 12, 7).is_ok());
         assert!(matches!(
             g.read_bytes(a, 1 << 30),
@@ -266,13 +307,19 @@ mod tests {
         assert_eq!(bank_conflict_degree(&c1060, &seq_addrs(0, 4), u32::MAX), 1);
         // Stride of 16 words on 16 banks: every lane in a half-warp hits
         // bank 0 → 16-way conflict.
-        assert_eq!(bank_conflict_degree(&c1060, &seq_addrs(0, 64), u32::MAX), 16);
+        assert_eq!(
+            bank_conflict_degree(&c1060, &seq_addrs(0, 64), u32::MAX),
+            16
+        );
         // Broadcast: all lanes read the same word → no conflict.
         assert_eq!(bank_conflict_degree(&c1060, &[0x40; 32], u32::MAX), 1);
         // Fermi: 32 banks, stride 16 words → 16 distinct words per bank
         // pair... stride 32 words hits bank 0 for all 32 lanes.
         let c2070 = DeviceConfig::tesla_c2070();
-        assert_eq!(bank_conflict_degree(&c2070, &seq_addrs(0, 128), u32::MAX), 32);
+        assert_eq!(
+            bank_conflict_degree(&c2070, &seq_addrs(0, 128), u32::MAX),
+            32
+        );
         assert_eq!(bank_conflict_degree(&c2070, &seq_addrs(0, 4), u32::MAX), 1);
     }
 }

@@ -54,8 +54,10 @@ pub fn occupancy(
     let by_regs = if regs_per_thread == 0 {
         u32::MAX
     } else if dev.cc_major == 1 {
-        let per_block =
-            round_up(regs_per_thread * warps_per_block * dev.warp_size, dev.reg_alloc_unit);
+        let per_block = round_up(
+            regs_per_thread * warps_per_block * dev.warp_size,
+            dev.reg_alloc_unit,
+        );
         dev.regs_per_sm / per_block.max(1)
     } else {
         let per_warp = round_up(regs_per_thread * dev.warp_size, dev.reg_alloc_unit);

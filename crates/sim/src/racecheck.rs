@@ -1,0 +1,140 @@
+//! Dynamic shared-memory race checking (a `cuda-memcheck --tool racecheck`
+//! analogue). When [`crate::LaunchOptions::racecheck`] is set, the
+//! interpreter records, for every 4-byte shared-memory word, the set of
+//! warps that read and wrote it since the last `__syncthreads()`. Accesses
+//! within one warp are ordered by SIMT lockstep, so only *cross-warp*
+//! combinations are hazards; a barrier clears the sets. This mirrors the
+//! warp-granularity semantics of the static checker in `ks-analysis`, so
+//! a kernel the static racecheck proves clean also runs clean here.
+
+use std::collections::HashMap;
+
+/// A hazard between unsynchronized warps on one shared-memory word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceHazard {
+    /// "write/write" or "read/write".
+    pub kind: &'static str,
+    /// Byte address of the conflicting word in the shared window.
+    pub word_addr: u64,
+    /// The warp performing the access that exposed the hazard.
+    pub warp: u32,
+    /// A warp that touched the word earlier in the same barrier interval.
+    pub other_warp: u32,
+}
+
+impl std::fmt::Display for RaceHazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared-memory {} race on word {:#x}: warp {} conflicts with warp {} \
+             (no __syncthreads() between the accesses)",
+            self.kind, self.word_addr, self.warp, self.other_warp
+        )
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct WordState {
+    /// Bitmask of warps that wrote the word this barrier interval.
+    writers: u64,
+    /// Bitmask of warps that read it.
+    readers: u64,
+}
+
+fn other_in(mask: u64, me: u32) -> Option<u32> {
+    let others = mask & !(1u64 << me);
+    (others != 0).then(|| others.trailing_zeros())
+}
+
+/// Per-block tracker of shared-memory access sets between barriers.
+#[derive(Default)]
+pub struct ShmemTracker {
+    words: HashMap<u64, WordState>,
+}
+
+impl ShmemTracker {
+    pub fn new() -> ShmemTracker {
+        ShmemTracker::default()
+    }
+
+    /// Record a 4-byte read of `word_addr` by `warp`.
+    pub fn read(&mut self, warp: u32, word_addr: u64) -> Option<RaceHazard> {
+        let s = self.words.entry(word_addr).or_default();
+        s.readers |= 1 << warp;
+        other_in(s.writers, warp).map(|other_warp| RaceHazard {
+            kind: "read/write",
+            word_addr,
+            warp,
+            other_warp,
+        })
+    }
+
+    /// Record a 4-byte write to `word_addr` by `warp`.
+    pub fn write(&mut self, warp: u32, word_addr: u64) -> Option<RaceHazard> {
+        let s = self.words.entry(word_addr).or_default();
+        let hazard = if let Some(other_warp) = other_in(s.writers, warp) {
+            Some(RaceHazard {
+                kind: "write/write",
+                word_addr,
+                warp,
+                other_warp,
+            })
+        } else {
+            other_in(s.readers, warp).map(|other_warp| RaceHazard {
+                kind: "read/write",
+                word_addr,
+                warp,
+                other_warp,
+            })
+        };
+        s.writers |= 1 << warp;
+        hazard
+    }
+
+    /// A block-wide barrier orders everything that came before it.
+    pub fn barrier(&mut self) {
+        self.words.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_warp_accesses_never_race() {
+        let mut t = ShmemTracker::new();
+        assert!(t.write(0, 0x10).is_none());
+        assert!(t.write(0, 0x10).is_none());
+        assert!(t.read(0, 0x10).is_none());
+    }
+
+    #[test]
+    fn cross_warp_write_write_races() {
+        let mut t = ShmemTracker::new();
+        assert!(t.write(0, 0x10).is_none());
+        let h = t.write(1, 0x10).expect("race");
+        assert_eq!(h.kind, "write/write");
+        assert_eq!((h.warp, h.other_warp), (1, 0));
+    }
+
+    #[test]
+    fn cross_warp_read_after_write_races_and_barrier_clears() {
+        let mut t = ShmemTracker::new();
+        assert!(t.write(0, 0x20).is_none());
+        assert!(t.read(1, 0x20).is_some());
+        t.barrier();
+        assert!(t.read(1, 0x20).is_none());
+        // Read-then-write from another warp is also a hazard.
+        let h = t.write(0, 0x20).expect("race");
+        assert_eq!(h.kind, "read/write");
+    }
+
+    #[test]
+    fn distinct_words_do_not_interact() {
+        let mut t = ShmemTracker::new();
+        assert!(t.write(0, 0x0).is_none());
+        assert!(t.write(1, 0x4).is_none());
+        assert!(t.read(2, 0x8).is_none());
+    }
+}

@@ -94,7 +94,11 @@ fn compute_liveness(f: &Function, cfg: &Cfg) -> Liveness {
 pub fn allocate(f: &Function) -> RegAlloc {
     let nv = f.num_vregs();
     if nv == 0 {
-        return RegAlloc { gpr_count: 0, pred_count: 0, assignment: vec![] };
+        return RegAlloc {
+            gpr_count: 0,
+            pred_count: 0,
+            assignment: vec![],
+        };
     }
     let cfg = Cfg::build(f);
     let live = compute_liveness(f, &cfg);
@@ -142,12 +146,20 @@ pub fn allocate(f: &Function) -> RegAlloc {
             let def_pos = use_pos + 1;
             if let Some(d) = inst.def() {
                 if let Some(end) = open_end[d.0 as usize].take() {
-                    segs.push(Seg { start: def_pos, end, vreg: d.0 as usize });
+                    segs.push(Seg {
+                        start: def_pos,
+                        end,
+                        vreg: d.0 as usize,
+                    });
                 }
                 // A def whose value is never used still occupies its slot.
                 // (open_end was None: emit a point segment.)
                 else {
-                    segs.push(Seg { start: def_pos, end: def_pos, vreg: d.0 as usize });
+                    segs.push(Seg {
+                        start: def_pos,
+                        end: def_pos,
+                        vreg: d.0 as usize,
+                    });
                 }
             }
             inst.for_each_use(|r| {
@@ -158,7 +170,11 @@ pub fn allocate(f: &Function) -> RegAlloc {
         // Values still live at block entry (live-in or used before def).
         for (v, end) in open_end.iter_mut().enumerate() {
             if let Some(e) = end.take() {
-                segs.push(Seg { start: bstart, end: e, vreg: v });
+                segs.push(Seg {
+                    start: bstart,
+                    end: e,
+                    vreg: v,
+                });
             }
         }
     }
@@ -208,7 +224,11 @@ pub fn allocate(f: &Function) -> RegAlloc {
             }
         }
     }
-    RegAlloc { gpr_count: next_gpr, pred_count: next_pred, assignment }
+    RegAlloc {
+        gpr_count: next_gpr,
+        pred_count: next_pred,
+        assignment,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +253,11 @@ mod tests {
     fn sequential_chain_reuses_registers() {
         let mut f = mk();
         let regs: Vec<VReg> = (0..16).map(|_| f.new_vreg(Ty::S32)).collect();
-        let mut insts = vec![Inst::Mov { ty: Ty::S32, dst: regs[0], src: Operand::ImmI(0) }];
+        let mut insts = vec![Inst::Mov {
+            ty: Ty::S32,
+            dst: regs[0],
+            src: Operand::ImmI(0),
+        }];
         for w in 1..16 {
             insts.push(Inst::Bin {
                 op: BinOp::Add,
@@ -249,9 +273,17 @@ mod tests {
             addr: Address::abs(0),
             src: regs[15].into(),
         });
-        f.blocks.push(BasicBlock { id: BlockId(0), insts, term: Terminator::Ret });
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts,
+            term: Terminator::Ret,
+        });
         let ra = allocate(&f);
-        assert!(ra.gpr_count <= 2, "chain should need ≤2 GPRs, got {}", ra.gpr_count);
+        assert!(
+            ra.gpr_count <= 2,
+            "chain should need ≤2 GPRs, got {}",
+            ra.gpr_count
+        );
     }
 
     /// Register blocking: K live accumulators force ≥K registers.
@@ -262,7 +294,11 @@ mod tests {
         let accs: Vec<VReg> = (0..k).map(|_| f.new_vreg(Ty::F32)).collect();
         let mut insts: Vec<Inst> = accs
             .iter()
-            .map(|&a| Inst::Mov { ty: Ty::F32, dst: a, src: Operand::ImmF(0.0) })
+            .map(|&a| Inst::Mov {
+                ty: Ty::F32,
+                dst: a,
+                src: Operand::ImmF(0.0),
+            })
             .collect();
         // Touch all accumulators again so they're simultaneously live.
         for &a in &accs {
@@ -273,7 +309,11 @@ mod tests {
                 src: a.into(),
             });
         }
-        f.blocks.push(BasicBlock { id: BlockId(0), insts, term: Terminator::Ret });
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts,
+            term: Terminator::Ret,
+        });
         let ra = allocate(&f);
         assert!(ra.gpr_count >= k as u32, "got {}", ra.gpr_count);
     }
@@ -289,8 +329,16 @@ mod tests {
         f.blocks.push(BasicBlock {
             id: BlockId(0),
             insts: vec![
-                Inst::Mov { ty: Ty::S32, dst: acc, src: Operand::ImmI(0) },
-                Inst::Mov { ty: Ty::S32, dst: i, src: Operand::ImmI(0) },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: acc,
+                    src: Operand::ImmI(0),
+                },
+                Inst::Mov {
+                    ty: Ty::S32,
+                    dst: i,
+                    src: Operand::ImmI(0),
+                },
             ],
             term: Terminator::Br { target: BlockId(1) },
         });
@@ -298,11 +346,34 @@ mod tests {
         f.blocks.push(BasicBlock {
             id: BlockId(1),
             insts: vec![
-                Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: acc, a: acc.into(), b: i.into() },
-                Inst::Bin { op: BinOp::Add, ty: Ty::S32, dst: i, a: i.into(), b: Operand::ImmI(1) },
-                Inst::Setp { cmp: CmpOp::Lt, ty: Ty::S32, dst: p, a: i.into(), b: Operand::ImmI(10) },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::S32,
+                    dst: acc,
+                    a: acc.into(),
+                    b: i.into(),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::S32,
+                    dst: i,
+                    a: i.into(),
+                    b: Operand::ImmI(1),
+                },
+                Inst::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Ty::S32,
+                    dst: p,
+                    a: i.into(),
+                    b: Operand::ImmI(10),
+                },
             ],
-            term: Terminator::CondBr { pred: p, negate: false, then_t: BlockId(1), else_t: BlockId(2) },
+            term: Terminator::CondBr {
+                pred: p,
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(2),
+            },
         });
         // BB2: store acc
         f.blocks.push(BasicBlock {
@@ -333,19 +404,50 @@ mod tests {
         let heavy: Vec<VReg> = (0..6).map(|_| f.new_vreg(Ty::F32)).collect();
         let mut insts = Vec::new();
         // Phase 1: tmp defined and consumed immediately.
-        insts.push(Inst::Mov { ty: Ty::F32, dst: tmp, src: Operand::ImmF(1.0) });
-        insts.push(Inst::St { space: Space::Global, ty: Ty::F32, addr: Address::abs(0), src: tmp.into() });
+        insts.push(Inst::Mov {
+            ty: Ty::F32,
+            dst: tmp,
+            src: Operand::ImmF(1.0),
+        });
+        insts.push(Inst::St {
+            space: Space::Global,
+            ty: Ty::F32,
+            addr: Address::abs(0),
+            src: tmp.into(),
+        });
         // Phase 2: six simultaneously-live values.
         for &h in &heavy {
-            insts.push(Inst::Mov { ty: Ty::F32, dst: h, src: Operand::ImmF(2.0) });
+            insts.push(Inst::Mov {
+                ty: Ty::F32,
+                dst: h,
+                src: Operand::ImmF(2.0),
+            });
         }
         for &h in &heavy {
-            insts.push(Inst::St { space: Space::Global, ty: Ty::F32, addr: Address::abs(0), src: h.into() });
+            insts.push(Inst::St {
+                space: Space::Global,
+                ty: Ty::F32,
+                addr: Address::abs(0),
+                src: h.into(),
+            });
         }
         // Phase 3: tmp reused after its first lifetime ended.
-        insts.push(Inst::Mov { ty: Ty::F32, dst: tmp, src: Operand::ImmF(3.0) });
-        insts.push(Inst::St { space: Space::Global, ty: Ty::F32, addr: Address::abs(4), src: tmp.into() });
-        f.blocks.push(BasicBlock { id: BlockId(0), insts, term: Terminator::Ret });
+        insts.push(Inst::Mov {
+            ty: Ty::F32,
+            dst: tmp,
+            src: Operand::ImmF(3.0),
+        });
+        insts.push(Inst::St {
+            space: Space::Global,
+            ty: Ty::F32,
+            addr: Address::abs(4),
+            src: tmp.into(),
+        });
+        f.blocks.push(BasicBlock {
+            id: BlockId(0),
+            insts,
+            term: Terminator::Ret,
+        });
         let ra = allocate(&f);
         // tmp's two lifetimes don't overlap the heavy phase boundary-to-
         // boundary: peak = 6 (heavy), not 7.
@@ -360,13 +462,40 @@ mod tests {
         f.blocks.push(BasicBlock {
             id: BlockId(0),
             insts: vec![
-                Inst::Setp { cmp: CmpOp::Lt, ty: Ty::S32, dst: p1, a: Operand::ImmI(0), b: Operand::ImmI(1) },
-                Inst::Setp { cmp: CmpOp::Lt, ty: Ty::S32, dst: p2, a: Operand::ImmI(0), b: Operand::ImmI(1) },
-                Inst::Bin { op: BinOp::And, ty: Ty::Pred, dst: p1, a: p1.into(), b: p2.into() },
+                Inst::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Ty::S32,
+                    dst: p1,
+                    a: Operand::ImmI(0),
+                    b: Operand::ImmI(1),
+                },
+                Inst::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Ty::S32,
+                    dst: p2,
+                    a: Operand::ImmI(0),
+                    b: Operand::ImmI(1),
+                },
+                Inst::Bin {
+                    op: BinOp::And,
+                    ty: Ty::Pred,
+                    dst: p1,
+                    a: p1.into(),
+                    b: p2.into(),
+                },
             ],
-            term: Terminator::CondBr { pred: p1, negate: false, then_t: BlockId(1), else_t: BlockId(1) },
+            term: Terminator::CondBr {
+                pred: p1,
+                negate: false,
+                then_t: BlockId(1),
+                else_t: BlockId(1),
+            },
         });
-        f.blocks.push(BasicBlock { id: BlockId(1), insts: vec![], term: Terminator::Ret });
+        f.blocks.push(BasicBlock {
+            id: BlockId(1),
+            insts: vec![],
+            term: Terminator::Ret,
+        });
         let ra = allocate(&f);
         assert_eq!(ra.gpr_count, 0);
         assert_eq!(ra.pred_count, 2);

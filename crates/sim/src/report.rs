@@ -16,7 +16,11 @@ pub fn summarize(r: &LaunchReport) -> String {
     let _ = writeln!(
         s,
         "  regs/thread {}  preds {}  shared {} B  local {} B  static insts {}",
-        r.regs_per_thread, r.pred_regs, r.shared_per_block, r.local_bytes_per_thread, r.static_insts
+        r.regs_per_thread,
+        r.pred_regs,
+        r.shared_per_block,
+        r.local_bytes_per_thread,
+        r.static_insts
     );
     let o = &r.occupancy;
     let _ = writeln!(
@@ -72,7 +76,11 @@ mod tests {
             shared_per_block: 1024,
             local_bytes_per_thread: 0,
             static_insts: 230,
-            stats: ExecStats { dyn_insts: 12345, global_loads: 10, ..Default::default() },
+            stats: ExecStats {
+                dyn_insts: 12345,
+                global_loads: 10,
+                ..Default::default()
+            },
             bound: Bound::Compute,
         };
         let s = summarize(&r);

@@ -1,13 +1,17 @@
 //! End-to-end simulator tests: source → specialize → lower → optimize →
 //! simulate → check outputs against host-computed references.
 
+#![allow(clippy::needless_range_loop)]
+
 use ks_codegen::{compile, CodegenOptions};
 use ks_lang::frontend;
 use ks_sim::*;
 
 fn module(src: &str, defs: &[(&str, &str)]) -> ks_ir::Module {
-    let defs: Vec<(String, String)> =
-        defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+    let defs: Vec<(String, String)> = defs
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
     let prog = frontend(src, &defs).unwrap();
     let mut m = compile(&prog, &CodegenOptions::default()).unwrap();
     ks_opt::optimize_module(&mut m);
@@ -41,7 +45,12 @@ fn vector_add_end_to_end() {
         &m,
         "vadd",
         LaunchDims::linear(8, 128),
-        &[KArg::Ptr(pa), KArg::Ptr(pb), KArg::Ptr(pc), KArg::I32(n as i32)],
+        &[
+            KArg::Ptr(pa),
+            KArg::Ptr(pb),
+            KArg::Ptr(pc),
+            KArg::I32(n as i32),
+        ],
         LaunchOptions::default(),
     )
     .unwrap();
@@ -138,7 +147,11 @@ fn grid_y_dimension_and_builtins() {
         &mut st,
         &m,
         "idx",
-        LaunchDims { grid: (2, 2, 1), block: (8, 4, 1), dynamic_shared: 0 },
+        LaunchDims {
+            grid: (2, 2, 1),
+            block: (8, 4, 1),
+            dynamic_shared: 0,
+        },
         &[KArg::Ptr(p), KArg::I32(w)],
         LaunchOptions::default(),
     )
@@ -179,7 +192,12 @@ fn specialized_kernel_is_faster_and_leaner() {
     let pout = st.global.alloc(256 * 4).unwrap();
     let vals: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
     st.global.write_f32_slice(pin, &vals).unwrap();
-    let args = [KArg::Ptr(pin), KArg::Ptr(pout), KArg::I32(256), KArg::I32(16)];
+    let args = [
+        KArg::Ptr(pin),
+        KArg::Ptr(pout),
+        KArg::I32(256),
+        KArg::I32(16),
+    ];
     let dims = LaunchDims::linear(2, 128);
     let r_re = launch(&mut st, &m_re, "acc", dims, &args, LaunchOptions::default()).unwrap();
     let out_re = st.global.read_f32_slice(pout, 256).unwrap();
@@ -205,10 +223,15 @@ fn launch_errors_reported() {
     let m = module(src, &[]);
     let mut st = state();
     // Wrong arg count.
-    assert!(
-        launch(&mut st, &m, "k", LaunchDims::linear(1, 32), &[], LaunchOptions::default())
-            .is_err()
-    );
+    assert!(launch(
+        &mut st,
+        &m,
+        "k",
+        LaunchDims::linear(1, 32),
+        &[],
+        LaunchOptions::default()
+    )
+    .is_err());
     // Unknown kernel.
     assert!(launch(
         &mut st,
@@ -393,7 +416,12 @@ fn c2070_outruns_c1060_on_compute_bound_kernel() {
         .unwrap();
         times.push(r.time_ms);
     }
-    assert!(times[1] < times[0], "C2070 {} should beat C1060 {}", times[1], times[0]);
+    assert!(
+        times[1] < times[0],
+        "C2070 {} should beat C1060 {}",
+        times[1],
+        times[0]
+    );
 }
 
 #[test]
@@ -536,7 +564,10 @@ fn bank_conflicts_slow_shared_access() {
     }
     assert_eq!(times[0].1, 0, "unit stride must be conflict-free");
     assert!(times[1].1 > 0, "stride 16 must conflict");
-    assert!(times[1].0 > times[0].0 * 1.3, "conflicts must cost time: {times:?}");
+    assert!(
+        times[1].0 > times[0].0 * 1.3,
+        "conflicts must cost time: {times:?}"
+    );
 }
 
 #[test]
@@ -570,7 +601,12 @@ fn coalescing_rules_differ_between_generations() {
     // Stride-2 float reads: C1060 half-warp = 32 floats·stride2 = 128B = 2
     // segments of 64B per half-warp (4/warp); C2070 = 2 lines of 128B per
     // warp. The C1060 does more, smaller transactions.
-    assert!(per_dev[0] > per_dev[1], "C1060 {} vs C2070 {}", per_dev[0], per_dev[1]);
+    assert!(
+        per_dev[0] > per_dev[1],
+        "C1060 {} vs C2070 {}",
+        per_dev[0],
+        per_dev[1]
+    );
 }
 
 #[test]
@@ -593,7 +629,11 @@ fn dynamic_shared_memory_allocation() {
         &mut st,
         &m,
         "dyn",
-        LaunchDims { grid: (1, 1, 1), block: (32, 1, 1), dynamic_shared: 4096 },
+        LaunchDims {
+            grid: (1, 1, 1),
+            block: (32, 1, 1),
+            dynamic_shared: 4096,
+        },
         &[KArg::Ptr(p), KArg::I32(32)],
         LaunchOptions::default(),
     )
@@ -671,7 +711,12 @@ fn event_and_hybrid_timing_agree_on_shape() {
                 "work",
                 dims,
                 &args,
-                LaunchOptions { functional: false, timing_sample_blocks: 4, event_timing: event },
+                LaunchOptions {
+                    functional: false,
+                    timing_sample_blocks: 4,
+                    event_timing: event,
+                    ..Default::default()
+                },
             )
             .unwrap();
             pair.push(r.time_ms);
@@ -718,7 +763,12 @@ fn event_timing_respects_barriers() {
         "reduce",
         LaunchDims::linear(4, 128),
         &[KArg::Ptr(pin), KArg::Ptr(pout)],
-        LaunchOptions { functional: true, timing_sample_blocks: 4, event_timing: true },
+        LaunchOptions {
+            functional: true,
+            timing_sample_blocks: 4,
+            event_timing: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(r.time_ms > 0.0);
@@ -832,7 +882,10 @@ fn tex_fetch_specializes_like_any_read() {
         let expect: f32 = (0..8).map(|i| vals[t + i]).sum();
         assert_eq!(*v, expect, "thread {t}");
     }
-    assert!(times[1] < times[0], "specialized texture loop must unroll and win");
+    assert!(
+        times[1] < times[0],
+        "specialized texture loop must unroll and win"
+    );
 }
 
 #[test]

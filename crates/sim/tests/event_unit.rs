@@ -6,8 +6,10 @@ use ks_sim::interp::GlobalView;
 use ks_sim::{run_sm_round, DeviceConfig, GLOBAL_BASE};
 
 fn module(src: &str, defs: &[(&str, &str)]) -> ks_ir::Module {
-    let defs: Vec<(String, String)> =
-        defs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+    let defs: Vec<(String, String)> = defs
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
     let prog = frontend(src, &defs).unwrap();
     let mut m = compile(&prog, &CodegenOptions::default()).unwrap();
     ks_opt::optimize_module(&mut m);

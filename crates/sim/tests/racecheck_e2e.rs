@@ -1,0 +1,211 @@
+//! End-to-end tests for the dynamic sanitizers: shared-memory racecheck
+//! and strict barrier divergence, both behind `LaunchOptions` flags.
+
+#![allow(clippy::needless_range_loop)]
+
+use ks_codegen::{compile, CodegenOptions};
+use ks_lang::frontend;
+use ks_sim::*;
+
+fn module(src: &str, defs: &[(&str, &str)]) -> ks_ir::Module {
+    let defs: Vec<(String, String)> = defs
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    let prog = frontend(src, &defs).unwrap();
+    let mut m = compile(&prog, &CodegenOptions::default()).unwrap();
+    ks_opt::optimize_module(&mut m);
+    m
+}
+
+fn state() -> DeviceState {
+    DeviceState::new(DeviceConfig::tesla_c2070(), 16 << 20)
+}
+
+const RACY: &str = r#"
+    __global__ void racy(float* a, float* out) {
+        __shared__ float s[64];
+        int t = threadIdx.x;
+        s[t] = a[t];
+        out[t] = s[(t + 32) & 63];
+    }
+"#;
+
+#[test]
+fn racecheck_flags_cross_warp_race() {
+    let m = module(RACY, &[]);
+    let mut st = state();
+    let pa = st.global.alloc(64 * 4).unwrap();
+    let po = st.global.alloc(64 * 4).unwrap();
+    st.global.write_f32_slice(pa, &[1.0; 64]).unwrap();
+    let err = launch(
+        &mut st,
+        &m,
+        "racy",
+        LaunchDims::linear(1, 64),
+        &[KArg::Ptr(pa), KArg::Ptr(po)],
+        LaunchOptions {
+            racecheck: true,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("racecheck:"), "unexpected error: {msg}");
+    assert!(msg.contains("race"), "unexpected error: {msg}");
+}
+
+#[test]
+fn racecheck_ignores_races_when_disabled() {
+    // Without the flag the interpreter keeps its permissive semantics: the
+    // racy kernel executes warp-by-warp and completes.
+    let m = module(RACY, &[]);
+    let mut st = state();
+    let pa = st.global.alloc(64 * 4).unwrap();
+    let po = st.global.alloc(64 * 4).unwrap();
+    st.global.write_f32_slice(pa, &[1.0; 64]).unwrap();
+    launch(
+        &mut st,
+        &m,
+        "racy",
+        LaunchDims::linear(1, 64),
+        &[KArg::Ptr(pa), KArg::Ptr(po)],
+        LaunchOptions::default(),
+    )
+    .unwrap();
+}
+
+#[test]
+fn racecheck_passes_clean_barriered_kernel() {
+    let src = r#"
+        __global__ void rev(float* a, float* out) {
+            __shared__ float s[64];
+            int t = threadIdx.x;
+            s[t] = a[t];
+            __syncthreads();
+            out[t] = s[63 - t];
+        }
+    "#;
+    let m = module(src, &[]);
+    let mut st = state();
+    let pa = st.global.alloc(64 * 4).unwrap();
+    let po = st.global.alloc(64 * 4).unwrap();
+    let va: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    st.global.write_f32_slice(pa, &va).unwrap();
+    launch(
+        &mut st,
+        &m,
+        "rev",
+        LaunchDims::linear(1, 64),
+        &[KArg::Ptr(pa), KArg::Ptr(po)],
+        LaunchOptions {
+            racecheck: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out = st.global.read_f32_slice(po, 64).unwrap();
+    for i in 0..64 {
+        assert_eq!(out[i], (63 - i) as f32, "at {i}");
+    }
+}
+
+const DIVERGENT: &str = r#"
+    __global__ void diverge(float* out) {
+        int t = threadIdx.x;
+        if (t < 32) { __syncthreads(); }
+        out[t] = 1.0f;
+    }
+"#;
+
+#[test]
+fn strict_barriers_reject_partially_reached_barrier() {
+    // Warp 0 (uniformly) takes the branch and waits at the barrier; warp 1
+    // skips it and returns. On hardware the block hangs.
+    let m = module(DIVERGENT, &[]);
+    let mut st = state();
+    let po = st.global.alloc(64 * 4).unwrap();
+    let err = launch(
+        &mut st,
+        &m,
+        "diverge",
+        LaunchDims::linear(1, 64),
+        &[KArg::Ptr(po)],
+        LaunchOptions {
+            strict_barriers: true,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("divergent barrier"), "unexpected error: {msg}");
+}
+
+#[test]
+fn lenient_barriers_release_stragglers() {
+    // The default keeps the historical behavior: the lone waiting warp is
+    // released and the launch completes.
+    let m = module(DIVERGENT, &[]);
+    let mut st = state();
+    let po = st.global.alloc(64 * 4).unwrap();
+    launch(
+        &mut st,
+        &m,
+        "diverge",
+        LaunchDims::linear(1, 64),
+        &[KArg::Ptr(po)],
+        LaunchOptions::default(),
+    )
+    .unwrap();
+    let out = st.global.read_f32_slice(po, 64).unwrap();
+    assert_eq!(out, vec![1.0; 64]);
+}
+
+#[test]
+fn warp_synchronous_reduction_is_race_free_at_warp_granularity() {
+    // Classic tree reduction: barriers down to 32 elements, then the last
+    // warp finishes lockstep without barriers. The tracker works at warp
+    // granularity, so the warp-synchronous tail must NOT be flagged —
+    // matching the static racecheck in ks-analysis.
+    let src = r#"
+        __global__ void reduce(float* in, float* out) {
+            __shared__ float buf[128];
+            int t = threadIdx.x;
+            buf[t] = in[t];
+            __syncthreads();
+            for (int s = 64; s > 16; s = s / 2) {
+                if (t < s) { buf[t] = buf[t] + buf[t + s]; }
+                __syncthreads();
+            }
+            if (t < 16) {
+                buf[t] = buf[t] + buf[t + 16];
+                buf[t] = buf[t] + buf[t + 8];
+                buf[t] = buf[t] + buf[t + 4];
+                buf[t] = buf[t] + buf[t + 2];
+                buf[t] = buf[t] + buf[t + 1];
+            }
+            if (t == 0) { out[0] = buf[0]; }
+        }
+    "#;
+    let m = module(src, &[]);
+    let mut st = state();
+    let pin = st.global.alloc(128 * 4).unwrap();
+    let po = st.global.alloc(4).unwrap();
+    let va: Vec<f32> = (0..128).map(|i| i as f32).collect();
+    st.global.write_f32_slice(pin, &va).unwrap();
+    launch(
+        &mut st,
+        &m,
+        "reduce",
+        LaunchDims::linear(1, 128),
+        &[KArg::Ptr(pin), KArg::Ptr(po)],
+        LaunchOptions {
+            racecheck: true,
+            strict_barriers: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out = st.global.read_f32_slice(po, 1).unwrap();
+    assert_eq!(out[0], (0..128).sum::<i32>() as f32);
+}

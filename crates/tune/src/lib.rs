@@ -47,7 +47,10 @@ impl ParamSpace {
     pub fn dim(mut self, name: &str, values: impl Into<Vec<i64>>) -> ParamSpace {
         let values = values.into();
         assert!(!values.is_empty(), "dimension {name} has no values");
-        self.dims.push(Dim { name: name.to_string(), values });
+        self.dims.push(Dim {
+            name: name.to_string(),
+            values,
+        });
         self
     }
 
@@ -85,8 +88,7 @@ impl Config {
 
 impl std::fmt::Display for Config {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let parts: Vec<String> =
-            self.0.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        let parts: Vec<String> = self.0.iter().map(|(n, v)| format!("{n}={v}")).collect();
         write!(f, "{}", parts.join(", "))
     }
 }
@@ -124,9 +126,9 @@ pub fn tune<E>(
 
     // Memoized evaluation by index vector.
     let measure = |idx: &[usize],
-                       memo: &mut HashMap<Vec<usize>, f64>,
-                       trace: &mut Vec<(Config, f64)>,
-                       eval: &mut dyn FnMut(&Config) -> Result<f64, E>|
+                   memo: &mut HashMap<Vec<usize>, f64>,
+                   trace: &mut Vec<(Config, f64)>,
+                   eval: &mut dyn FnMut(&Config) -> Result<f64, E>|
      -> Result<f64, E> {
         if let Some(&c) = memo.get(idx) {
             return Ok(c);
@@ -189,9 +191,7 @@ pub fn tune<E>(
                             let mut cand = cur.clone();
                             cand[d] = ni as usize;
                             let c = measure(&cand, &mut memo, &mut trace, &mut eval)?;
-                            if c < cur_cost
-                                && best_move.as_ref().is_none_or(|(_, bc)| c < *bc)
-                            {
+                            if c < cur_cost && best_move.as_ref().is_none_or(|(_, bc)| c < *bc) {
                                 best_move = Some((cand, c));
                             }
                         }
@@ -249,7 +249,10 @@ mod tests {
     fn greedy_finds_convex_minimum_with_few_evaluations() {
         let r = tune(
             &space2d(),
-            Strategy::Greedy { restarts: 2, seed: 7 },
+            Strategy::Greedy {
+                restarts: 2,
+                seed: 7,
+            },
             bowl,
         )
         .unwrap();
@@ -270,7 +273,15 @@ mod tests {
             let x = c.get("x") as f64;
             Ok(((x - 1.0).powi(2)).min((x - 8.0).powi(2) - 3.0))
         };
-        let r = tune(&space, Strategy::Greedy { restarts: 6, seed: 3 }, f).unwrap();
+        let r = tune(
+            &space,
+            Strategy::Greedy {
+                restarts: 6,
+                seed: 3,
+            },
+            f,
+        )
+        .unwrap();
         assert_eq!(r.best.get("x"), 8);
     }
 
@@ -280,7 +291,10 @@ mod tests {
         let space = ParamSpace::new().dim("x", vec![1, 2, 3]);
         let r = tune(
             &space,
-            Strategy::Greedy { restarts: 10, seed: 1 },
+            Strategy::Greedy {
+                restarts: 10,
+                seed: 1,
+            },
             |c: &Config| -> Result<f64, Infallible> {
                 calls += 1;
                 Ok(c.get("x") as f64)

@@ -20,10 +20,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for dev in DeviceConfig::presets() {
         let compiler = Compiler::new(dev.clone());
-        println!("── {} — space of {} configurations ──", dev.name, space.size());
+        println!(
+            "── {} — space of {} configurations ──",
+            dev.name,
+            space.size()
+        );
         let mut evaluate = |c: &Config| -> Result<f64, Box<dyn std::error::Error>> {
-            let imp = PivImpl { rb: c.get("rb") as u32, threads: c.get("threads") as u32 };
-            match run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, false) {
+            let imp = PivImpl {
+                rb: c.get("rb") as u32,
+                threads: c.get("threads") as u32,
+            };
+            match run_gpu(
+                &compiler,
+                Variant::Sk,
+                PivKernel::Basic,
+                &prob,
+                &imp,
+                &scen,
+                false,
+            ) {
                 Ok(out) => Ok(out.run.sim_ms),
                 // Configurations exceeding device limits (too many
                 // registers/threads for the SM) are legal search points
@@ -35,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let greedy = tune(
             &space,
-            Strategy::Greedy { restarts: 3, seed: 2012 },
+            Strategy::Greedy {
+                restarts: 3,
+                seed: 2012,
+            },
             &mut evaluate,
         )?;
         println!(

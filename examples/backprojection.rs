@@ -11,7 +11,12 @@ use ks_core::Compiler;
 use ks_sim::DeviceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let prob = BackprojProblem { n: 32, num_proj: 16, det_u: 48, det_v: 48 };
+    let prob = BackprojProblem {
+        n: 32,
+        num_proj: 16,
+        det_u: 48,
+        det_v: 48,
+    };
     println!(
         "volume {}^3, {} projections of {}x{} — forward projecting phantom...",
         prob.n, prob.num_proj, prob.det_u, prob.det_v
@@ -25,11 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("CPU reference (4 threads): {cpu_ms:.2} ms wall-clock");
 
     let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-    println!("\nPPL × ZB sweep on {} (SK) vs run-time evaluated:", compiler.device().name);
+    println!(
+        "\nPPL × ZB sweep on {} (SK) vs run-time evaluated:",
+        compiler.device().name
+    );
     println!("  ppl  zb | RE ms     SK ms     speedup | regs RE/SK | max rel err");
     for ppl in [4u32, 8, 16] {
         for zb in [1u32, 2, 4] {
-            let imp = BackprojImpl { block_x: 8, block_y: 8, ppl, zb };
+            let imp = BackprojImpl {
+                block_x: 8,
+                block_y: 8,
+                ppl,
+                zb,
+            };
             let re = run_gpu(&compiler, Variant::Re, &prob, &imp, &scen, false)?;
             let sk = run_gpu(&compiler, Variant::Sk, &prob, &imp, &scen, true)?;
             let mut max_rel = 0.0f32;
@@ -53,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &compiler,
         Variant::Sk,
         &prob,
-        &BackprojImpl { block_x: 8, block_y: 8, ppl: 16, zb: 2 },
+        &BackprojImpl {
+            block_x: 8,
+            block_y: 8,
+            ppl: 16,
+            zb: 2,
+        },
         &scen,
         true,
     )?;

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flow
     );
 
-    let imp = PivImpl { rb: 4, threads: 128 };
+    let imp = PivImpl {
+        rb: 4,
+        threads: 128,
+    };
     for dev in DeviceConfig::presets() {
         let compiler = Compiler::new(dev.clone());
         println!("\n── {} ──", dev.name);
@@ -35,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (Variant::Sk, PivKernel::WarpSpec, "specialized + warp "),
         ] {
             let out = run_gpu(&compiler, variant, kernel, &prob, &imp, &scen, true)?;
-            let hits =
-                out.displacements.iter().filter(|d| **d == flow).count();
+            let hits = out.displacements.iter().filter(|d| **d == flow).count();
             let rep = &out.run.reports[0];
             println!(
                 "{tag}: {:8.4} ms | {:2} regs | occ {:.2} | local {:4} B | {}/{} vectors correct",
@@ -52,7 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show part of the recovered flow field.
     let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-    let out = run_gpu(&compiler, Variant::Sk, PivKernel::Basic, &prob, &imp, &scen, true)?;
+    let out = run_gpu(
+        &compiler,
+        Variant::Sk,
+        PivKernel::Basic,
+        &prob,
+        &imp,
+        &scen,
+        true,
+    )?;
     let (gx, gy) = prob.mask_grid();
     println!("\nrecovered flow field ({gx}x{gy} vectors):");
     for y in 0..gy.min(6) {

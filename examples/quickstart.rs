@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let elems = n + (loop_count as usize) * (arg_a * arg_b) as usize * n;
 
     // --- compile both variants of the same source ---
-    let re = compiler.compile(MATHTEST, &Defines::new())?;
+    let re = compiler.compile(MATHTEST, Defines::new())?;
     let sk = compiler.compile(
         MATHTEST,
         Defines::new()
@@ -64,11 +64,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("── run-time evaluated PTX (cf. Appendix C) ──");
     println!("{}", re.ptx);
-    println!("── specialized PTX, -D {} (cf. Appendix D) ──", sk.defines.command_line());
+    println!(
+        "── specialized PTX, -D {} (cf. Appendix D) ──",
+        sk.defines.command_line()
+    );
     println!("{}", sk.ptx);
 
-    println!("static instructions : RE {:4}   SK {:4}", re.static_insts("mathTest"), sk.static_insts("mathTest"));
-    println!("registers / thread  : RE {:4}   SK {:4}", re.regs_per_thread("mathTest"), sk.regs_per_thread("mathTest"));
+    println!(
+        "static instructions : RE {:4}   SK {:4}",
+        re.static_insts("mathTest"),
+        sk.static_insts("mathTest")
+    );
+    println!(
+        "registers / thread  : RE {:4}   SK {:4}",
+        re.regs_per_thread("mathTest"),
+        sk.regs_per_thread("mathTest")
+    );
 
     // --- execute both on the simulated GPU; results must agree ---
     let mut st = DeviceState::new(dev, 64 << 20);
@@ -85,15 +96,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let dims = LaunchDims::linear(blocks, threads);
 
-    let rep_re = launch(&mut st, &re.module, "mathTest", dims, &args, LaunchOptions::default())?;
+    let rep_re = launch(
+        &mut st,
+        &re.module,
+        "mathTest",
+        dims,
+        &args,
+        LaunchOptions::default(),
+    )?;
     let out_re = st.global.read_i32_slice(p_out, n)?;
-    let rep_sk = launch(&mut st, &sk.module, "mathTest", dims, &args, LaunchOptions::default())?;
+    let rep_sk = launch(
+        &mut st,
+        &sk.module,
+        "mathTest",
+        dims,
+        &args,
+        LaunchOptions::default(),
+    )?;
     let out_sk = st.global.read_i32_slice(p_out, n)?;
     assert_eq!(out_re, out_sk, "RE and SK must compute identical results");
 
-    println!("\nsimulated time      : RE {:.4} ms   SK {:.4} ms   ({:.2}x)",
-        rep_re.time_ms, rep_sk.time_ms, rep_re.time_ms / rep_sk.time_ms);
-    println!("dynamic instructions: RE {:6}   SK {:6}", rep_re.stats.dyn_insts, rep_sk.stats.dyn_insts);
+    println!(
+        "\nsimulated time      : RE {:.4} ms   SK {:.4} ms   ({:.2}x)",
+        rep_re.time_ms,
+        rep_sk.time_ms,
+        rep_re.time_ms / rep_sk.time_ms
+    );
+    println!(
+        "dynamic instructions: RE {:6}   SK {:6}",
+        rep_re.stats.dyn_insts, rep_sk.stats.dyn_insts
+    );
 
     println!("\n── launch profile (specialized) ──");
     print!("{}", ks_sim::summarize(&rep_sk));
@@ -108,7 +140,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .def("ARG_B", arg_b)
             .def("BLOCK_DIM_X", threads),
     )?;
-    println!("\ncache hit on recompile: {:?} (first compile took {:?})", t0.elapsed(), sk.compile_time);
+    println!(
+        "\ncache hit on recompile: {:?} (first compile took {:?})",
+        t0.elapsed(),
+        sk.compile_time
+    );
     let stats = compiler.cache_stats();
     println!("cache stats: {} hits, {} misses", stats.hits, stats.misses);
     Ok(())

@@ -71,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dev = DeviceConfig::tesla_c2070();
     let compiler = Compiler::new(dev.clone());
     let (w, h) = (128usize, 96usize);
-    let src: Vec<f32> = (0..w * h).map(|i| ((i * 37) % 101) as f32 / 100.0).collect();
+    let src: Vec<f32> = (0..w * h)
+        .map(|i| ((i * 37) % 101) as f32 / 100.0)
+        .collect();
 
     println!("filter | RE ms     SK ms     speedup | RE regs SK regs | max err");
     for ksize in [3usize, 7, 15, 31, 63] {

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example template_matching`
 
+#![allow(clippy::needless_range_loop)]
+
 use gpu_pf::{Arg, MacroBinding, Pipeline};
 use ks_apps::synth;
 use ks_apps::template_match::{tile_regions, KERNELS};
@@ -64,10 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let frame_px = frame_w * frame_h;
     let all_frames_ext = p.extent_param("frames", [(frame_px * frames) as u32, 1, 1], 4);
-    let frame_ext = p.extent_param("frame", [frame_px as u32, 1, 1], 4);
+    let _frame_ext = p.extent_param("frame", [frame_px as u32, 1, 1], 4);
     let templ_ext = p.extent_param("templc", [(templ_w * templ_h) as u32, 1, 1], 4);
-    let partial_ext =
-        p.extent_param("partial", [total_tiles * num_offsets as u32, 1, 1], 4);
+    let partial_ext = p.extent_param("partial", [total_tiles * num_offsets as u32, 1, 1], 4);
     let offs_ext = p.extent_param("offsets", [num_offsets as u32, 1, 1], 4);
 
     // Resources: the module is specialized from the bound parameters.

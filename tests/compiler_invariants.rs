@@ -108,7 +108,7 @@ proptest! {
             }
         "#;
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-        let default = compiler.compile(src, &Defines::new()).unwrap();
+        let default = compiler.compile(src, Defines::new()).unwrap();
         let custom = compiler.compile(src, Defines::new().def("SCALE", value)).unwrap();
         // Execute both; outputs must reflect the chosen scale.
         for (bin, scale) in [(&default, 1i64), (&custom, value)] {
@@ -138,7 +138,7 @@ proptest! {
             "// comment {word}\n{pad}__global__ void k(int* o) {{{pad}o[0] = 1; /* {word} */{pad}}}"
         );
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let bin = compiler.compile(&src, &Defines::new()).unwrap();
+        let bin = compiler.compile(&src, Defines::new()).unwrap();
         prop_assert!(bin.module.function("k").is_some());
     }
 }
@@ -161,7 +161,7 @@ fn malformed_kernels_error_cleanly() {
     let compiler = Compiler::new(DeviceConfig::tesla_c1060());
     for (i, src) in cases.iter().enumerate() {
         // Must not panic; the last case legitimately compiles.
-        let r = compiler.compile(src, &Defines::new());
+        let r = compiler.compile(src, Defines::new());
         if i < cases.len() - 1 {
             assert!(r.is_err(), "case {i} should fail: {src}");
         }
@@ -185,7 +185,7 @@ fn data_type_specialization_via_macro() {
     let compiler = Compiler::new(DeviceConfig::tesla_c2070());
 
     // float instantiation (the default)
-    let fbin = compiler.compile(src, &Defines::new()).unwrap();
+    let fbin = compiler.compile(src, Defines::new()).unwrap();
     let mut st = DeviceState::new(DeviceConfig::tesla_c2070(), 4 << 20);
     let pin = st.global.alloc(32 * 4).unwrap();
     let pout = st.global.alloc(32 * 4).unwrap();
@@ -206,7 +206,9 @@ fn data_type_specialization_via_macro() {
     }
 
     // int instantiation from the same source
-    let ibin = compiler.compile(src, Defines::new().def("DTYPE", "int")).unwrap();
+    let ibin = compiler
+        .compile(src, Defines::new().def("DTYPE", "int"))
+        .unwrap();
     let mut st = DeviceState::new(DeviceConfig::tesla_c2070(), 4 << 20);
     let pin = st.global.alloc(32 * 4).unwrap();
     let pout = st.global.alloc(32 * 4).unwrap();

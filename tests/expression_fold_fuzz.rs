@@ -19,7 +19,10 @@ struct GenExpr {
 
 fn leaf() -> impl Strategy<Value = GenExpr> {
     // Small literals; negative ones via unary minus at a higher level.
-    (0i32..1000).prop_map(|v| GenExpr { text: v.to_string(), value: v })
+    (0i32..1000).prop_map(|v| GenExpr {
+        text: v.to_string(),
+        value: v,
+    })
 }
 
 fn expr(depth: u32) -> BoxedStrategy<GenExpr> {
@@ -48,7 +51,11 @@ fn expr(depth: u32) -> BoxedStrategy<GenExpr> {
                     // Guard division by zero with a +1'd divisor.
                     let d = b.value.wrapping_abs().wrapping_add(1).max(1);
                     GenExpr {
-                        text: format!("({} / ({} + 1))", a.text, format_args!("({})", b.value.wrapping_abs())),
+                        text: format!(
+                            "({} / ({} + 1))",
+                            a.text,
+                            format_args!("({})", b.value.wrapping_abs())
+                        ),
                         value: a.value.wrapping_div(d),
                     }
                 }
@@ -70,7 +77,10 @@ fn expr(depth: u32) -> BoxedStrategy<GenExpr> {
                 },
             }
         }),
-        sub2.prop_map(|a| GenExpr { text: format!("(-{})", a.text), value: a.value.wrapping_neg() }),
+        sub2.prop_map(|a| GenExpr {
+            text: format!("(-{})", a.text),
+            value: a.value.wrapping_neg()
+        }),
         (expr(depth - 1), expr(depth - 1), expr(depth - 1)).prop_map(|(c, a, b)| GenExpr {
             text: format!("(({}) != 0 ? {} : {})", c.text, a.text, b.text),
             value: if c.value != 0 { a.value } else { b.value },
@@ -89,7 +99,7 @@ proptest! {
             e.text
         );
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let bin = compiler.compile(&src, &Defines::new()).unwrap();
+        let bin = compiler.compile(&src, Defines::new()).unwrap();
         // The store operand must already be a folded immediate.
         let f = bin.module.function("k").unwrap();
         let imm = f

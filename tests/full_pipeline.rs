@@ -29,7 +29,11 @@ fn all_apps_all_devices_all_variants() {
                 frames: 1,
             };
             let ms = synth::match_scenario(96, 80, 24, 20, 8, 8, 5);
-            let mi = MatchImpl { tile_w: 8, tile_h: 8, threads: 64 };
+            let mi = MatchImpl {
+                tile_w: 8,
+                tile_h: 8,
+                threads: 64,
+            };
             let out = template_match::run_gpu(&compiler, variant, &mp, &mi, &ms, true)
                 .expect("template matching");
             let cpu = template_match::cpu_ncc(&mp, &ms.frame, &ms.template, 2);
@@ -62,11 +66,21 @@ fn all_apps_all_devices_all_variants() {
             }
 
             // Backprojection.
-            let bp = BackprojProblem { n: 12, num_proj: 4, det_u: 20, det_v: 20 };
+            let bp = BackprojProblem {
+                n: 12,
+                num_proj: 4,
+                det_u: 20,
+                det_v: 20,
+            };
             let bs = synth::ct_scenario(12, 4, 20, 20);
-            let bi = BackprojImpl { block_x: 4, block_y: 4, ppl: 4, zb: 2 };
-            let bout = backproj::run_gpu(&compiler, variant, &bp, &bi, &bs, true)
-                .expect("backprojection");
+            let bi = BackprojImpl {
+                block_x: 4,
+                block_y: 4,
+                ppl: 4,
+                zb: 2,
+            };
+            let bout =
+                backproj::run_gpu(&compiler, variant, &bp, &bi, &bs, true).expect("backprojection");
             let bcpu = backproj::cpu_backproject(&bp, &bs, 2);
             for (g, c) in bout.volume.iter().zip(&bcpu) {
                 assert!(
@@ -119,7 +133,12 @@ fn gpu_pf_respecialization_mid_stream() {
         grid,
         blk,
         None,
-        vec![Arg::Mem(dev_in), Arg::Mem(dev_out), Arg::Param(power), Arg::Param(nparam)],
+        vec![
+            Arg::Mem(dev_in),
+            Arg::Mem(dev_out),
+            Arg::Param(power),
+            Arg::Param(nparam),
+        ],
         every,
     );
     p.copy("d2h", dev_out, host_out, every);
@@ -165,7 +184,11 @@ fn performance_shape_holds() {
         frames: 1,
     };
     let ms = synth::match_scenario(128, 96, 32, 24, 16, 16, 11);
-    let mi = MatchImpl { tile_w: 8, tile_h: 8, threads: 64 };
+    let mi = MatchImpl {
+        tile_w: 8,
+        tile_h: 8,
+        threads: 64,
+    };
     let mut times = Vec::new();
     for dev in DeviceConfig::presets() {
         let compiler = Compiler::new(dev);

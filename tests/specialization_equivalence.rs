@@ -50,6 +50,7 @@ __global__ void intmath(int* in, int* out, int divisor, int factor, int n) {
 }
 "#;
 
+#[allow(clippy::too_many_arguments)]
 fn run_mathtest(
     st: &mut DeviceState,
     bin: &ks_core::Binary,
@@ -67,7 +68,13 @@ fn run_mathtest(
         &bin.module,
         "mathTest",
         LaunchDims::linear(blocks, threads),
-        &[KArg::Ptr(p_in), KArg::Ptr(p_out), KArg::I32(a), KArg::I32(b), KArg::I32(lc)],
+        &[
+            KArg::Ptr(p_in),
+            KArg::Ptr(p_out),
+            KArg::I32(a),
+            KArg::I32(b),
+            KArg::I32(lc),
+        ],
         LaunchOptions::default(),
     )
     .unwrap();
@@ -92,7 +99,7 @@ proptest! {
         let elems = n + lc as usize * (a * b) as usize * n + 1;
 
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let re = compiler.compile(MATHTEST, &Defines::new()).unwrap();
+        let re = compiler.compile(MATHTEST, Defines::new()).unwrap();
         let sk = compiler
             .compile(
                 MATHTEST,
@@ -129,7 +136,7 @@ proptest! {
         let divisor = 1i32 << div_pow;
         let n = 64usize;
         let compiler = Compiler::new(DeviceConfig::tesla_c2070());
-        let re = compiler.compile(INTMATH, &Defines::new()).unwrap();
+        let re = compiler.compile(INTMATH, Defines::new()).unwrap();
         let sk = compiler
             .compile(INTMATH, Defines::new().def("DIVISOR", divisor).def("FACTOR", factor))
             .unwrap();
@@ -195,7 +202,7 @@ proptest! {
             }
         "#;
         let compiler = Compiler::new(DeviceConfig::tesla_c1060());
-        let re = compiler.compile(src, &Defines::new()).unwrap();
+        let re = compiler.compile(src, Defines::new()).unwrap();
         let sk = compiler.compile(src, Defines::new().def("SIZE", size)).unwrap();
         let data: Vec<f32> = (0..size).map(|i| (i % 13) as f32).collect();
         let expect: f32 = data.iter().sum();

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the criterion API for the workspace's
+//! `[[bench]]` targets to compile and produce useful wall-clock numbers:
+//! `Criterion::benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a fixed-budget loop reporting the mean —
+//! no statistical analysis, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized (accepted for API compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _c: self }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!("  {name}: {:.3} us/iter ({} iters)", mean * 1e6, b.iters);
+}
+
+/// Passed to each benchmark closure; records timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Per-target time budget. Deliberately small: these stand-in numbers
+/// guide development, they are not publication statistics.
+const BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() > BUDGET {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() > BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| {
+                    runs += 1;
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert_eq!(setups, runs);
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides the surface the workspace actually uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open
+//! ranges of the primitive integer and float types. The generator is
+//! splitmix64 — deterministic, seedable, and statistically far better
+//! than the synthetic-data use cases here require. It is *not* the
+//! same stream as upstream `StdRng` (ChaCha12), which only matters if
+//! golden outputs were recorded against upstream; none were.
+
+use std::ops::Range;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (range.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                // 53 random bits -> uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let lo = range.start as f64;
+                let hi = range.end as f64;
+                let v = lo + unit * (hi - lo);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi { range.start } else { v as $t }
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+/// The random-value source trait (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_range(self, 0.0..1.0) < p
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic splitmix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            super::splitmix64(&mut self.state)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let i = rng.gen_range(-5i32..17);
+            assert!((-5..17).contains(&i));
+            let u = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+            let f = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_range_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "all of 0..4 should appear: {seen:?}"
+        );
+    }
+}

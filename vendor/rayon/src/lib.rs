@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the API subset the workspace uses — `par_iter()` on slices
+//! with `for_each` / `try_for_each` / `map`+`collect` — implemented
+//! with `std::thread::scope` over per-thread chunks. Work is split
+//! eagerly into one contiguous chunk per available core (no work
+//! stealing); for the simulator's homogeneous per-block workloads that
+//! is within noise of real rayon.
+
+use std::num::NonZeroUsize;
+
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4);
+    cores.min(len).max(1)
+}
+
+/// Parallel iterator over an immutable slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _ = self.try_for_each::<(), _>(|item| {
+            f(item);
+            Ok(())
+        });
+    }
+
+    pub fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(&'a T) -> Result<(), E> + Sync,
+    {
+        let n = threads_for(self.items.len());
+        if n <= 1 {
+            return self.items.iter().try_for_each(f);
+        }
+        let chunk = self.items.len().div_ceil(n);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().try_for_each(f)))
+                .collect();
+            let mut result = Ok(());
+            for h in handles {
+                let r = h.join().expect("rayon-stub worker panicked");
+                if result.is_ok() {
+                    result = r;
+                }
+            }
+            result
+        })
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Lazily mapped parallel iterator; realized by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let n = threads_for(self.items.len());
+        if n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = self.items.len().div_ceil(n);
+        let f = &self.f;
+        let per_chunk: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-stub worker panicked"))
+                .collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Extension trait giving slices and `Vec`s a `par_iter()`.
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn try_for_each_visits_everything() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        items
+            .par_iter()
+            .try_for_each::<(), _>(|&v| {
+                sum.fetch_add(v, Ordering::Relaxed);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn try_for_each_propagates_errors() {
+        let items: Vec<u64> = (0..100).collect();
+        let r = items
+            .par_iter()
+            .try_for_each(|&v| if v == 63 { Err(v) } else { Ok(()) });
+        assert_eq!(r, Err(63));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|v| v * 2).collect();
+        assert_eq!(doubled, (0..257).map(|v| v * 2).collect::<Vec<_>>());
+    }
+}
