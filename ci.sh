@@ -18,6 +18,13 @@ cargo build --offline --release
 echo "== cargo test"
 cargo test --offline -q
 
+# Concurrency stress tests run in release mode: the optimized build
+# shrinks the compile window enough to actually exercise the
+# single-flight dedup and eviction races (debug timings hide them).
+echo "== cargo test --release (cache concurrency stress)"
+cargo test --offline --release -q -p ks-core --test concurrency
+cargo test --offline --release -q -p ks-tune --test parallel_compile
+
 lint() {
     cargo run --offline --release -q -p ks-analysis --bin ks-lint -- \
         --deny KSA004 --deny KSA005 "$@"

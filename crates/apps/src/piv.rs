@@ -159,6 +159,21 @@ pub fn displacements(prob: &PivProblem, scores: &[f32]) -> Vec<(i32, i32)> {
         .collect()
 }
 
+/// The defines [`run_gpu`] compiles with for this configuration. Sweep
+/// drivers use this to precompile whole candidate grids in parallel
+/// through `Compiler::compile_batch` before walking them.
+pub fn specialization(variant: Variant, prob: &PivProblem, imp: &PivImpl) -> Defines {
+    match variant {
+        Variant::Re => Defines::new(),
+        Variant::Sk => Defines::new()
+            .def("RB", imp.rb)
+            .def("THREADS", imp.threads)
+            .def("MASK_W", prob.mask_w)
+            .def("MASK_H", prob.mask_h)
+            .def("OFFS_W", prob.offs_w),
+    }
+}
+
 /// Run the GPU PIV kernel over a scenario.
 pub fn run_gpu(
     compiler: &Compiler,
@@ -205,15 +220,7 @@ pub fn run_gpu_with(
     let num_masks = prob.num_masks();
     let (masks_x, _) = prob.mask_grid();
 
-    let defines = match variant {
-        Variant::Re => Defines::new(),
-        Variant::Sk => Defines::new()
-            .def("RB", imp.rb)
-            .def("THREADS", imp.threads)
-            .def("MASK_W", prob.mask_w)
-            .def("MASK_H", prob.mask_h)
-            .def("OFFS_W", prob.offs_w),
-    };
+    let defines = specialization(variant, prob, imp);
     let t0 = std::time::Instant::now();
     let bin = compiler.compile(KERNELS, &defines)?;
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;

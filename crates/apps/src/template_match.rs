@@ -215,6 +215,55 @@ impl MatchOutput {
     }
 }
 
+/// Defines for the tile kernels at one region tile size (the per-region
+/// modules of [`run_gpu`] plus its auxiliary module all come from here).
+fn tile_defines(
+    variant: Variant,
+    prob: &MatchProblem,
+    imp: &MatchImpl,
+    total_tiles: u32,
+    tw: u32,
+    th: u32,
+) -> Defines {
+    match variant {
+        Variant::Re => Defines::new(),
+        Variant::Sk => Defines::new()
+            .def("TILE_W", tw)
+            .def("TILE_H", th)
+            .def("SHIFT_W", prob.shift_w)
+            .def("NUM_TILES", total_tiles)
+            .def("TEMPL_W", prob.templ_w)
+            .def("TEMPL_H", prob.templ_h)
+            .def("THREADS", imp.threads),
+    }
+}
+
+/// The distinct define sets [`run_gpu`] compiles for this configuration
+/// (one per region tile size, plus the auxiliary-stage module). Sweep
+/// drivers use this to precompile whole candidate grids in parallel
+/// through `Compiler::compile_batch` before walking them.
+pub fn specializations(variant: Variant, prob: &MatchProblem, imp: &MatchImpl) -> Vec<Defines> {
+    let regions = tile_regions(
+        prob.templ_w as u32,
+        prob.templ_h as u32,
+        imp.tile_w,
+        imp.tile_h,
+    );
+    let total_tiles: u32 = regions.iter().map(|r| r.num_tiles()).sum();
+    let mut out: Vec<Defines> = Vec::new();
+    for (tw, th) in regions
+        .iter()
+        .map(|r| (r.tw, r.th))
+        .chain(std::iter::once((imp.tile_w, imp.tile_h)))
+    {
+        let d = tile_defines(variant, prob, imp, total_tiles, tw, th);
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    out
+}
+
 /// Run the full GPU pipeline for one frame.
 ///
 /// `functional` should be true when outputs are checked; perf sweeps can
@@ -243,19 +292,7 @@ pub fn run_gpu(
     let inv_n = 1.0f32 / (prob.templ_w * prob.templ_h) as f32;
 
     // --- compile (per-region for SK; single RE module otherwise) ---
-    let base_defs = |tw: u32, th: u32| -> Defines {
-        match variant {
-            Variant::Re => Defines::new(),
-            Variant::Sk => Defines::new()
-                .def("TILE_W", tw)
-                .def("TILE_H", th)
-                .def("SHIFT_W", prob.shift_w)
-                .def("NUM_TILES", total_tiles)
-                .def("TEMPL_W", prob.templ_w)
-                .def("TEMPL_H", prob.templ_h)
-                .def("THREADS", imp.threads),
-        }
-    };
+    let base_defs = |tw: u32, th: u32| tile_defines(variant, prob, imp, total_tiles, tw, th);
     let compile_start = std::time::Instant::now();
     let mut region_bins = Vec::new();
     for r in &regions {

@@ -11,7 +11,7 @@
 use ks_apps::piv::{PivImpl, PivKernel, PivProblem};
 use ks_apps::template_match::{MatchImpl, MatchProblem};
 use ks_apps::{synth, Variant};
-use ks_core::Compiler;
+use ks_core::{Compiler, Defines};
 use ks_sim::DeviceConfig;
 use std::collections::BTreeMap;
 use std::fmt::Display;
@@ -356,8 +356,30 @@ impl MatchSweep {
         s
     }
 
+    /// Warm the compile cache with every module the (tile × threads)
+    /// grid will need, fanned out across threads by the batch API.
+    /// Best-effort: compile errors resurface (with context) when the
+    /// corresponding sweep point is actually evaluated.
+    pub fn precompile(&self, variant: Variant, prob: &MatchProblem) {
+        let mut jobs: Vec<(&str, Defines)> = Vec::new();
+        for (tw, th) in match_tile_options() {
+            for t in thread_options() {
+                let imp = MatchImpl {
+                    tile_w: tw,
+                    tile_h: th,
+                    threads: t,
+                };
+                for d in ks_apps::template_match::specializations(variant, prob, &imp) {
+                    jobs.push((ks_apps::template_match::KERNELS, d));
+                }
+            }
+        }
+        let _ = self.compiler.compile_batch(&jobs);
+    }
+
     /// Best configuration over the sweep grid.
     pub fn best(&mut self, variant: Variant, prob: &MatchProblem) -> (MatchImpl, Sample) {
+        self.precompile(variant, prob);
         let mut best: Option<(MatchImpl, Sample)> = None;
         for (tw, th) in match_tile_options() {
             for t in thread_options() {
@@ -464,12 +486,33 @@ impl PivSweep {
         s
     }
 
+    /// Warm the compile cache with the full (rb × threads) grid in
+    /// parallel (single-flight collapses the RE variant's identical
+    /// defines to one compilation). Best-effort: errors resurface when
+    /// the sweep point is evaluated.
+    pub fn precompile(&self, variant: Variant, prob: &PivProblem, rbs: &[u32], threads: &[u32]) {
+        let jobs: Vec<(&str, Defines)> = rbs
+            .iter()
+            .flat_map(|&rb| {
+                threads.iter().map(move |&t| {
+                    let imp = PivImpl { rb, threads: t };
+                    (
+                        ks_apps::piv::KERNELS,
+                        ks_apps::piv::specialization(variant, prob, &imp),
+                    )
+                })
+            })
+            .collect();
+        let _ = self.compiler.compile_batch(&jobs);
+    }
+
     pub fn best(
         &mut self,
         variant: Variant,
         kernel: PivKernel,
         prob: &PivProblem,
     ) -> (PivImpl, Sample) {
+        self.precompile(variant, prob, &piv_rb_options(), &piv_thread_options());
         let mut best: Option<(PivImpl, Sample)> = None;
         for rb in piv_rb_options() {
             for t in piv_thread_options() {
@@ -525,6 +568,13 @@ pub fn piv_sweep_table(
         table.row(row);
     }
     table.finish();
+    for sweep in &sweeps {
+        println!(
+            "[cache] {}: {}",
+            sweep.compiler.device().name,
+            sweep.compiler.cache_stats()
+        );
+    }
 }
 
 /// The Figure 6.1/6.2 driver: per Table 6.4 data set, a (RB × threads)
@@ -537,7 +587,8 @@ pub fn piv_contour(name: &str, dev: DeviceConfig) {
     let threads = piv_thread_options();
     println!("=== {name}: PIV performance relative to peak — {dev_name} ===");
     for (set_name, prob) in piv_mask_sets() {
-        // Measure the grid.
+        // Precompile the grid's variant set in parallel, then measure.
+        sweep.precompile(Variant::Sk, &prob, &rbs, &threads);
         let mut times = vec![vec![0.0f64; rbs.len()]; threads.len()];
         let mut best = f64::INFINITY;
         for (i, &t) in threads.iter().enumerate() {
@@ -580,6 +631,7 @@ pub fn piv_contour(name: &str, dev: DeviceConfig) {
         }
         table.finish();
     }
+    println!("[cache] {dev_name}: {}", sweep.compiler.cache_stats());
 }
 
 /// Render a (threads × rb) relative-performance grid as an ASCII contour

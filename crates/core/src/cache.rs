@@ -1,0 +1,306 @@
+//! Sharded, single-flight binary cache.
+//!
+//! §4.3's amortization argument only holds if the cache is correct under
+//! concurrency: N threads requesting the same specialization must cost
+//! *one* compilation, and requests for distinct keys must not serialize
+//! behind each other. This module provides both:
+//!
+//! * **Sharding** — the key space is split across independently locked
+//!   shards, so compilations of distinct keys proceed fully in parallel.
+//! * **Single-flight** — the first thread to miss on a key becomes the
+//!   *leader* and compiles; every concurrent request for the same key
+//!   blocks on an in-flight slot and receives the leader's `Arc<Binary>`.
+//!   Exactly one miss is recorded; the followers count as hits (their
+//!   wait is tracked separately as dedup time).
+//! * **Bounded capacity** — an optional LRU bound with eviction
+//!   accounting, for long-running services that sweep huge define spaces.
+//!
+//! Statistics are atomics, updated exactly once per `compile()` call, so
+//! `hits + misses` equals the number of successful calls under arbitrary
+//! interleavings (the seed kept stats under a separate mutex from the
+//! cache map, which let the two disagree).
+
+use crate::{Binary, CacheStats, CompileError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub(crate) type CompileResult = Result<Arc<Binary>, CompileError>;
+
+/// Default shard count (capped by capacity when one is set, so the
+/// per-shard capacity slices stay ≥ 1 and the global bound is exact).
+const DEFAULT_SHARDS: usize = 16;
+
+/// One in-flight compilation. The leader fulfills the slot; followers
+/// block on the condvar and clone the result.
+struct InFlight {
+    slot: Mutex<Option<CompileResult>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> CompileResult {
+        let guard = self.ready.wait_while(self.slot.lock(), |r| r.is_none());
+        guard.clone().expect("in-flight slot fulfilled")
+    }
+
+    fn fulfill(&self, result: CompileResult) {
+        *self.slot.lock() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+struct Entry {
+    bin: Arc<Binary>,
+    /// Global LRU stamp (larger = more recently used).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    inflight: HashMap<u64, Arc<InFlight>>,
+    /// This shard's slice of the global capacity (None = unbounded).
+    capacity: Option<usize>,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    dedup_waits: AtomicU64,
+    compile_micros: AtomicU64,
+    dedup_wait_micros: AtomicU64,
+}
+
+pub(crate) struct BinaryCache {
+    shards: Box<[Mutex<Shard>]>,
+    tick: AtomicU64,
+    counters: Counters,
+}
+
+/// What the probe decided this call is.
+enum Claim {
+    Hit(Arc<Binary>),
+    /// Another thread is compiling this key; wait for it.
+    Follow(Arc<InFlight>),
+    /// This thread registered the in-flight slot and must compile.
+    Lead(Arc<InFlight>),
+}
+
+impl BinaryCache {
+    pub(crate) fn new(capacity: Option<usize>) -> BinaryCache {
+        let n = match capacity {
+            // Capacity is distributed across shards; never more shards
+            // than capacity so each shard holds at least one entry and
+            // the per-shard bounds sum to exactly `cap`.
+            Some(cap) => DEFAULT_SHARDS.min(cap.max(1)),
+            None => DEFAULT_SHARDS,
+        };
+        let shards: Box<[Mutex<Shard>]> = (0..n)
+            .map(|i| {
+                Mutex::new(Shard {
+                    capacity: capacity.map(|cap| cap / n + usize::from(i < cap % n)),
+                    ..Shard::default()
+                })
+            })
+            .collect();
+        BinaryCache {
+            shards,
+            tick: AtomicU64::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    fn stamp(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Cached entries across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            dedup_waits: self.counters.dedup_waits.load(Ordering::Relaxed),
+            total_compile_micros: self.counters.compile_micros.load(Ordering::Relaxed),
+            total_dedup_wait_micros: self.counters.dedup_wait_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The single-flight fast path: return the cached binary for `key`,
+    /// join an in-flight compilation of it, or run `compile` as the
+    /// leader and publish the result to the cache and all followers.
+    pub(crate) fn get_or_compile(
+        &self,
+        key: u64,
+        compile: impl FnOnce() -> CompileResult,
+    ) -> CompileResult {
+        let claim = {
+            let mut shard = self.shard(key).lock();
+            if let Some(e) = shard.entries.get_mut(&key) {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                Claim::Hit(e.bin.clone())
+            } else if let Some(f) = shard.inflight.get(&key) {
+                Claim::Follow(f.clone())
+            } else {
+                let f = Arc::new(InFlight::new());
+                shard.inflight.insert(key, f.clone());
+                Claim::Lead(f)
+            }
+        };
+        match claim {
+            Claim::Hit(bin) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(bin)
+            }
+            Claim::Follow(flight) => {
+                let t0 = Instant::now();
+                let result = flight.wait();
+                self.counters.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .dedup_wait_micros
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                // Duplicate-compile suppression is a hit, not a miss: the
+                // §4.3 overhead was paid once, by the leader.
+                if result.is_ok() {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
+            Claim::Lead(flight) => {
+                // If `compile` panics, the guard removes the in-flight
+                // slot and feeds followers an error instead of deadlock.
+                let guard = FlightGuard {
+                    cache: self,
+                    key,
+                    flight: &flight,
+                };
+                let result = compile();
+                std::mem::forget(guard);
+                {
+                    let mut shard = self.shard(key).lock();
+                    shard.inflight.remove(&key);
+                    if let Ok(bin) = &result {
+                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .compile_micros
+                            .fetch_add(bin.compile_time.as_micros() as u64, Ordering::Relaxed);
+                        let stamp = self.stamp();
+                        shard.entries.insert(
+                            key,
+                            Entry {
+                                bin: bin.clone(),
+                                last_used: stamp,
+                            },
+                        );
+                        if let Some(cap) = shard.capacity {
+                            while shard.entries.len() > cap {
+                                let lru = shard
+                                    .entries
+                                    .iter()
+                                    .min_by_key(|(_, e)| e.last_used)
+                                    .map(|(k, _)| *k)
+                                    .expect("nonempty over capacity");
+                                shard.entries.remove(&lru);
+                                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                flight.fulfill(result.clone());
+                result
+            }
+        }
+    }
+}
+
+/// Panic guard for the leader path: on unwind, unregister the in-flight
+/// slot and wake followers with an error so they don't block forever.
+struct FlightGuard<'a> {
+    cache: &'a BinaryCache,
+    key: u64,
+    flight: &'a Arc<InFlight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.shard(self.key).lock().inflight.remove(&self.key);
+        self.flight.fulfill(Err(CompileError {
+            message: "compilation panicked in another thread".to_string(),
+            command_line: String::new(),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_binary() -> Arc<Binary> {
+        Arc::new(Binary {
+            module: ks_ir::Module::default(),
+            ptx: String::new(),
+            regalloc: HashMap::new(),
+            defines: crate::Defines::new(),
+            device: "test".to_string(),
+            compile_time: std::time::Duration::from_micros(10),
+            diagnostics: Vec::new(),
+            metrics: crate::CompileMetrics::default(),
+        })
+    }
+
+    #[test]
+    fn capacity_slices_sum_exactly() {
+        for cap in [1usize, 2, 3, 7, 16, 17, 100] {
+            let c = BinaryCache::new(Some(cap));
+            let total: usize = c.shards.iter().map(|s| s.lock().capacity.unwrap()).sum();
+            assert_eq!(total, cap, "capacity {cap}");
+            assert!(c.shards.len() <= cap.clamp(1, DEFAULT_SHARDS));
+            assert!(c.shards.iter().all(|s| s.lock().capacity.unwrap() >= 1));
+        }
+    }
+
+    #[test]
+    fn leader_panic_unblocks_followers() {
+        let cache = Arc::new(BinaryCache::new(None));
+        let c2 = cache.clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let leader = std::thread::spawn(move || {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compile(42, || {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("boom")
+                })
+            }));
+            assert!(res.is_err());
+        });
+        // Only probe once the leader holds the in-flight slot.
+        rx.recv().unwrap();
+        // Either we join the doomed flight and get the panic error, or we
+        // probe after cleanup and become the new leader ourselves.
+        if let Err(e) = cache.get_or_compile(42, || Ok(dummy_binary())) {
+            assert!(e.message.contains("panicked"), "{e}");
+        }
+        leader.join().unwrap();
+    }
+}

@@ -28,25 +28,48 @@
 //! ```
 //!
 //! The engine mirrors the GPU-PF behaviour described in §4.3/§4.4:
-//! compiled binaries are **cached** keyed by (source, defines, device), so
-//! re-encountering a parameter set loads the previous binary ("with speed
-//! similar to loading a dynamically linked shared object"), and compile
-//! overhead is tracked so applications can report it.
+//! compiled binaries are **cached** keyed by (source, defines, device,
+//! passes), so re-encountering a parameter set loads the previous binary
+//! ("with speed similar to loading a dynamically linked shared object"),
+//! and compile overhead is tracked — per phase, via [`CompileMetrics`] —
+//! so applications can report it.
+//!
+//! The cache is a **sharded, single-flight concurrent compile service**
+//! (see [`cache`]): concurrent requests for the same key block on one
+//! compilation and all receive the same `Arc<Binary>` (exactly one miss),
+//! distinct keys compile fully in parallel, and [`Compiler::compile_batch`]
+//! / [`Compiler::precompile`] fan a whole sweep's variant set out across
+//! threads. Define *order* never affects the cache key: `cache_key`
+//! canonicalizes the define set, so `.def("A",1).def("B",2)` and
+//! `.def("B",2).def("A",1)` share a slot.
 
 pub use ks_analysis::{AnalysisConfig, Diagnostic};
 use ks_codegen::CodegenOptions;
 use ks_sim::{DeviceConfig, RegAlloc};
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+mod cache;
+mod metrics;
+
+pub use metrics::CompileMetrics;
+
 /// An ordered set of `-D NAME=value` definitions.
+///
+/// Insertion order is preserved for [`Defines::command_line`] (a faithful
+/// `-D` echo), but does **not** affect caching: the compiler hashes a
+/// canonical (name-sorted) view of the set.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Defines {
     items: Vec<(String, String)>,
+    /// First invalid definition (e.g. a non-finite f32). Recorded here so
+    /// the fluent builder stays infallible; surfaced as a [`CompileError`]
+    /// the moment the defines reach [`Compiler::compile`], *before* the
+    /// bad token can produce a confusing downstream lex error.
+    invalid: Option<String>,
 }
 
 impl Defines {
@@ -76,8 +99,19 @@ impl Defines {
 
     /// A single-precision float constant (§4 footnote 1: floating-point
     /// values can be specified on the command line), rendered with an `f`
-    /// suffix so it lexes as `float`.
-    pub fn f32(self, name: &str, value: f32) -> Defines {
+    /// suffix so it lexes as `float`. Non-finite values (NaN, ±inf) have
+    /// no float-literal spelling; they are rejected with a clear error at
+    /// compile time instead of failing to lex downstream.
+    pub fn f32(mut self, name: &str, value: f32) -> Defines {
+        if !value.is_finite() {
+            self.invalid.get_or_insert_with(|| {
+                format!(
+                    "invalid define `-D {name}={value}`: f32 defines must be \
+                     finite ({value} has no float-literal spelling)"
+                )
+            });
+            return self;
+        }
         self.def(name, format!("{value:?}f"))
     }
 
@@ -87,6 +121,11 @@ impl Defines {
 
     pub fn items(&self) -> &[(String, String)] {
         &self.items
+    }
+
+    /// The first invalid definition recorded by a builder method, if any.
+    pub fn invalid(&self) -> Option<&str> {
+        self.invalid.as_deref()
     }
 
     /// Render the nvcc-style command-line fragment (for logs).
@@ -117,6 +156,8 @@ pub struct Binary {
     pub device: String,
     /// Wall-clock cost of this compilation (the §4.3 trade-off).
     pub compile_time: Duration,
+    /// Per-phase breakdown of `compile_time`.
+    pub metrics: CompileMetrics,
     /// Non-deny analysis diagnostics (deny-level findings abort the
     /// compile instead). Empty unless the compiler carries an
     /// [`AnalysisConfig`].
@@ -173,21 +214,53 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// Cache statistics (hits mean the §4.3 overhead was avoided entirely).
+///
+/// Counters are maintained atomically in the same operation that probes
+/// or fills the cache, so at quiescence `hits + misses` equals the number
+/// of successful [`Compiler::compile`] calls under arbitrary thread
+/// interleavings. Requests deduplicated by single-flight count as hits
+/// (the overhead was paid once, by the leader); their blocked time is
+/// itemized in `dedup_waits` / `total_dedup_wait_micros`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped by LRU eviction (bounded caches only).
+    pub evictions: u64,
+    /// Calls that blocked on another thread's in-flight compilation of
+    /// the same key (each also counted as a hit on success).
+    pub dedup_waits: u64,
     pub total_compile_micros: u64,
+    /// Total time calls spent blocked on in-flight compilations.
+    pub total_dedup_wait_micros: u64,
 }
 
-/// The run-time kernel compiler with binary caching.
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} evictions / {} dedup-waits / \
+             compile {:.1?} / dedup-wait {:.1?}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.dedup_waits,
+            Duration::from_micros(self.total_compile_micros),
+            Duration::from_micros(self.total_dedup_wait_micros),
+        )
+    }
+}
+
+/// The run-time kernel compiler with a sharded, single-flight binary
+/// cache. Shareable across threads (`&Compiler` is all any API needs);
+/// concurrent compiles of distinct keys run fully in parallel, while
+/// concurrent requests for the same key cost exactly one compilation.
 pub struct Compiler {
     device: DeviceConfig,
     options: CodegenOptions,
     opt_config: ks_opt::OptConfig,
     analysis: Option<AnalysisConfig>,
-    cache: Mutex<HashMap<u64, Arc<Binary>>>,
-    stats: Mutex<CacheStats>,
+    cache: cache::BinaryCache,
 }
 
 impl Compiler {
@@ -197,8 +270,7 @@ impl Compiler {
             options: CodegenOptions::default(),
             opt_config: ks_opt::OptConfig::default(),
             analysis: None,
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
+            cache: cache::BinaryCache::new(None),
         }
     }
 
@@ -231,18 +303,47 @@ impl Compiler {
         self
     }
 
+    /// Bound the binary cache to `capacity` entries with LRU eviction
+    /// (eviction counts land in [`CacheStats::evictions`]). Unbounded by
+    /// default. Configure before compiling: this replaces the cache, so
+    /// any already-cached binaries are dropped.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Compiler {
+        self.cache = cache::BinaryCache::new(Some(capacity.max(1)));
+        self
+    }
+
     pub fn device(&self) -> &DeviceConfig {
         &self.device
     }
 
     pub fn cache_stats(&self) -> CacheStats {
-        *self.stats.lock()
+        self.cache.stats()
+    }
+
+    /// Number of binaries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn nvcc_line(&self, defines: &Defines) -> String {
+        format!(
+            "nvcc -arch=sm_{}{} {}",
+            self.device.cc_major,
+            self.device.cc_minor,
+            defines.command_line()
+        )
     }
 
     fn cache_key(&self, source: &str, defines: &Defines) -> u64 {
         let mut h = DefaultHasher::new();
         source.hash(&mut h);
-        defines.hash(&mut h);
+        // Canonicalize: hash the define set sorted by name (names are
+        // unique, so the order is total), never the insertion order —
+        // `.def("A",1).def("B",2)` and `.def("B",2).def("A",1)` are the
+        // same `-D` set and must share a cache slot.
+        let mut items: Vec<&(String, String)> = defines.items.iter().collect();
+        items.sort();
+        items.hash(&mut h);
         self.device.cc_major.hash(&mut h);
         self.device.cc_minor.hash(&mut h);
         self.options.unroll_limit.hash(&mut h);
@@ -256,44 +357,62 @@ impl Compiler {
     }
 
     /// Compile `source` with the given defines, or return the cached
-    /// binary for an identical (source, defines, device) combination.
+    /// binary for an identical (source, defines, device, passes)
+    /// combination. Concurrent calls with the same key block on a single
+    /// compilation and all receive the same `Arc<Binary>`.
     pub fn compile(
         &self,
         source: &str,
         defines: impl std::borrow::Borrow<Defines>,
     ) -> Result<Arc<Binary>, CompileError> {
         let defines = defines.borrow();
+        if let Some(msg) = defines.invalid() {
+            return Err(CompileError {
+                message: msg.to_string(),
+                command_line: self.nvcc_line(defines),
+            });
+        }
         let key = self.cache_key(source, defines);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            self.stats.lock().hits += 1;
-            return Ok(hit.clone());
-        }
-        let start = Instant::now();
-        let bin = self.compile_uncached(source, defines)?;
-        let elapsed = start.elapsed();
-        let bin = Arc::new(Binary {
-            compile_time: elapsed,
-            ..bin
-        });
-        {
-            let mut s = self.stats.lock();
-            s.misses += 1;
-            s.total_compile_micros += elapsed.as_micros() as u64;
-        }
-        self.cache.lock().insert(key, bin.clone());
-        Ok(bin)
+        self.cache.get_or_compile(key, || {
+            let start = Instant::now();
+            self.compile_uncached(source, defines).map(|mut bin| {
+                let elapsed = start.elapsed();
+                bin.compile_time = elapsed;
+                bin.metrics.total = elapsed;
+                Arc::new(bin)
+            })
+        })
+    }
+
+    /// Compile a batch of jobs in parallel (rayon), preserving order.
+    /// Single-flight dedup applies across the batch and against any
+    /// concurrent [`Compiler::compile`] callers, so duplicate jobs cost
+    /// one compilation.
+    pub fn compile_batch(
+        &self,
+        jobs: &[(&str, Defines)],
+    ) -> Vec<Result<Arc<Binary>, CompileError>> {
+        use rayon::prelude::*;
+        jobs.par_iter()
+            .map(|(source, defines)| self.compile(source, defines))
+            .collect()
+    }
+
+    /// Warm the cache with every job in parallel, failing on the first
+    /// compile error. Sweep drivers call this before walking a grid so
+    /// the walk itself is all cache hits.
+    pub fn precompile(&self, jobs: &[(&str, Defines)]) -> Result<(), CompileError> {
+        use rayon::prelude::*;
+        jobs.par_iter()
+            .try_for_each(|(source, defines)| self.compile(source, defines).map(drop))
     }
 
     fn compile_uncached(&self, source: &str, defines: &Defines) -> Result<Binary, CompileError> {
         let err = |message: String| CompileError {
             message,
-            command_line: format!(
-                "nvcc -arch=sm_{}{} {}",
-                self.device.cc_major,
-                self.device.cc_minor,
-                defines.command_line()
-            ),
+            command_line: self.nvcc_line(defines),
         };
+        let mut metrics = CompileMetrics::default();
         // Built-in architecture macro, so kernels can `#if __CUDA_ARCH__ >= 200`
         // exactly like the OpenCV example (§2.6).
         let mut all_defines: Vec<(String, String)> = vec![(
@@ -302,8 +421,21 @@ impl Compiler {
         )];
         all_defines.extend(defines.items().iter().cloned());
 
-        let program = ks_lang::frontend(source, &all_defines).map_err(|e| err(e.to_string()))?;
+        let t = Instant::now();
+        let toks = ks_lang::lexer::lex(source).map_err(|e| err(e.to_string()))?;
+        let pp =
+            ks_lang::preproc::preprocess(toks, &all_defines).map_err(|e| err(e.to_string()))?;
+        metrics.preproc = t.elapsed();
+        let t = Instant::now();
+        let unit = ks_lang::parser::parse(pp).map_err(|e| err(e.to_string()))?;
+        metrics.parse = t.elapsed();
+        let t = Instant::now();
+        let program = ks_lang::sema::check(&unit).map_err(|e| err(e.to_string()))?;
+        metrics.sema = t.elapsed();
+
+        let t = Instant::now();
         let mut module = ks_codegen::compile(&program, &self.options).map_err(&err)?;
+        metrics.lower = t.elapsed();
 
         // Sanitizer: verify the IR after lowering and after every pass
         // application, attributing any breakage to the pass that caused
@@ -311,6 +443,7 @@ impl Compiler {
         // release builds (the final whole-module verify below is
         // unconditional).
         let sanitize = cfg!(debug_assertions) || self.analysis.is_some();
+        let t = Instant::now();
         if sanitize {
             if let Some(e) = ks_ir::verify_module(&module).first() {
                 return Err(err(format!("verification failed after lowering: {e}")));
@@ -331,6 +464,9 @@ impl Compiler {
         } else {
             ks_opt::optimize_module_with(&mut module, &self.opt_config);
         }
+        metrics.opt = t.elapsed();
+
+        let t = Instant::now();
         let verify = ks_ir::verify_module(&module);
         if let Some(e) = verify.first() {
             return Err(err(format!("post-optimization verification failed: {e}")));
@@ -347,11 +483,14 @@ impl Compiler {
             }
             diagnostics = report.diagnostics;
         }
+        metrics.analysis = t.elapsed();
 
+        let t = Instant::now();
         let mut regalloc = HashMap::new();
         for f in &module.functions {
             regalloc.insert(f.name.clone(), ks_sim::allocate(f));
         }
+        metrics.regalloc = t.elapsed();
         let ptx = ks_ir::printer::print_module(&module);
         Ok(Binary {
             module,
@@ -360,6 +499,7 @@ impl Compiler {
             defines: defines.clone(),
             device: self.device.name.clone(),
             compile_time: Duration::ZERO,
+            metrics,
             diagnostics,
         })
     }
@@ -454,6 +594,65 @@ mod tests {
     }
 
     #[test]
+    fn define_order_is_canonicalized_in_the_cache_key() {
+        let c = Compiler::new(DeviceConfig::tesla_c1060());
+        let forward = Defines::new().def("ARG_A", 3).def("ARG_B", 7);
+        let backward = Defines::new().def("ARG_B", 7).def("ARG_A", 3);
+        // Semantically identical `-D` sets: same key, and the second
+        // compile is a hit, not a spurious recompile.
+        assert_eq!(
+            c.cache_key(MATHTEST, &forward),
+            c.cache_key(MATHTEST, &backward)
+        );
+        let b1 = c.compile(MATHTEST, &forward).unwrap();
+        let b2 = c.compile(MATHTEST, &backward).unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2));
+        assert_eq!(c.cache_stats().misses, 1);
+        assert_eq!(c.cache_stats().hits, 1);
+        // The command line still echoes insertion order faithfully.
+        assert_eq!(forward.command_line(), "-D ARG_A=3 -D ARG_B=7");
+        assert_eq!(backward.command_line(), "-D ARG_B=7 -D ARG_A=3");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 24, ..Default::default()
+        })]
+
+        /// Any permutation of the same define set yields the same cache
+        /// key — and therefore a cache hit, never a spurious recompile.
+        #[test]
+        fn define_permutations_share_a_cache_slot(
+            values in proptest::collection::vec(0i64..1000, 2..6),
+            shuffle_seed in 0u64..10_000,
+        ) {
+            let names = ["ARG_A", "ARG_B", "LOOP_COUNT", "BLOCK_DIM_X", "EXTRA"];
+            let pairs: Vec<(&str, i64)> = names
+                .iter()
+                .zip(values.iter())
+                .map(|(n, v)| (*n, *v))
+                .collect();
+            // Fisher–Yates with a tiny deterministic LCG.
+            let mut shuffled = pairs.clone();
+            let mut state = shuffle_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in (1..shuffled.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            let build = |pairs: &[(&str, i64)]| {
+                pairs.iter().fold(Defines::new(), |d, (n, v)| d.def(n, v))
+            };
+            let (a, b) = (build(&pairs), build(&shuffled));
+            let c = Compiler::new(DeviceConfig::tesla_c1060());
+            proptest::prop_assert_eq!(c.cache_key(MATHTEST, &a), c.cache_key(MATHTEST, &b));
+            let b1 = c.compile(MATHTEST, &a).unwrap();
+            let b2 = c.compile(MATHTEST, &b).unwrap();
+            proptest::prop_assert!(Arc::ptr_eq(&b1, &b2), "permutation caused a recompile");
+            proptest::prop_assert_eq!(c.cache_stats().misses, 1);
+        }
+    }
+
+    #[test]
     fn defines_builder_and_command_line() {
         let d = Defines::new()
             .def("A", 3)
@@ -487,6 +686,34 @@ mod tests {
         // RE build keeps the parameter load instead.
         let re = c.compile(src, Defines::new()).unwrap();
         assert!(re.ptx.matches("ld.param").count() > sk.ptx.matches("ld.param").count());
+    }
+
+    #[test]
+    fn non_finite_f32_defines_are_rejected_up_front() {
+        let src = r#"
+            #ifndef SCALE
+            #define SCALE scale
+            #endif
+            __global__ void k(float* out, float scale) {
+                out[threadIdx.x] = (float)threadIdx.x * SCALE;
+            }
+        "#;
+        let c = Compiler::new(DeviceConfig::tesla_c1060());
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let d = Defines::new().f32("SCALE", bad);
+            assert!(d.invalid().is_some(), "{bad} must poison the builder");
+            let e = c.compile(src, &d).unwrap_err();
+            assert!(
+                e.message.contains("SCALE") && e.message.contains("finite"),
+                "unclear error for {bad}: {e}"
+            );
+        }
+        // Rejected before any caching: no stats movement.
+        assert_eq!(c.cache_stats(), CacheStats::default());
+        // A finite value after a non-finite one stays poisoned (the
+        // builder reports the first offender, not a silent recovery).
+        let d = Defines::new().f32("SCALE", f32::NAN).f32("SCALE", 1.0);
+        assert!(d.invalid().is_some());
     }
 
     #[test]
@@ -586,6 +813,68 @@ mod tests {
         let e = err.unwrap_err();
         assert!(e.message.contains("wat"));
         assert!(e.command_line.contains("nvcc"));
+    }
+
+    #[test]
+    fn metrics_cover_the_pipeline_phases() {
+        let c = Compiler::new(DeviceConfig::tesla_c1060());
+        let bin = c
+            .compile(MATHTEST, Defines::new().def("LOOP_COUNT", 8))
+            .unwrap();
+        let m = &bin.metrics;
+        assert_eq!(m.total, bin.compile_time);
+        assert!(m.total > Duration::ZERO);
+        // The itemized phases never exceed the end-to-end wall clock.
+        let itemized = m.preproc + m.parse + m.sema + m.lower + m.opt + m.analysis + m.regalloc;
+        assert!(
+            itemized <= m.total,
+            "phases {itemized:?} exceed total {:?}",
+            m.total
+        );
+        assert!(m.summary().contains("preproc"));
+    }
+
+    #[test]
+    fn compile_batch_preserves_order_and_dedupes() {
+        let c = Compiler::new(DeviceConfig::tesla_c1060());
+        let jobs: Vec<(&str, Defines)> = vec![
+            (MATHTEST, Defines::new().def("LOOP_COUNT", 2)),
+            (MATHTEST, Defines::new().def("LOOP_COUNT", 3)),
+            // Duplicate of the first job: must not cost a second compile.
+            (MATHTEST, Defines::new().def("LOOP_COUNT", 2)),
+            ("__global__ void k(int* o) { o[0] = wat; }", Defines::new()),
+        ];
+        let results = c.compile_batch(&jobs);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok() && results[1].is_ok() && results[2].is_ok());
+        assert!(Arc::ptr_eq(
+            results[0].as_ref().unwrap(),
+            results[2].as_ref().unwrap()
+        ));
+        assert!(results[3].is_err(), "bad job must fail in place");
+        let s = c.cache_stats();
+        assert_eq!(s.misses, 2, "duplicate job must dedup, got {s}");
+        // precompile over the good jobs is now free (all hits).
+        let good = &jobs[..3];
+        let before = c.cache_stats();
+        c.precompile(good).unwrap();
+        let after = c.cache_stats();
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.hits, before.hits + 3);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_entries_with_lru_eviction() {
+        let c = Compiler::new(DeviceConfig::tesla_c1060()).with_cache_capacity(3);
+        for i in 0..8 {
+            let _ = c
+                .compile(MATHTEST, Defines::new().def("LOOP_COUNT", i + 1))
+                .unwrap();
+        }
+        let s = c.cache_stats();
+        assert_eq!(s.misses, 8);
+        assert!(c.cache_len() <= 3, "capacity exceeded: {}", c.cache_len());
+        assert_eq!(s.evictions, 8 - c.cache_len() as u64);
     }
 
     #[test]

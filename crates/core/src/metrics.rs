@@ -1,0 +1,80 @@
+//! Per-phase compile timing (§4.3 overhead accounting, broken down).
+//!
+//! Every [`Binary`](crate::Binary) carries the wall-clock cost of each
+//! pipeline phase, so consumers — GPU-PF refresh logs, the bench sweep
+//! drivers, `ks-tune` — can attribute compile overhead instead of only
+//! reporting a single total.
+
+use std::time::Duration;
+
+/// Wall-clock timing of each compilation phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileMetrics {
+    /// Lexing + preprocessing (`-D` substitution, `#if` evaluation).
+    pub preproc: Duration,
+    /// Parsing to an AST.
+    pub parse: Duration,
+    /// Semantic analysis producing the typed HIR.
+    pub sema: Duration,
+    /// AST→IR lowering (incl. unrolling and guard elimination).
+    pub lower: Duration,
+    /// IR optimization passes (incl. per-pass verification when the
+    /// sanitizer is on).
+    pub opt: Duration,
+    /// IR verification + static-analysis suite.
+    pub analysis: Duration,
+    /// Register allocation across all kernels.
+    pub regalloc: Duration,
+    /// End-to-end wall clock (equals `Binary::compile_time`; includes
+    /// phases not itemized above, e.g. PTX printing).
+    pub total: Duration,
+}
+
+impl CompileMetrics {
+    /// One-line breakdown for logs, e.g.
+    /// `preproc 12.3µs · parse 40.1µs · … · total 139.0µs`.
+    pub fn summary(&self) -> String {
+        let phases = [
+            ("preproc", self.preproc),
+            ("parse", self.parse),
+            ("sema", self.sema),
+            ("lower", self.lower),
+            ("opt", self.opt),
+            ("analysis", self.analysis),
+            ("regalloc", self.regalloc),
+            ("total", self.total),
+        ];
+        phases
+            .iter()
+            .map(|(name, d)| format!("{name} {d:.1?}"))
+            .collect::<Vec<_>>()
+            .join(" · ")
+    }
+}
+
+impl std::fmt::Display for CompileMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_names_every_phase() {
+        let m = CompileMetrics {
+            preproc: Duration::from_micros(12),
+            total: Duration::from_micros(139),
+            ..Default::default()
+        };
+        let s = m.summary();
+        for phase in [
+            "preproc", "parse", "sema", "lower", "opt", "analysis", "regalloc", "total",
+        ] {
+            assert!(s.contains(phase), "missing {phase} in {s}");
+        }
+        assert_eq!(m.to_string(), s);
+    }
+}

@@ -370,6 +370,11 @@ impl Pipeline {
 
     /// Update an integer parameter (marks dependents dirty; takes effect at
     /// the next refresh).
+    /// The compiler backing this pipeline (shared, cache and all).
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
     pub fn set_int(&mut self, id: ParamId, v: i64) {
         let slot = &mut self.params[id.0];
         slot.value = ParamValue::Int(v);
@@ -712,7 +717,8 @@ impl Pipeline {
                     let how = if after.hits > before.hits {
                         "cache hit".to_string()
                     } else {
-                        format!("compiled in {:?}", bin.compile_time)
+                        // Per-phase compile metrics, Appendix-G style.
+                        format!("compiled in {:?}: {}", bin.compile_time, bin.metrics)
                     };
                     self.log.line(&format!(
                         "module[{i}]: compile [{}] -> {} ({how})",
@@ -777,6 +783,10 @@ impl Pipeline {
         for p in &mut self.params {
             p.dirty = false;
         }
+        self.log.line(&format!(
+            "=== refresh complete: cache {} ===",
+            self.compiler.cache_stats()
+        ));
         self.refreshed = true;
         Ok(())
     }
@@ -1648,5 +1658,41 @@ mod tests {
             text.contains("KSA005"),
             "diagnostic missing from log: {text}"
         );
+    }
+
+    #[test]
+    fn refresh_logs_compile_metrics_and_cache_stats() {
+        let buf = Arc::new(parking_lot::Mutex::new(Vec::<u8>::new()));
+        struct W(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl std::io::Write for W {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut p = pipeline();
+        p.set_logger(Box::new(W(buf.clone())));
+        let f = p.int_param("FACTOR", 2);
+        let _m = p.module(SCALE_SRC, vec![("FACTOR", MacroBinding::Param(f))]);
+        p.refresh().unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        // Per-phase compile metrics ride on the module compile line...
+        assert!(text.contains("preproc"), "phase metrics missing: {text}");
+        // ...and the refresh trailer summarizes the specialization cache.
+        assert!(
+            text.contains("refresh complete: cache"),
+            "cache stats trailer missing: {text}"
+        );
+        assert!(text.contains("misses"), "{text}");
+
+        // A second refresh with the same binding is a cache hit, visible
+        // in the trailer's hit counter.
+        p.set_int(f, 2);
+        p.refresh().unwrap();
+        let stats = p.compiler().cache_stats();
+        assert!(stats.hits >= 1, "expected a re-refresh hit: {stats}");
     }
 }

@@ -69,6 +69,30 @@ impl ParamSpace {
                 .collect(),
         )
     }
+
+    /// Every point of the cross product, in odometer order. Sweep
+    /// drivers use this to precompile a whole candidate set through
+    /// `Compiler::compile_batch` before (or instead of) walking it.
+    pub fn configs(&self) -> Vec<Config> {
+        assert!(!self.dims.is_empty(), "empty parameter space");
+        let mut out = Vec::with_capacity(self.size());
+        let mut idx = vec![0usize; self.dims.len()];
+        loop {
+            out.push(self.point(&idx));
+            let mut d = 0;
+            loop {
+                idx[d] += 1;
+                if idx[d] < self.dims[d].values.len() {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+                if d == self.dims.len() {
+                    return out;
+                }
+            }
+        }
+    }
 }
 
 /// A concrete assignment of every dimension.
@@ -112,6 +136,40 @@ pub struct TuneResult {
     pub evaluations: usize,
     /// Every distinct point measured, in evaluation order.
     pub trace: Vec<(Config, f64)>,
+}
+
+/// Exhaustive search with candidate evaluations fanned out across
+/// threads (rayon). The natural companion of `ks-core`'s concurrent
+/// compile service: an evaluation function that compiles a specialized
+/// kernel per point can share one `&Compiler` across all workers — the
+/// sharded single-flight cache deduplicates identical specializations
+/// and compiles distinct ones in parallel.
+///
+/// Equivalent to [`Strategy::Exhaustive`] (same points, same best), but
+/// the trace is in odometer order rather than evaluation-completion
+/// order, and `eval` must be `Fn + Sync` instead of `FnMut`.
+pub fn tune_parallel<E: Send>(
+    space: &ParamSpace,
+    eval: impl Fn(&Config) -> Result<f64, E> + Sync,
+) -> Result<TuneResult, E> {
+    use rayon::prelude::*;
+    let configs = space.configs();
+    let costs: Vec<Result<f64, E>> = configs.par_iter().map(eval).collect();
+    let mut trace = Vec::with_capacity(configs.len());
+    for (cfg, cost) in configs.into_iter().zip(costs) {
+        trace.push((cfg, cost?));
+    }
+    let (best, best_cost) = trace
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(c, v)| (c.clone(), *v))
+        .expect("nonempty space");
+    Ok(TuneResult {
+        best,
+        best_cost,
+        evaluations: trace.len(),
+        trace,
+    })
 }
 
 /// Errors surfaced by the evaluation function abort the search.
@@ -243,6 +301,50 @@ mod tests {
         assert_eq!(r.best.get("y"), 2);
         assert_eq!(r.evaluations, 100);
         assert_eq!(r.best_cost, 0.0);
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_sequential() {
+        let seq = tune(&space2d(), Strategy::Exhaustive, bowl).unwrap();
+        let par = tune_parallel(&space2d(), bowl).unwrap();
+        assert_eq!(par.best, seq.best);
+        assert_eq!(par.best_cost, seq.best_cost);
+        assert_eq!(par.evaluations, 100);
+        // Odometer-ordered trace covering every point exactly once.
+        assert_eq!(par.trace.len(), 100);
+        let mut seen: Vec<_> = par.trace.iter().map(|(c, _)| c.clone()).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn parallel_errors_propagate() {
+        let space = ParamSpace::new().dim("x", vec![1, 2, 3]);
+        let r = tune_parallel(&space, |c: &Config| {
+            if c.get("x") == 2 {
+                Err("boom")
+            } else {
+                Ok(0.0)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn configs_enumerate_the_cross_product() {
+        let space = ParamSpace::new()
+            .dim("a", vec![1, 2])
+            .dim("b", vec![10, 20, 30]);
+        let pts = space.configs();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0].get("a"), 1);
+        assert_eq!(pts[0].get("b"), 10);
+        // First dimension cycles fastest (odometer order).
+        assert_eq!(pts[1].get("a"), 2);
+        assert_eq!(pts[1].get("b"), 10);
+        assert_eq!(pts[5].get("a"), 2);
+        assert_eq!(pts[5].get("b"), 30);
     }
 
     #[test]

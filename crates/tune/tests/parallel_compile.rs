@@ -1,0 +1,76 @@
+//! The §3.2/§3.4 composition under concurrency: an exhaustive autotuning
+//! pass over a 64-point space where every candidate evaluation compiles a
+//! specialized kernel through one shared `ks_core::Compiler`. The space
+//! is precompiled in parallel via the batch API, then the parallel search
+//! itself re-requests every specialization — all hits, with per-phase
+//! `CompileMetrics` attached to every binary.
+
+use ks_core::{Compiler, Defines};
+use ks_sim::DeviceConfig;
+use ks_tune::{tune_parallel, ParamSpace};
+
+const KERNEL: &str = r#"
+    #ifndef LOOP_COUNT
+    #define LOOP_COUNT loopCount
+    #endif
+    #ifndef STRIDE
+    #define STRIDE stride
+    #endif
+    __global__ void k(int* in, int* out, int loopCount, int stride) {
+        int acc = 0;
+        const unsigned int offset = blockIdx.x * blockDim.x + threadIdx.x;
+        for (int i = 0; i < LOOP_COUNT; i++) {
+            acc += *(in + offset + i * STRIDE);
+        }
+        *(out + offset) = acc;
+    }
+"#;
+
+fn defines(c: &ks_tune::Config) -> Defines {
+    Defines::new()
+        .def("LOOP_COUNT", c.get("loop"))
+        .def("STRIDE", c.get("stride"))
+}
+
+#[test]
+fn exhaustive_64_point_space_through_the_batch_api() {
+    let space = ParamSpace::new()
+        .dim("loop", (1..=8).collect::<Vec<_>>())
+        .dim("stride", (1..=8).collect::<Vec<_>>());
+    assert_eq!(space.size(), 64);
+
+    let compiler = Compiler::new(DeviceConfig::tesla_c1060());
+
+    // Phase 1: precompile the full candidate set in parallel.
+    let jobs: Vec<(&str, Defines)> = space
+        .configs()
+        .iter()
+        .map(|c| (KERNEL, defines(c)))
+        .collect();
+    compiler.precompile(&jobs).unwrap();
+    let warmed = compiler.cache_stats();
+    assert_eq!(
+        warmed.misses, 64,
+        "one compilation per distinct point: {warmed}"
+    );
+    assert_eq!(warmed.hits + warmed.misses, 64, "{warmed}");
+
+    // Phase 2: the exhaustive parallel search re-requests every
+    // specialization — all cache hits, zero extra compiles.
+    let result = tune_parallel(&space, |c| -> Result<f64, ks_core::CompileError> {
+        let bin = compiler.compile(KERNEL, defines(c))?;
+        // Per-phase metrics ride on every binary.
+        assert!(bin.metrics.total > std::time::Duration::ZERO);
+        assert!(bin.metrics.summary().contains("preproc"));
+        // Cost model: prefer the fewest static instructions.
+        Ok(bin.static_insts("k") as f64)
+    })
+    .unwrap();
+    assert_eq!(result.evaluations, 64);
+    // Fully unrolled single-iteration loop is the smallest kernel.
+    assert_eq!(result.best.get("loop"), 1);
+
+    let s = compiler.cache_stats();
+    assert_eq!(s.misses, 64, "search must not recompile: {s}");
+    assert_eq!(s.hits + s.misses, 128, "{s}");
+}

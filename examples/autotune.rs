@@ -1,7 +1,8 @@
 //! Autotuning + kernel specialization, composed (§3.2/§3.4/§7.2.3):
 //! greedy search over the PIV implementation-parameter space, where every
 //! evaluation compiles a specialized kernel (cache-backed) and measures it
-//! on the simulator — then a comparison against exhaustive ground truth.
+//! on the simulator — then a comparison against exhaustive ground truth
+//! evaluated in parallel through the compiler's concurrent cache.
 //!
 //! Run with: `cargo run --release --example autotune`
 
@@ -9,7 +10,8 @@ use ks_apps::piv::{run_gpu, PivImpl, PivKernel, PivProblem};
 use ks_apps::{synth, Variant};
 use ks_core::Compiler;
 use ks_sim::DeviceConfig;
-use ks_tune::{tune, Config, ParamSpace, Strategy};
+use ks_tune::ParamSpace;
+use ks_tune::{tune, tune_parallel, Config, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prob = PivProblem::standard(256, 32, 50, 8);
@@ -25,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dev.name,
             space.size()
         );
-        let mut evaluate = |c: &Config| -> Result<f64, Box<dyn std::error::Error>> {
+        // Shared by the sequential greedy walk and the parallel
+        // exhaustive pass: one compiler, one single-flight cache.
+        let evaluate = |c: &Config| -> Result<f64, String> {
             let imp = PivImpl {
                 rb: c.get("rb") as u32,
                 threads: c.get("threads") as u32,
@@ -44,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // registers/threads for the SM) are legal search points
                 // with infinite cost.
                 Err(e) if e.to_string().contains("infeasible") => Ok(f64::INFINITY),
-                Err(e) => Err(e),
+                Err(e) => Err(e.to_string()),
             }
         };
 
@@ -54,16 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 restarts: 3,
                 seed: 2012,
             },
-            &mut evaluate,
+            evaluate,
         )?;
         println!(
             "greedy    : best {} -> {:.3} ms after {} evaluations",
             greedy.best, greedy.best_cost, greedy.evaluations
         );
 
-        let exhaustive = tune(&space, Strategy::Exhaustive, &mut evaluate)?;
+        // Ground truth: all 40 points, candidate evaluations fanned out
+        // across threads; the cache dedups the compiles greedy already
+        // paid for and compiles the rest concurrently.
+        let exhaustive = tune_parallel(&space, evaluate)?;
         println!(
-            "exhaustive: best {} -> {:.3} ms after {} evaluations",
+            "exhaustive: best {} -> {:.3} ms after {} parallel evaluations",
             exhaustive.best, exhaustive.best_cost, exhaustive.evaluations
         );
         let quality = exhaustive.best_cost / greedy.best_cost * 100.0;
@@ -71,11 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "greedy reached {quality:.1}% of the true optimum with {} vs {} evaluations",
             greedy.evaluations, exhaustive.evaluations
         );
-        println!(
-            "compiler cache: {} compiles, {} hits\n",
-            compiler.cache_stats().misses,
-            compiler.cache_stats().hits
-        );
+        println!("compiler cache: {}\n", compiler.cache_stats());
         assert!(quality > 85.0, "greedy landed too far from the optimum");
     }
     Ok(())

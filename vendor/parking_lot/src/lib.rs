@@ -54,6 +54,48 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]. The wait methods take and
+/// return the guard by value (std style, since [`MutexGuard`] is std's);
+/// poisoning is recovered like everywhere else in this stub.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified. Spurious wakeups are possible, as with any
+    /// condvar; prefer [`Condvar::wait_while`].
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until `condition` returns false.
+    pub fn wait_while<'a, T, F>(&self, guard: MutexGuard<'a, T>, condition: F) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        self.0
+            .wait_while(guard, condition)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +115,21 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let guard = cv.wait_while(m.lock(), |ready| !*ready);
+            assert!(*guard);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
     }
 }
