@@ -25,6 +25,15 @@ echo "== cargo test --release (cache concurrency stress)"
 cargo test --offline --release -q -p ks-core --test concurrency
 cargo test --offline --release -q -p ks-tune --test parallel_compile
 
+# Profile one kernel end to end with the JSONL exporter; --selfcheck
+# validates the export schema (span nesting, phase sums vs the compile
+# span, cache counters == CacheStats, sim counters == launch reports)
+# and exits non-zero on any mismatch.
+echo "== ks-prof --kernel template_match --export jsonl --selfcheck"
+cargo run --offline --release -q -p ks-apps --bin ks-prof -- \
+    --kernel template_match --device c2070 --export jsonl --quick \
+    --selfcheck > /dev/null
+
 lint() {
     cargo run --offline --release -q -p ks-analysis --bin ks-lint -- \
         --deny KSA004 --deny KSA005 "$@"

@@ -53,6 +53,20 @@ impl Default for BackprojImpl {
 /// The backprojection kernel module.
 pub const KERNELS: &str = include_str!("kernels/backproj.cu");
 
+/// The define set [`run_gpu`] compiles for this configuration (empty for
+/// RE): `PPL` fixes the projection batch, `ZB` the register blocking,
+/// `VOL_N` the volume edge. Profiling and sweep drivers use this to
+/// compile the same module `run_gpu` will request.
+pub fn specialization(variant: Variant, prob: &BackprojProblem, imp: &BackprojImpl) -> Defines {
+    match variant {
+        Variant::Re => Defines::new(),
+        Variant::Sk => Defines::new()
+            .def("PPL", imp.ppl)
+            .def("ZB", imp.zb)
+            .def("VOL_N", prob.n),
+    }
+}
+
 /// Output of a GPU backprojection run.
 #[derive(Debug, Clone)]
 pub struct BackprojOutput {
@@ -73,13 +87,7 @@ pub fn run_gpu(
     assert!(imp.zb >= 1 && imp.zb as usize <= prob.n && imp.zb <= 8);
     assert!(imp.ppl >= 1 && imp.ppl <= 64);
     let n = prob.n;
-    let defines = match variant {
-        Variant::Re => Defines::new(),
-        Variant::Sk => Defines::new()
-            .def("PPL", imp.ppl)
-            .def("ZB", imp.zb)
-            .def("VOL_N", n),
-    };
+    let defines = specialization(variant, prob, imp);
     let t0 = std::time::Instant::now();
     let bin = compiler.compile(KERNELS, &defines)?;
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -1,0 +1,338 @@
+//! ks-prof: per-kernel observability report.
+//!
+//! Compiles and runs one case-study kernel on a simulated device with
+//! tracing enabled, then emits a [`ks_trace::KernelProfile`] joining the
+//! per-phase compile timings, specialization-cache counters, simulated
+//! execution statistics, analysis diagnostics, and the captured span
+//! tree.
+//!
+//! ```text
+//! ks-prof --kernel template_match --device c2070 --export jsonl
+//! ks-prof --kernel piv --variant re --export text
+//! ks-prof --kernel backproj --export csv --out profile.csv
+//! ks-prof --kernel template_match --export jsonl --selfcheck
+//! ```
+//!
+//! `--selfcheck` validates the JSONL schema (span nesting, phase sums,
+//! counter consistency) and asserts the exported cache/exec counters
+//! match the compiler's `CacheStats` and the summed launch reports
+//! exactly; it exits non-zero on any mismatch.
+
+use ks_apps::template_match::{MatchImpl, MatchProblem};
+use ks_apps::{backproj, piv, synth, template_match, GpuRunResult, Variant};
+use ks_core::{Compiler, Defines};
+use ks_sim::DeviceConfig;
+use ks_trace::{CacheCounters, CompileProfile, ExecCounters, ExportFormat, KernelProfile};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ks-prof [--kernel template_match|piv|backproj] [--device c1060|c2070]\n\
+         \x20             [--variant sk|re] [--export text|jsonl|csv] [--out FILE]\n\
+         \x20             [--quick] [--selfcheck]"
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let kernel = arg_value(&args, "--kernel").unwrap_or_else(|| "template_match".into());
+    let device = arg_value(&args, "--device").unwrap_or_else(|| "c2070".into());
+    let variant = match arg_value(&args, "--variant").as_deref() {
+        None | Some("sk") | Some("SK") => Variant::Sk,
+        Some("re") | Some("RE") => Variant::Re,
+        Some(v) => {
+            eprintln!("ks-prof: unknown variant {v:?}");
+            usage();
+        }
+    };
+    let format = match arg_value(&args, "--export") {
+        None => ExportFormat::Text,
+        Some(f) => ExportFormat::parse(&f).unwrap_or_else(|| {
+            eprintln!("ks-prof: unknown export format {f:?}");
+            usage();
+        }),
+    };
+    let out_path = arg_value(&args, "--out");
+    let quick = args.iter().any(|a| a == "--quick");
+    let selfcheck = args.iter().any(|a| a == "--selfcheck");
+
+    let dev = match device.as_str() {
+        "c1060" | "tesla_c1060" => DeviceConfig::tesla_c1060(),
+        "c2070" | "tesla_c2070" => DeviceConfig::tesla_c2070(),
+        other => {
+            eprintln!("ks-prof: unknown device {other:?}");
+            usage();
+        }
+    };
+
+    // Span tracing is opt-in; the profiler is the one place it is
+    // always on. Metrics counters are always live.
+    ks_trace::set_enabled(true);
+    let compiler = Compiler::new(dev);
+
+    let profile = match run(&compiler, &kernel, variant, quick) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ks-prof: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if selfcheck {
+        if let Err(e) = check(&compiler, &profile) {
+            eprintln!("ks-prof: selfcheck FAILED: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches)",
+            profile.compiles.len(),
+            profile.spans.len(),
+            profile.exec.launches
+        );
+    }
+
+    let rendered = format.exporter().profile(&profile);
+    match out_path {
+        None => print!("{rendered}"),
+        Some(p) => {
+            let mut f = std::fs::File::create(&p).unwrap_or_else(|e| {
+                eprintln!("ks-prof: cannot write {p}: {e}");
+                std::process::exit(1);
+            });
+            let _ = f.write_all(rendered.as_bytes());
+            eprintln!("ks-prof: wrote {p}");
+        }
+    }
+}
+
+/// Compile (capturing per-module profiles) and run the selected kernel,
+/// then join everything the subsystems observed into one report.
+fn run(
+    compiler: &Compiler,
+    kernel: &str,
+    variant: Variant,
+    quick: bool,
+) -> Result<KernelProfile, Box<dyn std::error::Error>> {
+    let mut compiles = Vec::new();
+    let mut diagnostics = Vec::new();
+    let mut profile_defines: Vec<(String, String)> = Vec::new();
+
+    // Pre-compile every module the run will request so the run itself is
+    // all cache hits and the compile profiles below cover each distinct
+    // specialization exactly once.
+    let mut compile_one = |src: &str, defs: &Defines| -> Result<(), Box<dyn std::error::Error>> {
+        let before = compiler.cache_stats();
+        let bin = compiler.compile(src, defs)?;
+        let after = compiler.cache_stats();
+        let m = &bin.metrics;
+        compiles.push(CompileProfile {
+            module: if defs.items().is_empty() {
+                kernel.to_string()
+            } else {
+                format!("{kernel} [{}]", defs.command_line())
+            },
+            cached: after.hits > before.hits,
+            total_us: bin.compile_time.as_micros() as u64,
+            phases: [
+                ("preproc", m.preproc),
+                ("parse", m.parse),
+                ("sema", m.sema),
+                ("lower", m.lower),
+                ("opt", m.opt),
+                ("analysis", m.analysis),
+                ("regalloc", m.regalloc),
+            ]
+            .iter()
+            .map(|(n, d)| (n.to_string(), d.as_micros() as u64))
+            .collect(),
+        });
+        for d in &bin.diagnostics {
+            diagnostics.push(d.to_string());
+        }
+        if profile_defines.is_empty() {
+            profile_defines = defs.items().to_vec();
+        }
+        Ok(())
+    };
+
+    let run: GpuRunResult = match kernel {
+        "template_match" => {
+            let prob = if quick {
+                MatchProblem {
+                    frame_w: 96,
+                    frame_h: 72,
+                    templ_w: 28,
+                    templ_h: 20,
+                    shift_w: 8,
+                    shift_h: 8,
+                    frames: 1,
+                }
+            } else {
+                MatchProblem {
+                    frame_w: 160,
+                    frame_h: 120,
+                    templ_w: 48,
+                    templ_h: 36,
+                    shift_w: 12,
+                    shift_h: 12,
+                    frames: 1,
+                }
+            };
+            let imp = MatchImpl {
+                tile_w: 8,
+                tile_h: 8,
+                threads: 64,
+            };
+            for d in template_match::specializations(variant, &prob, &imp) {
+                compile_one(template_match::KERNELS, &d)?;
+            }
+            let scen = synth::match_scenario(
+                prob.frame_w,
+                prob.frame_h,
+                prob.templ_w,
+                prob.templ_h,
+                prob.shift_w,
+                prob.shift_h,
+                42,
+            );
+            template_match::run_gpu(compiler, variant, &prob, &imp, &scen, true)?.run
+        }
+        "piv" => {
+            let prob = if quick {
+                piv::PivProblem::standard(128, 16, 50, 4)
+            } else {
+                piv::PivProblem::standard(256, 16, 50, 4)
+            };
+            let imp = piv::PivImpl { rb: 2, threads: 64 };
+            compile_one(piv::KERNELS, &piv::specialization(variant, &prob, &imp))?;
+            let scen = synth::piv_scenario(prob.img_w, prob.img_h, (3, 1), 77);
+            piv::run_gpu(
+                compiler,
+                variant,
+                piv::PivKernel::Basic,
+                &prob,
+                &imp,
+                &scen,
+                true,
+            )?
+            .run
+        }
+        "backproj" => {
+            let prob = backproj::BackprojProblem {
+                n: if quick { 12 } else { 16 },
+                num_proj: 8,
+                det_u: 24,
+                det_v: 24,
+            };
+            let imp = backproj::BackprojImpl {
+                block_x: 8,
+                block_y: 8,
+                ppl: 4,
+                zb: 2,
+            };
+            compile_one(
+                backproj::KERNELS,
+                &backproj::specialization(variant, &prob, &imp),
+            )?;
+            let scen = synth::ct_scenario(prob.n, prob.num_proj, prob.det_u, prob.det_v);
+            backproj::run_gpu(compiler, variant, &prob, &imp, &scen, true)?.run
+        }
+        other => return Err(format!("unknown kernel {other:?}").into()),
+    };
+
+    let stats = compiler.cache_stats();
+    let exec = ExecCounters {
+        launches: run.reports.len() as u64,
+        dyn_insts: run.reports.iter().map(|r| r.stats.dyn_insts).sum(),
+        global_bytes: run.reports.iter().map(|r| r.stats.global_bytes).sum(),
+        divergent_branches: run.reports.iter().map(|r| r.stats.divergent_branches).sum(),
+        barriers: run.reports.iter().map(|r| r.stats.barriers).sum(),
+        sim_time_us: (run.sim_ms * 1e3) as u64,
+        occupancy: run
+            .reports
+            .last()
+            .map(|r| r.occupancy.occupancy)
+            .unwrap_or(0.0),
+    };
+    Ok(KernelProfile {
+        kernel: kernel.to_string(),
+        device: compiler.device().name.clone(),
+        variant: variant.to_string(),
+        defines: profile_defines,
+        compiles,
+        cache: CacheCounters {
+            hits: stats.hits,
+            misses: stats.misses,
+            dedup_waits: stats.dedup_waits,
+            evictions: stats.evictions,
+        },
+        exec,
+        diagnostics,
+        spans: ks_trace::drain_spans(),
+        metrics: ks_trace::registry().snapshot(),
+    })
+}
+
+/// Cross-validate the profile against every independent source of the
+/// same numbers: the JSONL schema validator, the compiler's own
+/// `CacheStats`, and the registry counters published by ks-core/ks-sim.
+fn check(compiler: &Compiler, p: &KernelProfile) -> Result<(), String> {
+    ks_trace::validate_profile_jsonl(&p.to_jsonl())?;
+
+    let stats = compiler.cache_stats();
+    if (
+        p.cache.hits,
+        p.cache.misses,
+        p.cache.dedup_waits,
+        p.cache.evictions,
+    ) != (stats.hits, stats.misses, stats.dedup_waits, stats.evictions)
+    {
+        return Err(format!(
+            "cache counters {:?} disagree with CacheStats {stats}",
+            p.cache
+        ));
+    }
+    let reg = ks_trace::registry();
+    let reg_cache = (
+        reg.counter_value(ks_trace::names::CACHE_HITS),
+        reg.counter_value(ks_trace::names::CACHE_MISSES),
+        reg.counter_value(ks_trace::names::CACHE_DEDUP_WAITS),
+        reg.counter_value(ks_trace::names::CACHE_EVICTIONS),
+    );
+    if reg_cache != (stats.hits, stats.misses, stats.dedup_waits, stats.evictions) {
+        return Err(format!(
+            "registry cache counters {reg_cache:?} disagree with CacheStats {stats}"
+        ));
+    }
+    if reg.counter_value(ks_trace::names::COMPILE_REQUESTS) != stats.hits + stats.misses {
+        return Err("hits + misses != compile requests".into());
+    }
+    for (name, want) in [
+        (ks_trace::names::SIM_LAUNCHES, p.exec.launches),
+        (ks_trace::names::SIM_DYN_INSTS, p.exec.dyn_insts),
+        (ks_trace::names::SIM_GLOBAL_BYTES, p.exec.global_bytes),
+        (
+            ks_trace::names::SIM_DIVERGENT_BRANCHES,
+            p.exec.divergent_branches,
+        ),
+        (ks_trace::names::SIM_BARRIERS, p.exec.barriers),
+    ] {
+        let got = reg.counter_value(name);
+        if got != want {
+            return Err(format!(
+                "registry {name} = {got}, launch reports say {want}"
+            ));
+        }
+    }
+    Ok(())
+}

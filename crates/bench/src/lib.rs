@@ -29,12 +29,17 @@ pub fn devices() -> Vec<DeviceConfig> {
 
 // ---------------------------------------------------------------- tables
 
-/// An aligned ASCII table that also lands in `bench_results/<name>.csv`.
+/// An aligned ASCII table that also lands in `bench_results/<name>.csv`,
+/// plus a `<name>_cache.csv` sidecar recording the specialization-cache
+/// activity (hits, misses, dedup waits, evictions) that produced it.
 pub struct Table {
     name: String,
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Registry state when the table was opened; `finish()` diffs against
+    /// it so the sidecar covers exactly this table's work.
+    baseline: ks_trace::MetricsSnapshot,
 }
 
 impl Table {
@@ -44,6 +49,7 @@ impl Table {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            baseline: ks_trace::registry().snapshot(),
         }
     }
 
@@ -112,6 +118,35 @@ impl Table {
             );
         }
         println!("[csv] {}", path.display());
+        // Cache-pressure sidecar: specialization-cache activity since the
+        // table was opened, from the process-wide metrics registry.
+        let delta = ks_trace::registry()
+            .snapshot()
+            .counters_since(&self.baseline);
+        let hits = delta.get(ks_trace::names::CACHE_HITS).copied().unwrap_or(0);
+        let misses = delta
+            .get(ks_trace::names::CACHE_MISSES)
+            .copied()
+            .unwrap_or(0);
+        let dedup_waits = delta
+            .get(ks_trace::names::CACHE_DEDUP_WAITS)
+            .copied()
+            .unwrap_or(0);
+        let evictions = delta
+            .get(ks_trace::names::CACHE_EVICTIONS)
+            .copied()
+            .unwrap_or(0);
+        let hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let side_path = dir.join(format!("{}_cache.csv", self.name));
+        if let Ok(mut f) = std::fs::File::create(&side_path) {
+            let _ = writeln!(f, "hits,misses,dedup_waits,evictions,hit_rate");
+            let _ = writeln!(f, "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4}");
+            println!("[csv] {}", side_path.display());
+        }
         path
     }
 }
@@ -678,15 +713,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_formats_and_writes_csv() {
+    fn table_formats_and_writes_csv_with_cache_sidecar() {
         let dir = std::env::temp_dir().join("ks-bench-test");
         std::env::set_var("KS_BENCH_DIR", &dir);
         let mut t = Table::new("unit_test_table", "A test", &["a", "b"]);
+        // Cache activity attributed to this table: one miss, one hit.
+        let c = Compiler::new(DeviceConfig::tesla_c1060());
+        let src = "__global__ void k(float* x) { x[threadIdx.x] = 1.0f; }";
+        c.compile(src, Defines::new()).unwrap();
+        c.compile(src, Defines::new()).unwrap();
         t.row(vec!["1".into(), "2".into()]);
         let path = t.finish();
         std::env::remove_var("KS_BENCH_DIR");
-        let text = std::fs::read_to_string(path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
+
+        let side = path.with_file_name("unit_test_table_cache.csv");
+        let side_text = std::fs::read_to_string(side).unwrap();
+        let mut lines = side_text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "hits,misses,dedup_waits,evictions,hit_rate"
+        );
+        let vals: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let hits: u64 = vals[0].parse().unwrap();
+        let misses: u64 = vals[1].parse().unwrap();
+        assert!(misses >= 1, "compile should register a miss: {side_text}");
+        assert!(hits >= 1, "recompile should register a hit: {side_text}");
+        let rate: f64 = vals[4].parse().unwrap();
+        assert!((0.0..=1.0).contains(&rate));
     }
 
     #[test]

@@ -24,8 +24,33 @@ use crate::{Binary, CacheStats, CompileError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Pre-resolved handles into the process-wide ks-trace registry. Every
+/// increment below pairs a local [`Counters`] atomic with the matching
+/// registry counter, so `CacheStats` and the exported metrics agree
+/// exactly (for a single compiler; the registry aggregates across
+/// compilers).
+struct TraceCounters {
+    hits: ks_trace::Counter,
+    misses: ks_trace::Counter,
+    evictions: ks_trace::Counter,
+    dedup_waits: ks_trace::Counter,
+}
+
+fn trace_counters() -> &'static TraceCounters {
+    static HANDLES: OnceLock<TraceCounters> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = ks_trace::registry();
+        TraceCounters {
+            hits: r.counter(ks_trace::names::CACHE_HITS),
+            misses: r.counter(ks_trace::names::CACHE_MISSES),
+            evictions: r.counter(ks_trace::names::CACHE_EVICTIONS),
+            dedup_waits: r.counter(ks_trace::names::CACHE_DEDUP_WAITS),
+        }
+    })
+}
 
 pub(crate) type CompileResult = Result<Arc<Binary>, CompileError>;
 
@@ -170,12 +195,14 @@ impl BinaryCache {
         match claim {
             Claim::Hit(bin) => {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                trace_counters().hits.inc();
                 Ok(bin)
             }
             Claim::Follow(flight) => {
                 let t0 = Instant::now();
                 let result = flight.wait();
                 self.counters.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                trace_counters().dedup_waits.inc();
                 self.counters
                     .dedup_wait_micros
                     .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -183,6 +210,7 @@ impl BinaryCache {
                 // §4.3 overhead was paid once, by the leader.
                 if result.is_ok() {
                     self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    trace_counters().hits.inc();
                 }
                 result
             }
@@ -201,6 +229,7 @@ impl BinaryCache {
                     shard.inflight.remove(&key);
                     if let Ok(bin) = &result {
                         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                        trace_counters().misses.inc();
                         self.counters
                             .compile_micros
                             .fetch_add(bin.compile_time.as_micros() as u64, Ordering::Relaxed);
@@ -222,6 +251,7 @@ impl BinaryCache {
                                     .expect("nonempty over capacity");
                                 shard.entries.remove(&lru);
                                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                                trace_counters().evictions.inc();
                             }
                         }
                     }

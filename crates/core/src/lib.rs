@@ -49,13 +49,61 @@ use ks_sim::{DeviceConfig, RegAlloc};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 mod cache;
 mod metrics;
 
 pub use metrics::CompileMetrics;
+
+/// Pre-resolved ks-trace registry handles for the compile pipeline.
+/// Counters and histograms are always on (atomic updates only); spans
+/// are separately gated by `ks_trace::set_enabled`.
+struct TraceMetrics {
+    requests: ks_trace::Counter,
+    total_us: ks_trace::Histogram,
+    phases: [(&'static str, ks_trace::Histogram); 7],
+}
+
+fn trace_metrics() -> &'static TraceMetrics {
+    static HANDLES: OnceLock<TraceMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = ks_trace::registry();
+        let phase = |name| r.histogram(&ks_trace::names::compile_phase_us(name));
+        TraceMetrics {
+            requests: r.counter(ks_trace::names::COMPILE_REQUESTS),
+            total_us: r.histogram(ks_trace::names::COMPILE_TOTAL_US),
+            phases: [
+                ("preproc", phase("preproc")),
+                ("parse", phase("parse")),
+                ("sema", phase("sema")),
+                ("lower", phase("lower")),
+                ("opt", phase("opt")),
+                ("analysis", phase("analysis")),
+                ("regalloc", phase("regalloc")),
+            ],
+        }
+    })
+}
+
+impl TraceMetrics {
+    /// Publish one successful (miss-path) compilation's phase breakdown.
+    fn record_phases(&self, m: &CompileMetrics) {
+        for (name, hist) in &self.phases {
+            let d = match *name {
+                "preproc" => m.preproc,
+                "parse" => m.parse,
+                "sema" => m.sema,
+                "lower" => m.lower,
+                "opt" => m.opt,
+                "analysis" => m.analysis,
+                _ => m.regalloc,
+            };
+            hist.record_duration_us(d);
+        }
+    }
+}
 
 /// An ordered set of `-D NAME=value` definitions.
 ///
@@ -373,15 +421,36 @@ impl Compiler {
             });
         }
         let key = self.cache_key(source, defines);
-        self.cache.get_or_compile(key, || {
+        let _lookup = ks_trace::span_fields("cache-lookup", || {
+            vec![
+                ("device".to_string(), self.device.name.clone()),
+                ("defines".to_string(), defines.command_line()),
+            ]
+        });
+        let result = self.cache.get_or_compile(key, || {
+            // The miss path: this span's children are the per-phase
+            // spans recorded inside `compile_uncached`, so the phase
+            // durations account for the compile span end to end.
+            let _compile = ks_trace::span_fields("compile", || {
+                vec![
+                    ("device".to_string(), self.device.name.clone()),
+                    ("defines".to_string(), defines.command_line()),
+                ]
+            });
             let start = Instant::now();
             self.compile_uncached(source, defines).map(|mut bin| {
                 let elapsed = start.elapsed();
                 bin.compile_time = elapsed;
                 bin.metrics.total = elapsed;
+                trace_metrics().total_us.record_duration_us(elapsed);
+                trace_metrics().record_phases(&bin.metrics);
                 Arc::new(bin)
             })
-        })
+        });
+        if result.is_ok() {
+            trace_metrics().requests.inc();
+        }
+        result
     }
 
     /// Compile a batch of jobs in parallel (rayon), preserving order.
@@ -421,21 +490,29 @@ impl Compiler {
         )];
         all_defines.extend(defines.items().iter().cloned());
 
+        let sp = ks_trace::span("preprocess");
         let t = Instant::now();
         let toks = ks_lang::lexer::lex(source).map_err(|e| err(e.to_string()))?;
         let pp =
             ks_lang::preproc::preprocess(toks, &all_defines).map_err(|e| err(e.to_string()))?;
         metrics.preproc = t.elapsed();
+        drop(sp);
+        let sp = ks_trace::span("parse");
         let t = Instant::now();
         let unit = ks_lang::parser::parse(pp).map_err(|e| err(e.to_string()))?;
         metrics.parse = t.elapsed();
+        drop(sp);
+        let sp = ks_trace::span("sema");
         let t = Instant::now();
         let program = ks_lang::sema::check(&unit).map_err(|e| err(e.to_string()))?;
         metrics.sema = t.elapsed();
+        drop(sp);
 
+        let sp = ks_trace::span("lower");
         let t = Instant::now();
         let mut module = ks_codegen::compile(&program, &self.options).map_err(&err)?;
         metrics.lower = t.elapsed();
+        drop(sp);
 
         // Sanitizer: verify the IR after lowering and after every pass
         // application, attributing any breakage to the pass that caused
@@ -443,6 +520,7 @@ impl Compiler {
         // release builds (the final whole-module verify below is
         // unconditional).
         let sanitize = cfg!(debug_assertions) || self.analysis.is_some();
+        let sp = ks_trace::span("opt");
         let t = Instant::now();
         if sanitize {
             if let Some(e) = ks_ir::verify_module(&module).first() {
@@ -450,22 +528,43 @@ impl Compiler {
             }
             let mut broken: Option<(&'static str, String)> = None;
             for f in module.functions.iter_mut() {
+                // `last` tracks the start of the current pass window:
+                // everything since the previous observed pass (including
+                // that pass's verification) attributes to this pass.
+                let mut last = Instant::now();
                 ks_opt::optimize_with_observer(f, &self.opt_config, &mut |pass, f| {
+                    if ks_trace::enabled() {
+                        ks_trace::complete_span(&format!("opt-pass.{pass}"), last);
+                    }
                     if broken.is_none() {
                         if let Some(e) = ks_ir::verify_function(f).first() {
                             broken = Some((pass, e.to_string()));
                         }
                     }
+                    last = Instant::now();
                 });
                 if let Some((pass, e)) = broken.take() {
                     return Err(err(format!("verification failed after pass `{pass}`: {e}")));
                 }
             }
+        } else if ks_trace::enabled() {
+            // Tracing wants per-pass attribution; the observer route
+            // costs one clock read per applied pass, which is only paid
+            // while spans are being collected.
+            for f in module.functions.iter_mut() {
+                let mut last = Instant::now();
+                ks_opt::optimize_with_observer(f, &self.opt_config, &mut |pass, _| {
+                    ks_trace::complete_span(&format!("opt-pass.{pass}"), last);
+                    last = Instant::now();
+                });
+            }
         } else {
             ks_opt::optimize_module_with(&mut module, &self.opt_config);
         }
         metrics.opt = t.elapsed();
+        drop(sp);
 
+        let sp = ks_trace::span("analysis");
         let t = Instant::now();
         let verify = ks_ir::verify_module(&module);
         if let Some(e) = verify.first() {
@@ -484,14 +583,19 @@ impl Compiler {
             diagnostics = report.diagnostics;
         }
         metrics.analysis = t.elapsed();
+        drop(sp);
 
+        let sp = ks_trace::span("regalloc");
         let t = Instant::now();
         let mut regalloc = HashMap::new();
         for f in &module.functions {
             regalloc.insert(f.name.clone(), ks_sim::allocate(f));
         }
         metrics.regalloc = t.elapsed();
+        drop(sp);
+        let sp = ks_trace::span("print");
         let ptx = ks_ir::printer::print_module(&module);
+        drop(sp);
         Ok(Binary {
             module,
             ptx,

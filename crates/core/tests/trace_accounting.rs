@@ -1,0 +1,148 @@
+//! Metric-accounting invariants under concurrency: the registry
+//! counters ks-core publishes must stay consistent with each other
+//! (`hits + misses == compile requests`) and with the compiler's own
+//! `CacheStats`, whatever mix of thundering herds, distinct keys, and
+//! repeats the callers produce.
+//!
+//! These tests share the process-wide registry, so each works on
+//! before/after deltas and they are serialized by a file-local lock.
+
+use ks_core::{Compiler, Defines};
+use ks_sim::DeviceConfig;
+use std::sync::{Arc, Mutex};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const SRC: &str = r#"
+    #ifndef GAIN
+    #define GAIN gain
+    #endif
+    __global__ void amp(float* x, int gain, int n) {
+        int i = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+        if (i < n) { x[i] = x[i] * (float)GAIN; }
+    }
+"#;
+
+struct CacheDelta {
+    hits: u64,
+    misses: u64,
+    dedup_waits: u64,
+    requests: u64,
+}
+
+fn registry_cache_counters() -> (u64, u64, u64, u64) {
+    let r = ks_trace::registry();
+    (
+        r.counter_value(ks_trace::names::CACHE_HITS),
+        r.counter_value(ks_trace::names::CACHE_MISSES),
+        r.counter_value(ks_trace::names::CACHE_DEDUP_WAITS),
+        r.counter_value(ks_trace::names::COMPILE_REQUESTS),
+    )
+}
+
+/// Run `f` and return the registry-counter delta it produced.
+fn delta(f: impl FnOnce()) -> CacheDelta {
+    let before = registry_cache_counters();
+    f();
+    let after = registry_cache_counters();
+    CacheDelta {
+        hits: after.0 - before.0,
+        misses: after.1 - before.1,
+        dedup_waits: after.2 - before.2,
+        requests: after.3 - before.3,
+    }
+}
+
+#[test]
+fn thundering_herd_accounts_every_request() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let compiler = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+    let threads = 8;
+    let d = delta(|| {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = compiler.clone();
+                s.spawn(move || {
+                    c.compile(SRC, Defines::new().def("GAIN", 3)).unwrap();
+                });
+            }
+        });
+    });
+    // One key, N concurrent callers: exactly one miss, the rest hits.
+    assert_eq!(d.misses, 1, "single-flight must compile once");
+    assert_eq!(d.hits, threads - 1);
+    assert_eq!(d.hits + d.misses, d.requests, "every request accounted");
+    // Followers are also counted as dedup waits (racy Claim::Hit path
+    // aside, at least one thread must have blocked on the leader... but
+    // a fast leader can finish before any follower arrives, so only the
+    // upper bound is deterministic).
+    assert!(d.dedup_waits < threads);
+
+    // The registry mirrors the compiler's own stats exactly (fresh
+    // compiler: its stats ARE this test's delta).
+    let stats = compiler.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (d.hits, d.misses));
+    assert_eq!(stats.dedup_waits, d.dedup_waits);
+}
+
+#[test]
+fn distinct_keys_all_miss() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let compiler = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+    let n = 6u64;
+    let d = delta(|| {
+        std::thread::scope(|s| {
+            for g in 0..n {
+                let c = compiler.clone();
+                s.spawn(move || {
+                    c.compile(SRC, Defines::new().def("GAIN", g)).unwrap();
+                });
+            }
+        });
+    });
+    assert_eq!(d.misses, n);
+    assert_eq!(d.hits, 0);
+    assert_eq!(d.requests, n);
+}
+
+#[test]
+fn mixed_workload_invariant_holds() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let compiler = Arc::new(Compiler::new(DeviceConfig::tesla_c2070()));
+    let threads = 8u64;
+    let per_thread = 6u64;
+    let d = delta(|| {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = compiler.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // 3 distinct keys, revisited by every thread.
+                        let gain = (t + i) % 3;
+                        c.compile(SRC, Defines::new().def("GAIN", gain)).unwrap();
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(d.requests, threads * per_thread);
+    assert_eq!(d.hits + d.misses, d.requests);
+    assert_eq!(d.misses, 3, "one compile per distinct key");
+    let stats = compiler.cache_stats();
+    assert_eq!(stats.hits + stats.misses, d.requests);
+}
+
+#[test]
+fn evictions_reach_the_registry() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let compiler = Compiler::new(DeviceConfig::tesla_c1060()).with_cache_capacity(2);
+    let before = ks_trace::registry().counter_value(ks_trace::names::CACHE_EVICTIONS);
+    for g in 0..5 {
+        compiler
+            .compile(SRC, Defines::new().def("GAIN", g))
+            .unwrap();
+    }
+    let evicted = ks_trace::registry().counter_value(ks_trace::names::CACHE_EVICTIONS) - before;
+    assert_eq!(evicted, compiler.cache_stats().evictions);
+    assert_eq!(evicted, 3, "capacity 2, 5 inserts");
+}

@@ -70,7 +70,23 @@ use ks_sim::{launch, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport,
 use param::{ParamValue, StepParam};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+struct TraceCounters {
+    iterations: ks_trace::Counter,
+    refreshes: ks_trace::Counter,
+}
+
+fn trace_counters() -> &'static TraceCounters {
+    static TC: OnceLock<TraceCounters> = OnceLock::new();
+    TC.get_or_init(|| {
+        let r = ks_trace::registry();
+        TraceCounters {
+            iterations: r.counter(ks_trace::names::PF_ITERATIONS),
+            refreshes: r.counter(ks_trace::names::PF_REFRESHES),
+        }
+    })
+}
 
 /// Handle to a parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -287,6 +303,12 @@ impl Pipeline {
     /// Route Appendix-G-style log output to a writer.
     pub fn set_logger(&mut self, w: Box<dyn std::io::Write + Send>) {
         self.log = log::Logger::new(w);
+    }
+
+    /// Route Appendix-G-style log output to a [`ks_trace::Subscriber`],
+    /// sharing a sink with trace/metric exports.
+    pub fn set_subscriber(&mut self, s: Arc<dyn ks_trace::Subscriber>) {
+        self.log = log::Logger::subscriber(s);
     }
 
     // ---- parameters (Table 4.1) ----
@@ -671,6 +693,7 @@ impl Pipeline {
     /// extents changed. Comprehensive error checking happens here so the
     /// execution phase stays fast (§4.4.1).
     pub fn refresh(&mut self) -> Result<(), PfError> {
+        let _span = ks_trace::span("refresh");
         let dirty: BTreeSet<usize> = self
             .params
             .iter()
@@ -678,11 +701,13 @@ impl Pipeline {
             .filter(|(_, p)| p.dirty)
             .map(|(i, _)| i)
             .collect();
-        self.log.line(&format!(
-            "=== refresh: {} dirty parameter(s) of {} ===",
-            dirty.len(),
-            self.params.len()
-        ));
+        self.log.line_with(|| {
+            format!(
+                "=== refresh: {} dirty parameter(s) of {} ===",
+                dirty.len(),
+                self.params.len()
+            )
+        });
         for i in 0..self.resources.len() {
             // Split borrows: temporarily take the resource out.
             match &self.resources[i] {
@@ -714,26 +739,28 @@ impl Pipeline {
                     let before = self.compiler.cache_stats();
                     let bin = self.compiler.compile(source, &defs)?;
                     let after = self.compiler.cache_stats();
-                    let how = if after.hits > before.hits {
-                        "cache hit".to_string()
-                    } else {
-                        // Per-phase compile metrics, Appendix-G style.
-                        format!("compiled in {:?}: {}", bin.compile_time, bin.metrics)
-                    };
-                    self.log.line(&format!(
-                        "module[{i}]: compile [{}] -> {} ({how})",
-                        defs.command_line(),
-                        bin.module
-                            .functions
-                            .iter()
-                            .map(|f| f.name.clone())
-                            .collect::<Vec<_>>()
-                            .join(","),
-                    ));
+                    self.log.line_with(|| {
+                        let how = if after.hits > before.hits {
+                            "cache hit".to_string()
+                        } else {
+                            // Per-phase compile metrics, Appendix-G style.
+                            format!("compiled in {:?}: {}", bin.compile_time, bin.metrics)
+                        };
+                        format!(
+                            "module[{i}]: compile [{}] -> {} ({how})",
+                            defs.command_line(),
+                            bin.module
+                                .functions
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(","),
+                        )
+                    });
                     // Surface analysis findings (non-deny severities; deny
                     // already failed the compile) in the refresh report.
                     for d in &bin.diagnostics {
-                        self.log.line(&format!("module[{i}]: {d}"));
+                        self.log.line_with(|| format!("module[{i}]: {d}"));
                     }
                     let Resource::Module { binary, .. } = &mut self.resources[i] else {
                         unreachable!()
@@ -748,7 +775,7 @@ impl Pipeline {
                     let bytes = self.extent_bytes(*extent);
                     let a = self.state.global.alloc(bytes)?;
                     self.log
-                        .line(&format!("global[{i}]: allocated {bytes} B at {a:#x}"));
+                        .line_with(|| format!("global[{i}]: allocated {bytes} B at {a:#x}"));
                     let Resource::GlobalMem { addr, bytes: b, .. } = &mut self.resources[i] else {
                         unreachable!()
                     };
@@ -783,10 +810,13 @@ impl Pipeline {
         for p in &mut self.params {
             p.dirty = false;
         }
-        self.log.line(&format!(
-            "=== refresh complete: cache {} ===",
-            self.compiler.cache_stats()
-        ));
+        self.log.line_with(|| {
+            format!(
+                "=== refresh complete: cache {} ===",
+                self.compiler.cache_stats()
+            )
+        });
+        trace_counters().refreshes.inc();
         self.refreshed = true;
         Ok(())
     }
@@ -817,10 +847,15 @@ impl Pipeline {
         }
         for _ in 0..iterations {
             let iter = self.iteration;
-            self.log.line(&format!("--- pipeline iteration {iter} ---"));
+            let _span = ks_trace::span_fields("pipeline-iteration", || {
+                vec![("iter".to_string(), iter.to_string())]
+            });
+            self.log
+                .line_with(|| format!("--- pipeline iteration {iter} ---"));
             for a in 0..self.actions.len() {
                 self.run_action(a, iter)?;
             }
+            trace_counters().iterations.inc();
             // Self-updating parameters advance at the end of the iteration.
             for p in &mut self.params {
                 match &mut p.value {
@@ -883,10 +918,12 @@ impl Pipeline {
             worst_rel,
             length_mismatch: got.len() != reference.len(),
         };
-        self.log.line(&format!(
-            "  [validate] {} elements, {} mismatches (worst abs {:.3e}, rel {:.3e})",
-            report.compared, report.mismatches, report.worst_abs, report.worst_rel
-        ));
+        self.log.line_with(|| {
+            format!(
+                "  [validate] {} elements, {} mismatches (worst abs {:.3e}, rel {:.3e})",
+                report.compared, report.mismatches, report.worst_abs, report.worst_rel
+            )
+        });
         report
     }
 
@@ -935,7 +972,7 @@ impl Pipeline {
                     *f = func;
                 }
                 r?;
-                self.log.line(&format!("  [user] {label}"));
+                self.log.line_with(|| format!("  [user] {label}"));
                 Ok(())
             }
             _ => self.run_simple_action(idx, iter, &label),
@@ -947,7 +984,8 @@ impl Pipeline {
             Action::Copy { src, dst, .. } => {
                 let (src, dst) = (*src, *dst);
                 let ms = self.do_copy(src, dst)?;
-                self.log.line(&format!("  [copy] {label}: {ms:.6} ms"));
+                self.log
+                    .line_with(|| format!("  [copy] {label}: {ms:.6} ms"));
                 self.timings.push(OpTiming {
                     iteration: iter,
                     label: label.to_string(),
@@ -1013,19 +1051,21 @@ impl Pipeline {
                     &kargs,
                     self.launch_options,
                 )?;
-                self.log.line(&format!(
-                    "  [exec] {label}: {} grid=({},{},{}) block=({},{},{}) {:.6} ms, {} regs, occ {:.2}",
-                    name,
-                    grid[0],
-                    grid[1],
-                    grid[2],
-                    block[0],
-                    block[1],
-                    block[2],
-                    report.time_ms,
-                    report.regs_per_thread,
-                    report.occupancy.occupancy,
-                ));
+                self.log.line_with(|| {
+                    format!(
+                        "  [exec] {label}: {} grid=({},{},{}) block=({},{},{}) {:.6} ms, {} regs, occ {:.2}",
+                        name,
+                        grid[0],
+                        grid[1],
+                        grid[2],
+                        block[0],
+                        block[1],
+                        block[2],
+                        report.time_ms,
+                        report.regs_per_thread,
+                        report.occupancy.occupancy,
+                    )
+                });
                 self.timings.push(OpTiming {
                     iteration: iter,
                     label: label.to_string(),
@@ -1054,7 +1094,7 @@ impl Pipeline {
                 };
                 std::fs::write(&path, bytes).map_err(PfError::Io)?;
                 self.log
-                    .line(&format!("  [file] {label}: wrote {}", path.display()));
+                    .line_with(|| format!("  [file] {label}: wrote {}", path.display()));
                 Ok(())
             }
             Action::FileIn { mem, path, .. } => {
@@ -1081,7 +1121,7 @@ impl Pipeline {
                     }
                 }
                 self.log
-                    .line(&format!("  [file] {label}: read {}", path.display()));
+                    .line_with(|| format!("  [file] {label}: read {}", path.display()));
                 Ok(())
             }
             Action::User { .. } => unreachable!("handled by run_action"),
@@ -1658,6 +1698,59 @@ mod tests {
             text.contains("KSA005"),
             "diagnostic missing from log: {text}"
         );
+    }
+
+    #[test]
+    fn subscriber_sink_counts_lines_and_disabled_makes_no_calls() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Counting(AtomicUsize);
+        impl ks_trace::Subscriber for Counting {
+            fn line(&self, _: &str) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let sink = Arc::new(Counting::default());
+        let mut p = pipeline();
+        p.set_subscriber(sink.clone());
+        let f = p.int_param("FACTOR", 2);
+        let _m = p.module(SCALE_SRC, vec![("FACTOR", MacroBinding::Param(f))]);
+        p.refresh().unwrap();
+        p.run(2).unwrap();
+        let calls = sink.0.load(Ordering::SeqCst);
+        assert!(
+            calls >= 4,
+            "expected refresh + iteration lines, got {calls}"
+        );
+
+        // A freshly-constructed pipeline's logger is disabled: running it
+        // must not touch any sink (and `line_with` closures never run —
+        // see log::tests::disabled_logger_never_runs_format_closures).
+        let mut q = pipeline();
+        assert!(!q.log.enabled());
+        let f = q.int_param("FACTOR", 3);
+        let _m = q.module(SCALE_SRC, vec![("FACTOR", MacroBinding::Param(f))]);
+        q.refresh().unwrap();
+        q.run(2).unwrap();
+        assert_eq!(
+            sink.0.load(Ordering::SeqCst),
+            calls,
+            "disabled pipeline must make zero sink calls"
+        );
+    }
+
+    #[test]
+    fn pipeline_publishes_iteration_and_refresh_counters() {
+        let reg = ks_trace::registry();
+        let before_it = reg.counter_value(ks_trace::names::PF_ITERATIONS);
+        let before_rf = reg.counter_value(ks_trace::names::PF_REFRESHES);
+        let mut p = pipeline();
+        let every = p.schedule_param("e", 1, 0);
+        p.user_fn("noop", |_, _| Ok(()), every);
+        p.refresh().unwrap();
+        p.run(3).unwrap();
+        assert!(reg.counter_value(ks_trace::names::PF_ITERATIONS) >= before_it + 3);
+        assert!(reg.counter_value(ks_trace::names::PF_REFRESHES) > before_rf);
     }
 
     #[test]

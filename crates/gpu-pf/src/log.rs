@@ -1,23 +1,36 @@
 //! Appendix-G-style log output: refresh reports, pipeline iterations, and
 //! per-operation timing lines.
+//!
+//! Lines are routed through a [`ks_trace::Subscriber`], so tests and tools
+//! can substitute counting or capturing sinks, while the formatted output
+//! stays byte-identical to the historical writer-based logger: every line
+//! is prefixed with `[gpu-pf] ` and terminated with `\n`.
 
-use parking_lot::Mutex;
+use ks_trace::{Subscriber, WriterSink};
 use std::io::Write;
+use std::sync::Arc;
 
 /// A line-oriented logger; disabled by default (zero cost).
 pub struct Logger {
-    sink: Option<Mutex<Box<dyn Write + Send>>>,
+    sink: Option<Arc<dyn Subscriber>>,
 }
 
 impl Logger {
+    /// No sink, no allocations: `line_with` closures are never invoked.
     pub fn disabled() -> Logger {
         Logger { sink: None }
     }
 
+    /// Route lines to a writer (wrapped in a [`WriterSink`]).
     pub fn new(w: Box<dyn Write + Send>) -> Logger {
         Logger {
-            sink: Some(Mutex::new(w)),
+            sink: Some(Arc::new(WriterSink::new(w))),
         }
+    }
+
+    /// Route lines to an existing subscriber.
+    pub fn subscriber(s: Arc<dyn Subscriber>) -> Logger {
+        Logger { sink: Some(s) }
     }
 
     pub fn enabled(&self) -> bool {
@@ -26,8 +39,15 @@ impl Logger {
 
     pub fn line(&self, s: &str) {
         if let Some(sink) = &self.sink {
-            let mut w = sink.lock();
-            let _ = writeln!(w, "[gpu-pf] {s}");
+            sink.line(&format!("[gpu-pf] {s}"));
+        }
+    }
+
+    /// Lazily-formatted line: the closure only runs when a sink is
+    /// attached, so a disabled logger costs one branch and nothing else.
+    pub fn line_with(&self, f: impl FnOnce() -> String) {
+        if let Some(sink) = &self.sink {
+            sink.line(&format!("[gpu-pf] {}", f()));
         }
     }
 }
@@ -35,13 +55,19 @@ impl Logger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use parking_lot::Mutex;
 
     #[test]
     fn disabled_logger_is_silent() {
         let l = Logger::disabled();
         assert!(!l.enabled());
         l.line("nothing happens");
+    }
+
+    #[test]
+    fn disabled_logger_never_runs_format_closures() {
+        let l = Logger::disabled();
+        l.line_with(|| panic!("closure must not run on a disabled logger"));
     }
 
     #[test]
@@ -59,9 +85,26 @@ mod tests {
         }
         let l = Logger::new(Box::new(W(buf.clone())));
         l.line("hello");
+        l.line_with(|| "lazy".to_string());
         assert_eq!(
             String::from_utf8(buf.lock().clone()).unwrap(),
-            "[gpu-pf] hello\n"
+            "[gpu-pf] hello\n[gpu-pf] lazy\n"
         );
+    }
+
+    #[test]
+    fn subscriber_logger_receives_prefixed_lines() {
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<String>>);
+        impl Subscriber for Capture {
+            fn line(&self, text: &str) {
+                self.0.lock().push(text.to_string());
+            }
+        }
+        let cap = Arc::new(Capture::default());
+        let l = Logger::subscriber(cap.clone());
+        l.line("one");
+        l.line_with(|| "two".to_string());
+        assert_eq!(*cap.0.lock(), vec!["[gpu-pf] one", "[gpu-pf] two"]);
     }
 }

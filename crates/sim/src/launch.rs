@@ -198,8 +198,65 @@ fn block_index(linear: u64, grid: (u32, u32, u32)) -> (u32, u32, u32) {
     )
 }
 
+/// Pre-resolved ks-trace registry handles for launch accounting. The
+/// counters mirror the `ExecStats` fields of every successful launch's
+/// report, so exported totals can be reconciled against per-launch
+/// stats exactly.
+struct TraceMetrics {
+    launches: ks_trace::Counter,
+    dyn_insts: ks_trace::Counter,
+    global_bytes: ks_trace::Counter,
+    divergent_branches: ks_trace::Counter,
+    barriers: ks_trace::Counter,
+    time_us: ks_trace::Histogram,
+    occupancy: ks_trace::Gauge,
+}
+
+fn trace_metrics() -> &'static TraceMetrics {
+    static HANDLES: std::sync::OnceLock<TraceMetrics> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = ks_trace::registry();
+        TraceMetrics {
+            launches: r.counter(ks_trace::names::SIM_LAUNCHES),
+            dyn_insts: r.counter(ks_trace::names::SIM_DYN_INSTS),
+            global_bytes: r.counter(ks_trace::names::SIM_GLOBAL_BYTES),
+            divergent_branches: r.counter(ks_trace::names::SIM_DIVERGENT_BRANCHES),
+            barriers: r.counter(ks_trace::names::SIM_BARRIERS),
+            time_us: r.histogram(ks_trace::names::SIM_TIME_US),
+            occupancy: r.gauge(ks_trace::names::SIM_OCCUPANCY),
+        }
+    })
+}
+
 /// Launch a kernel on the simulated device.
 pub fn launch(
+    state: &mut DeviceState,
+    module: &Module,
+    kernel: &str,
+    dims: LaunchDims,
+    args: &[KArg],
+    opts: LaunchOptions,
+) -> Result<LaunchReport, SimError> {
+    let _span = ks_trace::span_fields("launch", || {
+        vec![
+            ("kernel".to_string(), kernel.to_string()),
+            ("device".to_string(), state.dev.name.clone()),
+            ("blocks".to_string(), dims.grid_blocks().to_string()),
+        ]
+    });
+    let report = launch_inner(state, module, kernel, dims, args, opts)?;
+    let m = trace_metrics();
+    m.launches.inc();
+    m.dyn_insts.add(report.stats.dyn_insts);
+    m.global_bytes.add(report.stats.global_bytes);
+    m.divergent_branches.add(report.stats.divergent_branches);
+    m.barriers.add(report.stats.barriers);
+    m.time_us.record((report.time_ms * 1e3) as u64);
+    m.occupancy.set(report.occupancy.occupancy);
+    Ok(report)
+}
+
+fn launch_inner(
     state: &mut DeviceState,
     module: &Module,
     kernel: &str,

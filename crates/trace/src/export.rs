@@ -1,0 +1,440 @@
+//! Pluggable renderers for spans, metric snapshots, and kernel
+//! profiles: human-readable text, JSON-lines, and CSV.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::profile::{span_to_json, KernelProfile};
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Output format selector, e.g. for a `--export` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    Text,
+    Jsonl,
+    Csv,
+}
+
+impl ExportFormat {
+    pub fn parse(s: &str) -> Option<ExportFormat> {
+        match s {
+            "text" => Some(ExportFormat::Text),
+            "jsonl" | "json" => Some(ExportFormat::Jsonl),
+            "csv" => Some(ExportFormat::Csv),
+            _ => None,
+        }
+    }
+
+    pub fn exporter(self) -> Box<dyn Exporter> {
+        match self {
+            ExportFormat::Text => Box::new(TextExporter),
+            ExportFormat::Jsonl => Box::new(JsonlExporter),
+            ExportFormat::Csv => Box::new(CsvExporter),
+        }
+    }
+}
+
+/// Renders observability data to a string in one format.
+pub trait Exporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String;
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String;
+    fn profile(&self, profile: &KernelProfile) -> String;
+}
+
+/// Spans sorted for display: by thread, then start time — children
+/// follow their parents because a child starts no earlier.
+fn display_order(spans: &[SpanRecord]) -> Vec<&SpanRecord> {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.thread, s.start_ns, s.id));
+    ordered
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    }
+}
+
+/// Human-readable indented renderer.
+pub struct TextExporter;
+
+impl Exporter for TextExporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String {
+        let mut out = String::new();
+        for s in display_order(spans) {
+            let _ = write!(
+                out,
+                "{:indent$}{} {}",
+                "",
+                s.name,
+                fmt_ns(s.dur_ns),
+                indent = 2 * s.depth as usize
+            );
+            for (k, v) in &s.fields {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::new();
+        if !snapshot.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &snapshot.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !snapshot.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &snapshot.gauges {
+                let _ = writeln!(out, "  {name} = {v:.4}");
+            }
+        }
+        if !snapshot.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &snapshot.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    fn profile(&self, p: &KernelProfile) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel profile: {} (device {}, variant {})",
+            p.kernel, p.device, p.variant
+        );
+        if !p.defines.is_empty() {
+            let defs: Vec<String> = p.defines.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "  defines: {}", defs.join(" "));
+        }
+        for c in &p.compiles {
+            let _ = writeln!(
+                out,
+                "  compile {}: {}µs{}",
+                c.module,
+                c.total_us,
+                if c.cached { " (cached)" } else { "" }
+            );
+            for (phase, us) in &c.phases {
+                let _ = writeln!(out, "    {phase:<10} {us}µs");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  cache: {} hits / {} misses ({:.1}% hit rate), {} dedup waits, {} evictions",
+            p.cache.hits,
+            p.cache.misses,
+            100.0 * p.cache.hit_rate(),
+            p.cache.dedup_waits,
+            p.cache.evictions
+        );
+        let _ = writeln!(
+            out,
+            "  exec: {} launches, {} dyn insts, {} global bytes, {} divergent branches, {} barriers, {}µs sim time, occupancy {:.2}",
+            p.exec.launches,
+            p.exec.dyn_insts,
+            p.exec.global_bytes,
+            p.exec.divergent_branches,
+            p.exec.barriers,
+            p.exec.sim_time_us,
+            p.exec.occupancy
+        );
+        for d in &p.diagnostics {
+            let _ = writeln!(out, "  diagnostic: {d}");
+        }
+        if !p.spans.is_empty() {
+            out.push_str("  spans:\n");
+            for line in self.spans(&p.spans).lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
+    }
+}
+
+/// One JSON object per line; profiles use the
+/// [`KernelProfile::to_jsonl`] schema checked by
+/// [`crate::validate_profile_jsonl`].
+pub struct JsonlExporter;
+
+impl Exporter for JsonlExporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String {
+        let mut out = String::new();
+        for s in display_order(spans) {
+            out.push_str(&span_to_json(s).render());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::new();
+        for (name, v) in &snapshot.counters {
+            let line = Json::obj(vec![
+                ("type", Json::str("counter")),
+                ("name", Json::str(name)),
+                ("value", Json::u64(*v)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for (name, v) in &snapshot.gauges {
+            let line = Json::obj(vec![
+                ("type", Json::str("gauge")),
+                ("name", Json::str(name)),
+                ("value", Json::num(*v)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for (name, h) in &snapshot.histograms {
+            let line = Json::obj(vec![
+                ("type", Json::str("histogram")),
+                ("name", Json::str(name)),
+                ("count", Json::u64(h.count)),
+                ("sum", Json::u64(h.sum)),
+                ("min", Json::u64(h.min)),
+                ("max", Json::u64(h.max)),
+                ("p50", Json::u64(h.p50)),
+                ("p95", Json::u64(h.p95)),
+                ("p99", Json::u64(h.p99)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn profile(&self, p: &KernelProfile) -> String {
+        p.to_jsonl()
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Flat comma-separated renderer (header row + data rows).
+pub struct CsvExporter;
+
+impl Exporter for CsvExporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String {
+        let mut out = String::from("id,parent,name,depth,start_ns,dur_ns,thread\n");
+        for s in display_order(spans) {
+            let parent = s.parent.map_or(String::new(), |p| p.to_string());
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                s.id,
+                parent,
+                csv_field(&s.name),
+                s.depth,
+                s.start_ns,
+                s.dur_ns,
+                s.thread
+            );
+        }
+        out
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (name, v) in &snapshot.counters {
+            let _ = writeln!(out, "counter,{},value,{v}", csv_field(name));
+        }
+        for (name, v) in &snapshot.gauges {
+            let _ = writeln!(out, "gauge,{},value,{v}", csv_field(name));
+        }
+        for (name, h) in &snapshot.histograms {
+            let name = csv_field(name);
+            for (field, v) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p95", h.p95),
+                ("p99", h.p99),
+            ] {
+                let _ = writeln!(out, "histogram,{name},{field},{v}");
+            }
+        }
+        out
+    }
+
+    fn profile(&self, p: &KernelProfile) -> String {
+        let mut out = String::from("section,key,value\n");
+        let _ = writeln!(out, "profile,kernel,{}", csv_field(&p.kernel));
+        let _ = writeln!(out, "profile,device,{}", csv_field(&p.device));
+        let _ = writeln!(out, "profile,variant,{}", csv_field(&p.variant));
+        for (k, v) in &p.defines {
+            let _ = writeln!(out, "define,{},{}", csv_field(k), csv_field(v));
+        }
+        for c in &p.compiles {
+            let section = csv_field(&format!("compile.{}", c.module));
+            let _ = writeln!(out, "{section},cached,{}", c.cached);
+            let _ = writeln!(out, "{section},total_us,{}", c.total_us);
+            for (phase, us) in &c.phases {
+                let _ = writeln!(out, "{section},{},{us}", csv_field(phase));
+            }
+        }
+        for (k, v) in [
+            ("hits", p.cache.hits),
+            ("misses", p.cache.misses),
+            ("dedup_waits", p.cache.dedup_waits),
+            ("evictions", p.cache.evictions),
+        ] {
+            let _ = writeln!(out, "cache,{k},{v}");
+        }
+        let _ = writeln!(out, "cache,hit_rate,{:.4}", p.cache.hit_rate());
+        for (k, v) in [
+            ("launches", p.exec.launches),
+            ("dyn_insts", p.exec.dyn_insts),
+            ("global_bytes", p.exec.global_bytes),
+            ("divergent_branches", p.exec.divergent_branches),
+            ("barriers", p.exec.barriers),
+            ("sim_time_us", p.exec.sim_time_us),
+        ] {
+            let _ = writeln!(out, "exec,{k},{v}");
+        }
+        let _ = writeln!(out, "exec,occupancy,{:.4}", p.exec.occupancy);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::profile::{CacheCounters, CompileProfile, ExecCounters};
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "parse".to_string(),
+                depth: 1,
+                start_ns: 100,
+                dur_ns: 400,
+                thread: 0,
+                fields: vec![("module".to_string(), "m".to_string())],
+            },
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "compile".to_string(),
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 1_000,
+                thread: 0,
+                fields: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn text_spans_indent_by_depth() {
+        let text = TextExporter.spans(&sample_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("compile "), "{text}");
+        assert!(lines[1].starts_with("  parse "), "{text}");
+        assert!(lines[1].contains("module=m"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_spans_parse_back() {
+        let out = JsonlExporter.spans(&sample_spans());
+        for line in out.lines() {
+            let doc = Json::parse(line).unwrap();
+            assert_eq!(doc.get("type").and_then(Json::as_str), Some("span"));
+            assert!(doc.get("dur_ns").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn csv_spans_have_header_and_rows() {
+        let out = CsvExporter.spans(&sample_spans());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "id,parent,name,depth,start_ns,dur_ns,thread");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,,compile,0,"), "{out}");
+        assert!(lines[2].starts_with("2,1,parse,1,"), "{out}");
+    }
+
+    #[test]
+    fn metric_exports_cover_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(0.5);
+        r.histogram("h").record(9);
+        let snap = r.snapshot();
+        let text = TextExporter.metrics(&snap);
+        assert!(text.contains("c = 7"), "{text}");
+        assert!(text.contains("g = 0.5000"), "{text}");
+        assert!(text.contains("h: n=1"), "{text}");
+        let jsonl = JsonlExporter.metrics(&snap);
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            Json::parse(line).unwrap();
+        }
+        let csv = CsvExporter.metrics(&snap);
+        assert!(csv.contains("counter,c,value,7"), "{csv}");
+        assert!(csv.contains("histogram,h,p50,9"), "{csv}");
+    }
+
+    #[test]
+    fn format_parsing_and_dispatch() {
+        assert_eq!(ExportFormat::parse("text"), Some(ExportFormat::Text));
+        assert_eq!(ExportFormat::parse("jsonl"), Some(ExportFormat::Jsonl));
+        assert_eq!(ExportFormat::parse("json"), Some(ExportFormat::Jsonl));
+        assert_eq!(ExportFormat::parse("csv"), Some(ExportFormat::Csv));
+        assert_eq!(ExportFormat::parse("xml"), None);
+        let p = KernelProfile {
+            kernel: "k".to_string(),
+            device: "c2070".to_string(),
+            variant: "v".to_string(),
+            compiles: vec![CompileProfile {
+                module: "m".to_string(),
+                cached: false,
+                total_us: 10,
+                phases: vec![("parse".to_string(), 10)],
+            }],
+            cache: CacheCounters::default(),
+            exec: ExecCounters::default(),
+            ..Default::default()
+        };
+        for fmt in [ExportFormat::Text, ExportFormat::Jsonl, ExportFormat::Csv] {
+            let rendered = fmt.exporter().profile(&p);
+            assert!(rendered.contains("c2070"), "{fmt:?}: {rendered}");
+        }
+    }
+
+    #[test]
+    fn csv_quoting_escapes_commas_and_quotes() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

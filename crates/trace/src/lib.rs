@@ -1,0 +1,113 @@
+//! # ks-trace — unified tracing, metrics, and per-kernel profiling
+//!
+//! The dissertation's methodology lives on measurement: Appendix-G refresh
+//! logs, §4.3 per-phase compile timing, and the Chapter-6 runtime tables
+//! all depend on knowing where cycles and compiles go. Before this crate,
+//! every subsystem spoke its own dialect — `CompileMetrics` in ks-core,
+//! `ExecStats` in ks-sim, `CacheStats` in the binary cache, a bespoke line
+//! `Logger` in gpu-pf. ks-trace is the one layer they all publish into:
+//!
+//! * **Spans** ([`span`], [`SpanGuard`], [`SpanRecord`]) — monotonic,
+//!   nested timing of the full pipeline path `compile → preprocess →
+//!   parse → sema → lower → opt-pass(each) → analysis → regalloc →
+//!   cache-lookup → launch → pipeline-iteration`. Zero-cost when tracing
+//!   is disabled (the default): a disabled [`SpanGuard`] records nothing
+//!   and never reads the clock.
+//! * **Metrics registry** ([`registry`], [`Counter`], [`Gauge`],
+//!   [`Histogram`]) — process-wide named counters, gauges, and log-scale
+//!   histograms with p50/p95/p99 queries. ks-core publishes compile
+//!   latency per phase and cache hit/miss/dedup/eviction counts, ks-sim
+//!   publishes dynamic instructions / global bytes / divergent branches /
+//!   occupancy, ks-tune publishes evaluation counts, gpu-pf publishes
+//!   pipeline iterations. Canonical metric names live in [`names`].
+//! * **Exporters** ([`Exporter`], [`TextExporter`], [`JsonlExporter`],
+//!   [`CsvExporter`]) — render spans, metric snapshots, and profiles as
+//!   human-readable text, JSON-lines, or CSV.
+//! * **[`KernelProfile`]** — the joined report for one specialized
+//!   kernel: per-phase compile breakdown, cache counters, simulator
+//!   execution counters, analysis diagnostics, and the span tree;
+//!   surfaced by the `ks-prof` CLI (in ks-apps) and schema-validated via
+//!   [`validate_profile_jsonl`].
+//! * **[`Subscriber`]** — the line-event sink interface the gpu-pf
+//!   `Logger` now routes through, so refresh logs, bench CSVs, and tuner
+//!   decisions are all fed by the same layer.
+//!
+//! ```
+//! use ks_trace::{registry, span, Exporter, TextExporter};
+//!
+//! ks_trace::set_enabled(true);
+//! {
+//!     let _outer = span("compile");
+//!     let _inner = span("parse");
+//!     registry().counter("demo.compiles").inc();
+//! }
+//! let spans = ks_trace::drain_spans();
+//! assert!(spans.iter().any(|s| s.name == "parse" && s.depth == 1));
+//! println!("{}", TextExporter.spans(&spans));
+//! ks_trace::set_enabled(false);
+//! ```
+
+mod export;
+mod json;
+mod metrics;
+mod profile;
+mod span;
+mod subscriber;
+
+pub use export::{CsvExporter, ExportFormat, Exporter, JsonlExporter, TextExporter};
+pub use json::Json;
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use profile::{
+    validate_profile_jsonl, CacheCounters, CompileProfile, ExecCounters, KernelProfile,
+};
+pub use span::{
+    complete_span, drain_spans, enabled, set_enabled, snapshot_spans, span, span_fields, SpanGuard,
+    SpanRecord,
+};
+pub use subscriber::{Subscriber, WriterSink};
+
+/// Canonical metric names. Publishers and consumers meet here so the
+/// bench sidecars, `ks-prof`, and tests all read the counters the
+/// pipeline actually writes.
+pub mod names {
+    /// Cache hits (including single-flight dedup joins), as in
+    /// `CacheStats::hits`.
+    pub const CACHE_HITS: &str = "ks_core.cache.hits";
+    /// Cache misses (actual compilations), as in `CacheStats::misses`.
+    pub const CACHE_MISSES: &str = "ks_core.cache.misses";
+    /// LRU evictions, as in `CacheStats::evictions`.
+    pub const CACHE_EVICTIONS: &str = "ks_core.cache.evictions";
+    /// Calls that blocked on another thread's in-flight compilation.
+    pub const CACHE_DEDUP_WAITS: &str = "ks_core.cache.dedup_waits";
+    /// Successful `Compiler::compile` calls. At quiescence,
+    /// `CACHE_HITS + CACHE_MISSES == COMPILE_REQUESTS`.
+    pub const COMPILE_REQUESTS: &str = "ks_core.compile.requests";
+    /// End-to-end compile latency histogram (µs), misses only.
+    pub const COMPILE_TOTAL_US: &str = "ks_core.compile.total_us";
+    /// Per-phase compile latency histogram name (µs), misses only.
+    pub fn compile_phase_us(phase: &str) -> String {
+        format!("ks_core.compile.phase_us.{phase}")
+    }
+    /// Simulator launches completed.
+    pub const SIM_LAUNCHES: &str = "ks_sim.launches";
+    /// Dynamic instructions, summed over launches (`ExecStats::dyn_insts`).
+    pub const SIM_DYN_INSTS: &str = "ks_sim.dyn_insts";
+    /// Global-memory bytes moved (`ExecStats::global_bytes`).
+    pub const SIM_GLOBAL_BYTES: &str = "ks_sim.global_bytes";
+    /// Divergent branches (`ExecStats::divergent_branches`).
+    pub const SIM_DIVERGENT_BRANCHES: &str = "ks_sim.divergent_branches";
+    /// Barriers executed (`ExecStats::barriers`).
+    pub const SIM_BARRIERS: &str = "ks_sim.barriers";
+    /// Simulated kernel time histogram (µs of simulated time).
+    pub const SIM_TIME_US: &str = "ks_sim.time_us";
+    /// Occupancy of the most recent launch (gauge, 0..=1).
+    pub const SIM_OCCUPANCY: &str = "ks_sim.occupancy";
+    /// Distinct autotuner evaluations performed.
+    pub const TUNE_EVALUATIONS: &str = "ks_tune.evaluations";
+    /// GPU-PF pipeline iterations executed.
+    pub const PF_ITERATIONS: &str = "gpu_pf.iterations";
+    /// GPU-PF refresh phases completed.
+    pub const PF_REFRESHES: &str = "gpu_pf.refreshes";
+}

@@ -1,0 +1,51 @@
+//! Property test: histogram quantiles agree with a sorted-reference
+//! nearest-rank computation, up to bucket resolution. The log-scale
+//! buckets quantize values, so the check is bucket identity — the
+//! histogram's reported quantile must land in the same bucket as the
+//! exact order statistic — plus exactness of count/sum/min/max.
+
+use ks_trace::{Histogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    #[test]
+    fn quantiles_match_sorted_reference_bucket(
+        values in prop::collection::vec(1u64..1_000_000_000, 1..200),
+        qsel in 0usize..5,
+    ) {
+        let q = [0.0, 0.5, 0.9, 0.95, 0.99][qsel];
+        let r = Registry::new();
+        let h = r.histogram("prop");
+        for &v in &values {
+            h.record(v);
+        }
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let exact = sorted[(rank - 1) as usize];
+
+        let got = h.quantile(q).unwrap();
+        prop_assert_eq!(
+            Histogram::bucket_index(got),
+            Histogram::bucket_index(exact),
+            "q={} got {} exact {}",
+            q,
+            got,
+            exact
+        );
+        // The reported quantile is a bucket upper bound, so it never
+        // understates the exact order statistic.
+        prop_assert!(got >= exact);
+
+        // Non-bucketed aggregates are exact.
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, n);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+    }
+}

@@ -25,6 +25,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// Registry counter for distinct (non-memoized) evaluations, published
+/// so profiling tools can see autotuner effort alongside compile and
+/// launch metrics.
+fn evaluation_counter() -> &'static ks_trace::Counter {
+    static HANDLE: std::sync::OnceLock<ks_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ks_trace::registry().counter(ks_trace::names::TUNE_EVALUATIONS))
+}
+
 /// A discrete parameter dimension: a name and its candidate values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dim {
@@ -154,7 +162,16 @@ pub fn tune_parallel<E: Send>(
 ) -> Result<TuneResult, E> {
     use rayon::prelude::*;
     let configs = space.configs();
-    let costs: Vec<Result<f64, E>> = configs.par_iter().map(eval).collect();
+    let costs: Vec<Result<f64, E>> = configs
+        .par_iter()
+        .map(|cfg| {
+            let cost = eval(cfg);
+            if cost.is_ok() {
+                evaluation_counter().inc();
+            }
+            cost
+        })
+        .collect();
     let mut trace = Vec::with_capacity(configs.len());
     for (cfg, cost) in configs.into_iter().zip(costs) {
         trace.push((cfg, cost?));
@@ -193,6 +210,7 @@ pub fn tune<E>(
         }
         let cfg = space.point(idx);
         let cost = eval(&cfg)?;
+        evaluation_counter().inc();
         memo.insert(idx.to_vec(), cost);
         trace.push((cfg, cost));
         Ok(cost)
