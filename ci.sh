@@ -34,6 +34,31 @@ cargo run --offline --release -q -p ks-apps --bin ks-prof -- \
     --kernel template_match --device c2070 --export jsonl --quick \
     --selfcheck > /dev/null
 
+# Fault-injection tier: every gpu-pf example pipeline must complete
+# under a seeded FaultPlan (10% transient compile faults, 5% transient
+# device faults, plus a persistent fault pinned to one module's
+# specialization defines) with zero panics, and the run must be
+# deterministic: same seed => byte-identical stdout (the fault event
+# log carries no timestamps).
+echo "== fault-injection drill (seeded, deterministic)"
+FAULT_OUT_A=$(mktemp) FAULT_OUT_B=$(mktemp)
+cargo run --offline --release -q -p ks-apps --example fault_injection -- \
+    --seed 77 > "$FAULT_OUT_A" 2> /dev/null
+cargo run --offline --release -q -p ks-apps --example fault_injection -- \
+    --seed 77 > "$FAULT_OUT_B" 2> /dev/null
+diff -u "$FAULT_OUT_A" "$FAULT_OUT_B"
+grep -q "pipelines completed: 3/3, panics: 0" "$FAULT_OUT_A"
+rm -f "$FAULT_OUT_A" "$FAULT_OUT_B"
+
+# The profiler selfcheck must still reconcile exactly — CacheStats ==
+# exported profile == registry counters, including the resilience
+# columns — while compile faults are being injected and retried.
+echo "== ks-prof --selfcheck under injected compile faults"
+KS_FAULT_SEED=77 KS_FAULT_COMPILE_PPM=100000 \
+cargo run --offline --release -q -p ks-apps --bin ks-prof -- \
+    --kernel template_match --device c2070 --export jsonl --quick \
+    --selfcheck > /dev/null
+
 lint() {
     cargo run --offline --release -q -p ks-analysis --bin ks-lint -- \
         --deny KSA004 --deny KSA005 "$@"

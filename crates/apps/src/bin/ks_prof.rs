@@ -78,7 +78,26 @@ fn main() {
     // Span tracing is opt-in; the profiler is the one place it is
     // always on. Metrics counters are always live.
     ks_trace::set_enabled(true);
-    let compiler = Compiler::new(dev);
+
+    // Opt-in fault injection (KS_FAULT_SEED / KS_FAULT_COMPILE_PPM /
+    // KS_FAULT_DEVICE_PPM): install the seeded plan and arm retries so
+    // the profiled run still completes; the selfcheck below then proves
+    // the resilience counters reconcile exactly even under faults.
+    let mut compiler = Compiler::new(dev);
+    if let Some(plan) = ks_fault::FaultPlan::from_env() {
+        eprintln!(
+            "ks-prof: fault injection armed (seed {}, {} rules)",
+            plan.seed(),
+            plan.rule_count()
+        );
+        ks_fault::install(std::sync::Arc::new(plan));
+        compiler = compiler.with_resilience(ks_core::ResilienceConfig {
+            max_retries: 4,
+            catch_panics: true,
+            ..ks_core::ResilienceConfig::default()
+        });
+    }
+    let compiler = compiler;
 
     let profile = match run(&compiler, &kernel, variant, quick) {
         Ok(p) => p,
@@ -275,6 +294,10 @@ fn run(
             misses: stats.misses,
             dedup_waits: stats.dedup_waits,
             evictions: stats.evictions,
+            failures: stats.failures,
+            quarantined: stats.quarantined,
+            retries: stats.retries,
+            breaker_opens: stats.breaker_opens,
         },
         exec,
         diagnostics,
@@ -295,8 +318,20 @@ fn check(compiler: &Compiler, p: &KernelProfile) -> Result<(), String> {
         p.cache.misses,
         p.cache.dedup_waits,
         p.cache.evictions,
-    ) != (stats.hits, stats.misses, stats.dedup_waits, stats.evictions)
-    {
+        p.cache.failures,
+        p.cache.quarantined,
+        p.cache.retries,
+        p.cache.breaker_opens,
+    ) != (
+        stats.hits,
+        stats.misses,
+        stats.dedup_waits,
+        stats.evictions,
+        stats.failures,
+        stats.quarantined,
+        stats.retries,
+        stats.breaker_opens,
+    ) {
         return Err(format!(
             "cache counters {:?} disagree with CacheStats {stats}",
             p.cache
@@ -308,8 +343,23 @@ fn check(compiler: &Compiler, p: &KernelProfile) -> Result<(), String> {
         reg.counter_value(ks_trace::names::CACHE_MISSES),
         reg.counter_value(ks_trace::names::CACHE_DEDUP_WAITS),
         reg.counter_value(ks_trace::names::CACHE_EVICTIONS),
+        reg.counter_value(ks_trace::names::CACHE_FAILURES),
+        reg.counter_value(ks_trace::names::CACHE_QUARANTINED),
+        reg.counter_value(ks_trace::names::COMPILE_RETRIES),
+        reg.counter_value(ks_trace::names::BREAKER_OPEN),
     );
-    if reg_cache != (stats.hits, stats.misses, stats.dedup_waits, stats.evictions) {
+    if reg_cache
+        != (
+            stats.hits,
+            stats.misses,
+            stats.dedup_waits,
+            stats.evictions,
+            stats.failures,
+            stats.quarantined,
+            stats.retries,
+            stats.breaker_opens,
+        )
+    {
         return Err(format!(
             "registry cache counters {reg_cache:?} disagree with CacheStats {stats}"
         ));

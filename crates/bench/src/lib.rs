@@ -141,10 +141,23 @@ impl Table {
         } else {
             0.0
         };
+        let get = |name: &str| delta.get(name).copied().unwrap_or(0);
+        let retries = get(ks_trace::names::COMPILE_RETRIES);
+        let failures = get(ks_trace::names::CACHE_FAILURES);
+        let quarantined = get(ks_trace::names::CACHE_QUARANTINED);
+        let breaker_opens = get(ks_trace::names::BREAKER_OPEN);
+        let fallback_generic = get(ks_trace::names::PF_FALLBACK_GENERIC);
+        let fallback_last_good = get(ks_trace::names::PF_FALLBACK_LAST_GOOD);
         let side_path = dir.join(format!("{}_cache.csv", self.name));
         if let Ok(mut f) = std::fs::File::create(&side_path) {
-            let _ = writeln!(f, "hits,misses,dedup_waits,evictions,hit_rate");
-            let _ = writeln!(f, "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4}");
+            let _ = writeln!(
+                f,
+                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good"
+            );
+            let _ = writeln!(
+                f,
+                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good}"
+            );
             println!("[csv] {}", side_path.display());
         }
         path
@@ -733,15 +746,20 @@ mod tests {
         let mut lines = side_text.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "hits,misses,dedup_waits,evictions,hit_rate"
+            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good"
         );
         let vals: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(vals.len(), 11);
         let hits: u64 = vals[0].parse().unwrap();
         let misses: u64 = vals[1].parse().unwrap();
         assert!(misses >= 1, "compile should register a miss: {side_text}");
         assert!(hits >= 1, "recompile should register a hit: {side_text}");
         let rate: f64 = vals[4].parse().unwrap();
         assert!((0.0..=1.0).contains(&rate));
+        // Resilience columns parse as counters (no faults in this test).
+        for v in &vals[5..] {
+            let _: u64 = v.parse().unwrap();
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! interleavings (the seed kept stats under a separate mutex from the
 //! cache map, which let the two disagree).
 
-use crate::{Binary, CacheStats, CompileError};
+use crate::{Binary, CacheStats, CompileError, ResilienceConfig};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +37,10 @@ struct TraceCounters {
     misses: ks_trace::Counter,
     evictions: ks_trace::Counter,
     dedup_waits: ks_trace::Counter,
+    failures: ks_trace::Counter,
+    quarantined: ks_trace::Counter,
+    retries: ks_trace::Counter,
+    breaker_opens: ks_trace::Counter,
 }
 
 fn trace_counters() -> &'static TraceCounters {
@@ -48,6 +52,10 @@ fn trace_counters() -> &'static TraceCounters {
             misses: r.counter(ks_trace::names::CACHE_MISSES),
             evictions: r.counter(ks_trace::names::CACHE_EVICTIONS),
             dedup_waits: r.counter(ks_trace::names::CACHE_DEDUP_WAITS),
+            failures: r.counter(ks_trace::names::CACHE_FAILURES),
+            quarantined: r.counter(ks_trace::names::CACHE_QUARANTINED),
+            retries: r.counter(ks_trace::names::COMPILE_RETRIES),
+            breaker_opens: r.counter(ks_trace::names::BREAKER_OPEN),
         }
     })
 }
@@ -90,12 +98,50 @@ struct Entry {
     last_used: u64,
 }
 
+/// Quarantine record for a key whose last compile failed. Lives in a
+/// map *separate* from `entries`, so failed keys never occupy LRU
+/// capacity and can never be served as hits. Cleared on the next
+/// successful compile of the key.
+struct FailedEntry {
+    err: CompileError,
+    /// Fast-fail with `err` until this instant; afterwards the next
+    /// call becomes a fresh leader (the breaker's half-open probe).
+    until: Instant,
+    /// Consecutive failed flights of this key (resets on success);
+    /// drives the circuit breaker.
+    consecutive: u32,
+}
+
 #[derive(Default)]
 struct Shard {
     entries: HashMap<u64, Entry>,
     inflight: HashMap<u64, Arc<InFlight>>,
+    failed: HashMap<u64, FailedEntry>,
     /// This shard's slice of the global capacity (None = unbounded).
     capacity: Option<usize>,
+}
+
+impl Shard {
+    /// The quarantine error to fast-fail with, if `key` is quarantined
+    /// and the window hasn't lapsed.
+    fn quarantined_error(&self, key: u64, res: &ResilienceConfig) -> Option<CompileError> {
+        let fe = self.failed.get(&key)?;
+        if Instant::now() >= fe.until {
+            return None;
+        }
+        let breaker = res.breaker_threshold > 0 && fe.consecutive >= res.breaker_threshold;
+        Some(if breaker {
+            CompileError {
+                message: format!(
+                    "circuit breaker open ({} consecutive failures): {}",
+                    fe.consecutive, fe.err.message
+                ),
+                command_line: fe.err.command_line.clone(),
+            }
+        } else {
+            fe.err.clone()
+        })
+    }
 }
 
 #[derive(Default)]
@@ -106,6 +152,10 @@ struct Counters {
     dedup_waits: AtomicU64,
     compile_micros: AtomicU64,
     dedup_wait_micros: AtomicU64,
+    failures: AtomicU64,
+    quarantined: AtomicU64,
+    retries: AtomicU64,
+    breaker_opens: AtomicU64,
 }
 
 pub(crate) struct BinaryCache {
@@ -121,6 +171,9 @@ enum Claim {
     Follow(Arc<InFlight>),
     /// This thread registered the in-flight slot and must compile.
     Lead(Arc<InFlight>),
+    /// The key is quarantined (recent failure / open breaker): serve
+    /// the recorded error without compiling.
+    FastFail(CompileError),
 }
 
 impl BinaryCache {
@@ -168,16 +221,30 @@ impl BinaryCache {
             dedup_waits: self.counters.dedup_waits.load(Ordering::Relaxed),
             total_compile_micros: self.counters.compile_micros.load(Ordering::Relaxed),
             total_dedup_wait_micros: self.counters.dedup_wait_micros.load(Ordering::Relaxed),
+            failures: self.counters.failures.load(Ordering::Relaxed),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            breaker_opens: self.counters.breaker_opens.load(Ordering::Relaxed),
         }
     }
 
     /// The single-flight fast path: return the cached binary for `key`,
-    /// join an in-flight compilation of it, or run `compile` as the
-    /// leader and publish the result to the cache and all followers.
+    /// join an in-flight compilation of it, fast-fail from quarantine,
+    /// or run `compile` as the leader — with bounded retries under the
+    /// resilience policy — and publish the result to the cache and all
+    /// followers.
+    ///
+    /// Accounting invariants, under arbitrary interleavings:
+    /// * `hits + misses` == calls that returned `Ok`;
+    /// * `failures` == calls that returned `Err` (with `quarantined`
+    ///   itemizing the fast-fail subset);
+    /// * a retry wave happens at most once per flight, no matter how
+    ///   many followers piled onto the key.
     pub(crate) fn get_or_compile(
         &self,
         key: u64,
-        compile: impl FnOnce() -> CompileResult,
+        res: &ResilienceConfig,
+        compile: impl Fn() -> CompileResult,
     ) -> CompileResult {
         let claim = {
             let mut shard = self.shard(key).lock();
@@ -186,6 +253,8 @@ impl BinaryCache {
                 Claim::Hit(e.bin.clone())
             } else if let Some(f) = shard.inflight.get(&key) {
                 Claim::Follow(f.clone())
+            } else if let Some(err) = shard.quarantined_error(key, res) {
+                Claim::FastFail(err)
             } else {
                 let f = Arc::new(InFlight::new());
                 shard.inflight.insert(key, f.clone());
@@ -198,6 +267,13 @@ impl BinaryCache {
                 trace_counters().hits.inc();
                 Ok(bin)
             }
+            Claim::FastFail(err) => {
+                self.counters.failures.fetch_add(1, Ordering::Relaxed);
+                self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                trace_counters().failures.inc();
+                trace_counters().quarantined.inc();
+                Err(err)
+            }
             Claim::Follow(flight) => {
                 let t0 = Instant::now();
                 let result = flight.wait();
@@ -207,52 +283,83 @@ impl BinaryCache {
                     .dedup_wait_micros
                     .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
                 // Duplicate-compile suppression is a hit, not a miss: the
-                // §4.3 overhead was paid once, by the leader.
+                // §4.3 overhead was paid once, by the leader. A failed
+                // flight fails every follower, itemized per caller.
                 if result.is_ok() {
                     self.counters.hits.fetch_add(1, Ordering::Relaxed);
                     trace_counters().hits.inc();
+                } else {
+                    self.counters.failures.fetch_add(1, Ordering::Relaxed);
+                    trace_counters().failures.inc();
                 }
                 result
             }
             Claim::Lead(flight) => {
-                // If `compile` panics, the guard removes the in-flight
-                // slot and feeds followers an error instead of deadlock.
+                // If an attempt panics (and `catch_panics` is off), the
+                // guard removes the in-flight slot, quarantines the key,
+                // and feeds followers an error instead of deadlock.
                 let guard = FlightGuard {
                     cache: self,
                     key,
                     flight: &flight,
+                    res,
                 };
-                let result = compile();
+                let mut result = run_attempt(&compile, res);
+                let mut attempt = 0u32;
+                while result.is_err() && attempt < res.max_retries {
+                    attempt += 1;
+                    let _retry = ks_trace::span_fields("compile-retry", || {
+                        vec![
+                            ("attempt".to_string(), attempt.to_string()),
+                            ("key".to_string(), format!("{key:016x}")),
+                        ]
+                    });
+                    let delay = res.backoff(key, attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    trace_counters().retries.inc();
+                    result = run_attempt(&compile, res);
+                }
                 std::mem::forget(guard);
                 {
                     let mut shard = self.shard(key).lock();
                     shard.inflight.remove(&key);
-                    if let Ok(bin) = &result {
-                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                        trace_counters().misses.inc();
-                        self.counters
-                            .compile_micros
-                            .fetch_add(bin.compile_time.as_micros() as u64, Ordering::Relaxed);
-                        let stamp = self.stamp();
-                        shard.entries.insert(
-                            key,
-                            Entry {
-                                bin: bin.clone(),
-                                last_used: stamp,
-                            },
-                        );
-                        if let Some(cap) = shard.capacity {
-                            while shard.entries.len() > cap {
-                                let lru = shard
-                                    .entries
-                                    .iter()
-                                    .min_by_key(|(_, e)| e.last_used)
-                                    .map(|(k, _)| *k)
-                                    .expect("nonempty over capacity");
-                                shard.entries.remove(&lru);
-                                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                                trace_counters().evictions.inc();
+                    match &result {
+                        Ok(bin) => {
+                            shard.failed.remove(&key);
+                            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                            trace_counters().misses.inc();
+                            self.counters
+                                .compile_micros
+                                .fetch_add(bin.compile_time.as_micros() as u64, Ordering::Relaxed);
+                            let stamp = self.stamp();
+                            shard.entries.insert(
+                                key,
+                                Entry {
+                                    bin: bin.clone(),
+                                    last_used: stamp,
+                                },
+                            );
+                            if let Some(cap) = shard.capacity {
+                                while shard.entries.len() > cap {
+                                    let lru = shard
+                                        .entries
+                                        .iter()
+                                        .min_by_key(|(_, e)| e.last_used)
+                                        .map(|(k, _)| *k)
+                                        .expect("nonempty over capacity");
+                                    shard.entries.remove(&lru);
+                                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                                    trace_counters().evictions.inc();
+                                }
                             }
+                        }
+                        Err(e) => {
+                            self.counters.failures.fetch_add(1, Ordering::Relaxed);
+                            trace_counters().failures.inc();
+                            self.record_failure_locked(&mut shard, key, e, res);
                         }
                     }
                 }
@@ -261,23 +368,83 @@ impl BinaryCache {
             }
         }
     }
+
+    /// Record a failed flight: refresh the quarantine record, bump the
+    /// consecutive-failure count, and (re)open the breaker when the
+    /// count reaches the threshold. Caller holds the shard lock.
+    fn record_failure_locked(
+        &self,
+        shard: &mut Shard,
+        key: u64,
+        err: &CompileError,
+        res: &ResilienceConfig,
+    ) {
+        let now = Instant::now();
+        let fe = shard.failed.entry(key).or_insert(FailedEntry {
+            err: err.clone(),
+            until: now,
+            consecutive: 0,
+        });
+        fe.err = err.clone();
+        fe.consecutive += 1;
+        let breaker = res.breaker_threshold > 0 && fe.consecutive >= res.breaker_threshold;
+        if breaker {
+            fe.until = now + res.breaker_cooldown;
+            self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            trace_counters().breaker_opens.inc();
+        } else {
+            fe.until = now + res.quarantine_ttl;
+        }
+    }
+}
+
+/// Run one compile attempt, optionally converting panics into
+/// `CompileError`s so the retry policy can treat them like any failure.
+fn run_attempt(compile: &impl Fn() -> CompileResult, res: &ResilienceConfig) -> CompileResult {
+    if !res.catch_panics {
+        return compile();
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(compile)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            Err(CompileError {
+                message: format!("compilation panicked: {msg}"),
+                command_line: String::new(),
+            })
+        }
+    }
 }
 
 /// Panic guard for the leader path: on unwind, unregister the in-flight
-/// slot and wake followers with an error so they don't block forever.
+/// slot, quarantine the key, and wake followers with an error so they
+/// don't block forever.
 struct FlightGuard<'a> {
     cache: &'a BinaryCache,
     key: u64,
     flight: &'a Arc<InFlight>,
+    res: &'a ResilienceConfig,
 }
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        self.cache.shard(self.key).lock().inflight.remove(&self.key);
-        self.flight.fulfill(Err(CompileError {
+        let err = CompileError {
             message: "compilation panicked in another thread".to_string(),
             command_line: String::new(),
-        }));
+        };
+        {
+            let mut shard = self.cache.shard(self.key).lock();
+            shard.inflight.remove(&self.key);
+            self.cache.counters.failures.fetch_add(1, Ordering::Relaxed);
+            trace_counters().failures.inc();
+            self.cache
+                .record_failure_locked(&mut shard, self.key, &err, self.res);
+        }
+        self.flight.fulfill(Err(err));
     }
 }
 
@@ -316,7 +483,7 @@ mod tests {
         let (tx, rx) = std::sync::mpsc::channel();
         let leader = std::thread::spawn(move || {
             let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                c2.get_or_compile(42, || {
+                c2.get_or_compile(42, &ResilienceConfig::default(), || {
                     tx.send(()).unwrap();
                     std::thread::sleep(std::time::Duration::from_millis(20));
                     panic!("boom")
@@ -328,7 +495,9 @@ mod tests {
         rx.recv().unwrap();
         // Either we join the doomed flight and get the panic error, or we
         // probe after cleanup and become the new leader ourselves.
-        if let Err(e) = cache.get_or_compile(42, || Ok(dummy_binary())) {
+        if let Err(e) =
+            cache.get_or_compile(42, &ResilienceConfig::default(), || Ok(dummy_binary()))
+        {
             assert!(e.message.contains("panicked"), "{e}");
         }
         leader.join().unwrap();

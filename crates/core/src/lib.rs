@@ -281,6 +281,23 @@ pub struct CacheStats {
     pub total_compile_micros: u64,
     /// Total time calls spent blocked on in-flight compilations.
     pub total_dedup_wait_micros: u64,
+    /// Cache-path calls that returned an error: failed leaders (after
+    /// exhausting retries), followers of a failed flight, and
+    /// quarantine fast-fails. Itemized *outside* the success invariant —
+    /// `hits + misses` still equals successful compile calls. Pre-cache
+    /// rejections (invalid defines) are not cache traffic and don't
+    /// count.
+    pub failures: u64,
+    /// Calls served an error straight from a quarantined (recently
+    /// failed) entry, without re-compiling. Quarantined entries never
+    /// occupy LRU capacity. Each is also counted in `failures`.
+    pub quarantined: u64,
+    /// Retry attempts after a leader failure (bounded by
+    /// [`ResilienceConfig::max_retries`] per flight).
+    pub retries: u64,
+    /// Circuit-breaker open transitions: the Kth consecutive failure of
+    /// one key, and every failed half-open probe after it.
+    pub breaker_opens: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -288,15 +305,100 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "{} hits / {} misses / {} evictions / {} dedup-waits / \
+             {} failures / {} quarantined / {} retries / {} breaker-opens / \
              compile {:.1?} / dedup-wait {:.1?}",
             self.hits,
             self.misses,
             self.evictions,
             self.dedup_waits,
+            self.failures,
+            self.quarantined,
+            self.retries,
+            self.breaker_opens,
             Duration::from_micros(self.total_compile_micros),
             Duration::from_micros(self.total_dedup_wait_micros),
         )
     }
+}
+
+/// Resilience policy for the compile service: bounded retry with seeded
+/// exponential backoff, a cooperative per-compile deadline, failure
+/// quarantine, and a per-variant circuit breaker. The default is the
+/// pre-resilience behaviour — no retries, no quarantine, breaker off,
+/// panics propagate — so existing callers are unchanged until they opt
+/// in via [`Compiler::with_resilience`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Extra compile attempts after a failed leader attempt (0 = fail
+    /// fast). Retries happen inside the single-flight slot, so N
+    /// followers of a failing key still cost one retry wave.
+    pub max_retries: u32,
+    /// Backoff before retry k is `base * 2^(k-1)` (capped), scaled by a
+    /// deterministic jitter factor in `[0.5, 1.5)` drawn from
+    /// `(jitter_seed, key, attempt)`.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    pub jitter_seed: u64,
+    /// Cooperative per-attempt deadline: an attempt whose wall-clock
+    /// exceeds the budget is reported as a failure even if the pipeline
+    /// eventually produced a binary (the service would have abandoned
+    /// the wait).
+    pub compile_timeout: Option<Duration>,
+    /// Consecutive failures of one key that trip its breaker
+    /// (0 = breaker disabled). While open, calls fast-fail with a
+    /// breaker error until `breaker_cooldown` elapses; the next call
+    /// after cooldown is the half-open probe.
+    pub breaker_threshold: u32,
+    pub breaker_cooldown: Duration,
+    /// How long a failed key fast-fails with its recorded error before
+    /// a fresh compile is attempted (zero = failures are not
+    /// quarantined; every call re-attempts).
+    pub quarantine_ttl: Duration,
+    /// Convert leader panics into `CompileError`s (and retry them like
+    /// any failure) instead of unwinding into the caller.
+    pub catch_panics: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            max_retries: 0,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(16),
+            jitter_seed: 0x5EED,
+            compile_timeout: None,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
+            quarantine_ttl: Duration::ZERO,
+            catch_panics: false,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The delay before retry `attempt` (1-based) of `key`:
+    /// exponential, capped, with deterministic jitter in `[0.5, 1.5)`.
+    pub fn backoff(&self, key: u64, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = exp.min(self.backoff_cap);
+        let roll = splitmix64(self.jitter_seed ^ key ^ u64::from(attempt));
+        let frac = (roll % 1_000_000) as f64 / 1_000_000.0;
+        capped.mul_f64(0.5 + frac)
+    }
+}
+
+/// SplitMix64 finalizer (same mixer ks-fault uses): deterministic jitter
+/// as a pure function of (seed, key, attempt).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// The run-time kernel compiler with a sharded, single-flight binary
@@ -309,6 +411,8 @@ pub struct Compiler {
     opt_config: ks_opt::OptConfig,
     analysis: Option<AnalysisConfig>,
     cache: cache::BinaryCache,
+    resilience: ResilienceConfig,
+    fault_plan: Option<Arc<ks_fault::FaultPlan>>,
 }
 
 impl Compiler {
@@ -319,6 +423,8 @@ impl Compiler {
             opt_config: ks_opt::OptConfig::default(),
             analysis: None,
             cache: cache::BinaryCache::new(None),
+            resilience: ResilienceConfig::default(),
+            fault_plan: None,
         }
     }
 
@@ -358,6 +464,27 @@ impl Compiler {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Compiler {
         self.cache = cache::BinaryCache::new(Some(capacity.max(1)));
         self
+    }
+
+    /// Attach a resilience policy: bounded retry with seeded backoff,
+    /// per-compile deadline, failure quarantine, and the per-variant
+    /// circuit breaker. See [`ResilienceConfig`].
+    pub fn with_resilience(mut self, cfg: ResilienceConfig) -> Compiler {
+        self.resilience = cfg;
+        self
+    }
+
+    /// Attach a [`ks_fault::FaultPlan`] consulted on every compile
+    /// attempt (takes precedence over any process-wide
+    /// [`ks_fault::install`]ed plan). Used by fault drills and tests.
+    pub fn with_fault_plan(mut self, plan: Arc<ks_fault::FaultPlan>) -> Compiler {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
     }
 
     pub fn device(&self) -> &DeviceConfig {
@@ -427,7 +554,28 @@ impl Compiler {
                 ("defines".to_string(), defines.command_line()),
             ]
         });
-        let result = self.cache.get_or_compile(key, || {
+        // Fault plans are consulted per *attempt* (inside the retry
+        // loop), so transient injected faults clear under retry. The
+        // compiler-local plan wins over the process-wide one.
+        let plan = self.fault_plan.clone().or_else(ks_fault::active);
+        let identity = plan.as_ref().map(|_| {
+            ks_fault::kernel_names(source)
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| "?".to_string())
+        });
+        let result = self.cache.get_or_compile(key, &self.resilience, || {
+            if let (Some(plan), Some(id)) = (&plan, &identity) {
+                if let Some(fault) = plan.check_compile(id, key, &defines.command_line()) {
+                    if fault.kind == ks_fault::FaultKind::CompilePanic {
+                        panic!("{}", fault.message());
+                    }
+                    return Err(CompileError {
+                        message: fault.message(),
+                        command_line: self.nvcc_line(defines),
+                    });
+                }
+            }
             // The miss path: this span's children are the per-phase
             // spans recorded inside `compile_uncached`, so the phase
             // durations account for the compile span end to end.
@@ -438,14 +586,30 @@ impl Compiler {
                 ]
             });
             let start = Instant::now();
-            self.compile_uncached(source, defines).map(|mut bin| {
+            let result = self.compile_uncached(source, defines).map(|mut bin| {
                 let elapsed = start.elapsed();
                 bin.compile_time = elapsed;
                 bin.metrics.total = elapsed;
                 trace_metrics().total_us.record_duration_us(elapsed);
                 trace_metrics().record_phases(&bin.metrics);
                 Arc::new(bin)
-            })
+            });
+            // Cooperative deadline: the work already ran, but a service
+            // with a compile budget would have abandoned the wait, so
+            // report the attempt as failed (and let the retry policy or
+            // the caller's fallback take over).
+            if let (Ok(_), Some(budget)) = (&result, self.resilience.compile_timeout) {
+                let elapsed = start.elapsed();
+                if elapsed > budget {
+                    return Err(CompileError {
+                        message: format!(
+                            "compile deadline exceeded: {elapsed:.1?} > budget {budget:.1?}"
+                        ),
+                        command_line: self.nvcc_line(defines),
+                    });
+                }
+            }
+            result
         });
         if result.is_ok() {
             trace_metrics().requests.inc();

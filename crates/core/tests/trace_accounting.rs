@@ -132,6 +132,77 @@ fn mixed_workload_invariant_holds() {
     assert_eq!(stats.hits + stats.misses, d.requests);
 }
 
+/// The resilience counters keep exact parity too: local `CacheStats`
+/// and the registry agree on failures, quarantines, retries, and
+/// breaker trips, and failed calls never leak into `hits + misses ==
+/// requests`.
+#[test]
+fn failures_keep_exact_registry_parity() {
+    use ks_fault::{FaultKind, FaultPlan, FaultRule, Target};
+    let _guard = TEST_LOCK.lock().unwrap();
+    let plan = Arc::new(FaultPlan::new(21).rule(
+        FaultRule::new(FaultKind::CompileError, Target::Define("GAIN=99".into())).persistent(),
+    ));
+    let compiler = Compiler::new(DeviceConfig::tesla_c1060())
+        .with_fault_plan(plan)
+        .with_resilience(ks_core::ResilienceConfig {
+            max_retries: 2,
+            backoff_base: std::time::Duration::ZERO,
+            quarantine_ttl: std::time::Duration::from_secs(60),
+            breaker_threshold: 1,
+            ..ks_core::ResilienceConfig::default()
+        });
+    let reg = ks_trace::registry();
+    let resilience_counters = || {
+        (
+            reg.counter_value(ks_trace::names::CACHE_FAILURES),
+            reg.counter_value(ks_trace::names::CACHE_QUARANTINED),
+            reg.counter_value(ks_trace::names::COMPILE_RETRIES),
+            reg.counter_value(ks_trace::names::BREAKER_OPEN),
+        )
+    };
+    let before = resilience_counters();
+    let d = delta(|| {
+        assert!(compiler
+            .compile(SRC, Defines::new().def("GAIN", 99))
+            .is_err());
+        assert!(compiler
+            .compile(SRC, Defines::new().def("GAIN", 99))
+            .is_err());
+        compiler
+            .compile(SRC, Defines::new().def("GAIN", 1))
+            .unwrap();
+    });
+    let after = resilience_counters();
+    let stats = compiler.cache_stats();
+    // Fresh compiler + serialized registry: the delta IS its stats.
+    assert_eq!(
+        (
+            after.0 - before.0,
+            after.1 - before.1,
+            after.2 - before.2,
+            after.3 - before.3,
+        ),
+        (
+            stats.failures,
+            stats.quarantined,
+            stats.retries,
+            stats.breaker_opens,
+        ),
+        "registry must mirror CacheStats exactly: {stats}"
+    );
+    assert_eq!(
+        stats.failures, 2,
+        "one real failure + one fast-fail: {stats}"
+    );
+    assert_eq!(stats.quarantined, 1, "second call fast-fails: {stats}");
+    assert_eq!(stats.retries, 2, "one retry wave of two: {stats}");
+    assert_eq!(stats.breaker_opens, 1, "threshold 1 trips once: {stats}");
+    // The failed calls never enter the request invariant.
+    assert_eq!(d.requests, 1, "only the successful compile is a request");
+    assert_eq!(d.hits + d.misses, d.requests);
+}
+
 #[test]
 fn evictions_reach_the_registry() {
     let _guard = TEST_LOCK.lock().unwrap();

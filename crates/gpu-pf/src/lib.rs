@@ -75,6 +75,9 @@ use std::sync::{Arc, OnceLock};
 struct TraceCounters {
     iterations: ks_trace::Counter,
     refreshes: ks_trace::Counter,
+    fallback_generic: ks_trace::Counter,
+    fallback_last_good: ks_trace::Counter,
+    launch_retries: ks_trace::Counter,
 }
 
 fn trace_counters() -> &'static TraceCounters {
@@ -84,6 +87,9 @@ fn trace_counters() -> &'static TraceCounters {
         TraceCounters {
             iterations: r.counter(ks_trace::names::PF_ITERATIONS),
             refreshes: r.counter(ks_trace::names::PF_REFRESHES),
+            fallback_generic: r.counter(ks_trace::names::PF_FALLBACK_GENERIC),
+            fallback_last_good: r.counter(ks_trace::names::PF_FALLBACK_LAST_GOOD),
+            launch_retries: r.counter(ks_trace::names::PF_LAUNCH_RETRIES),
         }
     })
 }
@@ -104,6 +110,14 @@ pub enum PfError {
     Mem(ks_sim::MemError),
     Spec(String),
     Io(std::io::Error),
+    /// A resource/parameter binding resolved to the wrong kind or an
+    /// unallocated resource (formerly a panic; the message text is
+    /// unchanged). The panicking accessors (`int_value`, `device_addr`,
+    /// …) remain as thin wrappers over the `try_*` forms.
+    Bind(String),
+    /// Launch-path resolution failed: not a kernel resource, module not
+    /// compiled, or a value unusable on the launch path.
+    Launch(String),
 }
 
 impl std::fmt::Display for PfError {
@@ -114,6 +128,10 @@ impl std::fmt::Display for PfError {
             PfError::Mem(e) => write!(f, "{e}"),
             PfError::Spec(s) => write!(f, "specification error: {s}"),
             PfError::Io(e) => write!(f, "io error: {e}"),
+            // Bare text: the panicking wrappers rely on this rendering
+            // matching the pre-conversion panic messages exactly.
+            PfError::Bind(s) => write!(f, "{s}"),
+            PfError::Launch(s) => write!(f, "{s}"),
         }
     }
 }
@@ -153,11 +171,35 @@ pub enum MacroBinding {
     Literal(String),
 }
 
+/// How a module degraded when its specialized compile failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackKind {
+    /// Compiled and bound the generic (no `-D` defines) kernel binary:
+    /// correct results via runtime arguments, without the specialized
+    /// variant's performance.
+    Generic,
+    /// Kept the previously compiled (stale-specialization) binary.
+    LastKnownGood,
+}
+
+/// Record of one graceful degradation during [`Pipeline::refresh`].
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// Resource index of the module that degraded.
+    pub module: usize,
+    pub fallback: FallbackKind,
+    /// The specialized compile error that forced the fallback.
+    pub error: String,
+}
+
 enum Resource {
     Module {
         source: String,
         bindings: Vec<(String, MacroBinding)>,
         binary: Option<Arc<Binary>>,
+        /// Bound to a fallback binary; the next refresh retries the
+        /// specialized compile even if no parameter changed.
+        degraded: bool,
     },
     Kernel {
         module: ResId,
@@ -275,10 +317,14 @@ pub struct Pipeline {
     iteration: u64,
     refreshed: bool,
     pub launch_options: LaunchOptions,
+    /// Launch retry budget for *transient* device faults (per
+    /// execution; non-transient simulation traps never retry).
+    pub launch_retries: u32,
     log: log::Logger,
     timings: Vec<OpTiming>,
     /// Reports of every kernel execution (most recent last).
     pub reports: Vec<LaunchReport>,
+    degradations: Vec<Degradation>,
 }
 
 impl Pipeline {
@@ -294,10 +340,18 @@ impl Pipeline {
             iteration: 0,
             refreshed: false,
             launch_options: LaunchOptions::default(),
+            launch_retries: 2,
             log: log::Logger::disabled(),
             timings: Vec::new(),
             reports: Vec::new(),
+            degradations: Vec::new(),
         }
+    }
+
+    /// Every graceful degradation recorded by [`Pipeline::refresh`]
+    /// (oldest first). Empty when all specialized compiles succeeded.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// Route Appendix-G-style log output to a writer.
@@ -425,49 +479,56 @@ impl Pipeline {
         self.refreshed = false;
     }
 
-    pub fn int_value(&self, id: ParamId) -> i64 {
+    /// Integer value of a parameter, or [`PfError::Bind`] if the
+    /// parameter is not integer-valued.
+    pub fn try_int_value(&self, id: ParamId) -> Result<i64, PfError> {
         match &self.params[id.0].value {
-            ParamValue::Int(v) => *v,
-            ParamValue::Step(s) => s.current,
-            ParamValue::Bool(b) => i64::from(*b),
-            v => panic!(
+            ParamValue::Int(v) => Ok(*v),
+            ParamValue::Step(s) => Ok(s.current),
+            ParamValue::Bool(b) => Ok(i64::from(*b)),
+            v => Err(PfError::Bind(format!(
                 "parameter {} is not an integer: {v:?}",
                 self.params[id.0].name
-            ),
+            ))),
         }
     }
 
-    fn triplet_value(&self, id: ParamId) -> [u32; 3] {
+    /// Panicking form of [`Pipeline::try_int_value`] (same message).
+    pub fn int_value(&self, id: ParamId) -> i64 {
+        self.try_int_value(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn triplet_value(&self, id: ParamId) -> Result<[u32; 3], PfError> {
         match &self.params[id.0].value {
-            ParamValue::Triplet(v) => *v,
-            v => panic!(
+            ParamValue::Triplet(v) => Ok(*v),
+            v => Err(PfError::Bind(format!(
                 "parameter {} is not a triplet: {v:?}",
                 self.params[id.0].name
-            ),
+            ))),
         }
     }
 
-    fn extent_bytes(&self, id: ParamId) -> u64 {
+    fn extent_bytes(&self, id: ParamId) -> Result<u64, PfError> {
         match &self.params[id.0].value {
             ParamValue::Extent { dims, elem_bytes } => {
-                dims[0] as u64 * dims[1] as u64 * dims[2] as u64 * *elem_bytes as u64
+                Ok(dims[0] as u64 * dims[1] as u64 * dims[2] as u64 * *elem_bytes as u64)
             }
-            v => panic!(
+            v => Err(PfError::Bind(format!(
                 "parameter {} is not an extent: {v:?}",
                 self.params[id.0].name
-            ),
+            ))),
         }
     }
 
-    fn schedule_fires(&self, id: ParamId, iter: u64) -> bool {
+    fn schedule_fires(&self, id: ParamId, iter: u64) -> Result<bool, PfError> {
         match &self.params[id.0].value {
             ParamValue::Schedule { period, delay } => {
-                iter >= *delay && (*period > 0) && (iter - delay).is_multiple_of(*period)
+                Ok(iter >= *delay && (*period > 0) && (iter - delay).is_multiple_of(*period))
             }
-            v => panic!(
+            v => Err(PfError::Bind(format!(
                 "parameter {} is not a schedule: {v:?}",
                 self.params[id.0].name
-            ),
+            ))),
         }
     }
 
@@ -488,6 +549,7 @@ impl Pipeline {
                 .map(|(n, b)| (n.to_string(), b))
                 .collect(),
             binary: None,
+            degraded: false,
         })
     }
 
@@ -536,15 +598,23 @@ impl Pipeline {
         })
     }
 
-    /// Fill a host memory resource (before or between runs).
-    pub fn set_host_data(&mut self, id: ResId, bytes: &[u8]) {
+    /// Fill a host memory resource (before or between runs), or
+    /// [`PfError::Bind`] if `id` is not host memory.
+    pub fn try_set_host_data(&mut self, id: ResId, bytes: &[u8]) -> Result<(), PfError> {
         match &mut self.resources[id.0] {
             Resource::HostMem { data, .. } => {
                 data.clear();
                 data.extend_from_slice(bytes);
+                Ok(())
             }
-            _ => panic!("resource is not host memory"),
+            _ => Err(PfError::Bind("resource is not host memory".to_string())),
         }
+    }
+
+    /// Panicking form of [`Pipeline::try_set_host_data`] (same message).
+    pub fn set_host_data(&mut self, id: ResId, bytes: &[u8]) {
+        self.try_set_host_data(id, bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn set_host_f32(&mut self, id: ResId, vals: &[f32]) {
@@ -552,11 +622,18 @@ impl Pipeline {
         self.set_host_data(id, &bytes);
     }
 
-    pub fn host_data(&self, id: ResId) -> &[u8] {
+    /// Contents of a host memory resource, or [`PfError::Bind`] if `id`
+    /// is not host memory.
+    pub fn try_host_data(&self, id: ResId) -> Result<&[u8], PfError> {
         match &self.resources[id.0] {
-            Resource::HostMem { data, .. } => data,
-            _ => panic!("resource is not host memory"),
+            Resource::HostMem { data, .. } => Ok(data),
+            _ => Err(PfError::Bind("resource is not host memory".to_string())),
         }
+    }
+
+    /// Panicking form of [`Pipeline::try_host_data`] (same message).
+    pub fn host_data(&self, id: ResId) -> &[u8] {
+        self.try_host_data(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn host_f32(&self, id: ResId) -> Vec<f32> {
@@ -566,44 +643,66 @@ impl Pipeline {
             .collect()
     }
 
-    /// Device address of a global memory resource (after refresh).
-    pub fn device_addr(&self, id: ResId) -> u64 {
+    /// Device address of a global memory resource (after refresh), or
+    /// [`PfError::Bind`] if unresolvable.
+    pub fn try_device_addr(&self, id: ResId) -> Result<u64, PfError> {
+        let unallocated = || PfError::Bind("refresh() first".to_string());
         match &self.resources[id.0] {
-            Resource::GlobalMem { addr, .. } => addr.expect("refresh() first"),
+            Resource::GlobalMem { addr, .. } => addr.ok_or_else(unallocated),
             Resource::Subset { of, subset } => {
                 let (base_addr, elem) = match &self.resources[of.0] {
                     Resource::GlobalMem { addr, extent, .. } => {
-                        (addr.expect("refresh() first"), self.extent_elem(*extent))
+                        (addr.ok_or_else(unallocated)?, self.extent_elem(*extent)?)
                     }
-                    _ => panic!("subset of non-global memory has no device address"),
+                    _ => {
+                        return Err(PfError::Bind(
+                            "subset of non-global memory has no device address".to_string(),
+                        ))
+                    }
                 };
                 match &self.params[subset.0].value {
-                    ParamValue::Subset { offset, .. } => base_addr + offset * elem as u64,
-                    _ => panic!("subset resource bound to non-subset parameter"),
+                    ParamValue::Subset { offset, .. } => Ok(base_addr + offset * elem as u64),
+                    _ => Err(PfError::Bind(
+                        "subset resource bound to non-subset parameter".to_string(),
+                    )),
                 }
             }
-            _ => panic!("resource has no device address"),
+            _ => Err(PfError::Bind("resource has no device address".to_string())),
         }
     }
 
-    fn extent_elem(&self, id: ParamId) -> u32 {
+    /// Panicking form of [`Pipeline::try_device_addr`] (same messages).
+    pub fn device_addr(&self, id: ResId) -> u64 {
+        self.try_device_addr(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn extent_elem(&self, id: ParamId) -> Result<u32, PfError> {
         match &self.params[id.0].value {
-            ParamValue::Extent { elem_bytes, .. } => *elem_bytes,
-            _ => panic!("not an extent"),
+            ParamValue::Extent { elem_bytes, .. } => Ok(*elem_bytes),
+            _ => Err(PfError::Bind("not an extent".to_string())),
         }
     }
 
-    /// The compiled binary backing a kernel (after refresh).
-    pub fn kernel_binary(&self, kernel: ResId) -> &Arc<Binary> {
+    /// The compiled binary backing a kernel (after refresh), or
+    /// [`PfError::Launch`] if the resource isn't a compiled kernel.
+    pub fn try_kernel_binary(&self, kernel: ResId) -> Result<&Arc<Binary>, PfError> {
         let Resource::Kernel { module, .. } = &self.resources[kernel.0] else {
-            panic!("not a kernel resource");
+            return Err(PfError::Launch("not a kernel resource".to_string()));
         };
         match &self.resources[module.0] {
             Resource::Module {
                 binary: Some(b), ..
-            } => b,
-            _ => panic!("module not compiled; refresh() first"),
+            } => Ok(b),
+            _ => Err(PfError::Launch(
+                "module not compiled; refresh() first".to_string(),
+            )),
         }
+    }
+
+    /// Panicking form of [`Pipeline::try_kernel_binary`] (same messages).
+    pub fn kernel_binary(&self, kernel: ResId) -> &Arc<Binary> {
+        self.try_kernel_binary(kernel)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     // ---- actions (Table 4.4) ----
@@ -715,8 +814,13 @@ impl Pipeline {
                     source,
                     bindings,
                     binary,
+                    degraded,
                 } => {
+                    // A degraded module retries its specialized compile on
+                    // every refresh (the half-open probe of the fallback
+                    // path), even when no bound parameter changed.
                     let needs = binary.is_none()
+                        || *degraded
                         || bindings.iter().any(|(_, b)| match b {
                             MacroBinding::Param(p) => dirty.contains(&p.0),
                             MacroBinding::Literal(_) => false,
@@ -728,7 +832,7 @@ impl Pipeline {
                     for (name, b) in bindings {
                         match b {
                             MacroBinding::Param(p) => {
-                                let v = self.render_param(*p);
+                                let v = self.render_param(*p)?;
                                 defs = defs.def(name, v);
                             }
                             MacroBinding::Literal(s) => {
@@ -736,8 +840,13 @@ impl Pipeline {
                             }
                         }
                     }
+                    let source = source.clone();
+                    let last_good = binary.clone();
                     let before = self.compiler.cache_stats();
-                    let bin = self.compiler.compile(source, &defs)?;
+                    let (bin, fallback) = match self.compiler.compile(&source, &defs) {
+                        Ok(b) => (b, None),
+                        Err(e) => self.degrade_module(i, &source, &defs, last_good, e)?,
+                    };
                     let after = self.compiler.cache_stats();
                     self.log.line_with(|| {
                         let how = if after.hits > before.hits {
@@ -762,17 +871,21 @@ impl Pipeline {
                     for d in &bin.diagnostics {
                         self.log.line_with(|| format!("module[{i}]: {d}"));
                     }
-                    let Resource::Module { binary, .. } = &mut self.resources[i] else {
+                    let Resource::Module {
+                        binary, degraded, ..
+                    } = &mut self.resources[i]
+                    else {
                         unreachable!()
                     };
                     *binary = Some(bin);
+                    *degraded = fallback.is_some();
                 }
                 Resource::GlobalMem { extent, addr, .. } => {
                     let needs = addr.is_none() || dirty.contains(&extent.0);
                     if !needs {
                         continue;
                     }
-                    let bytes = self.extent_bytes(*extent);
+                    let bytes = self.extent_bytes(*extent)?;
                     let a = self.state.global.alloc(bytes)?;
                     self.log
                         .line_with(|| format!("global[{i}]: allocated {bytes} B at {a:#x}"));
@@ -783,7 +896,7 @@ impl Pipeline {
                     *b = bytes;
                 }
                 Resource::HostMem { extent, data } => {
-                    let bytes = self.extent_bytes(*extent) as usize;
+                    let bytes = self.extent_bytes(*extent)? as usize;
                     if data.len() != bytes {
                         let Resource::HostMem { data, .. } = &mut self.resources[i] else {
                             unreachable!()
@@ -821,20 +934,73 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Graceful degradation when a specialized compile fails: bind the
+    /// generic (no-defines) kernel binary — functionally correct, since
+    /// our sources default every specialization macro to its runtime
+    /// argument — or, failing that, keep the last-known-good binary.
+    /// Only when neither fallback exists does the refresh fail.
+    fn degrade_module(
+        &mut self,
+        idx: usize,
+        source: &str,
+        defs: &Defines,
+        last_good: Option<Arc<Binary>>,
+        err: ks_core::CompileError,
+    ) -> Result<(Arc<Binary>, Option<FallbackKind>), PfError> {
+        let _span = ks_trace::span_fields("refresh-fallback", || {
+            vec![
+                ("module".to_string(), idx.to_string()),
+                ("error".to_string(), err.message.clone()),
+            ]
+        });
+        // The generic compile is only a distinct variant when the failed
+        // one was actually specialized.
+        if !defs.is_empty() {
+            if let Ok(generic) = self.compiler.compile(source, Defines::new()) {
+                trace_counters().fallback_generic.inc();
+                self.log.line_with(|| {
+                    format!(
+                        "module[{idx}]: specialized compile failed ({err}); \
+                         falling back to generic kernel"
+                    )
+                });
+                self.degradations.push(Degradation {
+                    module: idx,
+                    fallback: FallbackKind::Generic,
+                    error: err.to_string(),
+                });
+                return Ok((generic, Some(FallbackKind::Generic)));
+            }
+        }
+        if let Some(prev) = last_good {
+            trace_counters().fallback_last_good.inc();
+            self.log.line_with(|| {
+                format!("module[{idx}]: compile failed ({err}); keeping last-known-good binary")
+            });
+            self.degradations.push(Degradation {
+                module: idx,
+                fallback: FallbackKind::LastKnownGood,
+                error: err.to_string(),
+            });
+            return Ok((prev, Some(FallbackKind::LastKnownGood)));
+        }
+        Err(PfError::Compile(err))
+    }
+
     /// Render a parameter as a macro value string.
-    fn render_param(&self, id: ParamId) -> String {
+    fn render_param(&self, id: ParamId) -> Result<String, PfError> {
         match &self.params[id.0].value {
-            ParamValue::Int(v) => v.to_string(),
-            ParamValue::Bool(b) => if *b { "1" } else { "0" }.to_string(),
-            ParamValue::Float(v) => format!("{v}f"),
-            ParamValue::Ptr(v) => format!("{v:#x}"),
-            ParamValue::Step(s) => s.current.to_string(),
-            ParamValue::Triplet(v) => v[0].to_string(), // .x by convention
-            ParamValue::Pair(v) => v[0].to_string(),
-            v => panic!(
+            ParamValue::Int(v) => Ok(v.to_string()),
+            ParamValue::Bool(b) => Ok(if *b { "1" } else { "0" }.to_string()),
+            ParamValue::Float(v) => Ok(format!("{v}f")),
+            ParamValue::Ptr(v) => Ok(format!("{v:#x}")),
+            ParamValue::Step(s) => Ok(s.current.to_string()),
+            ParamValue::Triplet(v) => Ok(v[0].to_string()), // .x by convention
+            ParamValue::Pair(v) => Ok(v[0].to_string()),
+            v => Err(PfError::Bind(format!(
                 "parameter {} ({v:?}) cannot be rendered as a macro value",
                 self.params[id.0].name
-            ),
+            ))),
         }
     }
 
@@ -958,7 +1124,7 @@ impl Pipeline {
             }
             | Action::FileIn {
                 schedule, label, ..
-            } => (self.schedule_fires(*schedule, iter), label.clone()),
+            } => (self.schedule_fires(*schedule, iter)?, label.clone()),
         };
         if !fires {
             return Ok(());
@@ -1008,34 +1174,35 @@ impl Pipeline {
                     .iter()
                     .filter_map(|r| match r {
                         Resource::Texture { name, mem, .. } => {
-                            Some((name.clone(), self.device_addr(*mem)))
+                            Some(self.try_device_addr(*mem).map(|a| (name.clone(), a)))
                         }
                         _ => None,
                     })
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 for (name, addr) in bindings {
                     self.state.bind_texture(&name, addr);
                 }
                 let kernel = *kernel;
-                let grid = self.triplet_value(*grid);
-                let block = self.triplet_value(*block);
-                let dyn_sh = dynamic_shared
-                    .map(|p| self.int_value(p) as u32)
-                    .unwrap_or(0);
+                let grid = self.triplet_value(*grid)?;
+                let block = self.triplet_value(*block)?;
+                let dyn_sh = match dynamic_shared {
+                    Some(p) => self.try_int_value(*p)? as u32,
+                    None => 0,
+                };
                 let kargs: Vec<KArg> = args
                     .clone()
                     .iter()
                     .map(|a| self.resolve_arg(a))
                     .collect::<Result<_, _>>()?;
                 let Resource::Kernel { module, name } = &self.resources[kernel.0] else {
-                    return Err(PfError::Spec(format!("{label}: not a kernel resource")));
+                    return Err(PfError::Launch(format!("{label}: not a kernel resource")));
                 };
                 let name = name.clone();
                 let Resource::Module {
                     binary: Some(bin), ..
                 } = &self.resources[module.0]
                 else {
-                    return Err(PfError::Spec(format!("{label}: module not compiled")));
+                    return Err(PfError::Launch(format!("{label}: module not compiled")));
                 };
                 let bin = bin.clone();
                 let dims = LaunchDims {
@@ -1043,14 +1210,34 @@ impl Pipeline {
                     block: (block[0], block[1], block[2]),
                     dynamic_shared: dyn_sh,
                 };
-                let report = launch(
-                    &mut self.state,
-                    &bin.module,
-                    &name,
-                    dims,
-                    &kargs,
-                    self.launch_options,
-                )?;
+                // Transient device faults (injected watchdog timeouts,
+                // OOM, ECC) retry up to the budget; faults fire before
+                // any device state changes, so a retry is safe. Genuine
+                // simulation traps are deterministic and fail fast.
+                let mut attempt = 0u32;
+                let report = loop {
+                    match launch(
+                        &mut self.state,
+                        &bin.module,
+                        &name,
+                        dims,
+                        &kargs,
+                        self.launch_options,
+                    ) {
+                        Ok(r) => break r,
+                        Err(e) if e.is_transient() && attempt < self.launch_retries => {
+                            attempt += 1;
+                            trace_counters().launch_retries.inc();
+                            self.log.line_with(|| {
+                                format!(
+                                    "  [retry] {label}: transient device fault ({e}); \
+                                     attempt {attempt}"
+                                )
+                            });
+                        }
+                        Err(e) => return Err(PfError::Sim(e)),
+                    }
+                };
                 self.log.line_with(|| {
                     format!(
                         "  [exec] {label}: {} grid=({},{},{}) block=({},{},{}) {:.6} ms, {} regs, occ {:.2}",
@@ -1143,7 +1330,7 @@ impl Pipeline {
                     )))
                 }
             },
-            Arg::Mem(r) => KArg::Ptr(self.device_addr(*r)),
+            Arg::Mem(r) => KArg::Ptr(self.try_device_addr(*r)?),
         })
     }
 
@@ -1169,8 +1356,8 @@ impl Pipeline {
                     };
                     match &p.resources[of.0] {
                         Resource::GlobalMem { extent, .. } => {
-                            let elem = p.extent_elem(*extent) as u64;
-                            Ok((End::Dev(p.device_addr(r)), len * elem))
+                            let elem = p.extent_elem(*extent)? as u64;
+                            Ok((End::Dev(p.try_device_addr(r)?), len * elem))
                         }
                         Resource::HostMem { .. } => Err(PfError::Spec(
                             "host subsets not supported; copy the full buffer".into(),
@@ -1787,5 +1974,229 @@ mod tests {
         p.refresh().unwrap();
         let stats = p.compiler().cache_stats();
         assert!(stats.hits >= 1, "expected a re-refresh hit: {stats}");
+    }
+
+    /// Builds the standard scale pipeline around a caller-supplied
+    /// compiler (so fault plans and resilience policies apply).
+    fn scale_pipeline(compiler: Arc<Compiler>) -> (Pipeline, ParamId, ResId, ResId) {
+        let mut p = Pipeline::new(compiler, 32 << 20);
+        let n = 64u32;
+        let factor = p.int_param("FACTOR", 3);
+        let ext = p.extent_param("buf", [n, 1, 1], 4);
+        let host_in = p.host_memory(ext);
+        let host_out = p.host_memory(ext);
+        let dev_in = p.global_memory(ext);
+        let dev_out = p.global_memory(ext);
+        let m = p.module(SCALE_SRC, vec![("FACTOR", MacroBinding::Param(factor))]);
+        let k = p.kernel(m, "scale");
+        let grid = p.triplet_param("grid", [1, 1, 1]);
+        let blk = p.triplet_param("block", [64, 1, 1]);
+        let every = p.schedule_param("every", 1, 0);
+        let nparam = p.int_param("n", n as i64);
+        p.copy("h2d", host_in, dev_in, every);
+        p.exec(
+            "scale",
+            k,
+            grid,
+            blk,
+            None,
+            vec![
+                Arg::Mem(dev_in),
+                Arg::Mem(dev_out),
+                Arg::Param(factor),
+                Arg::Param(nparam),
+            ],
+            every,
+        );
+        p.copy("d2h", dev_out, host_out, every);
+        (p, factor, host_in, host_out)
+    }
+
+    #[test]
+    fn specialized_compile_failure_degrades_to_generic_kernel() {
+        // Every specialized (-D FACTOR=...) compile of this module fails
+        // persistently; the define-free generic compile is untouched.
+        let plan = Arc::new(
+            ks_fault::FaultPlan::new(11).rule(
+                ks_fault::FaultRule::new(
+                    ks_fault::FaultKind::CompileError,
+                    ks_fault::Target::Define("FACTOR".into()),
+                )
+                .persistent(),
+            ),
+        );
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()).with_fault_plan(plan));
+        let (mut p, factor, host_in, host_out) = scale_pipeline(c);
+        p.refresh().unwrap();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(1).unwrap();
+        // The generic kernel reads the runtime argument, so results are
+        // still correct — degraded, not wrong.
+        let out = p.host_f32(host_out);
+        assert_eq!(out[10], 30.0);
+        assert_eq!(p.degradations().len(), 1);
+        assert_eq!(p.degradations()[0].fallback, FallbackKind::Generic);
+        assert!(p.degradations()[0].error.contains("injected fault"));
+
+        // A degraded module re-attempts its specialization on the next
+        // refresh even though no parameter changed; the persistent fault
+        // degrades it again (recorded as a second degradation).
+        p.set_int(factor, 5);
+        p.refresh().unwrap();
+        p.run(1).unwrap();
+        assert_eq!(p.host_f32(host_out)[10], 50.0);
+        assert_eq!(p.degradations().len(), 2);
+    }
+
+    #[test]
+    fn last_known_good_binary_retained_when_generic_also_fails() {
+        // Both rules fire on their second matching occurrence for the
+        // `scale` identity. Call sequence: refresh#1 specialized (occ 1
+        // for both rules, clean), refresh#2 specialized (rule 1 occ 2 →
+        // fail; rule 2 not consulted), refresh#2 generic fallback
+        // (rule 1 occ 3, rule 2 occ 2 → fail) → last-known-good.
+        let rule = || {
+            ks_fault::FaultRule::new(
+                ks_fault::FaultKind::CompileError,
+                ks_fault::Target::Kernel("scale".into()),
+            )
+            .persistent()
+            .nth(2)
+        };
+        let plan = Arc::new(ks_fault::FaultPlan::new(5).rule(rule()).rule(rule()));
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()).with_fault_plan(plan));
+        let (mut p, factor, host_in, host_out) = scale_pipeline(c);
+        p.refresh().unwrap();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(1).unwrap();
+        assert_eq!(p.host_f32(host_out)[10], 30.0);
+        assert!(p.degradations().is_empty());
+
+        // Re-specialize: both compiles fail, the stale FACTOR=3 binary
+        // keeps the pipeline running (visibly stale results).
+        p.set_int(factor, 5);
+        p.refresh().unwrap();
+        p.run(1).unwrap();
+        assert_eq!(
+            p.host_f32(host_out)[10],
+            30.0,
+            "last-known-good keeps the old specialization"
+        );
+        assert_eq!(p.degradations().len(), 1);
+        assert_eq!(p.degradations()[0].fallback, FallbackKind::LastKnownGood);
+    }
+
+    #[test]
+    fn transient_launch_faults_retry_then_exhaust() {
+        // The device-fault path is consulted in ks-sim via the
+        // process-wide plan, so this test owns the global slot for its
+        // duration; rules are pinned to kernel names no other test uses.
+        const RETRY_SRC: &str = r#"
+            __global__ void retryk(float* in, float* out, int factor, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { out[i] = in[i] * (float)factor; }
+            }
+        "#;
+        let plan = Arc::new(
+            ks_fault::FaultPlan::new(2)
+                .rule(
+                    // One transient launch timeout on the first launch.
+                    ks_fault::FaultRule::new(
+                        ks_fault::FaultKind::LaunchTimeout,
+                        ks_fault::Target::Kernel("retryk".into()),
+                    )
+                    .nth(1),
+                )
+                .rule(
+                    // Every launch of the doomed kernel times out.
+                    ks_fault::FaultRule::new(
+                        ks_fault::FaultKind::LaunchTimeout,
+                        ks_fault::Target::Kernel("doomedk".into()),
+                    )
+                    .persistent(),
+                ),
+        );
+        ks_fault::install(plan);
+
+        let build = |src: &str, kernel: &str| {
+            let mut p = pipeline();
+            let ext = p.extent_param("buf", [64, 1, 1], 4);
+            let dev_in = p.global_memory(ext);
+            let dev_out = p.global_memory(ext);
+            let m = p.module(src, vec![]);
+            let k = p.kernel(m, kernel);
+            let grid = p.triplet_param("grid", [1, 1, 1]);
+            let blk = p.triplet_param("block", [64, 1, 1]);
+            let every = p.schedule_param("every", 1, 0);
+            let f = p.int_param("factor", 2);
+            let n = p.int_param("n", 64);
+            p.exec(
+                kernel,
+                k,
+                grid,
+                blk,
+                None,
+                vec![
+                    Arg::Mem(dev_in),
+                    Arg::Mem(dev_out),
+                    Arg::Param(f),
+                    Arg::Param(n),
+                ],
+                every,
+            );
+            p
+        };
+
+        // Transient fault: absorbed by the launch retry, run succeeds.
+        let mut p = build(RETRY_SRC, "retryk");
+        p.refresh().unwrap();
+        p.run(1).unwrap();
+
+        // Persistent fault: retries exhaust, the typed SimError surfaces
+        // (still an Err, never a panic) and it reads as transient so the
+        // caller knows retrying was legitimate.
+        let mut p = build(&RETRY_SRC.replace("retryk", "doomedk"), "doomedk");
+        p.refresh().unwrap();
+        let err = p.run(1).unwrap_err();
+        ks_fault::clear();
+        match err {
+            PfError::Sim(e) => {
+                assert!(e.to_string().contains("injected fault: launch-timeout"));
+            }
+            other => panic!("expected PfError::Sim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessor_errors_are_typed_with_stable_messages() {
+        let mut p = pipeline();
+        let trip = p.triplet_param("t", [1, 1, 1]);
+        let ext = p.extent_param("e", [8, 1, 1], 4);
+        let dev = p.global_memory(ext);
+        let m = p.module(SCALE_SRC, vec![]);
+        let k = p.kernel(m, "scale");
+
+        // Binding errors render the bare message the old panics carried.
+        let e = p.try_int_value(trip).unwrap_err();
+        assert!(matches!(&e, PfError::Bind(_)), "{e:?}");
+        assert!(e.to_string().contains("not an integer"), "{e}");
+
+        let e = p.try_host_data(dev).unwrap_err();
+        assert!(matches!(&e, PfError::Bind(_)));
+        assert_eq!(e.to_string(), "resource is not host memory");
+
+        let e = p.try_device_addr(dev).unwrap_err();
+        assert!(matches!(&e, PfError::Bind(_)));
+        assert_eq!(e.to_string(), "refresh() first");
+
+        // Kernel-resolution errors are launch-typed.
+        let e = p.try_kernel_binary(dev).unwrap_err();
+        assert!(matches!(&e, PfError::Launch(_)));
+        assert_eq!(e.to_string(), "not a kernel resource");
+        let e = p.try_kernel_binary(k).unwrap_err();
+        assert!(matches!(&e, PfError::Launch(_)));
+        assert_eq!(e.to_string(), "module not compiled; refresh() first");
     }
 }

@@ -27,6 +27,16 @@ use ks_ir::{
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimError(pub String);
 
+impl SimError {
+    /// True for errors a launch retry may clear — currently the
+    /// injected device faults `ks_fault` marks `(transient, …)`.
+    /// Genuine simulation traps (bad kernels, OOB accesses) are
+    /// deterministic and never transient.
+    pub fn is_transient(&self) -> bool {
+        self.0.contains("(transient")
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "simulation trap: {}", self.0)

@@ -244,6 +244,16 @@ pub fn launch(
             ("blocks".to_string(), dims.grid_blocks().to_string()),
         ]
     });
+    // Injected device faults fire before any device state is touched,
+    // so a faulted launch is always safe to retry.
+    if let Some(plan) = ks_fault::active() {
+        if let Some(fault) = plan.check_device(kernel) {
+            ks_trace::registry()
+                .counter(ks_trace::names::SIM_FAULTS_INJECTED)
+                .inc();
+            return Err(SimError(fault.message()));
+        }
+    }
     let report = launch_inner(state, module, kernel, dims, args, opts)?;
     let m = trace_metrics();
     m.launches.inc();

@@ -110,4 +110,27 @@ pub mod names {
     pub const PF_ITERATIONS: &str = "gpu_pf.iterations";
     /// GPU-PF refresh phases completed.
     pub const PF_REFRESHES: &str = "gpu_pf.refreshes";
+    /// Compile retry attempts after a leader failure
+    /// (`CacheStats::retries`).
+    pub const COMPILE_RETRIES: &str = "ks_core.compile.retries";
+    /// `Compiler::compile` calls that returned an error
+    /// (`CacheStats::failures`). Failures are itemized outside the
+    /// `hits + misses == requests` invariant, which counts successes.
+    pub const CACHE_FAILURES: &str = "ks_core.cache.failures";
+    /// Calls fast-failed from a quarantined (recently failed) entry
+    /// without re-compiling (`CacheStats::quarantined`).
+    pub const CACHE_QUARANTINED: &str = "ks_core.cache.quarantined";
+    /// Per-variant circuit-breaker open transitions
+    /// (`CacheStats::breaker_opens`).
+    pub const BREAKER_OPEN: &str = "ks_core.breaker.open";
+    /// Device faults injected by an active `ks_fault::FaultPlan`.
+    pub const SIM_FAULTS_INJECTED: &str = "ks_sim.faults_injected";
+    /// GPU-PF refreshes that degraded a module to the generic
+    /// (unspecialized) kernel binary after a failed specialized compile.
+    pub const PF_FALLBACK_GENERIC: &str = "gpu_pf.fallback.generic";
+    /// GPU-PF refreshes that kept a module's last-known-good binary
+    /// after a failed specialized compile.
+    pub const PF_FALLBACK_LAST_GOOD: &str = "gpu_pf.fallback.last_good";
+    /// GPU-PF kernel launches retried after a transient device fault.
+    pub const PF_LAUNCH_RETRIES: &str = "gpu_pf.launch.retries";
 }

@@ -42,6 +42,15 @@ pub struct CacheCounters {
     pub misses: u64,
     pub dedup_waits: u64,
     pub evictions: u64,
+    /// Compile calls that returned an error (itemized outside
+    /// `hits + misses == requests`, which counts successes).
+    pub failures: u64,
+    /// Calls fast-failed from a quarantined entry without re-compiling.
+    pub quarantined: u64,
+    /// Retry attempts after a leader failure.
+    pub retries: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
 }
 
 impl CacheCounters {
@@ -144,6 +153,10 @@ impl KernelProfile {
                 ("misses", Json::u64(self.cache.misses)),
                 ("dedup_waits", Json::u64(self.cache.dedup_waits)),
                 ("evictions", Json::u64(self.cache.evictions)),
+                ("failures", Json::u64(self.cache.failures)),
+                ("quarantined", Json::u64(self.cache.quarantined)),
+                ("retries", Json::u64(self.cache.retries)),
+                ("breaker_opens", Json::u64(self.cache.breaker_opens)),
                 ("hit_rate", Json::num(self.cache.hit_rate())),
             ])
             .render(),
@@ -270,6 +283,10 @@ pub fn validate_profile_jsonl(text: &str) -> Result<(), String> {
                 let misses = req_u64(&doc, "misses", lineno)?;
                 req_u64(&doc, "dedup_waits", lineno)?;
                 req_u64(&doc, "evictions", lineno)?;
+                req_u64(&doc, "failures", lineno)?;
+                req_u64(&doc, "quarantined", lineno)?;
+                req_u64(&doc, "retries", lineno)?;
+                req_u64(&doc, "breaker_opens", lineno)?;
                 let rate = doc
                     .get("hit_rate")
                     .and_then(Json::as_f64)
@@ -428,8 +445,7 @@ mod tests {
             cache: CacheCounters {
                 hits: 3,
                 misses: 1,
-                dedup_waits: 0,
-                evictions: 0,
+                ..CacheCounters::default()
             },
             exec: ExecCounters {
                 launches: 1,
@@ -540,8 +556,7 @@ mod tests {
         let c = CacheCounters {
             hits: 3,
             misses: 1,
-            dedup_waits: 0,
-            evictions: 0,
+            ..CacheCounters::default()
         };
         assert_eq!(c.requests(), 4);
         assert!((c.hit_rate() - 0.75).abs() < 1e-12);
