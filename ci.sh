@@ -59,6 +59,30 @@ cargo run --offline --release -q -p ks-apps --bin ks-prof -- \
     --kernel template_match --device c2070 --export jsonl --quick \
     --selfcheck > /dev/null
 
+# Verification tier: translation validation. Every codegen stage and
+# optimizer pass must preserve each app kernel's symbolic summary, and
+# the specialized (SK) build must equal the generic (RE) build under
+# the -D bindings — zero KSV0xx errors allowed (KSV101 budget warnings
+# are fine). The mutation smoke then injects seeded IR breakages and
+# requires the checker to catch 100% of them.
+verify() {
+    cargo run --offline --release -q -p ks-apps --bin ks-verify -- "$@"
+}
+for k in template_match piv backproj; do
+    echo "== ks-verify --kernel $k --check all"
+    verify --kernel "$k" --check all > /dev/null
+    echo "== ks-verify --kernel $k --mutation-smoke"
+    verify --kernel "$k" --mutation-smoke > /dev/null
+done
+
+# Compile-latency regression gate: fresh per-phase p50/p95 vs the
+# checked-in baseline; a phase fails only past 10x AND the 2 ms floor,
+# so machine variance cannot flake the build but order-of-magnitude
+# blowups do.
+echo "== ks-perfgate --check ci/perf-baseline.txt"
+cargo run --offline --release -q -p ks-apps --bin ks-perfgate -- \
+    --check ci/perf-baseline.txt --iters 5
+
 lint() {
     cargo run --offline --release -q -p ks-analysis --bin ks-lint -- \
         --deny KSA004 --deny KSA005 "$@"

@@ -1,0 +1,224 @@
+//! ks-perfgate: compile-latency regression gate.
+//!
+//! Measures per-phase compile latency (p50/p95 over repeated cold
+//! compiles of the three app kernels) and diffs the numbers against a
+//! checked-in baseline. CI fails only on *large* regressions — a phase
+//! must blow past both a 10× ratio and an absolute floor before the
+//! gate trips, so machine-to-machine variance and micro-phase noise
+//! (a parse phase jittering between 3µs and 20µs) never flake the
+//! build, while a quadratic blowup in any phase still fails loudly.
+//!
+//! ```text
+//! ks-perfgate --write-baseline ci/perf-baseline.txt
+//! ks-perfgate --check ci/perf-baseline.txt [--iters 20]
+//! ```
+
+use ks_core::{Compiler, Defines};
+use ks_sim::DeviceConfig;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A regression must exceed BOTH the ratio and the absolute floor.
+const MAX_RATIO: f64 = 10.0;
+const FLOOR_US: u64 = 2_000;
+
+const PHASES: [&str; 9] = [
+    "preproc", "parse", "sema", "lower", "opt", "analysis", "verify", "regalloc", "total",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: ks-perfgate (--write-baseline FILE | --check FILE) [--iters N]");
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()))
+}
+
+fn kernels() -> Vec<(&'static str, Defines)> {
+    vec![
+        (
+            ks_apps::template_match::KERNELS,
+            Defines::new()
+                .def("TILE_W", 16)
+                .def("TILE_H", 16)
+                .def("SHIFT_W", 16)
+                .def("NUM_TILES", 16)
+                .def("TEMPL_W", 64)
+                .def("TEMPL_H", 56)
+                .def("THREADS", 128),
+        ),
+        (
+            ks_apps::piv::KERNELS,
+            Defines::new()
+                .def("RB", 4)
+                .def("THREADS", 64)
+                .def("MASK_W", 16)
+                .def("MASK_H", 16)
+                .def("OFFS_W", 9),
+        ),
+        (
+            ks_apps::backproj::KERNELS,
+            Defines::new().def("PPL", 8).def("ZB", 4).def("VOL_N", 32),
+        ),
+    ]
+}
+
+/// Cold-compile every app kernel `iters` times and collect per-phase
+/// latency samples in µs. A fresh compiler per compile defeats the
+/// cache, so every sample is a real pipeline run.
+fn measure(iters: usize) -> BTreeMap<&'static str, Vec<u64>> {
+    let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let ks = kernels();
+    for _ in 0..iters {
+        for (src, defs) in &ks {
+            let compiler = Compiler::new(DeviceConfig::tesla_c2070());
+            let bin = compiler.compile(src, defs.clone()).unwrap_or_else(|e| {
+                eprintln!("ks-perfgate: compile failed: {e}");
+                std::process::exit(1);
+            });
+            let m = &bin.metrics;
+            let us = |d: Duration| d.as_micros() as u64;
+            for (name, d) in [
+                ("preproc", m.preproc),
+                ("parse", m.parse),
+                ("sema", m.sema),
+                ("lower", m.lower),
+                ("opt", m.opt),
+                ("analysis", m.analysis),
+                ("verify", m.verify),
+                ("regalloc", m.regalloc),
+                ("total", m.total),
+            ] {
+                samples.entry(name).or_default().push(us(d));
+            }
+        }
+    }
+    samples
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn stats(samples: &BTreeMap<&'static str, Vec<u64>>) -> BTreeMap<String, (u64, u64)> {
+    samples
+        .iter()
+        .map(|(name, v)| {
+            let mut s = v.clone();
+            s.sort_unstable();
+            (
+                name.to_string(),
+                (percentile(&s, 0.50), percentile(&s, 0.95)),
+            )
+        })
+        .collect()
+}
+
+fn render(stats: &BTreeMap<String, (u64, u64)>) -> String {
+    let mut out = String::from(
+        "# ks-perfgate baseline: per-phase compile latency over the three\n\
+         # app kernels (cold compiles, release build). Columns are µs.\n\
+         # phase p50_us p95_us\n",
+    );
+    for phase in PHASES {
+        if let Some((p50, p95)) = stats.get(phase) {
+            out.push_str(&format!("{phase} {p50} {p95}\n"));
+        }
+    }
+    out
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(p50), Some(p95)) = (it.next(), it.next(), it.next()) else {
+            eprintln!("ks-perfgate: malformed baseline line: {line:?}");
+            std::process::exit(2);
+        };
+        let parse = |s: &str| {
+            s.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("ks-perfgate: malformed baseline number in: {line:?}");
+                std::process::exit(2);
+            })
+        };
+        out.insert(name.to_string(), (parse(p50), parse(p95)));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let iters = arg_value(&args, "--iters")
+        .map(|s| {
+            s.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("ks-perfgate: --iters expects a number, got {s:?}");
+                usage();
+            })
+        })
+        .unwrap_or(20);
+
+    if let Some(path) = arg_value(&args, "--write-baseline") {
+        let fresh = stats(&measure(iters));
+        let text = render(&fresh);
+        std::fs::write(&path, &text).unwrap_or_else(|e| {
+            eprintln!("ks-perfgate: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprint!("{text}");
+        eprintln!("ks-perfgate: wrote {path}");
+        return;
+    }
+
+    let Some(path) = arg_value(&args, "--check") else {
+        usage();
+    };
+    let baseline = parse_baseline(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("ks-perfgate: cannot read {path}: {e}");
+        std::process::exit(1);
+    }));
+    let fresh = stats(&measure(iters));
+
+    let mut failed = false;
+    for phase in PHASES {
+        let Some(&(f50, f95)) = fresh.get(phase) else {
+            continue;
+        };
+        let Some(&(b50, b95)) = baseline.get(phase) else {
+            eprintln!("ks-perfgate: phase {phase} missing from baseline {path}");
+            failed = true;
+            continue;
+        };
+        for (pct, f, b) in [("p50", f50, b50), ("p95", f95, b95)] {
+            // A phase regresses only if it exceeds the ratio AND the
+            // absolute floor — micro-phases can ratio-jitter freely.
+            let regressed = f > FLOOR_US && f as f64 > (b.max(1)) as f64 * MAX_RATIO;
+            let marker = if regressed {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("{phase:>9} {pct}: {f:>7} µs (baseline {b:>7} µs) {marker}");
+        }
+    }
+    if failed {
+        eprintln!(
+            "ks-perfgate: FAILED — phase latency exceeded {MAX_RATIO}× baseline \
+             and the {FLOOR_US} µs floor"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("ks-perfgate: ok ({iters} iterations per kernel)");
+}

@@ -48,15 +48,54 @@ impl Default for CodegenOptions {
 /// Run the HIR pipeline (fold → unroll → fold → scalarize → fold) and lower
 /// to an IR module.
 pub fn compile(program: &Program, opts: &CodegenOptions) -> Result<ks_ir::Module, String> {
+    compile_observed(program, opts, &mut |_, _| {})
+}
+
+/// Like [`compile`], but lowers and reports the module after each HIR
+/// transform stage, so a validator can compare consecutive snapshots.
+/// The observer first sees `("baseline", <unoptimized lowering>)`, then one
+/// call per stage that changed the program; the returned module is always
+/// the final stage's lowering.
+pub fn compile_observed(
+    program: &Program,
+    opts: &CodegenOptions,
+    obs: &mut dyn FnMut(&'static str, &ks_ir::Module),
+) -> Result<ks_ir::Module, String> {
     let mut prog = program.clone();
-    if opts.optimize {
-        for k in &mut prog.kernels {
-            consteval::fold_func(k);
-            unroll::unroll_func(k, opts.unroll_limit);
-            consteval::fold_func(k);
-            scalarize::scalarize_func(k, opts.scalarize_cap);
-            consteval::fold_func(k);
+    if !opts.optimize {
+        return lower::lower_program(&prog);
+    }
+    let mut module = lower::lower_program(&prog)?;
+    obs("baseline", &module);
+    type Stage<'a> = (&'static str, &'a dyn Fn(&mut Program));
+    let stages: [Stage; 5] = [
+        ("consteval", &|p| each(p, consteval::fold_func)),
+        ("unroll", &|p| {
+            for k in &mut p.kernels {
+                unroll::unroll_func(k, opts.unroll_limit);
+            }
+        }),
+        ("consteval", &|p| each(p, consteval::fold_func)),
+        ("scalarize", &|p| {
+            for k in &mut p.kernels {
+                scalarize::scalarize_func(k, opts.scalarize_cap);
+            }
+        }),
+        ("consteval", &|p| each(p, consteval::fold_func)),
+    ];
+    for (name, stage) in stages {
+        stage(&mut prog);
+        let next = lower::lower_program(&prog)?;
+        if next != module {
+            obs(name, &next);
+            module = next;
         }
     }
-    lower::lower_program(&prog)
+    Ok(module)
+}
+
+fn each(p: &mut Program, f: impl Fn(&mut ks_lang::hir::HFunc)) {
+    for k in &mut p.kernels {
+        f(k);
+    }
 }

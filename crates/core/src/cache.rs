@@ -462,6 +462,7 @@ mod tests {
             compile_time: std::time::Duration::from_micros(10),
             diagnostics: Vec::new(),
             metrics: crate::CompileMetrics::default(),
+            verification: Vec::new(),
         })
     }
 

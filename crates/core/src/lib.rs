@@ -63,7 +63,10 @@ pub use metrics::CompileMetrics;
 struct TraceMetrics {
     requests: ks_trace::Counter,
     total_us: ks_trace::Histogram,
-    phases: [(&'static str, ks_trace::Histogram); 7],
+    phases: [(&'static str, ks_trace::Histogram); 8],
+    verify_checks: ks_trace::Counter,
+    verify_diffs: ks_trace::Counter,
+    verify_inconclusive: ks_trace::Counter,
 }
 
 fn trace_metrics() -> &'static TraceMetrics {
@@ -81,8 +84,12 @@ fn trace_metrics() -> &'static TraceMetrics {
                 ("lower", phase("lower")),
                 ("opt", phase("opt")),
                 ("analysis", phase("analysis")),
+                ("verify", phase("verify")),
                 ("regalloc", phase("regalloc")),
             ],
+            verify_checks: r.counter(ks_trace::names::VERIFY_CHECKS),
+            verify_diffs: r.counter(ks_trace::names::VERIFY_DIFFS),
+            verify_inconclusive: r.counter(ks_trace::names::VERIFY_INCONCLUSIVE),
         }
     })
 }
@@ -98,6 +105,7 @@ impl TraceMetrics {
                 "lower" => m.lower,
                 "opt" => m.opt,
                 "analysis" => m.analysis,
+                "verify" => m.verify,
                 _ => m.regalloc,
             };
             hist.record_duration_us(d);
@@ -210,6 +218,11 @@ pub struct Binary {
     /// compile instead). Empty unless the compiler carries an
     /// [`AnalysisConfig`].
     pub diagnostics: Vec<ks_analysis::Diagnostic>,
+    /// Translation-validation findings (KSV codes). Empty unless the
+    /// compiler carries a [`ValidationConfig`]; with `deny` set (the
+    /// default) error findings abort the compile, so only warnings —
+    /// KSV101 inconclusive outcomes — appear here.
+    pub verification: Vec<ks_verify::Finding>,
 }
 
 impl Binary {
@@ -401,6 +414,30 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Translation-validation policy for [`Compiler::with_validation`].
+///
+/// When attached, every miss-path compilation symbolically summarizes each
+/// kernel before and after every HIR transform stage and every IR
+/// optimization pass, and compares the summaries ([`ks_verify`]). A diff
+/// means a pass changed observable behavior — a miscompile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationConfig {
+    /// Evaluation budgets for the symbolic summaries.
+    pub limits: ks_verify::Limits,
+    /// Fail the compile on any error finding (KSV001/KSV003). When false,
+    /// findings ride along on [`Binary::verification`] instead.
+    pub deny: bool,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            limits: ks_verify::Limits::default(),
+            deny: true,
+        }
+    }
+}
+
 /// The run-time kernel compiler with a sharded, single-flight binary
 /// cache. Shareable across threads (`&Compiler` is all any API needs);
 /// concurrent compiles of distinct keys run fully in parallel, while
@@ -410,6 +447,7 @@ pub struct Compiler {
     options: CodegenOptions,
     opt_config: ks_opt::OptConfig,
     analysis: Option<AnalysisConfig>,
+    validation: Option<ValidationConfig>,
     cache: cache::BinaryCache,
     resilience: ResilienceConfig,
     fault_plan: Option<Arc<ks_fault::FaultPlan>>,
@@ -422,6 +460,7 @@ impl Compiler {
             options: CodegenOptions::default(),
             opt_config: ks_opt::OptConfig::default(),
             analysis: None,
+            validation: None,
             cache: cache::BinaryCache::new(None),
             resilience: ResilienceConfig::default(),
             fault_plan: None,
@@ -454,6 +493,16 @@ impl Compiler {
     /// each optimization pass even in release builds.
     pub fn with_analysis(mut self, cfg: AnalysisConfig) -> Compiler {
         self.analysis = Some(cfg);
+        self
+    }
+
+    /// Attach a [`ValidationConfig`]: every miss-path compile then runs
+    /// translation validation over the HIR stages and IR passes, failing
+    /// the compile on any diff (when `cfg.deny`) and recording the rest on
+    /// [`Binary::verification`]. Expect a multiple of the plain compile
+    /// time — this is a debugging/CI tool, not a hot-path default.
+    pub fn with_validation(mut self, cfg: ValidationConfig) -> Compiler {
+        self.validation = Some(cfg);
         self
     }
 
@@ -527,6 +576,14 @@ impl Compiler {
         self.opt_config.hash(&mut h);
         if let Some(a) = &self.analysis {
             a.hash_into(&mut h);
+        }
+        if let Some(v) = &self.validation {
+            // A validation failure is a compile failure, so the outcome
+            // depends on the config: key it.
+            v.limits.max_paths.hash(&mut h);
+            v.limits.max_steps.hash(&mut h);
+            v.limits.max_forks_per_site.hash(&mut h);
+            v.deny.hash(&mut h);
         }
         h.finish()
     }
@@ -674,9 +731,40 @@ impl Compiler {
 
         let sp = ks_trace::span("lower");
         let t = Instant::now();
-        let mut module = ks_codegen::compile(&program, &self.options).map_err(&err)?;
+        // With validation on, capture a lowered snapshot after every HIR
+        // transform stage so consecutive stages can be compared.
+        let mut hir_snaps: Vec<(&'static str, ks_ir::Module)> = Vec::new();
+        let mut module = if self.validation.is_some() {
+            ks_codegen::compile_observed(&program, &self.options, &mut |stage, m| {
+                hir_snaps.push((stage, m.clone()));
+            })
+            .map_err(&err)?
+        } else {
+            ks_codegen::compile(&program, &self.options).map_err(&err)?
+        };
         metrics.lower = t.elapsed();
         drop(sp);
+
+        // Translation validation, part 1: each HIR stage against its
+        // predecessor ("codegen.unroll" = unroll's output vs its input).
+        let mut vreport = ks_verify::VerifyReport::default();
+        if let Some(vcfg) = &self.validation {
+            let sp = ks_trace::span("verify-codegen");
+            let t = Instant::now();
+            let envs = ks_verify::default_envs();
+            for w in hir_snaps.windows(2) {
+                vreport.merge(ks_verify::check_modules(
+                    &w[0].1,
+                    &w[1].1,
+                    &envs,
+                    vcfg.limits,
+                    &format!("codegen.{}", w[1].0),
+                ));
+            }
+            metrics.verify = t.elapsed();
+            drop(sp);
+        }
+        drop(hir_snaps);
 
         // Sanitizer: verify the IR after lowering and after every pass
         // application, attributing any breakage to the pass that caused
@@ -686,24 +774,52 @@ impl Compiler {
         let sanitize = cfg!(debug_assertions) || self.analysis.is_some();
         let sp = ks_trace::span("opt");
         let t = Instant::now();
-        if sanitize {
+        let mut verify_in_opt = Duration::ZERO;
+        if sanitize || self.validation.is_some() {
             if let Some(e) = ks_ir::verify_module(&module).first() {
                 return Err(err(format!("verification failed after lowering: {e}")));
             }
+            // Translation validation, part 2: each IR pass against the
+            // function it received. Summarization only needs the module
+            // for const/texture naming, so a functions-less clone serves
+            // as context while the real functions are mutated in place.
+            let envs = self.validation.as_ref().map(|_| ks_verify::default_envs());
+            let vctx = self.validation.as_ref().map(|_| ks_ir::Module {
+                functions: vec![],
+                consts: module.consts.clone(),
+                textures: module.textures.clone(),
+            });
             let mut broken: Option<(&'static str, String)> = None;
             for f in module.functions.iter_mut() {
                 // `last` tracks the start of the current pass window:
                 // everything since the previous observed pass (including
                 // that pass's verification) attributes to this pass.
                 let mut last = Instant::now();
+                let mut prev_fn = self.validation.as_ref().map(|_| f.clone());
                 ks_opt::optimize_with_observer(f, &self.opt_config, &mut |pass, f| {
                     if ks_trace::enabled() {
                         ks_trace::complete_span(&format!("opt-pass.{pass}"), last);
                     }
-                    if broken.is_none() {
+                    if sanitize && broken.is_none() {
                         if let Some(e) = ks_ir::verify_function(f).first() {
                             broken = Some((pass, e.to_string()));
                         }
+                    }
+                    if let (Some(vcfg), Some(prev), Some(envs), Some(ctx)) =
+                        (&self.validation, &mut prev_fn, &envs, &vctx)
+                    {
+                        let tv = Instant::now();
+                        vreport.merge(ks_verify::check_function_pair(
+                            prev,
+                            ctx,
+                            f,
+                            ctx,
+                            envs,
+                            vcfg.limits,
+                            &format!("opt.{pass}"),
+                        ));
+                        *prev = f.clone();
+                        verify_in_opt += tv.elapsed();
                     }
                     last = Instant::now();
                 });
@@ -725,8 +841,23 @@ impl Compiler {
         } else {
             ks_opt::optimize_module_with(&mut module, &self.opt_config);
         }
-        metrics.opt = t.elapsed();
+        metrics.opt = t.elapsed().saturating_sub(verify_in_opt);
+        metrics.verify += verify_in_opt;
         drop(sp);
+
+        // Finalize translation validation: publish counters, then fail the
+        // compile on any diff when the policy denies.
+        if let Some(vcfg) = &self.validation {
+            let tm = trace_metrics();
+            tm.verify_checks.add(vreport.checks as u64);
+            tm.verify_diffs.add(vreport.error_count() as u64);
+            tm.verify_inconclusive.add(vreport.warning_count() as u64);
+            if vcfg.deny {
+                if let Some(f) = vreport.findings.iter().find(|f| f.is_error()) {
+                    return Err(err(format!("translation validation failed: {f}")));
+                }
+            }
+        }
 
         let sp = ks_trace::span("analysis");
         let t = Instant::now();
@@ -769,7 +900,36 @@ impl Compiler {
             compile_time: Duration::ZERO,
             metrics,
             diagnostics,
+            verification: vreport.findings,
         })
+    }
+
+    /// Check RE→SK specialization equivalence for `source` under
+    /// `defines`: compiles both the generic (no-defines) and specialized
+    /// modules through the normal cached pipeline, then compares the
+    /// generic kernel's symbolic summary *evaluated under the bindings the
+    /// defines imply* against the specialized kernel's. Returns the full
+    /// report; callers decide whether findings are fatal.
+    pub fn validate_specialization(
+        &self,
+        source: &str,
+        defines: &Defines,
+    ) -> Result<ks_verify::VerifyReport, CompileError> {
+        let re = self.compile(source, Defines::new())?;
+        let sk = self.compile(source, defines)?;
+        let limits = self.validation.map(|v| v.limits).unwrap_or_default();
+        let report = ks_verify::check_specialization(
+            &re.module,
+            &sk.module,
+            source,
+            defines.items(),
+            limits,
+        );
+        let tm = trace_metrics();
+        tm.verify_checks.add(report.checks as u64);
+        tm.verify_diffs.add(report.error_count() as u64);
+        tm.verify_inconclusive.add(report.warning_count() as u64);
+        Ok(report)
     }
 }
 

@@ -23,6 +23,9 @@ pub struct CompileMetrics {
     pub opt: Duration,
     /// IR verification + static-analysis suite.
     pub analysis: Duration,
+    /// Translation validation (symbolic summaries + comparison), zero
+    /// unless the compiler carries a `ValidationConfig`.
+    pub verify: Duration,
     /// Register allocation across all kernels.
     pub regalloc: Duration,
     /// End-to-end wall clock (equals `Binary::compile_time`; includes
@@ -41,6 +44,7 @@ impl CompileMetrics {
             ("lower", self.lower),
             ("opt", self.opt),
             ("analysis", self.analysis),
+            ("verify", self.verify),
             ("regalloc", self.regalloc),
             ("total", self.total),
         ];
@@ -71,7 +75,7 @@ mod tests {
         };
         let s = m.summary();
         for phase in [
-            "preproc", "parse", "sema", "lower", "opt", "analysis", "regalloc", "total",
+            "preproc", "parse", "sema", "lower", "opt", "analysis", "verify", "regalloc", "total",
         ] {
             assert!(s.contains(phase), "missing {phase} in {s}");
         }

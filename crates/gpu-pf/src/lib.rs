@@ -871,6 +871,21 @@ impl Pipeline {
                     for d in &bin.diagnostics {
                         self.log.line_with(|| format!("module[{i}]: {d}"));
                     }
+                    // Translation-validation findings, when the compiler
+                    // was built `with_validation`. Errors already denied
+                    // the compile; what remains are inconclusive warnings.
+                    if !bin.verification.is_empty() {
+                        self.log.line_with(|| {
+                            format!(
+                                "module[{i}]: verification: {} finding(s), {} error(s)",
+                                bin.verification.len(),
+                                bin.verification.iter().filter(|f| f.is_error()).count()
+                            )
+                        });
+                        for f in &bin.verification {
+                            self.log.line_with(|| format!("module[{i}]: {f}"));
+                        }
+                    }
                     let Resource::Module {
                         binary, degraded, ..
                     } = &mut self.resources[i]

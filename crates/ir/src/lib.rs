@@ -28,4 +28,4 @@ pub mod verify;
 pub use inst::{Address, BinOp, CmpOp, Inst, Operand, SpecialReg, Terminator, UnOp, VReg};
 pub use module::{BasicBlock, BlockId, ConstDecl, Function, KernelParam, Module, SharedDecl};
 pub use types::{Space, Ty};
-pub use verify::{verify_function, verify_module, VerifyError};
+pub use verify::{verify_function, verify_module, VerifyCode, VerifyError};

@@ -11,20 +11,99 @@ use crate::module::{BlockId, Function, Module};
 use crate::types::{Space, Ty};
 use std::fmt;
 
-/// A verification failure with human-readable context.
+/// Stable diagnostic codes for IR-verifier findings, in the same style as
+/// the ks-analysis `KSA0xx` lint codes and the ks-verify `KSV0xx`
+/// translation-validation codes, so all three families render and export
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyCode {
+    /// Structural problems: missing blocks, block-id/index mismatch.
+    Structure,
+    /// A virtual register outside the declared register file.
+    RegisterRange,
+    /// Operand/destination/immediate type incompatibilities.
+    TypeMismatch,
+    /// Memory-space misuse: stores to read-only spaces, reg-relative
+    /// param loads.
+    MemorySpace,
+    /// Control-flow problems: branches to nonexistent blocks, non-pred
+    /// branch predicates.
+    ControlFlow,
+    /// Hardware resource limits (e.g. the 64 KB constant-memory window).
+    ResourceLimit,
+}
+
+impl VerifyCode {
+    /// Stable textual code (`KSI001`..`KSI006`).
+    pub fn code(self) -> &'static str {
+        match self {
+            VerifyCode::Structure => "KSI001",
+            VerifyCode::RegisterRange => "KSI002",
+            VerifyCode::TypeMismatch => "KSI003",
+            VerifyCode::MemorySpace => "KSI004",
+            VerifyCode::ControlFlow => "KSI005",
+            VerifyCode::ResourceLimit => "KSI006",
+        }
+    }
+}
+
+impl fmt::Display for VerifyCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A verification failure with structured context: stable code, function,
+/// block, and instruction index (when the failure is attributable to a
+/// specific instruction).
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerifyError {
+    pub code: VerifyCode,
     pub function: String,
     pub block: Option<BlockId>,
+    /// Index of the offending instruction within the block; `None` for
+    /// block/terminator/module-level findings.
+    pub inst: Option<usize>,
     pub message: String,
+}
+
+impl VerifyError {
+    /// One-line JSON export, matching the shape ks-analysis and ks-verify
+    /// diagnostics use in `--export jsonl` outputs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"code\":\"{}\"", self.code));
+        s.push_str(&format!(
+            ",\"function\":\"{}\"",
+            self.function.replace('"', "\\\"")
+        ));
+        if let Some(b) = self.block {
+            s.push_str(&format!(",\"block\":{}", b.0));
+        }
+        if let Some(i) = self.inst {
+            s.push_str(&format!(",\"inst\":{i}"));
+        }
+        s.push_str(&format!(
+            ",\"message\":\"{}\"",
+            self.message.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        s.push('}');
+        s
+    }
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.block {
-            Some(b) => write!(f, "verify: {}/{}: {}", self.function, b, self.message),
-            None => write!(f, "verify: {}: {}", self.function, self.message),
+        // Same rendering shape as ks-analysis lints:
+        //   error[KSI003]: kernel/BB0#2: message
+        write!(f, "error[{}]: {}", self.code, self.function)?;
+        if let Some(b) = self.block {
+            write!(f, "/{b}")?;
+            if let Some(i) = self.inst {
+                write!(f, "#{i}")?;
+            }
         }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -34,13 +113,16 @@ struct Checker<'a> {
     f: &'a Function,
     errors: Vec<VerifyError>,
     block: Option<BlockId>,
+    inst: Option<usize>,
 }
 
 impl<'a> Checker<'a> {
-    fn err(&mut self, msg: impl Into<String>) {
+    fn err(&mut self, code: VerifyCode, msg: impl Into<String>) {
         self.errors.push(VerifyError {
+            code,
             function: self.f.name.clone(),
             block: self.block,
+            inst: self.inst,
             message: msg.into(),
         });
     }
@@ -49,10 +131,13 @@ impl<'a> Checker<'a> {
         if (r.0 as usize) < self.f.vreg_types.len() {
             Some(self.f.vreg_types[r.0 as usize])
         } else {
-            self.err(format!(
-                "register {r} out of range ({} declared)",
-                self.f.vreg_types.len()
-            ));
+            self.err(
+                VerifyCode::RegisterRange,
+                format!(
+                    "register {r} out of range ({} declared)",
+                    self.f.vreg_types.len()
+                ),
+            );
             None
         }
     }
@@ -69,20 +154,27 @@ impl<'a> Checker<'a> {
                         || (ty.is_ptr() && (expect.is_ptr() || expect.is_integer()))
                         || (expect.is_ptr() && ty.is_integer());
                     if !compatible {
-                        self.err(format!(
-                            "operand {r} has type {ty}, instruction expects {expect}"
-                        ));
+                        self.err(
+                            VerifyCode::TypeMismatch,
+                            format!("operand {r} has type {ty}, instruction expects {expect}"),
+                        );
                     }
                 }
             }
             Operand::ImmI(_) => {
                 if expect == Ty::F32 {
-                    self.err("integer immediate used where f32 expected".to_string());
+                    self.err(
+                        VerifyCode::TypeMismatch,
+                        "integer immediate used where f32 expected".to_string(),
+                    );
                 }
             }
             Operand::ImmF(_) => {
                 if expect != Ty::F32 {
-                    self.err(format!("float immediate used where {expect} expected"));
+                    self.err(
+                        VerifyCode::TypeMismatch,
+                        format!("float immediate used where {expect} expected"),
+                    );
                 }
             }
         }
@@ -96,9 +188,10 @@ impl<'a> Checker<'a> {
                 || (expect.is_ptr() && ty.is_integer())
                 || (ty.is_ptr() && expect.is_ptr());
             if !ok {
-                self.err(format!(
-                    "dst {dst} has type {ty}, instruction writes {expect}"
-                ));
+                self.err(
+                    VerifyCode::TypeMismatch,
+                    format!("dst {dst} has type {ty}, instruction writes {expect}"),
+                );
             }
         }
     }
@@ -121,7 +214,10 @@ impl<'a> Checker<'a> {
                         crate::inst::BinOp::And | crate::inst::BinOp::Or | crate::inst::BinOp::Xor
                     )
                 {
-                    self.err("binary arithmetic on predicate type");
+                    self.err(
+                        VerifyCode::TypeMismatch,
+                        "binary arithmetic on predicate type",
+                    );
                 }
             }
             Inst::Un { ty, dst, a, .. } => {
@@ -137,7 +233,10 @@ impl<'a> Checker<'a> {
             Inst::Setp { ty, dst, a, b, .. } => {
                 if let Some(t) = self.check_reg(*dst) {
                     if t != Ty::Pred {
-                        self.err(format!("setp dst {dst} must be pred, is {t}"));
+                        self.err(
+                            VerifyCode::TypeMismatch,
+                            format!("setp dst {dst} must be pred, is {t}"),
+                        );
                     }
                 }
                 self.check_operand(a, *ty);
@@ -155,7 +254,10 @@ impl<'a> Checker<'a> {
                 self.check_operand(b, *ty);
                 if let Some(t) = self.check_reg(*pred) {
                     if t != Ty::Pred {
-                        self.err(format!("selp pred {pred} must be pred, is {t}"));
+                        self.err(
+                            VerifyCode::TypeMismatch,
+                            format!("selp pred {pred} must be pred, is {t}"),
+                        );
                     }
                 }
             }
@@ -179,7 +281,10 @@ impl<'a> Checker<'a> {
                     self.check_reg(b);
                 }
                 if *space == Space::Param && addr.base.is_some() {
-                    self.err("param-space loads must use absolute offsets");
+                    self.err(
+                        VerifyCode::MemorySpace,
+                        "param-space loads must use absolute offsets",
+                    );
                 }
             }
             Inst::St {
@@ -193,7 +298,10 @@ impl<'a> Checker<'a> {
                     self.check_reg(b);
                 }
                 if matches!(space, Space::Const | Space::Param) {
-                    self.err(format!("store to read-only space {space}"));
+                    self.err(
+                        VerifyCode::MemorySpace,
+                        format!("store to read-only space {space}"),
+                    );
                 }
             }
             Inst::Bar => {}
@@ -214,37 +322,48 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
         f,
         errors: vec![],
         block: None,
+        inst: None,
     };
     if f.blocks.is_empty() {
-        c.err("function has no blocks");
+        c.err(VerifyCode::Structure, "function has no blocks");
         return c.errors;
     }
     if f.blocks[0].id != BlockId(0) {
-        c.err("entry block must have id 0");
+        c.err(VerifyCode::Structure, "entry block must have id 0");
     }
     for (i, b) in f.blocks.iter().enumerate() {
         if b.id.0 as usize != i {
             c.errors.push(VerifyError {
+                code: VerifyCode::Structure,
                 function: f.name.clone(),
                 block: Some(b.id),
+                inst: None,
                 message: format!("block id {} does not match index {i}", b.id),
             });
         }
     }
     for b in &f.blocks {
         c.block = Some(b.id);
-        for i in &b.insts {
+        for (pos, i) in b.insts.iter().enumerate() {
+            c.inst = Some(pos);
             c.check_inst(i);
         }
+        c.inst = None;
         for s in b.term.successors() {
             if s.0 as usize >= f.blocks.len() {
-                c.err(format!("branch to nonexistent block {s}"));
+                c.err(
+                    VerifyCode::ControlFlow,
+                    format!("branch to nonexistent block {s}"),
+                );
             }
         }
         if let Some(p) = b.term.use_reg() {
             if let Some(t) = c.check_reg(p) {
                 if t != Ty::Pred {
-                    c.err(format!("branch predicate {p} must be pred, is {t}"));
+                    c.err(
+                        VerifyCode::ControlFlow,
+                        format!("branch predicate {p} must be pred, is {t}"),
+                    );
                 }
             }
         }
@@ -260,8 +379,10 @@ pub fn verify_module(m: &Module) -> Vec<VerifyError> {
     }
     if m.const_bytes() > 64 * 1024 {
         errors.push(VerifyError {
+            code: VerifyCode::ResourceLimit,
             function: "<module>".into(),
             block: None,
+            inst: None,
             message: format!(
                 "constant memory {} bytes exceeds the 64 KB CUDA limit",
                 m.const_bytes()
@@ -372,6 +493,29 @@ mod tests {
         };
         let errs = verify_module(&m);
         assert!(errs.iter().any(|e| e.message.contains("64 KB")));
+    }
+
+    #[test]
+    fn structured_rendering_and_export() {
+        let f = func(
+            vec![Inst::Mov {
+                ty: Ty::S32,
+                dst: VReg(5),
+                src: Operand::ImmI(0),
+            }],
+            vec![Ty::S32],
+        );
+        let errs = verify_function(&f);
+        assert_eq!(errs[0].code, VerifyCode::RegisterRange);
+        assert_eq!(errs[0].inst, Some(0));
+        let rendered = errs[0].to_string();
+        assert!(
+            rendered.starts_with("error[KSI002]: t/BB0#0:"),
+            "got: {rendered}"
+        );
+        let json = errs[0].to_json();
+        assert!(json.contains("\"code\":\"KSI002\""), "got: {json}");
+        assert!(json.contains("\"inst\":0"), "got: {json}");
     }
 
     #[test]

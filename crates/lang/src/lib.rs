@@ -17,6 +17,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod preproc;
+pub mod pretty;
 pub mod sema;
 pub mod token;
 

@@ -1,0 +1,543 @@
+//! Seeded fuzz tests for the ks-lang front end.
+//!
+//! Three properties, each over deterministic splitmix64-driven inputs:
+//!
+//! 1. The preprocessor never panics on random `#if`/`#ifdef`/`#define`/
+//!    macro-call nests — it returns `Ok` or a structured `LangError`.
+//! 2. The lexer+parser never panic on random token soup.
+//! 3. Grammar-generated programs survive the full round trip:
+//!    `parse(pretty(parse(src))) == parse(src)` — and any random soup
+//!    the parser *accepts* must also re-parse to the same AST after
+//!    pretty-printing.
+
+use ks_lang::ast::*;
+use ks_lang::{lexer, parser, preproc, pretty};
+
+/// Deterministic RNG (splitmix64) so every failure is reproducible
+/// from the seed printed in the assertion message.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+fn frontend_no_panic(src: &str) -> Option<TranslationUnit> {
+    let toks = lexer::lex(src).ok()?;
+    let pp = preproc::preprocess(toks, &[]).ok()?;
+    parser::parse(pp).ok()
+}
+
+// ---- 1. preprocessor directive fuzz ----
+
+#[test]
+fn preprocessor_never_panics_on_random_directives() {
+    let fragments = [
+        "#if",
+        "#ifdef",
+        "#ifndef",
+        "#elif",
+        "#else",
+        "#endif",
+        "#define",
+        "#undef",
+        "#pragma",
+        "#error",
+        "#",
+        "defined",
+        "defined(A)",
+        "A",
+        "B",
+        "C(x)",
+        "C(1, 2)",
+        "0",
+        "1",
+        "42",
+        "0x1F",
+        "(",
+        ")",
+        "&&",
+        "||",
+        "!",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "<<",
+        ">>",
+        "<",
+        ">",
+        "==",
+        "?",
+        ":",
+        "~",
+        ",",
+        "x",
+        "y",
+        "unroll",
+        "\\",
+    ];
+    for seed in 0..400u64 {
+        let mut rng = Rng(seed);
+        let lines = 1 + rng.below(12);
+        let mut src = String::new();
+        for _ in 0..lines {
+            let words = 1 + rng.below(6);
+            for w in 0..words {
+                if w > 0 {
+                    src.push(' ');
+                }
+                let frag = rng.pick(&fragments);
+                src.push_str(frag);
+            }
+            src.push('\n');
+        }
+        // Must not panic; Ok or Err are both acceptable.
+        let _ = frontend_no_panic(&src);
+    }
+}
+
+/// Directive nests that are *structurally* plausible: balanced-ish
+/// conditional towers with macro definitions that reference each other,
+/// driven deeper than the random soup above reaches.
+#[test]
+fn preprocessor_never_panics_on_macro_nests() {
+    for seed in 0..200u64 {
+        let mut rng = Rng(0xF00D ^ seed);
+        let mut src = String::new();
+        let depth = 1 + rng.below(6);
+        for i in 0..depth {
+            match rng.below(3) {
+                0 => src.push_str(&format!("#if M{} + {}\n", rng.below(depth), i)),
+                1 => src.push_str(&format!("#ifdef M{}\n", rng.below(depth))),
+                _ => src.push_str(&format!("#ifndef M{}\n", rng.below(depth))),
+            }
+            match rng.below(3) {
+                0 => src.push_str(&format!("#define M{} M{} + 1\n", i, rng.below(depth))),
+                1 => src.push_str(&format!("#define M{}(a, b) ((a) * M{} - (b))\n", i, i)),
+                _ => src.push_str(&format!("#define M{} {}\n", i, rng.below(100))),
+            }
+        }
+        src.push_str(&format!("int x = M{};\n", rng.below(depth)));
+        if rng.below(4) != 0 {
+            // Usually close the tower; sometimes leave it unterminated
+            // (must error, not panic).
+            for _ in 0..depth {
+                src.push_str("#endif\n");
+            }
+        }
+        let _ = frontend_no_panic(&src);
+    }
+}
+
+// ---- 2. parser token-soup fuzz ----
+
+#[test]
+fn parser_never_panics_on_token_soup() {
+    let tokens = [
+        "__global__",
+        "__device__",
+        "__shared__",
+        "__constant__",
+        "void",
+        "int",
+        "float",
+        "unsigned",
+        "const",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "texture",
+        "__syncthreads",
+        "threadIdx",
+        "blockIdx",
+        ".",
+        "x",
+        "y",
+        "a",
+        "b",
+        "f",
+        "0",
+        "1",
+        "42",
+        "1.5f",
+        "3e2",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        ",",
+        "=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "<",
+        ">",
+        "<=",
+        ">=",
+        "==",
+        "!=",
+        "&&",
+        "||",
+        "&",
+        "|",
+        "^",
+        "~",
+        "!",
+        "?",
+        ":",
+        "<<",
+        ">>",
+        "+=",
+        "++",
+        "--",
+    ];
+    for seed in 0..600u64 {
+        let mut rng = Rng(0xBEEF ^ seed);
+        let n = 1 + rng.below(40);
+        let mut src = String::new();
+        for i in 0..n {
+            if i > 0 {
+                src.push(' ');
+            }
+            let tok = rng.pick(&tokens);
+            src.push_str(tok);
+        }
+        // Must not panic. If the soup happens to parse, it must survive
+        // the pretty-print round trip too.
+        if let Some(tu) = frontend_no_panic(&src) {
+            let printed = pretty::print_unit(&tu);
+            let tu2 = frontend_no_panic(&printed).unwrap_or_else(|| {
+                panic!("seed {seed}: accepted program failed to reparse:\n{printed}")
+            });
+            assert_eq!(tu, tu2, "seed {seed}: AST changed after pretty-print");
+        }
+    }
+}
+
+// ---- 3. grammar-generated round trip ----
+
+struct Gen {
+    rng: Rng,
+    vars: Vec<String>,
+    next_var: usize,
+}
+
+impl Gen {
+    fn fresh_var(&mut self) -> String {
+        let name = format!("v{}", self.next_var);
+        self.next_var += 1;
+        self.vars.push(name.clone());
+        name
+    }
+
+    fn scalar_ty(&mut self) -> TypeSpec {
+        match self.rng.below(3) {
+            0 => TypeSpec::Int,
+            1 => TypeSpec::UInt,
+            _ => TypeSpec::Float,
+        }
+    }
+
+    fn any_ty(&mut self) -> TypeSpec {
+        let t = self.scalar_ty();
+        if self.rng.below(4) == 0 {
+            t.ptr()
+        } else {
+            t
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.rng.below(3) == 0 {
+            return match self.rng.below(4) {
+                0 => Expr::IntLit {
+                    value: self.rng.below(1 << 20) as i64,
+                    unsigned: self.rng.below(4) == 0,
+                },
+                1 => Expr::FloatLit(self.rng.below(4096) as f32 / 8.0),
+                2 => {
+                    let b = *self.rng.pick(&[
+                        BuiltinVar::ThreadIdx,
+                        BuiltinVar::BlockIdx,
+                        BuiltinVar::BlockDim,
+                        BuiltinVar::GridDim,
+                    ]);
+                    let d = *self.rng.pick(&[Dim3::X, Dim3::Y, Dim3::Z]);
+                    Expr::Builtin(b, d)
+                }
+                _ => Expr::Ident(self.rng.pick(&self.vars).clone()),
+            };
+        }
+        match self.rng.below(8) {
+            0 => {
+                let op = *self.rng.pick(&[
+                    UnaryOp::Neg,
+                    UnaryOp::LogicalNot,
+                    UnaryOp::BitNot,
+                    UnaryOp::PreInc,
+                    UnaryOp::PostDec,
+                ]);
+                Expr::Unary(op, Box::new(self.expr(depth - 1)))
+            }
+            1 | 2 => {
+                let op = *self.rng.pick(&[
+                    BinaryOp::Add,
+                    BinaryOp::Sub,
+                    BinaryOp::Mul,
+                    BinaryOp::Div,
+                    BinaryOp::Rem,
+                    BinaryOp::Shl,
+                    BinaryOp::Shr,
+                    BinaryOp::Lt,
+                    BinaryOp::Le,
+                    BinaryOp::Ge,
+                    BinaryOp::Eq,
+                    BinaryOp::Ne,
+                    BinaryOp::BitAnd,
+                    BinaryOp::BitXor,
+                    BinaryOp::BitOr,
+                    BinaryOp::LogicalAnd,
+                    BinaryOp::LogicalOr,
+                ]);
+                Expr::Binary(
+                    op,
+                    Box::new(self.expr(depth - 1)),
+                    Box::new(self.expr(depth - 1)),
+                )
+            }
+            3 => Expr::Cond(
+                Box::new(self.expr(depth - 1)),
+                Box::new(self.expr(depth - 1)),
+                Box::new(self.expr(depth - 1)),
+            ),
+            4 => Expr::Index(
+                Box::new(Expr::Ident(self.rng.pick(&self.vars).clone())),
+                Box::new(self.expr(depth - 1)),
+            ),
+            5 => {
+                let n = self.rng.below(3);
+                let args = (0..n).map(|_| self.expr(depth - 1)).collect();
+                Expr::Call(format!("f{}", self.rng.below(4)), args)
+            }
+            6 => {
+                let t = self.any_ty();
+                Expr::Cast(t, Box::new(self.expr(depth - 1)))
+            }
+            _ => {
+                let op = *self.rng.pick(&[
+                    AssignOp::Assign,
+                    AssignOp::Add,
+                    AssignOp::Mul,
+                    AssignOp::Shl,
+                    AssignOp::Xor,
+                ]);
+                let lhs = if self.rng.below(2) == 0 {
+                    Expr::Ident(self.rng.pick(&self.vars).clone())
+                } else {
+                    Expr::Index(
+                        Box::new(Expr::Ident(self.rng.pick(&self.vars).clone())),
+                        Box::new(self.expr(depth - 1)),
+                    )
+                };
+                Expr::Assign(op, Box::new(lhs), Box::new(self.expr(depth - 1)))
+            }
+        }
+    }
+
+    fn block(&mut self, depth: usize) -> Stmt {
+        let n = self.rng.below(4);
+        Stmt::Block((0..n).map(|_| self.stmt(depth)).collect())
+    }
+
+    fn stmt(&mut self, depth: usize) -> Stmt {
+        if depth == 0 {
+            let lhs = Expr::Ident(self.rng.pick(&self.vars).clone());
+            return Stmt::Expr(Expr::Assign(
+                AssignOp::Assign,
+                Box::new(lhs),
+                Box::new(self.expr(1)),
+            ));
+        }
+        match self.rng.below(10) {
+            0 => {
+                let name = self.fresh_var();
+                let shared = self.rng.below(6) == 0;
+                let dims = if shared {
+                    vec![Expr::int(8 + self.rng.below(8) as i64)]
+                } else {
+                    vec![]
+                };
+                let init = if dims.is_empty() {
+                    Some(self.expr(depth - 1))
+                } else {
+                    None
+                };
+                Stmt::Decl(Decl {
+                    name,
+                    ty: self.scalar_ty(),
+                    dims,
+                    init,
+                    shared,
+                    is_const: self.rng.below(8) == 0 && !shared,
+                })
+            }
+            1 => {
+                // `int a = …, b = …;` shares one base type.
+                let t = self.scalar_ty();
+                let n = 2 + self.rng.below(2);
+                let decls = (0..n)
+                    .map(|_| {
+                        let name = self.fresh_var();
+                        let init = Some(self.expr(1));
+                        Stmt::Decl(Decl {
+                            name,
+                            ty: t.clone(),
+                            dims: vec![],
+                            init,
+                            shared: false,
+                            is_const: false,
+                        })
+                    })
+                    .collect();
+                Stmt::Multi(decls)
+            }
+            2 => Stmt::If {
+                cond: self.expr(depth - 1),
+                then_s: Box::new(self.block(depth - 1)),
+                else_s: if self.rng.below(2) == 0 {
+                    Some(Box::new(self.block(depth - 1)))
+                } else {
+                    None
+                },
+            },
+            3 => {
+                let iv = self.fresh_var();
+                let init = Stmt::Decl(Decl {
+                    name: iv.clone(),
+                    ty: TypeSpec::Int,
+                    dims: vec![],
+                    init: Some(Expr::int(0)),
+                    shared: false,
+                    is_const: false,
+                });
+                let unroll = match self.rng.below(4) {
+                    0 => Some(None),
+                    1 => Some(Some(2 + self.rng.below(3) as u32 * 2)),
+                    _ => None,
+                };
+                Stmt::For {
+                    init: Some(Box::new(init)),
+                    cond: Some(Expr::Binary(
+                        BinaryOp::Lt,
+                        Box::new(Expr::Ident(iv.clone())),
+                        Box::new(Expr::int(4 + self.rng.below(12) as i64)),
+                    )),
+                    step: Some(Expr::Unary(UnaryOp::PostInc, Box::new(Expr::Ident(iv)))),
+                    body: Box::new(self.block(depth - 1)),
+                    unroll,
+                }
+            }
+            4 => Stmt::While {
+                cond: self.expr(depth - 1),
+                body: Box::new(self.block(depth - 1)),
+            },
+            5 => Stmt::DoWhile {
+                body: Box::new(self.block(depth - 1)),
+                cond: self.expr(depth - 1),
+            },
+            6 => Stmt::Sync,
+            7 => Stmt::Empty,
+            8 => self.block(depth - 1),
+            _ => Stmt::Expr(self.expr(depth - 1)),
+        }
+    }
+
+    fn unit(&mut self) -> TranslationUnit {
+        let mut items = Vec::new();
+        if self.rng.below(3) == 0 {
+            items.push(Item::Constant(ConstantDecl {
+                name: "ctab".into(),
+                elem: TypeSpec::Float,
+                dims: vec![Expr::int(32)],
+            }));
+        }
+        if self.rng.below(4) == 0 {
+            items.push(Item::Texture(TextureDecl {
+                name: "tex0".into(),
+                elem: TypeSpec::Float,
+            }));
+        }
+        let nparams = 1 + self.rng.below(3);
+        let params: Vec<FnParam> = (0..nparams)
+            .map(|_| FnParam {
+                name: self.fresh_var(),
+                ty: self.any_ty(),
+            })
+            .collect();
+        let nstmts = 1 + self.rng.below(5);
+        let body = (0..nstmts).map(|_| self.stmt(3)).collect();
+        items.push(Item::Func(FuncDef {
+            kind: if self.rng.below(8) == 0 {
+                FnKind::Device
+            } else {
+                FnKind::Kernel
+            },
+            name: "kmain".into(),
+            ret: if self.rng.below(8) == 0 {
+                TypeSpec::Float
+            } else {
+                TypeSpec::Void
+            },
+            params,
+            body,
+        }));
+        TranslationUnit { items }
+    }
+}
+
+#[test]
+fn generated_programs_roundtrip_through_pretty_printer() {
+    for seed in 0..300u64 {
+        let mut g = Gen {
+            rng: Rng(0x5EED ^ seed),
+            vars: vec![],
+            next_var: 0,
+        };
+        // Seed the scope so expressions always have an ident to grab.
+        g.fresh_var();
+        let tu = g.unit();
+        let printed = pretty::print_unit(&tu);
+        let toks = lexer::lex(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: lex failed: {e}\n{printed}"));
+        let pp = preproc::preprocess(toks, &[])
+            .unwrap_or_else(|e| panic!("seed {seed}: preprocess failed: {e}\n{printed}"));
+        let tu2 = parser::parse(pp)
+            .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{printed}"));
+        assert_eq!(tu, tu2, "seed {seed}: AST changed:\n{printed}");
+    }
+}

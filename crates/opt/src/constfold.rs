@@ -7,7 +7,8 @@
 //! with the immediate. Copy propagation handles single-def `mov a, b`
 //! where `b` is also single-def.
 
-use ks_ir::{BinOp, CmpOp, Function, Inst, Operand, Ty, UnOp, VReg};
+use crate::eval::{cmp_int, cvt_imm, eval_bin, eval_bin_f};
+use ks_ir::{BinOp, Function, Inst, Operand, Ty, UnOp, VReg};
 use std::collections::HashMap;
 
 /// Count definitions of every vreg.
@@ -21,77 +22,6 @@ fn def_counts(f: &Function) -> Vec<u32> {
         }
     }
     counts
-}
-
-fn eval_bin(op: BinOp, ty: Ty, a: i64, b: i64) -> Option<i64> {
-    if ty == Ty::U32 {
-        let (x, y) = (a as u32, b as u32);
-        let r: u32 = match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Mul24 => (x & 0xFF_FFFF).wrapping_mul(y & 0xFF_FFFF),
-            BinOp::Div => x.checked_div(y)?,
-            BinOp::Rem => x.checked_rem(y)?,
-            BinOp::Min => x.min(y),
-            BinOp::Max => x.max(y),
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y & 31),
-            BinOp::Shr => x.wrapping_shr(y & 31),
-        };
-        Some(r as i64)
-    } else if ty == Ty::S32 {
-        let (x, y) = (a as i32, b as i32);
-        let r: i32 = match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Mul24 => ((x & 0xFF_FFFF) as i64).wrapping_mul((y & 0xFF_FFFF) as i64) as i32,
-            BinOp::Div => {
-                if y == 0 {
-                    return None;
-                }
-                x.wrapping_div(y)
-            }
-            BinOp::Rem => {
-                if y == 0 {
-                    return None;
-                }
-                x.wrapping_rem(y)
-            }
-            BinOp::Min => x.min(y),
-            BinOp::Max => x.max(y),
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y as u32 & 31),
-            BinOp::Shr => x.wrapping_shr(y as u32 & 31),
-        };
-        Some(r as i64)
-    } else if matches!(ty, Ty::Ptr(_)) {
-        // 64-bit pointer arithmetic.
-        Some(match op {
-            BinOp::Add => a.wrapping_add(b),
-            BinOp::Sub => a.wrapping_sub(b),
-            _ => return None,
-        })
-    } else {
-        None
-    }
-}
-
-fn eval_bin_f(op: BinOp, a: f32, b: f32) -> Option<f32> {
-    Some(match op {
-        BinOp::Add => a + b,
-        BinOp::Sub => a - b,
-        BinOp::Mul => a * b,
-        BinOp::Div => a / b,
-        BinOp::Min => a.min(b),
-        BinOp::Max => a.max(b),
-        _ => return None,
-    })
 }
 
 /// One round of folding; returns the number of instructions rewritten.
@@ -361,29 +291,6 @@ pub fn run(f: &mut Function) -> usize {
     changed
 }
 
-fn cmp_int(c: CmpOp, a: i64, b: i64) -> bool {
-    match c {
-        CmpOp::Eq => a == b,
-        CmpOp::Ne => a != b,
-        CmpOp::Lt => a < b,
-        CmpOp::Le => a <= b,
-        CmpOp::Gt => a > b,
-        CmpOp::Ge => a >= b,
-    }
-}
-
-fn cvt_imm(dst_ty: Ty, src_ty: Ty, src: Operand) -> Option<Operand> {
-    Some(match (dst_ty, src_ty, src) {
-        (Ty::F32, Ty::S32, Operand::ImmI(v)) => Operand::ImmF(v as i32 as f32),
-        (Ty::F32, Ty::U32, Operand::ImmI(v)) => Operand::ImmF(v as u32 as f32),
-        (Ty::S32, Ty::F32, Operand::ImmF(v)) => Operand::ImmI(v as i32 as i64),
-        (Ty::U32, Ty::F32, Operand::ImmF(v)) => Operand::ImmI(v as u32 as i64),
-        (Ty::Ptr(_), Ty::S32 | Ty::U32, Operand::ImmI(v)) => Operand::ImmI(v),
-        (Ty::S32 | Ty::U32, Ty::Ptr(_), Operand::ImmI(v)) => Operand::ImmI(v as u32 as i64),
-        _ => return None,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,16 +415,6 @@ mod tests {
                 ..
             }
         )));
-    }
-
-    #[test]
-    fn unsigned_vs_signed_division() {
-        assert_eq!(eval_bin(BinOp::Div, Ty::S32, -7, 2), Some(-3));
-        assert_eq!(
-            eval_bin(BinOp::Div, Ty::U32, (-7i32) as i64, 2),
-            Some(2147483644)
-        );
-        assert_eq!(eval_bin(BinOp::Div, Ty::S32, 1, 0), None);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Shared concrete-evaluation semantics for IR arithmetic.
+//!
+//! This module is the single source of truth for what every IR operation
+//! computes on constants. Both the constant-folding pass ([`crate::constfold`])
+//! and the ks-verify symbolic evaluator fold through these functions, so the
+//! optimizer and its validator can never disagree about arithmetic: a
+//! semantics bug here is at least *consistent* and therefore cannot produce
+//! false translation-validation diffs.
+//!
+//! Integer values are carried as `i64` but normalized to their 32-bit type
+//! (sign- or zero-extended) exactly the way [`crate::constfold`] always did;
+//! pointer arithmetic is full 64-bit.
+
+use ks_ir::{BinOp, CmpOp, Operand, Ty, UnOp};
+
+/// Evaluate an integer/pointer binary op. `None` means "not foldable"
+/// (division by zero, float-only op, unsupported pointer op).
+pub fn eval_bin(op: BinOp, ty: Ty, a: i64, b: i64) -> Option<i64> {
+    if ty == Ty::U32 {
+        let (x, y) = (a as u32, b as u32);
+        let r: u32 = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Mul24 => (x & 0xFF_FFFF).wrapping_mul(y & 0xFF_FFFF),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y & 31),
+            BinOp::Shr => x.wrapping_shr(y & 31),
+        };
+        Some(r as i64)
+    } else if ty == Ty::S32 {
+        let (x, y) = (a as i32, b as i32);
+        let r: i32 = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Mul24 => ((x & 0xFF_FFFF) as i64).wrapping_mul((y & 0xFF_FFFF) as i64) as i32,
+            BinOp::Div => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32 & 31),
+            BinOp::Shr => x.wrapping_shr(y as u32 & 31),
+        };
+        Some(r as i64)
+    } else if matches!(ty, Ty::Ptr(_)) {
+        // 64-bit pointer arithmetic.
+        Some(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            _ => return None,
+        })
+    } else {
+        None
+    }
+}
+
+/// Evaluate an f32 binary op. Only the ops the simulator implements as
+/// single IEEE operations fold; everything else is `None`.
+pub fn eval_bin_f(op: BinOp, a: f32, b: f32) -> Option<f32> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => return None,
+    })
+}
+
+/// Evaluate an integer comparison after both operands were normalized to
+/// the comparison type's value range (use [`norm_int`] first).
+pub fn cmp_int(c: CmpOp, a: i64, b: i64) -> bool {
+    match c {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Evaluate an integer `setp`, handling the signed/unsigned distinction the
+/// same way the constant folder does.
+pub fn eval_cmp(c: CmpOp, ty: Ty, a: i64, b: i64) -> bool {
+    if ty == Ty::U32 {
+        cmp_int(c, (a as u32) as i64, (b as u32) as i64)
+    } else {
+        cmp_int(c, (a as i32) as i64, (b as i32) as i64)
+    }
+}
+
+/// Evaluate an f32 comparison.
+pub fn eval_cmp_f(c: CmpOp, a: f32, b: f32) -> bool {
+    match c {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Conversion of an immediate between types. `None` means the combination
+/// is not foldable (int↔int cvt never appears: lowering reinterprets).
+pub fn cvt_imm(dst_ty: Ty, src_ty: Ty, src: Operand) -> Option<Operand> {
+    Some(match (dst_ty, src_ty, src) {
+        (Ty::F32, Ty::S32, Operand::ImmI(v)) => Operand::ImmF(v as i32 as f32),
+        (Ty::F32, Ty::U32, Operand::ImmI(v)) => Operand::ImmF(v as u32 as f32),
+        (Ty::S32, Ty::F32, Operand::ImmF(v)) => Operand::ImmI(v as i32 as i64),
+        (Ty::U32, Ty::F32, Operand::ImmF(v)) => Operand::ImmI(v as u32 as i64),
+        (Ty::Ptr(_), Ty::S32 | Ty::U32, Operand::ImmI(v)) => Operand::ImmI(v),
+        (Ty::S32 | Ty::U32, Ty::Ptr(_), Operand::ImmI(v)) => Operand::ImmI(v as u32 as i64),
+        _ => return None,
+    })
+}
+
+/// Evaluate an integer unary op (only `neg` exists on integers).
+pub fn eval_un(op: UnOp, _ty: Ty, a: i64) -> Option<i64> {
+    match op {
+        UnOp::Neg => Some(((a as i32).wrapping_neg()) as i64),
+        _ => None,
+    }
+}
+
+/// Evaluate an f32 unary op.
+pub fn eval_un_f(op: UnOp, a: f32) -> Option<f32> {
+    Some(match op {
+        UnOp::Neg => -a,
+        UnOp::Abs => a.abs(),
+        UnOp::Sqrt => a.sqrt(),
+        UnOp::Rsqrt => 1.0 / a.sqrt(),
+        UnOp::Floor => a.floor(),
+        UnOp::Not => return None,
+    })
+}
+
+/// Normalize an `i64` immediate to the canonical value of its type: s32
+/// values are sign-extended, u32 values zero-extended, pointers untouched.
+/// Two immediates with the same normalized value are bit-identical in the
+/// simulator.
+pub fn norm_int(ty: Ty, v: i64) -> i64 {
+    match ty {
+        Ty::S32 => (v as i32) as i64,
+        Ty::U32 => (v as u32) as i64,
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_vs_signed_division() {
+        assert_eq!(eval_bin(BinOp::Div, Ty::S32, -7, 2), Some(-3));
+        assert_eq!(
+            eval_bin(BinOp::Div, Ty::U32, (-7i32) as i64, 2),
+            Some(2147483644)
+        );
+        assert_eq!(eval_bin(BinOp::Div, Ty::S32, 1, 0), None);
+    }
+
+    #[test]
+    fn mul24_masks_operands() {
+        assert_eq!(
+            eval_bin(BinOp::Mul24, Ty::U32, 0x100_0001, 3),
+            Some(3),
+            "high bits beyond 24 are ignored"
+        );
+    }
+
+    #[test]
+    fn shifts_mask_the_count() {
+        assert_eq!(eval_bin(BinOp::Shl, Ty::U32, 1, 33), Some(2));
+        assert_eq!(eval_bin(BinOp::Shr, Ty::S32, -8, 1), Some(-4));
+    }
+
+    #[test]
+    fn cmp_respects_signedness() {
+        assert!(eval_cmp(CmpOp::Lt, Ty::S32, -1, 0));
+        assert!(!eval_cmp(CmpOp::Lt, Ty::U32, -1i64, 0));
+    }
+
+    #[test]
+    fn cvt_ptr_truncates_to_32() {
+        assert_eq!(
+            cvt_imm(
+                Ty::U32,
+                Ty::Ptr(ks_ir::Space::Global),
+                Operand::ImmI(0x1_0000_0004)
+            ),
+            Some(Operand::ImmI(4))
+        );
+    }
+
+    #[test]
+    fn norm_int_round_trips() {
+        assert_eq!(norm_int(Ty::S32, 0xFFFF_FFFF), -1);
+        assert_eq!(norm_int(Ty::U32, -1), 0xFFFF_FFFF);
+        assert_eq!(norm_int(Ty::Ptr(ks_ir::Space::Global), -1), -1);
+    }
+}

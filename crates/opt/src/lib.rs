@@ -11,6 +11,7 @@ pub mod addrfold;
 pub mod constfold;
 pub mod cse;
 pub mod dce;
+pub mod eval;
 pub mod strength;
 
 use ks_ir::Function;

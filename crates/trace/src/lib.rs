@@ -90,6 +90,15 @@ pub mod names {
     pub fn compile_phase_us(phase: &str) -> String {
         format!("ks_core.compile.phase_us.{phase}")
     }
+    /// Translation-validation comparisons performed (function × env ×
+    /// stage), misses only, when validation is enabled.
+    pub const VERIFY_CHECKS: &str = "ks_verify.checks";
+    /// Translation-validation *error* findings (KSV0xx): a pass or a
+    /// specialization changed observable behavior.
+    pub const VERIFY_DIFFS: &str = "ks_verify.diffs";
+    /// Inconclusive verification outcomes (KSV101): budgets stopped
+    /// evaluation before a verdict.
+    pub const VERIFY_INCONCLUSIVE: &str = "ks_verify.inconclusive";
     /// Simulator launches completed.
     pub const SIM_LAUNCHES: &str = "ks_sim.launches";
     /// Dynamic instructions, summed over launches (`ExecStats::dyn_insts`).

@@ -1,0 +1,133 @@
+//! Scratch driver: print where RE and SK summaries diverge for one kernel.
+
+use ks_codegen::CodegenOptions;
+use ks_verify::summary::{Effect, PathEnd};
+use ks_verify::{derive_bindings, Arena, Env, Limits, Summarizer};
+
+fn main() {
+    let src = include_str!("../../apps/src/kernels/template_match.cu");
+    let defines: Vec<(String, String)> = [
+        ("TILE_W", "16"),
+        ("TILE_H", "16"),
+        ("SHIFT_W", "16"),
+        ("NUM_TILES", "16"),
+        ("TEMPL_W", "64"),
+        ("TEMPL_H", "56"),
+        ("THREADS", "128"),
+    ]
+    .iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect();
+    let target: String = std::env::args().nth(1).unwrap_or("sum_partials".into());
+    let envsel: String = std::env::args().nth(2).unwrap_or("tid0".into());
+
+    let re = {
+        let p = ks_lang::frontend(src, &[]).unwrap();
+        ks_codegen::compile(&p, &CodegenOptions::default()).unwrap()
+    };
+    let sk = {
+        let p = ks_lang::frontend(src, &defines).unwrap();
+        ks_codegen::compile(&p, &CodegenOptions::default()).unwrap()
+    };
+    let derived = derive_bindings(src, &defines);
+    println!("derived: {derived:?}");
+
+    let mut env = match envsel.as_str() {
+        "sym" => Env::symbolic(),
+        _ => Env::sample([0, 0, 0], [0, 0, 0]),
+    };
+    derived.apply(&mut env);
+
+    let rf = re.functions.iter().find(|f| f.name == target).unwrap();
+    let sf = sk.functions.iter().find(|f| f.name == target).unwrap();
+    let mut arena = Arena::new();
+    let mut s = Summarizer::new(&mut arena, Limits::default());
+    let a = s.summarize(rf, &re, &env);
+    let b = s.summarize(sf, &sk, &env);
+    println!(
+        "RE paths={} complete={} | SK paths={} complete={}",
+        a.paths.len(),
+        a.complete,
+        b.paths.len(),
+        b.complete
+    );
+    for (i, (pa, pb)) in a.paths.iter().zip(b.paths.iter()).enumerate() {
+        if pa == pb {
+            continue;
+        }
+        println!(
+            "== path {i}: conds {} vs {}, effects {} vs {}, end {:?} vs {:?}",
+            pa.conds.len(),
+            pb.conds.len(),
+            pa.effects.len(),
+            pb.effects.len(),
+            pa.end,
+            pb.end
+        );
+        for (j, (ca, cb)) in pa.conds.iter().zip(pb.conds.iter()).enumerate() {
+            if ca != cb {
+                println!(
+                    "  cond {j}: RE {} ({}) vs SK {} ({})",
+                    arena.render(ca.0),
+                    ca.1,
+                    arena.render(cb.0),
+                    cb.1
+                );
+                break;
+            }
+        }
+        if pa.conds.len() != pb.conds.len() {
+            let n = pa.conds.len().min(pb.conds.len());
+            for (side, p) in [("RE", pa), ("SK", pb)] {
+                if p.conds.len() > n {
+                    println!(
+                        "  extra cond[{n}] on {side}: {} ({})",
+                        arena.render(p.conds[n].0),
+                        p.conds[n].1
+                    );
+                }
+            }
+        }
+        for (j, (ea, eb)) in pa.effects.iter().zip(pb.effects.iter()).enumerate() {
+            if ea == eb {
+                continue;
+            }
+            match (ea, eb) {
+                (
+                    Effect::Store {
+                        addr: aa,
+                        value: va,
+                        ..
+                    },
+                    Effect::Store {
+                        addr: ab,
+                        value: vb,
+                        ..
+                    },
+                ) => {
+                    if aa != ab {
+                        let (na, nb) = ks_verify::diff::narrow(&arena, *aa, *ab);
+                        println!(
+                            "  effect {j} addr diverges:\n    RE {}\n    SK {}",
+                            arena.render(na),
+                            arena.render(nb)
+                        );
+                    } else {
+                        let (na, nb) = ks_verify::diff::narrow(&arena, *va, *vb);
+                        println!(
+                            "  effect {j} value diverges:\n    RE {}\n    SK {}",
+                            arena.render(na),
+                            arena.render(nb)
+                        );
+                    }
+                }
+                _ => println!("  effect {j} kind differs: {ea:?} vs {eb:?}"),
+            }
+            break;
+        }
+        if let PathEnd::Truncated { forks } = pa.end {
+            let _ = forks;
+        }
+        break;
+    }
+}

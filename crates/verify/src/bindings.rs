@@ -1,0 +1,226 @@
+//! Derivation of symbolic bindings from a kernel's specialization idiom.
+//!
+//! The shipped kernels all follow the dissertation's pattern:
+//!
+//! ```c
+//! #ifndef RB
+//! #define RB rb              // RE build: read the kernel parameter
+//! #endif
+//! #ifndef THREADS
+//! #define THREADS (int)blockDim.x   // RE build: read blockDim
+//! #endif
+//! ```
+//!
+//! Compiling with `-D RB=4 -D THREADS=64` replaces those reads with
+//! constants. Specialization equivalence therefore means: the RE module's
+//! summary, evaluated with parameter `rb` bound to 4 and `ntid.x` bound to
+//! 64, must equal the SK module's summary. This module scans the source
+//! for the `#ifndef` fallbacks of each define and turns the `-D` values
+//! into exactly those bindings.
+
+use crate::summary::{Env, Val};
+use ks_ir::SpecialReg;
+
+/// One derived binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    /// The define's RE fallback reads this kernel parameter.
+    Param(String, Val),
+    /// The define's RE fallback reads a block-dimension special register.
+    Special(SpecialReg, i64),
+    /// The define has no RE-visible fallback we can bind (e.g. it only
+    /// changes an allocation size); recorded for diagnostics.
+    Unbound(String),
+}
+
+/// Bindings derived from a source + define set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DerivedBindings {
+    pub bindings: Vec<Binding>,
+    /// Block dimensions fixed by the defines (x, y, z), when known.
+    pub ntid: [Option<i64>; 3],
+}
+
+impl DerivedBindings {
+    /// Apply the derived bindings on top of `env` (param and blockDim
+    /// bindings; thread samples remain whatever `env` carries).
+    pub fn apply(&self, env: &mut Env) {
+        for b in &self.bindings {
+            match b {
+                Binding::Param(name, v) => env.bind_param(name, *v),
+                Binding::Special(r, v) => env.bind_special(*r, *v),
+                Binding::Unbound(_) => {}
+            }
+        }
+    }
+}
+
+/// Parse a `-D` value string into a concrete value.
+fn parse_val(s: &str) -> Option<Val> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Some(Val::I(1)); // flag define
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Some(Val::I(v));
+        }
+    }
+    if let Ok(v) = t.parse::<i64>() {
+        return Some(Val::I(v));
+    }
+    let ft = t.strip_suffix('f').unwrap_or(t);
+    if let Ok(v) = ft.parse::<f32>() {
+        return Some(Val::F(v));
+    }
+    None
+}
+
+/// Scan `source` for the `#ifndef NAME … #define NAME <fallback>` idiom and
+/// derive bindings for each `(name, value)` define pair.
+pub fn derive_bindings(source: &str, defines: &[(String, String)]) -> DerivedBindings {
+    let mut out = DerivedBindings::default();
+    for (name, value) in defines {
+        let Some(val) = parse_val(value) else {
+            out.bindings.push(Binding::Unbound(name.clone()));
+            continue;
+        };
+        match fallback_of(source, name) {
+            Some(body) => {
+                let body = body.trim();
+                if let Some(axis) = blockdim_axis(body) {
+                    let reg = [SpecialReg::NtidX, SpecialReg::NtidY, SpecialReg::NtidZ][axis];
+                    if let Val::I(v) = val {
+                        out.ntid[axis] = Some(v);
+                        out.bindings.push(Binding::Special(reg, v));
+                    } else {
+                        out.bindings.push(Binding::Unbound(name.clone()));
+                    }
+                } else if is_identifier(body) {
+                    out.bindings.push(Binding::Param(body.to_string(), val));
+                } else {
+                    out.bindings.push(Binding::Unbound(name.clone()));
+                }
+            }
+            None => out.bindings.push(Binding::Unbound(name.clone())),
+        }
+    }
+    out
+}
+
+/// Find the body of `#define name <body>` inside the `#ifndef name` block.
+fn fallback_of(source: &str, name: &str) -> Option<String> {
+    let mut inside = false;
+    for line in source.lines() {
+        let t = line.trim();
+        if t.strip_prefix("#ifndef").is_some() {
+            // Fallbacks may be grouped: `#ifndef THREADS` defines both
+            // THREADS and THREADS_ALLOC. Any `#ifndef` block counts.
+            inside = true;
+            continue;
+        }
+        if t.starts_with("#else") || t.starts_with("#endif") {
+            inside = false;
+            continue;
+        }
+        if inside {
+            if let Some(rest) = t.strip_prefix("#define") {
+                let rest = rest.trim();
+                if let Some(body) = rest.strip_prefix(name) {
+                    // Require an exact token match: "#define THREADS ..."
+                    // must not match "#define THREADS_ALLOC ...".
+                    if body.starts_with(|c: char| c.is_whitespace()) || body.is_empty() {
+                        return Some(body.trim().to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recognize `blockDim.x` (optionally wrapped in casts/parens); returns the
+/// axis index.
+fn blockdim_axis(body: &str) -> Option<usize> {
+    let cleaned: String = body
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '(' && *c != ')')
+        .collect();
+    let cleaned = cleaned.strip_prefix("int").unwrap_or(&cleaned).to_string();
+    match cleaned.as_str() {
+        "blockDim.x" => Some(0),
+        "blockDim.y" => Some(1),
+        "blockDim.z" => Some(2),
+        _ => None,
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+#ifndef RB
+#define RB rb
+#define RB_MAX 16
+#else
+#define RB_MAX RB
+#endif
+#ifndef THREADS
+#define THREADS_ALLOC 512
+#define THREADS (int)blockDim.x
+#else
+#define THREADS_ALLOC THREADS
+#endif
+#ifndef SCALE
+#define SCALE 2.5f
+#endif
+"#;
+
+    #[test]
+    fn derives_param_and_blockdim_bindings() {
+        let defines = vec![
+            ("RB".to_string(), "4".to_string()),
+            ("THREADS".to_string(), "64".to_string()),
+        ];
+        let d = derive_bindings(SRC, &defines);
+        assert!(d.bindings.contains(&Binding::Param("rb".into(), Val::I(4))));
+        assert!(d
+            .bindings
+            .contains(&Binding::Special(SpecialReg::NtidX, 64)));
+        assert_eq!(d.ntid[0], Some(64));
+    }
+
+    #[test]
+    fn literal_fallback_is_unbound() {
+        let defines = vec![("SCALE".to_string(), "3.0f".to_string())];
+        let d = derive_bindings(SRC, &defines);
+        assert_eq!(d.bindings, vec![Binding::Unbound("SCALE".into())]);
+    }
+
+    #[test]
+    fn threads_prefix_does_not_match_threads_alloc() {
+        assert_eq!(
+            fallback_of(SRC, "THREADS").as_deref(),
+            Some("(int)blockDim.x")
+        );
+        assert_eq!(fallback_of(SRC, "THREADS_ALLOC").as_deref(), Some("512"));
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_val("64"), Some(Val::I(64)));
+        assert_eq!(parse_val("0x10"), Some(Val::I(16)));
+        assert_eq!(parse_val("2.5f"), Some(Val::F(2.5)));
+        assert_eq!(parse_val(""), Some(Val::I(1)));
+        assert_eq!(parse_val("a+b"), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! ks-verify: translation validation for the specialization pipeline.
+//!
+//! This crate checks two things the rest of the workspace can only assert
+//! by testing:
+//!
+//! 1. **Pass-by-pass translation validation** — after each ks-opt pass and
+//!    each ks-codegen HIR transform, the function must still mean the same
+//!    thing. Both versions are evaluated symbolically into canonical
+//!    value-graph summaries ([`summary::FnSummary`]) and compared
+//!    ([`diff::compare`]); the first divergence comes back as a typed
+//!    [`VerifyDiff`].
+//! 2. **Specialization equivalence** — a kernel compiled with `-D`
+//!    defines (SK) must match the runtime-evaluated kernel (RE) once the
+//!    RE summary is evaluated *under those bindings*: defines that replace
+//!    parameter reads become parameter bindings, defines that replace
+//!    `blockDim.x` reads become `ntid` bindings ([`bindings`]).
+//!
+//! Both checkers share one hash-consed expression arena per comparison, so
+//! summary equality is plain `ExprId` equality. Findings carry `KSV`
+//! diagnostic codes in the same shape as ks-ir's `KSI` verifier errors and
+//! the analyzer's `KSA` lints:
+//!
+//! * `KSV001` — an optimization/codegen stage changed observable behavior;
+//! * `KSV002` — the specialized kernel diverges from the generic kernel
+//!   under the given defines;
+//! * `KSV003` — module shapes differ (function missing after a stage);
+//! * `KSV101` — *warning*: budgets stopped evaluation before a verdict
+//!   (inconclusive, not a miscompile).
+
+pub mod bindings;
+pub mod diff;
+pub mod expr;
+pub mod mutate;
+pub mod pipeline;
+pub mod summary;
+
+pub use bindings::{derive_bindings, Binding, DerivedBindings};
+pub use diff::{DiffKind, Outcome, VerifyDiff};
+pub use expr::Arena;
+pub use pipeline::{build_optimized, validate_pipeline};
+pub use summary::{Env, FnSummary, Limits, Summarizer, Val};
+
+use ks_ir::{Function, Module};
+use std::fmt;
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Diagnostic code: `KSV001`/`KSV002`/`KSV003` (errors), `KSV101`
+    /// (warning).
+    pub code: &'static str,
+    /// What was being checked ("pass constfold", "spec RB=4,THREADS=64").
+    pub context: String,
+    /// Environment label the divergence was observed under.
+    pub env: String,
+    pub function: String,
+    pub message: String,
+}
+
+impl Finding {
+    /// Errors deny compilation; warnings are informational.
+    pub fn is_error(&self) -> bool {
+        self.code.starts_with("KSV0")
+    }
+
+    /// Single-line JSON export (JSONL-friendly, mirrors ks-ir's
+    /// `VerifyError::to_json`).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"context\":\"{}\",\"env\":\"{}\",\"function\":\"{}\",\"message\":\"{}\"}}",
+            self.code,
+            if self.is_error() { "error" } else { "warning" },
+            esc(&self.context),
+            esc(&self.env),
+            esc(&self.function),
+            esc(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {} [{}]: {}",
+            if self.is_error() { "error" } else { "warning" },
+            self.code,
+            self.context,
+            self.function,
+            self.env,
+            self.message
+        )
+    }
+}
+
+/// Aggregate result of a verification run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Number of (function × env) comparisons performed.
+    pub checks: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyReport {
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.is_error()).count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.checks += other.checks;
+        self.findings.extend(other.findings);
+    }
+}
+
+/// Default environment set for pass-by-pass translation validation: one
+/// fully symbolic evaluation plus two concrete thread samples (which drive
+/// concrete loop bounds through guards the symbolic run truncates).
+pub fn default_envs() -> Vec<Env> {
+    vec![
+        Env::symbolic(),
+        Env::sample([0, 0, 0], [0, 0, 0]),
+        Env::sample([3, 1, 0], [2, 1, 0]),
+    ]
+}
+
+/// Environment set for specialization checks. Thread samples are clamped
+/// to the block shape the defines fix, so samples stay in-range.
+pub fn spec_envs(ntid: [Option<i64>; 3]) -> Vec<Env> {
+    let clamp = |v: i64, axis: usize| match ntid[axis] {
+        Some(n) if n > 0 => v.min(n - 1),
+        _ => v,
+    };
+    let mut envs = vec![Env::symbolic()];
+    for (tid, ctaid) in [
+        ([0, 0, 0], [0, 0, 0]),
+        ([1, 0, 0], [0, 0, 0]),
+        ([clamp(13, 0), clamp(3, 1), 0], [2, 1, 0]),
+    ] {
+        let t = [clamp(tid[0], 0), clamp(tid[1], 1), clamp(tid[2], 2)];
+        let e = Env::sample(t, ctaid);
+        if !envs.contains(&e) {
+            envs.push(e);
+        }
+    }
+    envs
+}
+
+/// Compare one function before/after a transform under `envs`. Every
+/// comparison builds both summaries in a fresh shared arena.
+pub fn check_function_pair(
+    pre_f: &Function,
+    pre_m: &Module,
+    post_f: &Function,
+    post_m: &Module,
+    envs: &[Env],
+    limits: Limits,
+    context: &str,
+) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    for env in envs {
+        report.checks += 1;
+        let mut arena = Arena::new();
+        let mut s = Summarizer::new(&mut arena, limits);
+        let pre = s.summarize(pre_f, pre_m, env);
+        let post = s.summarize(post_f, post_m, env);
+        match diff::compare(&arena, &pre, &post) {
+            Outcome::Equal => {}
+            Outcome::Inconclusive(msg) => report.findings.push(Finding {
+                code: "KSV101",
+                context: context.to_string(),
+                env: env.label.clone(),
+                function: pre_f.name.clone(),
+                message: msg,
+            }),
+            Outcome::Diff(d) => {
+                report.findings.push(Finding {
+                    code: "KSV001",
+                    context: context.to_string(),
+                    env: env.label.clone(),
+                    function: pre_f.name.clone(),
+                    message: format!("{:?}: {}", d.kind, d.detail),
+                });
+                // One diff per (function, env) is enough: later envs often
+                // repeat the same first divergence.
+            }
+        }
+    }
+    report
+}
+
+/// Compare whole modules before/after a transform.
+pub fn check_modules(
+    pre: &Module,
+    post: &Module,
+    envs: &[Env],
+    limits: Limits,
+    context: &str,
+) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    for pf in &pre.functions {
+        match post.functions.iter().find(|f| f.name == pf.name) {
+            Some(qf) => {
+                report.merge(check_function_pair(
+                    pf, pre, qf, post, envs, limits, context,
+                ));
+            }
+            None => report.findings.push(Finding {
+                code: "KSV003",
+                context: context.to_string(),
+                env: String::new(),
+                function: pf.name.clone(),
+                message: "function missing after transform".into(),
+            }),
+        }
+    }
+    report
+}
+
+/// Check RE→SK specialization equivalence: the SK module (compiled with
+/// `defines`) must match the RE module evaluated under the bindings those
+/// defines imply (derived from `source`'s `#ifndef` fallback idiom).
+pub fn check_specialization(
+    re: &Module,
+    sk: &Module,
+    source: &str,
+    defines: &[(String, String)],
+    limits: Limits,
+) -> VerifyReport {
+    let derived = derive_bindings(source, defines);
+    let label: Vec<String> = defines
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect();
+    let context = format!("spec {}", label.join(","));
+    let mut report = VerifyReport::default();
+    for sf in &sk.functions {
+        let Some(rf) = re.functions.iter().find(|f| f.name == sf.name) else {
+            report.findings.push(Finding {
+                code: "KSV003",
+                context: context.clone(),
+                env: String::new(),
+                function: sf.name.clone(),
+                message: "specialized function has no generic counterpart".into(),
+            });
+            continue;
+        };
+        for env in spec_envs(derived.ntid) {
+            report.checks += 1;
+            // Both sides get the derived bindings: the RE side needs them
+            // to collapse parameter/blockDim reads; on the SK side the
+            // bound names are already constants, so they are inert (and
+            // correct for partially specialized kernels).
+            let mut bound = env.clone();
+            derived.apply(&mut bound);
+            let mut arena = Arena::new();
+            let mut s = Summarizer::new(&mut arena, limits);
+            let re_sum = s.summarize(rf, re, &bound);
+            let sk_sum = s.summarize(sf, sk, &bound);
+            match diff::compare(&arena, &re_sum, &sk_sum) {
+                Outcome::Equal => {}
+                Outcome::Inconclusive(msg) => report.findings.push(Finding {
+                    code: "KSV101",
+                    context: context.clone(),
+                    env: bound.label.clone(),
+                    function: sf.name.clone(),
+                    message: msg,
+                }),
+                Outcome::Diff(d) => report.findings.push(Finding {
+                    code: "KSV002",
+                    context: context.clone(),
+                    env: bound.label.clone(),
+                    function: sf.name.clone(),
+                    message: format!("{:?}: {}", d.kind, d.detail),
+                }),
+            }
+        }
+    }
+    report
+}
