@@ -50,6 +50,21 @@ diff -u "$FAULT_OUT_A" "$FAULT_OUT_B"
 grep -q "pipelines completed: 3/3, panics: 0" "$FAULT_OUT_A"
 rm -f "$FAULT_OUT_A" "$FAULT_OUT_B"
 
+# Tiered-execution tier: pipelines in tiered refresh mode must serve
+# the first launch on the generic binary without waiting for the
+# specialized compile, hot-swap every module to Specialized, cancel
+# superseded in-flight promotions, and produce byte-identical outputs
+# to blocking mode. The example exits non-zero on any violation; the
+# greps pin the summary line so a silently-skipped check also fails.
+echo "== tiered-execution drill (generic first, hot-swap on promotion)"
+TIERED_OUT=$(mktemp)
+cargo run --offline --release -q -p ks-apps --example tiered_execution \
+    > "$TIERED_OUT" 2> /dev/null
+grep -q "modules specialized: 3/3" "$TIERED_OUT"
+grep -q "first launch on generic: 3/3" "$TIERED_OUT"
+grep -q "superseded: 1, parity: ok" "$TIERED_OUT"
+rm -f "$TIERED_OUT"
+
 # The profiler selfcheck must still reconcile exactly — CacheStats ==
 # exported profile == registry counters, including the resilience
 # columns — while compile faults are being injected and retried.

@@ -16,14 +16,27 @@
 use ks_core::{Compiler, Defines};
 use ks_sim::DeviceConfig;
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A regression must exceed BOTH the ratio and the absolute floor.
 const MAX_RATIO: f64 = 10.0;
 const FLOOR_US: u64 = 2_000;
 
-const PHASES: [&str; 9] = [
-    "preproc", "parse", "sema", "lower", "opt", "analysis", "verify", "regalloc", "total",
+/// `promotion` is wall time from `spawn_compile` to ticket resolution
+/// on a cold compiler — the window a tiered gpu-pf module serves its
+/// generic binary before the hot-swap. The rest are compile phases.
+const PHASES: [&str; 10] = [
+    "preproc",
+    "parse",
+    "sema",
+    "lower",
+    "opt",
+    "analysis",
+    "verify",
+    "regalloc",
+    "total",
+    "promotion",
 ];
 
 fn usage() -> ! {
@@ -94,6 +107,22 @@ fn measure(iters: usize) -> BTreeMap<&'static str, Vec<u64>> {
             ] {
                 samples.entry(name).or_default().push(us(d));
             }
+        }
+        // Promotion latency: spawn → resolved on a cold compiler, the
+        // end-to-end time the background tier takes to produce a
+        // specialized binary (queue wait + compile).
+        for (src, defs) in &ks {
+            let compiler = Arc::new(Compiler::new(DeviceConfig::tesla_c2070()));
+            let start = Instant::now();
+            let ticket = compiler.spawn_compile(src, defs);
+            ticket.wait().unwrap_or_else(|e| {
+                eprintln!("ks-perfgate: background compile failed: {e}");
+                std::process::exit(1);
+            });
+            samples
+                .entry("promotion")
+                .or_default()
+                .push(start.elapsed().as_micros() as u64);
         }
     }
     samples

@@ -16,7 +16,11 @@
 //! `--selfcheck` validates the JSONL schema (span nesting, phase sums,
 //! counter consistency) and asserts the exported cache/exec counters
 //! match the compiler's `CacheStats` and the summed launch reports
-//! exactly; it exits non-zero on any mismatch.
+//! exactly; it then drives the background compile tier (tickets over
+//! one key, a cancellation, and a tiered gpu-pf promotion) and asserts
+//! `spawned == completed + failed + cancelled` with exact registry
+//! parity on the `ks_core.async.*` and `gpu_pf.promotions*` counters.
+//! It exits non-zero on any mismatch.
 
 use ks_apps::template_match::{MatchImpl, MatchProblem};
 use ks_apps::{backproj, piv, synth, template_match, GpuRunResult, Variant};
@@ -28,8 +32,8 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: ks-prof [--kernel template_match|piv|backproj] [--device c1060|c2070]\n\
-         \x20             [--variant sk|re] [--export text|jsonl|csv] [--out FILE]\n\
-         \x20             [--quick] [--selfcheck]"
+         \x20             [--variant sk|re] [--export text|jsonl|csv|flame|chrome]\n\
+         \x20             [--out FILE] [--quick] [--selfcheck]"
     );
     std::process::exit(2);
 }
@@ -97,7 +101,7 @@ fn main() {
             ..ks_core::ResilienceConfig::default()
         });
     }
-    let compiler = compiler;
+    let compiler = std::sync::Arc::new(compiler);
 
     let profile = match run(&compiler, &kernel, variant, quick) {
         Ok(p) => p,
@@ -108,12 +112,22 @@ fn main() {
     };
 
     if selfcheck {
-        if let Err(e) = check(&compiler, &profile) {
-            eprintln!("ks-prof: selfcheck FAILED: {e}");
-            std::process::exit(1);
+        // Order matters: `check` compares the profile snapshot against
+        // the live counters, so it must run before the async/promotion
+        // probes add their own traffic to the same compiler.
+        let checks = [
+            ("profile", check(&compiler, &profile)),
+            ("async tier", async_check(&compiler)),
+            ("promotion", promotion_check(&compiler)),
+        ];
+        for (what, result) in checks {
+            if let Err(e) = result {
+                eprintln!("ks-prof: selfcheck FAILED ({what}): {e}");
+                std::process::exit(1);
+            }
         }
         eprintln!(
-            "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches)",
+            "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches, async+promotion parity)",
             profile.compiles.len(),
             profile.spans.len(),
             profile.exec.launches
@@ -383,6 +397,111 @@ fn check(compiler: &Compiler, p: &KernelProfile) -> Result<(), String> {
                 "registry {name} = {got}, launch reports say {want}"
             ));
         }
+    }
+    Ok(())
+}
+
+const PROBE_KERNEL: &str = r#"
+    #ifndef N
+    #define N n
+    #endif
+    __global__ void probe(float* x, int n) {
+        int i = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+        if (i < N) { x[i] = x[i] + 1.0f; }
+    }
+"#;
+
+fn async_registry() -> (u64, u64, u64, u64) {
+    let r = ks_trace::registry();
+    (
+        r.counter_value(ks_trace::names::ASYNC_SPAWNED),
+        r.counter_value(ks_trace::names::ASYNC_COMPLETED),
+        r.counter_value(ks_trace::names::ASYNC_FAILED),
+        r.counter_value(ks_trace::names::ASYNC_CANCELLED),
+    )
+}
+
+/// Drive the background compile tier and prove its accounting: three
+/// tickets over one key plus one cancelled ticket, then assert
+/// `spawned == completed + failed + cancelled` on the compiler's
+/// `AsyncStats` with exact delta parity on the `ks_core.async.*`
+/// registry counters. Runs under whatever fault plan is installed —
+/// the balance must hold whether tickets complete or fail.
+fn async_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
+    let s0 = compiler.async_stats();
+    let r0 = async_registry();
+    let tickets: Vec<_> = (0..3)
+        .map(|_| compiler.spawn_compile(PROBE_KERNEL, Defines::new().def("N", 128)))
+        .collect();
+    let doomed = compiler.spawn_compile(PROBE_KERNEL, Defines::new().def("N", 129));
+    let cancelled = doomed.cancel();
+    for t in &tickets {
+        // Under injected faults a ticket may legitimately fail; the
+        // accounting below must balance either way.
+        let _ = t.wait();
+    }
+    let _ = doomed.wait();
+    let s1 = compiler.async_stats();
+    let spawned = s1.spawned - s0.spawned;
+    let resolved =
+        (s1.completed - s0.completed) + (s1.failed - s0.failed) + (s1.cancelled - s0.cancelled);
+    if spawned != 4 || resolved != 4 {
+        return Err(format!(
+            "async accounting unbalanced: {spawned} spawned, {resolved} resolved ({s1})"
+        ));
+    }
+    if (s1.cancelled - s0.cancelled) != u64::from(cancelled) {
+        return Err(format!(
+            "cancel() returned {cancelled} but cancelled delta is {}",
+            s1.cancelled - s0.cancelled
+        ));
+    }
+    let r1 = async_registry();
+    let reg_delta = (r1.0 - r0.0, r1.1 - r0.1, r1.2 - r0.2, r1.3 - r0.3);
+    let stats_delta = (
+        spawned,
+        s1.completed - s0.completed,
+        s1.failed - s0.failed,
+        s1.cancelled - s0.cancelled,
+    );
+    if reg_delta != stats_delta {
+        return Err(format!(
+            "ks_core.async.* registry deltas {reg_delta:?} disagree with AsyncStats deltas \
+             {stats_delta:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Drive one tiered gpu-pf refresh end to end: the module must serve
+/// immediately, promote to its specialized binary, and account the
+/// promotion on both `PromotionStats` and `gpu_pf.promotions`.
+fn promotion_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
+    let reg = ks_trace::registry();
+    let p0 = reg.counter_value(ks_trace::names::PF_PROMOTIONS);
+    let mut p = gpu_pf::Pipeline::new(compiler.clone(), 1 << 20);
+    p.set_refresh_mode(gpu_pf::RefreshMode::Tiered);
+    let n = p.int_param("N", 256);
+    let m = p.module(PROBE_KERNEL, vec![("N", gpu_pf::MacroBinding::Param(n))]);
+    p.refresh().map_err(|e| format!("tiered refresh: {e}"))?;
+    p.wait_promotions();
+    let stats = p.promotion_stats();
+    if p.module_tier(m) != Some(gpu_pf::Tier::Specialized) {
+        return Err(format!(
+            "module did not reach Specialized: {:?} ({stats:?}, degradations {:?})",
+            p.module_tier(m),
+            p.degradations()
+        ));
+    }
+    if stats.promoted != 1 || stats.pending != 0 {
+        return Err(format!("promotion accounting off: {stats:?}"));
+    }
+    let p1 = reg.counter_value(ks_trace::names::PF_PROMOTIONS);
+    if p1 - p0 != 1 {
+        return Err(format!(
+            "gpu_pf.promotions delta {} != PromotionStats.promoted 1",
+            p1 - p0
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,173 @@
+//! First-launch latency: blocking vs tiered refresh across the three
+//! app kernels' specialization grids.
+//!
+//! The blocking path pays each variant's full specialized compile
+//! before the pipeline can launch at all; the tiered path binds the
+//! generic (define-free) binary — compiled once per kernel source,
+//! then a cache hit for every further variant — and promotes in the
+//! background. Each sample times one `Pipeline::refresh()` on a fresh
+//! pipeline over a shared compiler: the wall time until the module can
+//! serve its first launch. Promotions are drained off-clock afterwards
+//! so the cache sidecar records the full promotion count.
+
+use gpu_pf::{MacroBinding, Pipeline, RefreshMode, Tier};
+use ks_apps::backproj::{BackprojImpl, BackprojProblem};
+use ks_apps::piv::{PivImpl, PivProblem};
+use ks_apps::template_match::{MatchImpl, MatchProblem};
+use ks_apps::Variant;
+use ks_bench::*;
+use ks_core::{Compiler, Defines};
+use ks_sim::DeviceConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The specialization grid for one app kernel: (source, per-variant
+/// defines).
+fn grids() -> Vec<(&'static str, &'static str, Vec<Defines>)> {
+    let mut out = Vec::new();
+
+    let prob = MatchProblem {
+        frame_w: 160,
+        frame_h: 120,
+        templ_w: 48,
+        templ_h: 36,
+        shift_w: 12,
+        shift_h: 12,
+        frames: 1,
+    };
+    let mut defs = Vec::new();
+    for (tw, th) in match_tile_options() {
+        for t in thread_options() {
+            let imp = MatchImpl {
+                tile_w: tw,
+                tile_h: th,
+                threads: t,
+            };
+            defs.extend(ks_apps::template_match::specializations(
+                Variant::Sk,
+                &prob,
+                &imp,
+            ));
+        }
+    }
+    defs.dedup_by_key(|d| d.command_line());
+    out.push(("template_match", ks_apps::template_match::KERNELS, defs));
+
+    let prob = PivProblem::standard(256, 16, 50, 4);
+    let mut defs = Vec::new();
+    for rb in piv_rb_options() {
+        for t in piv_thread_options() {
+            let imp = PivImpl { rb, threads: t };
+            defs.push(ks_apps::piv::specialization(Variant::Sk, &prob, &imp));
+        }
+    }
+    defs.dedup_by_key(|d| d.command_line());
+    out.push(("piv", ks_apps::piv::KERNELS, defs));
+
+    let prob = BackprojProblem {
+        n: 16,
+        num_proj: 8,
+        det_u: 24,
+        det_v: 24,
+    };
+    let mut defs = Vec::new();
+    let (ppls, zbs): (&[u32], &[u32]) = if quick() {
+        (&[4, 8], &[2])
+    } else {
+        (&[2, 4, 8], &[2, 4])
+    };
+    for &ppl in ppls {
+        for &zb in zbs {
+            let imp = BackprojImpl {
+                block_x: 8,
+                block_y: 8,
+                ppl,
+                zb,
+            };
+            defs.push(ks_apps::backproj::specialization(Variant::Sk, &prob, &imp));
+        }
+    }
+    defs.dedup_by_key(|d| d.command_line());
+    out.push(("backproj", ks_apps::backproj::KERNELS, defs));
+
+    if quick() {
+        for (_, _, defs) in &mut out {
+            defs.truncate(4);
+        }
+    }
+    out
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Refresh-latency samples (µs) for one kernel's variant grid under
+/// one mode: fresh pipeline per variant, shared compiler. Returns the
+/// samples plus the number of modules that ended `Specialized`.
+fn measure(src: &str, defs: &[Defines], mode: RefreshMode) -> (Vec<u64>, usize) {
+    let compiler = Arc::new(Compiler::new(DeviceConfig::tesla_c2070()));
+    let mut samples = Vec::new();
+    let mut pipelines = Vec::new();
+    for d in defs {
+        let mut p = Pipeline::new(compiler.clone(), 1 << 20);
+        p.set_refresh_mode(mode);
+        let bindings: Vec<(&str, MacroBinding)> = d
+            .items()
+            .iter()
+            .map(|(k, v)| (k.as_str(), MacroBinding::Literal(v.clone())))
+            .collect();
+        let m = p.module(src, bindings);
+        let start = Instant::now();
+        p.refresh().expect("refresh");
+        samples.push(start.elapsed().as_micros() as u64);
+        pipelines.push((p, m));
+    }
+    // Off-clock: drain promotions so every module reaches its final
+    // tier and the table's sidecar accounts each one.
+    let mut specialized = 0;
+    for (p, m) in &mut pipelines {
+        p.wait_promotions();
+        if p.module_tier(*m) == Some(Tier::Specialized) {
+            specialized += 1;
+        }
+    }
+    (samples, specialized)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "first_launch_latency",
+        "First-launch latency: blocking vs tiered refresh (Tesla C2070, µs to servable binary)",
+        &[
+            "Kernel",
+            "Variants",
+            "Blocking p50",
+            "Blocking p99",
+            "Tiered p50",
+            "Tiered p99",
+            "p50 speedup",
+            "Promoted",
+        ],
+    );
+    for (name, src, defs) in grids() {
+        let (mut blocking, _) = measure(src, &defs, RefreshMode::Blocking);
+        let (mut tiered, promoted) = measure(src, &defs, RefreshMode::Tiered);
+        blocking.sort_unstable();
+        tiered.sort_unstable();
+        let (b50, b99) = (percentile(&blocking, 0.50), percentile(&blocking, 0.99));
+        let (t50, t99) = (percentile(&tiered, 0.50), percentile(&tiered, 0.99));
+        table.row(vec![
+            name.to_string(),
+            fmt(defs.len()),
+            fmt(b50),
+            fmt(b99),
+            fmt(t50),
+            fmt(t99),
+            format!("{:.1}x", b50 as f64 / t50.max(1) as f64),
+            format!("{promoted}/{}", defs.len()),
+        ]);
+    }
+    table.finish();
+}

@@ -148,15 +148,23 @@ impl Table {
         let breaker_opens = get(ks_trace::names::BREAKER_OPEN);
         let fallback_generic = get(ks_trace::names::PF_FALLBACK_GENERIC);
         let fallback_last_good = get(ks_trace::names::PF_FALLBACK_LAST_GOOD);
+        let promotions = get(ks_trace::names::PF_PROMOTIONS);
+        // Which execution tier produced this table: any background
+        // ticket traffic during the run means the tiered path ran.
+        let tier = if get(ks_trace::names::ASYNC_SPAWNED) > 0 {
+            "tiered"
+        } else {
+            "blocking"
+        };
         let side_path = dir.join(format!("{}_cache.csv", self.name));
         if let Ok(mut f) = std::fs::File::create(&side_path) {
             let _ = writeln!(
                 f,
-                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good"
+                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,tier"
             );
             let _ = writeln!(
                 f,
-                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good}"
+                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{tier}"
             );
             println!("[csv] {}", side_path.display());
         }
@@ -746,20 +754,27 @@ mod tests {
         let mut lines = side_text.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good"
+            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,tier"
         );
         let vals: Vec<&str> = lines.next().unwrap().split(',').collect();
-        assert_eq!(vals.len(), 11);
+        assert_eq!(vals.len(), 13);
         let hits: u64 = vals[0].parse().unwrap();
         let misses: u64 = vals[1].parse().unwrap();
         assert!(misses >= 1, "compile should register a miss: {side_text}");
         assert!(hits >= 1, "recompile should register a hit: {side_text}");
         let rate: f64 = vals[4].parse().unwrap();
         assert!((0.0..=1.0).contains(&rate));
-        // Resilience columns parse as counters (no faults in this test).
-        for v in &vals[5..] {
+        // Resilience + promotion columns parse as counters (no faults
+        // or background tickets in this table's window — but other
+        // tests in the process may race ticket traffic, so only the
+        // shape is asserted here).
+        for v in &vals[5..12] {
             let _: u64 = v.parse().unwrap();
         }
+        assert!(
+            vals[12] == "blocking" || vals[12] == "tiered",
+            "{side_text}"
+        );
     }
 
     #[test]

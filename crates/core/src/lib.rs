@@ -52,9 +52,11 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+mod background;
 mod cache;
 mod metrics;
 
+pub use background::{AsyncStats, CompileTicket};
 pub use metrics::CompileMetrics;
 
 /// Pre-resolved ks-trace registry handles for the compile pipeline.
@@ -451,6 +453,10 @@ pub struct Compiler {
     cache: cache::BinaryCache,
     resilience: ResilienceConfig,
     fault_plan: Option<Arc<ks_fault::FaultPlan>>,
+    /// Async-tier accounting, shared with in-flight background jobs so
+    /// `spawned == completed + failed + cancelled` holds at quiescence
+    /// even if the compiler is dropped mid-flight.
+    async_stats: Arc<background::AsyncStatsCell>,
 }
 
 impl Compiler {
@@ -464,6 +470,7 @@ impl Compiler {
             cache: cache::BinaryCache::new(None),
             resilience: ResilienceConfig::default(),
             fault_plan: None,
+            async_stats: Arc::new(background::AsyncStatsCell::default()),
         }
     }
 
@@ -695,6 +702,32 @@ impl Compiler {
         use rayon::prelude::*;
         jobs.par_iter()
             .try_for_each(|(source, defines)| self.compile(source, defines).map(drop))
+    }
+
+    /// Enqueue a background compile and return immediately with a
+    /// [`CompileTicket`]. The job runs on the bounded async worker pool
+    /// and goes through the same single-flight cache as
+    /// [`Compiler::compile`], so a ticket and a blocking call for the
+    /// same canonical key cost exactly one compilation. Poll with
+    /// [`CompileTicket::try_result`], block with [`CompileTicket::wait`],
+    /// or [`CompileTicket::cancel`] to supersede the job.
+    ///
+    /// Requires `Arc<Compiler>`: the queued job holds only a weak
+    /// reference, so dropping every other handle resolves outstanding
+    /// tickets with an error instead of leaking the compiler.
+    pub fn spawn_compile(
+        self: &Arc<Self>,
+        source: &str,
+        defines: impl std::borrow::Borrow<Defines>,
+    ) -> CompileTicket {
+        let defines = defines.borrow();
+        let key = self.cache_key(source, defines);
+        background::spawn(self, self.async_stats.clone(), key, source, defines)
+    }
+
+    /// Async-tier counters for this compiler (exact; see [`AsyncStats`]).
+    pub fn async_stats(&self) -> AsyncStats {
+        self.async_stats.snapshot()
     }
 
     fn compile_uncached(&self, source: &str, defines: &Defines) -> Result<Binary, CompileError> {

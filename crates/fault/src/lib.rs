@@ -55,15 +55,28 @@ pub enum FaultKind {
     DeviceOom,
     /// An uncorrectable ECC/memory fault is reported at launch.
     EccFault,
+    /// A background compile worker drops the job before compiling
+    /// (killed-worker analogue). Checked at the worker site — the ticket
+    /// resolves with an error, the pool thread survives, and the
+    /// blocking compile path never sees it.
+    WorkerDrop,
 }
 
 impl FaultKind {
     /// True for kinds checked at the compile site.
     pub fn is_compile(self) -> bool {
-        matches!(
-            self,
-            FaultKind::CompileError | FaultKind::CompilePanic | FaultKind::CompileTimeout
-        )
+        self.site() == Site::Compile
+    }
+
+    /// Which instrumentation site checks this kind.
+    fn site(self) -> Site {
+        match self {
+            FaultKind::CompileError | FaultKind::CompilePanic | FaultKind::CompileTimeout => {
+                Site::Compile
+            }
+            FaultKind::LaunchTimeout | FaultKind::DeviceOom | FaultKind::EccFault => Site::Launch,
+            FaultKind::WorkerDrop => Site::Worker,
+        }
     }
 
     /// Stable lowercase label used in messages and the event log.
@@ -75,6 +88,7 @@ impl FaultKind {
             FaultKind::LaunchTimeout => "launch-timeout",
             FaultKind::DeviceOom => "device-oom",
             FaultKind::EccFault => "ecc-fault",
+            FaultKind::WorkerDrop => "worker-drop",
         }
     }
 }
@@ -88,10 +102,10 @@ pub enum Target {
     /// the translation unit at the compile site; the launched kernel at
     /// the device site).
     Kernel(String),
-    /// A specific specialization cache key (compile site only).
+    /// A specific specialization cache key (compile/worker sites).
     Key(u64),
     /// Compiles whose `-D` command line contains this substring
-    /// (compile site only). This is how a plan faults *specialized*
+    /// (compile/worker sites). This is how a plan faults *specialized*
     /// variants of a kernel while letting the generic (define-free)
     /// compile through — the fallback path gpu-pf degrades onto.
     Define(String),
@@ -102,8 +116,10 @@ impl Target {
         match self {
             Target::Any => true,
             Target::Kernel(name) => name == identity,
-            Target::Key(k) => site == Site::Compile && *k == key,
-            Target::Define(s) => site == Site::Compile && defines.contains(s.as_str()),
+            // Key/Define selectors need a cache key and a `-D` line,
+            // which the compile and worker sites both carry.
+            Target::Key(k) => site != Site::Launch && *k == key,
+            Target::Define(s) => site != Site::Launch && defines.contains(s.as_str()),
         }
     }
 }
@@ -112,6 +128,8 @@ impl Target {
 enum Site {
     Compile,
     Launch,
+    /// The background compile worker pool, between dequeue and compile.
+    Worker,
 }
 
 impl Site {
@@ -119,6 +137,7 @@ impl Site {
         match self {
             Site::Compile => "compile",
             Site::Launch => "launch",
+            Site::Worker => "worker",
         }
     }
 }
@@ -321,10 +340,18 @@ impl FaultPlan {
         self.check(Site::Launch, kernel, 0, "")
     }
 
+    /// Should the background worker drop this dequeued job? Called by
+    /// the async compile pool after dequeue, before the compile runs;
+    /// an injection resolves the ticket with an error without touching
+    /// the cache, so the blocking path is unaffected.
+    pub fn check_worker(&self, identity: &str, key: u64, defines: &str) -> Option<InjectedFault> {
+        self.check(Site::Worker, identity, key, defines)
+    }
+
     fn check(&self, site: Site, identity: &str, key: u64, defines: &str) -> Option<InjectedFault> {
         let mut st = self.state.lock();
         for (i, rule) in self.rules.iter().enumerate() {
-            if rule.kind.is_compile() != (site == Site::Compile) {
+            if rule.kind.site() != site {
                 continue;
             }
             if !rule.target.matches(site, identity, key, defines) {
@@ -542,6 +569,27 @@ mod tests {
         assert!(d.message().contains("(transient"), "{}", d.message());
         let c = plan.check_compile("k", 0, "").expect("compile rule");
         assert_eq!(c.kind, FaultKind::CompileError);
+    }
+
+    #[test]
+    fn worker_site_is_independent_of_compile_and_launch() {
+        let plan = FaultPlan::new(9)
+            .rule(FaultRule::new(FaultKind::WorkerDrop, Target::Define("-D F=".into())).limit(1));
+        // Compile and launch sites never see worker rules.
+        assert!(plan.check_compile("k", 0, "-D F=3").is_none());
+        assert!(plan.check_device("k").is_none());
+        // Generic (define-free) jobs are spared by the Define target.
+        assert!(plan.check_worker("k", 0, "").is_none());
+        let f = plan.check_worker("k", 0, "-D F=3").expect("worker drop");
+        assert_eq!(f.kind, FaultKind::WorkerDrop);
+        assert!(f.message().contains("worker-drop"), "{}", f.message());
+        // limit(1) exhausted.
+        assert!(plan.check_worker("k", 0, "-D F=3").is_none());
+        assert!(
+            plan.event_log().contains("site=worker"),
+            "{}",
+            plan.event_log()
+        );
     }
 
     #[test]

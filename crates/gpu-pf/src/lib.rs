@@ -65,12 +65,13 @@
 pub mod log;
 pub mod param;
 
-use ks_core::{Binary, Compiler, Defines};
+use ks_core::{Binary, CompileTicket, Compiler, Defines};
 use ks_sim::{launch, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport, SimError};
 use param::{ParamValue, StepParam};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 struct TraceCounters {
     iterations: ks_trace::Counter,
@@ -78,6 +79,9 @@ struct TraceCounters {
     fallback_generic: ks_trace::Counter,
     fallback_last_good: ks_trace::Counter,
     launch_retries: ks_trace::Counter,
+    promotions: ks_trace::Counter,
+    promotions_failed: ks_trace::Counter,
+    promotions_superseded: ks_trace::Counter,
 }
 
 fn trace_counters() -> &'static TraceCounters {
@@ -90,6 +94,9 @@ fn trace_counters() -> &'static TraceCounters {
             fallback_generic: r.counter(ks_trace::names::PF_FALLBACK_GENERIC),
             fallback_last_good: r.counter(ks_trace::names::PF_FALLBACK_LAST_GOOD),
             launch_retries: r.counter(ks_trace::names::PF_LAUNCH_RETRIES),
+            promotions: r.counter(ks_trace::names::PF_PROMOTIONS),
+            promotions_failed: r.counter(ks_trace::names::PF_PROMOTIONS_FAILED),
+            promotions_superseded: r.counter(ks_trace::names::PF_PROMOTIONS_SUPERSEDED),
         }
     })
 }
@@ -192,6 +199,68 @@ pub struct Degradation {
     pub error: String,
 }
 
+/// How [`Pipeline::refresh`] produces specialized binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshMode {
+    /// Compile every dirty module synchronously inside `refresh()` —
+    /// the original GPU-PF behavior: refresh returns only when every
+    /// module holds its exact specialized binary.
+    #[default]
+    Blocking,
+    /// Tiered execution: `refresh()` binds each dirty module to a
+    /// servable binary immediately (the generic, define-free variant —
+    /// or the previous binary if one exists) and enqueues the
+    /// specialized compile on the background tier. The module is
+    /// hot-swapped to the specialized binary when its
+    /// [`CompileTicket`] resolves; in-flight launches keep the binary
+    /// they pinned at launch time.
+    Tiered,
+}
+
+/// Which binary a module is serving, relative to its requested
+/// specialization (tiered execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Serving the generic (define-free) binary; no specialization has
+    /// been requested or completed yet.
+    #[default]
+    Generic,
+    /// A background specialization is in flight; the module serves its
+    /// interim binary until the ticket resolves.
+    Promoting,
+    /// Serving its exact requested specialized binary.
+    Specialized,
+    /// The most recent specialization attempt failed; the module keeps
+    /// serving its fallback binary and the next refresh retries.
+    Failed,
+}
+
+/// Per-pipeline promotion accounting (tiered mode). The same events
+/// appear on the `gpu_pf.promotions*` registry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromotionStats {
+    /// Modules hot-swapped to their specialized binary.
+    pub promoted: u64,
+    /// Background specializations that failed (module kept fallback).
+    pub failed: u64,
+    /// In-flight promotions cancelled because the module was re-dirtied
+    /// before the ticket resolved.
+    pub superseded: u64,
+    /// Promotions currently in flight.
+    pub pending: u64,
+}
+
+/// An in-flight background specialization for one module.
+struct Pending {
+    ticket: CompileTicket,
+    /// What the module serves while the ticket is in flight — recorded
+    /// as the degradation fallback if the promotion fails.
+    fallback: FallbackKind,
+    /// When the ticket was spawned; the `tier_swap` span covers
+    /// spawn → hot-swap.
+    started: Instant,
+}
+
 enum Resource {
     Module {
         source: String,
@@ -200,6 +269,10 @@ enum Resource {
         /// Bound to a fallback binary; the next refresh retries the
         /// specialized compile even if no parameter changed.
         degraded: bool,
+        /// Which binary the module currently serves (tiered execution).
+        tier: Tier,
+        /// The in-flight background specialization, if any.
+        pending: Option<Pending>,
     },
     Kernel {
         module: ResId,
@@ -325,6 +398,8 @@ pub struct Pipeline {
     /// Reports of every kernel execution (most recent last).
     pub reports: Vec<LaunchReport>,
     degradations: Vec<Degradation>,
+    refresh_mode: RefreshMode,
+    promotion_stats: PromotionStats,
 }
 
 impl Pipeline {
@@ -345,6 +420,8 @@ impl Pipeline {
             timings: Vec::new(),
             reports: Vec::new(),
             degradations: Vec::new(),
+            refresh_mode: RefreshMode::Blocking,
+            promotion_stats: PromotionStats::default(),
         }
     }
 
@@ -352,6 +429,47 @@ impl Pipeline {
     /// (oldest first). Empty when all specialized compiles succeeded.
     pub fn degradations(&self) -> &[Degradation] {
         &self.degradations
+    }
+
+    /// Select how [`Pipeline::refresh`] produces specialized binaries
+    /// (blocking, the default, or tiered).
+    pub fn set_refresh_mode(&mut self, mode: RefreshMode) {
+        self.refresh_mode = mode;
+    }
+
+    pub fn refresh_mode(&self) -> RefreshMode {
+        self.refresh_mode
+    }
+
+    /// The tier a module resource is currently serving from, or `None`
+    /// if `id` is not a module.
+    pub fn module_tier(&self, id: ResId) -> Option<Tier> {
+        match &self.resources[id.0] {
+            Resource::Module { tier, .. } => Some(*tier),
+            _ => None,
+        }
+    }
+
+    /// Per-pipeline promotion accounting; `pending` counts tickets
+    /// still in flight right now.
+    pub fn promotion_stats(&self) -> PromotionStats {
+        let pending = self
+            .resources
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Resource::Module {
+                        pending: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        PromotionStats {
+            pending,
+            ..self.promotion_stats
+        }
     }
 
     /// Route Appendix-G-style log output to a writer.
@@ -550,6 +668,8 @@ impl Pipeline {
                 .collect(),
             binary: None,
             degraded: false,
+            tier: Tier::Generic,
+            pending: None,
         })
     }
 
@@ -815,6 +935,7 @@ impl Pipeline {
                     bindings,
                     binary,
                     degraded,
+                    ..
                 } => {
                     // A degraded module retries its specialized compile on
                     // every refresh (the half-open probe of the fallback
@@ -841,59 +962,14 @@ impl Pipeline {
                         }
                     }
                     let source = source.clone();
-                    let last_good = binary.clone();
-                    let before = self.compiler.cache_stats();
-                    let (bin, fallback) = match self.compiler.compile(&source, &defs) {
-                        Ok(b) => (b, None),
-                        Err(e) => self.degrade_module(i, &source, &defs, last_good, e)?,
-                    };
-                    let after = self.compiler.cache_stats();
-                    self.log.line_with(|| {
-                        let how = if after.hits > before.hits {
-                            "cache hit".to_string()
-                        } else {
-                            // Per-phase compile metrics, Appendix-G style.
-                            format!("compiled in {:?}: {}", bin.compile_time, bin.metrics)
-                        };
-                        format!(
-                            "module[{i}]: compile [{}] -> {} ({how})",
-                            defs.command_line(),
-                            bin.module
-                                .functions
-                                .iter()
-                                .map(|f| f.name.clone())
-                                .collect::<Vec<_>>()
-                                .join(","),
-                        )
-                    });
-                    // Surface analysis findings (non-deny severities; deny
-                    // already failed the compile) in the refresh report.
-                    for d in &bin.diagnostics {
-                        self.log.line_with(|| format!("module[{i}]: {d}"));
+                    // A define-free module's generic binary *is* its
+                    // specialization target, so the tiered path would
+                    // gain nothing: compile it in place either way.
+                    if self.refresh_mode == RefreshMode::Tiered && !defs.is_empty() {
+                        self.refresh_module_tiered(i, &source, defs)?;
+                    } else {
+                        self.refresh_module_blocking(i, &source, defs)?;
                     }
-                    // Translation-validation findings, when the compiler
-                    // was built `with_validation`. Errors already denied
-                    // the compile; what remains are inconclusive warnings.
-                    if !bin.verification.is_empty() {
-                        self.log.line_with(|| {
-                            format!(
-                                "module[{i}]: verification: {} finding(s), {} error(s)",
-                                bin.verification.len(),
-                                bin.verification.iter().filter(|f| f.is_error()).count()
-                            )
-                        });
-                        for f in &bin.verification {
-                            self.log.line_with(|| format!("module[{i}]: {f}"));
-                        }
-                    }
-                    let Resource::Module {
-                        binary, degraded, ..
-                    } = &mut self.resources[i]
-                    else {
-                        unreachable!()
-                    };
-                    *binary = Some(bin);
-                    *degraded = fallback.is_some();
                 }
                 Resource::GlobalMem { extent, addr, .. } => {
                     let needs = addr.is_none() || dirty.contains(&extent.0);
@@ -947,6 +1023,250 @@ impl Pipeline {
         trace_counters().refreshes.inc();
         self.refreshed = true;
         Ok(())
+    }
+
+    /// Blocking module refresh: compile the specialized binary inside
+    /// `refresh()` (degrading on failure) and bind it before returning.
+    fn refresh_module_blocking(
+        &mut self,
+        i: usize,
+        source: &str,
+        defs: Defines,
+    ) -> Result<(), PfError> {
+        let Resource::Module { binary, .. } = &self.resources[i] else {
+            unreachable!()
+        };
+        let last_good = binary.clone();
+        let before = self.compiler.cache_stats();
+        let (bin, fallback) = match self.compiler.compile(source, &defs) {
+            Ok(b) => (b, None),
+            Err(e) => self.degrade_module(i, source, &defs, last_good, e)?,
+        };
+        let after = self.compiler.cache_stats();
+        self.log.line_with(|| {
+            let how = if after.hits > before.hits {
+                "cache hit".to_string()
+            } else {
+                // Per-phase compile metrics, Appendix-G style.
+                format!("compiled in {:?}: {}", bin.compile_time, bin.metrics)
+            };
+            format!(
+                "module[{i}]: compile [{}] -> {} ({how})",
+                defs.command_line(),
+                bin.module
+                    .functions
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+        });
+        // Surface analysis findings (non-deny severities; deny
+        // already failed the compile) in the refresh report.
+        for d in &bin.diagnostics {
+            self.log.line_with(|| format!("module[{i}]: {d}"));
+        }
+        // Translation-validation findings, when the compiler
+        // was built `with_validation`. Errors already denied
+        // the compile; what remains are inconclusive warnings.
+        if !bin.verification.is_empty() {
+            self.log.line_with(|| {
+                format!(
+                    "module[{i}]: verification: {} finding(s), {} error(s)",
+                    bin.verification.len(),
+                    bin.verification.iter().filter(|f| f.is_error()).count()
+                )
+            });
+            for f in &bin.verification {
+                self.log.line_with(|| format!("module[{i}]: {f}"));
+            }
+        }
+        let Resource::Module {
+            binary,
+            degraded,
+            tier,
+            ..
+        } = &mut self.resources[i]
+        else {
+            unreachable!()
+        };
+        *binary = Some(bin);
+        *degraded = fallback.is_some();
+        *tier = match fallback {
+            None => Tier::Specialized,
+            Some(FallbackKind::Generic) => Tier::Generic,
+            Some(FallbackKind::LastKnownGood) => Tier::Failed,
+        };
+        Ok(())
+    }
+
+    /// Tiered module refresh: bind a servable binary *now* — the
+    /// generic, define-free variant, or whatever the module already
+    /// holds — and enqueue the specialized compile on the background
+    /// tier. An in-flight promotion for this module is superseded
+    /// (cancelled and its result discarded): the parameters it compiled
+    /// under are stale, and hot-swapping its binary in would silently
+    /// pin old macro values.
+    fn refresh_module_tiered(
+        &mut self,
+        i: usize,
+        source: &str,
+        defs: Defines,
+    ) -> Result<(), PfError> {
+        let Resource::Module {
+            binary, pending, ..
+        } = &mut self.resources[i]
+        else {
+            unreachable!()
+        };
+        if let Some(stale) = pending.take() {
+            stale.ticket.cancel();
+            trace_counters().promotions_superseded.inc();
+            self.promotion_stats.superseded += 1;
+            self.log.line_with(|| {
+                format!("module[{i}]: superseded in-flight promotion (parameters re-dirtied)")
+            });
+        }
+        let fallback = if binary.is_some() {
+            // Keep serving whatever the module already holds (a stale
+            // specialization, or the generic bound on a prior refresh).
+            FallbackKind::LastKnownGood
+        } else {
+            // First refresh: the generic binary is the only thing that
+            // can serve the first launch. Its compile is the one
+            // blocking cost the tiered path pays — once, shared across
+            // every variant of this source via the cache. If even the
+            // generic fails there is nothing servable: fail the
+            // refresh, exactly like the blocking path with no fallback.
+            let generic = self
+                .compiler
+                .compile(source, Defines::new())
+                .map_err(PfError::Compile)?;
+            let Resource::Module { binary, .. } = &mut self.resources[i] else {
+                unreachable!()
+            };
+            *binary = Some(generic);
+            self.log
+                .line_with(|| format!("module[{i}]: bound generic binary for immediate service"));
+            FallbackKind::Generic
+        };
+        let ticket = self.compiler.spawn_compile(source, &defs);
+        self.log.line_with(|| {
+            format!(
+                "module[{i}]: specializing [{}] in background (key {:#x})",
+                defs.command_line(),
+                ticket.key()
+            )
+        });
+        let Resource::Module {
+            pending,
+            degraded,
+            tier,
+            ..
+        } = &mut self.resources[i]
+        else {
+            unreachable!()
+        };
+        *pending = Some(Pending {
+            ticket,
+            fallback,
+            started: Instant::now(),
+        });
+        *degraded = false;
+        *tier = Tier::Promoting;
+        Ok(())
+    }
+
+    /// Apply every resolved promotion ticket (non-blocking): hot-swap
+    /// the module's binary on success, or record a degradation and mark
+    /// the module [`Tier::Failed`] — the next refresh retries. Returns
+    /// the number of modules promoted by this call. Launches pin their
+    /// binary `Arc` before executing, so a swap never affects an
+    /// in-flight launch — only the next one.
+    pub fn poll_promotions(&mut self) -> usize {
+        let mut promoted = 0;
+        for i in 0..self.resources.len() {
+            let Resource::Module { pending, .. } = &mut self.resources[i] else {
+                continue;
+            };
+            let Some(p) = pending else { continue };
+            let Some(result) = p.ticket.try_result() else {
+                continue;
+            };
+            let p = pending.take().unwrap();
+            match result {
+                Ok(bin) => {
+                    let Resource::Module {
+                        binary,
+                        degraded,
+                        tier,
+                        ..
+                    } = &mut self.resources[i]
+                    else {
+                        unreachable!()
+                    };
+                    *binary = Some(bin);
+                    *degraded = false;
+                    *tier = Tier::Specialized;
+                    trace_counters().promotions.inc();
+                    self.promotion_stats.promoted += 1;
+                    // Span covering spawn → hot-swap: the window the
+                    // module served its interim tier.
+                    ks_trace::complete_span("tier_swap", p.started);
+                    self.log.line_with(|| {
+                        format!(
+                            "module[{i}]: promoted to specialized binary after {:?}",
+                            p.started.elapsed()
+                        )
+                    });
+                    promoted += 1;
+                }
+                Err(e) => {
+                    let Resource::Module { degraded, tier, .. } = &mut self.resources[i] else {
+                        unreachable!()
+                    };
+                    *degraded = true;
+                    *tier = Tier::Failed;
+                    trace_counters().promotions_failed.inc();
+                    self.promotion_stats.failed += 1;
+                    match p.fallback {
+                        FallbackKind::Generic => trace_counters().fallback_generic.inc(),
+                        FallbackKind::LastKnownGood => trace_counters().fallback_last_good.inc(),
+                    }
+                    self.degradations.push(Degradation {
+                        module: i,
+                        fallback: p.fallback,
+                        error: e.to_string(),
+                    });
+                    self.log.line_with(|| {
+                        format!(
+                            "module[{i}]: promotion failed ({e}); serving {:?} fallback",
+                            p.fallback
+                        )
+                    });
+                }
+            }
+        }
+        promoted
+    }
+
+    /// Block until every in-flight promotion resolves, then apply them
+    /// all. Returns the number of modules promoted.
+    pub fn wait_promotions(&mut self) -> usize {
+        let tickets: Vec<CompileTicket> = self
+            .resources
+            .iter()
+            .filter_map(|r| match r {
+                Resource::Module {
+                    pending: Some(p), ..
+                } => Some(p.ticket.clone()),
+                _ => None,
+            })
+            .collect();
+        for t in tickets {
+            let _ = t.wait();
+        }
+        self.poll_promotions()
     }
 
     /// Graceful degradation when a specialized compile fails: bind the
@@ -1033,6 +1353,12 @@ impl Pipeline {
             });
             self.log
                 .line_with(|| format!("--- pipeline iteration {iter} ---"));
+            // Tiered mode: promotions land between iterations, never
+            // mid-action — each launch runs its pinned binary to
+            // completion.
+            if self.refresh_mode == RefreshMode::Tiered {
+                self.poll_promotions();
+            }
             for a in 0..self.actions.len() {
                 self.run_action(a, iter)?;
             }
@@ -2213,5 +2539,204 @@ mod tests {
         let e = p.try_kernel_binary(k).unwrap_err();
         assert!(matches!(&e, PfError::Launch(_)));
         assert_eq!(e.to_string(), "module not compiled; refresh() first");
+    }
+
+    // ---- tiered execution ----
+
+    #[test]
+    fn tiered_refresh_serves_generic_immediately_then_promotes() {
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let (mut p, _factor, host_in, host_out) = scale_pipeline(c.clone());
+        p.set_refresh_mode(RefreshMode::Tiered);
+        let m = ResId(4); // the module created by scale_pipeline
+        assert_eq!(p.module_tier(m), Some(Tier::Generic));
+
+        p.refresh().unwrap();
+        // Refresh returned without waiting for the specialization: the
+        // module serves the generic binary (verifiably: same Arc as a
+        // direct generic compile) while its ticket is in flight.
+        assert_eq!(p.module_tier(m), Some(Tier::Promoting));
+        let generic = c.compile(SCALE_SRC, Defines::new()).unwrap();
+        let kernel = ResId(5);
+        assert!(
+            Arc::ptr_eq(p.kernel_binary(kernel), &generic),
+            "first launch must be served by the generic binary"
+        );
+
+        // The generic kernel reads FACTOR from its runtime argument, so
+        // the first run is already correct.
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(1).unwrap();
+        assert_eq!(p.host_f32(host_out)[10], 30.0);
+
+        // Promotion: hot-swap to the exact specialized binary. (run()
+        // polls at each iteration top, so the swap may already have
+        // landed there; wait_promotions() covers the slow case.)
+        p.wait_promotions();
+        assert_eq!(p.module_tier(m), Some(Tier::Specialized));
+        let specialized = c
+            .compile(SCALE_SRC, Defines::new().def("FACTOR", 3))
+            .unwrap();
+        assert!(Arc::ptr_eq(p.kernel_binary(kernel), &specialized));
+        p.run(1).unwrap();
+        assert_eq!(p.host_f32(host_out)[10], 30.0);
+        let stats = p.promotion_stats();
+        assert_eq!((stats.promoted, stats.failed, stats.pending), (1, 0, 0));
+        assert!(p.degradations().is_empty());
+    }
+
+    /// Regression: re-dirtying a module while its promotion is in
+    /// flight must supersede the stale ticket, not swap in a binary
+    /// specialized for outdated parameter values. A stale FACTOR=3
+    /// binary would hard-code 3 and ignore the runtime argument — the
+    /// output check catches exactly that.
+    #[test]
+    fn superseding_a_promotion_never_swaps_in_a_stale_binary() {
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let (mut p, factor, host_in, host_out) = scale_pipeline(c);
+        p.set_refresh_mode(RefreshMode::Tiered);
+        p.refresh().unwrap();
+        // Re-dirty before the FACTOR=3 ticket is applied.
+        p.set_int(factor, 5);
+        p.refresh().unwrap();
+        assert_eq!(p.promotion_stats().superseded, 1);
+        assert_eq!(p.wait_promotions(), 1);
+        assert_eq!(p.module_tier(ResId(4)), Some(Tier::Specialized));
+
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(1).unwrap();
+        assert_eq!(
+            p.host_f32(host_out)[10],
+            50.0,
+            "a stale FACTOR=3 specialization must never be promoted"
+        );
+        let stats = p.promotion_stats();
+        assert_eq!((stats.promoted, stats.superseded), (1, 1));
+    }
+
+    /// Tiered promotion failures route through the same degradation
+    /// machinery as blocking refreshes, and a seeded fault plan makes
+    /// two identical runs degrade byte-identically.
+    #[test]
+    fn promotion_failure_degrades_deterministically() {
+        let run_once = || {
+            let plan = Arc::new(
+                ks_fault::FaultPlan::new(23).rule(
+                    ks_fault::FaultRule::new(
+                        ks_fault::FaultKind::CompileError,
+                        ks_fault::Target::Define("FACTOR".into()),
+                    )
+                    .persistent(),
+                ),
+            );
+            let c =
+                Arc::new(Compiler::new(DeviceConfig::tesla_c1060()).with_fault_plan(plan.clone()));
+            let (mut p, _factor, host_in, host_out) = scale_pipeline(c);
+            p.set_refresh_mode(RefreshMode::Tiered);
+            p.refresh().unwrap();
+            assert_eq!(p.wait_promotions(), 0, "failed promotion must not swap");
+            assert_eq!(p.module_tier(ResId(4)), Some(Tier::Failed));
+            assert_eq!(p.promotion_stats().failed, 1);
+            assert_eq!(p.degradations().len(), 1);
+            assert_eq!(p.degradations()[0].fallback, FallbackKind::Generic);
+            assert!(p.degradations()[0].error.contains("injected fault"));
+            // Still serving correct results from the generic tier.
+            let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+            p.set_host_f32(host_in, &vals);
+            p.run(1).unwrap();
+            assert_eq!(p.host_f32(host_out)[10], 30.0);
+            // A later refresh retries the specialization (still doomed
+            // by the persistent rule — a second identical degradation).
+            p.refresh().unwrap();
+            assert_eq!(p.module_tier(ResId(4)), Some(Tier::Promoting));
+            p.wait_promotions();
+            assert_eq!(p.degradations().len(), 2);
+            plan.event_log()
+        };
+        let first = run_once();
+        let second = run_once();
+        assert!(!first.is_empty());
+        assert_eq!(
+            first, second,
+            "same seed must degrade byte-identically across runs"
+        );
+    }
+
+    /// A launch racing a hot-swap must always execute a fully-built
+    /// binary: launches pin an `Arc<Binary>` before executing, and the
+    /// swap only changes which binary the *next* pin observes.
+    #[test]
+    fn launch_racing_a_hot_swap_sees_a_fully_built_binary() {
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let generic = c.compile(SCALE_SRC, Defines::new()).unwrap();
+        let ticket = c.spawn_compile(SCALE_SRC, Defines::new().def("FACTOR", 7));
+        // The shared slot stands in for a module's binary field; the
+        // launcher threads play the part of pipeline iterations.
+        let slot = Arc::new(parking_lot::Mutex::new(generic.clone()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let launchers: Vec<_> = (0..3)
+            .map(|t| {
+                let (slot, stop, c) = (slot.clone(), stop.clone(), c.clone());
+                std::thread::spawn(move || {
+                    let mut state = DeviceState::new(c.device().clone(), 1 << 20);
+                    let a_in = state.global.alloc(64 * 4).unwrap();
+                    let a_out = state.global.alloc(64 * 4).unwrap();
+                    let dims = LaunchDims {
+                        grid: (1, 1, 1),
+                        block: (64, 1, 1),
+                        dynamic_shared: 0,
+                    };
+                    let args = [
+                        KArg::Ptr(a_in),
+                        KArg::Ptr(a_out),
+                        KArg::I32(2),
+                        KArg::I32(64),
+                    ];
+                    let mut launches = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) || launches == 0 {
+                        // Pin, then launch: the swap may happen between
+                        // these two lines and must not matter.
+                        let bin = slot.lock().clone();
+                        assert!(
+                            !bin.module.functions.is_empty() && !bin.ptx.is_empty(),
+                            "launcher {t} saw a partially built binary"
+                        );
+                        launch(
+                            &mut state,
+                            &bin.module,
+                            "scale",
+                            dims,
+                            &args,
+                            LaunchOptions::default(),
+                        )
+                        .unwrap();
+                        launches += 1;
+                    }
+                    launches
+                })
+            })
+            .collect();
+        // Resolve the promotion and hot-swap mid-traffic.
+        let specialized = ticket.wait().unwrap();
+        *slot.lock() = specialized.clone();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: u64 = launchers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total >= 3, "every launcher must have launched");
+        // Post-swap pins observe exactly the specialized binary.
+        assert!(Arc::ptr_eq(&*slot.lock(), &specialized));
+    }
+
+    #[test]
+    fn blocking_refresh_reports_specialized_tier() {
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let (mut p, _f, _hi, _ho) = scale_pipeline(c);
+        assert_eq!(p.refresh_mode(), RefreshMode::Blocking);
+        p.refresh().unwrap();
+        assert_eq!(p.module_tier(ResId(4)), Some(Tier::Specialized));
+        assert_eq!(p.promotion_stats(), PromotionStats::default());
+        // Non-module resources have no tier.
+        assert_eq!(p.module_tier(ResId(0)), None);
     }
 }

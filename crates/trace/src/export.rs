@@ -13,6 +13,11 @@ pub enum ExportFormat {
     Text,
     Jsonl,
     Csv,
+    /// Collapsed-stack ("folded") lines for flamegraph tooling.
+    Flame,
+    /// Chrome `trace_event` JSON, loadable in `chrome://tracing` /
+    /// Perfetto.
+    Chrome,
 }
 
 impl ExportFormat {
@@ -21,6 +26,8 @@ impl ExportFormat {
             "text" => Some(ExportFormat::Text),
             "jsonl" | "json" => Some(ExportFormat::Jsonl),
             "csv" => Some(ExportFormat::Csv),
+            "flame" | "folded" => Some(ExportFormat::Flame),
+            "chrome" | "trace_event" => Some(ExportFormat::Chrome),
             _ => None,
         }
     }
@@ -30,6 +37,8 @@ impl ExportFormat {
             ExportFormat::Text => Box::new(TextExporter),
             ExportFormat::Jsonl => Box::new(JsonlExporter),
             ExportFormat::Csv => Box::new(CsvExporter),
+            ExportFormat::Flame => Box::new(FlamegraphExporter),
+            ExportFormat::Chrome => Box::new(ChromeTraceExporter),
         }
     }
 }
@@ -323,6 +332,164 @@ impl Exporter for CsvExporter {
     }
 }
 
+/// Collapsed-stack ("folded") renderer: one `root;child;leaf value`
+/// line per distinct stack, the input format of flamegraph tooling.
+/// Span values are *self* nanoseconds (duration minus the duration of
+/// child spans), so the rendered graph's widths sum correctly.
+pub struct FlamegraphExporter;
+
+impl FlamegraphExporter {
+    /// The `a;b;c` stack string for one span: parent-chain names,
+    /// root-first. A missing parent id (span drained separately) makes
+    /// the span a root.
+    fn stack(by_id: &std::collections::HashMap<u64, &SpanRecord>, s: &SpanRecord) -> String {
+        let mut names = vec![s.name.as_str()];
+        let mut cur = s;
+        while let Some(p) = cur.parent.and_then(|id| by_id.get(&id)) {
+            names.push(p.name.as_str());
+            cur = p;
+        }
+        names.reverse();
+        // The folded format separates frames with ';'; scrub it from
+        // names so a hostile span name can't forge frames.
+        names
+            .iter()
+            .map(|n| n.replace(';', ":"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+impl Exporter for FlamegraphExporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String {
+        let by_id: std::collections::HashMap<u64, &SpanRecord> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        // Self time = duration minus direct children's durations.
+        let mut child_ns: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for s in spans {
+            if let Some(p) = s.parent {
+                *child_ns.entry(p).or_insert(0) += s.dur_ns;
+            }
+        }
+        // Aggregate identical stacks (e.g. the same pass across many
+        // compiles) into one line, as folded-format consumers expect.
+        let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for s in spans {
+            let self_ns = s
+                .dur_ns
+                .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+            *folded.entry(Self::stack(&by_id, s)).or_insert(0) += self_ns;
+        }
+        let mut out = String::new();
+        for (stack, ns) in folded {
+            let _ = writeln!(out, "{stack} {ns}");
+        }
+        out
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String {
+        // Counters fold naturally: dotted names become frame stacks
+        // (`ks_core.cache.hits` → `ks_core;cache;hits`), values are the
+        // counts — a flamegraph of where events happen.
+        let mut out = String::new();
+        for (name, v) in &snapshot.counters {
+            let _ = writeln!(out, "{} {v}", name.replace('.', ";"));
+        }
+        out
+    }
+
+    fn profile(&self, p: &KernelProfile) -> String {
+        self.spans(&p.spans)
+    }
+}
+
+/// Chrome `trace_event` renderer: a `{"traceEvents": [...]}` document of
+/// complete (`ph:"X"`) events with microsecond timestamps, loadable in
+/// `chrome://tracing` and Perfetto. Span fields ride along as `args`.
+pub struct ChromeTraceExporter;
+
+impl ChromeTraceExporter {
+    fn span_event(s: &SpanRecord) -> Json {
+        let args = Json::Obj(
+            s.fields
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("name", Json::str(s.name.clone())),
+            ("cat", Json::str("span")),
+            ("ph", Json::str("X")),
+            ("ts", Json::num(s.start_ns as f64 / 1e3)),
+            ("dur", Json::num(s.dur_ns as f64 / 1e3)),
+            ("pid", Json::u64(1)),
+            ("tid", Json::u64(s.thread)),
+            ("args", args),
+        ])
+    }
+
+    fn document(events: Vec<Json>) -> String {
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+        .render()
+    }
+}
+
+impl Exporter for ChromeTraceExporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String {
+        let events = display_order(spans)
+            .into_iter()
+            .map(Self::span_event)
+            .collect();
+        Self::document(events)
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String {
+        // Counter (`ph:"C"`) events at t=0: a one-shot value dump rather
+        // than a time series, which is all a snapshot holds.
+        let mut events = Vec::new();
+        for (name, v) in &snapshot.counters {
+            events.push(Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("ph", Json::str("C")),
+                ("ts", Json::u64(0)),
+                ("pid", Json::u64(1)),
+                ("args", Json::obj(vec![("value", Json::u64(*v))])),
+            ]));
+        }
+        for (name, g) in &snapshot.gauges {
+            events.push(Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("ph", Json::str("C")),
+                ("ts", Json::u64(0)),
+                ("pid", Json::u64(1)),
+                ("args", Json::obj(vec![("value", Json::num(*g))])),
+            ]));
+        }
+        Self::document(events)
+    }
+
+    fn profile(&self, p: &KernelProfile) -> String {
+        // Label the process with the kernel identity, then the span tree.
+        let mut events = vec![Json::obj(vec![
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(1)),
+            (
+                "args",
+                Json::obj(vec![(
+                    "name",
+                    Json::str(format!("{} [{}] {}", p.kernel, p.variant, p.device)),
+                )]),
+            ),
+        ])];
+        events.extend(display_order(&p.spans).into_iter().map(Self::span_event));
+        Self::document(events)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +596,92 @@ mod tests {
             let rendered = fmt.exporter().profile(&p);
             assert!(rendered.contains("c2070"), "{fmt:?}: {rendered}");
         }
+    }
+
+    #[test]
+    fn flamegraph_folds_stacks_with_self_time() {
+        let out = FlamegraphExporter.spans(&sample_spans());
+        let lines: Vec<&str> = out.lines().collect();
+        // BTreeMap order: "compile" before "compile;parse".
+        assert_eq!(lines, vec!["compile 600", "compile;parse 400"], "{out}");
+        // Identical stacks aggregate.
+        let mut spans = sample_spans();
+        let mut again = sample_spans();
+        for s in &mut again {
+            s.id += 10;
+            s.parent = s.parent.map(|p| p + 10);
+        }
+        spans.extend(again);
+        let out = FlamegraphExporter.spans(&spans);
+        assert_eq!(
+            out.lines().collect::<Vec<_>>(),
+            vec!["compile 1200", "compile;parse 800"],
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn flamegraph_metrics_fold_counter_names() {
+        let r = Registry::new();
+        r.counter("ks_core.cache.hits").add(3);
+        let out = FlamegraphExporter.metrics(&r.snapshot());
+        assert_eq!(out, "ks_core;cache;hits 3\n");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let out = ChromeTraceExporter.spans(&sample_spans());
+        let doc = Json::parse(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        // display_order puts the parent (start 0) first.
+        let first = &events[0];
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("compile"));
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("dur").and_then(Json::as_f64), Some(1.0));
+        let second = &events[1];
+        assert_eq!(second.get("ts").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(
+            second
+                .get("args")
+                .and_then(|a| a.get("module"))
+                .and_then(Json::as_str),
+            Some("m")
+        );
+    }
+
+    #[test]
+    fn chrome_metrics_render_counter_events() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(0.25);
+        let out = ChromeTraceExporter.metrics(&r.snapshot());
+        let doc = Json::parse(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn new_formats_parse_and_dispatch() {
+        assert_eq!(ExportFormat::parse("flame"), Some(ExportFormat::Flame));
+        assert_eq!(ExportFormat::parse("folded"), Some(ExportFormat::Flame));
+        assert_eq!(ExportFormat::parse("chrome"), Some(ExportFormat::Chrome));
+        assert_eq!(
+            ExportFormat::parse("trace_event"),
+            Some(ExportFormat::Chrome)
+        );
+        let spans = sample_spans();
+        assert!(ExportFormat::Flame
+            .exporter()
+            .spans(&spans)
+            .contains("compile;parse"));
+        assert!(ExportFormat::Chrome
+            .exporter()
+            .spans(&spans)
+            .contains("traceEvents"));
     }
 
     #[test]

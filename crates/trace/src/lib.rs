@@ -54,7 +54,10 @@ mod profile;
 mod span;
 mod subscriber;
 
-pub use export::{CsvExporter, ExportFormat, Exporter, JsonlExporter, TextExporter};
+pub use export::{
+    ChromeTraceExporter, CsvExporter, ExportFormat, Exporter, FlamegraphExporter, JsonlExporter,
+    TextExporter,
+};
 pub use json::Json;
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
@@ -142,4 +145,27 @@ pub mod names {
     pub const PF_FALLBACK_LAST_GOOD: &str = "gpu_pf.fallback.last_good";
     /// GPU-PF kernel launches retried after a transient device fault.
     pub const PF_LAUNCH_RETRIES: &str = "gpu_pf.launch.retries";
+    /// Background compile tickets enqueued via `Compiler::spawn_compile`.
+    /// At quiescence, `ASYNC_SPAWNED == ASYNC_COMPLETED + ASYNC_FAILED +
+    /// ASYNC_CANCELLED`.
+    pub const ASYNC_SPAWNED: &str = "ks_core.async.spawned";
+    /// Background compiles that resolved with a binary.
+    pub const ASYNC_COMPLETED: &str = "ks_core.async.completed";
+    /// Background compiles that resolved with a `CompileError` (including
+    /// worker-site injected faults and dropped compilers).
+    pub const ASYNC_FAILED: &str = "ks_core.async.failed";
+    /// Tickets cancelled before their job ran (superseded promotions).
+    pub const ASYNC_CANCELLED: &str = "ks_core.async.cancelled";
+    /// Queue wait histogram (µs): enqueue → worker pickup.
+    pub const ASYNC_QUEUE_WAIT_US: &str = "ks_core.async.queue_wait_us";
+    /// GPU-PF modules hot-swapped from a fallback tier to their
+    /// specialized binary (`tier_swap` spans mark each one).
+    pub const PF_PROMOTIONS: &str = "gpu_pf.promotions";
+    /// GPU-PF promotions whose background compile failed; the module
+    /// keeps its fallback binary and retries on the next refresh.
+    pub const PF_PROMOTIONS_FAILED: &str = "gpu_pf.promotions.failed";
+    /// In-flight promotions superseded because the module was re-dirtied
+    /// before the ticket resolved; the stale ticket is cancelled and its
+    /// result (if any) discarded.
+    pub const PF_PROMOTIONS_SUPERSEDED: &str = "gpu_pf.promotions.superseded";
 }
