@@ -65,6 +65,32 @@ grep -q "first launch on generic: 3/3" "$TIERED_OUT"
 grep -q "superseded: 1, parity: ok" "$TIERED_OUT"
 rm -f "$TIERED_OUT"
 
+# Persistent-store tier: compile, drop process state (fresh compiler,
+# empty in-memory cache), reload byte-identical binaries from the
+# content-addressed store; then corrupt a record on purpose and assert
+# a graceful, byte-identical recompile (store_errors == 1, no panic).
+echo "== persistent-store drill (warm start, corruption recovery)"
+STORE_OUT=$(mktemp)
+cargo run --offline --release -q -p ks-apps --example persistent_store \
+    > "$STORE_OUT" 2> /dev/null
+grep -q "warm restart: 0 compiles, 3/3 disk hits, identical: ok" "$STORE_OUT"
+grep -q "corruption: recovered 1/1, store errors: 1, identical: ok" "$STORE_OUT"
+rm -f "$STORE_OUT"
+
+# Cross-process cold start: run the full table_6_13 suite twice against
+# one store directory. The second run is a real process restart and
+# must perform zero compiles, serving every specialization from disk
+# (asserted in-process via CacheStats/registry parity).
+echo "== table_6_13 cold-start (process restart on a warm store)"
+STORE_DIR=$(mktemp -d) BENCH_DIR=$(mktemp -d)
+KS_BENCH_DIR="$BENCH_DIR" KS_BENCH_QUICK=1 KS_BENCH_STORE="$STORE_DIR" \
+cargo run --offline --release -q -p ks-bench --bin table_6_13 > /dev/null
+KS_BENCH_DIR="$BENCH_DIR" KS_BENCH_QUICK=1 KS_BENCH_STORE="$STORE_DIR" \
+KS_BENCH_ASSERT_WARM=1 \
+cargo run --offline --release -q -p ks-bench --bin table_6_13 \
+    | grep -q "warm start verified: 0 compiles"
+rm -rf "$STORE_DIR" "$BENCH_DIR"
+
 # The profiler selfcheck must still reconcile exactly — CacheStats ==
 # exported profile == registry counters, including the resilience
 # columns — while compile faults are being injected and retried.

@@ -25,8 +25,12 @@ const FLOOR_US: u64 = 2_000;
 
 /// `promotion` is wall time from `spawn_compile` to ticket resolution
 /// on a cold compiler — the window a tiered gpu-pf module serves its
-/// generic binary before the hot-swap. The rest are compile phases.
-const PHASES: [&str; 10] = [
+/// generic binary before the hot-swap. `store` is the warm-load path: a
+/// fresh compiler resolving a kernel from a pre-populated persistent
+/// store (deserialize, no compile) — it must stay well under the
+/// cheapest blocking compile for warm starts to pay off. The rest are
+/// compile phases.
+const PHASES: [&str; 11] = [
     "preproc",
     "parse",
     "sema",
@@ -37,6 +41,7 @@ const PHASES: [&str; 10] = [
     "regalloc",
     "total",
     "promotion",
+    "store",
 ];
 
 fn usage() -> ! {
@@ -125,6 +130,49 @@ fn measure(iters: usize) -> BTreeMap<&'static str, Vec<u64>> {
                 .push(start.elapsed().as_micros() as u64);
         }
     }
+    // Store warm-load latency: populate a throwaway persistent store
+    // once, then time fresh compilers resolving each kernel from disk.
+    // Every sample must be a disk hit — a compile sneaking in would
+    // inflate the numbers and hide a broken store path.
+    let mut store_dir = std::env::temp_dir();
+    store_dir.push(format!("ks-perfgate-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let with_store = |dir: &std::path::Path| {
+        Compiler::new(DeviceConfig::tesla_c2070())
+            .with_store(dir)
+            .unwrap_or_else(|e| {
+                eprintln!("ks-perfgate: cannot open store: {e}");
+                std::process::exit(1);
+            })
+    };
+    let warmup = with_store(&store_dir);
+    for (src, defs) in &ks {
+        warmup.compile(src, defs.clone()).unwrap_or_else(|e| {
+            eprintln!("ks-perfgate: store warmup compile failed: {e}");
+            std::process::exit(1);
+        });
+    }
+    drop(warmup);
+    for _ in 0..iters {
+        for (src, defs) in &ks {
+            let compiler = with_store(&store_dir);
+            let start = Instant::now();
+            compiler.compile(src, defs.clone()).unwrap_or_else(|e| {
+                eprintln!("ks-perfgate: store warm load failed: {e}");
+                std::process::exit(1);
+            });
+            let stats = compiler.cache_stats();
+            if stats.disk_hits != 1 || stats.misses != 0 {
+                eprintln!("ks-perfgate: store sample was not a disk hit: {stats}");
+                std::process::exit(1);
+            }
+            samples
+                .entry("store")
+                .or_default()
+                .push(start.elapsed().as_micros() as u64);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
     samples
 }
 

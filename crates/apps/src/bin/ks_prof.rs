@@ -20,6 +20,9 @@
 //! one key, a cancellation, and a tiered gpu-pf promotion) and asserts
 //! `spawned == completed + failed + cancelled` with exact registry
 //! parity on the `ks_core.async.*` and `gpu_pf.promotions*` counters.
+//! Finally it round-trips a probe kernel through a throwaway persistent
+//! store (cold publish, warm disk hit, byte-identical reload) and
+//! asserts `ks_core.store.*` registry parity against `CacheStats`.
 //! It exits non-zero on any mismatch.
 
 use ks_apps::template_match::{MatchImpl, MatchProblem};
@@ -119,6 +122,7 @@ fn main() {
             ("profile", check(&compiler, &profile)),
             ("async tier", async_check(&compiler)),
             ("promotion", promotion_check(&compiler)),
+            ("store", store_check(compiler.device())),
         ];
         for (what, result) in checks {
             if let Err(e) = result {
@@ -127,7 +131,8 @@ fn main() {
             }
         }
         eprintln!(
-            "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches, async+promotion parity)",
+            "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches, \
+             async+promotion+store parity)",
             profile.compiles.len(),
             profile.spans.len(),
             profile.exec.launches
@@ -470,6 +475,76 @@ fn async_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
              {stats_delta:?}"
         ));
     }
+    Ok(())
+}
+
+fn store_registry() -> (u64, u64, u64) {
+    let r = ks_trace::registry();
+    (
+        r.counter_value(ks_trace::names::STORE_DISK_HITS),
+        r.counter_value(ks_trace::names::STORE_DISK_MISSES),
+        r.counter_value(ks_trace::names::STORE_ERRORS),
+    )
+}
+
+/// Prove the persistent-store tier's accounting: a cold compiler
+/// publishes a record, a warm compiler on the same directory serves it
+/// from disk without compiling (byte-identical), and the
+/// `ks_core.store.*` registry deltas match both compilers' `CacheStats`
+/// exactly.
+fn store_check(device: &DeviceConfig) -> Result<(), String> {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ks-prof-selfcheck-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let r0 = store_registry();
+    let defs = Defines::new().def("N", 640);
+
+    let cold = Compiler::new(device.clone())
+        .with_store(&dir)
+        .map_err(|e| format!("open store: {e}"))?;
+    let a = cold
+        .compile(PROBE_KERNEL, &defs)
+        .map_err(|e| e.to_string())?;
+    let cs = cold.cache_stats();
+    if (cs.misses, cs.disk_misses, cs.disk_hits, cs.store_errors) != (1, 1, 0, 0) {
+        return Err(format!("cold store pass accounting off: {cs}"));
+    }
+
+    let warm = Compiler::new(device.clone())
+        .with_store(&dir)
+        .map_err(|e| format!("open store: {e}"))?;
+    let b = warm
+        .compile(PROBE_KERNEL, &defs)
+        .map_err(|e| e.to_string())?;
+    let ws = warm.cache_stats();
+    if (
+        ws.hits,
+        ws.misses,
+        ws.disk_hits,
+        ws.disk_misses,
+        ws.store_errors,
+    ) != (1, 0, 1, 0, 0)
+    {
+        return Err(format!("warm store pass accounting off: {ws}"));
+    }
+    if a.ptx != b.ptx {
+        return Err("reloaded binary is not byte-identical to the compiled one".into());
+    }
+
+    let r1 = store_registry();
+    let reg_delta = (r1.0 - r0.0, r1.1 - r0.1, r1.2 - r0.2);
+    let stats_delta = (
+        cs.disk_hits + ws.disk_hits,
+        cs.disk_misses + ws.disk_misses,
+        cs.store_errors + ws.store_errors,
+    );
+    if reg_delta != stats_delta {
+        return Err(format!(
+            "ks_core.store.* registry deltas {reg_delta:?} disagree with CacheStats deltas \
+             {stats_delta:?}"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
 

@@ -1,6 +1,11 @@
 //! Table 6.13 — Template matching partial sums: performance and optimal
 //! configuration characteristics for the tiled summation kernel,
 //! run-time evaluated (RE) vs specialized (SK).
+//!
+//! With `--store DIR` the sweep compilers attach the persistent artifact
+//! store; `--assert-warm` then turns the run into the cold-start check:
+//! every binary must come from disk (zero compiles), asserted against
+//! both `CacheStats` and the `ks_core.store.*` registry counters.
 
 use ks_apps::Variant;
 use ks_bench::*;
@@ -14,6 +19,8 @@ fn main() {
             "SK thr", "SK regs", "Speedup",
         ],
     );
+    let mut total_misses = 0u64;
+    let mut total_disk_hits = 0u64;
     for dev in devices() {
         let dev_name = dev.name.clone();
         let mut sweep = MatchSweep::new(dev);
@@ -34,6 +41,36 @@ fn main() {
                 format!("{:.2}x", re.sim_ms / sk.sim_ms),
             ]);
         }
+        let stats = sweep.compiler.cache_stats();
+        println!("[cache] {dev_name}: {stats}");
+        total_misses += stats.misses;
+        total_disk_hits += stats.disk_hits;
     }
     table.finish();
+
+    if assert_warm() {
+        // Cold-start check: a warm store must serve the entire suite.
+        // Cross-check the per-compiler CacheStats sums against the
+        // process-wide registry so a counting bug cannot hide a compile.
+        let reg = ks_trace::registry();
+        let reg_misses = reg.counter_value(ks_trace::names::CACHE_MISSES);
+        let reg_disk_hits = reg.counter_value(ks_trace::names::STORE_DISK_HITS);
+        let reg_errors = reg.counter_value(ks_trace::names::STORE_ERRORS);
+        if reg_misses != total_misses || reg_disk_hits != total_disk_hits {
+            eprintln!(
+                "table_6_13: registry disagrees with CacheStats \
+                 (misses {reg_misses} vs {total_misses}, disk hits {reg_disk_hits} vs \
+                 {total_disk_hits})"
+            );
+            std::process::exit(1);
+        }
+        if total_misses != 0 || reg_errors != 0 {
+            eprintln!(
+                "table_6_13: warm start FAILED: {total_misses} compiles, {reg_errors} store \
+                 errors (expected 0 and 0)"
+            );
+            std::process::exit(1);
+        }
+        println!("[store] warm start verified: 0 compiles, {total_disk_hits} disk hits");
+    }
 }

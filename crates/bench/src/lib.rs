@@ -27,6 +27,36 @@ pub fn devices() -> Vec<DeviceConfig> {
     DeviceConfig::presets()
 }
 
+/// Persistent-store directory for sweep compilers: `--store DIR` or env
+/// `KS_BENCH_STORE`. When set, every sweep attaches the on-disk artifact
+/// store so compiled binaries survive process restarts (warm starts).
+pub fn store_dir() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("KS_BENCH_STORE").ok())
+}
+
+/// True when the run must be a pure warm start (`--assert-warm` or env
+/// `KS_BENCH_ASSERT_WARM`): cold-start CI uses it to prove a warm store
+/// serves the whole suite with zero compiles.
+pub fn assert_warm() -> bool {
+    std::env::args().any(|a| a == "--assert-warm") || std::env::var("KS_BENCH_ASSERT_WARM").is_ok()
+}
+
+/// The compiler every sweep uses: plain, or store-backed when
+/// [`store_dir`] is configured.
+fn sweep_compiler(dev: DeviceConfig) -> Compiler {
+    let c = Compiler::new(dev);
+    match store_dir() {
+        Some(dir) => c
+            .with_store(&dir)
+            .unwrap_or_else(|e| panic!("ks-bench: cannot open store {dir}: {e}")),
+        None => c,
+    }
+}
+
 // ---------------------------------------------------------------- tables
 
 /// An aligned ASCII table that also lands in `bench_results/<name>.csv`,
@@ -149,6 +179,9 @@ impl Table {
         let fallback_generic = get(ks_trace::names::PF_FALLBACK_GENERIC);
         let fallback_last_good = get(ks_trace::names::PF_FALLBACK_LAST_GOOD);
         let promotions = get(ks_trace::names::PF_PROMOTIONS);
+        let disk_hits = get(ks_trace::names::STORE_DISK_HITS);
+        let disk_misses = get(ks_trace::names::STORE_DISK_MISSES);
+        let store_errors = get(ks_trace::names::STORE_ERRORS);
         // Which execution tier produced this table: any background
         // ticket traffic during the run means the tiered path ran.
         let tier = if get(ks_trace::names::ASYNC_SPAWNED) > 0 {
@@ -160,11 +193,11 @@ impl Table {
         if let Ok(mut f) = std::fs::File::create(&side_path) {
             let _ = writeln!(
                 f,
-                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,tier"
+                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier"
             );
             let _ = writeln!(
                 f,
-                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{tier}"
+                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{disk_hits},{disk_misses},{store_errors},{tier}"
             );
             println!("[csv] {}", side_path.display());
         }
@@ -351,7 +384,7 @@ pub struct MatchSweep {
 impl MatchSweep {
     pub fn new(dev: DeviceConfig) -> MatchSweep {
         MatchSweep {
-            compiler: Compiler::new(dev),
+            compiler: sweep_compiler(dev),
             scen_cache: BTreeMap::new(),
             cache: BTreeMap::new(),
             variant_tag: String::new(),
@@ -479,7 +512,7 @@ pub struct PivSweep {
 impl PivSweep {
     pub fn new(dev: DeviceConfig) -> PivSweep {
         PivSweep {
-            compiler: Compiler::new(dev),
+            compiler: sweep_compiler(dev),
             scen_cache: BTreeMap::new(),
             cache: BTreeMap::new(),
         }
@@ -754,10 +787,10 @@ mod tests {
         let mut lines = side_text.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,tier"
+            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier"
         );
         let vals: Vec<&str> = lines.next().unwrap().split(',').collect();
-        assert_eq!(vals.len(), 13);
+        assert_eq!(vals.len(), 16);
         let hits: u64 = vals[0].parse().unwrap();
         let misses: u64 = vals[1].parse().unwrap();
         assert!(misses >= 1, "compile should register a miss: {side_text}");
@@ -768,11 +801,11 @@ mod tests {
         // or background tickets in this table's window — but other
         // tests in the process may race ticket traffic, so only the
         // shape is asserted here).
-        for v in &vals[5..12] {
+        for v in &vals[5..15] {
             let _: u64 = v.parse().unwrap();
         }
         assert!(
-            vals[12] == "blocking" || vals[12] == "tiered",
+            vals[15] == "blocking" || vals[15] == "tiered",
             "{side_text}"
         );
     }

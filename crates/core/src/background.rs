@@ -23,6 +23,7 @@
 //! (asserted by `ks-prof --selfcheck`).
 
 use crate::{Binary, CompileError, Compiler, Defines};
+use ks_store::Fingerprint;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,7 +111,7 @@ struct TicketState {
 }
 
 struct TicketInner {
-    key: u64,
+    key: Fingerprint,
     state: Mutex<TicketState>,
     ready: Condvar,
 }
@@ -162,7 +163,7 @@ pub struct CompileTicket {
 impl CompileTicket {
     /// The canonical cache key the job compiles under — the same key a
     /// blocking [`Compiler::compile`] of identical inputs would use.
-    pub fn key(&self) -> u64 {
+    pub fn key(&self) -> Fingerprint {
         self.inner.key
     }
 
@@ -193,13 +194,21 @@ impl CompileTicket {
         self.inner.state.lock().result.clone()
     }
 
-    /// Block until the job resolves and return its result.
+    /// Block until the job resolves and return its result. A ticket
+    /// whose result slot is somehow absent after wakeup (a resolution
+    /// bug, not a normal outcome) surfaces as a `CompileError` rather
+    /// than unwinding into the waiting thread.
     pub fn wait(&self) -> Result<Arc<Binary>, CompileError> {
         let mut st = self.inner.state.lock();
         while st.result.is_none() {
             st = self.inner.ready.wait(st);
         }
-        st.result.clone().unwrap()
+        st.result.clone().unwrap_or_else(|| {
+            Err(CompileError {
+                message: "async compile ticket woke without a result".to_string(),
+                command_line: String::new(),
+            })
+        })
     }
 }
 
@@ -266,7 +275,11 @@ fn worker_loop(pool: &'static Pool) {
                 q = pool.available.wait(q);
             }
         };
-        run_job(job);
+        // Backstop: a panicking job must never kill a pool worker (the
+        // pool is process-wide and never respawns). `run_job` already
+        // converts compile panics into failed tickets; this catches
+        // anything else.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job)));
     }
 }
 
@@ -294,9 +307,11 @@ fn run_job(job: Job) {
     // worker analogue) without the compile site ever seeing it.
     let plan = compiler.fault_plan.clone().or_else(ks_fault::active);
     if let Some(plan) = plan {
-        if let Some(fault) =
-            plan.check_worker(&job.identity, job.ticket.key, &job.defines.command_line())
-        {
+        if let Some(fault) = plan.check_worker(
+            &job.identity,
+            job.ticket.key.lo64(),
+            &job.defines.command_line(),
+        ) {
             job.ticket.fulfill(
                 &job.stats,
                 TicketOutcome::Failed,
@@ -310,7 +325,22 @@ fn run_job(job: Job) {
     }
     // The real work: straight through the single-flight cache, so this
     // dedups against blocking callers and other tickets for the key.
-    let result = compiler.compile(&job.source, &job.defines);
+    // Panics (worker-site injected or genuine) become failed tickets
+    // through the normal accounting instead of unwinding the worker.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compiler.compile(&job.source, &job.defines)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic payload".to_string());
+        Err(CompileError {
+            message: format!("async compile panicked: {msg}"),
+            command_line: job.defines.command_line(),
+        })
+    });
     let outcome = if result.is_ok() {
         TicketOutcome::Completed
     } else {
@@ -324,7 +354,7 @@ fn run_job(job: Job) {
 pub(crate) fn spawn(
     compiler: &Arc<Compiler>,
     stats: Arc<AsyncStatsCell>,
-    key: u64,
+    key: Fingerprint,
     source: &str,
     defines: &Defines,
 ) -> CompileTicket {
@@ -346,6 +376,16 @@ pub(crate) fn spawn(
                 command_line: defines.command_line(),
             }),
         );
+        return CompileTicket { inner, stats };
+    }
+    // Fast path: a committed result — in memory or in the persistent
+    // store — resolves the ticket immediately, without occupying a
+    // worker slot. Counted as a normal request + cache hit, so the
+    // `hits + misses == requests` registry parity holds exactly as it
+    // does for the blocking path.
+    if let Some(bin) = compiler.cache.try_get(key, compiler.store.as_ref()) {
+        crate::trace_metrics().requests.inc();
+        inner.fulfill(&stats, TicketOutcome::Completed, Ok(bin));
         return CompileTicket { inner, stats };
     }
     let identity = ks_fault::kernel_names(source)

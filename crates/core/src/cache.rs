@@ -20,7 +20,9 @@
 //! interleavings (the seed kept stats under a separate mutex from the
 //! cache map, which let the two disagree).
 
+use crate::store::StoreTier;
 use crate::{Binary, CacheStats, CompileError, ResilienceConfig};
+use ks_store::Fingerprint;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +43,9 @@ struct TraceCounters {
     quarantined: ks_trace::Counter,
     retries: ks_trace::Counter,
     breaker_opens: ks_trace::Counter,
+    disk_hits: ks_trace::Counter,
+    disk_misses: ks_trace::Counter,
+    store_errors: ks_trace::Counter,
 }
 
 fn trace_counters() -> &'static TraceCounters {
@@ -56,6 +61,9 @@ fn trace_counters() -> &'static TraceCounters {
             quarantined: r.counter(ks_trace::names::CACHE_QUARANTINED),
             retries: r.counter(ks_trace::names::COMPILE_RETRIES),
             breaker_opens: r.counter(ks_trace::names::BREAKER_OPEN),
+            disk_hits: r.counter(ks_trace::names::STORE_DISK_HITS),
+            disk_misses: r.counter(ks_trace::names::STORE_DISK_MISSES),
+            store_errors: r.counter(ks_trace::names::STORE_ERRORS),
         }
     })
 }
@@ -114,9 +122,9 @@ struct FailedEntry {
 
 #[derive(Default)]
 struct Shard {
-    entries: HashMap<u64, Entry>,
-    inflight: HashMap<u64, Arc<InFlight>>,
-    failed: HashMap<u64, FailedEntry>,
+    entries: HashMap<Fingerprint, Entry>,
+    inflight: HashMap<Fingerprint, Arc<InFlight>>,
+    failed: HashMap<Fingerprint, FailedEntry>,
     /// This shard's slice of the global capacity (None = unbounded).
     capacity: Option<usize>,
 }
@@ -124,7 +132,7 @@ struct Shard {
 impl Shard {
     /// The quarantine error to fast-fail with, if `key` is quarantined
     /// and the window hasn't lapsed.
-    fn quarantined_error(&self, key: u64, res: &ResilienceConfig) -> Option<CompileError> {
+    fn quarantined_error(&self, key: Fingerprint, res: &ResilienceConfig) -> Option<CompileError> {
         let fe = self.failed.get(&key)?;
         if Instant::now() >= fe.until {
             return None;
@@ -156,6 +164,9 @@ struct Counters {
     quarantined: AtomicU64,
     retries: AtomicU64,
     breaker_opens: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    store_errors: AtomicU64,
 }
 
 pub(crate) struct BinaryCache {
@@ -200,8 +211,8 @@ impl BinaryCache {
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<Shard> {
-        &self.shards[(key % self.shards.len() as u64) as usize]
+    fn shard(&self, key: Fingerprint) -> &Mutex<Shard> {
+        &self.shards[(key.lo64() % self.shards.len() as u64) as usize]
     }
 
     fn stamp(&self) -> u64 {
@@ -225,6 +236,104 @@ impl BinaryCache {
             quarantined: self.counters.quarantined.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
             breaker_opens: self.counters.breaker_opens.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.counters.disk_misses.load(Ordering::Relaxed),
+            store_errors: self.counters.store_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count_hit(&self) {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        trace_counters().hits.inc();
+    }
+
+    fn count_disk_hit(&self) {
+        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+        trace_counters().disk_hits.inc();
+    }
+
+    fn count_store_error(&self) {
+        self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
+        trace_counters().store_errors.inc();
+    }
+
+    /// Insert a committed binary and enforce the LRU bound. Caller holds
+    /// the shard lock.
+    fn insert_entry_locked(&self, shard: &mut Shard, key: Fingerprint, bin: Arc<Binary>) {
+        let stamp = self.stamp();
+        shard.entries.insert(
+            key,
+            Entry {
+                bin,
+                last_used: stamp,
+            },
+        );
+        if let Some(cap) = shard.capacity {
+            while shard.entries.len() > cap {
+                let lru = shard
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("nonempty over capacity");
+                shard.entries.remove(&lru);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                trace_counters().evictions.inc();
+            }
+        }
+    }
+
+    /// Probe for an already-committed result — memory first, then the
+    /// persistent tier — without joining or creating a flight. Used by
+    /// the async tier's spawn fast path so tickets resolve from disk
+    /// hits without occupying a worker slot. Returns `None` when the key
+    /// is uncompiled, in flight, or quarantined; those paths keep their
+    /// normal worker accounting. A probe miss moves no counters (the
+    /// eventual leader records its own `disk_misses`).
+    pub(crate) fn try_get(
+        &self,
+        key: Fingerprint,
+        store: Option<&StoreTier>,
+    ) -> Option<Arc<Binary>> {
+        {
+            let mut shard = self.shard(key).lock();
+            if let Some(e) = shard.entries.get_mut(&key) {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                let bin = e.bin.clone();
+                drop(shard);
+                self.count_hit();
+                return Some(bin);
+            }
+            if shard.inflight.contains_key(&key) || shard.failed.contains_key(&key) {
+                return None;
+            }
+        }
+        // Disk probe outside the shard lock: a racing leader at worst
+        // duplicates the read, never the compile.
+        match store?.load(key) {
+            Ok(Some(bin)) => {
+                let mut shard = self.shard(key).lock();
+                if let Some(e) = shard.entries.get_mut(&key) {
+                    // A leader committed while we read the disk; serve
+                    // its entry so `Arc` identity stays canonical.
+                    e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    let cached = e.bin.clone();
+                    drop(shard);
+                    self.count_hit();
+                    return Some(cached);
+                }
+                shard.failed.remove(&key);
+                self.insert_entry_locked(&mut shard, key, bin.clone());
+                drop(shard);
+                self.count_hit();
+                self.count_disk_hit();
+                Some(bin)
+            }
+            Ok(None) => None,
+            Err(_) => {
+                self.count_store_error();
+                None
+            }
         }
     }
 
@@ -235,15 +344,24 @@ impl BinaryCache {
     /// followers.
     ///
     /// Accounting invariants, under arbitrary interleavings:
-    /// * `hits + misses` == calls that returned `Ok`;
+    /// * `hits + misses` == calls that returned `Ok` (a disk hit counts
+    ///   as a hit, itemized in `disk_hits`);
     /// * `failures` == calls that returned `Err` (with `quarantined`
     ///   itemizing the fast-fail subset);
     /// * a retry wave happens at most once per flight, no matter how
     ///   many followers piled onto the key.
+    ///
+    /// With `store` attached the leader is a read-through/write-through
+    /// tier: it probes the persistent store before compiling (a hit
+    /// skips the compile entirely) and persists fresh compiles after
+    /// committing them. Store failures in either direction count in
+    /// `store_errors` and degrade to plain compilation — never a panic,
+    /// never a failed call.
     pub(crate) fn get_or_compile(
         &self,
-        key: u64,
+        key: Fingerprint,
         res: &ResilienceConfig,
+        store: Option<&StoreTier>,
         compile: impl Fn() -> CompileResult,
     ) -> CompileResult {
         let claim = {
@@ -263,8 +381,7 @@ impl BinaryCache {
         };
         match claim {
             Claim::Hit(bin) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                trace_counters().hits.inc();
+                self.count_hit();
                 Ok(bin)
             }
             Claim::FastFail(err) => {
@@ -286,8 +403,7 @@ impl BinaryCache {
                 // §4.3 overhead was paid once, by the leader. A failed
                 // flight fails every follower, itemized per caller.
                 if result.is_ok() {
-                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    trace_counters().hits.inc();
+                    self.count_hit();
                 } else {
                     self.counters.failures.fetch_add(1, Ordering::Relaxed);
                     trace_counters().failures.inc();
@@ -304,17 +420,35 @@ impl BinaryCache {
                     flight: &flight,
                     res,
                 };
-                let mut result = run_attempt(&compile, res);
+                // Read-through: probe the persistent tier before paying
+                // for a compile. Any store error degrades to compiling.
+                let mut from_disk = false;
+                let mut result = match store.map(|s| s.load(key)) {
+                    Some(Ok(Some(bin))) => {
+                        from_disk = true;
+                        Ok(bin)
+                    }
+                    Some(Ok(None)) => {
+                        self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                        trace_counters().disk_misses.inc();
+                        run_attempt(&compile, res)
+                    }
+                    Some(Err(_)) => {
+                        self.count_store_error();
+                        run_attempt(&compile, res)
+                    }
+                    None => run_attempt(&compile, res),
+                };
                 let mut attempt = 0u32;
                 while result.is_err() && attempt < res.max_retries {
                     attempt += 1;
                     let _retry = ks_trace::span_fields("compile-retry", || {
                         vec![
                             ("attempt".to_string(), attempt.to_string()),
-                            ("key".to_string(), format!("{key:016x}")),
+                            ("key".to_string(), key.to_string()),
                         ]
                     });
-                    let delay = res.backoff(key, attempt);
+                    let delay = res.backoff(key.lo64(), attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -329,32 +463,21 @@ impl BinaryCache {
                     match &result {
                         Ok(bin) => {
                             shard.failed.remove(&key);
-                            self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                            trace_counters().misses.inc();
-                            self.counters
-                                .compile_micros
-                                .fetch_add(bin.compile_time.as_micros() as u64, Ordering::Relaxed);
-                            let stamp = self.stamp();
-                            shard.entries.insert(
-                                key,
-                                Entry {
-                                    bin: bin.clone(),
-                                    last_used: stamp,
-                                },
-                            );
-                            if let Some(cap) = shard.capacity {
-                                while shard.entries.len() > cap {
-                                    let lru = shard
-                                        .entries
-                                        .iter()
-                                        .min_by_key(|(_, e)| e.last_used)
-                                        .map(|(k, _)| *k)
-                                        .expect("nonempty over capacity");
-                                    shard.entries.remove(&lru);
-                                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                                    trace_counters().evictions.inc();
-                                }
+                            if from_disk {
+                                // The §4.3 overhead was avoided: a disk
+                                // hit is a hit, not a miss, and adds no
+                                // compile time.
+                                self.count_hit();
+                                self.count_disk_hit();
+                            } else {
+                                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                                trace_counters().misses.inc();
+                                self.counters.compile_micros.fetch_add(
+                                    bin.compile_time.as_micros() as u64,
+                                    Ordering::Relaxed,
+                                );
                             }
+                            self.insert_entry_locked(&mut shard, key, bin.clone());
                         }
                         Err(e) => {
                             self.counters.failures.fetch_add(1, Ordering::Relaxed);
@@ -364,6 +487,16 @@ impl BinaryCache {
                     }
                 }
                 flight.fulfill(result.clone());
+                // Write-through: persist fresh compiles after followers
+                // are unblocked. A failed write is counted and ignored —
+                // the in-memory result is already committed.
+                if !from_disk {
+                    if let (Ok(bin), Some(s)) = (&result, store) {
+                        if s.save(key, bin).is_err() {
+                            self.count_store_error();
+                        }
+                    }
+                }
                 result
             }
         }
@@ -375,7 +508,7 @@ impl BinaryCache {
     fn record_failure_locked(
         &self,
         shard: &mut Shard,
-        key: u64,
+        key: Fingerprint,
         err: &CompileError,
         res: &ResilienceConfig,
     ) {
@@ -425,7 +558,7 @@ fn run_attempt(compile: &impl Fn() -> CompileResult, res: &ResilienceConfig) -> 
 /// don't block forever.
 struct FlightGuard<'a> {
     cache: &'a BinaryCache,
-    key: u64,
+    key: Fingerprint,
     flight: &'a Arc<InFlight>,
     res: &'a ResilienceConfig,
 }
@@ -482,9 +615,10 @@ mod tests {
         let cache = Arc::new(BinaryCache::new(None));
         let c2 = cache.clone();
         let (tx, rx) = std::sync::mpsc::channel();
+        let key = Fingerprint::from_u128(42);
         let leader = std::thread::spawn(move || {
             let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                c2.get_or_compile(42, &ResilienceConfig::default(), || {
+                c2.get_or_compile(key, &ResilienceConfig::default(), None, || {
                     tx.send(()).unwrap();
                     std::thread::sleep(std::time::Duration::from_millis(20));
                     panic!("boom")
@@ -496,9 +630,9 @@ mod tests {
         rx.recv().unwrap();
         // Either we join the doomed flight and get the panic error, or we
         // probe after cleanup and become the new leader ourselves.
-        if let Err(e) =
-            cache.get_or_compile(42, &ResilienceConfig::default(), || Ok(dummy_binary()))
-        {
+        if let Err(e) = cache.get_or_compile(key, &ResilienceConfig::default(), None, || {
+            Ok(dummy_binary())
+        }) {
             assert!(e.message.contains("panicked"), "{e}");
         }
         leader.join().unwrap();

@@ -46,18 +46,20 @@
 pub use ks_analysis::{AnalysisConfig, Diagnostic};
 use ks_codegen::CodegenOptions;
 use ks_sim::{DeviceConfig, RegAlloc};
-use std::collections::hash_map::DefaultHasher;
+use ks_store::StableHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 mod background;
 mod cache;
 mod metrics;
+mod store;
 
 pub use background::{AsyncStats, CompileTicket};
+pub use ks_store::{Fingerprint, StoreError};
 pub use metrics::CompileMetrics;
+pub use store::{BINARY_SCHEMA_VERSION, PASS_PIPELINE};
 
 /// Pre-resolved ks-trace registry handles for the compile pipeline.
 /// Counters and histograms are always on (atomic updates only); spans
@@ -123,11 +125,14 @@ impl TraceMetrics {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Defines {
     items: Vec<(String, String)>,
-    /// First invalid definition (e.g. a non-finite f32). Recorded here so
-    /// the fluent builder stays infallible; surfaced as a [`CompileError`]
-    /// the moment the defines reach [`Compiler::compile`], *before* the
-    /// bad token can produce a confusing downstream lex error.
-    invalid: Option<String>,
+    /// Invalid definitions (e.g. a non-finite f32) as `(name, message)`,
+    /// tracked **per name**: redefining a name with a valid value
+    /// replaces the offending entry and clears its marker, while other
+    /// names' markers stand. Recorded here so the fluent builder stays
+    /// infallible; surfaced as a [`CompileError`] the moment the defines
+    /// reach [`Compiler::compile`], *before* the bad token can produce a
+    /// confusing downstream lex error.
+    invalid: Vec<(String, String)>,
 }
 
 impl Defines {
@@ -138,6 +143,7 @@ impl Defines {
     /// `-D NAME=<int>`.
     pub fn def(mut self, name: &str, value: impl std::fmt::Display) -> Defines {
         self.items.retain(|(n, _)| n != name);
+        self.invalid.retain(|(n, _)| n != name);
         self.items.push((name.to_string(), value.to_string()));
         self
     }
@@ -145,6 +151,7 @@ impl Defines {
     /// `-D NAME` (defined as 1, like nvcc).
     pub fn flag(mut self, name: &str) -> Defines {
         self.items.retain(|(n, _)| n != name);
+        self.invalid.retain(|(n, _)| n != name);
         self.items.push((name.to_string(), String::new()));
         self
     }
@@ -162,12 +169,17 @@ impl Defines {
     /// compile time instead of failing to lex downstream.
     pub fn f32(mut self, name: &str, value: f32) -> Defines {
         if !value.is_finite() {
-            self.invalid.get_or_insert_with(|| {
+            // The bad entry replaces any earlier definition (valid or
+            // invalid) of the same name, exactly like a valid redefine.
+            self.items.retain(|(n, _)| n != name);
+            self.invalid.retain(|(n, _)| n != name);
+            self.invalid.push((
+                name.to_string(),
                 format!(
                     "invalid define `-D {name}={value}`: f32 defines must be \
                      finite ({value} has no float-literal spelling)"
-                )
-            });
+                ),
+            ));
             return self;
         }
         self.def(name, format!("{value:?}f"))
@@ -181,9 +193,11 @@ impl Defines {
         &self.items
     }
 
-    /// The first invalid definition recorded by a builder method, if any.
+    /// The first invalid definition still in effect, if any. A marker is
+    /// cleared when its name is later redefined with a valid value (the
+    /// offending entry no longer exists); markers for other names stand.
     pub fn invalid(&self) -> Option<&str> {
-        self.invalid.as_deref()
+        self.invalid.first().map(|(_, msg)| msg.as_str())
     }
 
     /// Render the nvcc-style command-line fragment (for logs).
@@ -313,6 +327,18 @@ pub struct CacheStats {
     /// Circuit-breaker open transitions: the Kth consecutive failure of
     /// one key, and every failed half-open probe after it.
     pub breaker_opens: u64,
+    /// Calls served from the persistent artifact store attached with
+    /// [`Compiler::with_store`]. Each is *also* counted as a hit — the
+    /// compile overhead was avoided — so `hits - disk_hits` is the
+    /// memory-only hit count.
+    pub disk_hits: u64,
+    /// Leader compiles that probed an attached store and found no
+    /// record (the compile then ran and was written through).
+    pub disk_misses: u64,
+    /// Store read/write failures degraded to plain recompilation:
+    /// corrupt, truncated, or unreadable records, and failed writes.
+    /// Never a panic, never a failed compile call.
+    pub store_errors: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -321,6 +347,7 @@ impl std::fmt::Display for CacheStats {
             f,
             "{} hits / {} misses / {} evictions / {} dedup-waits / \
              {} failures / {} quarantined / {} retries / {} breaker-opens / \
+             {} disk-hits / {} disk-misses / {} store-errors / \
              compile {:.1?} / dedup-wait {:.1?}",
             self.hits,
             self.misses,
@@ -330,6 +357,9 @@ impl std::fmt::Display for CacheStats {
             self.quarantined,
             self.retries,
             self.breaker_opens,
+            self.disk_hits,
+            self.disk_misses,
+            self.store_errors,
             Duration::from_micros(self.total_compile_micros),
             Duration::from_micros(self.total_dedup_wait_micros),
         )
@@ -407,6 +437,49 @@ impl ResilienceConfig {
     }
 }
 
+/// Feed every [`AnalysisConfig`] field that affects analysis results
+/// into the stable hasher, mirroring `AnalysisConfig::hash_into`'s field
+/// list but with explicit tags and widths (the generic `hash_into` goes
+/// through `std::hash::Hasher`, whose compound-type encodings make no
+/// cross-release stability promise).
+fn feed_analysis(h: &mut StableHasher, a: &AnalysisConfig) {
+    match a.block_dim {
+        None => {
+            h.u8(0);
+        }
+        Some((x, y, z)) => {
+            h.u8(1).u32(x).u32(y).u32(z);
+        }
+    }
+    h.u32(a.grid_dim.0).u32(a.grid_dim.1).u32(a.grid_dim.2);
+    h.u32(a.block_idx.0).u32(a.block_idx.1).u32(a.block_idx.2);
+    h.u32(a.dynamic_shared);
+    h.usize(a.param_assumptions.len());
+    for (name, value) in &a.param_assumptions {
+        h.str(name);
+        match value {
+            ks_analysis::ParamValue::Int(v) => {
+                h.u8(0).i64(*v);
+            }
+            ks_analysis::ParamValue::F32(v) => {
+                h.u8(1).f32_bits(*v);
+            }
+        }
+    }
+    h.u64(a.max_steps);
+    h.usize(a.levels.len());
+    for (code, severity) in &a.levels {
+        h.str(code.code());
+        h.u8(match severity {
+            ks_analysis::Severity::Allow => 0,
+            ks_analysis::Severity::Warn => 1,
+            ks_analysis::Severity::Deny => 2,
+        });
+    }
+    h.u64(a.bank_conflict_threshold.to_bits());
+    h.u64(a.coalescing_slack.to_bits());
+}
+
 /// SplitMix64 finalizer (same mixer ks-fault uses): deterministic jitter
 /// as a pure function of (seed, key, attempt).
 fn splitmix64(mut x: u64) -> u64 {
@@ -451,6 +524,10 @@ pub struct Compiler {
     analysis: Option<AnalysisConfig>,
     validation: Option<ValidationConfig>,
     cache: cache::BinaryCache,
+    /// Persistent artifact tier below the in-memory cache
+    /// ([`Compiler::with_store`]); lookups read through it, fresh
+    /// compiles write through to it.
+    store: Option<store::StoreTier>,
     resilience: ResilienceConfig,
     fault_plan: Option<Arc<ks_fault::FaultPlan>>,
     /// Async-tier accounting, shared with in-flight background jobs so
@@ -468,6 +545,7 @@ impl Compiler {
             analysis: None,
             validation: None,
             cache: cache::BinaryCache::new(None),
+            store: None,
             resilience: ResilienceConfig::default(),
             fault_plan: None,
             async_stats: Arc::new(background::AsyncStatsCell::default()),
@@ -522,6 +600,29 @@ impl Compiler {
         self
     }
 
+    /// Attach a persistent, content-addressed artifact store rooted at
+    /// `dir` (created if absent). The store becomes a read-through /
+    /// write-through tier below the in-memory cache: lookups probe
+    /// memory, then disk, then compile, and a fresh compile populates
+    /// both — so a later process with the same store directory warm-
+    /// starts every previously compiled variant without paying the §4.3
+    /// overhead again. Records are keyed by the stable 128-bit cache
+    /// fingerprint and carry a format version and payload checksum;
+    /// unreadable or corrupt records degrade to recompilation (counted
+    /// in [`CacheStats::store_errors`]), never a panic.
+    pub fn with_store(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Compiler, StoreError> {
+        self.store = Some(store::StoreTier::open(dir)?);
+        Ok(self)
+    }
+
+    /// Root directory of the attached artifact store, if any.
+    pub fn store_path(&self) -> Option<&std::path::Path> {
+        self.store.as_ref().map(|s| s.root())
+    }
+
     /// Attach a resilience policy: bounded retry with seeded backoff,
     /// per-compile deadline, failure quarantine, and the per-variant
     /// circuit breaker. See [`ResilienceConfig`].
@@ -565,32 +666,68 @@ impl Compiler {
         )
     }
 
-    fn cache_key(&self, source: &str, defines: &Defines) -> u64 {
-        let mut h = DefaultHasher::new();
-        source.hash(&mut h);
+    /// The stable 128-bit cache key: a fingerprint over the canonical
+    /// `(source, sorted defines, device, options, passes, analysis,
+    /// validation)` tuple, prefixed by the store format, binary schema,
+    /// and pass-pipeline versions so any encoding or pipeline change
+    /// makes old persisted artifacts unreachable instead of wrongly
+    /// reusable.
+    ///
+    /// Computed with [`ks_store::StableHasher`] — never `DefaultHasher`,
+    /// whose output is explicitly unstable across Rust releases — so the
+    /// key is safe to escape the process as the on-disk identity of a
+    /// compiled artifact. A regression test pins exact key values.
+    fn cache_key(&self, source: &str, defines: &Defines) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.str("ks-core.cache-key.v1");
+        h.u32(ks_store::FORMAT_VERSION);
+        h.u32(store::BINARY_SCHEMA_VERSION);
+        h.str(store::PASS_PIPELINE);
+        h.str(source);
         // Canonicalize: hash the define set sorted by name (names are
         // unique, so the order is total), never the insertion order —
         // `.def("A",1).def("B",2)` and `.def("B",2).def("A",1)` are the
         // same `-D` set and must share a cache slot.
         let mut items: Vec<&(String, String)> = defines.items.iter().collect();
         items.sort();
-        items.hash(&mut h);
-        self.device.cc_major.hash(&mut h);
-        self.device.cc_minor.hash(&mut h);
-        self.options.unroll_limit.hash(&mut h);
-        self.options.scalarize_cap.hash(&mut h);
-        self.options.optimize.hash(&mut h);
-        self.opt_config.hash(&mut h);
-        if let Some(a) = &self.analysis {
-            a.hash_into(&mut h);
+        h.usize(items.len());
+        for (name, value) in items {
+            h.str(name);
+            h.str(value);
         }
-        if let Some(v) = &self.validation {
-            // A validation failure is a compile failure, so the outcome
-            // depends on the config: key it.
-            v.limits.max_paths.hash(&mut h);
-            v.limits.max_steps.hash(&mut h);
-            v.limits.max_forks_per_site.hash(&mut h);
-            v.deny.hash(&mut h);
+        h.str(&self.device.name);
+        h.u32(self.device.cc_major);
+        h.u32(self.device.cc_minor);
+        h.u32(self.options.unroll_limit);
+        h.u32(self.options.scalarize_cap);
+        h.bool(self.options.optimize);
+        h.bool(self.opt_config.constfold);
+        h.bool(self.opt_config.strength);
+        h.bool(self.opt_config.addrfold);
+        h.bool(self.opt_config.cse);
+        h.bool(self.opt_config.dce);
+        match &self.analysis {
+            None => {
+                h.u8(0);
+            }
+            Some(a) => {
+                h.u8(1);
+                feed_analysis(&mut h, a);
+            }
+        }
+        match &self.validation {
+            None => {
+                h.u8(0);
+            }
+            Some(v) => {
+                // A validation failure is a compile failure, so the
+                // outcome depends on the config: key it.
+                h.u8(1);
+                h.usize(v.limits.max_paths);
+                h.usize(v.limits.max_steps);
+                h.u32(v.limits.max_forks_per_site);
+                h.bool(v.deny);
+            }
         }
         h.finish()
     }
@@ -628,9 +765,10 @@ impl Compiler {
                 .next()
                 .unwrap_or_else(|| "?".to_string())
         });
-        let result = self.cache.get_or_compile(key, &self.resilience, || {
+        let store = self.store.as_ref();
+        let result = self.cache.get_or_compile(key, &self.resilience, store, || {
             if let (Some(plan), Some(id)) = (&plan, &identity) {
-                if let Some(fault) = plan.check_compile(id, key, &defines.command_line()) {
+                if let Some(fault) = plan.check_compile(id, key.lo64(), &defines.command_line()) {
                     if fault.kind == ks_fault::FaultKind::CompilePanic {
                         panic!("{}", fault.message());
                     }
@@ -1171,10 +1309,74 @@ mod tests {
         }
         // Rejected before any caching: no stats movement.
         assert_eq!(c.cache_stats(), CacheStats::default());
-        // A finite value after a non-finite one stays poisoned (the
-        // builder reports the first offender, not a silent recovery).
+        // A finite value after a non-finite one *replaces* the offending
+        // entry, so the marker clears and the set compiles.
         let d = Defines::new().f32("SCALE", f32::NAN).f32("SCALE", 1.0);
+        assert!(d.invalid().is_none(), "redefinition must clear the marker");
+        assert!(c.compile(src, &d).is_ok());
+    }
+
+    #[test]
+    fn invalid_define_markers_are_per_name() {
+        // Valid then invalid: the invalid entry replaces the valid one.
+        let d = Defines::new().f32("S", 1.0).f32("S", f32::NAN);
         assert!(d.invalid().is_some());
+        assert!(
+            !d.command_line().contains("S="),
+            "the replaced valid entry must not linger: {}",
+            d.command_line()
+        );
+        // Invalid then valid: the offending entry was replaced; cleared.
+        let d = d.f32("S", 2.0);
+        assert!(d.invalid().is_none());
+        assert!(d.command_line().contains("S=2"));
+        // def() and flag() replacements clear a marker too.
+        assert!(Defines::new()
+            .f32("S", f32::INFINITY)
+            .def("S", 3)
+            .invalid()
+            .is_none());
+        assert!(Defines::new()
+            .f32("S", f32::NEG_INFINITY)
+            .flag("S")
+            .invalid()
+            .is_none());
+        // Distinct names track independently: clearing one does not
+        // silently forgive another.
+        let d = Defines::new()
+            .f32("A", f32::NAN)
+            .f32("B", f32::NAN)
+            .f32("A", 1.0);
+        assert!(d.invalid().is_some(), "B's marker must survive A's clear");
+        assert!(d.invalid().unwrap().contains('B'));
+        assert!(d.f32("B", 1.0).invalid().is_none());
+    }
+
+    /// Pins exact key values for fixed inputs. These keys are the
+    /// on-disk identity of persisted artifacts: if this test fails, the
+    /// fingerprint computation changed and every existing store written
+    /// by a previous build is orphaned. Either revert the change or
+    /// accept the invalidation *deliberately* by bumping the domain tag
+    /// in `cache_key` and re-pinning.
+    #[test]
+    fn cache_keys_are_pinned_for_fixed_inputs() {
+        let src = "__global__ void k(int* o) { o[0] = 1; }";
+        let c = Compiler::new(DeviceConfig::tesla_c1060());
+        let c2 = Compiler::new(DeviceConfig::tesla_c2070());
+        let keys = [
+            c.cache_key(src, &Defines::new()).to_hex(),
+            c.cache_key(src, &Defines::new().def("A", 1).def("B", 2))
+                .to_hex(),
+            c2.cache_key(src, &Defines::new()).to_hex(),
+        ];
+        assert_eq!(
+            keys,
+            [
+                "f67b81dd2904aa1bcb6f6575a3ace48a".to_string(),
+                "7eb9abd86c740598a889bfde8f304aee".to_string(),
+                "5386e440d87047af2a43bf7843aff400".to_string(),
+            ]
+        );
     }
 
     #[test]

@@ -1015,8 +1015,12 @@ impl Pipeline {
             p.dirty = false;
         }
         self.log.line_with(|| {
+            let store = match self.compiler.store_path() {
+                Some(p) => format!(", store {}", p.display()),
+                None => String::new(),
+            };
             format!(
-                "=== refresh complete: cache {} ===",
+                "=== refresh complete: cache {}{store} ===",
                 self.compiler.cache_stats()
             )
         });
@@ -1153,7 +1157,7 @@ impl Pipeline {
         let ticket = self.compiler.spawn_compile(source, &defs);
         self.log.line_with(|| {
             format!(
-                "module[{i}]: specializing [{}] in background (key {:#x})",
+                "module[{i}]: specializing [{}] in background (key {})",
                 defs.command_line(),
                 ticket.key()
             )
@@ -2315,6 +2319,54 @@ mod tests {
         p.refresh().unwrap();
         let stats = p.compiler().cache_stats();
         assert!(stats.hits >= 1, "expected a re-refresh hit: {stats}");
+    }
+
+    #[test]
+    fn refresh_trailer_names_the_store_and_warm_restart_skips_compiles() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("gpu-pf-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let buf = Arc::new(parking_lot::Mutex::new(Vec::<u8>::new()));
+        struct W(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl std::io::Write for W {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let run = |buf: &Arc<parking_lot::Mutex<Vec<u8>>>| {
+            let c = Arc::new(
+                Compiler::new(DeviceConfig::tesla_c1060())
+                    .with_store(&dir)
+                    .unwrap(),
+            );
+            let mut p = Pipeline::new(c, 32 << 20);
+            p.set_logger(Box::new(W(buf.clone())));
+            let f = p.int_param("FACTOR", 2);
+            let _m = p.module(SCALE_SRC, vec![("FACTOR", MacroBinding::Param(f))]);
+            p.refresh().unwrap();
+            p.compiler().cache_stats()
+        };
+
+        // Cold process: compiles and publishes the record.
+        let cold = run(&buf);
+        assert_eq!((cold.misses, cold.disk_hits), (1, 0), "{cold}");
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert!(
+            text.contains(&format!("store {}", dir.display())),
+            "store trailer missing: {text}"
+        );
+        assert!(text.contains("disk-hits"), "{text}");
+
+        // Warm restart: a fresh pipeline + compiler on the same store
+        // directory binds the module without compiling.
+        let warm = run(&buf);
+        assert_eq!((warm.misses, warm.disk_hits), (0, 1), "{warm}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Builds the standard scale pipeline around a caller-supplied

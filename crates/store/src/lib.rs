@@ -1,0 +1,405 @@
+//! # ks-store — stable fingerprints and a persistent artifact store
+//!
+//! The sharded single-flight cache in ks-core is in-memory only: every
+//! process restart recompiles the world. This crate supplies the two
+//! pieces needed to persist compiled artifacts safely:
+//!
+//! 1. **Stable hashing** ([`StableHasher`], [`Fingerprint`]): a
+//!    hand-rolled 128-bit FNV-1a with explicit, length-disciplined
+//!    write methods. `std::collections::hash_map::DefaultHasher` is
+//!    documented to be unstable across Rust releases — fine for an
+//!    in-process map, silently corrupting for any key that touches
+//!    disk. The hasher here is pinned by tests: if its output for
+//!    fixed inputs ever changes, CI fails before a store written by
+//!    one build can poison another.
+//!
+//! 2. **A versioned, content-addressed record store** ([`Store`]):
+//!    each record is a self-describing file — magic, format version,
+//!    fingerprint, payload length, payload checksum, payload — written
+//!    atomically (unique temp file + rename) so concurrent writers of
+//!    the same key converge on exactly one valid record. Loading
+//!    validates every header field and the checksum; any mismatch is a
+//!    typed [`StoreError`], never a panic, so callers can degrade to a
+//!    recompile.
+//!
+//! The crate is a leaf: it knows nothing about kernels or binaries.
+//! ks-core layers `Binary` serialization and the read-through /
+//! write-through cache tier on top.
+
+pub mod bytes;
+pub mod fp;
+
+pub use bytes::{ByteReader, ByteWriter};
+pub use fp::{fnv64, Fingerprint, StableHasher};
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk record format version. Bump on any layout change; readers
+/// reject records from other versions with [`StoreError::Version`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Record magic: the first four bytes of every valid record file.
+pub const MAGIC: [u8; 4] = *b"KSST";
+
+/// Fixed header size: magic (4) + version (4) + fingerprint (16) +
+/// payload length (8) + payload checksum (8).
+pub const HEADER_LEN: usize = 40;
+
+/// File extension for record files.
+pub const RECORD_EXT: &str = "ksb";
+
+/// Everything that can go wrong talking to the store. Every variant is
+/// recoverable: callers treat any error as "no usable record" and
+/// degrade to a recompile.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure (open/read/write/rename).
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`] — not a record file.
+    BadMagic { found: [u8; 4] },
+    /// Record written by a different store format version.
+    Version { found: u32, expected: u32 },
+    /// Header fingerprint does not match the key the record was looked
+    /// up under (misfiled or tampered record).
+    FingerprintMismatch {
+        expected: Fingerprint,
+        found: Fingerprint,
+    },
+    /// Payload checksum mismatch (bit rot or torn write).
+    ChecksumMismatch { expected: u64, found: u64 },
+    /// The file ended before the declared payload did.
+    Truncated { needed: usize, available: usize },
+    /// Structurally invalid payload content (bad tag, bad length,
+    /// unknown enum discriminant) discovered during decoding.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "store record has bad magic {found:02x?}")
+            }
+            StoreError::Version { found, expected } => write!(
+                f,
+                "store record format version {found} (this build reads {expected})"
+            ),
+            StoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "store record fingerprint {found} does not match key {expected}"
+            ),
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "store record payload checksum {found:016x} != header {expected:016x}"
+            ),
+            StoreError::Truncated { needed, available } => write!(
+                f,
+                "store record truncated: needed {needed} bytes, had {available}"
+            ),
+            StoreError::Corrupt(msg) => write!(f, "store record corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A content-addressed record store rooted at one directory.
+///
+/// Records are filed under a one-byte fan-out
+/// (`<root>/<hh>/<32-hex-fingerprint>.ksb`) so large stores do not pile
+/// thousands of files into one directory. Writes are atomic: the
+/// record is assembled in a uniquely-named temp file in the same
+/// directory and `rename`d into place, so readers only ever observe
+/// absent or complete files, and same-key races converge on one
+/// record.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+/// Process-unique suffix counter for temp files (rename targets).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path a record for `fp` lives at (whether or not it exists).
+    pub fn record_path(&self, fp: Fingerprint) -> PathBuf {
+        let hex = fp.to_hex();
+        self.root
+            .join(&hex[..2])
+            .join(format!("{hex}.{RECORD_EXT}"))
+    }
+
+    /// True if a record file for `fp` exists (no validation).
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.record_path(fp).exists()
+    }
+
+    /// Count record files currently in the store (any validity).
+    pub fn record_count(&self) -> usize {
+        let mut n = 0;
+        let Ok(fanout) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        for dir in fanout.flatten() {
+            let Ok(entries) = fs::read_dir(dir.path()) else {
+                continue;
+            };
+            n += entries
+                .flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == RECORD_EXT))
+                .count();
+        }
+        n
+    }
+
+    /// Persist `payload` under `fp`. Returns `Ok(true)` if this call
+    /// wrote the record, `Ok(false)` if a record was already present
+    /// (the common outcome for the losers of a same-key race).
+    pub fn save(&self, fp: Fingerprint, payload: &[u8]) -> Result<bool, StoreError> {
+        let path = self.record_path(fp);
+        if path.exists() {
+            return Ok(false);
+        }
+        let dir = path.parent().expect("record path always has a parent");
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut w = ByteWriter::new();
+        w.bytes_raw(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u128(fp.as_u128());
+        w.u64(payload.len() as u64);
+        w.u64(fnv64(payload));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(w.as_slice())?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        // Atomic publish; on the rare race where two writers both got
+        // past the exists() check, last rename wins and both files are
+        // complete and identical in content-addressed terms.
+        fs::rename(&tmp, &path)?;
+        Ok(true)
+    }
+
+    /// Load the payload stored under `fp`.
+    ///
+    /// `Ok(None)` means "no record" (a clean miss). Any present-but-
+    /// invalid record is a typed error so the caller can count it and
+    /// recompile; this function never panics on file contents.
+    pub fn load(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.record_path(fp);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        Ok(Some(Self::decode_record(fp, &data)?))
+    }
+
+    /// Validate a raw record image and return its payload.
+    pub fn decode_record(fp: Fingerprint, data: &[u8]) -> Result<Vec<u8>, StoreError> {
+        if data.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let mut r = ByteReader::new(data);
+        let magic = r.array::<4>()?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Version {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let found_fp = Fingerprint::from_u128(r.u128()?);
+        if found_fp != fp {
+            return Err(StoreError::FingerprintMismatch {
+                expected: fp,
+                found: found_fp,
+            });
+        }
+        let payload_len = r.u64()? as usize;
+        let expected_sum = r.u64()?;
+        let avail = data.len() - HEADER_LEN;
+        if avail < payload_len {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN + payload_len,
+                available: data.len(),
+            });
+        }
+        let payload = &data[HEADER_LEN..HEADER_LEN + payload_len];
+        let found_sum = fnv64(payload);
+        if found_sum != expected_sum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: expected_sum,
+                found: found_sum,
+            });
+        }
+        Ok(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ks-store-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fp_of(s: &str) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.str(s);
+        h.finish()
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("k1");
+        let payload = b"specialized ptx bytes".to_vec();
+        assert!(store.save(fp, &payload).unwrap(), "first save writes");
+        assert!(!store.save(fp, &payload).unwrap(), "second save is a no-op");
+        assert_eq!(store.load(fp).unwrap(), Some(payload));
+        assert_eq!(store.record_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_record_is_a_clean_none() {
+        let dir = tmpdir("missing");
+        let store = Store::open(&dir).unwrap();
+        assert!(store.load(fp_of("absent")).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = tmpdir("magic");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("k");
+        store.save(fp, b"x").unwrap();
+        let path = store.record_path(fp);
+        let mut data = fs::read(&path).unwrap();
+        data[0] = b'X';
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(store.load(fp), Err(StoreError::BadMagic { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = tmpdir("version");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("k");
+        store.save(fp, b"x").unwrap();
+        let path = store.record_path(fp);
+        let mut data = fs::read(&path).unwrap();
+        data[4] = FORMAT_VERSION as u8 + 1; // version lives right after magic
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(store.load(fp), Err(StoreError::Version { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let dir = tmpdir("fpmm");
+        let store = Store::open(&dir).unwrap();
+        let a = fp_of("a");
+        let b = fp_of("b");
+        store.save(a, b"payload-a").unwrap();
+        // Misfile a's record under b's path.
+        fs::create_dir_all(store.record_path(b).parent().unwrap()).unwrap();
+        fs::copy(store.record_path(a), store.record_path(b)).unwrap();
+        assert!(matches!(
+            store.load(b),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let dir = tmpdir("checksum");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("k");
+        store.save(fp, b"payload payload payload").unwrap();
+        let path = store.record_path(fp);
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xff;
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            store.load(fp),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_record_is_truncated_not_a_panic() {
+        let dir = tmpdir("torn");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("k");
+        store.save(fp, b"a payload long enough to tear").unwrap();
+        let path = store.record_path(fp);
+        let data = fs::read(&path).unwrap();
+        // Tear mid-payload and mid-header.
+        fs::write(&path, &data[..HEADER_LEN + 3]).unwrap();
+        assert!(matches!(store.load(fp), Err(StoreError::Truncated { .. })));
+        fs::write(&path, &data[..HEADER_LEN - 7]).unwrap();
+        assert!(matches!(store.load(fp), Err(StoreError::Truncated { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let dir = tmpdir("empty");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("empty");
+        store.save(fp, b"").unwrap();
+        assert_eq!(store.load(fp).unwrap(), Some(Vec::new()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -135,6 +135,15 @@ pub mod names {
     /// Per-variant circuit-breaker open transitions
     /// (`CacheStats::breaker_opens`).
     pub const BREAKER_OPEN: &str = "ks_core.breaker.open";
+    /// Compile calls served from the persistent artifact store
+    /// (`CacheStats::disk_hits`; each is also counted in `CACHE_HITS`).
+    pub const STORE_DISK_HITS: &str = "ks_core.store.disk_hits";
+    /// Leader compiles that probed an attached store and found no
+    /// record (`CacheStats::disk_misses`).
+    pub const STORE_DISK_MISSES: &str = "ks_core.store.disk_misses";
+    /// Store read/write failures degraded to a recompile
+    /// (`CacheStats::store_errors`).
+    pub const STORE_ERRORS: &str = "ks_core.store.errors";
     /// Device faults injected by an active `ks_fault::FaultPlan`.
     pub const SIM_FAULTS_INJECTED: &str = "ks_sim.faults_injected";
     /// GPU-PF refreshes that degraded a module to the generic

@@ -1,0 +1,163 @@
+//! Persistent artifact store: warm starts across process restarts.
+//!
+//! The drill runs three phases over one store directory, using a fresh
+//! [`Compiler`] per phase (each phase therefore starts with an empty
+//! in-memory cache, the process-restart analogue):
+//!
+//! 1. **cold** — compile the three app kernels; every compile is a disk
+//!    miss that publishes a content-addressed record;
+//! 2. **warm restart** — a new compiler on the same directory resolves
+//!    all three kernels from disk: zero compiles, byte-identical PTX;
+//! 3. **corruption** — one record gets a byte flipped on disk; the
+//!    loader must reject it on checksum, recompile gracefully (never
+//!    panic, never fail), count exactly one `store_error`, and still
+//!    produce byte-identical output.
+//!
+//! The summary lines at the end are pinned by ci.sh greps; the process
+//! exits non-zero on any violation.
+//!
+//! Run with: `cargo run --release --example persistent_store`
+
+use ks_core::{Binary, Compiler, Defines};
+use ks_sim::DeviceConfig;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn kernels() -> Vec<(&'static str, Defines)> {
+    vec![
+        (
+            ks_apps::template_match::KERNELS,
+            Defines::new()
+                .def("TILE_W", 16)
+                .def("TILE_H", 16)
+                .def("SHIFT_W", 16)
+                .def("NUM_TILES", 16)
+                .def("TEMPL_W", 64)
+                .def("TEMPL_H", 56)
+                .def("THREADS", 128),
+        ),
+        (
+            ks_apps::piv::KERNELS,
+            Defines::new()
+                .def("RB", 4)
+                .def("THREADS", 64)
+                .def("MASK_W", 16)
+                .def("MASK_H", 16)
+                .def("OFFS_W", 9),
+        ),
+        (
+            ks_apps::backproj::KERNELS,
+            Defines::new().def("PPL", 8).def("ZB", 4).def("VOL_N", 32),
+        ),
+    ]
+}
+
+fn fresh_compiler(dir: &Path) -> Compiler {
+    Compiler::new(DeviceConfig::tesla_c2070())
+        .with_store(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("persistent_store: cannot open store at {dir:?}: {e}");
+            std::process::exit(1);
+        })
+}
+
+fn compile_all(c: &Compiler) -> Vec<Arc<Binary>> {
+    kernels()
+        .iter()
+        .map(|(src, defs)| {
+            c.compile(src, defs).unwrap_or_else(|e| {
+                eprintln!("persistent_store: compile failed: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect()
+}
+
+fn record_files(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return found;
+    };
+    for e in entries.flatten() {
+        let path = e.path();
+        if path.is_dir() {
+            found.extend(record_files(&path));
+        } else if path.extension().is_some_and(|x| x == "ksb") {
+            found.push(path);
+        }
+    }
+    found
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("persistent_store: FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ks-persistent-store-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = kernels().len() as u64;
+
+    // Phase 1: cold. Every kernel compiles and publishes a record.
+    let cold = fresh_compiler(&dir);
+    let cold_bins = compile_all(&cold);
+    let s = cold.cache_stats();
+    if (s.misses, s.disk_misses, s.disk_hits, s.store_errors) != (n, n, 0, 0) {
+        fail(&format!("cold phase accounting off: {s}"));
+    }
+    let records = record_files(&dir);
+    if records.len() as u64 != n {
+        fail(&format!("expected {n} records, found {}", records.len()));
+    }
+    println!("cold: {n} compiles, {n} records");
+
+    // Phase 2: warm restart. A fresh compiler (empty in-memory cache)
+    // must serve everything from disk, byte-identical.
+    let warm = fresh_compiler(&dir);
+    let warm_bins = compile_all(&warm);
+    let s = warm.cache_stats();
+    if (s.misses, s.disk_hits, s.store_errors) != (0, n, 0) {
+        fail(&format!("warm phase accounting off: {s}"));
+    }
+    if s.total_compile_micros != 0 {
+        fail(&format!("warm phase paid compile time: {s}"));
+    }
+    for (a, b) in cold_bins.iter().zip(&warm_bins) {
+        if a.ptx != b.ptx {
+            fail("reloaded PTX differs from the compiled PTX");
+        }
+    }
+    println!("warm restart: 0 compiles, {n}/{n} disk hits, identical: ok");
+
+    // Phase 3: corruption. Flip one byte in one record; the checksum
+    // must reject it and the compiler must recompile gracefully.
+    let victim = &records[0];
+    let mut bytes = std::fs::read(victim).unwrap_or_else(|e| {
+        fail(&format!("cannot read record {victim:?}: {e}"));
+    });
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xA5;
+    if let Err(e) = std::fs::write(victim, &bytes) {
+        fail(&format!("cannot corrupt record {victim:?}: {e}"));
+    }
+    let repaired = fresh_compiler(&dir);
+    let repaired_bins = compile_all(&repaired);
+    let s = repaired.cache_stats();
+    if s.store_errors != 1 {
+        fail(&format!("expected exactly 1 store error: {s}"));
+    }
+    if (s.misses, s.disk_hits) != (1, n - 1) {
+        fail(&format!("corruption phase accounting off: {s}"));
+    }
+    for (a, b) in cold_bins.iter().zip(&repaired_bins) {
+        if a.ptx != b.ptx {
+            fail("post-corruption PTX differs from the original");
+        }
+    }
+    println!("corruption: recovered 1/1, store errors: 1, identical: ok");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("persistent store drill: ok");
+}
