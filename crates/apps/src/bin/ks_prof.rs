@@ -35,8 +35,10 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: ks-prof [--kernel template_match|piv|backproj] [--device c1060|c2070]\n\
-         \x20             [--variant sk|re] [--export text|jsonl|csv|flame|chrome]\n\
-         \x20             [--out FILE] [--quick] [--selfcheck]"
+         \x20             [--variant sk|re] [--export text|jsonl|csv|flame|chrome|prom]\n\
+         \x20             [--out FILE] [--quick] [--selfcheck]\n\
+         \x20      ks-prof watch [--ticks N] [--window N] [--watchdog BASELINE]\n\
+         \x20             [--drill-breach] [--sink-cap N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +53,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
+    }
+    if args.first().map(String::as_str) == Some("watch") {
+        watch_main(&args[1..]);
+        return;
     }
     let kernel = arg_value(&args, "--kernel").unwrap_or_else(|| "template_match".into());
     let device = arg_value(&args, "--device").unwrap_or_else(|| "c2070".into());
@@ -123,6 +129,10 @@ fn main() {
             ("async tier", async_check(&compiler)),
             ("promotion", promotion_check(&compiler)),
             ("store", store_check(compiler.device())),
+            ("scope roll-up", scope_check(&compiler)),
+            ("watchdog", watchdog_check()),
+            ("prom export", prom_check(&profile)),
+            ("sink", sink_check()),
         ];
         for (what, result) in checks {
             if let Err(e) = result {
@@ -132,7 +142,7 @@ fn main() {
         }
         eprintln!(
             "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches, \
-             async+promotion+store parity)",
+             async+promotion+store+scope+watchdog+prom+sink parity)",
             profile.compiles.len(),
             profile.spans.len(),
             profile.exec.launches
@@ -579,4 +589,325 @@ fn promotion_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Prove the labeled-scope roll-up: two labeled pipelines publish known
+/// iteration counts, and the sum of the per-pipeline cells must equal
+/// both the expected publishes and the global counter's delta, exactly.
+fn scope_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
+    let reg = ks_trace::registry();
+    let g0 = reg.counter_value(ks_trace::names::PF_ITERATIONS);
+    let run_labeled = |label: &str, iters: u64| -> Result<(), String> {
+        let mut p = gpu_pf::Pipeline::new(compiler.clone(), 1 << 20);
+        p.set_label(label);
+        p.refresh().map_err(|e| e.to_string())?;
+        p.run(iters).map_err(|e| e.to_string())
+    };
+    run_labeled("sc-a", 5)?;
+    run_labeled("sc-b", 3)?;
+    let g1 = reg.counter_value(ks_trace::names::PF_ITERATIONS);
+    if g1 - g0 != 8 {
+        return Err(format!("global gpu_pf.iterations delta {} != 8", g1 - g0));
+    }
+    let a = reg.counter_value("gpu_pf.iterations{pipeline=sc-a}");
+    let b = reg.counter_value("gpu_pf.iterations{pipeline=sc-b}");
+    if (a, b) != (5, 3) {
+        return Err(format!("scoped cells (sc-a={a}, sc-b={b}) != (5, 3)"));
+    }
+    // Sum over every single-label pipeline cell (these two are the only
+    // labeled pipelines in this process) == the global delta: the
+    // roll-up is exact, not approximate.
+    let snap = reg.snapshot();
+    let sum = ks_trace::scoped_counter_sum(&snap, "gpu_pf.iterations", "pipeline");
+    if sum != 8 {
+        return Err(format!(
+            "sum of pipeline-scoped gpu_pf.iterations cells {sum} != global delta 8"
+        ));
+    }
+    Ok(())
+}
+
+/// Watchdog dry run on a private registry: a clean window raises
+/// nothing, a seeded spike breaches exactly once (edge-triggered, no
+/// re-fire), and fresh clean samples recover exactly once.
+fn watchdog_check() -> Result<(), String> {
+    let r = ks_trace::Registry::new();
+    let baseline = ks_trace::Baseline::parse("total 1000 2000\n")?;
+    let mut dog = ks_trace::Watchdog::standard(baseline, ks_trace::SloPolicy::default());
+    let mut hist = ks_trace::History::new(4);
+    let h = r.histogram(ks_trace::names::COMPILE_TOTAL_US);
+    h.record(1500);
+    hist.tick_at(&r, 0);
+    let e = dog.evaluate(&hist.window(1));
+    if !e.is_empty() {
+        return Err(format!("clean window raised events: {e:?}"));
+    }
+    h.record(30_000_000);
+    hist.tick_at(&r, 1000);
+    let e = dog.evaluate(&hist.window(1));
+    match e.as_slice() {
+        [ks_trace::SloEvent::Breach(b)] if b.budget_us == 20_000 => {}
+        other => return Err(format!("spike window: want one breach, got {other:?}")),
+    }
+    h.record(30_000_000);
+    hist.tick_at(&r, 2000);
+    if !dog.evaluate(&hist.window(1)).is_empty() {
+        return Err("breach re-fired while still over budget".into());
+    }
+    h.record(900);
+    hist.tick_at(&r, 3000);
+    let e = dog.evaluate(&hist.window(1));
+    if !matches!(e.as_slice(), [ks_trace::SloEvent::Recover { .. }]) {
+        return Err(format!("recovery window: want one recover, got {e:?}"));
+    }
+    Ok(())
+}
+
+/// Render the profile as Prometheus exposition text and schema-check it.
+fn prom_check(p: &KernelProfile) -> Result<(), String> {
+    let text = ExportFormat::Prom.exporter().profile(p);
+    ks_trace::validate_prometheus(&text)?;
+    if !text.contains("# TYPE") {
+        return Err("prometheus exposition has no TYPE metadata".into());
+    }
+    Ok(())
+}
+
+/// Bounded-sink overflow drill on a private registry: overflow drops the
+/// newest offers, keeps the oldest, and self-accounts every drop.
+fn sink_check() -> Result<(), String> {
+    let r = ks_trace::Registry::new();
+    let sink = ks_trace::StreamSink::with_registry(4, &r);
+    for i in 0..12 {
+        sink.offer(format!("{{\"i\":{i}}}"));
+    }
+    if (sink.pending(), sink.dropped()) != (4, 8) {
+        return Err(format!(
+            "sink bounds off: pending {} dropped {}",
+            sink.pending(),
+            sink.dropped()
+        ));
+    }
+    if r.counter_value(ks_trace::names::SINK_DROPPED) != 8 {
+        return Err("registry drop counter disagrees with sink.dropped()".into());
+    }
+    let lines = sink.drain();
+    if lines.first().map(String::as_str) != Some("{\"i\":0}") {
+        return Err(format!("oldest line did not survive overflow: {lines:?}"));
+    }
+    Ok(())
+}
+
+// ---- `ks-prof watch`: live windowed telemetry over two pipelines ----
+
+/// Two concurrently running labeled pipelines with ~60x different
+/// per-iteration work, a rolling [`ks_trace::History`] ticked by the
+/// main thread, per-pipeline windowed p50/p95 readouts, and (when a
+/// baseline is available) the live SLO watchdog. `--drill-breach` seeds
+/// one synthetic latency spike mid-run to prove the breach fires
+/// exactly once; `--sink-cap` streams each tick's JSONL records through
+/// a bounded StreamSink to demonstrate overflow accounting.
+fn watch_main(args: &[String]) {
+    let parse_n = |name: &str, default: usize| -> usize {
+        arg_value(args, name)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("ks-prof: bad {name} value {v:?}");
+                    usage();
+                })
+            })
+            .unwrap_or(default)
+    };
+    let ticks = parse_n("--ticks", 8).max(2);
+    let window = parse_n("--window", 4).max(1);
+    let sink_cap = parse_n("--sink-cap", 0);
+    let drill = args.iter().any(|a| a == "--drill-breach");
+    let baseline_path = arg_value(args, "--watchdog");
+
+    let baseline_text = match &baseline_path {
+        Some(p) => Some(std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("ks-prof: cannot read baseline {p}: {e}");
+            std::process::exit(1);
+        })),
+        None => std::fs::read_to_string("ci/perf-baseline.txt").ok(),
+    };
+    let mut dog = baseline_text.map(|t| {
+        let baseline = ks_trace::Baseline::parse(&t).unwrap_or_else(|e| {
+            eprintln!("ks-prof: bad baseline: {e}");
+            std::process::exit(1);
+        });
+        ks_trace::Watchdog::standard(baseline, ks_trace::SloPolicy::default())
+    });
+    if drill && dog.is_none() {
+        eprintln!("ks-prof: --drill-breach needs a baseline (--watchdog FILE)");
+        std::process::exit(1);
+    }
+
+    let reg = ks_trace::registry();
+    let breach_counter = reg.counter(ks_trace::names::SLO_BREACHES);
+    let recover_counter = reg.counter(ks_trace::names::SLO_RECOVERIES);
+    let sink = (sink_cap > 0).then(|| ks_trace::StreamSink::new(sink_cap));
+    let mut offered = 0u64;
+
+    let compiler = std::sync::Arc::new(Compiler::new(DeviceConfig::tesla_c2070()));
+    let mut history = ks_trace::History::new(ticks.max(window));
+    let started = std::time::Instant::now();
+
+    // Each worker owns one labeled pipeline; the main thread hands out
+    // per-tick iteration batches so every tick covers a known amount of
+    // work. p1 simulates ~60x the threads of p0, so their windowed
+    // iteration p95s are unambiguously distinct.
+    let spawn_worker = |label: &'static str, n: u32, threads: u32| {
+        let compiler = compiler.clone();
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<u64>();
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel::<Result<(), String>>();
+        let handle = std::thread::spawn(move || {
+            let build = || -> Result<gpu_pf::Pipeline, String> {
+                let mut p = gpu_pf::Pipeline::new(compiler, 32 << 20);
+                p.set_label(label);
+                let nparam = p.int_param("N", n as i64);
+                let ext = p.extent_param("buf", [n, 1, 1], 4);
+                let dev = p.global_memory(ext);
+                let m = p.module(
+                    PROBE_KERNEL,
+                    vec![("N", gpu_pf::MacroBinding::Param(nparam))],
+                );
+                let k = p.kernel(m, "probe");
+                let grid = p.triplet_param("grid", [n.div_ceil(threads), 1, 1]);
+                let blk = p.triplet_param("block", [threads, 1, 1]);
+                let every = p.schedule_param("every", 1, 0);
+                p.exec(
+                    "probe",
+                    k,
+                    grid,
+                    blk,
+                    None,
+                    vec![gpu_pf::Arg::Mem(dev), gpu_pf::Arg::Param(nparam)],
+                    every,
+                );
+                p.refresh().map_err(|e| e.to_string())?;
+                Ok(p)
+            };
+            let mut p = match build() {
+                Ok(p) => p,
+                Err(e) => {
+                    let _ = ack_tx.send(Err(format!("{label}: {e}")));
+                    return;
+                }
+            };
+            let _ = ack_tx.send(Ok(()));
+            while let Ok(iters) = cmd_rx.recv() {
+                if iters == 0 {
+                    break;
+                }
+                let _ = ack_tx.send(p.run(iters).map_err(|e| format!("{label}: {e}")));
+            }
+        });
+        (cmd_tx, ack_rx, handle)
+    };
+    let workers = [spawn_worker("p0", 256, 64), spawn_worker("p1", 16384, 256)];
+    for (_, ack, _) in &workers {
+        if let Err(e) = ack.recv().unwrap_or_else(|e| Err(e.to_string())) {
+            eprintln!("ks-prof: watch setup failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut breaches = 0u64;
+    let mut recoveries = 0u64;
+    for tick in 1..=ticks {
+        for (cmd, _, _) in &workers {
+            let _ = cmd.send(4);
+        }
+        for (_, ack, _) in &workers {
+            if let Err(e) = ack.recv().unwrap_or_else(|e| Err(e.to_string())) {
+                eprintln!("ks-prof: watch iteration failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if drill && tick == ticks / 2 {
+            // Seeded spike: far over any plausible compile budget, so
+            // the windowed p95 breaches on this tick and only this
+            // excursion.
+            let h = reg.histogram(ks_trace::names::COMPILE_TOTAL_US);
+            for _ in 0..8 {
+                h.record(60_000_000);
+            }
+        }
+        history.tick_at(reg, started.elapsed().as_millis() as u64);
+        let w = history.window(window);
+        for label in ["p0", "p1"] {
+            let iters = w.counter(&format!("gpu_pf.iterations{{pipeline={label}}}"));
+            let line = match w.summary(&format!("gpu_pf.iteration_us{{pipeline={label}}}")) {
+                Some(s) => format!(
+                    "[tick {tick}] pipeline={label} window={}t iters={iters} \
+                     iter_p50_us={} iter_p95_us={}",
+                    w.ticks, s.p50, s.p95
+                ),
+                None => format!(
+                    "[tick {tick}] pipeline={label} window={}t iters={iters} (no samples)",
+                    w.ticks
+                ),
+            };
+            println!("{line}");
+            if let Some(sink) = &sink {
+                offered += 1;
+                sink.offer(format!(
+                    "{{\"type\":\"watch\",\"tick\":{tick},\"pipeline\":\"{label}\",\
+                     \"iters\":{iters}}}"
+                ));
+            }
+        }
+        if let Some(dog) = &mut dog {
+            for event in dog.evaluate(&w) {
+                match &event {
+                    ks_trace::SloEvent::Breach(_) => {
+                        breaches += 1;
+                        breach_counter.inc();
+                    }
+                    ks_trace::SloEvent::Recover { .. } => {
+                        recoveries += 1;
+                        recover_counter.inc();
+                    }
+                }
+                println!("{event}");
+            }
+        }
+    }
+    for (cmd, _, _) in &workers {
+        let _ = cmd.send(0);
+    }
+    for (_, _, handle) in workers {
+        let _ = handle.join();
+    }
+
+    let w = history.window(window);
+    let p0 = w
+        .summary("gpu_pf.iteration_us{pipeline=p0}")
+        .unwrap_or_default();
+    let p1 = w
+        .summary("gpu_pf.iteration_us{pipeline=p1}")
+        .unwrap_or_default();
+    let distinct = p1.p95 > p0.p95 && p0.count > 0;
+    println!(
+        "watch: pipeline=p0 p95_us={} pipeline=p1 p95_us={} distinct: {}",
+        p0.p95,
+        p1.p95,
+        if distinct { "ok" } else { "NOT-DISTINCT" }
+    );
+    if dog.is_some() {
+        println!("watch: slo breaches={breaches} recoveries={recoveries}");
+    }
+    if let Some(sink) = &sink {
+        let drained = sink.drain().len() as u64;
+        let dropped = sink.dropped();
+        println!(
+            "watch: sink offered={offered} drained={drained} dropped={dropped} conserved: {}",
+            if drained + dropped == offered {
+                "ok"
+            } else {
+                "LOST"
+            }
+        );
+    }
 }

@@ -168,6 +168,7 @@ fn main() {
             format!("{:.1}x", b50 as f64 / t50.max(1) as f64),
             format!("{promoted}/{}", defs.len()),
         ]);
+        table.tick(); // one telemetry window per kernel
     }
     table.finish();
 }

@@ -43,6 +43,7 @@ fn main() {
         }
         let stats = sweep.compiler.cache_stats();
         println!("[cache] {dev_name}: {stats}");
+        table.tick(); // one telemetry window per device sweep
         total_misses += stats.misses;
         total_disk_hits += stats.disk_hits;
     }

@@ -70,22 +70,40 @@ pub struct Table {
     /// Registry state when the table was opened; `finish()` diffs against
     /// it so the sidecar covers exactly this table's work.
     baseline: ks_trace::MetricsSnapshot,
+    /// Rolling tick history over the same interval: the first tick is
+    /// the baseline, [`Table::tick`] adds phase boundaries, and
+    /// `finish()` closes the last window — giving the sidecar windowed
+    /// histogram columns (dwell/promotion p50s, last-window iteration
+    /// p95) alongside the cumulative counters.
+    history: std::sync::Mutex<ks_trace::History>,
 }
 
 impl Table {
     pub fn new(name: &str, title: &str, headers: &[&str]) -> Table {
+        let mut history = ks_trace::History::new(256);
+        history.tick_at(ks_trace::registry(), 0);
         Table {
             name: name.to_string(),
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             baseline: ks_trace::registry().snapshot(),
+            history: std::sync::Mutex::new(history),
         }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells);
+    }
+
+    /// Close the current telemetry window (e.g. at a per-device or
+    /// per-phase boundary). The sidecar's windowed columns then
+    /// distinguish the most recent window from the whole-table span.
+    pub fn tick(&self) {
+        let mut h = self.history.lock().unwrap();
+        let at = h.len() as u64 * 1000;
+        h.tick_at(ks_trace::registry(), at);
     }
 
     /// Print the table and write the CSV. Returns the CSV path.
@@ -189,15 +207,37 @@ impl Table {
         } else {
             "blocking"
         };
+        // Windowed histogram columns: close the final tick, then read
+        // the whole-table span (every tick since the baseline) and the
+        // most recent window. Dwell and promotion-latency p50s come
+        // from the tiered-execution instrumentation; zero when the
+        // table ran purely blocking refreshes.
+        let (time_in_generic_p50, promotion_latency_p50, windows, window_iter_p95_us) = {
+            let mut h = self.history.lock().unwrap();
+            let at = h.len() as u64 * 1000;
+            h.tick_at(ks_trace::registry(), at);
+            let windows = h.len().saturating_sub(1).max(1);
+            let span = h.window(windows);
+            let last = h.window(1);
+            (
+                span.quantile(&ks_trace::names::pf_tier_dwell_us("generic"), 0.5)
+                    .unwrap_or(0),
+                span.quantile(ks_trace::names::PF_PROMOTION_LATENCY_US, 0.5)
+                    .unwrap_or(0),
+                windows,
+                last.quantile(ks_trace::names::PF_ITERATION_US, 0.95)
+                    .unwrap_or(0),
+            )
+        };
         let side_path = dir.join(format!("{}_cache.csv", self.name));
         if let Ok(mut f) = std::fs::File::create(&side_path) {
             let _ = writeln!(
                 f,
-                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier"
+                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier,time_in_generic_p50,promotion_latency_p50,windows,window_iter_p95_us"
             );
             let _ = writeln!(
                 f,
-                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{disk_hits},{disk_misses},{store_errors},{tier}"
+                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{disk_hits},{disk_misses},{store_errors},{tier},{time_in_generic_p50},{promotion_latency_p50},{windows},{window_iter_p95_us}"
             );
             println!("[csv] {}", side_path.display());
         }
@@ -787,10 +827,10 @@ mod tests {
         let mut lines = side_text.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier"
+            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier,time_in_generic_p50,promotion_latency_p50,windows,window_iter_p95_us"
         );
         let vals: Vec<&str> = lines.next().unwrap().split(',').collect();
-        assert_eq!(vals.len(), 16);
+        assert_eq!(vals.len(), 20);
         let hits: u64 = vals[0].parse().unwrap();
         let misses: u64 = vals[1].parse().unwrap();
         assert!(misses >= 1, "compile should register a miss: {side_text}");
@@ -808,6 +848,31 @@ mod tests {
             vals[15] == "blocking" || vals[15] == "tiered",
             "{side_text}"
         );
+        // Windowed columns: p50s and the last-window p95 parse as
+        // integers, and at least the baseline→finish window exists.
+        for v in [vals[16], vals[17], vals[19]] {
+            let _: u64 = v.parse().unwrap();
+        }
+        let windows: u64 = vals[18].parse().unwrap();
+        assert!(windows >= 1, "{side_text}");
+    }
+
+    #[test]
+    fn table_ticks_partition_sidecar_windows() {
+        let dir = std::env::temp_dir().join("ks-bench-test-ticks");
+        std::env::set_var("KS_BENCH_DIR", &dir);
+        let mut t = Table::new("unit_test_ticked", "Ticked", &["a"]);
+        t.tick();
+        t.tick();
+        t.row(vec!["1".into()]);
+        let path = t.finish();
+        std::env::remove_var("KS_BENCH_DIR");
+        let side = path.with_file_name("unit_test_ticked_cache.csv");
+        let side_text = std::fs::read_to_string(side).unwrap();
+        let vals: Vec<&str> = side_text.lines().nth(1).unwrap().split(',').collect();
+        let windows: u64 = vals[18].parse().unwrap();
+        // Two explicit ticks + the finish tick, baseline excluded.
+        assert_eq!(windows, 3, "{side_text}");
     }
 
     #[test]

@@ -384,7 +384,7 @@ pub(crate) fn spawn(
     // `hits + misses == requests` registry parity holds exactly as it
     // does for the blocking path.
     if let Some(bin) = compiler.cache.try_get(key, compiler.store.as_ref()) {
-        crate::trace_metrics().requests.inc();
+        compiler.metrics.requests.inc();
         inner.fulfill(&stats, TicketOutcome::Completed, Ok(bin));
         return CompileTicket { inner, stats };
     }

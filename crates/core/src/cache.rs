@@ -26,14 +26,16 @@ use ks_store::Fingerprint;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Pre-resolved handles into the process-wide ks-trace registry. Every
-/// increment below pairs a local [`Counters`] atomic with the matching
-/// registry counter, so `CacheStats` and the exported metrics agree
-/// exactly (for a single compiler; the registry aggregates across
-/// compilers).
+/// Pre-resolved handles into the ks-trace registry. Every increment
+/// below pairs a local [`Counters`] atomic with the matching registry
+/// counter, so `CacheStats` and the exported metrics agree exactly (for
+/// a single compiler; the registry aggregates across compilers). Built
+/// from a [`ks_trace::Scope`] so a labeled compiler's cache traffic is
+/// published under its label set too — scoped handles chain into the
+/// unlabeled globals, keeping the registry-wide invariants exact.
 struct TraceCounters {
     hits: ks_trace::Counter,
     misses: ks_trace::Counter,
@@ -48,24 +50,22 @@ struct TraceCounters {
     store_errors: ks_trace::Counter,
 }
 
-fn trace_counters() -> &'static TraceCounters {
-    static HANDLES: OnceLock<TraceCounters> = OnceLock::new();
-    HANDLES.get_or_init(|| {
-        let r = ks_trace::registry();
+impl TraceCounters {
+    fn from_scope(scope: &ks_trace::Scope<'_>) -> TraceCounters {
         TraceCounters {
-            hits: r.counter(ks_trace::names::CACHE_HITS),
-            misses: r.counter(ks_trace::names::CACHE_MISSES),
-            evictions: r.counter(ks_trace::names::CACHE_EVICTIONS),
-            dedup_waits: r.counter(ks_trace::names::CACHE_DEDUP_WAITS),
-            failures: r.counter(ks_trace::names::CACHE_FAILURES),
-            quarantined: r.counter(ks_trace::names::CACHE_QUARANTINED),
-            retries: r.counter(ks_trace::names::COMPILE_RETRIES),
-            breaker_opens: r.counter(ks_trace::names::BREAKER_OPEN),
-            disk_hits: r.counter(ks_trace::names::STORE_DISK_HITS),
-            disk_misses: r.counter(ks_trace::names::STORE_DISK_MISSES),
-            store_errors: r.counter(ks_trace::names::STORE_ERRORS),
+            hits: scope.counter(ks_trace::names::CACHE_HITS),
+            misses: scope.counter(ks_trace::names::CACHE_MISSES),
+            evictions: scope.counter(ks_trace::names::CACHE_EVICTIONS),
+            dedup_waits: scope.counter(ks_trace::names::CACHE_DEDUP_WAITS),
+            failures: scope.counter(ks_trace::names::CACHE_FAILURES),
+            quarantined: scope.counter(ks_trace::names::CACHE_QUARANTINED),
+            retries: scope.counter(ks_trace::names::COMPILE_RETRIES),
+            breaker_opens: scope.counter(ks_trace::names::BREAKER_OPEN),
+            disk_hits: scope.counter(ks_trace::names::STORE_DISK_HITS),
+            disk_misses: scope.counter(ks_trace::names::STORE_DISK_MISSES),
+            store_errors: scope.counter(ks_trace::names::STORE_ERRORS),
         }
-    })
+    }
 }
 
 pub(crate) type CompileResult = Result<Arc<Binary>, CompileError>;
@@ -173,6 +173,7 @@ pub(crate) struct BinaryCache {
     shards: Box<[Mutex<Shard>]>,
     tick: AtomicU64,
     counters: Counters,
+    trace: TraceCounters,
 }
 
 /// What the probe decided this call is.
@@ -208,7 +209,15 @@ impl BinaryCache {
             shards,
             tick: AtomicU64::new(0),
             counters: Counters::default(),
+            trace: TraceCounters::from_scope(&ks_trace::registry().scoped(&[])),
         }
+    }
+
+    /// Re-point the registry handles at a labeled scope
+    /// ([`crate::Compiler::with_metric_labels`]). Configure before
+    /// compiling; already-published increments stay where they landed.
+    pub(crate) fn set_metric_scope(&mut self, scope: &ks_trace::Scope<'_>) {
+        self.trace = TraceCounters::from_scope(scope);
     }
 
     fn shard(&self, key: Fingerprint) -> &Mutex<Shard> {
@@ -244,17 +253,17 @@ impl BinaryCache {
 
     fn count_hit(&self) {
         self.counters.hits.fetch_add(1, Ordering::Relaxed);
-        trace_counters().hits.inc();
+        self.trace.hits.inc();
     }
 
     fn count_disk_hit(&self) {
         self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
-        trace_counters().disk_hits.inc();
+        self.trace.disk_hits.inc();
     }
 
     fn count_store_error(&self) {
         self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
-        trace_counters().store_errors.inc();
+        self.trace.store_errors.inc();
     }
 
     /// Insert a committed binary and enforce the LRU bound. Caller holds
@@ -278,7 +287,7 @@ impl BinaryCache {
                     .expect("nonempty over capacity");
                 shard.entries.remove(&lru);
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                trace_counters().evictions.inc();
+                self.trace.evictions.inc();
             }
         }
     }
@@ -387,15 +396,15 @@ impl BinaryCache {
             Claim::FastFail(err) => {
                 self.counters.failures.fetch_add(1, Ordering::Relaxed);
                 self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
-                trace_counters().failures.inc();
-                trace_counters().quarantined.inc();
+                self.trace.failures.inc();
+                self.trace.quarantined.inc();
                 Err(err)
             }
             Claim::Follow(flight) => {
                 let t0 = Instant::now();
                 let result = flight.wait();
                 self.counters.dedup_waits.fetch_add(1, Ordering::Relaxed);
-                trace_counters().dedup_waits.inc();
+                self.trace.dedup_waits.inc();
                 self.counters
                     .dedup_wait_micros
                     .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -406,7 +415,7 @@ impl BinaryCache {
                     self.count_hit();
                 } else {
                     self.counters.failures.fetch_add(1, Ordering::Relaxed);
-                    trace_counters().failures.inc();
+                    self.trace.failures.inc();
                 }
                 result
             }
@@ -430,7 +439,7 @@ impl BinaryCache {
                     }
                     Some(Ok(None)) => {
                         self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
-                        trace_counters().disk_misses.inc();
+                        self.trace.disk_misses.inc();
                         run_attempt(&compile, res)
                     }
                     Some(Err(_)) => {
@@ -453,7 +462,7 @@ impl BinaryCache {
                         std::thread::sleep(delay);
                     }
                     self.counters.retries.fetch_add(1, Ordering::Relaxed);
-                    trace_counters().retries.inc();
+                    self.trace.retries.inc();
                     result = run_attempt(&compile, res);
                 }
                 std::mem::forget(guard);
@@ -471,7 +480,7 @@ impl BinaryCache {
                                 self.count_disk_hit();
                             } else {
                                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                                trace_counters().misses.inc();
+                                self.trace.misses.inc();
                                 self.counters.compile_micros.fetch_add(
                                     bin.compile_time.as_micros() as u64,
                                     Ordering::Relaxed,
@@ -481,7 +490,7 @@ impl BinaryCache {
                         }
                         Err(e) => {
                             self.counters.failures.fetch_add(1, Ordering::Relaxed);
-                            trace_counters().failures.inc();
+                            self.trace.failures.inc();
                             self.record_failure_locked(&mut shard, key, e, res);
                         }
                     }
@@ -524,7 +533,7 @@ impl BinaryCache {
         if breaker {
             fe.until = now + res.breaker_cooldown;
             self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
-            trace_counters().breaker_opens.inc();
+            self.trace.breaker_opens.inc();
         } else {
             fe.until = now + res.quarantine_ttl;
         }
@@ -573,7 +582,7 @@ impl Drop for FlightGuard<'_> {
             let mut shard = self.cache.shard(self.key).lock();
             shard.inflight.remove(&self.key);
             self.cache.counters.failures.fetch_add(1, Ordering::Relaxed);
-            trace_counters().failures.inc();
+            self.cache.trace.failures.inc();
             self.cache
                 .record_failure_locked(&mut shard, self.key, &err, self.res);
         }

@@ -48,7 +48,7 @@ use ks_codegen::CodegenOptions;
 use ks_sim::{DeviceConfig, RegAlloc};
 use ks_store::StableHasher;
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 mod background;
@@ -63,24 +63,24 @@ pub use store::{BINARY_SCHEMA_VERSION, PASS_PIPELINE};
 
 /// Pre-resolved ks-trace registry handles for the compile pipeline.
 /// Counters and histograms are always on (atomic updates only); spans
-/// are separately gated by `ks_trace::set_enabled`.
+/// are separately gated by `ks_trace::set_enabled`. Built from a
+/// [`ks_trace::Scope`] — unlabeled by default, or a labeled view when
+/// the compiler was configured with [`Compiler::with_metric_labels`];
+/// scoped handles chain into the unlabeled globals, so the registry-
+/// wide `hits + misses == requests` style invariants stay exact.
 struct TraceMetrics {
     requests: ks_trace::Counter,
-    total_us: ks_trace::Histogram,
     phases: [(&'static str, ks_trace::Histogram); 8],
     verify_checks: ks_trace::Counter,
     verify_diffs: ks_trace::Counter,
     verify_inconclusive: ks_trace::Counter,
 }
 
-fn trace_metrics() -> &'static TraceMetrics {
-    static HANDLES: OnceLock<TraceMetrics> = OnceLock::new();
-    HANDLES.get_or_init(|| {
-        let r = ks_trace::registry();
-        let phase = |name| r.histogram(&ks_trace::names::compile_phase_us(name));
+impl TraceMetrics {
+    fn from_scope(scope: &ks_trace::Scope<'_>) -> TraceMetrics {
+        let phase = |name| scope.histogram(&ks_trace::names::compile_phase_us(name));
         TraceMetrics {
-            requests: r.counter(ks_trace::names::COMPILE_REQUESTS),
-            total_us: r.histogram(ks_trace::names::COMPILE_TOTAL_US),
+            requests: scope.counter(ks_trace::names::COMPILE_REQUESTS),
             phases: [
                 ("preproc", phase("preproc")),
                 ("parse", phase("parse")),
@@ -91,14 +91,11 @@ fn trace_metrics() -> &'static TraceMetrics {
                 ("verify", phase("verify")),
                 ("regalloc", phase("regalloc")),
             ],
-            verify_checks: r.counter(ks_trace::names::VERIFY_CHECKS),
-            verify_diffs: r.counter(ks_trace::names::VERIFY_DIFFS),
-            verify_inconclusive: r.counter(ks_trace::names::VERIFY_INCONCLUSIVE),
+            verify_checks: scope.counter(ks_trace::names::VERIFY_CHECKS),
+            verify_diffs: scope.counter(ks_trace::names::VERIFY_DIFFS),
+            verify_inconclusive: scope.counter(ks_trace::names::VERIFY_INCONCLUSIVE),
         }
-    })
-}
-
-impl TraceMetrics {
+    }
     /// Publish one successful (miss-path) compilation's phase breakdown.
     fn record_phases(&self, m: &CompileMetrics) {
         for (name, hist) in &self.phases {
@@ -534,6 +531,10 @@ pub struct Compiler {
     /// `spawned == completed + failed + cancelled` holds at quiescence
     /// even if the compiler is dropped mid-flight.
     async_stats: Arc<background::AsyncStatsCell>,
+    /// Label set for scoped metric publication
+    /// ([`Compiler::with_metric_labels`]); empty = unlabeled globals.
+    metric_labels: Vec<(String, String)>,
+    metrics: TraceMetrics,
 }
 
 impl Compiler {
@@ -549,7 +550,58 @@ impl Compiler {
             resilience: ResilienceConfig::default(),
             fault_plan: None,
             async_stats: Arc::new(background::AsyncStatsCell::default()),
+            metric_labels: Vec::new(),
+            metrics: TraceMetrics::from_scope(&ks_trace::registry().scoped(&[])),
         }
+    }
+
+    /// Publish this compiler's metrics under a labeled scope — e.g.
+    /// `[("service", "pf")]` registers `ks_core.compile.requests{service=pf}`
+    /// alongside the unlabeled global (scoped handles chain into the
+    /// globals, so aggregates and invariants are unchanged). Configure
+    /// before compiling; increments already published stay where they
+    /// landed.
+    pub fn with_metric_labels(mut self, labels: &[(&str, &str)]) -> Compiler {
+        self.metric_labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let scope = self.metric_scope();
+        self.metrics = TraceMetrics::from_scope(&scope);
+        self.cache.set_metric_scope(&scope);
+        self
+    }
+
+    /// The label set metrics are published under (empty = unlabeled).
+    pub fn metric_labels(&self) -> &[(String, String)] {
+        &self.metric_labels
+    }
+
+    /// The ks-trace scope this compiler publishes into.
+    fn metric_scope(&self) -> ks_trace::Scope<'static> {
+        let labels: Vec<(&str, &str)> = self
+            .metric_labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        ks_trace::registry().scoped(&labels)
+    }
+
+    /// The end-to-end compile latency histogram for one variant:
+    /// `ks_core.compile.total_us{variant=...}` (plus this compiler's
+    /// labels), chained so a record also lands in the per-compiler and
+    /// global aggregates. Only touched on the miss path, where the
+    /// registry lookup is noise next to the compile itself.
+    fn variant_total_us(&self, defines: &Defines) -> ks_trace::Histogram {
+        let cl = defines.command_line();
+        let variant = if cl.is_empty() {
+            "generic"
+        } else {
+            cl.as_str()
+        };
+        self.metric_scope()
+            .scoped(&[("variant", variant)])
+            .histogram(ks_trace::names::COMPILE_TOTAL_US)
     }
 
     pub fn with_options(device: DeviceConfig, options: CodegenOptions) -> Compiler {
@@ -597,6 +649,7 @@ impl Compiler {
     /// any already-cached binaries are dropped.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Compiler {
         self.cache = cache::BinaryCache::new(Some(capacity.max(1)));
+        self.cache.set_metric_scope(&self.metric_scope());
         self
     }
 
@@ -792,8 +845,12 @@ impl Compiler {
                 let elapsed = start.elapsed();
                 bin.compile_time = elapsed;
                 bin.metrics.total = elapsed;
-                trace_metrics().total_us.record_duration_us(elapsed);
-                trace_metrics().record_phases(&bin.metrics);
+                // Total latency is recorded through a per-variant
+                // scope (labeled by the define set), whose handle chain
+                // also covers this compiler's scope and the unlabeled
+                // global — one record, every level of the roll-up.
+                self.variant_total_us(defines).record_duration_us(elapsed);
+                self.metrics.record_phases(&bin.metrics);
                 Arc::new(bin)
             });
             // Cooperative deadline: the work already ran, but a service
@@ -814,7 +871,7 @@ impl Compiler {
             result
         });
         if result.is_ok() {
-            trace_metrics().requests.inc();
+            self.metrics.requests.inc();
         }
         result
     }
@@ -1019,7 +1076,7 @@ impl Compiler {
         // Finalize translation validation: publish counters, then fail the
         // compile on any diff when the policy denies.
         if let Some(vcfg) = &self.validation {
-            let tm = trace_metrics();
+            let tm = &self.metrics;
             tm.verify_checks.add(vreport.checks as u64);
             tm.verify_diffs.add(vreport.error_count() as u64);
             tm.verify_inconclusive.add(vreport.warning_count() as u64);
@@ -1096,7 +1153,7 @@ impl Compiler {
             defines.items(),
             limits,
         );
-        let tm = trace_metrics();
+        let tm = &self.metrics;
         tm.verify_checks.add(report.checks as u64);
         tm.verify_diffs.add(report.error_count() as u64);
         tm.verify_inconclusive.add(report.warning_count() as u64);
@@ -1173,6 +1230,50 @@ mod tests {
         assert!(!sk.ptx.contains("setp"));
         assert_eq!(count(&re.ptx, "ld.param"), 5);
         assert_eq!(count(&sk.ptx, "ld.param"), 2);
+    }
+
+    #[test]
+    fn labeled_compiler_publishes_scoped_metrics() {
+        // Labels unique to this test: the registry is process-global
+        // and other tests move the unlabeled aggregates concurrently.
+        let c = Compiler::new(DeviceConfig::tesla_c1060())
+            .with_metric_labels(&[("service", "core-lbl-test")]);
+        let r = ks_trace::registry();
+        c.compile(MATHTEST, Defines::new()).unwrap();
+        c.compile(MATHTEST, Defines::new().def("LOOP_COUNT", 5))
+            .unwrap();
+        c.compile(MATHTEST, Defines::new()).unwrap(); // cache hit
+        assert_eq!(
+            r.counter_value("ks_core.compile.requests{service=core-lbl-test}"),
+            3
+        );
+        assert_eq!(
+            r.counter_value("ks_core.cache.hits{service=core-lbl-test}"),
+            1
+        );
+        assert_eq!(
+            r.counter_value("ks_core.cache.misses{service=core-lbl-test}"),
+            2
+        );
+        // Per-variant latency: one miss per variant cell, chained
+        // through the compiler scope.
+        let generic = r
+            .histogram("ks_core.compile.total_us{service=core-lbl-test,variant=generic}")
+            .snapshot();
+        assert_eq!(generic.count, 1);
+        let spec = r
+            .histogram("ks_core.compile.total_us{service=core-lbl-test,variant=-D_LOOP_COUNT_5}")
+            .snapshot();
+        assert_eq!(spec.count, 1);
+        let svc = r
+            .histogram("ks_core.compile.total_us{service=core-lbl-test}")
+            .snapshot();
+        assert_eq!(svc.count, 2);
+        assert_eq!(svc.sum, generic.sum + spec.sum);
+        // Scoped cells mirror the compiler's own stats exactly.
+        let stats = c.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
     }
 
     #[test]

@@ -70,10 +70,15 @@ use ks_sim::{launch, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport,
 use param::{ParamValue, StepParam};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::Instant;
 
-struct TraceCounters {
+/// Per-pipeline registry handles. Unlabeled pipelines publish straight
+/// to the global `gpu_pf.*` metrics; labeled ones
+/// ([`Pipeline::set_label`]) publish through a
+/// `{pipeline=<label>}` scope whose cells roll up exactly into the same
+/// globals, so fleet-wide aggregates are unchanged by labeling.
+struct PfMetrics {
     iterations: ks_trace::Counter,
     refreshes: ks_trace::Counter,
     fallback_generic: ks_trace::Counter,
@@ -82,23 +87,40 @@ struct TraceCounters {
     promotions: ks_trace::Counter,
     promotions_failed: ks_trace::Counter,
     promotions_superseded: ks_trace::Counter,
+    /// Ticket spawn → hot-swap latency (µs), the always-on histogram
+    /// twin of the `tier_swap` spans.
+    promotion_latency_us: ks_trace::Histogram,
+    /// Wall time per pipeline iteration (µs) — the windowed-p95 readout
+    /// `ks-prof watch` displays per pipeline.
+    iteration_us: ks_trace::Histogram,
 }
 
-fn trace_counters() -> &'static TraceCounters {
-    static TC: OnceLock<TraceCounters> = OnceLock::new();
-    TC.get_or_init(|| {
-        let r = ks_trace::registry();
-        TraceCounters {
-            iterations: r.counter(ks_trace::names::PF_ITERATIONS),
-            refreshes: r.counter(ks_trace::names::PF_REFRESHES),
-            fallback_generic: r.counter(ks_trace::names::PF_FALLBACK_GENERIC),
-            fallback_last_good: r.counter(ks_trace::names::PF_FALLBACK_LAST_GOOD),
-            launch_retries: r.counter(ks_trace::names::PF_LAUNCH_RETRIES),
-            promotions: r.counter(ks_trace::names::PF_PROMOTIONS),
-            promotions_failed: r.counter(ks_trace::names::PF_PROMOTIONS_FAILED),
-            promotions_superseded: r.counter(ks_trace::names::PF_PROMOTIONS_SUPERSEDED),
+impl PfMetrics {
+    fn from_scope(s: &ks_trace::Scope<'static>) -> PfMetrics {
+        PfMetrics {
+            iterations: s.counter(ks_trace::names::PF_ITERATIONS),
+            refreshes: s.counter(ks_trace::names::PF_REFRESHES),
+            fallback_generic: s.counter(ks_trace::names::PF_FALLBACK_GENERIC),
+            fallback_last_good: s.counter(ks_trace::names::PF_FALLBACK_LAST_GOOD),
+            launch_retries: s.counter(ks_trace::names::PF_LAUNCH_RETRIES),
+            promotions: s.counter(ks_trace::names::PF_PROMOTIONS),
+            promotions_failed: s.counter(ks_trace::names::PF_PROMOTIONS_FAILED),
+            promotions_superseded: s.counter(ks_trace::names::PF_PROMOTIONS_SUPERSEDED),
+            promotion_latency_us: s.histogram(ks_trace::names::PF_PROMOTION_LATENCY_US),
+            iteration_us: s.histogram(ks_trace::names::PF_ITERATION_US),
         }
-    })
+    }
+}
+
+/// Registry label value for one tier, used in the
+/// `gpu_pf.tier.dwell_us.<tier>` dwell histogram names.
+fn tier_label(t: Tier) -> &'static str {
+    match t {
+        Tier::Generic => "generic",
+        Tier::Promoting => "promoting",
+        Tier::Specialized => "specialized",
+        Tier::Failed => "failed",
+    }
 }
 
 /// Handle to a parameter.
@@ -271,6 +293,10 @@ enum Resource {
         degraded: bool,
         /// Which binary the module currently serves (tiered execution).
         tier: Tier,
+        /// When the module entered its current tier; each transition
+        /// records the elapsed dwell into the per-module
+        /// `gpu_pf.tier.dwell_us.*` histograms.
+        tier_since: Instant,
         /// The in-flight background specialization, if any.
         pending: Option<Pending>,
     },
@@ -400,12 +426,18 @@ pub struct Pipeline {
     degradations: Vec<Degradation>,
     refresh_mode: RefreshMode,
     promotion_stats: PromotionStats,
+    /// The metric scope this pipeline publishes through: global when
+    /// unlabeled, `{pipeline=<label>}` after [`Pipeline::set_label`].
+    scope: ks_trace::Scope<'static>,
+    metrics: PfMetrics,
+    label: Option<String>,
 }
 
 impl Pipeline {
     /// Specification phase begins: nothing is compiled or allocated yet.
     pub fn new(compiler: Arc<Compiler>, heap_bytes: u64) -> Pipeline {
         let dev = compiler.device().clone();
+        let scope = ks_trace::registry().scoped(&[]);
         Pipeline {
             compiler,
             state: DeviceState::new(dev, heap_bytes),
@@ -422,7 +454,64 @@ impl Pipeline {
             degradations: Vec::new(),
             refresh_mode: RefreshMode::Blocking,
             promotion_stats: PromotionStats::default(),
+            metrics: PfMetrics::from_scope(&scope),
+            scope,
+            label: None,
         }
+    }
+
+    /// Tag every metric this pipeline publishes with a
+    /// `{pipeline=<label>}` scope. Scoped cells roll up exactly into
+    /// the global `gpu_pf.*` aggregates, so labeling changes nothing
+    /// for fleet-wide readers; per-pipeline windows and dwell
+    /// histograms become separable. Call before `refresh()` — metrics
+    /// already published stay on the previous scope.
+    pub fn set_label(&mut self, label: &str) {
+        self.scope = ks_trace::registry().scoped(&[("pipeline", label)]);
+        self.metrics = PfMetrics::from_scope(&self.scope);
+        self.label = Some(label.to_string());
+    }
+
+    /// The metric label set by [`Pipeline::set_label`], if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The registry name `base` resolves to under this pipeline's
+    /// scope (e.g. `gpu_pf.iteration_us{pipeline=p0}`), for readers
+    /// that want this pipeline's cells out of a snapshot or window.
+    pub fn metric_name(&self, base: &str) -> String {
+        ks_trace::scoped_name(base, self.scope.labels())
+    }
+
+    /// Cumulative time-in-tier dwell histogram for `tier`, under this
+    /// pipeline's scope: how long modules sat on that tier before
+    /// transitioning off it. Derived from the same transitions the
+    /// `tier_swap` spans mark, but always-on.
+    pub fn tier_dwell(&self, tier: Tier) -> ks_trace::HistogramSnapshot {
+        self.scope
+            .histogram(&ks_trace::names::pf_tier_dwell_us(tier_label(tier)))
+            .snapshot()
+    }
+
+    /// Record the end of a module's dwell on its current tier and move
+    /// it to `new`, publishing the elapsed µs into the per-module,
+    /// per-pipeline, and global dwell histograms (the scope chain rolls
+    /// each sample up through all three).
+    fn record_tier_transition(&mut self, i: usize, new: Tier) {
+        let Resource::Module {
+            tier, tier_since, ..
+        } = &mut self.resources[i]
+        else {
+            unreachable!()
+        };
+        let old = std::mem::replace(tier, new);
+        let dwell = std::mem::replace(tier_since, Instant::now()).elapsed();
+        let module = i.to_string();
+        self.scope
+            .scoped(&[("module", &module)])
+            .histogram(&ks_trace::names::pf_tier_dwell_us(tier_label(old)))
+            .record_duration_us(dwell);
     }
 
     /// Every graceful degradation recorded by [`Pipeline::refresh`]
@@ -669,6 +758,7 @@ impl Pipeline {
             binary: None,
             degraded: false,
             tier: Tier::Generic,
+            tier_since: Instant::now(),
             pending: None,
         })
     }
@@ -1024,7 +1114,7 @@ impl Pipeline {
                 self.compiler.cache_stats()
             )
         });
-        trace_counters().refreshes.inc();
+        self.metrics.refreshes.inc();
         self.refreshed = true;
         Ok(())
     }
@@ -1086,21 +1176,19 @@ impl Pipeline {
             }
         }
         let Resource::Module {
-            binary,
-            degraded,
-            tier,
-            ..
+            binary, degraded, ..
         } = &mut self.resources[i]
         else {
             unreachable!()
         };
         *binary = Some(bin);
         *degraded = fallback.is_some();
-        *tier = match fallback {
+        let new_tier = match fallback {
             None => Tier::Specialized,
             Some(FallbackKind::Generic) => Tier::Generic,
             Some(FallbackKind::LastKnownGood) => Tier::Failed,
         };
+        self.record_tier_transition(i, new_tier);
         Ok(())
     }
 
@@ -1125,7 +1213,7 @@ impl Pipeline {
         };
         if let Some(stale) = pending.take() {
             stale.ticket.cancel();
-            trace_counters().promotions_superseded.inc();
+            self.metrics.promotions_superseded.inc();
             self.promotion_stats.superseded += 1;
             self.log.line_with(|| {
                 format!("module[{i}]: superseded in-flight promotion (parameters re-dirtied)")
@@ -1163,10 +1251,7 @@ impl Pipeline {
             )
         });
         let Resource::Module {
-            pending,
-            degraded,
-            tier,
-            ..
+            pending, degraded, ..
         } = &mut self.resources[i]
         else {
             unreachable!()
@@ -1177,7 +1262,7 @@ impl Pipeline {
             started: Instant::now(),
         });
         *degraded = false;
-        *tier = Tier::Promoting;
+        self.record_tier_transition(i, Tier::Promoting);
         Ok(())
     }
 
@@ -1201,18 +1286,18 @@ impl Pipeline {
             match result {
                 Ok(bin) => {
                     let Resource::Module {
-                        binary,
-                        degraded,
-                        tier,
-                        ..
+                        binary, degraded, ..
                     } = &mut self.resources[i]
                     else {
                         unreachable!()
                     };
                     *binary = Some(bin);
                     *degraded = false;
-                    *tier = Tier::Specialized;
-                    trace_counters().promotions.inc();
+                    self.record_tier_transition(i, Tier::Specialized);
+                    self.metrics.promotions.inc();
+                    self.metrics
+                        .promotion_latency_us
+                        .record_duration_us(p.started.elapsed());
                     self.promotion_stats.promoted += 1;
                     // Span covering spawn → hot-swap: the window the
                     // module served its interim tier.
@@ -1226,16 +1311,16 @@ impl Pipeline {
                     promoted += 1;
                 }
                 Err(e) => {
-                    let Resource::Module { degraded, tier, .. } = &mut self.resources[i] else {
+                    let Resource::Module { degraded, .. } = &mut self.resources[i] else {
                         unreachable!()
                     };
                     *degraded = true;
-                    *tier = Tier::Failed;
-                    trace_counters().promotions_failed.inc();
+                    self.record_tier_transition(i, Tier::Failed);
+                    self.metrics.promotions_failed.inc();
                     self.promotion_stats.failed += 1;
                     match p.fallback {
-                        FallbackKind::Generic => trace_counters().fallback_generic.inc(),
-                        FallbackKind::LastKnownGood => trace_counters().fallback_last_good.inc(),
+                        FallbackKind::Generic => self.metrics.fallback_generic.inc(),
+                        FallbackKind::LastKnownGood => self.metrics.fallback_last_good.inc(),
                     }
                     self.degradations.push(Degradation {
                         module: i,
@@ -1296,7 +1381,7 @@ impl Pipeline {
         // one was actually specialized.
         if !defs.is_empty() {
             if let Ok(generic) = self.compiler.compile(source, Defines::new()) {
-                trace_counters().fallback_generic.inc();
+                self.metrics.fallback_generic.inc();
                 self.log.line_with(|| {
                     format!(
                         "module[{idx}]: specialized compile failed ({err}); \
@@ -1312,7 +1397,7 @@ impl Pipeline {
             }
         }
         if let Some(prev) = last_good {
-            trace_counters().fallback_last_good.inc();
+            self.metrics.fallback_last_good.inc();
             self.log.line_with(|| {
                 format!("module[{idx}]: compile failed ({err}); keeping last-known-good binary")
             });
@@ -1355,6 +1440,7 @@ impl Pipeline {
             let _span = ks_trace::span_fields("pipeline-iteration", || {
                 vec![("iter".to_string(), iter.to_string())]
             });
+            let iter_started = Instant::now();
             self.log
                 .line_with(|| format!("--- pipeline iteration {iter} ---"));
             // Tiered mode: promotions land between iterations, never
@@ -1366,7 +1452,10 @@ impl Pipeline {
             for a in 0..self.actions.len() {
                 self.run_action(a, iter)?;
             }
-            trace_counters().iterations.inc();
+            self.metrics.iterations.inc();
+            self.metrics
+                .iteration_us
+                .record_duration_us(iter_started.elapsed());
             // Self-updating parameters advance at the end of the iteration.
             for p in &mut self.params {
                 match &mut p.value {
@@ -1572,7 +1661,7 @@ impl Pipeline {
                         Ok(r) => break r,
                         Err(e) if e.is_transient() && attempt < self.launch_retries => {
                             attempt += 1;
-                            trace_counters().launch_retries.inc();
+                            self.metrics.launch_retries.inc();
                             self.log.line_with(|| {
                                 format!(
                                     "  [retry] {label}: transient device fault ({e}); \
@@ -2790,5 +2879,54 @@ mod tests {
         assert_eq!(p.promotion_stats(), PromotionStats::default());
         // Non-module resources have no tier.
         assert_eq!(p.module_tier(ResId(0)), None);
+    }
+
+    /// Labeled pipelines publish through a `{pipeline=...}` scope:
+    /// the scoped cells carry this pipeline's events, and time-in-tier
+    /// dwell histograms record every transition (generic → promoting →
+    /// specialized) with the promotion latency alongside.
+    #[test]
+    fn labeled_pipeline_scopes_metrics_and_records_dwell() {
+        let reg = ks_trace::registry();
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let (mut p, _factor, host_in, host_out) = scale_pipeline(c);
+        p.set_label("dwell-test");
+        p.set_refresh_mode(RefreshMode::Tiered);
+        assert_eq!(p.label(), Some("dwell-test"));
+        assert_eq!(
+            p.metric_name(ks_trace::names::PF_ITERATIONS),
+            "gpu_pf.iterations{pipeline=dwell-test}"
+        );
+
+        let iters_before = reg.counter_value(&p.metric_name(ks_trace::names::PF_ITERATIONS));
+        let lat_before = reg
+            .histogram(&p.metric_name(ks_trace::names::PF_PROMOTION_LATENCY_US))
+            .count();
+
+        p.refresh().unwrap();
+        // Generic dwell episode closed by the -> Promoting transition.
+        assert_eq!(p.tier_dwell(Tier::Generic).count, 1);
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(1).unwrap();
+        p.wait_promotions();
+        assert_eq!(p.module_tier(ResId(4)), Some(Tier::Specialized));
+        assert_eq!(p.host_f32(host_out)[10], 30.0);
+
+        // Promoting dwell closed by the hot-swap; promotion latency
+        // histogram recorded the same event under this pipeline's scope.
+        assert_eq!(p.tier_dwell(Tier::Promoting).count, 1);
+        let lat_after = reg
+            .histogram(&p.metric_name(ks_trace::names::PF_PROMOTION_LATENCY_US))
+            .count();
+        assert_eq!(lat_after - lat_before, 1);
+        let iters_after = reg.counter_value(&p.metric_name(ks_trace::names::PF_ITERATIONS));
+        assert_eq!(iters_after - iters_before, 1);
+        // Per-module dwell cells exist under the nested scope and roll
+        // up into the pipeline-level cell (module 4 is the only one).
+        let per_module = reg
+            .histogram("gpu_pf.tier.dwell_us.promoting{module=4,pipeline=dwell-test}")
+            .snapshot();
+        assert_eq!(per_module.count, 1);
     }
 }

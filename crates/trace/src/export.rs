@@ -4,6 +4,7 @@
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::profile::{span_to_json, KernelProfile};
+use crate::scope::parse_scoped_name;
 use crate::span::SpanRecord;
 use std::fmt::Write as _;
 
@@ -18,6 +19,9 @@ pub enum ExportFormat {
     /// Chrome `trace_event` JSON, loadable in `chrome://tracing` /
     /// Perfetto.
     Chrome,
+    /// Prometheus text exposition (metrics only; spans are out of
+    /// model and render as comments).
+    Prom,
 }
 
 impl ExportFormat {
@@ -28,6 +32,7 @@ impl ExportFormat {
             "csv" => Some(ExportFormat::Csv),
             "flame" | "folded" => Some(ExportFormat::Flame),
             "chrome" | "trace_event" => Some(ExportFormat::Chrome),
+            "prom" | "prometheus" => Some(ExportFormat::Prom),
             _ => None,
         }
     }
@@ -39,6 +44,7 @@ impl ExportFormat {
             ExportFormat::Csv => Box::new(CsvExporter),
             ExportFormat::Flame => Box::new(FlamegraphExporter),
             ExportFormat::Chrome => Box::new(ChromeTraceExporter),
+            ExportFormat::Prom => Box::new(PrometheusExporter),
         }
     }
 }
@@ -490,6 +496,223 @@ impl Exporter for ChromeTraceExporter {
     }
 }
 
+/// Prometheus text exposition renderer. Registry names are dotted
+/// (`ks_core.cache.hits`, scoped as `name{k=v}`); exposition names
+/// replace every character outside `[a-zA-Z0-9_:]` with `_` and carry
+/// the scope labels as Prometheus labels. Histograms render as
+/// summaries (p50/p95/p99 quantile samples plus `_sum`/`_count`).
+pub struct PrometheusExporter;
+
+fn prom_name(base: &str) -> String {
+    let mut out: String = base
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn prom_label_set(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                prom_name(k),
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// One labeled sample row within a family: `(labels, value)`.
+type PromRows<'a, V> = Vec<(Vec<(&'a str, &'a str)>, &'a V)>;
+
+/// Group a metric map's keys into exposition families:
+/// `prom_base -> [(labels, key)]`, so each family gets one `# TYPE`
+/// line followed by all its labeled samples.
+fn prom_families<V>(
+    metrics: &std::collections::BTreeMap<String, V>,
+) -> std::collections::BTreeMap<String, PromRows<'_, V>> {
+    let mut families: std::collections::BTreeMap<String, PromRows<'_, V>> =
+        std::collections::BTreeMap::new();
+    for (name, v) in metrics {
+        let (base, labels) = parse_scoped_name(name);
+        families
+            .entry(prom_name(base))
+            .or_default()
+            .push((labels, v));
+    }
+    families
+}
+
+impl Exporter for PrometheusExporter {
+    fn spans(&self, spans: &[SpanRecord]) -> String {
+        format!(
+            "# prometheus exposition carries metrics only ({} spans omitted)\n",
+            spans.len()
+        )
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::new();
+        for (family, rows) in prom_families(&snapshot.counters) {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (labels, v) in rows {
+                let _ = writeln!(out, "{family}{} {v}", prom_label_set(&labels, None));
+            }
+        }
+        for (family, rows) in prom_families(&snapshot.gauges) {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for (labels, v) in rows {
+                let _ = writeln!(out, "{family}{} {v}", prom_label_set(&labels, None));
+            }
+        }
+        for (family, rows) in prom_families(&snapshot.histograms) {
+            let _ = writeln!(out, "# TYPE {family} summary");
+            for (labels, h) in rows {
+                for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                    let _ = writeln!(
+                        out,
+                        "{family}{} {v}",
+                        prom_label_set(&labels, Some(("quantile", q)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{family}_sum{} {}",
+                    prom_label_set(&labels, None),
+                    h.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{family}_count{} {}",
+                    prom_label_set(&labels, None),
+                    h.count
+                );
+            }
+        }
+        out
+    }
+
+    fn profile(&self, p: &KernelProfile) -> String {
+        // A profile is a join over one kernel; expose its counters with
+        // the kernel identity as labels.
+        let labels: Vec<(&str, &str)> = vec![
+            ("kernel", &p.kernel),
+            ("variant", &p.variant),
+            ("device", &p.device),
+        ];
+        let mut out = String::new();
+        for (name, v) in [
+            ("ks_core_cache_hits", p.cache.hits),
+            ("ks_core_cache_misses", p.cache.misses),
+            ("ks_core_cache_dedup_waits", p.cache.dedup_waits),
+            ("ks_core_cache_evictions", p.cache.evictions),
+            ("ks_sim_launches", p.exec.launches),
+            ("ks_sim_dyn_insts", p.exec.dyn_insts),
+            ("ks_sim_global_bytes", p.exec.global_bytes),
+            ("ks_sim_divergent_branches", p.exec.divergent_branches),
+            ("ks_sim_barriers", p.exec.barriers),
+            ("ks_sim_time_us", p.exec.sim_time_us),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{} {v}", prom_label_set(&labels, None));
+        }
+        let _ = writeln!(out, "# TYPE ks_sim_occupancy gauge");
+        let _ = writeln!(
+            out,
+            "ks_sim_occupancy{} {}",
+            prom_label_set(&labels, None),
+            p.exec.occupancy
+        );
+        out
+    }
+}
+
+/// Schema check for Prometheus text exposition: every sample line must
+/// be `name[{k="v",...}] value` with a legal metric name, quoted label
+/// values, and a numeric value; every sample must belong to a family
+/// announced by a preceding `# TYPE` line (summaries own their `_sum` /
+/// `_count` series). Returns the first offending line on failure.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut families: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("prometheus line {}: {msg}: {line}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return err("malformed TYPE");
+            };
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram") {
+                return err("unknown metric kind");
+            }
+            families.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(line.len());
+        if name_end == 0 || line.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return err("bad metric name");
+        }
+        let name = &line[..name_end];
+        let rest = &line[name_end..];
+        let value = if let Some(rest) = rest.strip_prefix('{') {
+            let Some(close) = rest.find('}') else {
+                return err("unterminated label set");
+            };
+            for pair in rest[..close].split(',') {
+                let Some((_k, v)) = pair.split_once('=') else {
+                    return err("label without '='");
+                };
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return err("unquoted label value");
+                }
+            }
+            rest[close + 1..].trim()
+        } else {
+            rest.trim()
+        };
+        if value.parse::<f64>().is_err() {
+            return err("non-numeric sample value");
+        }
+        let family = families.get(name).map(String::as_str).or_else(|| {
+            name.strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"))
+                .and_then(|base| families.get(base).map(String::as_str))
+                .filter(|kind| matches!(*kind, "summary" | "histogram"))
+        });
+        if family.is_none() {
+            return err("sample without a preceding # TYPE");
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,5 +912,69 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn prometheus_renders_scoped_metrics_with_labels() {
+        let r = Registry::new();
+        r.counter("ks_core.cache.hits").add(3);
+        r.scoped(&[("pipeline", "p0")])
+            .counter("gpu_pf.iterations")
+            .add(5);
+        r.scoped(&[("pipeline", "p0")])
+            .histogram("gpu_pf.iteration_us")
+            .record(40);
+        let out = PrometheusExporter.metrics(&r.snapshot());
+        assert!(out.contains("# TYPE ks_core_cache_hits counter"), "{out}");
+        assert!(out.contains("ks_core_cache_hits 3"), "{out}");
+        // The scoped cell and its global roll-up share one family.
+        assert!(
+            out.contains("gpu_pf_iterations{pipeline=\"p0\"} 5"),
+            "{out}"
+        );
+        assert!(out.contains("gpu_pf_iterations 5"), "{out}");
+        assert_eq!(out.matches("# TYPE gpu_pf_iterations counter").count(), 1);
+        assert!(
+            out.contains("gpu_pf_iteration_us{pipeline=\"p0\",quantile=\"0.95\"}"),
+            "{out}"
+        );
+        assert!(
+            out.contains("gpu_pf_iteration_us_count{pipeline=\"p0\"} 1"),
+            "{out}"
+        );
+        validate_prometheus(&out).unwrap();
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_schema_violations() {
+        validate_prometheus("# TYPE m counter\nm 1\nm{k=\"v\"} 2\n").unwrap();
+        validate_prometheus("# TYPE h summary\nh{quantile=\"0.5\"} 1\nh_sum 1\nh_count 1\n")
+            .unwrap();
+        assert!(validate_prometheus("orphan 1\n").is_err());
+        assert!(validate_prometheus("# TYPE m counter\nm notanumber\n").is_err());
+        assert!(validate_prometheus("# TYPE m counter\nm{k=unquoted} 1\n").is_err());
+        assert!(validate_prometheus("# TYPE m widget\nm 1\n").is_err());
+        assert!(validate_prometheus("# TYPE c counter\nc_sum 1\n").is_err());
+    }
+
+    #[test]
+    fn prometheus_profile_exposes_labeled_counters() {
+        let p = KernelProfile {
+            kernel: "template_match".to_string(),
+            device: "c2070".to_string(),
+            variant: "v1".to_string(),
+            ..Default::default()
+        };
+        let out = PrometheusExporter.profile(&p);
+        assert!(
+            out.contains(
+                "ks_core_cache_hits{kernel=\"template_match\",variant=\"v1\",device=\"c2070\"} 0"
+            ),
+            "{out}"
+        );
+        validate_prometheus(&out).unwrap();
+        assert_eq!(ExportFormat::parse("prom"), Some(ExportFormat::Prom));
+        assert_eq!(ExportFormat::parse("prometheus"), Some(ExportFormat::Prom));
+        assert!(ExportFormat::Prom.exporter().spans(&[]).starts_with('#'));
     }
 }

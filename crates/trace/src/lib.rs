@@ -51,25 +51,32 @@ mod export;
 mod json;
 mod metrics;
 mod profile;
+mod scope;
 mod span;
 mod subscriber;
+pub mod watchdog;
+pub mod window;
 
 pub use export::{
-    ChromeTraceExporter, CsvExporter, ExportFormat, Exporter, FlamegraphExporter, JsonlExporter,
-    TextExporter,
+    validate_prometheus, ChromeTraceExporter, CsvExporter, ExportFormat, Exporter,
+    FlamegraphExporter, JsonlExporter, PrometheusExporter, TextExporter,
 };
 pub use json::Json;
 pub use metrics::{
-    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    registry, Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot, MetricsSnapshot,
+    Registry,
 };
 pub use profile::{
     validate_profile_jsonl, CacheCounters, CompileProfile, ExecCounters, KernelProfile,
 };
+pub use scope::{parse_scoped_name, scoped_counter_sum, scoped_counters, scoped_name, Scope};
 pub use span::{
     complete_span, drain_spans, enabled, set_enabled, snapshot_spans, span, span_fields, SpanGuard,
     SpanRecord,
 };
-pub use subscriber::{Subscriber, WriterSink};
+pub use subscriber::{StreamSink, Subscriber, WriterSink};
+pub use watchdog::{Baseline, SloBreach, SloEvent, SloPolicy, SloRule, Watchdog};
+pub use window::{History, TickDelta, WindowSummary, WindowView};
 
 /// Canonical metric names. Publishers and consumers meet here so the
 /// bench sidecars, `ks-prof`, and tests all read the counters the
@@ -177,4 +184,24 @@ pub mod names {
     /// before the ticket resolved; the stale ticket is cancelled and its
     /// result (if any) discarded.
     pub const PF_PROMOTIONS_SUPERSEDED: &str = "gpu_pf.promotions.superseded";
+    /// Promotion latency histogram (µs): ticket spawn → hot-swap. The
+    /// same interval the `tier_swap` spans record, always-on.
+    pub const PF_PROMOTION_LATENCY_US: &str = "gpu_pf.promotion.latency_us";
+    /// Per-iteration pipeline wall time histogram (µs). Scoped
+    /// per-pipeline, this is the windowed-p95 readout `ks-prof watch`
+    /// displays.
+    pub const PF_ITERATION_US: &str = "gpu_pf.iteration_us";
+    /// Time-in-tier dwell histogram name (µs) for one tier
+    /// (`generic` / `promoting` / `specialized` / `failed`): how long a
+    /// module sat on that tier before transitioning off it.
+    pub fn pf_tier_dwell_us(tier: &str) -> String {
+        format!("gpu_pf.tier.dwell_us.{tier}")
+    }
+    /// Typed SLO-breach events emitted by the [`crate::Watchdog`].
+    pub const SLO_BREACHES: &str = "ks_trace.slo.breaches";
+    /// SLO recoveries (breached metric back under budget).
+    pub const SLO_RECOVERIES: &str = "ks_trace.slo.recoveries";
+    /// Lines dropped by bounded [`crate::StreamSink`]s (ring full; the
+    /// hot path never blocks on a slow consumer).
+    pub const SINK_DROPPED: &str = "ks_trace.sink.dropped";
 }

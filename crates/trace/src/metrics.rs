@@ -12,35 +12,76 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+struct CounterInner {
+    value: AtomicU64,
+    /// Scoped metrics chain to their parent (the next-outer label set,
+    /// ending at the unlabeled global), so one publish lands in every
+    /// aggregate and roll-up parity holds by construction.
+    parent: Option<Counter>,
+}
+
 /// Monotonically increasing event count.
 #[derive(Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter(Arc<CounterInner>);
 
 impl Counter {
+    fn new(parent: Option<Counter>) -> Self {
+        Counter(Arc::new(CounterInner {
+            value: AtomicU64::new(0),
+            parent,
+        }))
+    }
+
     pub fn inc(&self) {
         self.add(1);
     }
 
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        let mut cur = self;
+        loop {
+            cur.0.value.fetch_add(n, Ordering::Relaxed);
+            match &cur.0.parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
     }
 
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.value.load(Ordering::Relaxed)
     }
+}
+
+struct GaugeInner {
+    bits: AtomicU64,
+    parent: Option<Gauge>,
 }
 
 /// Last-write-wins floating-point level (e.g. occupancy).
 #[derive(Clone)]
-pub struct Gauge(Arc<AtomicU64>);
+pub struct Gauge(Arc<GaugeInner>);
 
 impl Gauge {
+    fn new(parent: Option<Gauge>) -> Self {
+        Gauge(Arc::new(GaugeInner {
+            bits: AtomicU64::new(0f64.to_bits()),
+            parent,
+        }))
+    }
+
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        let mut cur = self;
+        loop {
+            cur.0.bits.store(v.to_bits(), Ordering::Relaxed);
+            match &cur.0.parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
     }
 
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
     }
 }
 
@@ -58,6 +99,7 @@ struct HistogramInner {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    parent: Option<Histogram>,
 }
 
 /// Fixed-memory log-scale histogram of `u64` samples (HDR-style:
@@ -67,13 +109,14 @@ struct HistogramInner {
 pub struct Histogram(Arc<HistogramInner>);
 
 impl Histogram {
-    fn new() -> Self {
+    fn new(parent: Option<Histogram>) -> Self {
         Histogram(Arc::new(HistogramInner {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            parent,
         }))
     }
 
@@ -102,12 +145,20 @@ impl Histogram {
     }
 
     pub fn record(&self, v: u64) {
-        let inner = &self.0;
-        inner.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        inner.count.fetch_add(1, Ordering::Relaxed);
-        inner.sum.fetch_add(v, Ordering::Relaxed);
-        inner.min.fetch_min(v, Ordering::Relaxed);
-        inner.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = Self::bucket_index(v);
+        let mut cur = self;
+        loop {
+            let inner = &cur.0;
+            inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            inner.count.fetch_add(1, Ordering::Relaxed);
+            inner.sum.fetch_add(v, Ordering::Relaxed);
+            inner.min.fetch_min(v, Ordering::Relaxed);
+            inner.max.fetch_max(v, Ordering::Relaxed);
+            match &inner.parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
     }
 
     /// Record a `Duration` in whole microseconds.
@@ -160,6 +211,58 @@ impl Histogram {
             p99: self.quantile(0.99).unwrap_or(0),
         }
     }
+
+    /// Sparse copy of the non-empty buckets, the raw material for
+    /// windowed (delta) quantiles in [`crate::window`]. Cell indices
+    /// invert through [`Histogram::bucket_value`].
+    pub fn cells(&self) -> HistogramCells {
+        let cells: Vec<(u32, u64)> = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n != 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramCells {
+            count: self.count(),
+            sum: self.sum(),
+            cells,
+        }
+    }
+}
+
+/// Sparse bucket-level copy of one histogram: `(bucket index, count)`
+/// pairs for every non-empty bucket, plus the cumulative count/sum.
+/// Two of these subtract into an exact per-interval delta because
+/// bucket counts are monotone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramCells {
+    pub count: u64,
+    pub sum: u64,
+    pub cells: Vec<(u32, u64)>,
+}
+
+impl HistogramCells {
+    /// Nearest-rank quantile over the cells, using the cell total (not
+    /// `count`, which can transiently run ahead under concurrency).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.cells.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for &(i, n) in &self.cells {
+            seen += n;
+            if seen >= rank {
+                return Some(Histogram::bucket_value(i as usize));
+            }
+        }
+        None
+    }
 }
 
 /// Point-in-time summary of one histogram.
@@ -204,11 +307,15 @@ impl Registry {
 
     /// Fetch-or-create the counter called `name`.
     pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with_parent(name, None)
+    }
+
+    pub(crate) fn counter_with_parent(&self, name: &str, parent: Option<Counter>) -> Counter {
         let mut map = self.counters.lock();
         match map.get(name) {
             Some(c) => c.clone(),
             None => {
-                let c = Counter(Arc::new(AtomicU64::new(0)));
+                let c = Counter::new(parent);
                 map.insert(name.to_string(), c.clone());
                 c
             }
@@ -217,11 +324,15 @@ impl Registry {
 
     /// Fetch-or-create the gauge called `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with_parent(name, None)
+    }
+
+    pub(crate) fn gauge_with_parent(&self, name: &str, parent: Option<Gauge>) -> Gauge {
         let mut map = self.gauges.lock();
         match map.get(name) {
             Some(g) => g.clone(),
             None => {
-                let g = Gauge(Arc::new(AtomicU64::new(0f64.to_bits())));
+                let g = Gauge::new(parent);
                 map.insert(name.to_string(), g.clone());
                 g
             }
@@ -230,11 +341,15 @@ impl Registry {
 
     /// Fetch-or-create the histogram called `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_parent(name, None)
+    }
+
+    pub(crate) fn histogram_with_parent(&self, name: &str, parent: Option<Histogram>) -> Histogram {
         let mut map = self.histograms.lock();
         match map.get(name) {
             Some(h) => h.clone(),
             None => {
-                let h = Histogram::new();
+                let h = Histogram::new(parent);
                 map.insert(name.to_string(), h.clone());
                 h
             }
@@ -244,6 +359,16 @@ impl Registry {
     /// Current value of a counter, without creating it (0 if absent).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters.lock().get(name).map_or(0, Counter::get)
+    }
+
+    /// Sparse bucket-level copy of every registered histogram — the
+    /// input [`crate::window::History::tick_at`] diffs per tick.
+    pub fn cells_snapshot(&self) -> BTreeMap<String, HistogramCells> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.cells()))
+            .collect()
     }
 
     /// Consistent point-in-time copy of every registered metric.

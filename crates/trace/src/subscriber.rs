@@ -41,6 +41,95 @@ impl Subscriber for WriterSink {
     }
 }
 
+/// Bounded, never-blocking streaming JSONL sink.
+///
+/// Producers [`offer`](StreamSink::offer) pre-rendered JSONL lines (or
+/// publish through [`Subscriber::line`], which wraps the text as a
+/// `{"type":"log",...}` object). When the ring is full the **newest
+/// offer is dropped** — the hot path never waits on a slow consumer —
+/// and the loss is self-accounted: a local drop counter plus the
+/// `ks_trace.sink.dropped` registry counter, so overflow is visible in
+/// the same exposition the sink feeds.
+pub struct StreamSink {
+    queue: Mutex<std::collections::VecDeque<String>>,
+    cap: usize,
+    dropped: std::sync::atomic::AtomicU64,
+    dropped_counter: crate::Counter,
+}
+
+impl StreamSink {
+    /// A sink retaining at most `cap` pending lines (`cap >= 1`),
+    /// accounting drops into `registry`.
+    pub fn with_registry(cap: usize, registry: &crate::Registry) -> Self {
+        StreamSink {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            cap: cap.max(1),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+            dropped_counter: registry.counter(crate::names::SINK_DROPPED),
+        }
+    }
+
+    /// A sink accounting drops into the process-wide registry.
+    pub fn new(cap: usize) -> Self {
+        Self::with_registry(cap, crate::registry())
+    }
+
+    /// Enqueue one line; returns `false` (and counts the drop) when the
+    /// ring is full. Never blocks beyond the queue mutex.
+    pub fn offer(&self, line: impl Into<String>) -> bool {
+        let line = line.into();
+        {
+            let mut q = self.queue.lock();
+            if q.len() < self.cap {
+                q.push_back(line);
+                return true;
+            }
+        }
+        self.dropped
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.dropped_counter.inc();
+        false
+    }
+
+    /// Lines dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Lines currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Take every pending line, oldest first.
+    pub fn drain(&self) -> Vec<String> {
+        self.queue.lock().drain(..).collect()
+    }
+
+    /// Flush pending lines (one per line, `\n`-terminated) to `w`;
+    /// returns how many were written.
+    pub fn drain_to(&self, w: &mut dyn Write) -> std::io::Result<usize> {
+        let lines = self.drain();
+        for line in &lines {
+            writeln!(w, "{line}")?;
+        }
+        w.flush()?;
+        Ok(lines.len())
+    }
+}
+
+impl Subscriber for StreamSink {
+    fn line(&self, text: &str) {
+        self.offer(
+            crate::Json::obj(vec![
+                ("type", crate::Json::str("log")),
+                ("line", crate::Json::str(text)),
+            ])
+            .render(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +157,67 @@ mod tests {
         sink.line("[gpu-pf] world");
         let text = String::from_utf8(buf.0.lock().clone()).unwrap();
         assert_eq!(text, "[gpu-pf] hello\n[gpu-pf] world\n");
+    }
+
+    #[test]
+    fn stream_sink_bounds_drops_and_accounts_them() {
+        let r = crate::Registry::new();
+        let sink = StreamSink::with_registry(4, &r);
+        for i in 0..10 {
+            sink.offer(format!("{{\"i\":{i}}}"));
+        }
+        assert_eq!(sink.pending(), 4);
+        assert_eq!(sink.dropped(), 6);
+        assert_eq!(r.counter_value(crate::names::SINK_DROPPED), 6);
+        // Oldest lines survive; each drained line is valid JSON.
+        let lines = sink.drain();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "{\"i\":0}");
+        for l in &lines {
+            crate::Json::parse(l).unwrap();
+        }
+        // Draining frees capacity again.
+        assert!(sink.offer("{}"));
+        let mut buf = Vec::new();
+        assert_eq!(sink.drain_to(&mut buf).unwrap(), 1);
+        assert_eq!(String::from_utf8(buf).unwrap(), "{}\n");
+    }
+
+    #[test]
+    fn stream_sink_subscriber_wraps_lines_as_json() {
+        let r = crate::Registry::new();
+        let sink = StreamSink::with_registry(8, &r);
+        Subscriber::line(&sink, "[gpu-pf] refresh");
+        let lines = sink.drain();
+        let doc = crate::Json::parse(&lines[0]).unwrap();
+        assert_eq!(doc.get("type").and_then(crate::Json::as_str), Some("log"));
+        assert_eq!(
+            doc.get("line").and_then(crate::Json::as_str),
+            Some("[gpu-pf] refresh")
+        );
+    }
+
+    #[test]
+    fn stream_sink_never_blocks_under_contention() {
+        let r = crate::Registry::new();
+        let sink = Arc::new(StreamSink::with_registry(16, &r));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        sink.offer(format!("{{\"t\":{t},\"i\":{i}}}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Conservation: everything offered is either pending or counted
+        // as dropped.
+        assert_eq!(sink.pending() as u64 + sink.dropped(), 800);
+        assert_eq!(sink.pending(), 16);
     }
 
     #[test]

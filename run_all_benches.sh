@@ -2,7 +2,7 @@
 # Regenerate every table and figure (full problem sizes).
 set -e
 cd "$(dirname "$0")"
-for b in table_5_2 tables_6_1_to_6_9 table_6_10 table_6_11 table_6_12 table_6_13 table_6_14 table_6_15 \
+for b in table_5_2 first_launch_latency tables_6_1_to_6_9 table_6_10 table_6_11 table_6_12 table_6_13 table_6_14 table_6_15 \
          table_6_16 table_6_17 table_6_18 table_6_19 table_6_20 table_6_21 \
          table_6_22 fig_6_1 fig_6_2 ablation_passes ablation_timing; do
     echo "### $b"
