@@ -190,4 +190,41 @@ cargo run --offline --release -q -p ks-apps --bin ks-prof -- \
 grep -q "watch: slo breaches=0 recoveries=0" "$CLEAN_OUT"
 rm -f "$BREACH_OUT" "$CLEAN_OUT"
 
+# Integrity tier: silent-data-corruption defense end to end. (1) The
+# seeded SDC drill injects one in-flight bit flip into each app
+# kernel's specialized variant; every corruption must be caught by the
+# generic-binary witness, adjudicated transient by re-execution voting,
+# and recovered — final outputs byte-identical to the fault-free pass,
+# which itself must report zero violations. Same seed => byte-identical
+# stdout. (2) The store-scrub drill rots one record's payload (header
+# intact, so only the full-checksum scrub can see it), asserts it is
+# quarantined at attach time and recompiled cleanly; the ks-store-scrub
+# CLI then finds the repaired store clean, and a separate process
+# warm-starts both variants from it.
+echo "== sdc drill (seeded flips detected, recovered, byte-identical)"
+SDC_OUT_A=$(mktemp) SDC_OUT_B=$(mktemp)
+cargo run --offline --release -q -p ks-apps --example sdc_drill -- \
+    --seed 77 > "$SDC_OUT_A" 2> /dev/null
+cargo run --offline --release -q -p ks-apps --example sdc_drill -- \
+    --seed 77 > "$SDC_OUT_B" 2> /dev/null
+diff -u "$SDC_OUT_A" "$SDC_OUT_B"
+grep -q "clean pass: violations=0 across 3 pipelines" "$SDC_OUT_A"
+grep -q "sdc drill: pipelines 3/3, injected 3, detected 3, recovered 3" \
+    "$SDC_OUT_A"
+grep -q "outputs byte-identical to fault-free run" "$SDC_OUT_A"
+rm -f "$SDC_OUT_A" "$SDC_OUT_B"
+
+echo "== store-scrub drill (rotted payload quarantined, warm restart)"
+SCRUB_DIR=$(mktemp -d) SCRUB_OUT=$(mktemp)
+cargo run --offline --release -q -p ks-apps --example sdc_drill -- \
+    --scrub-drill "$SCRUB_DIR" > "$SCRUB_OUT" 2> /dev/null
+grep -q "scrub drill: scanned=2 quarantined=1 recompiled store_errors=0" \
+    "$SCRUB_OUT"
+cargo run --offline --release -q -p ks-store --bin ks-store-scrub -- \
+    "$SCRUB_DIR" | grep -q "2 valid, 0 quarantined"
+cargo run --offline --release -q -p ks-apps --example sdc_drill -- \
+    --warm-start "$SCRUB_DIR" \
+    | grep -q "warm start: scanned=2 quarantined=0 disk_hits=2 store_errors=0"
+rm -rf "$SCRUB_DIR" "$SCRUB_OUT"
+
 echo "== ci.sh: all green"

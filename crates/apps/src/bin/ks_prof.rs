@@ -130,6 +130,7 @@ fn main() {
             ("promotion", promotion_check(&compiler)),
             ("store", store_check(compiler.device())),
             ("scope roll-up", scope_check(&compiler)),
+            ("integrity", integrity_check(&compiler)),
             ("watchdog", watchdog_check()),
             ("prom export", prom_check(&profile)),
             ("sink", sink_check()),
@@ -142,7 +143,7 @@ fn main() {
         }
         eprintln!(
             "ks-prof: selfcheck ok ({} compiles, {} spans, {} launches, \
-             async+promotion+store+scope+watchdog+prom+sink parity)",
+             async+promotion+store+scope+integrity+watchdog+prom+sink parity)",
             profile.compiles.len(),
             profile.spans.len(),
             profile.exec.launches
@@ -627,6 +628,120 @@ fn scope_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
     Ok(())
 }
 
+/// Prove integrity-counter parity: a seeded silent flip against a
+/// dedicated probe pipeline must be detected, adjudicated transient,
+/// and recovered — and the global `gpu_pf.integrity.*` counter deltas
+/// must equal the pipeline's own `IntegrityStats`, field for field.
+fn integrity_check(compiler: &std::sync::Arc<Compiler>) -> Result<(), String> {
+    let reg = ks_trace::registry();
+    let read = || -> [u64; 7] {
+        [
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_CHECKS),
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_WITNESS),
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_VIOLATIONS),
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_TRANSIENT),
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_CORRUPT),
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_RECOVERED),
+            reg.counter_value(ks_trace::names::PF_INTEGRITY_REEXECS),
+        ]
+    };
+
+    let mut p = gpu_pf::Pipeline::new(compiler.clone(), 1 << 20);
+    p.set_integrity(Some(gpu_pf::IntegrityConfig {
+        witness_period: 1,
+        vote_m: 3,
+        vote_n: 2,
+    }));
+    let elems = 256u32;
+    let ext = p.extent_param("x", [elems, 1, 1], 4);
+    let h_x = p.host_memory(ext);
+    let d_x = p.global_memory(ext);
+    let m = p.module(
+        PROBE_KERNEL,
+        vec![("N", gpu_pf::MacroBinding::Literal(elems.to_string()))],
+    );
+    let k = p.kernel(m, "probe");
+    let grid = p.triplet_param("grid", [elems.div_ceil(64), 1, 1]);
+    let blk = p.triplet_param("block", [64, 1, 1]);
+    let once = p.schedule_param("once", 1_000_000, 0);
+    let every = p.schedule_param("every", 1, 0);
+    let n = p.int_param("n", elems as i64);
+    p.copy("h2d", h_x, d_x, once);
+    p.exec(
+        "probe",
+        k,
+        grid,
+        blk,
+        None,
+        vec![gpu_pf::Arg::Mem(d_x), gpu_pf::Arg::Param(n)],
+        every,
+    );
+    p.copy("d2h", d_x, h_x, every);
+    let vals: Vec<u8> = (0..elems).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    p.set_host_data(h_x, &vals);
+    p.refresh().map_err(|e| format!("refresh: {e}"))?;
+    let key = p
+        .module_bound_key(m)
+        .ok_or("probe module has no bound key")?
+        .clone();
+
+    // Flip one output bit of the specialized variant's first launch;
+    // witness and vote launches carry other keys and stay clean. The
+    // prior plan (possibly armed via KS_FAULT_SEED) is restored after.
+    let prior = ks_fault::active();
+    let plan = std::sync::Arc::new(
+        ks_fault::FaultPlan::new(0x5DC).rule(
+            ks_fault::FaultRule::new(
+                ks_fault::FaultKind::SilentFlip,
+                ks_fault::Target::Key(key.lo64),
+            )
+            .nth(1),
+        ),
+    );
+    ks_fault::install(plan.clone());
+    let before = read();
+    let run = p.run(2);
+    match prior {
+        Some(prev) => ks_fault::install(prev),
+        None => ks_fault::clear(),
+    }
+    run.map_err(|e| format!("probe run: {e}"))?;
+
+    if plan.injected_count() != 1 {
+        return Err(format!("injected {} flips, want 1", plan.injected_count()));
+    }
+    let stats = p.integrity_stats();
+    let want = [
+        stats.checks,
+        stats.witness_launches,
+        stats.violations,
+        stats.transient_flips,
+        stats.corrupt_binaries,
+        stats.recovered,
+        stats.reexecutions,
+    ];
+    if want != [2, 2, 1, 1, 0, 1, 4] {
+        return Err(format!("unexpected IntegrityStats: {stats:?}"));
+    }
+    let after = read();
+    let deltas: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+    if deltas != want {
+        return Err(format!(
+            "gpu_pf.integrity.* registry deltas {deltas:?} != IntegrityStats {want:?}"
+        ));
+    }
+    // Two iterations, flip scrubbed by recovery: every element advanced
+    // by exactly 2.0 — the corruption never reached host memory.
+    let out = p.host_data(h_x);
+    for (i, c) in out.chunks_exact(4).enumerate() {
+        let v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        if v != i as f32 + 2.0 {
+            return Err(format!("element {i} is {v}, want {}", i as f32 + 2.0));
+        }
+    }
+    Ok(())
+}
+
 /// Watchdog dry run on a private registry: a clean window raises
 /// nothing, a seeded spike breaches exactly once (edge-triggered, no
 /// re-fire), and fresh clean samples recover exactly once.
@@ -868,6 +983,10 @@ fn watch_main(args: &[String]) {
                     ks_trace::SloEvent::Recover { .. } => {
                         recoveries += 1;
                         recover_counter.inc();
+                    }
+                    ks_trace::SloEvent::CounterBreach { .. } => {
+                        breaches += 1;
+                        breach_counter.inc();
                     }
                 }
                 println!("{event}");

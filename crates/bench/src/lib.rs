@@ -200,6 +200,9 @@ impl Table {
         let disk_hits = get(ks_trace::names::STORE_DISK_HITS);
         let disk_misses = get(ks_trace::names::STORE_DISK_MISSES);
         let store_errors = get(ks_trace::names::STORE_ERRORS);
+        let sdc_detected = get(ks_trace::names::PF_INTEGRITY_VIOLATIONS);
+        let witness_launches = get(ks_trace::names::PF_INTEGRITY_WITNESS);
+        let scrub_quarantined = get(ks_trace::names::STORE_SCRUB_QUARANTINED);
         // Which execution tier produced this table: any background
         // ticket traffic during the run means the tiered path ran.
         let tier = if get(ks_trace::names::ASYNC_SPAWNED) > 0 {
@@ -233,11 +236,11 @@ impl Table {
         if let Ok(mut f) = std::fs::File::create(&side_path) {
             let _ = writeln!(
                 f,
-                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier,time_in_generic_p50,promotion_latency_p50,windows,window_iter_p95_us"
+                "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier,time_in_generic_p50,promotion_latency_p50,windows,window_iter_p95_us,sdc_detected,witness_launches,scrub_quarantined"
             );
             let _ = writeln!(
                 f,
-                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{disk_hits},{disk_misses},{store_errors},{tier},{time_in_generic_p50},{promotion_latency_p50},{windows},{window_iter_p95_us}"
+                "{hits},{misses},{dedup_waits},{evictions},{hit_rate:.4},{retries},{failures},{quarantined},{breaker_opens},{fallback_generic},{fallback_last_good},{promotions},{disk_hits},{disk_misses},{store_errors},{tier},{time_in_generic_p50},{promotion_latency_p50},{windows},{window_iter_p95_us},{sdc_detected},{witness_launches},{scrub_quarantined}"
             );
             println!("[csv] {}", side_path.display());
         }
@@ -827,10 +830,10 @@ mod tests {
         let mut lines = side_text.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier,time_in_generic_p50,promotion_latency_p50,windows,window_iter_p95_us"
+            "hits,misses,dedup_waits,evictions,hit_rate,retries,failures,quarantined,breaker_opens,fallback_generic,fallback_last_good,promotions,disk_hits,disk_misses,store_errors,tier,time_in_generic_p50,promotion_latency_p50,windows,window_iter_p95_us,sdc_detected,witness_launches,scrub_quarantined"
         );
         let vals: Vec<&str> = lines.next().unwrap().split(',').collect();
-        assert_eq!(vals.len(), 20);
+        assert_eq!(vals.len(), 23);
         let hits: u64 = vals[0].parse().unwrap();
         let misses: u64 = vals[1].parse().unwrap();
         assert!(misses >= 1, "compile should register a miss: {side_text}");
@@ -855,6 +858,11 @@ mod tests {
         }
         let windows: u64 = vals[18].parse().unwrap();
         assert!(windows >= 1, "{side_text}");
+        // Integrity / scrub columns parse as counters (shape only —
+        // other tests in the process may drive integrity traffic).
+        for v in &vals[20..23] {
+            let _: u64 = v.parse().unwrap();
+        }
     }
 
     #[test]

@@ -46,7 +46,6 @@
 pub use ks_analysis::{AnalysisConfig, Diagnostic};
 use ks_codegen::CodegenOptions;
 use ks_sim::{DeviceConfig, RegAlloc};
-use ks_store::StableHasher;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,7 +56,7 @@ mod metrics;
 mod store;
 
 pub use background::{AsyncStats, CompileTicket};
-pub use ks_store::{Fingerprint, StoreError};
+pub use ks_store::{Fingerprint, ScrubReport, StableHasher, StoreError};
 pub use metrics::CompileMetrics;
 pub use store::{BINARY_SCHEMA_VERSION, PASS_PIPELINE};
 
@@ -671,6 +670,45 @@ impl Compiler {
         Ok(self)
     }
 
+    /// [`Compiler::with_store`], preceded by a full-payload integrity
+    /// scrub of the directory: every record is re-validated end to end
+    /// (header fields *and* payload checksum) and corrupt records are
+    /// moved into `quarantine/` **before** the store goes live, so a
+    /// bit-rotted record becomes a clean recompile instead of a
+    /// `store_errors` hit on the warm-start path. The walk publishes
+    /// `ks_store.scrub.*` counters under this compiler's metric labels
+    /// and returns the typed [`ScrubReport`] alongside the compiler.
+    /// The offline equivalent is the `ks-store-scrub` binary.
+    pub fn with_store_scrubbed(
+        self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(Compiler, ks_store::ScrubReport), StoreError> {
+        let compiler = self.with_store(dir)?;
+        let report = compiler
+            .scrub_store()
+            .expect("store attached on the previous line")?;
+        Ok((compiler, report))
+    }
+
+    /// Scrub the attached artifact store now (`None` when no store is
+    /// attached): full-payload checksum walk, corrupt records moved to
+    /// `quarantine/`, `ks_store.scrub.*` counters published under this
+    /// compiler's labels. Safe to run while the store is live — records
+    /// are immutable once published and the walk never touches valid
+    /// ones.
+    pub fn scrub_store(&self) -> Option<Result<ks_store::ScrubReport, StoreError>> {
+        let tier = self.store.as_ref()?;
+        Some(tier.scrub().inspect(|report| {
+            let scope = self.metric_scope();
+            scope
+                .counter(ks_trace::names::STORE_SCRUB_SCANNED)
+                .add(report.scanned as u64);
+            scope
+                .counter(ks_trace::names::STORE_SCRUB_QUARANTINED)
+                .add(report.quarantined.len() as u64);
+        }))
+    }
+
     /// Root directory of the attached artifact store, if any.
     pub fn store_path(&self) -> Option<&std::path::Path> {
         self.store.as_ref().map(|s| s.root())
@@ -730,7 +768,13 @@ impl Compiler {
     /// whose output is explicitly unstable across Rust releases — so the
     /// key is safe to escape the process as the on-disk identity of a
     /// compiled artifact. A regression test pins exact key values.
-    fn cache_key(&self, source: &str, defines: &Defines) -> Fingerprint {
+    ///
+    /// Public so layers above can *name* a variant canonically: gpu-pf
+    /// stamps it on every bound binary (keyed launch-fault checks,
+    /// `Degradation`/`IntegrityViolation` records, quarantine reports)
+    /// and `ks-store-scrub` postmortems match record file names back to
+    /// the `-D` configuration that produced them.
+    pub fn cache_key(&self, source: &str, defines: &Defines) -> Fingerprint {
         let mut h = StableHasher::new();
         h.str("ks-core.cache-key.v1");
         h.u32(ks_store::FORMAT_VERSION);

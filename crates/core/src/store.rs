@@ -66,6 +66,12 @@ impl StoreTier {
     pub(crate) fn save(&self, fp: Fingerprint, bin: &Binary) -> Result<(), StoreError> {
         self.store.save(fp, &serialize_binary(bin)).map(drop)
     }
+
+    /// Full-payload integrity walk over the underlying store; corrupt
+    /// records move to `quarantine/`. See [`ks_store::Store::scrub`].
+    pub(crate) fn scrub(&self) -> Result<ks_store::ScrubReport, StoreError> {
+        self.store.scrub()
+    }
 }
 
 // ---------------------------------------------------------------------

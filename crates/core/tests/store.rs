@@ -221,3 +221,59 @@ fn worker_panic_fails_the_ticket_and_spares_the_pool() {
     let t2 = clean.spawn_compile(KERNEL, Defines::new().def("LOOP_COUNT", 2));
     assert!(t2.wait().is_ok(), "pool must keep working after a panic");
 }
+
+#[test]
+fn attach_time_scrub_quarantines_rot_and_warm_start_recompiles_cleanly() {
+    let dir = tmpdir("scrub-attach");
+    let rotted = Defines::new().def("LOOP_COUNT", 2);
+    let intact = Defines::new().def("LOOP_COUNT", 5);
+    let first = compiler_with_store(&dir);
+    let expected_ptx = first.compile(KERNEL, &rotted).unwrap().ptx.clone();
+    first.compile(KERNEL, &intact).unwrap();
+    let rotted_path = first
+        .store_path()
+        .map(|root| {
+            let hex = first.cache_key(KERNEL, &rotted).to_hex();
+            root.join(&hex[..2]).join(format!("{hex}.ksb"))
+        })
+        .unwrap();
+    drop(first);
+
+    // Header-intact payload rot: flip one bit past the 40-byte header.
+    let mut bytes = std::fs::read(&rotted_path).unwrap();
+    bytes[60] ^= 0x04;
+    std::fs::write(&rotted_path, &bytes).unwrap();
+
+    // "Restart": a fresh compiler attaches with a scrub. The rotted
+    // record is quarantined before the store goes live.
+    let (c, report) = Compiler::new(DeviceConfig::tesla_c1060())
+        .with_store_scrubbed(&dir)
+        .expect("open + scrub store");
+    assert_eq!(report.scanned, 2);
+    assert_eq!(report.valid, 1);
+    assert_eq!(report.quarantined.len(), 1);
+    assert!(matches!(
+        report.quarantined[0].1,
+        ks_core::StoreError::ChecksumMismatch { .. }
+    ));
+    assert!(!rotted_path.exists(), "rot moved out of the fan-out");
+    assert!(dir.join("quarantine").is_dir());
+
+    // Warm start after the scrub: the intact variant loads from disk,
+    // the quarantined one recompiles byte-identically — and crucially
+    // with *zero* store errors, because the bad record was already out
+    // of the way.
+    let bin = c.compile(KERNEL, &rotted).unwrap();
+    assert_eq!(bin.ptx, expected_ptx);
+    c.compile(KERNEL, &intact).unwrap();
+    let s = c.cache_stats();
+    assert_eq!(s.store_errors, 0, "{s}");
+    assert_eq!(s.disk_hits, 1, "{s}");
+    assert_eq!(s.misses, 1, "{s}");
+
+    // An on-demand re-scrub of the now-clean store finds nothing.
+    let again = c.scrub_store().unwrap().unwrap();
+    assert_eq!(again.quarantined.len(), 0);
+    assert_eq!(again.scanned, 2, "recompile republished the record");
+    let _ = std::fs::remove_dir_all(&dir);
+}

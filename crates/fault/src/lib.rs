@@ -55,6 +55,15 @@ pub enum FaultKind {
     DeviceOom,
     /// An uncorrectable ECC/memory fault is reported at launch.
     EccFault,
+    /// A *silent* data corruption: the launch succeeds, but one bit of
+    /// an output buffer is flipped after the kernel completes — the
+    /// caller sees `Ok`. Unlike every other launch kind this never
+    /// surfaces as an error; ks-sim applies the flip to device memory
+    /// using the fault's [`InjectedFault::entropy`], so placement is as
+    /// deterministic as the injection decision itself. Only an
+    /// end-to-end integrity check (golden checksum or witness re-run)
+    /// can catch it.
+    SilentFlip,
     /// A background compile worker drops the job before compiling
     /// (killed-worker analogue). Checked at the worker site — the ticket
     /// resolves with an error, the pool thread survives, and the
@@ -74,7 +83,10 @@ impl FaultKind {
             FaultKind::CompileError | FaultKind::CompilePanic | FaultKind::CompileTimeout => {
                 Site::Compile
             }
-            FaultKind::LaunchTimeout | FaultKind::DeviceOom | FaultKind::EccFault => Site::Launch,
+            FaultKind::LaunchTimeout
+            | FaultKind::DeviceOom
+            | FaultKind::EccFault
+            | FaultKind::SilentFlip => Site::Launch,
             FaultKind::WorkerDrop => Site::Worker,
         }
     }
@@ -88,6 +100,7 @@ impl FaultKind {
             FaultKind::LaunchTimeout => "launch-timeout",
             FaultKind::DeviceOom => "device-oom",
             FaultKind::EccFault => "ecc-fault",
+            FaultKind::SilentFlip => "silent-flip",
             FaultKind::WorkerDrop => "worker-drop",
         }
     }
@@ -102,24 +115,31 @@ pub enum Target {
     /// the translation unit at the compile site; the launched kernel at
     /// the device site).
     Kernel(String),
-    /// A specific specialization cache key (compile/worker sites).
+    /// A specific specialization cache key. Matches at the compile and
+    /// worker sites, and at the launch site when the caller identifies
+    /// the bound binary via [`FaultPlan::check_device_keyed`] — which is
+    /// how a drill faults launches of one exact variant.
     Key(u64),
-    /// Compiles whose `-D` command line contains this substring
-    /// (compile/worker sites). This is how a plan faults *specialized*
-    /// variants of a kernel while letting the generic (define-free)
-    /// compile through — the fallback path gpu-pf degrades onto.
+    /// Checks whose `-D` command line contains this substring. This is
+    /// how a plan faults *specialized* variants of a kernel while
+    /// letting the generic (define-free) build through — the fallback
+    /// path gpu-pf degrades onto. Like [`Target::Key`], launch-site
+    /// matching requires a keyed check; the legacy unkeyed
+    /// [`FaultPlan::check_device`] carries an empty `-D` line and so
+    /// never matches a non-empty substring.
     Define(String),
 }
 
 impl Target {
-    fn matches(&self, site: Site, identity: &str, key: u64, defines: &str) -> bool {
+    fn matches(&self, identity: &str, key: u64, defines: &str) -> bool {
         match self {
             Target::Any => true,
             Target::Kernel(name) => name == identity,
-            // Key/Define selectors need a cache key and a `-D` line,
-            // which the compile and worker sites both carry.
-            Target::Key(k) => site != Site::Launch && *k == key,
-            Target::Define(s) => site != Site::Launch && defines.contains(s.as_str()),
+            // Key 0 / an empty `-D` line mean "caller did not identify
+            // the binary" (legacy unkeyed launch checks), so keyed
+            // selectors simply never fire there — no site guard needed.
+            Target::Key(k) => *k == key,
+            Target::Define(s) => !defines.is_empty() && defines.contains(s.as_str()),
         }
     }
 }
@@ -209,6 +229,12 @@ pub struct InjectedFault {
     pub occurrence: u64,
     /// The kernel name (or `"?"` when unknown) the check was made for.
     pub identity: String,
+    /// Deterministic per-injection entropy: a SplitMix64 output keyed on
+    /// `(seed, rule, identity, occurrence)` under a domain tag distinct
+    /// from the rate-roll stream. Consumers that need seeded randomness
+    /// beyond the fire/no-fire decision (e.g. where a [`FaultKind::
+    /// SilentFlip`] lands) draw from this so replays stay byte-exact.
+    pub entropy: u64,
 }
 
 impl InjectedFault {
@@ -302,16 +328,18 @@ impl FaultPlan {
     }
 
     /// Build a plan from `KS_FAULT_*` environment variables:
-    /// `KS_FAULT_SEED` (u64), `KS_FAULT_COMPILE_PPM`, and
-    /// `KS_FAULT_DEVICE_PPM`. Returns `None` when neither rate is set,
-    /// so unconfigured processes keep the zero-cost fast path.
+    /// `KS_FAULT_SEED` (u64), `KS_FAULT_COMPILE_PPM`,
+    /// `KS_FAULT_DEVICE_PPM`, and `KS_FAULT_SILENT_PPM` (silent output
+    /// bit flips). Returns `None` when no rate is set, so unconfigured
+    /// processes keep the zero-cost fast path.
     pub fn from_env() -> Option<FaultPlan> {
         fn var_u64(name: &str) -> Option<u64> {
             std::env::var(name).ok()?.trim().parse().ok()
         }
         let compile_ppm = var_u64("KS_FAULT_COMPILE_PPM").unwrap_or(0) as u32;
         let device_ppm = var_u64("KS_FAULT_DEVICE_PPM").unwrap_or(0) as u32;
-        if compile_ppm == 0 && device_ppm == 0 {
+        let silent_ppm = var_u64("KS_FAULT_SILENT_PPM").unwrap_or(0) as u32;
+        if compile_ppm == 0 && device_ppm == 0 && silent_ppm == 0 {
             return None;
         }
         let mut plan = FaultPlan::new(var_u64("KS_FAULT_SEED").unwrap_or(0));
@@ -322,6 +350,10 @@ impl FaultPlan {
         if device_ppm > 0 {
             plan = plan
                 .rule(FaultRule::new(FaultKind::LaunchTimeout, Target::Any).rate_ppm(device_ppm));
+        }
+        if silent_ppm > 0 {
+            plan =
+                plan.rule(FaultRule::new(FaultKind::SilentFlip, Target::Any).rate_ppm(silent_ppm));
         }
         Some(plan)
     }
@@ -336,8 +368,26 @@ impl FaultPlan {
 
     /// Should this kernel launch fault? Called before any device state
     /// is modified, so injected device faults are always retry-safe.
+    /// Carries no binary identity: [`Target::Key`]/[`Target::Define`]
+    /// rules never match here — use [`FaultPlan::check_device_keyed`]
+    /// when the bound binary's cache key and `-D` line are known.
     pub fn check_device(&self, kernel: &str) -> Option<InjectedFault> {
         self.check(Site::Launch, kernel, 0, "")
+    }
+
+    /// Like [`FaultPlan::check_device`], but identifies the bound binary
+    /// by its canonical specialization cache key and rendered `-D`
+    /// command line, so launch faults can be scoped to one exact variant
+    /// (`Target::Key` / `Target::Define`). gpu-pf calls this for every
+    /// pipeline launch with the key of whichever binary is bound —
+    /// generic, specialized, or last-known-good.
+    pub fn check_device_keyed(
+        &self,
+        kernel: &str,
+        key: u64,
+        defines: &str,
+    ) -> Option<InjectedFault> {
+        self.check(Site::Launch, kernel, key, defines)
     }
 
     /// Should the background worker drop this dequeued job? Called by
@@ -354,7 +404,7 @@ impl FaultPlan {
             if rule.kind.site() != site {
                 continue;
             }
-            if !rule.target.matches(site, identity, key, defines) {
+            if !rule.target.matches(identity, key, defines) {
                 continue;
             }
             let occ = st
@@ -373,13 +423,12 @@ impl FaultPlan {
                     continue;
                 }
             }
+            let stream = self.seed
+                ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ fnv1a(identity).wrapping_mul(0x5851_F42D_4C95_7F2D)
+                ^ occ;
             if rule.rate_ppm < 1_000_000 {
-                let roll = splitmix64(
-                    self.seed
-                        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        ^ fnv1a(identity).wrapping_mul(0x5851_F42D_4C95_7F2D)
-                        ^ occ,
-                );
+                let roll = splitmix64(stream);
                 if (roll % 1_000_000) as u32 >= rule.rate_ppm {
                     continue;
                 }
@@ -390,6 +439,9 @@ impl FaultPlan {
                 transient: rule.transient,
                 occurrence: occ,
                 identity: identity.to_string(),
+                // A second draw under a domain tag keeps the placement
+                // stream independent of the fire/no-fire roll.
+                entropy: splitmix64(stream ^ 0xB17F_11B5_ED5D_C0DE),
             };
             st.events.push(FaultEvent {
                 site: site.label(),
@@ -590,6 +642,56 @@ mod tests {
             "{}",
             plan.event_log()
         );
+    }
+
+    #[test]
+    fn launch_faults_match_on_key_and_define_when_keyed() {
+        // Regression: the old `site != Site::Launch` guard in
+        // `Target::matches` made per-variant launch drills impossible —
+        // a Key/Define-targeted launch rule could never fire.
+        let plan = FaultPlan::new(11)
+            .rule(FaultRule::new(FaultKind::SilentFlip, Target::Key(0xBEEF)).nth(1))
+            .rule(
+                FaultRule::new(
+                    FaultKind::LaunchTimeout,
+                    Target::Define("-D TILE_W=".into()),
+                )
+                .nth(1),
+            );
+        // Unkeyed checks (key 0, empty -D line) still never match.
+        assert!(plan.check_device("k").is_none());
+        // Wrong key / non-matching defines: spared.
+        assert!(plan.check_device_keyed("k", 0xF00D, "-D OTHER=1").is_none());
+        // The exact variant: both selectors now fire at the launch site.
+        let f = plan
+            .check_device_keyed("k", 0xBEEF, "-D OTHER=1")
+            .expect("key-scoped launch fault");
+        assert_eq!(f.kind, FaultKind::SilentFlip);
+        let g = plan
+            .check_device_keyed("k", 0x1234, "-D TILE_W=16")
+            .expect("define-scoped launch fault");
+        assert_eq!(g.kind, FaultKind::LaunchTimeout);
+        assert!(plan.event_log().contains("site=launch"));
+    }
+
+    #[test]
+    fn silent_flip_entropy_is_deterministic_and_decoupled() {
+        let draw = || {
+            let plan = FaultPlan::new(21)
+                .rule(FaultRule::new(FaultKind::SilentFlip, Target::Kernel("k".into())).nth(2));
+            assert!(plan.check_device_keyed("k", 1, "-D A=1").is_none());
+            plan.check_device_keyed("k", 1, "-D A=1").expect("nth(2)")
+        };
+        let a = draw();
+        let b = draw();
+        assert_eq!(a.entropy, b.entropy, "entropy must replay exactly");
+        assert_ne!(a.entropy, 0);
+        // Distinct occurrences draw distinct placement entropy.
+        let plan = FaultPlan::new(21)
+            .rule(FaultRule::new(FaultKind::SilentFlip, Target::Kernel("k".into())).limit(2));
+        let e1 = plan.check_device("k").unwrap().entropy;
+        let e2 = plan.check_device("k").unwrap().entropy;
+        assert_ne!(e1, e2);
     }
 
     #[test]

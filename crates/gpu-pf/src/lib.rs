@@ -66,9 +66,9 @@ pub mod log;
 pub mod param;
 
 use ks_core::{Binary, CompileTicket, Compiler, Defines};
-use ks_sim::{launch, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport, SimError};
+use ks_sim::{launch_keyed, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport, SimError};
 use param::{ParamValue, StepParam};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -93,6 +93,13 @@ struct PfMetrics {
     /// Wall time per pipeline iteration (µs) — the windowed-p95 readout
     /// `ks-prof watch` displays per pipeline.
     iteration_us: ks_trace::Histogram,
+    integrity_checks: ks_trace::Counter,
+    integrity_witness: ks_trace::Counter,
+    integrity_violations: ks_trace::Counter,
+    integrity_transient: ks_trace::Counter,
+    integrity_corrupt: ks_trace::Counter,
+    integrity_recovered: ks_trace::Counter,
+    integrity_reexecs: ks_trace::Counter,
 }
 
 impl PfMetrics {
@@ -108,6 +115,13 @@ impl PfMetrics {
             promotions_superseded: s.counter(ks_trace::names::PF_PROMOTIONS_SUPERSEDED),
             promotion_latency_us: s.histogram(ks_trace::names::PF_PROMOTION_LATENCY_US),
             iteration_us: s.histogram(ks_trace::names::PF_ITERATION_US),
+            integrity_checks: s.counter(ks_trace::names::PF_INTEGRITY_CHECKS),
+            integrity_witness: s.counter(ks_trace::names::PF_INTEGRITY_WITNESS),
+            integrity_violations: s.counter(ks_trace::names::PF_INTEGRITY_VIOLATIONS),
+            integrity_transient: s.counter(ks_trace::names::PF_INTEGRITY_TRANSIENT),
+            integrity_corrupt: s.counter(ks_trace::names::PF_INTEGRITY_CORRUPT),
+            integrity_recovered: s.counter(ks_trace::names::PF_INTEGRITY_RECOVERED),
+            integrity_reexecs: s.counter(ks_trace::names::PF_INTEGRITY_REEXECS),
         }
     }
 }
@@ -217,8 +231,141 @@ pub struct Degradation {
     /// Resource index of the module that degraded.
     pub module: usize,
     pub fallback: FallbackKind,
-    /// The specialized compile error that forced the fallback.
+    /// The specialized compile error (or integrity verdict) that forced
+    /// the fallback.
     pub error: String,
+    /// Canonical cache key (32-hex [`ks_core::Fingerprint`]) of the
+    /// *failed* variant, so reports name the exact artifact — the same
+    /// identity `ks-store` records carry on disk.
+    pub key: String,
+    /// The failed variant's rendered `-D` command line (empty for a
+    /// generic compile), so a report names the exact configuration
+    /// without a key-to-defines lookup.
+    pub defines: String,
+}
+
+/// Canonical identity of the binary a module currently serves, stamped
+/// at every bind site from [`ks_core::Compiler::cache_key`] over the
+/// module source and the binary's *actual* compile defines (which, for
+/// a degraded module, differ from the requested specialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundKey {
+    /// 32-hex canonical cache key.
+    pub fingerprint: String,
+    /// Low 64 bits of the key — what keyed launch-fault selectors
+    /// ([`ks_fault::Target::Key`]) match on.
+    pub lo64: u64,
+    /// Rendered `-D` command line of the bound binary.
+    pub defines: String,
+}
+
+/// End-to-end output-integrity checking for kernel executions
+/// ([`Pipeline::set_integrity`]).
+///
+/// When enabled, every `Exec` action snapshots its device-memory
+/// arguments before launching, checksums them after (FNV-1a-128 via
+/// [`ks_core::StableHasher`]), and periodically *witnesses* the result:
+/// the inputs are restored and the generic (define-free) binary —
+/// compiled from the same source, reading its runtime arguments — re-runs
+/// on them. Specialization is semantics-preserving, so any byte
+/// divergence between the specialized output and the witness output is
+/// an integrity violation: either a transient device flip or a corrupt
+/// specialized binary. N-of-M re-execution voting tells the two apart,
+/// the degradation ladder quarantines a corrupt variant, and the
+/// iteration re-executes so downstream actions only ever see verified
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityConfig {
+    /// Witness every Nth integrity-checked execution (1 = every one).
+    /// 0 disables periodic witnessing: a witness then runs only when a
+    /// pinned golden checksum ([`Pipeline::expect_checksum`]) mismatches.
+    pub witness_period: u64,
+    /// Re-execution votes cast when a witness disagrees (the M in
+    /// N-of-M).
+    pub vote_m: u32,
+    /// Votes that must agree with the witness to call the divergence a
+    /// transient device flip (the N). Fewer agreements convict the
+    /// specialized binary itself, which is then quarantined.
+    pub vote_n: u32,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            witness_period: 16,
+            vote_m: 3,
+            vote_n: 2,
+        }
+    }
+}
+
+/// What first exposed an integrity violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A pinned golden checksum ([`Pipeline::expect_checksum`])
+    /// mismatched, and the witness confirmed the divergence.
+    GoldenMismatch,
+    /// A scheduled witness launch disagreed with the specialized output.
+    WitnessMismatch,
+}
+
+/// Root cause assigned by N-of-M re-execution voting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Re-executions of the same specialized binary agree with the
+    /// witness: the original output was corrupted in flight (an SDC
+    /// event), not by the binary. The variant keeps serving.
+    TransientFlip,
+    /// Re-executions reproduce the divergence: the specialized binary
+    /// itself computes wrong bytes. The variant is quarantined through
+    /// the degradation ladder and the generic binary takes over.
+    CorruptBinary,
+}
+
+/// One detected-and-adjudicated output-integrity violation.
+#[derive(Debug, Clone)]
+pub struct IntegrityViolation {
+    /// Pipeline iteration the violating execution ran in.
+    pub iteration: u64,
+    /// The `Exec` action's label.
+    pub label: String,
+    /// Resource index of the module whose binary was suspect.
+    pub module: usize,
+    /// Kernel name launched.
+    pub kernel: String,
+    /// Canonical cache key (32-hex) of the suspect variant.
+    pub key: String,
+    /// The suspect variant's `-D` command line.
+    pub defines: String,
+    pub kind: ViolationKind,
+    pub verdict: Verdict,
+    /// Votes that agreed with the witness, out of `votes_total` cast.
+    pub votes_agree: u32,
+    pub votes_total: u32,
+    /// The post-recovery re-execution reproduced the witness output
+    /// byte-for-byte — downstream actions saw verified bytes.
+    pub recovered: bool,
+}
+
+/// Per-pipeline integrity accounting. The same events appear on the
+/// `gpu_pf.integrity.*` registry counters (globally and under the
+/// pipeline's label scope).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Executions that ran with integrity checking active.
+    pub checks: u64,
+    /// Witness launches performed (generic re-runs on restored inputs).
+    pub witness_launches: u64,
+    /// Violations detected (witness disagreed with the checked output).
+    pub violations: u64,
+    /// Violations adjudicated as transient device flips.
+    pub transient_flips: u64,
+    /// Violations adjudicated as corrupt specialized binaries.
+    pub corrupt_binaries: u64,
+    /// Violations whose recovery re-execution matched the witness.
+    pub recovered: u64,
+    /// Voting and recovery re-executions of the checked kernel.
+    pub reexecutions: u64,
 }
 
 /// How [`Pipeline::refresh`] produces specialized binaries.
@@ -281,6 +428,10 @@ struct Pending {
     /// When the ticket was spawned; the `tier_swap` span covers
     /// spawn → hot-swap.
     started: Instant,
+    /// Canonical identity of the variant being compiled, stamped at
+    /// spawn time so a failed promotion's [`Degradation`] names the
+    /// exact `-D` configuration that failed.
+    key: BoundKey,
 }
 
 enum Resource {
@@ -299,6 +450,9 @@ enum Resource {
         tier_since: Instant,
         /// The in-flight background specialization, if any.
         pending: Option<Pending>,
+        /// Canonical identity of the binary currently bound, stamped at
+        /// every bind site. `None` until the first bind.
+        bound: Option<BoundKey>,
     },
     Kernel {
         module: ResId,
@@ -426,6 +580,16 @@ pub struct Pipeline {
     degradations: Vec<Degradation>,
     refresh_mode: RefreshMode,
     promotion_stats: PromotionStats,
+    /// Output-integrity checking, off by default ([`Pipeline::set_integrity`]).
+    integrity: Option<IntegrityConfig>,
+    /// Integrity-checked executions so far — the witness-period clock.
+    integrity_seq: u64,
+    integrity_stats: IntegrityStats,
+    violations: Vec<IntegrityViolation>,
+    /// Pinned golden checksums by exec label ([`Pipeline::expect_checksum`]).
+    golden: BTreeMap<String, String>,
+    /// Most recent observed output checksum by exec label.
+    observed_checksums: BTreeMap<String, String>,
     /// The metric scope this pipeline publishes through: global when
     /// unlabeled, `{pipeline=<label>}` after [`Pipeline::set_label`].
     scope: ks_trace::Scope<'static>,
@@ -454,6 +618,12 @@ impl Pipeline {
             degradations: Vec::new(),
             refresh_mode: RefreshMode::Blocking,
             promotion_stats: PromotionStats::default(),
+            integrity: None,
+            integrity_seq: 0,
+            integrity_stats: IntegrityStats::default(),
+            violations: Vec::new(),
+            golden: BTreeMap::new(),
+            observed_checksums: BTreeMap::new(),
             metrics: PfMetrics::from_scope(&scope),
             scope,
             label: None,
@@ -514,10 +684,87 @@ impl Pipeline {
             .record_duration_us(dwell);
     }
 
+    /// Canonical identity of a (source, defines) variant under this
+    /// pipeline's compiler.
+    fn variant_key(&self, source: &str, defs: &Defines) -> BoundKey {
+        let fp = self.compiler.cache_key(source, defs);
+        BoundKey {
+            fingerprint: fp.to_hex(),
+            lo64: fp.lo64(),
+            defines: defs.command_line(),
+        }
+    }
+
+    /// Stamp module `i`'s bound-key identity from the binary it now
+    /// holds. Called at every bind site, so keyed launch-fault checks
+    /// and integrity records always name the served variant exactly.
+    fn stamp_bound_key(&mut self, i: usize) {
+        let Resource::Module {
+            source,
+            binary: Some(bin),
+            ..
+        } = &self.resources[i]
+        else {
+            return;
+        };
+        let key = self.variant_key(&source.clone(), &bin.defines.clone());
+        let Resource::Module { bound, .. } = &mut self.resources[i] else {
+            unreachable!()
+        };
+        *bound = Some(key);
+    }
+
     /// Every graceful degradation recorded by [`Pipeline::refresh`]
     /// (oldest first). Empty when all specialized compiles succeeded.
     pub fn degradations(&self) -> &[Degradation] {
         &self.degradations
+    }
+
+    /// Enable (or disable, with `None`) end-to-end output-integrity
+    /// checking for every `Exec` action. See [`IntegrityConfig`].
+    pub fn set_integrity(&mut self, cfg: Option<IntegrityConfig>) {
+        self.integrity = cfg;
+    }
+
+    pub fn integrity(&self) -> Option<IntegrityConfig> {
+        self.integrity
+    }
+
+    /// Per-pipeline integrity accounting (mirrors the
+    /// `gpu_pf.integrity.*` counters under this pipeline's scope).
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity_stats
+    }
+
+    /// Every detected integrity violation (oldest first).
+    pub fn integrity_violations(&self) -> &[IntegrityViolation] {
+        &self.violations
+    }
+
+    /// Pin the expected output checksum for an `Exec` action's label.
+    /// While integrity checking is on, any execution whose observed
+    /// checksum differs triggers an immediate witness — even between
+    /// scheduled witness periods. Only pin stages whose inputs are
+    /// stationary across iterations; for streaming stages rely on the
+    /// periodic witness instead.
+    pub fn expect_checksum(&mut self, label: &str, checksum: &str) {
+        self.golden.insert(label.to_string(), checksum.to_string());
+    }
+
+    /// The most recent observed output checksum (32-hex FNV-1a-128 over
+    /// the execution's device-memory arguments) for an exec label, once
+    /// integrity checking has seen it fire.
+    pub fn last_checksum(&self, label: &str) -> Option<&str> {
+        self.observed_checksums.get(label).map(|s| s.as_str())
+    }
+
+    /// Canonical identity of the binary a module currently serves, or
+    /// `None` before the first bind (or if `id` is not a module).
+    pub fn module_bound_key(&self, id: ResId) -> Option<&BoundKey> {
+        match &self.resources[id.0] {
+            Resource::Module { bound, .. } => bound.as_ref(),
+            _ => None,
+        }
     }
 
     /// Select how [`Pipeline::refresh`] produces specialized binaries
@@ -760,6 +1007,7 @@ impl Pipeline {
             tier: Tier::Generic,
             tier_since: Instant::now(),
             pending: None,
+            bound: None,
         })
     }
 
@@ -1183,6 +1431,7 @@ impl Pipeline {
         };
         *binary = Some(bin);
         *degraded = fallback.is_some();
+        self.stamp_bound_key(i);
         let new_tier = match fallback {
             None => Tier::Specialized,
             Some(FallbackKind::Generic) => Tier::Generic,
@@ -1238,10 +1487,12 @@ impl Pipeline {
                 unreachable!()
             };
             *binary = Some(generic);
+            self.stamp_bound_key(i);
             self.log
                 .line_with(|| format!("module[{i}]: bound generic binary for immediate service"));
             FallbackKind::Generic
         };
+        let spec_key = self.variant_key(source, &defs);
         let ticket = self.compiler.spawn_compile(source, &defs);
         self.log.line_with(|| {
             format!(
@@ -1260,6 +1511,7 @@ impl Pipeline {
             ticket,
             fallback,
             started: Instant::now(),
+            key: spec_key,
         });
         *degraded = false;
         self.record_tier_transition(i, Tier::Promoting);
@@ -1293,6 +1545,7 @@ impl Pipeline {
                     };
                     *binary = Some(bin);
                     *degraded = false;
+                    self.stamp_bound_key(i);
                     self.record_tier_transition(i, Tier::Specialized);
                     self.metrics.promotions.inc();
                     self.metrics
@@ -1326,11 +1579,14 @@ impl Pipeline {
                         module: i,
                         fallback: p.fallback,
                         error: e.to_string(),
+                        key: p.key.fingerprint.clone(),
+                        defines: p.key.defines.clone(),
                     });
                     self.log.line_with(|| {
                         format!(
-                            "module[{i}]: promotion failed ({e}); serving {:?} fallback",
-                            p.fallback
+                            "module[{i}]: promotion failed ({e}); serving {:?} fallback \
+                             (failed variant {} [{}])",
+                            p.fallback, p.key.fingerprint, p.key.defines
                         )
                     });
                 }
@@ -1377,6 +1633,9 @@ impl Pipeline {
                 ("error".to_string(), err.message.clone()),
             ]
         });
+        // Name the exact variant that failed in every degradation
+        // record: its canonical cache key and `-D` configuration.
+        let failed = self.variant_key(source, defs);
         // The generic compile is only a distinct variant when the failed
         // one was actually specialized.
         if !defs.is_empty() {
@@ -1385,13 +1644,16 @@ impl Pipeline {
                 self.log.line_with(|| {
                     format!(
                         "module[{idx}]: specialized compile failed ({err}); \
-                         falling back to generic kernel"
+                         falling back to generic kernel (failed variant {} [{}])",
+                        failed.fingerprint, failed.defines
                     )
                 });
                 self.degradations.push(Degradation {
                     module: idx,
                     fallback: FallbackKind::Generic,
                     error: err.to_string(),
+                    key: failed.fingerprint,
+                    defines: failed.defines,
                 });
                 return Ok((generic, Some(FallbackKind::Generic)));
             }
@@ -1405,6 +1667,8 @@ impl Pipeline {
                 module: idx,
                 fallback: FallbackKind::LastKnownGood,
                 error: err.to_string(),
+                key: failed.fingerprint,
+                defines: failed.defines,
             });
             return Ok((prev, Some(FallbackKind::LastKnownGood)));
         }
@@ -1617,61 +1881,71 @@ impl Pipeline {
                     self.state.bind_texture(&name, addr);
                 }
                 let kernel = *kernel;
+                let exec_args = args.clone();
                 let grid = self.triplet_value(*grid)?;
                 let block = self.triplet_value(*block)?;
                 let dyn_sh = match dynamic_shared {
                     Some(p) => self.try_int_value(*p)? as u32,
                     None => 0,
                 };
-                let kargs: Vec<KArg> = args
-                    .clone()
+                let kargs: Vec<KArg> = exec_args
                     .iter()
                     .map(|a| self.resolve_arg(a))
                     .collect::<Result<_, _>>()?;
                 let Resource::Kernel { module, name } = &self.resources[kernel.0] else {
                     return Err(PfError::Launch(format!("{label}: not a kernel resource")));
                 };
+                let module_idx = module.0;
                 let name = name.clone();
                 let Resource::Module {
-                    binary: Some(bin), ..
-                } = &self.resources[module.0]
+                    source,
+                    binary: Some(bin),
+                    bound,
+                    ..
+                } = &self.resources[module_idx]
                 else {
                     return Err(PfError::Launch(format!("{label}: module not compiled")));
                 };
+                let source = source.clone();
                 let bin = bin.clone();
+                // Identify the launch to the fault plan (and to integrity
+                // records) by the served variant's canonical cache key.
+                let bound = bound.clone().unwrap_or(BoundKey {
+                    fingerprint: String::new(),
+                    lo64: 0,
+                    defines: String::new(),
+                });
                 let dims = LaunchDims {
                     grid: (grid[0], grid[1], grid[2]),
                     block: (block[0], block[1], block[2]),
                     dynamic_shared: dyn_sh,
                 };
-                // Transient device faults (injected watchdog timeouts,
-                // OOM, ECC) retry up to the budget; faults fire before
-                // any device state changes, so a retry is safe. Genuine
-                // simulation traps are deterministic and fail fast.
-                let mut attempt = 0u32;
-                let report = loop {
-                    match launch(
-                        &mut self.state,
-                        &bin.module,
-                        &name,
-                        dims,
-                        &kargs,
-                        self.launch_options,
-                    ) {
-                        Ok(r) => break r,
-                        Err(e) if e.is_transient() && attempt < self.launch_retries => {
-                            attempt += 1;
-                            self.metrics.launch_retries.inc();
-                            self.log.line_with(|| {
-                                format!(
-                                    "  [retry] {label}: transient device fault ({e}); \
-                                     attempt {attempt}"
-                                )
-                            });
-                        }
-                        Err(e) => return Err(PfError::Sim(e)),
+                // Integrity checking compares output bytes, so it needs
+                // every block functionally executed.
+                let integrity = self.integrity.filter(|_| self.launch_options.functional);
+                let pre = match integrity {
+                    Some(_) => {
+                        let bufs = self.mem_arg_buffers(&exec_args)?;
+                        let snap = self.read_bufs(&bufs)?;
+                        Some((bufs, snap))
                     }
+                    None => None,
                 };
+                let mut report = self.launch_with_retry(
+                    &bin,
+                    &name,
+                    dims,
+                    &kargs,
+                    bound.lo64,
+                    &bound.defines,
+                    label,
+                )?;
+                if let (Some(cfg), Some((bufs, pre))) = (integrity, pre) {
+                    report = self.check_integrity(
+                        cfg, iter, label, module_idx, &name, &source, &bin, &bound, dims, &kargs,
+                        &bufs, &pre, report,
+                    )?;
+                }
                 self.log.line_with(|| {
                     format!(
                         "  [exec] {label}: {} grid=({},{},{}) block=({},{},{}) {:.6} ms, {} regs, occ {:.2}",
@@ -1768,6 +2042,292 @@ impl Pipeline {
         })
     }
 
+    /// `(addr, bytes)` of every device-memory argument of an exec — the
+    /// buffers integrity checking snapshots, checksums, and compares.
+    /// Kernels can only write through the pointers they receive, so the
+    /// `Arg::Mem` set covers the execution's entire write set.
+    fn mem_arg_buffers(&self, args: &[Arg]) -> Result<Vec<(u64, u64)>, PfError> {
+        let mut bufs = Vec::new();
+        for a in args {
+            let Arg::Mem(r) = a else { continue };
+            bufs.push((self.try_device_addr(*r)?, self.mem_bytes(*r)?));
+        }
+        Ok(bufs)
+    }
+
+    /// Byte length of a device-memory resource (full buffer, or the
+    /// current window of a subset).
+    fn mem_bytes(&self, id: ResId) -> Result<u64, PfError> {
+        match &self.resources[id.0] {
+            Resource::GlobalMem { bytes, .. } => Ok(*bytes),
+            Resource::Subset { of, subset } => {
+                let elem = match &self.resources[of.0] {
+                    Resource::GlobalMem { extent, .. } => self.extent_elem(*extent)?,
+                    _ => {
+                        return Err(PfError::Bind(
+                            "subset of non-global memory has no device buffer".to_string(),
+                        ))
+                    }
+                };
+                match &self.params[subset.0].value {
+                    ParamValue::Subset { len, .. } => Ok(len * elem as u64),
+                    _ => Err(PfError::Bind(
+                        "subset resource bound to non-subset parameter".to_string(),
+                    )),
+                }
+            }
+            _ => Err(PfError::Bind("argument has no device buffer".to_string())),
+        }
+    }
+
+    fn read_bufs(&self, bufs: &[(u64, u64)]) -> Result<Vec<Vec<u8>>, PfError> {
+        bufs.iter()
+            .map(|&(a, n)| Ok(self.state.global.read_bytes(a, n)?.to_vec()))
+            .collect()
+    }
+
+    fn write_bufs(&mut self, bufs: &[(u64, u64)], data: &[Vec<u8>]) -> Result<(), PfError> {
+        for (&(a, _), d) in bufs.iter().zip(data) {
+            self.state.global.write_bytes(a, d)?;
+        }
+        Ok(())
+    }
+
+    /// One kernel launch with the transient-fault retry loop, identified
+    /// to an active fault plan by the served variant's cache key.
+    /// Transient device faults (injected watchdog timeouts, OOM, ECC)
+    /// fire before any device state changes, so a retry is safe; genuine
+    /// simulation traps are deterministic and fail fast. Does not touch
+    /// `reports`/`timings` — the caller decides which launch represents
+    /// the action.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_with_retry(
+        &mut self,
+        bin: &Arc<Binary>,
+        kernel: &str,
+        dims: LaunchDims,
+        kargs: &[KArg],
+        key: u64,
+        defines: &str,
+        label: &str,
+    ) -> Result<LaunchReport, PfError> {
+        let mut attempt = 0u32;
+        loop {
+            match launch_keyed(
+                &mut self.state,
+                &bin.module,
+                kernel,
+                dims,
+                kargs,
+                self.launch_options,
+                key,
+                defines,
+            ) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_transient() && attempt < self.launch_retries => {
+                    attempt += 1;
+                    self.metrics.launch_retries.inc();
+                    self.log.line_with(|| {
+                        format!(
+                            "  [retry] {label}: transient device fault ({e}); \
+                             attempt {attempt}"
+                        )
+                    });
+                }
+                Err(e) => return Err(PfError::Sim(e)),
+            }
+        }
+    }
+
+    /// Post-launch output-integrity check for one `Exec` firing: observe
+    /// the output checksum, witness with the generic binary when due (or
+    /// when a pinned golden checksum mismatches), adjudicate any
+    /// divergence by N-of-M re-execution voting, quarantine a corrupt
+    /// variant, and re-execute so the device holds verified bytes when
+    /// this returns. Returns the launch report that ultimately produced
+    /// the surviving output.
+    #[allow(clippy::too_many_arguments)]
+    fn check_integrity(
+        &mut self,
+        cfg: IntegrityConfig,
+        iter: u64,
+        label: &str,
+        module_idx: usize,
+        kernel: &str,
+        source: &str,
+        bin: &Arc<Binary>,
+        bound: &BoundKey,
+        dims: LaunchDims,
+        kargs: &[KArg],
+        bufs: &[(u64, u64)],
+        pre: &[Vec<u8>],
+        report: LaunchReport,
+    ) -> Result<LaunchReport, PfError> {
+        self.metrics.integrity_checks.inc();
+        self.integrity_stats.checks += 1;
+        self.integrity_seq += 1;
+        let post = self.read_bufs(bufs)?;
+        let checksum = checksum_hex(&post);
+        let golden_mismatch = self
+            .golden
+            .get(label)
+            .is_some_and(|pinned| *pinned != checksum);
+        self.observed_checksums
+            .insert(label.to_string(), checksum.clone());
+        let witness_due =
+            cfg.witness_period > 0 && self.integrity_seq.is_multiple_of(cfg.witness_period);
+        if !witness_due && !golden_mismatch {
+            return Ok(report);
+        }
+        // Witness: re-run the generic (define-free) binary — compiled
+        // from the same source, reading its runtime arguments — on the
+        // restored inputs. Compile before touching device state so an
+        // unavailable witness leaves the original output in place.
+        let generic = match self.compiler.compile(source, Defines::new()) {
+            Ok(g) => g,
+            Err(e) => {
+                self.log.line_with(|| {
+                    format!("  [integrity] {label}: witness unavailable (generic compile: {e})")
+                });
+                return Ok(report);
+            }
+        };
+        let gkey = self.variant_key(source, &generic.defines);
+        self.metrics.integrity_witness.inc();
+        self.integrity_stats.witness_launches += 1;
+        self.write_bufs(bufs, pre)?;
+        self.launch_with_retry(
+            &generic,
+            kernel,
+            dims,
+            kargs,
+            gkey.lo64,
+            &gkey.defines,
+            label,
+        )?;
+        let witness = self.read_bufs(bufs)?;
+        if witness == post {
+            if golden_mismatch {
+                // The computation is self-consistent across two distinct
+                // binaries; the pinned expectation is stale for this
+                // input. Surface it, but do not convict anything.
+                self.log.line_with(|| {
+                    format!(
+                        "  [integrity] {label}: pinned checksum mismatch but witness \
+                         agrees (observed {checksum}); pin is stale for this input"
+                    )
+                });
+            }
+            // Device state already equals the verified output.
+            return Ok(report);
+        }
+        // Divergence: either the original output was corrupted in flight
+        // or the specialized binary computes wrong bytes. Vote: restore
+        // the inputs and re-run the *same* specialized binary; runs that
+        // agree with the witness exonerate the binary.
+        self.metrics.integrity_violations.inc();
+        self.integrity_stats.violations += 1;
+        let kind = if golden_mismatch {
+            ViolationKind::GoldenMismatch
+        } else {
+            ViolationKind::WitnessMismatch
+        };
+        let mut votes_agree = 0u32;
+        for _ in 0..cfg.vote_m {
+            self.write_bufs(bufs, pre)?;
+            self.launch_with_retry(bin, kernel, dims, kargs, bound.lo64, &bound.defines, label)?;
+            self.metrics.integrity_reexecs.inc();
+            self.integrity_stats.reexecutions += 1;
+            if self.read_bufs(bufs)? == witness {
+                votes_agree += 1;
+            }
+        }
+        let verdict = if votes_agree >= cfg.vote_n {
+            Verdict::TransientFlip
+        } else {
+            Verdict::CorruptBinary
+        };
+        match verdict {
+            Verdict::TransientFlip => {
+                self.metrics.integrity_transient.inc();
+                self.integrity_stats.transient_flips += 1;
+            }
+            Verdict::CorruptBinary => {
+                // Quarantine the variant through the degradation ladder:
+                // the generic binary takes over, the module is marked
+                // degraded (the next refresh retries the specialization),
+                // and the degradation record names the convicted variant.
+                self.metrics.integrity_corrupt.inc();
+                self.integrity_stats.corrupt_binaries += 1;
+                self.metrics.fallback_generic.inc();
+                let Resource::Module {
+                    binary, degraded, ..
+                } = &mut self.resources[module_idx]
+                else {
+                    unreachable!()
+                };
+                *binary = Some(generic.clone());
+                *degraded = true;
+                self.stamp_bound_key(module_idx);
+                self.record_tier_transition(module_idx, Tier::Generic);
+                self.degradations.push(Degradation {
+                    module: module_idx,
+                    fallback: FallbackKind::Generic,
+                    error: format!(
+                        "integrity violation: specialized output diverges from generic \
+                         witness ({votes_agree}/{} votes agreed with witness)",
+                        cfg.vote_m
+                    ),
+                    key: bound.fingerprint.clone(),
+                    defines: bound.defines.clone(),
+                });
+            }
+        }
+        // Recovery: restore the inputs once more and re-execute with the
+        // binary the verdict left in service (the exonerated specialized
+        // variant, or the generic that replaced a convicted one), so
+        // downstream actions only ever see verified bytes.
+        self.write_bufs(bufs, pre)?;
+        let (rbin, rkey) = match verdict {
+            Verdict::TransientFlip => (bin.clone(), bound.clone()),
+            Verdict::CorruptBinary => (generic, gkey),
+        };
+        let final_report =
+            self.launch_with_retry(&rbin, kernel, dims, kargs, rkey.lo64, &rkey.defines, label)?;
+        self.metrics.integrity_reexecs.inc();
+        self.integrity_stats.reexecutions += 1;
+        let final_out = self.read_bufs(bufs)?;
+        let recovered = final_out == witness;
+        if recovered {
+            self.metrics.integrity_recovered.inc();
+            self.integrity_stats.recovered += 1;
+        }
+        self.observed_checksums
+            .insert(label.to_string(), checksum_hex(&final_out));
+        let violation = IntegrityViolation {
+            iteration: iter,
+            label: label.to_string(),
+            module: module_idx,
+            kernel: kernel.to_string(),
+            key: bound.fingerprint.clone(),
+            defines: bound.defines.clone(),
+            kind,
+            verdict,
+            votes_agree,
+            votes_total: cfg.vote_m,
+            recovered,
+        };
+        self.log.line_with(|| {
+            format!(
+                "  [integrity] {label}: {:?} on variant {} [{}] -> {:?} \
+                 ({votes_agree}/{} votes agreed with witness), recovered={recovered}",
+                violation.kind, violation.key, violation.defines, violation.verdict, cfg.vote_m
+            )
+        });
+        self.violations.push(violation);
+        Ok(final_report)
+    }
+
     /// Copy between two memory references; returns a modeled transfer time
     /// (PCIe-class for host↔device, device bandwidth for device↔device).
     fn do_copy(&mut self, src: ResId, dst: ResId) -> Result<f64, PfError> {
@@ -1857,6 +2417,21 @@ impl Pipeline {
         let gbps = 6.0e9;
         Ok(n as f64 / gbps * 1e3 + 0.005)
     }
+}
+
+/// FNV-1a-128 over an execution's device-memory buffers (count- and
+/// length-prefixed, via [`ks_core::StableHasher`]), rendered in the
+/// same 32-hex form `ks-store` fingerprints use. This is the checksum
+/// [`Pipeline::last_checksum`] reports and
+/// [`Pipeline::expect_checksum`] pins.
+fn checksum_hex(bufs: &[Vec<u8>]) -> String {
+    let mut h = ks_core::StableHasher::new();
+    h.str("gpu-pf.integrity.v1");
+    h.usize(bufs.len());
+    for b in bufs {
+        h.bytes(b);
+    }
+    h.finish().to_hex()
 }
 
 #[cfg(test)]
@@ -2570,11 +3145,17 @@ mod tests {
         assert_eq!(p.degradations()[0].fallback, FallbackKind::LastKnownGood);
     }
 
+    /// Serializes every test that installs the process-wide fault plan
+    /// (`ks_fault::install`/`clear`): concurrent installs would clobber
+    /// each other mid-launch.
+    static GLOBAL_PLAN: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn transient_launch_faults_retry_then_exhaust() {
         // The device-fault path is consulted in ks-sim via the
         // process-wide plan, so this test owns the global slot for its
         // duration; rules are pinned to kernel names no other test uses.
+        let _guard = GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
         const RETRY_SRC: &str = r#"
             __global__ void retryk(float* in, float* out, int factor, int n) {
                 int i = blockIdx.x * blockDim.x + threadIdx.x;
@@ -2649,6 +3230,214 @@ mod tests {
             }
             other => panic!("expected PfError::Sim, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degradations_name_the_failed_variant_key() {
+        // Same forced compile failure as above, via the per-compiler
+        // plan; what's under test is that the degradation record names
+        // the exact failed variant: canonical cache key + `-D` line.
+        let plan = Arc::new(
+            ks_fault::FaultPlan::new(11).rule(
+                ks_fault::FaultRule::new(
+                    ks_fault::FaultKind::CompileError,
+                    ks_fault::Target::Define("FACTOR".into()),
+                )
+                .persistent(),
+            ),
+        );
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()).with_fault_plan(plan));
+        let (mut p, _factor, _hi, _ho) = scale_pipeline(c.clone());
+        p.refresh().unwrap();
+        assert_eq!(p.degradations().len(), 1);
+        let d = &p.degradations()[0];
+        let expected = c.cache_key(SCALE_SRC, &Defines::new().def("FACTOR", "3"));
+        assert_eq!(d.key, expected.to_hex());
+        assert_eq!(d.defines, "-D FACTOR=3");
+        // The served binary's stamped identity is the *generic* variant
+        // — what is actually bound, not what was requested.
+        let bound = p.module_bound_key(ResId(4)).unwrap();
+        assert_eq!(
+            bound.fingerprint,
+            c.cache_key(SCALE_SRC, &Defines::new()).to_hex()
+        );
+        assert_eq!(bound.defines, "");
+    }
+
+    #[test]
+    fn integrity_witness_catches_transient_flip_and_recovers() {
+        let _guard = GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let (mut p, factor, host_in, host_out) = scale_pipeline(c);
+        // A factor no other test uses keeps this variant's cache key —
+        // and therefore the keyed flip rule — unique to this test.
+        p.set_int(factor, 13);
+        p.set_integrity(Some(IntegrityConfig {
+            witness_period: 1,
+            vote_m: 3,
+            vote_n: 2,
+        }));
+        p.refresh().unwrap();
+        let key = p.module_bound_key(ResId(4)).unwrap().clone();
+        assert!(key.defines.contains("-D FACTOR=13"));
+        // One silent bit flip on the first launch of exactly this
+        // specialized variant; witness/vote/recovery launches (and every
+        // other test's launches) carry other keys or occurrences.
+        let plan = Arc::new(
+            ks_fault::FaultPlan::new(99).rule(
+                ks_fault::FaultRule::new(
+                    ks_fault::FaultKind::SilentFlip,
+                    ks_fault::Target::Key(key.lo64),
+                )
+                .nth(1),
+            ),
+        );
+        ks_fault::install(plan.clone());
+        let vals: Vec<f32> = (0..64).map(|i| i as f32 + 1.0).collect();
+        p.set_host_f32(host_in, &vals);
+        let r = p.run(2);
+        ks_fault::clear();
+        r.unwrap();
+        assert_eq!(plan.injected_count(), 1);
+        // The flip was detected, adjudicated as transient, and the
+        // iteration re-executed: downstream saw only verified bytes.
+        let out = p.host_f32(host_out);
+        for i in 0..64 {
+            assert_eq!(out[i], vals[i] * 13.0);
+        }
+        let s = p.integrity_stats();
+        assert_eq!(s.checks, 2);
+        assert_eq!(s.witness_launches, 2);
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.transient_flips, 1);
+        assert_eq!(s.corrupt_binaries, 0);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.reexecutions, 4); // 3 votes + 1 recovery
+        let v = &p.integrity_violations()[0];
+        assert_eq!(v.kind, ViolationKind::WitnessMismatch);
+        assert_eq!(v.verdict, Verdict::TransientFlip);
+        assert!(v.recovered);
+        assert_eq!(v.key, key.fingerprint);
+        assert_eq!((v.votes_agree, v.votes_total), (3, 3));
+        // An exonerated variant keeps serving; nothing degraded.
+        assert_eq!(p.module_tier(ResId(4)), Some(Tier::Specialized));
+        assert!(p.degradations().is_empty());
+    }
+
+    #[test]
+    fn corrupt_specialized_binary_is_quarantined_by_witness_voting() {
+        // A macro binding that *lies*: the specialized binary bakes in
+        // FACTOR=7 while the runtime argument says 5, so the variant
+        // persistently computes wrong bytes — the binary-corruption case
+        // (vs a one-shot flip), no fault plan needed.
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let mut p = Pipeline::new(c.clone(), 32 << 20);
+        let ext = p.extent_param("buf", [64, 1, 1], 4);
+        let host_in = p.host_memory(ext);
+        let host_out = p.host_memory(ext);
+        let dev_in = p.global_memory(ext);
+        let dev_out = p.global_memory(ext);
+        let m = p.module(
+            SCALE_SRC,
+            vec![("FACTOR", MacroBinding::Literal("7".into()))],
+        );
+        let k = p.kernel(m, "scale");
+        let grid = p.triplet_param("grid", [1, 1, 1]);
+        let blk = p.triplet_param("block", [64, 1, 1]);
+        let every = p.schedule_param("every", 1, 0);
+        let factor = p.int_param("factor", 5);
+        let n = p.int_param("n", 64);
+        p.copy("h2d", host_in, dev_in, every);
+        p.exec(
+            "scale",
+            k,
+            grid,
+            blk,
+            None,
+            vec![
+                Arg::Mem(dev_in),
+                Arg::Mem(dev_out),
+                Arg::Param(factor),
+                Arg::Param(n),
+            ],
+            every,
+        );
+        p.copy("d2h", dev_out, host_out, every);
+        p.set_integrity(Some(IntegrityConfig {
+            witness_period: 1,
+            vote_m: 2,
+            vote_n: 1,
+        }));
+        p.refresh().unwrap();
+        let suspect = p.module_bound_key(m).unwrap().clone();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(2).unwrap();
+        // The generic witness (×5, the runtime argument) convicted the
+        // ×7 variant: every vote reproduced the divergence.
+        let out = p.host_f32(host_out);
+        for i in 0..64 {
+            assert_eq!(out[i], vals[i] * 5.0);
+        }
+        assert_eq!(p.integrity_violations().len(), 1);
+        let v = &p.integrity_violations()[0];
+        assert_eq!(v.verdict, Verdict::CorruptBinary);
+        assert!(v.recovered);
+        assert_eq!(v.key, suspect.fingerprint);
+        assert_eq!(v.defines, "-D FACTOR=7");
+        assert_eq!((v.votes_agree, v.votes_total), (0, 2));
+        // Quarantined through the degradation ladder: generic serves,
+        // module marked degraded (next refresh retries), record names
+        // the convicted variant.
+        assert_eq!(p.module_tier(m), Some(Tier::Generic));
+        assert_eq!(p.degradations().len(), 1);
+        let d = &p.degradations()[0];
+        assert_eq!(d.fallback, FallbackKind::Generic);
+        assert!(d.error.contains("integrity violation"));
+        assert_eq!(d.key, suspect.fingerprint);
+        assert_eq!(d.defines, "-D FACTOR=7");
+        assert_eq!(p.module_bound_key(m).unwrap().defines, "");
+        let s = p.integrity_stats();
+        assert_eq!(s.corrupt_binaries, 1);
+        assert_eq!(s.transient_flips, 0);
+        // Iteration 2 served the generic: witness agreed, no new
+        // violation.
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.recovered, 1);
+    }
+
+    #[test]
+    fn golden_checksum_pin_triggers_witness_and_stale_pin_is_benign() {
+        let c = Arc::new(Compiler::new(DeviceConfig::tesla_c1060()));
+        let (mut p, _factor, host_in, _host_out) = scale_pipeline(c);
+        // No periodic witnessing: only a pinned-checksum mismatch may
+        // trigger one.
+        p.set_integrity(Some(IntegrityConfig {
+            witness_period: 0,
+            vote_m: 3,
+            vote_n: 2,
+        }));
+        p.refresh().unwrap();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        p.set_host_f32(host_in, &vals);
+        p.run(1).unwrap();
+        assert_eq!(p.integrity_stats().checks, 1);
+        assert_eq!(p.integrity_stats().witness_launches, 0);
+        // Pin the observed checksum: stationary inputs keep matching it,
+        // so the cheap checksum compare suffices and no witness runs.
+        let cs = p.last_checksum("scale").unwrap().to_string();
+        assert_eq!(cs.len(), 32);
+        p.expect_checksum("scale", &cs);
+        p.run(2).unwrap();
+        assert_eq!(p.integrity_stats().witness_launches, 0);
+        assert!(p.integrity_violations().is_empty());
+        // A wrong pin triggers the witness — which agrees with the
+        // output, so the pin is reported stale rather than convicting
+        // the binary.
+        p.expect_checksum("scale", "00000000000000000000000000000000");
+        p.run(1).unwrap();
+        assert_eq!(p.integrity_stats().witness_launches, 1);
+        assert!(p.integrity_violations().is_empty());
     }
 
     #[test]
@@ -2844,7 +3633,7 @@ mod tests {
                             !bin.module.functions.is_empty() && !bin.ptx.is_empty(),
                             "launcher {t} saw a partially built binary"
                         );
-                        launch(
+                        ks_sim::launch(
                             &mut state,
                             &bin.module,
                             "scale",

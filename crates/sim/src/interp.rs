@@ -129,6 +129,14 @@ pub struct ExecStats {
     pub issue_cycles: u64,
     /// Critical-path cycles: max over warps of the scoreboard clock.
     pub isolated_cycles: u64,
+    /// Device address of the first global store this block executed
+    /// (0 = none; the global heap starts above 0, so 0 is free as a
+    /// sentinel). With `last_store_addr`, this gives a launch two
+    /// known-written output words — where an injected silent bit flip
+    /// can land without ever touching an input-only buffer.
+    pub first_store_addr: u64,
+    /// Device address of the most recent global store (0 = none).
+    pub last_store_addr: u64,
 }
 
 impl ExecStats {
@@ -151,6 +159,12 @@ impl ExecStats {
         self.barriers += o.barriers;
         self.issue_cycles += o.issue_cycles;
         self.isolated_cycles = self.isolated_cycles.max(o.isolated_cycles);
+        if self.first_store_addr == 0 {
+            self.first_store_addr = o.first_store_addr;
+        }
+        if o.last_store_addr != 0 {
+            self.last_store_addr = o.last_store_addr;
+        }
     }
 }
 
@@ -844,6 +858,10 @@ fn exec_inst(
                         if mask & (1 << lane) != 0 {
                             let v = store_bits(*ty, operand_bits(w, src, lane));
                             ctx.global.write_u32(addrs[lane], v)?;
+                            if w.stats.first_store_addr == 0 {
+                                w.stats.first_store_addr = addrs[lane];
+                            }
+                            w.stats.last_store_addr = addrs[lane];
                         }
                     }
                 }

@@ -237,6 +237,25 @@ pub fn launch(
     args: &[KArg],
     opts: LaunchOptions,
 ) -> Result<LaunchReport, SimError> {
+    launch_keyed(state, module, kernel, dims, args, opts, 0, "")
+}
+
+/// [`launch`], with the bound binary identified by its specialization
+/// cache key and rendered `-D` command line so an active
+/// [`ks_fault::FaultPlan`] can scope launch faults to one exact variant
+/// (`Target::Key` / `Target::Define`). Key 0 and an empty `-D` line
+/// mean "unidentified" and match only un-keyed selectors.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_keyed(
+    state: &mut DeviceState,
+    module: &Module,
+    kernel: &str,
+    dims: LaunchDims,
+    args: &[KArg],
+    opts: LaunchOptions,
+    key: u64,
+    defines: &str,
+) -> Result<LaunchReport, SimError> {
     let _span = ks_trace::span_fields("launch", || {
         vec![
             ("kernel".to_string(), kernel.to_string()),
@@ -245,16 +264,30 @@ pub fn launch(
         ]
     });
     // Injected device faults fire before any device state is touched,
-    // so a faulted launch is always safe to retry.
+    // so a faulted launch is always safe to retry. A SilentFlip is the
+    // exception: the launch must *succeed* and corrupt an output
+    // afterwards, so it is held until the kernel completes.
+    let mut pending_flip = None;
     if let Some(plan) = ks_fault::active() {
-        if let Some(fault) = plan.check_device(kernel) {
-            ks_trace::registry()
-                .counter(ks_trace::names::SIM_FAULTS_INJECTED)
-                .inc();
-            return Err(SimError(fault.message()));
+        if let Some(fault) = plan.check_device_keyed(kernel, key, defines) {
+            if fault.kind == ks_fault::FaultKind::SilentFlip {
+                pending_flip = Some(fault);
+            } else {
+                ks_trace::registry()
+                    .counter(ks_trace::names::SIM_FAULTS_INJECTED)
+                    .inc();
+                return Err(SimError(fault.message()));
+            }
         }
     }
     let report = launch_inner(state, module, kernel, dims, args, opts)?;
+    if let Some(fault) = pending_flip {
+        if apply_silent_flip(state, &report, fault.entropy) {
+            ks_trace::registry()
+                .counter(ks_trace::names::SIM_SILENT_FLIPS)
+                .inc();
+        }
+    }
     let m = trace_metrics();
     m.launches.inc();
     m.dyn_insts.add(report.stats.dyn_insts);
@@ -264,6 +297,30 @@ pub fn launch(
     m.time_us.record((report.time_ms * 1e3) as u64);
     m.occupancy.set(report.occupancy.occupancy);
     Ok(report)
+}
+
+/// Apply an injected [`ks_fault::FaultKind::SilentFlip`]: XOR one bit
+/// of a word the kernel verifiably stored to, chosen from the fault's
+/// deterministic entropy stream. Targeting recorded store addresses —
+/// never a guessed extent — guarantees the corruption lands in an
+/// *output* buffer, so a witness re-run on the same inputs can expose
+/// it; an input-side flip would corrupt the witness identically and be
+/// undetectable by construction. Returns whether a bit was flipped
+/// (false when the kernel stored nothing; the caller only counts real
+/// corruptions). Errors are swallowed: the whole point is that the
+/// launch still reports success.
+fn apply_silent_flip(state: &mut DeviceState, report: &LaunchReport, entropy: u64) -> bool {
+    let first = report.stats.first_store_addr;
+    let last = report.stats.last_store_addr;
+    if first == 0 {
+        return false;
+    }
+    let addr = if entropy & 1 == 0 { first } else { last };
+    let bit = ((entropy >> 1) % 32) as u32;
+    match state.global.read_u32(addr) {
+        Ok(word) => state.global.write_u32(addr, word ^ (1u32 << bit)).is_ok(),
+        Err(_) => false,
+    }
 }
 
 fn launch_inner(

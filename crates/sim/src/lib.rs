@@ -51,7 +51,9 @@ pub mod report;
 pub use device::DeviceConfig;
 pub use event::{run_sm_round, SmRound};
 pub use interp::{ExecStats, SimError};
-pub use launch::{launch, Bound, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport};
+pub use launch::{
+    launch, launch_keyed, Bound, DeviceState, KArg, LaunchDims, LaunchOptions, LaunchReport,
+};
 pub use mem::{GlobalMem, MemError, GLOBAL_BASE};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use regalloc::{allocate, RegAlloc};

@@ -930,3 +930,94 @@ fn numeric_edge_semantics_match_cuda() {
     assert_eq!(f[0], 2.0, "fminf(NaN, x) = x");
     assert_eq!(f[1], 2.0, "fmaxf(NaN, x) = x");
 }
+
+/// Serializes the tests that install a process-global fault plan so
+/// they cannot clobber each other's plan mid-launch.
+static FAULT_PLAN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn silent_flip_corrupts_one_output_bit_without_failing_the_launch() {
+    let _guard = FAULT_PLAN_LOCK.lock().unwrap();
+    let src = r#"
+        __global__ void flip_victim(int* out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { out[i] = i * 3; }
+        }
+    "#;
+    let m = module(src, &[]);
+    let mut st = state();
+    let n = 256usize;
+    let p = st.global.alloc((n * 4) as u64).unwrap();
+    let dims = LaunchDims::linear(2, 128);
+    let args = [KArg::Ptr(p), KArg::I32(n as i32)];
+    let opts = LaunchOptions::default();
+    launch(&mut st, &m, "flip_victim", dims, &args, opts).unwrap();
+    let clean = st.global.read_i32_slice(p, n).unwrap();
+
+    // A plan scoped to this kernel name so concurrently running tests
+    // in this binary are never faulted. nth(2): the next launch is
+    // spared, the one after is corrupted.
+    use ks_fault::{FaultKind, FaultPlan, FaultRule, Target};
+    let plan =
+        std::sync::Arc::new(FaultPlan::new(1234).rule(
+            FaultRule::new(FaultKind::SilentFlip, Target::Kernel("flip_victim".into())).nth(2),
+        ));
+    ks_fault::install(plan.clone());
+    launch(&mut st, &m, "flip_victim", dims, &args, opts).unwrap();
+    assert_eq!(st.global.read_i32_slice(p, n).unwrap(), clean);
+    // The corrupted launch still reports success — that is the point.
+    launch(&mut st, &m, "flip_victim", dims, &args, opts).unwrap();
+    ks_fault::clear();
+
+    let dirty = st.global.read_i32_slice(p, n).unwrap();
+    let flipped_bits: u32 = clean
+        .iter()
+        .zip(&dirty)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    assert_eq!(flipped_bits, 1, "exactly one bit must differ");
+    assert!(plan.event_log().contains("site=launch kind=silent-flip"));
+
+    // Replays are byte-exact: same plan, same call sequence, same bit.
+    let plan2 =
+        std::sync::Arc::new(FaultPlan::new(1234).rule(
+            FaultRule::new(FaultKind::SilentFlip, Target::Kernel("flip_victim".into())).nth(2),
+        ));
+    ks_fault::install(plan2);
+    launch(&mut st, &m, "flip_victim", dims, &args, opts).unwrap();
+    launch(&mut st, &m, "flip_victim", dims, &args, opts).unwrap();
+    ks_fault::clear();
+    assert_eq!(st.global.read_i32_slice(p, n).unwrap(), dirty);
+}
+
+#[test]
+fn keyed_launch_scopes_flips_to_one_variant() {
+    let _guard = FAULT_PLAN_LOCK.lock().unwrap();
+    let src = r#"
+        __global__ void keyed_victim(int* out) {
+            out[threadIdx.x] = (int)threadIdx.x;
+        }
+    "#;
+    let m = module(src, &[]);
+    let mut st = state();
+    let p = st.global.alloc(32 * 4).unwrap();
+    let dims = LaunchDims::linear(1, 32);
+    let args = [KArg::Ptr(p)];
+    let opts = LaunchOptions::default();
+    use ks_fault::{FaultKind, FaultPlan, FaultRule, Target};
+    let plan = std::sync::Arc::new(
+        FaultPlan::new(7)
+            .rule(FaultRule::new(FaultKind::SilentFlip, Target::Key(0xFEED)).persistent()),
+    );
+    ks_fault::install(plan.clone());
+    // Unkeyed launch and a different key: spared.
+    launch(&mut st, &m, "keyed_victim", dims, &args, opts).unwrap();
+    launch_keyed(&mut st, &m, "keyed_victim", dims, &args, opts, 0xBEEF, "").unwrap();
+    let clean = st.global.read_i32_slice(p, 32).unwrap();
+    assert_eq!(plan.injected_count(), 0);
+    // The targeted variant: corrupted (still Ok).
+    launch_keyed(&mut st, &m, "keyed_victim", dims, &args, opts, 0xFEED, "").unwrap();
+    ks_fault::clear();
+    assert_eq!(plan.injected_count(), 1);
+    assert_ne!(st.global.read_i32_slice(p, 32).unwrap(), clean);
+}

@@ -1,0 +1,43 @@
+//! `ks-store-scrub` — offline integrity maintenance for a persistent
+//! artifact store.
+//!
+//! Walks every record under the given store root, re-validating header
+//! fields *and* payload checksums (the full [`ks_store::Store::scrub`]
+//! pass), and moves corrupt records into `quarantine/` where the load
+//! path cannot see them — so the affected keys recompile cleanly on the
+//! next warm start instead of tripping over rotted bytes. Run it from
+//! cron, a fleet janitor, or CI; the in-process equivalent runs at
+//! `Compiler` store-attach time via `with_store_scrubbed`.
+//!
+//! Exit codes: 0 = walk completed (report on stdout, quarantined count
+//! included), 2 = bad usage or the walk itself failed (I/O).
+
+use ks_store::Store;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let root = match (args.next(), args.next()) {
+        (Some(root), None) if root != "--help" && root != "-h" => root,
+        _ => {
+            eprintln!("usage: ks-store-scrub <store-root>");
+            eprintln!(
+                "  full-payload checksum walk; corrupt records move to <store-root>/quarantine/"
+            );
+            std::process::exit(2);
+        }
+    };
+    let store = match Store::open(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ks-store-scrub: cannot open store at {root}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match store.scrub() {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("ks-store-scrub: scrub aborted: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -51,6 +51,13 @@ pub const HEADER_LEN: usize = 40;
 /// File extension for record files.
 pub const RECORD_EXT: &str = "ksb";
 
+/// Directory (under the store root) corrupt records are moved into by
+/// [`Store::scrub`]. Quarantined files keep their original names so a
+/// postmortem can inspect exactly what rotted; they are invisible to
+/// [`Store::load`] (which resolves only fan-out paths), so a
+/// quarantined key simply misses and recompiles.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 /// Everything that can go wrong talking to the store. Every variant is
 /// recoverable: callers treat any error as "no usable record" and
 /// degrade to a recompile.
@@ -271,6 +278,175 @@ impl Store {
         }
         Ok(payload.to_vec())
     }
+
+    /// Validate only a record image's *header*: magic, version,
+    /// fingerprint, and that the file is long enough for the declared
+    /// payload. This is the fast check the read path effectively gets
+    /// for free — and it is deliberately **not** sufficient: a bit flip
+    /// inside the payload leaves every header field intact and passes
+    /// here. Only [`Store::decode_record`]'s full payload-checksum walk
+    /// (what [`Store::scrub`] runs) catches it.
+    pub fn check_header(fp: Fingerprint, data: &[u8]) -> Result<(), StoreError> {
+        if data.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let mut r = ByteReader::new(data);
+        let magic = r.array::<4>()?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Version {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let found_fp = Fingerprint::from_u128(r.u128()?);
+        if found_fp != fp {
+            return Err(StoreError::FingerprintMismatch {
+                expected: fp,
+                found: found_fp,
+            });
+        }
+        let payload_len = r.u64()? as usize;
+        let _checksum = r.u64()?; // declared, not verified — that's the point
+        if data.len() - HEADER_LEN < payload_len {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN + payload_len,
+                available: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Header-only validation of the record stored under `fp`.
+    /// `Ok(false)` means no record; see [`Store::check_header`] for
+    /// what this does *not* catch.
+    pub fn verify_header(&self, fp: Fingerprint) -> Result<bool, StoreError> {
+        match fs::read(self.record_path(fp)) {
+            Ok(data) => Self::check_header(fp, &data).map(|()| true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// The directory [`Store::scrub`] moves corrupt records into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join(QUARANTINE_DIR)
+    }
+
+    /// Full-payload integrity walk over every record in the store.
+    ///
+    /// Each `.ksb` file is read and validated end to end — header
+    /// fields *and* payload checksum, the same checks [`Store::load`]
+    /// runs — plus the fan-out invariant that the file is named by its
+    /// own fingerprint. Corrupt records are moved (never deleted) into
+    /// [`QUARANTINE_DIR`], where the load path cannot see them, so the
+    /// affected keys turn into clean misses and recompile; the evidence
+    /// survives for postmortems. The walk is ordered by file name, so
+    /// the report is deterministic for a given set of corruptions.
+    ///
+    /// Only filesystem-level failures (unreadable directories, a failed
+    /// quarantine rename) abort the walk; corrupt *content* never does.
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        let mut report = ScrubReport::default();
+        let mut fanout: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&self.root)?.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() && name.to_str() != Some(QUARANTINE_DIR) {
+                fanout.push(path);
+            }
+        }
+        fanout.sort();
+        for dir in fanout {
+            let mut records: Vec<PathBuf> = fs::read_dir(&dir)?
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == RECORD_EXT))
+                .collect();
+            records.sort();
+            for path in records {
+                report.scanned += 1;
+                let verdict = Self::scrub_one(&path);
+                match verdict {
+                    Ok(()) => report.valid += 1,
+                    Err(err) => {
+                        let name = path
+                            .file_name()
+                            .and_then(|n| n.to_str())
+                            .unwrap_or("?")
+                            .to_string();
+                        self.quarantine_record(&path)?;
+                        report.quarantined.push((name, err));
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Validate one record file in place (name → fingerprint → full
+    /// decode). Any defect is the typed error quarantine will carry.
+    fn scrub_one(path: &Path) -> Result<(), StoreError> {
+        let fp = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(Fingerprint::from_hex)
+            .ok_or_else(|| {
+                StoreError::Corrupt("record file name is not a 32-hex fingerprint".into())
+            })?;
+        let data = fs::read(path)?;
+        Store::decode_record(fp, &data).map(|_| ())
+    }
+
+    /// Move a corrupt record into `quarantine/`, keeping its name (a
+    /// numeric suffix disambiguates the pathological repeat case).
+    fn quarantine_record(&self, path: &Path) -> Result<(), StoreError> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)?;
+        let name = path.file_name().expect("record path has a file name");
+        let mut target = qdir.join(name);
+        let mut n = 0u32;
+        while target.exists() {
+            n += 1;
+            target = qdir.join(format!("{}.{n}", name.to_string_lossy()));
+        }
+        fs::rename(path, &target)?;
+        Ok(())
+    }
+}
+
+/// What one [`Store::scrub`] walk found and did.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Record files visited.
+    pub scanned: usize,
+    /// Records that passed the full decode.
+    pub valid: usize,
+    /// `(file name, defect)` for each record moved to `quarantine/`,
+    /// in walk order.
+    pub quarantined: Vec<(String, StoreError)>,
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scrub: scanned {} records, {} valid, {} quarantined",
+            self.scanned,
+            self.valid,
+            self.quarantined.len()
+        )?;
+        for (name, err) in &self.quarantined {
+            write!(f, "\n  quarantined {name}: {err}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +566,73 @@ mod tests {
         assert!(matches!(store.load(fp), Err(StoreError::Truncated { .. })));
         fs::write(&path, &data[..HEADER_LEN - 7]).unwrap();
         assert!(matches!(store.load(fp), Err(StoreError::Truncated { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_flip_passes_header_check_but_scrub_catches_it() {
+        let dir = tmpdir("scrub-flip");
+        let store = Store::open(&dir).unwrap();
+        let good = fp_of("survivor");
+        let bad = fp_of("victim");
+        store.save(good, b"intact payload").unwrap();
+        store.save(bad, b"a payload about to rot in place").unwrap();
+        // Seeded single-bit flip inside the payload: every header field
+        // (magic, version, fingerprint, length, declared checksum)
+        // stays intact.
+        let path = store.record_path(bad);
+        let mut data = fs::read(&path).unwrap();
+        data[HEADER_LEN + 5] ^= 0x10;
+        fs::write(&path, &data).unwrap();
+        // The fast header check is blind to it...
+        assert!(store.verify_header(bad).unwrap());
+        // ...the full-payload walk is not.
+        let report = store.scrub().unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].0.contains(&bad.to_hex()));
+        assert!(matches!(
+            report.quarantined[0].1,
+            StoreError::ChecksumMismatch { .. }
+        ));
+        // Quarantined, not deleted: evidence moved aside, key misses.
+        assert!(!store.record_path(bad).exists());
+        assert!(store
+            .quarantine_dir()
+            .join(format!("{}.{RECORD_EXT}", bad.to_hex()))
+            .exists());
+        assert!(store.load(bad).unwrap().is_none(), "clean miss after scrub");
+        assert_eq!(store.load(good).unwrap().unwrap(), b"intact payload");
+        // A second walk is clean and never descends into quarantine/.
+        let again = store.scrub().unwrap();
+        assert_eq!(again.scanned, 1);
+        assert_eq!(again.valid, 1);
+        assert!(again.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_quarantines_misnamed_and_truncated_records() {
+        let dir = tmpdir("scrub-misc");
+        let store = Store::open(&dir).unwrap();
+        let fp = fp_of("torn");
+        store.save(fp, b"long enough payload to truncate").unwrap();
+        let path = store.record_path(fp);
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..HEADER_LEN + 2]).unwrap();
+        // A stray file whose name is not a fingerprint.
+        let stray = dir
+            .join("ab")
+            .join(format!("not-a-fingerprint.{RECORD_EXT}"));
+        fs::create_dir_all(stray.parent().unwrap()).unwrap();
+        fs::write(&stray, b"junk").unwrap();
+        let report = store.scrub().unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.valid, 0);
+        assert_eq!(report.quarantined.len(), 2);
+        let display = report.to_string();
+        assert!(display.starts_with("scrub: scanned 2 records, 0 valid, 2 quarantined"));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -75,7 +75,7 @@ pub use span::{
     SpanRecord,
 };
 pub use subscriber::{StreamSink, Subscriber, WriterSink};
-pub use watchdog::{Baseline, SloBreach, SloEvent, SloPolicy, SloRule, Watchdog};
+pub use watchdog::{Baseline, CounterRule, SloBreach, SloEvent, SloPolicy, SloRule, Watchdog};
 pub use window::{History, TickDelta, WindowSummary, WindowView};
 
 /// Canonical metric names. Publishers and consumers meet here so the
@@ -204,4 +204,36 @@ pub mod names {
     /// Lines dropped by bounded [`crate::StreamSink`]s (ring full; the
     /// hot path never blocks on a slow consumer).
     pub const SINK_DROPPED: &str = "ks_trace.sink.dropped";
+    /// Silent bit flips actually applied to device memory by an active
+    /// `ks_fault::FaultPlan` (`FaultKind::SilentFlip`). Counted only
+    /// when a bit changed, so a drill can reconcile corruptions applied
+    /// vs. detected exactly.
+    pub const SIM_SILENT_FLIPS: &str = "ks_sim.silent_flips";
+    /// GPU-PF integrity checks performed (one per integrity-checked
+    /// exec launch: checksum and, when scheduled, witness comparison).
+    pub const PF_INTEGRITY_CHECKS: &str = "gpu_pf.integrity.checks";
+    /// Witness launches: the generic (RE) binary re-run on the saved
+    /// pre-launch inputs to referee the specialized output.
+    pub const PF_INTEGRITY_WITNESS: &str = "gpu_pf.integrity.witness_launches";
+    /// Typed `IntegrityViolation`s raised (golden-checksum or witness
+    /// mismatch). The SDC-rate watchdog rule breaches on this counter.
+    pub const PF_INTEGRITY_VIOLATIONS: &str = "gpu_pf.integrity.violations";
+    /// Violations triaged as transient device flips by N-of-M
+    /// re-execution voting (the binary reproduced the witness output).
+    pub const PF_INTEGRITY_TRANSIENT: &str = "gpu_pf.integrity.transient_flips";
+    /// Violations triaged as corrupt binaries (re-executions kept
+    /// disagreeing with the witness); the variant is quarantined through
+    /// the degradation ladder.
+    pub const PF_INTEGRITY_CORRUPT: &str = "gpu_pf.integrity.corrupt_binaries";
+    /// Violations fully recovered: the iteration re-executed cleanly and
+    /// the output now matches the witness.
+    pub const PF_INTEGRITY_RECOVERED: &str = "gpu_pf.integrity.recovered";
+    /// Launches re-executed during violation triage and recovery
+    /// (voting re-runs plus the final clean re-execution).
+    pub const PF_INTEGRITY_REEXECS: &str = "gpu_pf.integrity.reexecutions";
+    /// Records visited by a `ks_store` scrub walk.
+    pub const STORE_SCRUB_SCANNED: &str = "ks_store.scrub.scanned";
+    /// Records a scrub walk moved into `quarantine/` (corrupt payload,
+    /// bad header, or unparsable name).
+    pub const STORE_SCRUB_QUARANTINED: &str = "ks_store.scrub.quarantined";
 }

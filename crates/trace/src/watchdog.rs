@@ -78,11 +78,39 @@ pub struct SloRule {
     pub phase: String,
 }
 
+/// One watched *counter*: the windowed event count of `metric` is
+/// judged against an absolute per-window budget instead of a latency
+/// baseline. This is how rate-style SLOs (e.g. silent-data-corruption
+/// detections) ride the same edge-triggered machinery as latency p95s:
+/// `budget_per_window = 0` breaches on the first detection in a window
+/// and recovers once a whole window passes clean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRule {
+    pub metric: String,
+    /// Human-readable rule label, used where latency rules print their
+    /// baseline phase.
+    pub label: String,
+    /// Highest windowed count that is still healthy.
+    pub budget_per_window: u64,
+}
+
 /// Typed watchdog verdict for one metric at one evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SloEvent {
     Breach(SloBreach),
-    Recover { metric: String, seq: u64 },
+    /// A [`CounterRule`] exceeded its per-window event budget.
+    CounterBreach {
+        metric: String,
+        label: String,
+        observed: u64,
+        budget: u64,
+        window_ticks: usize,
+        seq: u64,
+    },
+    Recover {
+        metric: String,
+        seq: u64,
+    },
 }
 
 /// An SLO excursion: the windowed p95 exceeded the budget.
@@ -112,6 +140,18 @@ impl fmt::Display for SloEvent {
                 b.window_ticks,
                 b.seq
             ),
+            SloEvent::CounterBreach {
+                metric,
+                label,
+                observed,
+                budget,
+                window_ticks,
+                seq,
+            } => write!(
+                f,
+                "SLO breach: {metric} count {observed} in window > budget {budget} \
+                 (rule {label}, window {window_ticks} ticks, seq {seq})"
+            ),
             SloEvent::Recover { metric, seq } => {
                 write!(f, "SLO recovered: {metric} back under budget (seq {seq})")
             }
@@ -124,6 +164,7 @@ pub struct Watchdog {
     baseline: Baseline,
     policy: SloPolicy,
     rules: Vec<SloRule>,
+    counter_rules: Vec<CounterRule>,
     breached: BTreeSet<String>,
 }
 
@@ -133,7 +174,25 @@ impl Watchdog {
             baseline,
             policy,
             rules,
+            counter_rules: Vec::new(),
             breached: BTreeSet::new(),
+        }
+    }
+
+    /// Add a [`CounterRule`] (builder style).
+    pub fn with_counter_rule(mut self, rule: CounterRule) -> Self {
+        self.counter_rules.push(rule);
+        self
+    }
+
+    /// The standard SDC-rate rule: any `gpu_pf.integrity.violations`
+    /// event inside the window is a breach — a fleet member that is
+    /// silently corrupting data should page, not just self-heal.
+    pub fn sdc_rule() -> CounterRule {
+        CounterRule {
+            metric: crate::names::PF_INTEGRITY_VIOLATIONS.to_string(),
+            label: "sdc-rate".to_string(),
+            budget_per_window: 0,
         }
     }
 
@@ -141,7 +200,8 @@ impl Watchdog {
     /// in the baseline maps to its `ks_core.compile.phase_us.*`
     /// histogram, `total` to `ks_core.compile.total_us`, and
     /// `promotion` to `gpu_pf.promotion.latency_us`. Baseline phases
-    /// with no live histogram (e.g. `store`) are skipped.
+    /// with no live histogram (e.g. `store`) are skipped. The
+    /// [`Watchdog::sdc_rule`] counter rule is always included.
     pub fn standard(baseline: Baseline, policy: SloPolicy) -> Self {
         let rules = baseline
             .phases
@@ -159,11 +219,15 @@ impl Watchdog {
                 })
             })
             .collect();
-        Watchdog::new(baseline, policy, rules)
+        Watchdog::new(baseline, policy, rules).with_counter_rule(Watchdog::sdc_rule())
     }
 
     pub fn rules(&self) -> &[SloRule] {
         &self.rules
+    }
+
+    pub fn counter_rules(&self) -> &[CounterRule] {
+        &self.counter_rules
     }
 
     /// The budget (µs) a rule's windowed p95 must stay under.
@@ -199,6 +263,31 @@ impl Watchdog {
                     window_ticks: window.ticks,
                     seq: window.last_seq,
                 }));
+            } else if !over && was {
+                self.breached.remove(&rule.metric);
+                events.push(SloEvent::Recover {
+                    metric: rule.metric.clone(),
+                    seq: window.last_seq,
+                });
+            }
+        }
+        for rule in &self.counter_rules {
+            // Unlike histograms, an absent counter really means "no
+            // events this window" (deltas, not samples), so 0 is a
+            // valid healthy observation and drives recovery.
+            let observed = window.counter(&rule.metric);
+            let over = observed > rule.budget_per_window;
+            let was = self.breached.contains(&rule.metric);
+            if over && !was {
+                self.breached.insert(rule.metric.clone());
+                events.push(SloEvent::CounterBreach {
+                    metric: rule.metric.clone(),
+                    label: rule.label.clone(),
+                    observed,
+                    budget: rule.budget_per_window,
+                    window_ticks: window.ticks,
+                    seq: window.last_seq,
+                });
             } else if !over && was {
                 self.breached.remove(&rule.metric);
                 events.push(SloEvent::Recover {
@@ -317,6 +406,44 @@ mod tests {
         assert!(metrics.contains(&"ks_core.compile.total_us"));
         assert!(metrics.contains(&"gpu_pf.promotion.latency_us"));
         assert_eq!(metrics.len(), 3, "{metrics:?}");
+    }
+
+    #[test]
+    fn counter_rule_breaches_on_rate_and_recovers_on_clean_window() {
+        let r = Registry::new();
+        let mut hist = History::new(4);
+        let mut dog = Watchdog::new(baseline(), SloPolicy::default(), vec![])
+            .with_counter_rule(Watchdog::sdc_rule());
+        let c = r.counter(crate::names::PF_INTEGRITY_VIOLATIONS);
+        // Clean window: zero violations, no breach.
+        hist.tick_at(&r, 0);
+        assert!(dog.evaluate(&hist.window(2)).is_empty());
+        // One violation: a zero-budget rule breaches exactly once.
+        c.inc();
+        hist.tick_at(&r, 1000);
+        let events = dog.evaluate(&hist.window(2));
+        let [SloEvent::CounterBreach {
+            metric,
+            observed: 1,
+            budget: 0,
+            ..
+        }] = events.as_slice()
+        else {
+            panic!("want one counter breach, got {events:?}");
+        };
+        assert_eq!(metric, crate::names::PF_INTEGRITY_VIOLATIONS);
+        assert!(events[0].to_string().starts_with("SLO breach: "));
+        // Still inside the window: edge-triggered, no repeat.
+        hist.tick_at(&r, 2000);
+        assert!(dog.evaluate(&hist.window(2)).is_empty());
+        // The violation rotates out: one recovery.
+        hist.tick_at(&r, 3000);
+        hist.tick_at(&r, 4000);
+        let events = dog.evaluate(&hist.window(2));
+        assert!(
+            matches!(events.as_slice(), [SloEvent::Recover { .. }]),
+            "{events:?}"
+        );
     }
 
     #[test]
